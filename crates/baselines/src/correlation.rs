@@ -1,0 +1,189 @@
+//! Correlation-measure baselines (paper §IV-D1, Table X; related work).
+//!
+//! * **Pearson** — linear correlation at lag zero; blind to point-in-time
+//!   delays (the paper's criticism).
+//! * **DTW** — dynamic time warping turned into a similarity score; warps
+//!   each point independently, which mismatches the cloud-database setting
+//!   where "data point delays should be essentially the same in a time
+//!   window".
+//! * **Spearman** — rank correlation; only captures monotone association.
+//!
+//! All measures operate on min–max-normalised windows and return scores in
+//! `[−1, 1]` so they can share the detector's threshold machinery.
+
+use dbcatcher_signal::normalize::min_max;
+use dbcatcher_signal::stats::pearson;
+
+/// Pearson correlation of two windows (lag zero).
+///
+/// # Panics
+/// Panics when the windows differ in length.
+pub fn pearson_score(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "windows must be equally long");
+    if x.is_empty() {
+        return 0.0;
+    }
+    pearson(x, y).expect("equal non-empty windows")
+}
+
+/// Raw DTW distance between two windows with a Sakoe–Chiba band of
+/// `band` (0 = unconstrained), using absolute-difference point costs.
+///
+/// # Panics
+/// Panics when either window is empty.
+pub fn dtw_distance(x: &[f64], y: &[f64], band: usize) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "windows must be non-empty");
+    let (n, m) = (x.len(), y.len());
+    let band = if band == 0 {
+        n.max(m)
+    } else {
+        band.max(n.abs_diff(m))
+    };
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.iter_mut().for_each(|v| *v = inf);
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let cost = (x[i - 1] - y[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW similarity in `[−1, 1]`: windows are min–max normalised, the DTW
+/// distance is averaged per warping step (point costs lie in `[0, 1]`),
+/// and mapped by `1 − 2·avg_cost`.
+pub fn dtw_score(x: &[f64], y: &[f64], band: usize) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let xn = min_max(x);
+    let yn = min_max(y);
+    let d = dtw_distance(&xn, &yn, band);
+    // path length is at least max(n, m); use it as the normaliser
+    let steps = xn.len().max(yn.len()) as f64;
+    (1.0 - 2.0 * d / steps).clamp(-1.0, 1.0)
+}
+
+/// Spearman rank correlation.
+///
+/// # Panics
+/// Panics when the windows differ in length.
+pub fn spearman_score(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "windows must be equally long");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry).expect("equal non-empty windows")
+}
+
+/// Fractional ranks (ties get the average rank).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * (i as f64 + phase) / 16.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn pearson_identical_is_one() {
+        let x = sine(32, 0.0);
+        assert!((pearson_score(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_misses_delay() {
+        // the paper's core criticism: a 3-tick delay destroys Pearson
+        let x = sine(32, 0.0);
+        let y = sine(32, 3.0);
+        let p = pearson_score(&x, &y);
+        let k = dbcatcher_core::kcd::kcd(&x, &y, 5);
+        assert!(k > p + 0.2, "kcd {k} vs pearson {p}");
+    }
+
+    #[test]
+    fn dtw_distance_zero_for_identical() {
+        let x = sine(20, 0.0);
+        assert_eq!(dtw_distance(&x, &x, 0), 0.0);
+    }
+
+    #[test]
+    fn dtw_handles_warping() {
+        // y is x with one repeated sample: DTW forgives, Euclid would not
+        let x = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = vec![0.0, 1.0, 1.0, 2.0, 3.0, 4.0];
+        assert!(dtw_distance(&x, &y, 0) < 1e-12);
+    }
+
+    #[test]
+    fn dtw_score_range_and_similarity() {
+        let x = sine(32, 0.0);
+        let close = dtw_score(&x, &sine(32, 1.0), 0);
+        let anti: Vec<f64> = x.iter().map(|v| -v).collect();
+        let far = dtw_score(&x, &anti, 0);
+        assert!(close > far, "close {close} far {far}");
+        assert!((-1.0..=1.0).contains(&close) && (-1.0..=1.0).contains(&far));
+    }
+
+    #[test]
+    fn dtw_band_constrains_warping() {
+        let x = vec![0.0, 0.0, 0.0, 10.0, 0.0];
+        let y = vec![10.0, 0.0, 0.0, 0.0, 0.0];
+        let free = dtw_distance(&x, &y, 0);
+        let banded = dtw_distance(&x, &y, 1);
+        assert!(banded >= free);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let x = vec![1.0, 2.0, 5.0, 9.0];
+        let y = vec![10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman_score(&x, &y) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = y.iter().rev().cloned().collect();
+        assert!((spearman_score(&x, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ties_averaged() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn empty_windows_score_zero() {
+        assert_eq!(pearson_score(&[], &[]), 0.0);
+        assert_eq!(dtw_score(&[], &[], 0), 0.0);
+        assert_eq!(spearman_score(&[], &[]), 0.0);
+    }
+}

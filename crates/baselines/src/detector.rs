@@ -1,0 +1,101 @@
+//! Common detector interface and score-aggregation helpers.
+
+/// One unit's recording: `series[db][kpi][tick]`.
+pub type UnitSeries = Vec<Vec<Vec<f64>>>;
+
+/// A trainable anomaly detector producing unit-level per-tick scores.
+///
+/// The paper's evaluation protocol (§IV-B) searches a decision threshold
+/// and window size per method on the training split; detectors therefore
+/// expose *scores* (higher = more anomalous), not decisions.
+pub trait Detector {
+    /// Method name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fits the method on training recordings (self-supervised — labels
+    /// are only used by the evaluation harness for threshold search).
+    fn fit(&mut self, units: &[&UnitSeries]);
+
+    /// Per-tick anomaly scores for one unit recording.
+    fn score(&self, unit: &UnitSeries) -> Vec<f64>;
+}
+
+/// Number of ticks in a unit recording.
+pub fn num_ticks(unit: &UnitSeries) -> usize {
+    unit.first()
+        .and_then(|db| db.first())
+        .map(|s| s.len())
+        .unwrap_or(0)
+}
+
+/// The paper's k-of-M rule for lifting univariate verdicts to a unit
+/// verdict (§IV-B): per tick, the fraction of series whose point score
+/// exceeds `z`. `point_scores[series][tick]`.
+pub fn vote_fraction(point_scores: &[Vec<f64>], z: f64) -> Vec<f64> {
+    let Some(first) = point_scores.first() else {
+        return Vec::new();
+    };
+    let ticks = first.len();
+    let m = point_scores.len() as f64;
+    (0..ticks)
+        .map(|t| {
+            point_scores
+                .iter()
+                .filter(|s| s.get(t).map(|&v| v > z).unwrap_or(false))
+                .count() as f64
+                / m
+        })
+        .collect()
+}
+
+/// Element-wise maximum across per-database score series.
+pub fn max_across(scores: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = scores.first() else {
+        return Vec::new();
+    };
+    let ticks = first.len();
+    (0..ticks)
+        .map(|t| {
+            scores
+                .iter()
+                .map(|s| s[t])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_ticks_shapes() {
+        let unit: UnitSeries = vec![vec![vec![0.0; 7]; 3]; 2];
+        assert_eq!(num_ticks(&unit), 7);
+        assert_eq!(num_ticks(&Vec::new()), 0);
+    }
+
+    #[test]
+    fn vote_fraction_counts_exceedances() {
+        let scores = vec![
+            vec![0.0, 5.0, 5.0],
+            vec![0.0, 0.0, 5.0],
+            vec![0.0, 5.0, 5.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let v = vote_fraction(&scores, 3.0);
+        assert_eq!(v, vec![0.0, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn vote_fraction_empty() {
+        assert!(vote_fraction(&[], 3.0).is_empty());
+    }
+
+    #[test]
+    fn max_across_elementwise() {
+        let scores = vec![vec![1.0, 5.0], vec![3.0, 2.0]];
+        assert_eq!(max_across(&scores), vec![3.0, 5.0]);
+        assert!(max_across(&[]).is_empty());
+    }
+}

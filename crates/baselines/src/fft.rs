@@ -1,0 +1,193 @@
+//! FFT-based anomaly detector (paper §IV-A4, after Van Loan).
+//!
+//! "FFT decomposes the single time series into separate components at
+//! several frequencies and then measures the degree of difference between
+//! time series points and surrounding points." — per (database, KPI)
+//! series we keep the low-frequency components as the *expected* shape,
+//! and score each point by its robust-z residual against it. The k-of-M
+//! voting rule lifts the univariate verdicts to the unit level.
+
+use crate::detector::{vote_fraction, Detector, UnitSeries};
+use dbcatcher_signal::fft::{irfft_truncated, rfft_padded, Complex};
+use dbcatcher_signal::stats::robust_z_scores;
+
+/// Configuration of the FFT detector.
+#[derive(Debug, Clone)]
+pub struct FftConfig {
+    /// Number of low-frequency bins kept as the expected shape.
+    pub keep_bins: usize,
+    /// Robust-z threshold a point must exceed to vote "abnormal".
+    pub vote_z: f64,
+}
+
+impl Default for FftConfig {
+    fn default() -> Self {
+        Self {
+            keep_bins: 6,
+            vote_z: 3.0,
+        }
+    }
+}
+
+/// The FFT baseline. Stateless after construction — the "training" the
+/// paper times for this method is its (cheap) hyper-parameter search,
+/// which the evaluation harness performs.
+#[derive(Debug, Clone, Default)]
+pub struct FftDetector {
+    config: FftConfig,
+}
+
+impl FftDetector {
+    /// Creates the detector.
+    pub fn new(config: FftConfig) -> Self {
+        Self { config }
+    }
+
+    /// Low-pass reconstruction of a series: keep `keep_bins` bins on each
+    /// spectrum edge (DC + lowest frequencies and their conjugates).
+    pub fn low_pass(&self, xs: &[f64]) -> Vec<f64> {
+        if xs.len() < 4 {
+            return xs.to_vec();
+        }
+        // Mirror-pad to the next power of two: zero padding would fabricate
+        // a cliff at the series end that the residual scorer mistakes for
+        // an anomaly.
+        let n2 = dbcatcher_signal::fft::next_pow2(xs.len());
+        let mut padded = xs.to_vec();
+        while padded.len() < n2 {
+            let idx = xs.len().saturating_sub(2 + (padded.len() - xs.len())) % xs.len();
+            padded.push(xs[idx]);
+        }
+        let mut spectrum = rfft_padded(&padded).expect("non-empty series");
+        let n = spectrum.len();
+        let keep = self.config.keep_bins.min(n / 2);
+        for (i, c) in spectrum.iter_mut().enumerate() {
+            let low = i <= keep || i >= n - keep;
+            if !low {
+                *c = Complex::zero();
+            }
+        }
+        irfft_truncated(&spectrum, xs.len()).expect("inverse fits")
+    }
+
+    /// Per-point residual scores of one series.
+    pub fn point_scores(&self, xs: &[f64]) -> Vec<f64> {
+        let smooth = self.low_pass(xs);
+        let residual: Vec<f64> = xs.iter().zip(&smooth).map(|(x, s)| x - s).collect();
+        robust_z_scores(&residual).iter().map(|z| z.abs()).collect()
+    }
+}
+
+impl Detector for FftDetector {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn fit(&mut self, _units: &[&UnitSeries]) {
+        // Statistical method: nothing to learn from data.
+    }
+
+    fn score(&self, unit: &UnitSeries) -> Vec<f64> {
+        let mut per_series = Vec::new();
+        for db in unit {
+            for kpi in db {
+                per_series.push(self.point_scores(kpi));
+            }
+        }
+        vote_fraction(&per_series, self.config.vote_z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // period 32 divides 128 exactly, so the tone sits on an FFT bin and the
+    // low-pass reconstruction has no leakage artefacts at the edges
+    fn smooth_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 100.0 + 20.0 * (std::f64::consts::TAU * i as f64 / 32.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn low_pass_preserves_smooth_signal() {
+        let d = FftDetector::default();
+        let xs = smooth_series(128);
+        let lp = d.low_pass(&xs);
+        for (a, b) in xs.iter().zip(&lp) {
+            assert!((a - b).abs() < 2.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn spike_scores_high() {
+        let d = FftDetector::default();
+        let mut xs = smooth_series(128);
+        xs[64] += 200.0;
+        let scores = d.point_scores(&xs);
+        let spike = scores[64];
+        let background: f64 =
+            scores.iter().enumerate().filter(|(i, _)| (*i as i64 - 64).abs() > 4).map(|(_, &s)| s).sum::<f64>()
+                / (scores.len() - 9) as f64;
+        assert!(spike > background * 5.0, "spike {spike} background {background}");
+    }
+
+    #[test]
+    fn constant_series_scores_zero() {
+        let d = FftDetector::default();
+        let scores = d.point_scores(&vec![5.0; 64]);
+        assert!(scores.iter().all(|&s| s.abs() < 1e-9));
+    }
+
+    #[test]
+    fn unit_scores_spike_visible() {
+        let d = FftDetector::default();
+        // 2 dbs x 2 kpis with distinct phases (identical series would vote
+        // in unison on shared numerical artefacts); db0/kpi0 spikes at t=50
+        let mut unit: UnitSeries = (0..2)
+            .map(|db| {
+                (0..2)
+                    .map(|kpi| {
+                        (0..100)
+                            .map(|i| {
+                                100.0
+                                    + 20.0
+                                        * (std::f64::consts::TAU
+                                            * (i as f64 + (db * 7 + kpi * 3) as f64)
+                                            / 32.0)
+                                            .sin()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        unit[0][0][50] += 500.0;
+        let scores = d.score(&unit);
+        assert_eq!(scores.len(), 100);
+        // the spike's neighbourhood carries the interior maximum (low-pass
+        // ringing smears the vote over nearby ticks — part of why the
+        // paper rates FFT's precision low)
+        let interior_max = scores[5..95].iter().cloned().fold(0.0f64, f64::max);
+        assert!(scores[50] >= 0.25, "spike vote {}", scores[50]); // 1 of 4 series voted
+        assert_eq!(scores[50], interior_max);
+        // ticks far from the spike are quiet
+        assert!(scores[10..40].iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn short_series_handled() {
+        let d = FftDetector::default();
+        assert_eq!(d.low_pass(&[1.0, 2.0]), vec![1.0, 2.0]);
+        let s = d.point_scores(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn name_and_fit_noop() {
+        let mut d = FftDetector::default();
+        assert_eq!(d.name(), "FFT");
+        d.fit(&[]); // must not panic
+    }
+}

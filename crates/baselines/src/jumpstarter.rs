@@ -1,0 +1,307 @@
+//! JumpStarter-style detector (paper §IV-A4, after Ma et al., ATC'21).
+//!
+//! JumpStarter "jump-starts" anomaly detection without a long training
+//! phase by **compressed sensing**: sample a subset of each window's
+//! points, reconstruct the window from a sparse basis, and score points by
+//! reconstruction error. Its **outlier-resistant sampling** avoids
+//! sampling points that look like outliers, so anomalies do not poison the
+//! reconstruction they are judged against.
+//!
+//! Our reconstruction dictionary is the orthonormal DCT basis (smooth KPI
+//! trends are DCT-sparse); the sparse solver is orthogonal matching
+//! pursuit over the sampled positions.
+
+use crate::detector::{vote_fraction, Detector, UnitSeries};
+use dbcatcher_signal::dct::dct_atom;
+use dbcatcher_signal::linalg::least_squares;
+use dbcatcher_signal::stats::robust_z_scores;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the JumpStarter-style detector.
+#[derive(Debug, Clone)]
+pub struct JumpStarterConfig {
+    /// Reconstruction window length.
+    pub window: usize,
+    /// Number of DCT atoms the sparse reconstruction may use.
+    pub sparsity: usize,
+    /// Fraction of window points sampled for reconstruction.
+    pub sample_fraction: f64,
+    /// Robust-z bound above which a point is excluded from sampling
+    /// (outlier-resistant sampling).
+    pub outlier_z: f64,
+    /// Robust-z threshold on reconstruction error for the k-of-M vote.
+    pub vote_z: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for JumpStarterConfig {
+    fn default() -> Self {
+        Self {
+            window: 40,
+            sparsity: 5,
+            sample_fraction: 0.5,
+            outlier_z: 3.0,
+            vote_z: 3.0,
+            seed: 0x1357,
+        }
+    }
+}
+
+/// The JumpStarter-style compressed-sensing detector.
+#[derive(Debug, Clone, Default)]
+pub struct JumpStarter {
+    config: JumpStarterConfig,
+}
+
+impl JumpStarter {
+    /// Creates the detector.
+    pub fn new(config: JumpStarterConfig) -> Self {
+        Self { config }
+    }
+
+    /// Outlier-resistant sample of positions within a window.
+    fn sample_positions(&self, window: &[f64], rng: &mut StdRng) -> Vec<usize> {
+        let z = robust_z_scores(window);
+        let mut candidates: Vec<usize> = (0..window.len())
+            .filter(|&i| z[i].abs() <= self.config.outlier_z)
+            .collect();
+        if candidates.len() < self.config.sparsity + 1 {
+            // pathological window (almost everything is an outlier):
+            // fall back to using every position
+            candidates = (0..window.len()).collect();
+        }
+        // short tail windows can have fewer candidates than sparsity+1;
+        // never let the clamp bounds cross
+        let lo = (self.config.sparsity + 1).min(candidates.len());
+        let target = ((window.len() as f64 * self.config.sample_fraction).round() as usize)
+            .clamp(lo, candidates.len());
+        candidates.shuffle(rng);
+        let mut chosen: Vec<usize> = candidates.into_iter().take(target).collect();
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Sparse DCT reconstruction of a window from sampled positions via
+    /// orthogonal matching pursuit.
+    fn reconstruct(&self, window: &[f64], samples: &[usize]) -> Vec<f64> {
+        let n = window.len();
+        let k_max = self.config.sparsity.min(samples.len().saturating_sub(1)).max(1);
+        let sampled: Vec<f64> = samples.iter().map(|&i| window[i]).collect();
+        let mut residual = sampled.clone();
+        let mut active: Vec<usize> = Vec::with_capacity(k_max);
+        let mut coeffs: Vec<f64> = Vec::new();
+        for _ in 0..k_max {
+            // greedy atom choice by correlation with the residual
+            let mut best_atom = None;
+            let mut best_corr = 0.0f64;
+            for atom in 0..n {
+                if active.contains(&atom) {
+                    continue;
+                }
+                let mut dot = 0.0;
+                let mut norm = 0.0;
+                for (si, &pos) in samples.iter().enumerate() {
+                    let a = dct_atom(n, atom, pos);
+                    dot += a * residual[si];
+                    norm += a * a;
+                }
+                if norm <= 1e-12 {
+                    continue;
+                }
+                let corr = dot.abs() / norm.sqrt();
+                if corr > best_corr {
+                    best_corr = corr;
+                    best_atom = Some(atom);
+                }
+            }
+            let Some(atom) = best_atom else { break };
+            active.push(atom);
+            // least squares over the active set at the sampled positions
+            let a_mat: Vec<Vec<f64>> = samples
+                .iter()
+                .map(|&pos| active.iter().map(|&k| dct_atom(n, k, pos)).collect())
+                .collect();
+            match least_squares(&a_mat, &sampled) {
+                Some(c) => {
+                    coeffs = c;
+                    for (si, &pos) in samples.iter().enumerate() {
+                        let recon: f64 = active
+                            .iter()
+                            .zip(&coeffs)
+                            .map(|(&k, &c)| c * dct_atom(n, k, pos))
+                            .sum();
+                        residual[si] = sampled[si] - recon;
+                    }
+                }
+                None => {
+                    active.pop();
+                    break;
+                }
+            }
+        }
+        (0..n)
+            .map(|i| {
+                active
+                    .iter()
+                    .zip(&coeffs)
+                    .map(|(&k, &c)| c * dct_atom(n, k, i))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Per-point reconstruction-error scores for one series.
+    pub fn point_scores(&self, xs: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        let w = self.config.window.min(xs.len()).max(4);
+        let mut errors = vec![0.0; xs.len()];
+        let mut start = 0;
+        while start < xs.len() {
+            let end = (start + w).min(xs.len());
+            if end - start < 4 {
+                // tail too short to reconstruct: reuse last errors
+                break;
+            }
+            let window = &xs[start..end];
+            let samples = self.sample_positions(window, rng);
+            let recon = self.reconstruct(window, &samples);
+            for (i, (&x, &r)) in window.iter().zip(&recon).enumerate() {
+                errors[start + i] = (x - r).abs();
+            }
+            start = end;
+        }
+        // Robust scaling with a floor tied to the signal's own scale:
+        // absolutely tiny reconstruction errors on a near-perfect fit must
+        // not be inflated into votes by pure normalisation.
+        let med = dbcatcher_signal::stats::median(&errors);
+        let err_scale = dbcatcher_signal::stats::mad(&errors) * 1.4826;
+        let signal_scale = dbcatcher_signal::stats::mad(xs) * 1.4826;
+        let sigma = err_scale.max(0.1 * signal_scale).max(1e-12);
+        errors.iter().map(|e| ((e - med) / sigma).abs()).collect()
+    }
+}
+
+impl Detector for JumpStarter {
+    fn name(&self) -> &'static str {
+        "JumpStarter"
+    }
+
+    fn fit(&mut self, _units: &[&UnitSeries]) {
+        // JumpStarter's defining property: no training phase — it
+        // reconstructs each window on the fly.
+    }
+
+    fn score(&self, unit: &UnitSeries) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut per_series = Vec::new();
+        for db in unit {
+            for kpi in db {
+                per_series.push(self.point_scores(kpi, &mut rng));
+            }
+        }
+        vote_fraction(&per_series, self.config.vote_z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 10.0 + 4.0 * (std::f64::consts::PI * i as f64 / 20.0).cos())
+            .collect()
+    }
+
+    #[test]
+    fn smooth_window_reconstructs_well() {
+        let js = JumpStarter::default();
+        let xs = smooth(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = js.sample_positions(&xs, &mut rng);
+        let recon = js.reconstruct(&xs, &samples);
+        let max_err = xs
+            .iter()
+            .zip(&recon)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 0.5, "max reconstruction error {max_err}");
+    }
+
+    #[test]
+    fn outliers_not_sampled() {
+        let js = JumpStarter::default();
+        let mut xs = smooth(40);
+        xs[20] += 1000.0;
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = js.sample_positions(&xs, &mut rng);
+        assert!(!samples.contains(&20), "outlier position was sampled");
+    }
+
+    #[test]
+    fn spike_yields_high_error_score() {
+        let js = JumpStarter::default();
+        let mut xs = smooth(120);
+        xs[60] += 300.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = js.point_scores(&xs, &mut rng);
+        let (argmax, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(argmax, 60);
+        assert!(scores[60] > 3.0, "score {}", scores[60]);
+    }
+
+    #[test]
+    fn all_outlier_window_falls_back() {
+        let js = JumpStarter::default();
+        // alternating extremes: robust z flags half the points, but the
+        // sampler must still return enough positions
+        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = js.sample_positions(&xs, &mut rng);
+        assert!(samples.len() > js.config.sparsity);
+    }
+
+    #[test]
+    fn unit_scores_shape() {
+        let js = JumpStarter::default();
+        let unit: UnitSeries = vec![vec![smooth(80); 2]; 2];
+        let scores = js.score(&unit);
+        assert_eq!(scores.len(), 80);
+        // healthy unit: hardly any votes
+        let max = scores.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max <= 0.5, "healthy max vote {max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let js = JumpStarter::default();
+        let unit: UnitSeries = vec![vec![smooth(80); 2]; 2];
+        assert_eq!(js.score(&unit), js.score(&unit));
+    }
+
+    #[test]
+    fn short_series_no_panic() {
+        let js = JumpStarter::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = js.point_scores(&[1.0, 2.0, 3.0], &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn tail_window_shorter_than_sparsity_no_panic() {
+        // regression: a trailing window of 5 points used to cross the
+        // sample-count clamp bounds (sparsity+1 = 6 > candidates = 5)
+        let js = JumpStarter::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut xs = smooth(45); // 40 + 5-point tail
+        xs[44] += 50.0;
+        let s = js.point_scores(&xs, &mut rng);
+        assert_eq!(s.len(), 45);
+    }
+}

@@ -1,0 +1,39 @@
+//! # dbcatcher-baselines
+//!
+//! The compared methods of the DBCatcher paper, implemented from scratch:
+//!
+//! * anomaly detectors (§IV-A4): [`fft::FftDetector`], [`sr::SrDetector`],
+//!   [`srcnn::SrCnnDetector`], [`omni::OmniAnomaly`] (GRU-VAE) and
+//!   [`jumpstarter::JumpStarter`] (compressed sensing with
+//!   outlier-resistant sampling);
+//! * correlation measures (§IV-D1, Table X): Pearson, dynamic time
+//!   warping and Spearman in [`correlation`], plus the matrix-method
+//!   detector [`matrix_method::MatrixMethod`] that slots any measure into
+//!   DBCatcher's correlation-matrix machinery (the paper's MM-Pearson /
+//!   MM-DTW / MM-KCD rows);
+//! * threshold-search baselines (§IV-D3, Fig. 11): simulated annealing
+//!   and random search in [`search`], sharing the GA's [`Genes`] type.
+//!
+//! All detectors implement [`detector::Detector`]: fit on training
+//! recordings, then emit one unit-level anomaly score per tick. The
+//! evaluation harness turns scores into window verdicts with a searched
+//! threshold, mirroring the paper's protocol ("each method uses the
+//! training set to randomly search thresholds and Window-size", §IV-B).
+//!
+//! [`Genes`]: dbcatcher_core::ga::Genes
+
+// Index-based loops over matrix/tensor dimensions are clearer than
+// iterator chains in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod correlation;
+pub mod detector;
+pub mod fft;
+pub mod jumpstarter;
+pub mod matrix_method;
+pub mod omni;
+pub mod search;
+pub mod sr;
+pub mod srcnn;
+
+pub use detector::{Detector, UnitSeries};

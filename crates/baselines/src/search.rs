@@ -1,0 +1,194 @@
+//! Threshold-search baselines (paper §IV-D3, Fig. 11).
+//!
+//! The paper compares its genetic algorithm against **simulated
+//! annealing** and **random search** for finding the detector's threshold
+//! genes. Both are implemented here on the same
+//! [`Genes`]/[`LearnOutcome`] types so Fig. 11 can hold the evaluation
+//! budget constant across the three algorithms.
+
+use dbcatcher_core::ga::{Genes, GeneticConfig, LearnOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random search: sample `budget` independent gene vectors and keep the
+/// best (the paper's baseline protocol, also used by the compared
+/// detectors' threshold search, §IV-B).
+pub fn random_search(
+    num_kpis: usize,
+    cfg: &GeneticConfig,
+    budget: usize,
+    mut fitness: impl FnMut(&Genes) -> f64,
+) -> LearnOutcome {
+    assert!(budget > 0, "budget must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best: Option<(Genes, f64)> = None;
+    for _ in 0..budget {
+        let genes = Genes::random(num_kpis, cfg, &mut rng);
+        let score = fitness(&genes);
+        if best.as_ref().map(|(_, b)| score > *b).unwrap_or(true) {
+            best = Some((genes, score));
+        }
+    }
+    let (genes, fitness_value) = best.expect("budget > 0");
+    LearnOutcome {
+        genes,
+        fitness: fitness_value,
+        evaluations: budget,
+    }
+}
+
+/// Simulated-annealing hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AnnealingConfig {
+    /// Starting temperature.
+    pub t0: f64,
+    /// Multiplicative cooling per step.
+    pub cooling: f64,
+    /// Neighbour step size on α thresholds.
+    pub step: f64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        Self {
+            t0: 0.3,
+            cooling: 0.97,
+            step: 0.05,
+        }
+    }
+}
+
+/// Simulated annealing over the gene space with a fixed evaluation
+/// `budget`.
+pub fn simulated_annealing(
+    num_kpis: usize,
+    cfg: &GeneticConfig,
+    sa: &AnnealingConfig,
+    budget: usize,
+    mut fitness: impl FnMut(&Genes) -> f64,
+) -> LearnOutcome {
+    assert!(budget > 0, "budget must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5AA);
+    let mut current = Genes::random(num_kpis, cfg, &mut rng);
+    let mut current_fit = fitness(&current);
+    let mut best = (current.clone(), current_fit);
+    let mut temperature = sa.t0;
+    for _ in 1..budget {
+        let neighbour = neighbour_of(&current, cfg, sa.step, &mut rng);
+        let f = fitness(&neighbour);
+        let accept = f >= current_fit || {
+            let p = ((f - current_fit) / temperature.max(1e-9)).exp();
+            rng.gen_bool(p.clamp(0.0, 1.0))
+        };
+        if accept {
+            current = neighbour;
+            current_fit = f;
+        }
+        if current_fit > best.1 {
+            best = (current.clone(), current_fit);
+        }
+        temperature *= sa.cooling;
+    }
+    LearnOutcome {
+        genes: best.0,
+        fitness: best.1,
+        evaluations: budget,
+    }
+}
+
+/// A random neighbour: one α nudged by ±step, θ nudged, N occasionally
+/// re-sampled.
+fn neighbour_of(genes: &Genes, cfg: &GeneticConfig, step: f64, rng: &mut StdRng) -> Genes {
+    let mut next = genes.clone();
+    let idx = rng.gen_range(0..next.alphas.len());
+    let delta = rng.gen_range(-step..=step);
+    next.alphas[idx] = (next.alphas[idx] + delta).clamp(cfg.alpha_bounds.0, cfg.alpha_bounds.1);
+    let dtheta = rng.gen_range(-step / 2.0..=step / 2.0);
+    next.theta = (next.theta + dtheta).clamp(cfg.theta_range.0, cfg.theta_range.1);
+    if rng.gen_bool(0.2) {
+        next.max_tolerance = rng.gen_range(cfg.tolerance_range.0..=cfg.tolerance_range.1);
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_core::ga::learn_thresholds;
+
+    /// A smooth fitness landscape peaking near α = 0.72, θ = 0.18.
+    fn landscape(g: &Genes) -> f64 {
+        let alpha_err: f64 =
+            g.alphas.iter().map(|a| (a - 0.72).abs()).sum::<f64>() / g.alphas.len() as f64;
+        (1.0 - 3.0 * alpha_err - (g.theta - 0.18).abs()).max(0.0)
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let cfg = GeneticConfig { seed: 4, ..GeneticConfig::default() };
+        let small = random_search(4, &cfg, 5, landscape);
+        let large = random_search(4, &cfg, 200, landscape);
+        assert!(large.fitness >= small.fitness);
+        assert_eq!(large.evaluations, 200);
+    }
+
+    #[test]
+    fn annealing_reaches_peak_region() {
+        let cfg = GeneticConfig { seed: 8, ..GeneticConfig::default() };
+        let out = simulated_annealing(4, &cfg, &AnnealingConfig::default(), 400, landscape);
+        assert!(out.fitness > 0.8, "fitness {}", out.fitness);
+    }
+
+    #[test]
+    fn ga_competitive_with_baselines_at_equal_budget() {
+        // Fig. 11's qualitative claim: at equal evaluation budget the GA
+        // is at least as good as random search on this landscape.
+        let budget = 330;
+        let ga_cfg = GeneticConfig {
+            population: 30,
+            generations: 10, // 30*10 + 30 final = 330 evaluations
+            seed: 21,
+            ..GeneticConfig::default()
+        };
+        let ga = learn_thresholds(4, &ga_cfg, landscape);
+        assert_eq!(ga.evaluations, budget);
+        let rs = random_search(4, &ga_cfg, budget, landscape);
+        assert!(
+            ga.fitness >= rs.fitness - 0.02,
+            "ga {} vs random {}",
+            ga.fitness,
+            rs.fitness
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneticConfig { seed: 3, ..GeneticConfig::default() };
+        let a = simulated_annealing(3, &cfg, &AnnealingConfig::default(), 50, landscape);
+        let b = simulated_annealing(3, &cfg, &AnnealingConfig::default(), 50, landscape);
+        assert_eq!(a.genes, b.genes);
+    }
+
+    #[test]
+    fn neighbours_respect_bounds() {
+        let cfg = GeneticConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Genes::random(5, &cfg, &mut rng);
+        for _ in 0..500 {
+            g = neighbour_of(&g, &cfg, 0.2, &mut rng);
+            assert!(g
+                .alphas
+                .iter()
+                .all(|a| (cfg.alpha_bounds.0..=cfg.alpha_bounds.1).contains(a)));
+            assert!((cfg.theta_range.0..=cfg.theta_range.1).contains(&g.theta));
+            assert!(g.max_tolerance <= cfg.tolerance_range.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_panics() {
+        let cfg = GeneticConfig::default();
+        let _ = random_search(2, &cfg, 0, |_| 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! SR-CNN detector (paper §IV-A4, after Ren et al., KDD'19).
+//!
+//! Microsoft's production method: compute the Spectral Residual saliency
+//! map, then train a small CNN to discriminate anomalous saliency
+//! patterns. The CNN is trained on *synthetically injected* anomalies —
+//! no labels needed — which is reproduced here: training segments are
+//! drawn from the (healthy-dominated) training split, spikes are injected
+//! at random positions, and the network learns to classify each position
+//! of the saliency map.
+//!
+//! The network is fully convolutional (three conv1d stages ending in a
+//! sigmoid), so scoring a whole series is a single forward pass.
+
+use crate::detector::{vote_fraction, Detector, UnitSeries};
+use crate::sr::SrDetector;
+use dbcatcher_nn::activation::Activation;
+use dbcatcher_nn::conv1d::Conv1d;
+use dbcatcher_nn::loss::bce;
+use dbcatcher_nn::matrix::Matrix;
+use dbcatcher_nn::XorShiftRng;
+use dbcatcher_signal::normalize::robust;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the SR-CNN detector.
+#[derive(Debug, Clone)]
+pub struct SrCnnConfig {
+    /// Training segment length.
+    pub segment: usize,
+    /// Training segments drawn from the training split.
+    pub train_segments: usize,
+    /// Epochs over the segment set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Probability that a segment receives an injected anomaly.
+    pub inject_prob: f64,
+    /// Probability threshold for a point to vote "abnormal".
+    pub vote_prob: f64,
+    /// RNG seed (weights, segment sampling, injection).
+    pub seed: u64,
+}
+
+impl Default for SrCnnConfig {
+    fn default() -> Self {
+        Self {
+            segment: 64,
+            train_segments: 150,
+            epochs: 4,
+            lr: 0.05,
+            inject_prob: 0.7,
+            vote_prob: 0.5,
+            seed: 0x5C44,
+        }
+    }
+}
+
+/// The SR-CNN baseline.
+#[derive(Debug, Clone)]
+pub struct SrCnnDetector {
+    config: SrCnnConfig,
+    sr: SrDetector,
+    conv1: Conv1d,
+    conv2: Conv1d,
+    head: Conv1d,
+    trained: bool,
+}
+
+/// Receptive-field padding: 3 conv layers with kernel 7 consume 18 points.
+const KERNEL: usize = 7;
+const PAD: usize = 3 * (KERNEL - 1) / 2;
+
+impl SrCnnDetector {
+    /// Creates an untrained detector.
+    pub fn new(config: SrCnnConfig) -> Self {
+        let mut rng = XorShiftRng::new(config.seed);
+        Self {
+            sr: SrDetector::default(),
+            conv1: Conv1d::new(1, 8, KERNEL, Activation::Relu, &mut rng),
+            conv2: Conv1d::new(8, 8, KERNEL, Activation::Relu, &mut rng),
+            head: Conv1d::new(8, 1, KERNEL, Activation::Sigmoid, &mut rng),
+            trained: false,
+            config,
+        }
+    }
+
+    /// Whether [`Detector::fit`] has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Forward pass: per-position anomaly probabilities for a saliency
+    /// map (input is edge-padded so the output matches the input length).
+    fn forward(&self, saliency: &[f64]) -> Vec<f64> {
+        let mut padded = Vec::with_capacity(saliency.len() + 2 * PAD);
+        let first = *saliency.first().unwrap_or(&0.0);
+        let last = *saliency.last().unwrap_or(&0.0);
+        padded.extend(std::iter::repeat_n(first, PAD));
+        padded.extend_from_slice(saliency);
+        padded.extend(std::iter::repeat_n(last, PAD));
+        let x = Matrix::row_vector(&padded);
+        let c1 = self.conv1.forward(&x);
+        let c2 = self.conv2.forward(c1.output());
+        let out = self.head.forward(c2.output());
+        out.output().row(0).to_vec()
+    }
+
+    /// One training step on a (saliency, labels) segment; returns the loss.
+    fn train_step(&mut self, saliency: &[f64], labels: &[f64]) -> f64 {
+        let mut padded = Vec::with_capacity(saliency.len() + 2 * PAD);
+        let first = *saliency.first().unwrap_or(&0.0);
+        let last = *saliency.last().unwrap_or(&0.0);
+        padded.extend(std::iter::repeat_n(first, PAD));
+        padded.extend_from_slice(saliency);
+        padded.extend(std::iter::repeat_n(last, PAD));
+        let x = Matrix::row_vector(&padded);
+        let c1 = self.conv1.forward(&x);
+        let c2 = self.conv2.forward(c1.output());
+        let out = self.head.forward(c2.output());
+        let target = Matrix::row_vector(labels);
+        let (loss, grad) = bce(out.output(), &target);
+        let g2 = self.head.backward(&out, &grad);
+        let g1 = self.conv2.backward(&c2, &g2);
+        self.conv1.backward(&c1, &g1);
+        self.head.sgd_step(self.config.lr);
+        self.conv2.sgd_step(self.config.lr);
+        self.conv1.sgd_step(self.config.lr);
+        loss
+    }
+
+    /// Collects raw training segments from the units. The segment length
+    /// adapts downward when the training series are shorter than the
+    /// configured segment (small datasets must still train the CNN).
+    fn collect_segments(&self, units: &[&UnitSeries], rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let min_len = units
+            .iter()
+            .flat_map(|unit| unit.iter())
+            .flat_map(|db| db.iter())
+            .map(|kpi| kpi.len())
+            .min()
+            .unwrap_or(0);
+        let seg = self.config.segment.min(min_len);
+        if seg < 4 * PAD {
+            return Vec::new(); // nothing long enough to learn from
+        }
+        let mut pool: Vec<&[f64]> = Vec::new();
+        for unit in units {
+            for db in unit.iter() {
+                for kpi in db {
+                    if kpi.len() >= seg {
+                        pool.push(kpi);
+                    }
+                }
+            }
+        }
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        (0..self.config.train_segments)
+            .map(|_| {
+                let series = pool[rng.gen_range(0..pool.len())];
+                let start = rng.gen_range(0..=series.len() - seg);
+                series[start..start + seg].to_vec()
+            })
+            .collect()
+    }
+
+    /// Injects a synthetic anomaly; returns the per-point labels.
+    fn inject(&self, segment: &mut [f64], rng: &mut StdRng) -> Vec<f64> {
+        let mut labels = vec![0.0; segment.len()];
+        if !rng.gen_bool(self.config.inject_prob) {
+            return labels;
+        }
+        let scale = dbcatcher_signal::stats::std_dev(segment).max(
+            segment.iter().map(|v| v.abs()).fold(0.0, f64::max) * 0.05 + 1e-6,
+        );
+        let pos = rng.gen_range(PAD..segment.len().saturating_sub(PAD).max(PAD + 1));
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let amp = rng.gen_range(4.0..10.0) * scale * sign;
+        let width = rng.gen_range(1..=2usize);
+        for i in pos..(pos + width).min(segment.len()) {
+            segment[i] += amp;
+            labels[i] = 1.0;
+        }
+        labels
+    }
+
+    /// Per-point anomaly probabilities for one raw series.
+    pub fn point_probs(&self, xs: &[f64]) -> Vec<f64> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let sal = robust(&self.sr.saliency(xs));
+        self.forward(&sal)
+    }
+}
+
+impl Default for SrCnnDetector {
+    fn default() -> Self {
+        Self::new(SrCnnConfig::default())
+    }
+}
+
+impl Detector for SrCnnDetector {
+    fn name(&self) -> &'static str {
+        "SR-CNN"
+    }
+
+    fn fit(&mut self, units: &[&UnitSeries]) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let segments = self.collect_segments(units, &mut rng);
+        for _epoch in 0..self.config.epochs {
+            for seg in &segments {
+                let mut raw = seg.clone();
+                let labels = self.inject(&mut raw, &mut rng);
+                let sal = robust(&self.sr.saliency(&raw));
+                self.train_step(&sal, &labels);
+            }
+        }
+        self.trained = true;
+    }
+
+    fn score(&self, unit: &UnitSeries) -> Vec<f64> {
+        let mut per_series = Vec::new();
+        for db in unit {
+            for kpi in db {
+                per_series.push(self.point_probs(kpi));
+            }
+        }
+        vote_fraction(&per_series, self.config.vote_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5;
+                100.0 + 20.0 * (std::f64::consts::TAU * i as f64 / 30.0).sin() + 2.0 * noise
+            })
+            .collect()
+    }
+
+    fn train_unit() -> UnitSeries {
+        vec![vec![smooth(256, 1), smooth(256, 2)], vec![smooth(256, 3), smooth(256, 4)]]
+    }
+
+    fn quick_config() -> SrCnnConfig {
+        SrCnnConfig {
+            train_segments: 60,
+            epochs: 3,
+            ..SrCnnConfig::default()
+        }
+    }
+
+    #[test]
+    fn forward_output_length_matches_input() {
+        let d = SrCnnDetector::new(quick_config());
+        let probs = d.point_probs(&smooth(100, 9));
+        assert_eq!(probs.len(), 100);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn training_separates_spikes_from_smooth() {
+        let mut d = SrCnnDetector::new(quick_config());
+        let unit = train_unit();
+        d.fit(&[&unit]);
+        assert!(d.is_trained());
+        // test series with a fat spike
+        let mut xs = smooth(128, 42);
+        xs[64] += 250.0;
+        let probs = d.point_probs(&xs);
+        let spike_p = probs[63..=65].iter().cloned().fold(0.0f64, f64::max);
+        let clean_p: f64 = probs[10..50].iter().sum::<f64>() / 40.0;
+        assert!(
+            spike_p > clean_p + 0.2,
+            "spike {spike_p} vs clean {clean_p}"
+        );
+    }
+
+    #[test]
+    fn injection_labels_match_positions() {
+        let d = SrCnnDetector::new(SrCnnConfig {
+            inject_prob: 1.0,
+            ..quick_config()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seg = smooth(64, 7);
+        let before = seg.clone();
+        let labels = d.inject(&mut seg, &mut rng);
+        let injected: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 1.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!injected.is_empty());
+        for &i in &injected {
+            assert_ne!(seg[i], before[i]);
+        }
+    }
+
+    #[test]
+    fn zero_inject_prob_keeps_segment() {
+        let d = SrCnnDetector::new(SrCnnConfig {
+            inject_prob: 0.0,
+            ..quick_config()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seg = smooth(64, 7);
+        let before = seg.clone();
+        let labels = d.inject(&mut seg, &mut rng);
+        assert_eq!(seg, before);
+        assert!(labels.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn fit_on_empty_units_is_safe() {
+        let mut d = SrCnnDetector::new(quick_config());
+        d.fit(&[]);
+        assert!(d.is_trained());
+    }
+
+    #[test]
+    fn score_shape() {
+        let d = SrCnnDetector::new(quick_config());
+        let unit = train_unit();
+        let scores = d.score(&unit);
+        assert_eq!(scores.len(), 256);
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion bench: per-unit scoring cost of every detector (the online
+//! half of Table VI's efficiency story).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbcatcher_baselines::detector::{Detector, UnitSeries};
+use dbcatcher_baselines::fft::FftDetector;
+use dbcatcher_baselines::jumpstarter::JumpStarter;
+use dbcatcher_baselines::omni::{OmniAnomaly, OmniConfig};
+use dbcatcher_baselines::sr::SrDetector;
+use dbcatcher_baselines::srcnn::{SrCnnConfig, SrCnnDetector};
+use std::hint::black_box;
+
+/// A 5-database, 14-KPI, 200-tick healthy unit.
+fn unit() -> UnitSeries {
+    (0..5)
+        .map(|db| {
+            (0..14)
+                .map(|kpi| {
+                    (0..200)
+                        .map(|t| {
+                            let tf = t as f64;
+                            100.0 * (1.0 + 0.1 * db as f64)
+                                + 30.0 * (std::f64::consts::TAU * (tf + kpi as f64) / 40.0).sin()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let unit = unit();
+    let mut group = c.benchmark_group("detector_score_unit");
+    group.sample_size(10);
+
+    let fft = FftDetector::default();
+    group.bench_function("fft", |b| b.iter(|| fft.score(black_box(&unit))));
+
+    let sr = SrDetector::default();
+    group.bench_function("sr", |b| b.iter(|| sr.score(black_box(&unit))));
+
+    let mut srcnn = SrCnnDetector::new(SrCnnConfig {
+        train_segments: 40,
+        epochs: 1,
+        ..SrCnnConfig::default()
+    });
+    srcnn.fit(&[&unit]);
+    group.bench_function("sr_cnn", |b| b.iter(|| srcnn.score(black_box(&unit))));
+
+    let mut omni = OmniAnomaly::new(
+        OmniConfig {
+            epochs: 1,
+            max_train_windows: 50,
+            ..OmniConfig::default()
+        },
+        14,
+    );
+    omni.fit(&[&unit]);
+    group.bench_function("omni_anomaly", |b| b.iter(|| omni.score(black_box(&unit))));
+
+    let js = JumpStarter::default();
+    group.bench_function("jumpstarter", |b| b.iter(|| js.score(black_box(&unit))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: the signal substrate — FFT, spectral-residual
+//! saliency, periodogram and periodicity classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcatcher_baselines::sr::SrDetector;
+use dbcatcher_signal::fft::rfft_padded;
+use dbcatcher_signal::period::{classify, PeriodicityConfig};
+use dbcatcher_signal::periodogram::periodogram;
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            100.0 + 30.0 * (t * 0.26).sin() + 5.0 * (t * 1.7).cos()
+        })
+        .collect()
+}
+
+fn bench_signal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signal");
+    for &n in &[128usize, 1024, 8192] {
+        let xs = series(n);
+        group.bench_with_input(BenchmarkId::new("rfft", n), &n, |b, _| {
+            b.iter(|| rfft_padded(black_box(&xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("periodogram", n), &n, |b, _| {
+            b.iter(|| periodogram(black_box(&xs)).unwrap())
+        });
+    }
+    let xs = series(600);
+    let sr = SrDetector::default();
+    group.bench_function("sr_saliency_600", |b| {
+        b.iter(|| sr.saliency(black_box(&xs)))
+    });
+    let cfg = PeriodicityConfig::default();
+    group.bench_function("periodicity_classify_600", |b| {
+        b.iter(|| classify(black_box(&xs), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_signal);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: the KCD correlation measurement (the 70 % component
+//! of §IV-D4) against Pearson and DTW, plus the lag-scan ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcatcher_baselines::correlation::{dtw_score, pearson_score};
+use dbcatcher_core::kcd::kcd;
+use std::hint::black_box;
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    // deterministic noise keeps any lag from reaching exactly 1.0, so the
+    // half-window scan cannot take KCD's perfect-score early exit
+    let mut state = 0x5EED_u64.wrapping_add(phase as u64);
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5;
+            100.0 + 30.0 * (std::f64::consts::TAU * (i as f64 + phase) / 24.0).sin() + 2.0 * noise
+        })
+        .collect()
+}
+
+fn bench_kcd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlation_measures");
+    for &n in &[20usize, 40, 60] {
+        let x = series(n, 0.0);
+        let y = series(n, 2.0);
+        group.bench_with_input(BenchmarkId::new("kcd_lag3", n), &n, |b, _| {
+            b.iter(|| kcd(black_box(&x), black_box(&y), 3))
+        });
+        group.bench_with_input(BenchmarkId::new("kcd_halfwindow", n), &n, |b, _| {
+            b.iter(|| kcd(black_box(&x), black_box(&y), n / 2))
+        });
+        group.bench_with_input(BenchmarkId::new("pearson", n), &n, |b, _| {
+            b.iter(|| pearson_score(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw", n), &n, |b, _| {
+            b.iter(|| dtw_score(black_box(&x), black_box(&y), 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcd);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §IV-D4: component computation time of the online detector.
+//!
+//! The paper: 50 units × 5 databases; a 100 MB dataset (≈120 h of KPI
+//! points) takes 42 s; correlation measurement ≈70 % of the time, window
+//! observation ≈30 %.
+
+use dbcatcher_bench::print_scale_banner;
+use dbcatcher_eval::experiments::{component_time, Scale};
+use dbcatcher_eval::report::{pct, render_table, secs};
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("§IV-D4 — component computation time", &scale);
+    let units = ((50.0 * scale.factor.max(0.1)).round() as usize).max(2);
+    let ticks = 2000;
+    let report = component_time(units, ticks, scale.seed);
+    println!(
+        "{}",
+        render_table(
+            "Component computation time (online detection)",
+            &["Metric", "Measured", "Paper"],
+            &[
+                vec!["units x databases".into(), format!("{} x 5", report.units), "50 x 5".into()],
+                vec!["ticks per unit".into(), report.ticks.to_string(), "-".into()],
+                vec![
+                    "data volume".into(),
+                    format!("{:.1} MB", report.bytes_processed as f64 / 1e6),
+                    "100 MB".into(),
+                ],
+                vec!["total detection time".into(), secs(report.total_secs), "-".into()],
+                vec![
+                    "time per 100 MB".into(),
+                    secs(report.secs_per_100mb),
+                    "42s".into(),
+                ],
+                vec![
+                    "correlation measurement".into(),
+                    pct(report.correlation_frac),
+                    "70%".into(),
+                ],
+                vec![
+                    "window observation".into(),
+                    pct(report.observation_frac),
+                    "30%".into(),
+                ],
+            ],
+        )
+    );
+}

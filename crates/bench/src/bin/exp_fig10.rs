@@ -1,0 +1,23 @@
+//! Fig. 10 + Table VIII: performance and window size on the **periodic**
+//! datasets (Tencent II / Sysbench II / TPCC II).
+
+use dbcatcher_bench::{print_performance, print_scale_banner, print_window_sizes};
+use dbcatcher_eval::experiments::{compare_methods, subset_specs, Scale};
+use dbcatcher_eval::methods::MethodKind;
+use dbcatcher_workload::dataset::Subset;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("Fig. 10 / Table VIII — periodic datasets", &scale);
+    let specs = subset_specs(&scale, Subset::Periodic);
+    let results = compare_methods(&specs, &MethodKind::all(), &scale);
+    print_performance("Fig. 10: performance on periodic datasets", &results);
+    print_window_sizes(
+        "Table VIII: Window-Sizes for best F-Measure (periodic)",
+        &results,
+    );
+    println!(
+        "{}",
+        serde_json::to_string(&results).expect("serializable results")
+    );
+}

@@ -1,0 +1,32 @@
+//! Fig. 11: threshold-search quality — genetic algorithm vs simulated
+//! annealing vs random search at an equal evaluation budget.
+
+use dbcatcher_bench::print_scale_banner;
+use dbcatcher_eval::experiments::{fig11_threshold_search, Scale};
+use dbcatcher_eval::report::{pct, render_table};
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("Fig. 11 — GA vs SAA vs Random threshold search", &scale);
+    let (datasets, rows) = fig11_threshold_search(&scale);
+    let headers: Vec<String> = std::iter::once("Algorithm".to_string())
+        .chain(datasets.iter().cloned())
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, values)| {
+            std::iter::once(name.clone())
+                .chain(values.iter().map(|&v| pct(v)))
+                .collect()
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 11: mean F-Measure found per search algorithm",
+            &header_refs,
+            &table_rows,
+        )
+    );
+}

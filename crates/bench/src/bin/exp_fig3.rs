@@ -1,0 +1,51 @@
+//! Fig. 3: the UKPIC phenomenon — (a) normalized "Requests Per Second"
+//! trends of the five databases in a unit; (b) pairwise correlation
+//! scores for "BufferPool Read Requests" (upper triangle) and
+//! "Innodb Data Writes" (lower triangle).
+
+use dbcatcher_core::kcd::kcd;
+use dbcatcher_eval::experiments::Scale;
+use dbcatcher_eval::report::sparkline;
+use dbcatcher_sim::Kpi;
+use dbcatcher_signal::normalize::min_max;
+use dbcatcher_workload::scenario::UnitScenario;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 3 — Unit KPI Correlation (UKPIC)");
+    let data = UnitScenario::burst_demo(scale.seed ^ 0xF16).generate();
+    println!("(a) normalized Requests Per Second of the five databases:");
+    for db in 0..data.num_databases() {
+        let s = min_max(data.kpi_series(db, Kpi::RequestsPerSecond.index()));
+        println!("  D{}  {}", db + 1, sparkline(&s, 90));
+    }
+    println!();
+    println!("(b) pairwise KCD: upper = BufferPool Read Requests, lower = Innodb Data Writes");
+    let n = data.num_databases();
+    print!("      ");
+    for j in 0..n {
+        print!("   D{}  ", j + 1);
+    }
+    println!();
+    for i in 0..n {
+        print!("  D{}  ", i + 1);
+        for j in 0..n {
+            if i == j {
+                print!("  1.00 ");
+            } else {
+                let kpi = if i < j {
+                    Kpi::BufferPoolReadRequests
+                } else {
+                    Kpi::InnodbDataWrites
+                };
+                let score = kcd(
+                    data.kpi_series(i, kpi.index()),
+                    data.kpi_series(j, kpi.index()),
+                    3,
+                );
+                print!("  {score:.2} ");
+            }
+        }
+        println!();
+    }
+}

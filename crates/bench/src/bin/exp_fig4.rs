@@ -1,0 +1,34 @@
+//! Fig. 4: the multivariate view of a defective load-balancing episode —
+//! one database's KPI trends detach from its peers after the strategy
+//! change.
+
+use dbcatcher_eval::experiments::{fig4_series, Scale};
+use dbcatcher_eval::report::sparkline;
+use dbcatcher_sim::Kpi;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 4 — multivariate time series around a defective balancing change");
+    for kpi in [
+        Kpi::RequestsPerSecond,
+        Kpi::BufferPoolReadRequests,
+        Kpi::CpuUtilization,
+        Kpi::InnodbRowsRead,
+    ] {
+        let (onset, series) = fig4_series(scale.seed, kpi);
+        println!("{} (onset at tick {onset}, marked |):", kpi.name());
+        for (db, s) in series.iter().enumerate() {
+            let w = 100usize;
+            let marker_pos = onset * w / s.len();
+            let line = sparkline(s, w);
+            let (a, b) = line
+                .char_indices()
+                .nth(marker_pos)
+                .map(|(i, _)| line.split_at(i))
+                .unwrap_or((line.as_str(), ""));
+            println!("  D{}  {a}|{b}", db + 1);
+        }
+        println!();
+    }
+    println!("(database 3 receives ~50% of reads from tick 300; its trends detach from peers)");
+}

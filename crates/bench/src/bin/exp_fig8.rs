@@ -1,0 +1,23 @@
+//! Fig. 8 + Tables V & VI: performance, window size and training time of
+//! all six methods on the three **mixed** datasets.
+
+use dbcatcher_bench::{print_performance, print_scale_banner, print_train_times, print_window_sizes};
+use dbcatcher_eval::experiments::{compare_methods, mixed_specs, Scale};
+use dbcatcher_eval::methods::MethodKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("Fig. 8 / Table V / Table VI — mixed datasets", &scale);
+    let specs = mixed_specs(&scale);
+    let results = compare_methods(&specs, &MethodKind::all(), &scale);
+    print_performance("Fig. 8: performance on mixed datasets", &results);
+    print_window_sizes(
+        "Table V: average Window-Sizes for best F-Measure (mixed)",
+        &results,
+    );
+    print_train_times("Table VI: training time on mixed datasets", &results);
+    println!(
+        "{}",
+        serde_json::to_string(&results).expect("serializable results")
+    );
+}

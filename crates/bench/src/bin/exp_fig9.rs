@@ -1,0 +1,23 @@
+//! Fig. 9 + Table VII: performance and window size on the **irregular**
+//! datasets (Tencent I / Sysbench I / TPCC I).
+
+use dbcatcher_bench::{print_performance, print_scale_banner, print_window_sizes};
+use dbcatcher_eval::experiments::{compare_methods, subset_specs, Scale};
+use dbcatcher_eval::methods::MethodKind;
+use dbcatcher_workload::dataset::Subset;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("Fig. 9 / Table VII — irregular datasets", &scale);
+    let specs = subset_specs(&scale, Subset::Irregular);
+    let results = compare_methods(&specs, &MethodKind::all(), &scale);
+    print_performance("Fig. 9: performance on irregular datasets", &results);
+    print_window_sizes(
+        "Table VII: average Window-Sizes for best F-Measure (irregular)",
+        &results,
+    );
+    println!(
+        "{}",
+        serde_json::to_string(&results).expect("serializable results")
+    );
+}

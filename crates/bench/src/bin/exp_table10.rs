@@ -1,0 +1,34 @@
+//! Table X: F-Measure of the correlation-measure ablation (MM-Pearson /
+//! MM-DTW / MM-KCD / AMM-KCD) on the mixed datasets.
+
+use dbcatcher_bench::print_scale_banner;
+use dbcatcher_eval::experiments::{table10_matrix_methods, Scale};
+use dbcatcher_eval::report::{pct, render_table};
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("Table X — correlation-measure ablation", &scale);
+    let candidates = 20;
+    let (datasets, rows) = table10_matrix_methods(&scale, candidates);
+    let headers: Vec<String> = std::iter::once("Model".to_string())
+        .chain(datasets.iter().map(|d| format!("{d} F-Measure")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            std::iter::once(r.label.clone())
+                .chain(r.f1.iter().map(|&f| pct(f)))
+                .collect()
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table X: F-Measure for correlation measures combined with MM",
+            &header_refs,
+            &table_rows,
+        )
+    );
+    println!("(paper: MM-KCD beats MM-Pearson and MM-DTW; AMM-KCD adds the flexible window on top)");
+}

@@ -1,0 +1,61 @@
+//! Table IV: the Sysbench/TPCC parameter spaces and the offered rates the
+//! throughput model assigns to their corners.
+
+use dbcatcher_eval::report::render_table;
+use dbcatcher_workload::sysbench::SysbenchRun;
+use dbcatcher_workload::tpcc::TpccRun;
+
+fn main() {
+    println!("# Table IV — test parameter space for Sysbench and TPCC");
+    println!(
+        "{}",
+        render_table(
+            "Table IV (upper): Sysbench parameter space",
+            &["Dataset", "Table", "Thread", "Item", "Time(m)"],
+            &[
+                vec!["Sysbench I".into(), "5-20".into(), "4-64".into(), "100000".into(), "0.5-1".into()],
+                vec!["Sysbench II".into(), "10".into(), "4-8-16-32".into(), "100000".into(), "0.5".into()],
+            ],
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "Table IV (lower): TPCC parameter space",
+            &["Dataset", "Warehouse", "Thread", "Warmup(m)", "Time(m)"],
+            &[
+                vec!["TPCC I".into(), "5-20".into(), "4-24".into(), "0.5-1".into(), "0.5-1".into()],
+                vec!["TPCC II".into(), "10".into(), "4-8-16-24".into(), "0.5".into(), "0.5".into()],
+            ],
+        )
+    );
+
+    // implied offered rates at the corners of the spaces
+    let mut rows = Vec::new();
+    for (tables, threads) in [(5usize, 4usize), (20, 64), (10, 16)] {
+        let run = SysbenchRun { tables, threads, items: 100_000, duration_ticks: 6 };
+        let (r, w) = run.offered_rate();
+        rows.push(vec![
+            format!("sysbench t={tables} c={threads}"),
+            format!("{r:.0} reads/s"),
+            format!("{w:.0} writes/s"),
+        ]);
+    }
+    for (wh, threads) in [(5usize, 4usize), (20, 24), (10, 16)] {
+        let run = TpccRun { warehouses: wh, threads, warmup_ticks: 0, duration_ticks: 6 };
+        let (r, w) = run.offered_rate();
+        rows.push(vec![
+            format!("tpcc w={wh} c={threads}"),
+            format!("{r:.0} reads/s"),
+            format!("{w:.0} writes/s"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Throughput model: offered load at parameter-space corners",
+            &["Configuration", "Reads", "Writes"],
+            &rows,
+        )
+    );
+}

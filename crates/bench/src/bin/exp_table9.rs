@@ -1,0 +1,33 @@
+//! Table IX: retraining time when the workload drifts (Tencent→Sysbench,
+//! Tencent→TPCC, Sysbench→TPCC).
+
+use dbcatcher_bench::print_scale_banner;
+use dbcatcher_eval::experiments::{table9_drift, Scale};
+use dbcatcher_eval::methods::MethodKind;
+use dbcatcher_eval::report::{render_table, secs};
+
+fn main() {
+    let scale = Scale::from_args();
+    print_scale_banner("Table IX — retraining time on workload drift", &scale);
+    let results = table9_drift(&scale, &MethodKind::all());
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(method, times)| {
+            vec![
+                method.name().to_string(),
+                secs(times[0]),
+                secs(times[1]),
+                secs(times[2]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table IX: retraining time when workload drifts",
+            &["Model", "T-S Time", "T-C Time", "S-C Time"],
+            &rows,
+        )
+    );
+    println!("(T-S: Tencent→Sysbench, T-C: Tencent→TPCC, S-C: Sysbench→TPCC)");
+}

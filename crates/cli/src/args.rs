@@ -1,0 +1,243 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy keeps
+//! the CLI free of an argument-parser crate).
+
+use dbcatcher_workload::dataset::{Subset, WorkloadKind};
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+dbcatcher — cloud-database anomaly detection (DBCatcher, ICDE 2023)
+
+USAGE:
+  dbcatcher simulate  --kind <tencent|sysbench|tpcc> [--subset <mixed|irregular|periodic>]
+                      [--units N] [--ticks T] [--seed S] [--anomaly-ratio R] --out <ds.json>
+  dbcatcher detect    --data <ds.json> [--learn] [--train-frac F] [--out <verdicts.jsonl>]
+  dbcatcher evaluate  --data <ds.json> [--learn] [--train-frac F]
+  dbcatcher export-csv --data <ds.json> [--unit I] --out <unit.csv>
+  dbcatcher help
+";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset and write it as JSON.
+    Simulate {
+        /// Benchmark family.
+        kind: WorkloadKind,
+        /// Periodicity subset.
+        subset: Subset,
+        /// Number of units.
+        units: usize,
+        /// Ticks per unit.
+        ticks: usize,
+        /// Master seed.
+        seed: u64,
+        /// Target fraction of anomalous database-ticks.
+        anomaly_ratio: f64,
+        /// Output path.
+        out: String,
+    },
+    /// Stream a dataset through the detector, emitting verdicts.
+    Detect {
+        /// Dataset path.
+        data: String,
+        /// Learn thresholds on a leading fraction first.
+        learn: bool,
+        /// Fraction used for threshold learning when `--learn` is given.
+        train_frac: f64,
+        /// Optional JSONL output path (stdout when absent).
+        out: Option<String>,
+    },
+    /// Detect and score against the dataset's ground truth.
+    Evaluate {
+        /// Dataset path.
+        data: String,
+        /// Learn thresholds on a leading fraction first.
+        learn: bool,
+        /// Fraction used for threshold learning.
+        train_frac: f64,
+    },
+    /// Export one unit as CSV.
+    ExportCsv {
+        /// Dataset path.
+        data: String,
+        /// Unit index.
+        unit: usize,
+        /// Output path.
+        out: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
+    argv.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_num<T: std::str::FromStr>(argv: &[String], flag: &str, default: T) -> Result<T, String> {
+    match value(argv, flag) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for {flag}: {raw}")),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+/// A human-readable message for unknown commands, bad flags or missing
+/// required arguments.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(command) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" => {
+            let kind = match value(rest, "--kind").unwrap_or("tencent") {
+                "tencent" => WorkloadKind::Tencent,
+                "sysbench" => WorkloadKind::Sysbench,
+                "tpcc" => WorkloadKind::Tpcc,
+                other => return Err(format!("unknown workload kind: {other}")),
+            };
+            let subset = match value(rest, "--subset").unwrap_or("mixed") {
+                "mixed" => Subset::Mixed,
+                "irregular" => Subset::Irregular,
+                "periodic" => Subset::Periodic,
+                other => return Err(format!("unknown subset: {other}")),
+            };
+            Ok(Command::Simulate {
+                kind,
+                subset,
+                units: parse_num(rest, "--units", 4)?,
+                ticks: parse_num(rest, "--ticks", 400)?,
+                seed: parse_num(rest, "--seed", 1)?,
+                anomaly_ratio: parse_num(rest, "--anomaly-ratio", 0.035)?,
+                out: value(rest, "--out")
+                    .ok_or("simulate requires --out <path>")?
+                    .to_string(),
+            })
+        }
+        "detect" => Ok(Command::Detect {
+            data: value(rest, "--data")
+                .ok_or("detect requires --data <path>")?
+                .to_string(),
+            learn: rest.iter().any(|a| a == "--learn"),
+            train_frac: parse_num(rest, "--train-frac", 0.5)?,
+            out: value(rest, "--out").map(str::to_string),
+        }),
+        "evaluate" => Ok(Command::Evaluate {
+            data: value(rest, "--data")
+                .ok_or("evaluate requires --data <path>")?
+                .to_string(),
+            learn: rest.iter().any(|a| a == "--learn"),
+            train_frac: parse_num(rest, "--train-frac", 0.5)?,
+        }),
+        "export-csv" => Ok(Command::ExportCsv {
+            data: value(rest, "--data")
+                .ok_or("export-csv requires --data <path>")?
+                .to_string(),
+            unit: parse_num(rest, "--unit", 0)?,
+            out: value(rest, "--out")
+                .ok_or("export-csv requires --out <path>")?
+                .to_string(),
+        }),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn simulate_full() {
+        let cmd = parse(&argv(
+            "simulate --kind sysbench --subset periodic --units 6 --ticks 300 --seed 9 \
+             --anomaly-ratio 0.05 --out ds.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                kind: WorkloadKind::Sysbench,
+                subset: Subset::Periodic,
+                units: 6,
+                ticks: 300,
+                seed: 9,
+                anomaly_ratio: 0.05,
+                out: "ds.json".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let cmd = parse(&argv("simulate --out x.json")).unwrap();
+        match cmd {
+            Command::Simulate { kind, units, ticks, .. } => {
+                assert_eq!(kind, WorkloadKind::Tencent);
+                assert_eq!(units, 4);
+                assert_eq!(ticks, 400);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_requires_out() {
+        assert!(parse(&argv("simulate --kind tpcc")).is_err());
+    }
+
+    #[test]
+    fn detect_and_evaluate() {
+        let cmd = parse(&argv("detect --data ds.json --learn --out v.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Detect {
+                data: "ds.json".into(),
+                learn: true,
+                train_frac: 0.5,
+                out: Some("v.jsonl".into()),
+            }
+        );
+        let cmd = parse(&argv("evaluate --data ds.json --train-frac 0.6")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Evaluate {
+                data: "ds.json".into(),
+                learn: false,
+                train_frac: 0.6,
+            }
+        );
+    }
+
+    #[test]
+    fn export_csv() {
+        let cmd = parse(&argv("export-csv --data ds.json --unit 2 --out u.csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ExportCsv {
+                data: "ds.json".into(),
+                unit: 2,
+                out: "u.csv".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("simulate --kind nosql --out x")).is_err());
+        assert!(parse(&argv("simulate --units abc --out x")).is_err());
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+}

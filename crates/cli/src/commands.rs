@@ -1,0 +1,175 @@
+//! Command implementations.
+
+use crate::args::{Command, USAGE};
+use dbcatcher_core::config::DbCatcherConfig;
+use dbcatcher_core::pipeline::DbCatcher;
+use dbcatcher_eval::metrics::{adjusted_confusion, windowed_any};
+use dbcatcher_eval::methods::train_dbcatcher;
+use dbcatcher_eval::protocol::ProtocolConfig;
+use dbcatcher_workload::anomaly::AnomalyPlanConfig;
+use dbcatcher_workload::dataset::{Dataset, DatasetSpec, UnitData};
+use dbcatcher_workload::io::{export_unit_csv, load_dataset, save_dataset};
+use dbcatcher_workload::profile::RareEventConfig;
+use std::io::Write;
+
+/// Executes a parsed command.
+///
+/// # Errors
+/// A human-readable message on any failure.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Simulate {
+            kind,
+            subset,
+            units,
+            ticks,
+            seed,
+            anomaly_ratio,
+            out,
+        } => {
+            let spec = DatasetSpec {
+                name: format!("{} ({subset:?})", kind.name()),
+                kind,
+                subset,
+                num_units: units,
+                ticks,
+                databases_per_unit: 5,
+                anomalies: AnomalyPlanConfig {
+                    target_ratio: anomaly_ratio,
+                    ..AnomalyPlanConfig::default()
+                },
+                rare_events: RareEventConfig::default(),
+                seed,
+            };
+            let dataset = spec.build();
+            let stats = dataset.stats();
+            save_dataset(&dataset, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: {} units x 5 databases x {} KPIs, {} points, {:.2}% anomalous",
+                stats.units,
+                stats.dimensions,
+                stats.total_points,
+                stats.abnormal_ratio * 100.0
+            );
+            Ok(())
+        }
+        Command::Detect {
+            data,
+            learn,
+            train_frac,
+            out,
+        } => {
+            let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
+            let (config, test) = prepare(&dataset, learn, train_frac)?;
+            let mut sink: Box<dyn Write> = match out {
+                Some(path) => {
+                    Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?)
+                }
+                None => Box::new(std::io::stdout()),
+            };
+            let mut total = 0usize;
+            for (unit_idx, unit) in test.units.iter().enumerate() {
+                let mut catcher = DbCatcher::new(config.clone(), unit.num_databases())
+                    .with_participation(unit.participation.clone());
+                for t in 0..unit.num_ticks() {
+                    for v in catcher.ingest_tick(&unit.tick_matrix(t)) {
+                        if v.state.is_abnormal() {
+                            total += 1;
+                            let record = serde_json::json!({
+                                "unit": unit_idx,
+                                "db": v.db,
+                                "start_tick": v.start_tick,
+                                "end_tick": v.end_tick,
+                                "window_size": v.window_size,
+                                "expansions": v.expansions,
+                            });
+                            writeln!(sink, "{record}").map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+            }
+            eprintln!("{total} abnormal verdict(s)");
+            Ok(())
+        }
+        Command::Evaluate {
+            data,
+            learn,
+            train_frac,
+        } => {
+            let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
+            let (config, test) = prepare(&dataset, learn, train_frac)?;
+            let eval_w = 20usize;
+            let mut confusion = dbcatcher_eval::metrics::Confusion::default();
+            for unit in &test.units {
+                let mut catcher = DbCatcher::new(config.clone(), unit.num_databases())
+                    .with_participation(unit.participation.clone());
+                let mut tick_preds = vec![false; unit.num_ticks()];
+                for t in 0..unit.num_ticks() {
+                    for v in catcher.ingest_tick(&unit.tick_matrix(t)) {
+                        if v.state.is_abnormal() {
+                            let end = (v.end_tick as usize).min(unit.num_ticks());
+                            tick_preds[v.start_tick as usize..end]
+                                .iter_mut()
+                                .for_each(|p| *p = true);
+                        }
+                    }
+                }
+                let labels: Vec<bool> =
+                    (0..unit.num_ticks()).map(|t| unit.any_anomalous(t)).collect();
+                confusion.merge(&adjusted_confusion(
+                    &windowed_any(&tick_preds, eval_w),
+                    &windowed_any(&labels, eval_w),
+                ));
+            }
+            println!(
+                "precision {:.1}%  recall {:.1}%  f-measure {:.1}%  ({} windows)",
+                confusion.precision() * 100.0,
+                confusion.recall() * 100.0,
+                confusion.f_measure() * 100.0,
+                confusion.total()
+            );
+            Ok(())
+        }
+        Command::ExportCsv { data, unit, out } => {
+            let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
+            let unit_data: &UnitData = dataset
+                .units
+                .get(unit)
+                .ok_or_else(|| format!("unit {unit} of {}", dataset.units.len()))?;
+            export_unit_csv(unit_data, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: {} ticks x {} databases x {} KPIs",
+                unit_data.num_ticks(),
+                unit_data.num_databases(),
+                unit_data.num_kpis()
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Optionally learns thresholds on the leading fraction and returns the
+/// configuration plus the split to detect on.
+fn prepare(
+    dataset: &Dataset,
+    learn: bool,
+    train_frac: f64,
+) -> Result<(DbCatcherConfig, Dataset), String> {
+    if !(0.0..1.0).contains(&train_frac) {
+        return Err(format!("train-frac {train_frac} must lie in [0, 1)"));
+    }
+    if learn {
+        let (train, test) = dataset.split(train_frac);
+        let cfg = ProtocolConfig::default();
+        let (config, train_f1) = train_dbcatcher(&train, &cfg);
+        eprintln!("thresholds learned on {:.0}% of the data (train F-Measure {train_f1:.2})",
+            train_frac * 100.0);
+        Ok((config, test))
+    } else {
+        Ok((DbCatcherConfig::default(), dataset.clone()))
+    }
+}

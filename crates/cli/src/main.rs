@@ -1,0 +1,28 @@
+//! `dbcatcher` — command-line front end.
+//!
+//! ```text
+//! dbcatcher simulate --kind sysbench --units 4 --ticks 400 --seed 7 --out ds.json
+//! dbcatcher detect   --data ds.json --out verdicts.jsonl [--learn]
+//! dbcatcher evaluate --data ds.json [--learn]
+//! dbcatcher export-csv --data ds.json --unit 0 --out unit0.csv
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => {
+            if let Err(message) = commands::run(command) {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

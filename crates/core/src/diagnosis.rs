@@ -1,0 +1,154 @@
+//! Root-cause hinting (the paper's stated future work, §V: "how can root
+//! cause analysis be performed using database KPI time series?").
+//!
+//! A verdict already carries the aggregated per-KPI correlation scores of
+//! the judged window; [`diagnose`] ranks the KPIs by how far each fell
+//! below its threshold, producing the evidence a DBA (or a downstream
+//! classifier — see `dbcatcher-sim`'s cause interpretation) starts from.
+
+use crate::config::DbCatcherConfig;
+use crate::levels::{score_to_level, Level};
+use crate::pipeline::Verdict;
+use serde::{Deserialize, Serialize};
+
+/// One KPI's contribution to an abnormal verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KpiDeviation {
+    /// KPI index.
+    pub kpi: usize,
+    /// The aggregated correlation score of the judged window.
+    pub score: f64,
+    /// How far below the KPI's threshold α_i the score fell (positive =
+    /// deviating; the ranking key).
+    pub shortfall: f64,
+    /// The quantised level.
+    pub level: Level,
+}
+
+/// A ranked explanation of one verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// The judged database.
+    pub db: usize,
+    /// Window bounds of the verdict.
+    pub start_tick: u64,
+    /// One past the last judged tick.
+    pub end_tick: u64,
+    /// Deviating KPIs, most severe first (level-3 KPIs are omitted).
+    pub deviations: Vec<KpiDeviation>,
+}
+
+impl Diagnosis {
+    /// The single most deviating KPI, if any.
+    pub fn primary_suspect(&self) -> Option<&KpiDeviation> {
+        self.deviations.first()
+    }
+
+    /// Whether any KPI reached level-1 (extreme deviation).
+    pub fn has_extreme_deviation(&self) -> bool {
+        self.deviations
+            .iter()
+            .any(|d| d.level == Level::ExtremeDeviation)
+    }
+}
+
+/// Ranks a verdict's deviating KPIs against the configuration's
+/// thresholds.
+///
+/// # Panics
+/// Panics when the verdict's score arity mismatches the configuration.
+pub fn diagnose(verdict: &Verdict, config: &DbCatcherConfig) -> Diagnosis {
+    assert_eq!(
+        verdict.scores.len(),
+        config.num_kpis,
+        "verdict score arity mismatches configuration"
+    );
+    let mut deviations: Vec<KpiDeviation> = verdict
+        .scores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_nan())
+        .filter_map(|(kpi, &score)| {
+            let alpha = config.alphas[kpi];
+            let level = score_to_level(score, alpha, config.theta);
+            if level == Level::Correlated {
+                return None;
+            }
+            Some(KpiDeviation {
+                kpi,
+                score,
+                shortfall: alpha - score,
+                level,
+            })
+        })
+        .collect();
+    deviations.sort_by(|a, b| b.shortfall.total_cmp(&a.shortfall));
+    Diagnosis {
+        db: verdict.db,
+        start_tick: verdict.start_tick,
+        end_tick: verdict.end_tick,
+        deviations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DbState;
+
+    fn verdict(scores: Vec<f64>) -> Verdict {
+        Verdict {
+            db: 2,
+            start_tick: 40,
+            end_tick: 60,
+            state: DbState::Abnormal,
+            window_size: 20,
+            expansions: 0,
+            scores,
+        }
+    }
+
+    fn config(kpis: usize) -> DbCatcherConfig {
+        DbCatcherConfig::with_kpis(kpis)
+    }
+
+    #[test]
+    fn ranks_by_shortfall() {
+        // alphas 0.7, theta 0.2
+        let d = diagnose(&verdict(vec![0.9, 0.2, 0.55, 0.65]), &config(4));
+        let kpis: Vec<usize> = d.deviations.iter().map(|x| x.kpi).collect();
+        assert_eq!(kpis, vec![1, 2, 3]);
+        assert_eq!(d.primary_suspect().unwrap().kpi, 1);
+        assert!(d.has_extreme_deviation());
+        assert_eq!(d.deviations[0].level, Level::ExtremeDeviation);
+        assert_eq!(d.deviations[1].level, Level::SlightDeviation);
+    }
+
+    #[test]
+    fn healthy_verdict_has_no_deviations() {
+        let d = diagnose(&verdict(vec![0.9, 0.95, 0.99]), &config(3));
+        assert!(d.deviations.is_empty());
+        assert!(d.primary_suspect().is_none());
+        assert!(!d.has_extreme_deviation());
+    }
+
+    #[test]
+    fn non_participating_kpis_ignored() {
+        let d = diagnose(&verdict(vec![f64::NAN, 0.1, f64::NAN]), &config(3));
+        assert_eq!(d.deviations.len(), 1);
+        assert_eq!(d.deviations[0].kpi, 1);
+    }
+
+    #[test]
+    fn window_metadata_carried() {
+        let d = diagnose(&verdict(vec![0.1]), &config(1));
+        assert_eq!(d.db, 2);
+        assert_eq!((d.start_tick, d.end_tick), (40, 60));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatches")]
+    fn arity_mismatch_panics() {
+        let _ = diagnose(&verdict(vec![0.1, 0.2]), &config(3));
+    }
+}

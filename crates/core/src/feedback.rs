@@ -1,0 +1,278 @@
+//! Online feedback module (paper §III-A, Fig. 6).
+//!
+//! DBAs mark the verdicts the streaming module produced; the marked
+//! records accumulate in a bounded [`FeedbackModule`]. When the detection
+//! performance implied by the *current* thresholds drops below the
+//! criterion (the paper uses a minimum F-Measure of 75 %, §IV-D3), the
+//! module re-learns thresholds with the genetic algorithm by *re-playing*
+//! the recorded per-KPI scores under candidate thresholds.
+//!
+//! Re-playing a record applies the level/state decision to the scores of
+//! the *final* window that produced the verdict; the window-expansion
+//! dynamics are not re-simulated (DESIGN.md §3 — an approximation that
+//! keeps re-learning O(records × population)).
+
+use crate::ga::{learn_thresholds, Genes, GeneticConfig, LearnOutcome};
+use crate::levels::level_row;
+use crate::pipeline::Verdict;
+use crate::state::{determine_state, DbState};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One DBA-marked judgment record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JudgmentRecord {
+    /// Aggregated per-KPI scores of the judged window (`NaN` = KPI did not
+    /// participate).
+    pub scores: Vec<f64>,
+    /// The DBA's ground-truth mark: was the database actually abnormal?
+    pub label: bool,
+}
+
+/// Re-plays a record under candidate genes: would the detector have called
+/// it abnormal? Observable outcomes count as abnormal here, matching the
+/// default [`crate::config::ResolvePolicy`].
+pub fn replay_record(genes: &Genes, record: &JudgmentRecord) -> bool {
+    let row = level_row(&record.scores, &genes.alphas, genes.theta);
+    match determine_state(&row, genes.max_tolerance) {
+        DbState::Healthy => false,
+        DbState::Observable | DbState::Abnormal => true,
+    }
+}
+
+/// F-Measure of candidate genes over a record set.
+///
+/// Degenerate conventions: no records → 0; records but no positive labels
+/// and no false alarms → 1 (nothing to find, nothing invented).
+pub fn f_measure_on_records(genes: &Genes, records: &[JudgmentRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+    for r in records {
+        let predicted = replay_record(genes, r);
+        match (predicted, r.label) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fne += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return if fp == 0 && fne == 0 { 1.0 } else { 0.0 };
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fne) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// The bounded store of recent judgment records plus the retraining
+/// criterion.
+#[derive(Debug, Clone)]
+pub struct FeedbackModule {
+    records: VecDeque<JudgmentRecord>,
+    capacity: usize,
+    criterion: f64,
+}
+
+impl FeedbackModule {
+    /// Creates a module keeping the most recent `capacity` records and
+    /// triggering retraining below `criterion` F-Measure (paper: 0.75).
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize, criterion: f64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            criterion,
+        }
+    }
+
+    /// Records a DBA-marked verdict.
+    pub fn record(&mut self, verdict: &Verdict, dba_label: bool) {
+        self.push(JudgmentRecord {
+            scores: verdict.scores.clone(),
+            label: dba_label,
+        });
+    }
+
+    /// Records a raw judgment record.
+    pub fn push(&mut self, record: JudgmentRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The stored records, oldest first.
+    pub fn records(&self) -> Vec<JudgmentRecord> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// F-Measure the given genes achieve on the stored records.
+    pub fn current_f_measure(&self, genes: &Genes) -> f64 {
+        let records: Vec<JudgmentRecord> = self.records.iter().cloned().collect();
+        f_measure_on_records(genes, &records)
+    }
+
+    /// Whether retraining should run: there are marked anomalies to learn
+    /// from and the current thresholds miss the criterion ("the adaptive
+    /// threshold learning policy will only be activated if the original
+    /// thresholds don't meet this criterion", §IV-D3).
+    pub fn needs_retraining(&self, genes: &Genes) -> bool {
+        let has_positives = self.records.iter().any(|r| r.label);
+        has_positives && self.current_f_measure(genes) < self.criterion
+    }
+
+    /// Re-learns thresholds over the stored records with the GA.
+    pub fn retrain(&self, num_kpis: usize, cfg: &GeneticConfig) -> LearnOutcome {
+        let records: Vec<JudgmentRecord> = self.records.iter().cloned().collect();
+        learn_thresholds(num_kpis, cfg, |genes| f_measure_on_records(genes, &records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic records: healthy windows score ~0.9 everywhere, abnormal
+    /// windows drop one KPI to ~0.3.
+    fn synthetic_records(n: usize, kpis: usize) -> Vec<JudgmentRecord> {
+        (0..n)
+            .map(|i| {
+                let label = i % 5 == 0;
+                let scores = (0..kpis)
+                    .map(|k| {
+                        if label && k == i % kpis {
+                            0.3
+                        } else {
+                            0.9 - 0.01 * (i % 3) as f64
+                        }
+                    })
+                    .collect();
+                JudgmentRecord { scores, label }
+            })
+            .collect()
+    }
+
+    fn good_genes(kpis: usize) -> Genes {
+        Genes {
+            alphas: vec![0.7; kpis],
+            theta: 0.2,
+            max_tolerance: 2,
+        }
+    }
+
+    #[test]
+    fn replay_matches_level_semantics() {
+        let genes = good_genes(3);
+        let healthy = JudgmentRecord { scores: vec![0.9, 0.9, 0.9], label: false };
+        let abnormal = JudgmentRecord { scores: vec![0.9, 0.2, 0.9], label: true };
+        assert!(!replay_record(&genes, &healthy));
+        assert!(replay_record(&genes, &abnormal));
+    }
+
+    #[test]
+    fn f_measure_perfect_on_separable_records() {
+        let records = synthetic_records(50, 4);
+        let f1 = f_measure_on_records(&good_genes(4), &records);
+        assert!((f1 - 1.0).abs() < 1e-12, "f1 {f1}");
+    }
+
+    #[test]
+    fn f_measure_degenerate_conventions() {
+        assert_eq!(f_measure_on_records(&good_genes(2), &[]), 0.0);
+        let all_healthy = vec![JudgmentRecord { scores: vec![0.9, 0.9], label: false }; 5];
+        assert_eq!(f_measure_on_records(&good_genes(2), &all_healthy), 1.0);
+        let missed = vec![JudgmentRecord { scores: vec![0.9, 0.9], label: true }; 5];
+        assert_eq!(f_measure_on_records(&good_genes(2), &missed), 0.0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut m = FeedbackModule::new(3, 0.75);
+        for i in 0..5 {
+            m.push(JudgmentRecord { scores: vec![i as f64], label: false });
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.records()[0].scores[0], 2.0);
+    }
+
+    #[test]
+    fn needs_retraining_only_below_criterion() {
+        let mut m = FeedbackModule::new(100, 0.75);
+        for r in synthetic_records(50, 4) {
+            m.push(r);
+        }
+        // good thresholds: F1 = 1 → no retraining
+        assert!(!m.needs_retraining(&good_genes(4)));
+        // absurd thresholds: everything healthy → F1 = 0 → retrain
+        let blind = Genes { alphas: vec![0.0; 4], theta: 0.0, max_tolerance: 3 };
+        assert!(m.needs_retraining(&blind));
+    }
+
+    #[test]
+    fn no_positive_labels_never_retrains() {
+        let mut m = FeedbackModule::new(10, 0.75);
+        m.push(JudgmentRecord { scores: vec![0.9], label: false });
+        let blind = Genes { alphas: vec![0.0], theta: 0.0, max_tolerance: 3 };
+        assert!(!m.needs_retraining(&blind));
+    }
+
+    #[test]
+    fn retrain_recovers_performance() {
+        let mut m = FeedbackModule::new(200, 0.75);
+        for r in synthetic_records(100, 4) {
+            m.push(r);
+        }
+        // over-strict thresholds flag everything → precision collapses
+        let blind = Genes { alphas: vec![0.95; 4], theta: 0.01, max_tolerance: 0 };
+        let before = m.current_f_measure(&blind);
+        assert!(before < 0.75, "before {before}");
+        let outcome = m.retrain(
+            4,
+            &GeneticConfig {
+                generations: 25,
+                seed: 11,
+                ..GeneticConfig::default()
+            },
+        );
+        assert!(outcome.fitness > 0.95, "after {}", outcome.fitness);
+    }
+
+    #[test]
+    fn record_from_verdict() {
+        let verdict = Verdict {
+            db: 1,
+            start_tick: 0,
+            end_tick: 20,
+            state: crate::state::DbState::Abnormal,
+            window_size: 20,
+            expansions: 0,
+            scores: vec![0.2, 0.9],
+        };
+        let mut m = FeedbackModule::new(10, 0.75);
+        m.record(&verdict, true);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.records()[0].scores, vec![0.2, 0.9]);
+        assert!(m.records()[0].label);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FeedbackModule::new(0, 0.75);
+    }
+}

@@ -1,0 +1,321 @@
+//! Fleet detection: many units in parallel.
+//!
+//! The paper deploys DBCatcher over 50 units at once (§IV-D4). Units are
+//! independent, so detection shards perfectly: [`FleetDetector`] owns one
+//! [`DbCatcher`] per unit, partitions them across long-lived worker
+//! threads, and fans each monitoring tick out over crossbeam channels.
+
+use crate::config::DbCatcherConfig;
+use crate::pipeline::{ComponentTiming, DbCatcher, Verdict};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A verdict tagged with the unit that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetVerdict {
+    /// Index of the unit within the fleet.
+    pub unit: usize,
+    /// The unit-local verdict.
+    pub verdict: Verdict,
+}
+
+enum Job {
+    /// One tick's frames for this worker's units: `(unit index, frame)`.
+    Tick(Vec<(usize, Vec<Vec<f64>>)>),
+    Stop,
+}
+
+struct Worker {
+    jobs: Sender<Job>,
+    results: Receiver<Vec<FleetVerdict>>,
+    handle: Option<JoinHandle<()>>,
+    /// Unit indices owned by this worker.
+    units: Vec<usize>,
+}
+
+/// Shared end-of-run statistics, filled when workers stop.
+#[derive(Debug, Default)]
+struct FleetStats {
+    window_size_sum: f64,
+    verdict_count: u64,
+    timing: ComponentTiming,
+}
+
+/// Parallel detector over a fleet of units.
+pub struct FleetDetector {
+    workers: Vec<Worker>,
+    num_units: usize,
+    stats: Arc<Mutex<FleetStats>>,
+}
+
+impl FleetDetector {
+    /// Creates a fleet detector.
+    ///
+    /// * `config` — shared detector configuration (thresholds etc.);
+    /// * `units` — per-unit database counts;
+    /// * `participation` — optional per-unit participation masks;
+    /// * `workers` — worker threads (`0` = one per available core, capped
+    ///   at the unit count).
+    ///
+    /// # Panics
+    /// Panics when `units` is empty or a participation list mismatches.
+    pub fn new(
+        config: DbCatcherConfig,
+        units: &[usize],
+        participation: Option<Vec<Vec<Vec<bool>>>>,
+        workers: usize,
+    ) -> Self {
+        assert!(!units.is_empty(), "fleet needs at least one unit");
+        if let Some(masks) = &participation {
+            assert_eq!(masks.len(), units.len(), "participation arity mismatch");
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let worker_count = if workers == 0 { hw } else { workers }.min(units.len()).max(1);
+        let stats = Arc::new(Mutex::new(FleetStats::default()));
+
+        let mut catchers: Vec<Option<DbCatcher>> = units
+            .iter()
+            .enumerate()
+            .map(|(u, &dbs)| {
+                let mut c = DbCatcher::new(config.clone(), dbs);
+                if let Some(masks) = &participation {
+                    c = c.with_participation(masks[u].clone());
+                }
+                Some(c)
+            })
+            .collect();
+
+        let workers_vec = (0..worker_count)
+            .map(|w| {
+                let owned_units: Vec<usize> =
+                    (0..units.len()).filter(|u| u % worker_count == w).collect();
+                let mut owned: Vec<(usize, DbCatcher)> = owned_units
+                    .iter()
+                    .map(|&u| (u, catchers[u].take().expect("each unit owned once")))
+                    .collect();
+                let (job_tx, job_rx) = unbounded::<Job>();
+                let (res_tx, res_rx) = bounded::<Vec<FleetVerdict>>(1);
+                let stats = Arc::clone(&stats);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        match job {
+                            Job::Tick(frames) => {
+                                let mut out = Vec::new();
+                                for (unit, frame) in frames {
+                                    let catcher = owned
+                                        .iter_mut()
+                                        .find(|(u, _)| *u == unit)
+                                        .map(|(_, c)| c)
+                                        .expect("frame routed to owning worker");
+                                    for verdict in catcher.ingest_tick(&frame) {
+                                        out.push(FleetVerdict { unit, verdict });
+                                    }
+                                }
+                                if res_tx.send(out).is_err() {
+                                    break;
+                                }
+                            }
+                            Job::Stop => break,
+                        }
+                    }
+                    // merge end-of-run statistics
+                    let mut s = stats.lock();
+                    for (_, c) in &owned {
+                        let t = c.timing();
+                        s.timing.correlation += t.correlation;
+                        s.timing.observation += t.observation;
+                        // weighted by verdicts handled per catcher
+                        s.window_size_sum += c.average_window_size() * c.verdict_count() as f64;
+                        s.verdict_count += c.verdict_count();
+                    }
+                });
+                Worker {
+                    jobs: job_tx,
+                    results: res_rx,
+                    handle: Some(handle),
+                    units: owned_units,
+                }
+            })
+            .collect();
+
+        Self {
+            workers: workers_vec,
+            num_units: units.len(),
+            stats,
+        }
+    }
+
+    /// Number of units monitored.
+    pub fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Ingests one tick for the whole fleet: `frames[unit][db][kpi]`.
+    /// Returns every verdict that became final, in unit order.
+    ///
+    /// # Panics
+    /// Panics when `frames.len()` mismatches the fleet size.
+    pub fn ingest_tick(&mut self, frames: &[Vec<Vec<f64>>]) -> Vec<FleetVerdict> {
+        assert_eq!(frames.len(), self.num_units, "fleet frame arity mismatch");
+        // fan out
+        for worker in &self.workers {
+            let batch: Vec<(usize, Vec<Vec<f64>>)> = worker
+                .units
+                .iter()
+                .map(|&u| (u, frames[u].clone()))
+                .collect();
+            worker
+                .jobs
+                .send(Job::Tick(batch))
+                .expect("worker alive while detector exists");
+        }
+        // gather
+        let mut verdicts = Vec::new();
+        for worker in &self.workers {
+            verdicts.extend(worker.results.recv().expect("worker reply"));
+        }
+        verdicts.sort_by_key(|v| (v.unit, v.verdict.db, v.verdict.start_tick));
+        verdicts
+    }
+
+    /// Stops the workers and returns the fleet-wide mean window size and
+    /// accumulated component timing.
+    pub fn finish(mut self) -> (f64, ComponentTiming) {
+        self.shutdown();
+        let s = self.stats.lock();
+        let avg = if s.verdict_count == 0 {
+            0.0
+        } else {
+            s.window_size_sum / s.verdict_count as f64
+        };
+        (avg, s.timing)
+    }
+
+    fn shutdown(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.jobs.send(Job::Stop);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for FleetDetector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DelayScan;
+
+    fn frame(units: usize, dbs: usize, kpis: usize, t: usize) -> Vec<Vec<Vec<f64>>> {
+        (0..units)
+            .map(|u| {
+                (0..dbs)
+                    .map(|db| {
+                        (0..kpis)
+                            .map(|k| {
+                                let tf = t as f64;
+                                100.0 * (1.0 + 0.05 * db as f64 + u as f64)
+                                    + 30.0
+                                        * (std::f64::consts::TAU * (tf + k as f64) / 30.0).sin()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn config(kpis: usize) -> DbCatcherConfig {
+        DbCatcherConfig {
+            initial_window: 10,
+            max_window: 30,
+            delay_scan: DelayScan::Fixed(3),
+            ..DbCatcherConfig::with_kpis(kpis)
+        }
+    }
+
+    #[test]
+    fn fleet_matches_sequential_detection() {
+        let units = vec![3usize, 3, 3, 3];
+        let kpis = 4;
+        let ticks = 60;
+        // sequential reference
+        let mut seq: Vec<DbCatcher> = units
+            .iter()
+            .map(|&dbs| DbCatcher::new(config(kpis), dbs))
+            .collect();
+        let mut seq_verdicts = Vec::new();
+        for t in 0..ticks {
+            let frames = frame(4, 3, kpis, t);
+            for (u, catcher) in seq.iter_mut().enumerate() {
+                for v in catcher.ingest_tick(&frames[u]) {
+                    seq_verdicts.push(FleetVerdict { unit: u, verdict: v });
+                }
+            }
+        }
+        seq_verdicts.sort_by_key(|v| (v.unit, v.verdict.db, v.verdict.start_tick));
+
+        // fleet with 3 workers
+        let mut fleet = FleetDetector::new(config(kpis), &units, None, 3);
+        assert_eq!(fleet.num_workers(), 3);
+        let mut fleet_verdicts = Vec::new();
+        for t in 0..ticks {
+            fleet_verdicts.extend(fleet.ingest_tick(&frame(4, 3, kpis, t)));
+        }
+        fleet_verdicts.sort_by_key(|v| (v.unit, v.verdict.db, v.verdict.start_tick));
+        assert_eq!(seq_verdicts.len(), fleet_verdicts.len());
+        for (a, b) in seq_verdicts.iter().zip(&fleet_verdicts) {
+            assert_eq!(a.unit, b.unit);
+            assert_eq!(a.verdict, b.verdict);
+        }
+    }
+
+    #[test]
+    fn finish_reports_stats() {
+        let mut fleet = FleetDetector::new(config(3), &[2, 2], None, 2);
+        for t in 0..40 {
+            fleet.ingest_tick(&frame(2, 2, 3, t));
+        }
+        let (avg_window, timing) = fleet.finish();
+        assert!((avg_window - 10.0).abs() < 1e-9, "avg window {avg_window}");
+        assert!(timing.correlation > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_workers_auto_sizes() {
+        let fleet = FleetDetector::new(config(3), &[2, 2, 2], None, 0);
+        assert!(fleet.num_workers() >= 1);
+        assert!(fleet.num_workers() <= 3);
+        assert_eq!(fleet.num_units(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet frame arity")]
+    fn wrong_fleet_arity_panics() {
+        let mut fleet = FleetDetector::new(config(3), &[2, 2], None, 1);
+        fleet.ingest_tick(&frame(1, 2, 3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_fleet_panics() {
+        let _ = FleetDetector::new(config(3), &[], None, 1);
+    }
+}

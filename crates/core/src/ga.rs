@@ -1,0 +1,343 @@
+//! Adaptive threshold learning via a genetic algorithm (paper §III-D,
+//! Algorithm 2).
+//!
+//! An individual's genes are the detector's learnable thresholds: the
+//! per-KPI correlation thresholds α_i, the tolerance threshold θ and the
+//! maximum tolerance deviation number N. Fitness is detection performance
+//! (F-Measure) over recent judgment records, supplied by the caller as a
+//! closure so the GA is reusable for ablations (Fig. 11 compares it with
+//! simulated annealing and random search, implemented in the baselines
+//! crate on the same [`Genes`] type).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One individual's genes (paper: "multiple correlation thresholds α_i, a
+/// tolerance threshold θ, and a maximum tolerance deviation number N").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Genes {
+    /// Per-KPI correlation thresholds.
+    pub alphas: Vec<f64>,
+    /// Tolerance threshold.
+    pub theta: f64,
+    /// Maximum tolerance deviation number.
+    pub max_tolerance: usize,
+}
+
+impl Genes {
+    /// Random genes within the configured initial ranges.
+    pub fn random(num_kpis: usize, cfg: &GeneticConfig, rng: &mut StdRng) -> Self {
+        Self {
+            alphas: (0..num_kpis)
+                .map(|_| rng.gen_range(cfg.alpha_range.0..=cfg.alpha_range.1))
+                .collect(),
+            theta: rng.gen_range(cfg.theta_range.0..=cfg.theta_range.1),
+            max_tolerance: rng.gen_range(cfg.tolerance_range.0..=cfg.tolerance_range.1),
+        }
+    }
+}
+
+/// Genetic-algorithm hyper-parameters. Defaults follow §III-D: initial
+/// α_i ∈ [0.6, 0.8], θ ∈ [0.1, 0.3], N ∈ [0, 3], learning rate Δ = 0.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneticConfig {
+    /// Individuals per generation (the paper's M).
+    pub population: usize,
+    /// Generations (the paper's number of iterations N).
+    pub generations: usize,
+    /// Mutation probability β per offspring.
+    pub mutation_prob: f64,
+    /// Mutation step Δ applied to correlation thresholds.
+    pub learning_rate: f64,
+    /// Initial sampling range for α_i.
+    pub alpha_range: (f64, f64),
+    /// Hard bounds α_i may mutate into ("explore the remaining threshold
+    /// space", §III-D).
+    pub alpha_bounds: (f64, f64),
+    /// Initial/resampling range for θ.
+    pub theta_range: (f64, f64),
+    /// Initial/resampling range for N.
+    pub tolerance_range: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        Self {
+            population: 20,
+            generations: 30,
+            mutation_prob: 0.25,
+            learning_rate: 0.1,
+            alpha_range: (0.6, 0.8),
+            alpha_bounds: (0.3, 0.99),
+            theta_range: (0.1, 0.3),
+            tolerance_range: (0, 3),
+            seed: 0x6E6E,
+        }
+    }
+}
+
+/// Outcome of a threshold-learning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnOutcome {
+    /// Best genes found.
+    pub genes: Genes,
+    /// Their fitness.
+    pub fitness: f64,
+    /// Fitness evaluations spent (comparability with SAA/random search).
+    pub evaluations: usize,
+}
+
+/// Runs Algorithm 2 and returns the historically best individual.
+///
+/// # Panics
+/// Panics when `num_kpis == 0` or `population < 2`.
+pub fn learn_thresholds(
+    num_kpis: usize,
+    cfg: &GeneticConfig,
+    mut fitness: impl FnMut(&Genes) -> f64,
+) -> LearnOutcome {
+    assert!(num_kpis > 0, "need at least one KPI");
+    assert!(cfg.population >= 2, "population must be >= 2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut population: Vec<Genes> = (0..cfg.population)
+        .map(|_| Genes::random(num_kpis, cfg, &mut rng))
+        .collect();
+    let mut evaluations = 0usize;
+    let mut best: Option<(Genes, f64)> = None;
+
+    for _generation in 0..cfg.generations {
+        // Get Individuals Performance
+        let scores: Vec<f64> = population
+            .iter()
+            .map(|g| {
+                evaluations += 1;
+                fitness(g)
+            })
+            .collect();
+        // Save θ_best (elitism over history)
+        for (g, &s) in population.iter().zip(&scores) {
+            if best.as_ref().map(|(_, b)| s > *b).unwrap_or(true) {
+                best = Some((g.clone(), s));
+            }
+        }
+        // Evict Poor Performance Individuals: keep the better half.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let keep = (population.len() / 2).max(1);
+        let survivors: Vec<Genes> = order[..keep].iter().map(|&i| population[i].clone()).collect();
+        let survivor_scores: Vec<f64> = order[..keep].iter().map(|&i| scores[i]).collect();
+
+        // Refill via roulette selection + crossover + mutation.
+        let mut next = survivors.clone();
+        while next.len() < cfg.population {
+            let a = roulette(&survivor_scores, &mut rng);
+            let b = roulette(&survivor_scores, &mut rng);
+            let (mut child1, child2) = crossover(&survivors[a], &survivors[b], &mut rng);
+            if rng.gen_bool(cfg.mutation_prob.clamp(0.0, 1.0)) {
+                mutate(&mut child1, cfg, &mut rng);
+            }
+            next.push(child1);
+            if next.len() < cfg.population {
+                let mut child2 = child2;
+                if rng.gen_bool(cfg.mutation_prob.clamp(0.0, 1.0)) {
+                    mutate(&mut child2, cfg, &mut rng);
+                }
+                next.push(child2);
+            }
+        }
+        population = next;
+    }
+    // Final evaluation pass so the last generation also competes.
+    for g in &population {
+        evaluations += 1;
+        let s = fitness(g);
+        if best.as_ref().map(|(_, b)| s > *b).unwrap_or(true) {
+            best = Some((g.clone(), s));
+        }
+    }
+    let (genes, fitness_value) = best.expect("population non-empty");
+    LearnOutcome {
+        genes,
+        fitness: fitness_value,
+        evaluations,
+    }
+}
+
+/// Roulette-wheel selection (Eq. 6): probability proportional to fitness.
+/// Uniform fallback when all fitness is zero.
+fn roulette(scores: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = scores.iter().map(|s| s.max(0.0)).sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..scores.len());
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, s) in scores.iter().enumerate() {
+        target -= s.max(0.0);
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    scores.len() - 1
+}
+
+/// Single-point crossover on the α vector; θ and N are inherited randomly
+/// from either parent (paper's crossover strategy).
+fn crossover(x: &Genes, y: &Genes, rng: &mut StdRng) -> (Genes, Genes) {
+    let n = x.alphas.len();
+    let m = if n > 1 { rng.gen_range(1..n) } else { 0 };
+    let mut a1 = x.alphas[..m].to_vec();
+    a1.extend_from_slice(&y.alphas[m..]);
+    let mut a2 = y.alphas[..m].to_vec();
+    a2.extend_from_slice(&x.alphas[m..]);
+    let pick = |rng: &mut StdRng, a: f64, b: f64| if rng.gen_bool(0.5) { a } else { b };
+    let pick_usize = |rng: &mut StdRng, a: usize, b: usize| if rng.gen_bool(0.5) { a } else { b };
+    (
+        Genes {
+            alphas: a1,
+            theta: pick(rng, x.theta, y.theta),
+            max_tolerance: pick_usize(rng, x.max_tolerance, y.max_tolerance),
+        },
+        Genes {
+            alphas: a2,
+            theta: pick(rng, y.theta, x.theta),
+            max_tolerance: pick_usize(rng, y.max_tolerance, x.max_tolerance),
+        },
+    )
+}
+
+/// Mutation: every α_i randomly steps ±Δ (clamped to the bounds); θ and N
+/// resample within their ranges (paper's mutation strategy).
+fn mutate(genes: &mut Genes, cfg: &GeneticConfig, rng: &mut StdRng) {
+    for a in genes.alphas.iter_mut() {
+        let step = if rng.gen_bool(0.5) { cfg.learning_rate } else { -cfg.learning_rate };
+        *a = (*a + step).clamp(cfg.alpha_bounds.0, cfg.alpha_bounds.1);
+    }
+    genes.theta = rng.gen_range(cfg.theta_range.0..=cfg.theta_range.1);
+    genes.max_tolerance = rng.gen_range(cfg.tolerance_range.0..=cfg.tolerance_range.1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_known_optimum_region() {
+        // Fitness peaks when every alpha is near 0.72 and theta near 0.18.
+        let cfg = GeneticConfig {
+            generations: 40,
+            population: 24,
+            seed: 5,
+            ..GeneticConfig::default()
+        };
+        let outcome = learn_thresholds(4, &cfg, |g| {
+            let alpha_err: f64 = g.alphas.iter().map(|a| (a - 0.72).abs()).sum::<f64>() / 4.0;
+            let theta_err = (g.theta - 0.18).abs();
+            (1.0 - alpha_err * 4.0 - theta_err * 2.0).max(0.0)
+        });
+        assert!(outcome.fitness > 0.85, "fitness {}", outcome.fitness);
+        for a in &outcome.genes.alphas {
+            assert!((a - 0.72).abs() < 0.08, "alpha {a}");
+        }
+    }
+
+    #[test]
+    fn beats_single_random_draw() {
+        // GA must end at least as good as its own initial population best.
+        let cfg = GeneticConfig {
+            generations: 10,
+            seed: 9,
+            ..GeneticConfig::default()
+        };
+        let target = |g: &Genes| 1.0 - (g.theta - 0.25).abs();
+        let outcome = learn_thresholds(3, &cfg, target);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let first = Genes::random(3, &cfg, &mut rng);
+        assert!(outcome.fitness >= target(&first));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneticConfig {
+            generations: 5,
+            seed: 3,
+            ..GeneticConfig::default()
+        };
+        let f = |g: &Genes| g.alphas.iter().sum::<f64>();
+        let a = learn_thresholds(3, &cfg, f);
+        let b = learn_thresholds(3, &cfg, f);
+        assert_eq!(a.genes, b.genes);
+    }
+
+    #[test]
+    fn genes_within_bounds_after_learning() {
+        let cfg = GeneticConfig {
+            generations: 20,
+            seed: 13,
+            ..GeneticConfig::default()
+        };
+        let outcome = learn_thresholds(5, &cfg, |g| g.alphas.iter().map(|a| 1.0 - a).sum());
+        for a in &outcome.genes.alphas {
+            assert!(
+                (cfg.alpha_bounds.0..=cfg.alpha_bounds.1).contains(a),
+                "alpha {a} out of bounds"
+            );
+        }
+        assert!(outcome.genes.theta >= cfg.theta_range.0 && outcome.genes.theta <= cfg.theta_range.1);
+        assert!(outcome.genes.max_tolerance <= cfg.tolerance_range.1);
+    }
+
+    #[test]
+    fn evaluation_budget_accounted() {
+        let cfg = GeneticConfig {
+            population: 10,
+            generations: 7,
+            seed: 1,
+            ..GeneticConfig::default()
+        };
+        let outcome = learn_thresholds(2, &cfg, |_| 0.5);
+        // generations * population + final pass
+        assert_eq!(outcome.evaluations, 7 * 10 + 10);
+    }
+
+    #[test]
+    fn zero_fitness_everywhere_still_terminates() {
+        let cfg = GeneticConfig {
+            generations: 5,
+            seed: 2,
+            ..GeneticConfig::default()
+        };
+        let outcome = learn_thresholds(3, &cfg, |_| 0.0);
+        assert_eq!(outcome.fitness, 0.0);
+        assert_eq!(outcome.genes.alphas.len(), 3);
+    }
+
+    #[test]
+    fn crossover_preserves_arity_and_material() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Genes { alphas: vec![0.6, 0.6, 0.6], theta: 0.1, max_tolerance: 0 };
+        let y = Genes { alphas: vec![0.8, 0.8, 0.8], theta: 0.3, max_tolerance: 3 };
+        let (c1, c2) = crossover(&x, &y, &mut rng);
+        assert_eq!(c1.alphas.len(), 3);
+        assert_eq!(c2.alphas.len(), 3);
+        // every child allele comes from a parent
+        for c in [&c1, &c2] {
+            assert!(c.alphas.iter().all(|&a| a == 0.6 || a == 0.8));
+            assert!(c.theta == 0.1 || c.theta == 0.3);
+            assert!(c.max_tolerance == 0 || c.max_tolerance == 3);
+        }
+        // crossover actually mixes: the two children are complementary
+        for i in 0..3 {
+            assert!((c1.alphas[i] - c2.alphas[i]).abs() > 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be >= 2")]
+    fn tiny_population_panics() {
+        let cfg = GeneticConfig { population: 1, ..GeneticConfig::default() };
+        let _ = learn_thresholds(2, &cfg, |_| 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Key Correlation Distance (paper §III-B, Eq. 1–4).
+//!
+//! KCD scores the trend correlation of two equally long KPI windows while
+//! tolerating *point-in-time delays*: a small phase offset between the two
+//! series caused by per-database collection/processing lag.
+//!
+//! Pipeline per pair:
+//! 1. min–max normalise both windows (Eq. 1 — trends, not magnitudes);
+//! 2. for every candidate delay `s ∈ [−m, m]`, align the overlapping parts
+//!    (Eq. 2), mean-centre them, and take their dot product (Eq. 3);
+//! 3. normalise each lag's product by the L2 norms of the centred overlaps
+//!    and keep the maximum (Eq. 4) — yielding a score in [−1, 1].
+//!
+//! Degenerate conventions (paper §III-B "unused database" handling):
+//! constant-vs-constant scores 1, constant-vs-varying scores 0.
+
+use dbcatcher_signal::normalize::min_max;
+
+/// Correlation of the two overlapping, mean-centred segments.
+///
+/// `xs` and `ys` must be equally long; returns a value in [−1, 1].
+fn centered_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut dot = 0.0;
+    let mut nx = 0.0;
+    let mut ny = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        dot += dx * dy;
+        nx += dx * dx;
+        ny += dy * dy;
+    }
+    if nx == 0.0 && ny == 0.0 {
+        return 1.0; // both segments constant: identical trend
+    }
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0; // one flat, one varying: no trend agreement
+    }
+    (dot / (nx.sqrt() * ny.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// KCD over pre-normalised windows, scanning lags `0..=max_delay` in both
+/// directions. Exposed for callers that already hold normalised data.
+pub fn kcd_normalized(x: &[f64], y: &[f64], max_delay: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "KCD windows must be equally long");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Never let the overlap shrink below 2 points.
+    let max_s = max_delay.min(n.saturating_sub(2));
+    let mut best = f64::NEG_INFINITY;
+    for s in 0..=max_s {
+        let len = n - s;
+        // x delayed by s (x's sample i matches y's sample i−s)
+        let c1 = centered_correlation(&x[s..s + len], &y[..len]);
+        // y delayed by s
+        let c2 = centered_correlation(&x[..len], &y[s..s + len]);
+        best = best.max(c1).max(c2);
+        if best >= 1.0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Key Correlation Distance of two raw KPI windows (Eq. 1–4).
+///
+/// `max_delay` is the largest phase offset scanned (the paper uses
+/// `n / 2`; see [`crate::config::DelayScan`]).
+///
+/// ```
+/// use dbcatcher_core::kcd::kcd;
+///
+/// // y is x collected 2 ticks late — a point-in-time delay.
+/// let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+/// let y: Vec<f64> = (0..30).map(|i| ((i as f64 - 2.0) * 0.4).sin()).collect();
+/// assert!(kcd(&x, &y, 3) > 0.99);  // the lag scan recovers the trend match
+/// assert!(kcd(&x, &y, 0) < 0.95);  // a lag-zero measure (Pearson) does not
+/// ```
+///
+/// # Panics
+/// Panics when the windows differ in length.
+pub fn kcd(x: &[f64], y: &[f64], max_delay: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "KCD windows must be equally long");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let xn = min_max(x);
+    let yn = min_max(y);
+    kcd_normalized(&xn, &yn, max_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    fn sine(n: usize, period: f64, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * (i as f64 + phase) / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn identical_series_score_one() {
+        let x = sine(40, 13.0, 0.0);
+        close(kcd(&x, &x, 20), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn scaled_and_shifted_series_score_one() {
+        // KCD measures trends: affine transforms of the same signal must be
+        // perfectly correlated.
+        let x = sine(40, 13.0, 0.0);
+        let y: Vec<f64> = x.iter().map(|v| 3.5 * v + 100.0).collect();
+        close(kcd(&x, &y, 20), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn anti_correlated_series_score_minus_one_at_lag_zero() {
+        let x = ramp(20);
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        // lag scans can find spurious positive alignment on monotone ramps;
+        // with max_delay 0 the score is exactly -1.
+        close(kcd(&x, &y, 0), -1.0, 1e-9);
+    }
+
+    #[test]
+    fn delay_recovered_by_lag_scan() {
+        // y is x delayed by 3 ticks — KCD with sufficient scan range must
+        // recover the full correlation; Pearson (lag 0) must not.
+        let n = 60;
+        let base = sine(n + 3, 17.0, 0.0);
+        let x: Vec<f64> = base[3..].to_vec();
+        let y: Vec<f64> = base[..n].to_vec();
+        let with_scan = kcd(&x, &y, 5);
+        let lag_zero = kcd(&x, &y, 0);
+        close(with_scan, 1.0, 1e-6);
+        assert!(
+            with_scan > lag_zero + 0.05,
+            "scan {with_scan} vs lag-zero {lag_zero}"
+        );
+    }
+
+    #[test]
+    fn negative_direction_delay_also_recovered() {
+        let n = 60;
+        let base = sine(n + 4, 17.0, 0.0);
+        let x: Vec<f64> = base[..n].to_vec(); // x lags y
+        let y: Vec<f64> = base[4..].to_vec();
+        close(kcd(&x, &y, 6), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn constant_conventions() {
+        let c1 = vec![5.0; 20];
+        let c2 = vec![9.0; 20];
+        let varying = sine(20, 7.0, 0.0);
+        close(kcd(&c1, &c2, 10), 1.0, 1e-12);
+        close(kcd(&c1, &varying, 10), 0.0, 1e-12);
+        close(kcd(&varying, &c1, 10), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn empty_and_short_windows() {
+        assert_eq!(kcd(&[], &[], 5), 0.0);
+        // length 1: both "constant"
+        close(kcd(&[3.0], &[7.0], 5), 1.0, 1e-12);
+        // length 2
+        close(kcd(&[0.0, 1.0], &[5.0, 9.0], 5), 1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn length_mismatch_panics() {
+        let _ = kcd(&[1.0, 2.0], &[1.0], 3);
+    }
+
+    #[test]
+    fn score_bounded() {
+        // pseudo-random pairs stay within [-1, 1]
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..30).map(|_| next()).collect();
+            let y: Vec<f64> = (0..30).map(|_| next()).collect();
+            let s = kcd(&x, &y, 15);
+            assert!((-1.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn uncorrelated_noise_scores_below_correlated_trend() {
+        let mut state = 1234u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let noise_a: Vec<f64> = (0..40).map(|_| next()).collect();
+        let noise_b: Vec<f64> = (0..40).map(|_| next()).collect();
+        let trend = sine(40, 11.0, 0.0);
+        let trend_noisy: Vec<f64> = trend.iter().enumerate().map(|(i, v)| v + 0.1 * noise_a[i]).collect();
+        let corr_trend = kcd(&trend, &trend_noisy, 5);
+        let corr_noise = kcd(&noise_a, &noise_b, 5);
+        assert!(
+            corr_trend > corr_noise + 0.2,
+            "trend {corr_trend} vs noise {corr_noise}"
+        );
+    }
+
+    #[test]
+    fn kcd_symmetric() {
+        let x = sine(33, 9.0, 0.0);
+        let y: Vec<f64> = sine(33, 9.0, 2.0).iter().map(|v| v * 2.0 + 1.0).collect();
+        close(kcd(&x, &y, 10), kcd(&y, &x, 10), 1e-12);
+    }
+
+    #[test]
+    fn larger_scan_never_lowers_score() {
+        let x = sine(40, 13.0, 0.0);
+        let y = sine(40, 13.0, 4.0);
+        let mut prev = f64::NEG_INFINITY;
+        for d in 0..10 {
+            let s = kcd(&x, &y, d);
+            assert!(s >= prev - 1e-12, "d={d}: {s} < {prev}");
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Correlation levels (paper §III-C, Algorithm 1).
+//!
+//! A KCD score quantises into three levels against a per-KPI threshold
+//! `α` and the tolerance `θ`:
+//!
+//! * **level-1** (extreme deviation): `score < α − θ`
+//! * **level-2** (slight deviation): `α − θ ≤ score < α`
+//! * **level-3** (correlated): `score ≥ α`
+//!
+//! (The paper's prose for the boundaries is self-contradictory; this is
+//! the consistent reading — see DESIGN.md §3.1.)
+//!
+//! A database has N−1 pairwise scores per KPI; [`aggregate_scores`]
+//! reduces them to one score before quantisation (DESIGN.md §3.2).
+
+use crate::config::LevelAggregation;
+use dbcatcher_signal::stats::{mean, median};
+use serde::{Deserialize, Serialize};
+
+/// Correlation level of one database on one KPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Level-1: extreme deviation.
+    ExtremeDeviation,
+    /// Level-2: slight deviation.
+    SlightDeviation,
+    /// Level-3: correlated.
+    Correlated,
+}
+
+impl Level {
+    /// The paper's numeric level (1, 2 or 3).
+    pub fn number(self) -> u8 {
+        match self {
+            Level::ExtremeDeviation => 1,
+            Level::SlightDeviation => 2,
+            Level::Correlated => 3,
+        }
+    }
+}
+
+/// `ScoreToLevel` of Algorithm 1.
+pub fn score_to_level(score: f64, alpha: f64, theta: f64) -> Level {
+    if score < alpha - theta {
+        Level::ExtremeDeviation
+    } else if score < alpha {
+        Level::SlightDeviation
+    } else {
+        Level::Correlated
+    }
+}
+
+/// Reduces a database's pairwise scores to one per-KPI score.
+///
+/// Returns `None` when the database has no participating peers (the KPI
+/// then casts no vote on the database's state).
+pub fn aggregate_scores(scores: &[f64], aggregation: LevelAggregation) -> Option<f64> {
+    if scores.is_empty() {
+        return None;
+    }
+    Some(match aggregation {
+        LevelAggregation::Median => median(scores),
+        LevelAggregation::Min => scores.iter().cloned().fold(f64::INFINITY, f64::min),
+        LevelAggregation::Mean => mean(scores),
+    })
+}
+
+/// Per-database level vector over all KPIs (the `D[j, ·]` row of
+/// Algorithm 1). `None` entries are KPIs where the database does not
+/// participate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelRow {
+    /// One entry per KPI.
+    pub levels: Vec<Option<Level>>,
+    /// The aggregated score that produced each level (for judgment
+    /// records / threshold re-learning). `NaN` where not participating.
+    pub scores: Vec<f64>,
+}
+
+impl LevelRow {
+    /// Counts of (level-1, level-2, level-3) across participating KPIs.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for level in self.levels.iter().flatten() {
+            match level {
+                Level::ExtremeDeviation => c.0 += 1,
+                Level::SlightDeviation => c.1 += 1,
+                Level::Correlated => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Builds a database's [`LevelRow`] from its aggregated per-KPI scores.
+///
+/// `scores[kpi]` must be `NaN` for KPIs where the database does not
+/// participate.
+///
+/// # Panics
+/// Panics when `scores` and `alphas` lengths differ.
+pub fn level_row(scores: &[f64], alphas: &[f64], theta: f64) -> LevelRow {
+    assert_eq!(scores.len(), alphas.len(), "score/alpha arity mismatch");
+    let levels = scores
+        .iter()
+        .zip(alphas)
+        .map(|(&s, &a)| {
+            if s.is_nan() {
+                None
+            } else {
+                Some(score_to_level(s, a, theta))
+            }
+        })
+        .collect();
+    LevelRow {
+        levels,
+        scores: scores.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_follow_design_reading() {
+        let (alpha, theta) = (0.7, 0.2);
+        assert_eq!(score_to_level(0.49, alpha, theta), Level::ExtremeDeviation);
+        assert_eq!(score_to_level(0.50, alpha, theta), Level::SlightDeviation);
+        assert_eq!(score_to_level(0.69, alpha, theta), Level::SlightDeviation);
+        assert_eq!(score_to_level(0.70, alpha, theta), Level::Correlated);
+        assert_eq!(score_to_level(1.0, alpha, theta), Level::Correlated);
+        assert_eq!(score_to_level(-1.0, alpha, theta), Level::ExtremeDeviation);
+    }
+
+    #[test]
+    fn level_numbers() {
+        assert_eq!(Level::ExtremeDeviation.number(), 1);
+        assert_eq!(Level::SlightDeviation.number(), 2);
+        assert_eq!(Level::Correlated.number(), 3);
+    }
+
+    #[test]
+    fn aggregation_median_robust_to_one_bad_peer() {
+        // db correlates with 3 of 4 peers; one pairwise score is low
+        // (because *that peer* is anomalous). Median keeps this db clean.
+        let scores = [0.95, 0.92, 0.2, 0.94];
+        let med = aggregate_scores(&scores, LevelAggregation::Median).unwrap();
+        assert!(med > 0.9, "median {med}");
+        let min = aggregate_scores(&scores, LevelAggregation::Min).unwrap();
+        assert!((min - 0.2).abs() < 1e-12);
+        let mean = aggregate_scores(&scores, LevelAggregation::Mean).unwrap();
+        assert!(mean > 0.7 && mean < 0.9);
+    }
+
+    #[test]
+    fn aggregation_empty_is_none() {
+        assert_eq!(aggregate_scores(&[], LevelAggregation::Median), None);
+    }
+
+    #[test]
+    fn level_row_counts_and_nan_handling() {
+        let scores = [0.9, f64::NAN, 0.55, 0.3];
+        let alphas = [0.7, 0.7, 0.7, 0.7];
+        let row = level_row(&scores, &alphas, 0.2);
+        assert_eq!(row.levels[0], Some(Level::Correlated));
+        assert_eq!(row.levels[1], None);
+        assert_eq!(row.levels[2], Some(Level::SlightDeviation));
+        assert_eq!(row.levels[3], Some(Level::ExtremeDeviation));
+        assert_eq!(row.counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn level_row_per_kpi_alphas() {
+        // the same score can be level-3 under a loose alpha and level-1
+        // under a strict one
+        let scores = [0.65, 0.65];
+        let alphas = [0.6, 0.9];
+        let row = level_row(&scores, &alphas, 0.1);
+        assert_eq!(row.levels[0], Some(Level::Correlated));
+        assert_eq!(row.levels[1], Some(Level::ExtremeDeviation));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn level_row_arity_mismatch_panics() {
+        let _ = level_row(&[0.5], &[0.7, 0.7], 0.2);
+    }
+
+    #[test]
+    fn all_participating_all_correlated() {
+        let scores = [0.95; 14];
+        let alphas = [0.7; 14];
+        let row = level_row(&scores, &alphas, 0.2);
+        assert_eq!(row.counts(), (0, 0, 14));
+    }
+}

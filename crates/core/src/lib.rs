@@ -1,0 +1,60 @@
+//! # dbcatcher-core
+//!
+//! The core of the DBCatcher reproduction (ICDE 2023): an online anomaly
+//! detection system for cloud-database units based on **indicator
+//! correlation**.
+//!
+//! The paper's three key techniques, each in its own module:
+//!
+//! 1. **Efficient time-series correlation measurement** (§III-B) — the
+//!    *Key Correlation Distance* ([`kcd`]): a delay-tolerant, normalised
+//!    cross-correlation score, collected per KPI into symmetric
+//!    [`matrix::CorrelationMatrix`] values.
+//! 2. **Flexible time-window observation** (§III-C) — scores quantise into
+//!    three [`levels::Level`]s against per-KPI thresholds; level counts
+//!    decide a per-window [`state::DbState`]; an *observable* database's
+//!    window expands ([`window`]) until the state resolves or the maximum
+//!    window is hit.
+//! 3. **Adaptive threshold learning** (§III-D) — a genetic algorithm
+//!    ([`ga`]) re-fits the thresholds from recent judgment records when the
+//!    online feedback module ([`feedback`]) sees detection performance
+//!    fall below the criterion.
+//!
+//! [`pipeline::DbCatcher`] glues them into the streaming system of paper
+//! Fig. 6: ingest one monitoring frame per 5-second tick, receive final
+//! *healthy*/*abnormal* verdicts per database and window.
+//!
+//! This crate is substrate-agnostic: it consumes `db × kpi` matrices of
+//! `f64` and knows nothing about MySQL or the simulator. Table II
+//! semantics (primary exclusion on replica-only KPIs) enter through the
+//! participation mask of [`config::DbCatcherConfig`].
+
+// Index-based loops over matrix/tensor dimensions are clearer than
+// iterator chains in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod config;
+pub mod diagnosis;
+pub mod feedback;
+pub mod fleet;
+pub mod ga;
+pub mod kcd;
+pub mod levels;
+pub mod matrix;
+pub mod pipeline;
+pub mod queues;
+pub mod snapshot;
+pub mod state;
+pub mod window;
+
+pub use config::{DbCatcherConfig, DelayScan, LevelAggregation, ResolvePolicy};
+pub use diagnosis::{diagnose, Diagnosis};
+pub use feedback::{FeedbackModule, JudgmentRecord};
+pub use fleet::{FleetDetector, FleetVerdict};
+pub use ga::{Genes, GeneticConfig};
+pub use kcd::kcd;
+pub use levels::Level;
+pub use matrix::CorrelationMatrix;
+pub use pipeline::{ComponentTiming, DbCatcher, Verdict};
+pub use snapshot::DetectorSnapshot;
+pub use state::DbState;

@@ -1,0 +1,221 @@
+//! Correlation matrices (paper §III-B, Eq. 5).
+//!
+//! One [`CorrelationMatrix`] holds the pairwise KCD scores of all N
+//! databases for *one* KPI over one window; the detector maintains Q of
+//! them. The matrix is symmetric with unit diagonal, so only the strict
+//! upper triangle is stored (the paper: "there is no need to save the
+//! information of the lower triangular matrix").
+
+use crate::kcd::kcd;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric N×N correlation matrix, packed upper-triangular.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationMatrix {
+    n: usize,
+    /// Strict upper triangle, row-major: (0,1), (0,2), …, (n-2,n-1).
+    scores: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// An identity-like matrix (all off-diagonal scores zero).
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            scores: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Builds the matrix for one KPI from per-database windows.
+    ///
+    /// * `windows[db]` — the KPI window of each database (equal lengths);
+    /// * `participates[db]` — Table II / unused-database mask: pairs with a
+    ///   non-participating member score 0 (paper: "all of its KPIs'
+    ///   correlation scores are set to 0");
+    /// * `max_delay` — KCD lag-scan bound.
+    ///
+    /// # Panics
+    /// Panics when `participates.len() != windows.len()` or window lengths
+    /// differ.
+    pub fn from_windows(windows: &[&[f64]], participates: &[bool], max_delay: usize) -> Self {
+        let n = windows.len();
+        assert_eq!(participates.len(), n, "participation mask arity mismatch");
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let score = if participates[i] && participates[j] {
+                    kcd(windows[i], windows[j], max_delay)
+                } else {
+                    0.0
+                };
+                m.set(i, j, score);
+            }
+        }
+        m
+    }
+
+    /// Number of databases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (no databases).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // offset of row i in the packed strict upper triangle
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Score between databases `i` and `j` (1 on the diagonal).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 1.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.scores[self.idx(a, b)]
+    }
+
+    /// Sets the (symmetric) score between `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or `i == j`.
+    pub fn set(&mut self, i: usize, j: usize, score: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        assert_ne!(i, j, "diagonal is fixed at 1");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let idx = self.idx(a, b);
+        self.scores[idx] = score;
+    }
+
+    /// The `Search` of Algorithm 1: all scores of database `j` against its
+    /// peers, in peer order (skipping `j` itself).
+    pub fn scores_for(&self, j: usize) -> Vec<f64> {
+        (0..self.n)
+            .filter(|&i| i != j)
+            .map(|i| self.get(i, j))
+            .collect()
+    }
+
+    /// Scores of database `j` against *participating* peers only.
+    pub fn scores_for_masked(&self, j: usize, participates: &[bool]) -> Vec<f64> {
+        (0..self.n)
+            .filter(|&i| i != j && participates[i])
+            .map(|i| self.get(i, j))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let mut m = CorrelationMatrix::zeros(4);
+        let mut v = 0.1;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                m.set(i, j, v);
+                v += 0.1;
+            }
+        }
+        let mut expect = 0.1;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!((m.get(i, j) - expect).abs() < 1e-12);
+                assert!((m.get(j, i) - expect).abs() < 1e-12, "symmetry");
+                expect += 0.1;
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_one() {
+        let m = CorrelationMatrix::zeros(3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn storage_is_triangular() {
+        let m = CorrelationMatrix::zeros(5);
+        assert_eq!(m.scores.len(), 10); // 5*4/2
+    }
+
+    #[test]
+    fn from_windows_correlated_unit() {
+        let base: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let w1: Vec<f64> = base.iter().map(|v| v * 2.0 + 3.0).collect();
+        let w2: Vec<f64> = base.iter().map(|v| v * 0.5 - 1.0).collect();
+        let windows: Vec<&[f64]> = vec![&base, &w1, &w2];
+        let m = CorrelationMatrix::from_windows(&windows, &[true; 3], 5);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(m.get(i, j) > 0.999, "({i},{j}) = {}", m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn non_participating_database_scores_zero() {
+        let base: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let windows: Vec<&[f64]> = vec![&base, &base, &base];
+        let m = CorrelationMatrix::from_windows(&windows, &[true, false, true], 3);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert!(m.get(0, 2) > 0.999);
+    }
+
+    #[test]
+    fn scores_for_excludes_self() {
+        let mut m = CorrelationMatrix::zeros(3);
+        m.set(0, 1, 0.5);
+        m.set(0, 2, 0.6);
+        m.set(1, 2, 0.7);
+        assert_eq!(m.scores_for(1), vec![0.5, 0.7]);
+        assert_eq!(m.scores_for(0), vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn scores_for_masked_filters_peers() {
+        let mut m = CorrelationMatrix::zeros(3);
+        m.set(0, 1, 0.5);
+        m.set(0, 2, 0.6);
+        m.set(1, 2, 0.7);
+        assert_eq!(m.scores_for_masked(0, &[true, false, true]), vec![0.6]);
+        assert_eq!(m.scores_for_masked(2, &[true, true, true]), vec![0.6, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn set_diagonal_panics() {
+        let mut m = CorrelationMatrix::zeros(2);
+        m.set(1, 1, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let m = CorrelationMatrix::zeros(2);
+        let _ = m.get(0, 5);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CorrelationMatrix::zeros(0);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Data-processing module (paper §III-A, Fig. 6).
+//!
+//! "The data processing module maintains multiple queues for each KPI, the
+//! number of which is equal to the number of databases in the unit." —
+//! [`KpiQueues`] is exactly that: a bounded ring buffer per `(db, kpi)`
+//! pair, addressed by absolute tick so the flexible windows can reach back
+//! into history after expansions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Bounded per-(database, KPI) history of collected samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KpiQueues {
+    num_dbs: usize,
+    num_kpis: usize,
+    capacity: usize,
+    /// `buffers[db][kpi]`.
+    buffers: Vec<Vec<VecDeque<f64>>>,
+    /// Absolute tick of the oldest retained sample.
+    base_tick: u64,
+    /// Total samples ingested (== next absolute tick).
+    len: u64,
+}
+
+impl KpiQueues {
+    /// Creates queues retaining the last `capacity` ticks.
+    ///
+    /// # Panics
+    /// Panics when any dimension is zero.
+    pub fn new(num_dbs: usize, num_kpis: usize, capacity: usize) -> Self {
+        assert!(num_dbs > 0 && num_kpis > 0 && capacity > 0, "dimensions must be positive");
+        Self {
+            num_dbs,
+            num_kpis,
+            capacity,
+            buffers: vec![vec![VecDeque::with_capacity(capacity + 1); num_kpis]; num_dbs],
+            base_tick: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of databases.
+    pub fn num_dbs(&self) -> usize {
+        self.num_dbs
+    }
+
+    /// Number of KPIs.
+    pub fn num_kpis(&self) -> usize {
+        self.num_kpis
+    }
+
+    /// Next absolute tick to be ingested.
+    pub fn next_tick(&self) -> u64 {
+        self.len
+    }
+
+    /// Oldest retained absolute tick.
+    pub fn base_tick(&self) -> u64 {
+        self.base_tick
+    }
+
+    /// Ingests one frame: `frame[db][kpi]`.
+    ///
+    /// # Panics
+    /// Panics when the frame shape mismatches the queue dimensions.
+    pub fn push(&mut self, frame: &[Vec<f64>]) {
+        assert_eq!(frame.len(), self.num_dbs, "frame database arity mismatch");
+        for (db, kpis) in frame.iter().enumerate() {
+            assert_eq!(kpis.len(), self.num_kpis, "frame KPI arity mismatch");
+            for (k, &v) in kpis.iter().enumerate() {
+                let buf = &mut self.buffers[db][k];
+                buf.push_back(v);
+                if buf.len() > self.capacity {
+                    buf.pop_front();
+                }
+            }
+        }
+        self.len += 1;
+        if self.len - self.base_tick > self.capacity as u64 {
+            self.base_tick = self.len - self.capacity as u64;
+        }
+    }
+
+    /// Copies the window `[start, start + len)` of `(db, kpi)` into a
+    /// `Vec`. Returns `None` when any part of the window has been evicted
+    /// or has not arrived yet.
+    pub fn window(&self, db: usize, kpi: usize, start: u64, len: usize) -> Option<Vec<f64>> {
+        if start < self.base_tick || start + len as u64 > self.len {
+            return None;
+        }
+        let offset = (start - self.base_tick) as usize;
+        let buf = &self.buffers[db][kpi];
+        Some(buf.iter().skip(offset).take(len).copied().collect())
+    }
+
+    /// Maximum value of `(db, kpi)` over a window, for unused-database
+    /// detection. `None` under the same conditions as [`Self::window`].
+    pub fn window_max_abs(&self, db: usize, kpi: usize, start: u64, len: usize) -> Option<f64> {
+        if start < self.base_tick || start + len as u64 > self.len {
+            return None;
+        }
+        let offset = (start - self.base_tick) as usize;
+        Some(
+            self.buffers[db][kpi]
+                .iter()
+                .skip(offset)
+                .take(len)
+                .fold(0.0f64, |acc, &v| acc.max(v.abs())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n_db: usize, n_kpi: usize, v: f64) -> Vec<Vec<f64>> {
+        (0..n_db)
+            .map(|db| (0..n_kpi).map(|k| v + (db * 10 + k) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn push_and_window() {
+        let mut q = KpiQueues::new(2, 3, 10);
+        for t in 0..5 {
+            q.push(&frame(2, 3, t as f64 * 100.0));
+        }
+        assert_eq!(q.next_tick(), 5);
+        let w = q.window(1, 2, 1, 3).unwrap();
+        assert_eq!(w, vec![112.0, 212.0, 312.0]);
+    }
+
+    #[test]
+    fn window_unavailable_before_arrival() {
+        let mut q = KpiQueues::new(1, 1, 10);
+        q.push(&frame(1, 1, 0.0));
+        assert!(q.window(0, 0, 0, 2).is_none());
+        assert!(q.window(0, 0, 0, 1).is_some());
+    }
+
+    #[test]
+    fn eviction_moves_base_tick() {
+        let mut q = KpiQueues::new(1, 1, 4);
+        for t in 0..10 {
+            q.push(&frame(1, 1, t as f64));
+        }
+        assert_eq!(q.base_tick(), 6);
+        assert!(q.window(0, 0, 5, 2).is_none(), "evicted window must be None");
+        let w = q.window(0, 0, 6, 4).unwrap();
+        assert_eq!(w, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn window_max_abs_tracks_magnitude() {
+        let mut q = KpiQueues::new(1, 1, 10);
+        q.push(&[vec![-5.0]]);
+        q.push(&[vec![2.0]]);
+        q.push(&[vec![0.0]]);
+        assert_eq!(q.window_max_abs(0, 0, 0, 3), Some(5.0));
+        assert_eq!(q.window_max_abs(0, 0, 1, 2), Some(2.0));
+        assert_eq!(q.window_max_abs(0, 0, 0, 4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame database arity")]
+    fn wrong_frame_shape_panics() {
+        let mut q = KpiQueues::new(2, 2, 4);
+        q.push(&frame(1, 2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_capacity_panics() {
+        let _ = KpiQueues::new(1, 1, 0);
+    }
+
+    #[test]
+    fn capacity_one_keeps_latest() {
+        let mut q = KpiQueues::new(1, 1, 1);
+        q.push(&[vec![1.0]]);
+        q.push(&[vec![2.0]]);
+        assert_eq!(q.window(0, 0, 1, 1), Some(vec![2.0]));
+        assert!(q.window(0, 0, 0, 1).is_none());
+    }
+}

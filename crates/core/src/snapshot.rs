@@ -1,0 +1,184 @@
+//! Detector state snapshot / restore.
+//!
+//! A monitoring sidecar restarts, fails over, or migrates between hosts;
+//! the detector must resume exactly where it left off — including the
+//! ring-buffer history that pending (possibly expanded) windows will read,
+//! the window trackers, and the learned thresholds. [`DetectorSnapshot`]
+//! captures all of it as plain serde data.
+
+use crate::config::DbCatcherConfig;
+use crate::pipeline::DbCatcher;
+use crate::queues::KpiQueues;
+use crate::window::WindowTracker;
+use serde::{Deserialize, Serialize};
+
+/// The complete persistent state of a [`DbCatcher`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorSnapshot {
+    /// Configuration, including learned thresholds.
+    pub config: DbCatcherConfig,
+    /// Number of databases monitored.
+    pub num_dbs: usize,
+    /// The data-processing queues (bounded KPI history).
+    pub queues: KpiQueues,
+    /// Per-database flexible-window trackers.
+    pub trackers: Vec<WindowTracker>,
+    /// Verdict-count / window-size accumulators for the efficiency metric.
+    pub window_size_sum: u64,
+    /// Total verdicts emitted so far.
+    pub verdict_count: u64,
+}
+
+impl DetectorSnapshot {
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    /// Propagates `serde_json` errors (effectively unreachable for this
+    /// data model).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a snapshot from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl DbCatcher {
+    /// Captures the detector's full persistent state.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            config: self.config().clone(),
+            num_dbs: self.num_databases(),
+            queues: self.queues_ref().clone(),
+            trackers: self.trackers_ref().to_vec(),
+            window_size_sum: self.window_size_sum_raw(),
+            verdict_count: self.verdict_count(),
+        }
+    }
+
+    /// Rebuilds a detector from a snapshot; subsequent `ingest_tick` calls
+    /// continue bit-identically to the original instance.
+    ///
+    /// # Panics
+    /// Panics when the snapshot is internally inconsistent (tracker count
+    /// mismatching the database count, invalid configuration).
+    pub fn restore(snapshot: DetectorSnapshot) -> DbCatcher {
+        assert_eq!(
+            snapshot.trackers.len(),
+            snapshot.num_dbs,
+            "tracker count mismatches database count"
+        );
+        snapshot
+            .config
+            .validate()
+            .expect("snapshot carries a valid configuration");
+        DbCatcher::from_parts(
+            snapshot.config,
+            snapshot.num_dbs,
+            snapshot.queues,
+            snapshot.trackers,
+            snapshot.window_size_sum,
+            snapshot.verdict_count,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DelayScan;
+
+    fn frames(ticks: usize, dbs: usize, kpis: usize) -> Vec<Vec<Vec<f64>>> {
+        (0..ticks)
+            .map(|t| {
+                (0..dbs)
+                    .map(|db| {
+                        (0..kpis)
+                            .map(|k| {
+                                let tf = t as f64;
+                                100.0 * (1.0 + 0.1 * db as f64)
+                                    + 30.0
+                                        * (std::f64::consts::TAU * (tf + k as f64) / 30.0).sin()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn config(kpis: usize) -> DbCatcherConfig {
+        DbCatcherConfig {
+            initial_window: 10,
+            max_window: 30,
+            delay_scan: DelayScan::Fixed(3),
+            ..DbCatcherConfig::with_kpis(kpis)
+        }
+    }
+
+    /// The crucial contract: detect(A ++ B) == detect(A), snapshot,
+    /// restore, detect(B).
+    #[test]
+    fn restore_continues_bit_identically() {
+        let all = frames(75, 3, 4);
+        // reference: uninterrupted run
+        let mut reference = DbCatcher::new(config(4), 3);
+        let mut ref_verdicts = Vec::new();
+        for f in &all {
+            ref_verdicts.extend(reference.ingest_tick(f));
+        }
+        // interrupted run: snapshot mid-window (tick 35 is inside a window)
+        let mut first = DbCatcher::new(config(4), 3);
+        let mut verdicts = Vec::new();
+        for f in &all[..35] {
+            verdicts.extend(first.ingest_tick(f));
+        }
+        let json = first.snapshot().to_json().unwrap();
+        let snapshot = DetectorSnapshot::from_json(&json).unwrap();
+        let mut second = DbCatcher::restore(snapshot);
+        for f in &all[35..] {
+            verdicts.extend(second.ingest_tick(f));
+        }
+        assert_eq!(ref_verdicts.len(), verdicts.len());
+        for (a, b) in ref_verdicts.iter().zip(&verdicts) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            reference.average_window_size(),
+            second.average_window_size()
+        );
+    }
+
+    #[test]
+    fn snapshot_preserves_learned_thresholds() {
+        let mut catcher = DbCatcher::new(config(2), 3);
+        catcher.set_genes(&crate::ga::Genes {
+            alphas: vec![0.63, 0.77],
+            theta: 0.14,
+            max_tolerance: 1,
+        });
+        let restored = DbCatcher::restore(catcher.snapshot());
+        assert_eq!(restored.config().alphas, vec![0.63, 0.77]);
+        assert_eq!(restored.config().theta, 0.14);
+        assert_eq!(restored.config().max_tolerance, 1);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(DetectorSnapshot::from_json("{not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "tracker count mismatches")]
+    fn inconsistent_snapshot_panics() {
+        let catcher = DbCatcher::new(config(2), 3);
+        let mut snap = catcher.snapshot();
+        snap.trackers.pop();
+        let _ = DbCatcher::restore(snap);
+    }
+}

@@ -1,0 +1,115 @@
+//! Database-state determination (paper §III-C, Fig. 7).
+//!
+//! The counts of correlation levels across a database's KPIs decide the
+//! window's state:
+//!
+//! * any level-1 KPI → **abnormal**;
+//! * some level-2 KPIs, fewer than the maximum tolerance deviation number
+//!   → **observable** (the window will expand);
+//! * level-2 KPIs at or beyond the tolerance → **abnormal**;
+//! * all participating KPIs level-3 → **healthy**.
+//!
+//! *Observable* is transitional: the ultimate state is always healthy or
+//! abnormal (paper §IV-A3).
+
+use crate::levels::LevelRow;
+use serde::{Deserialize, Serialize};
+
+/// State of one database over one time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbState {
+    /// All participating KPIs correlated.
+    Healthy,
+    /// Slight deviations within tolerance — expand the window and re-judge.
+    Observable,
+    /// Extreme deviation, or slight deviations beyond tolerance.
+    Abnormal,
+}
+
+impl DbState {
+    /// Whether this is the abnormal final state.
+    pub fn is_abnormal(self) -> bool {
+        matches!(self, DbState::Abnormal)
+    }
+
+    /// Whether this state still needs window expansion.
+    pub fn is_transitional(self) -> bool {
+        matches!(self, DbState::Observable)
+    }
+}
+
+/// Fig. 7's decision procedure over a database's level row.
+pub fn determine_state(row: &LevelRow, max_tolerance: usize) -> DbState {
+    let (l1, l2, _l3) = row.counts();
+    if l1 > 0 {
+        DbState::Abnormal
+    } else if l2 == 0 {
+        DbState::Healthy
+    } else if l2 < max_tolerance {
+        DbState::Observable
+    } else {
+        DbState::Abnormal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::level_row;
+
+    fn row(scores: &[f64]) -> LevelRow {
+        // alpha 0.7, theta 0.2 → <0.5 L1, <0.7 L2, else L3
+        level_row(scores, &vec![0.7; scores.len()], 0.2)
+    }
+
+    #[test]
+    fn any_level_one_is_abnormal() {
+        let r = row(&[0.9, 0.9, 0.3]);
+        assert_eq!(determine_state(&r, 3), DbState::Abnormal);
+    }
+
+    #[test]
+    fn all_level_three_is_healthy() {
+        let r = row(&[0.9, 0.95, 0.85]);
+        assert_eq!(determine_state(&r, 2), DbState::Healthy);
+    }
+
+    #[test]
+    fn few_level_two_is_observable() {
+        let r = row(&[0.9, 0.6, 0.9]);
+        assert_eq!(determine_state(&r, 2), DbState::Observable);
+    }
+
+    #[test]
+    fn too_many_level_two_is_abnormal() {
+        let r = row(&[0.6, 0.6, 0.9]);
+        assert_eq!(determine_state(&r, 2), DbState::Abnormal);
+    }
+
+    #[test]
+    fn zero_tolerance_never_observable() {
+        let r = row(&[0.9, 0.6, 0.9]);
+        assert_eq!(determine_state(&r, 0), DbState::Abnormal);
+    }
+
+    #[test]
+    fn non_participating_kpis_ignored() {
+        let r = row(&[f64::NAN, f64::NAN, 0.9]);
+        assert_eq!(determine_state(&r, 2), DbState::Healthy);
+    }
+
+    #[test]
+    fn all_non_participating_is_healthy() {
+        // an unused database casts no vote — treated as healthy
+        let r = row(&[f64::NAN, f64::NAN]);
+        assert_eq!(determine_state(&r, 2), DbState::Healthy);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(DbState::Abnormal.is_abnormal());
+        assert!(!DbState::Healthy.is_abnormal());
+        assert!(DbState::Observable.is_transitional());
+        assert!(!DbState::Abnormal.is_transitional());
+    }
+}

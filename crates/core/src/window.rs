@@ -1,0 +1,134 @@
+//! Flexible time-window bookkeeping (paper §III-C).
+//!
+//! Each database owns one [`WindowTracker`]: a window starts at some tick
+//! with the initial size W; when the judgement comes back *observable* the
+//! window expands by Δ (up to W_M) and the verdict is deferred until the
+//! extra points arrive. Healthy/abnormal verdicts close the window and the
+//! next one begins right after it.
+
+use serde::{Deserialize, Serialize};
+
+/// Window life-cycle state for one database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowTracker {
+    /// Absolute tick where the current window starts.
+    pub start: u64,
+    /// Current required window size (W, possibly expanded).
+    pub size: usize,
+    /// Number of expansions applied to the current window.
+    pub expansions: u32,
+}
+
+/// What a tracker decides once its window is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAction {
+    /// Not enough data yet — keep waiting.
+    Wait,
+    /// The window `[start, start+size)` is complete; judge it now.
+    Judge,
+}
+
+impl WindowTracker {
+    /// A fresh window starting at `start` with the initial size.
+    pub fn new(start: u64, initial: usize) -> Self {
+        Self {
+            start,
+            size: initial,
+            expansions: 0,
+        }
+    }
+
+    /// End tick (exclusive) of the current window.
+    pub fn end(&self) -> u64 {
+        self.start + self.size as u64
+    }
+
+    /// Whether the window is complete given that ticks `< next_tick` have
+    /// arrived.
+    pub fn action(&self, next_tick: u64) -> WindowAction {
+        if next_tick >= self.end() {
+            WindowAction::Judge
+        } else {
+            WindowAction::Wait
+        }
+    }
+
+    /// Expands the window by `step`, capped at `max`. Returns `false`
+    /// when the window was already at (or would exceed) the cap — the
+    /// caller must then resolve the observable state instead (paper: "this
+    /// process is repeated until the database state changes, or W exceeds
+    /// the maximum window size").
+    pub fn expand(&mut self, step: usize, max: usize) -> bool {
+        if self.size + step > max {
+            return false;
+        }
+        self.size += step;
+        self.expansions += 1;
+        true
+    }
+
+    /// Closes this window and starts the next at its end.
+    pub fn advance(&mut self, initial: usize) {
+        *self = WindowTracker::new(self.end(), initial);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waits_until_full() {
+        let w = WindowTracker::new(10, 20);
+        assert_eq!(w.action(29), WindowAction::Wait);
+        assert_eq!(w.action(30), WindowAction::Judge);
+        assert_eq!(w.action(45), WindowAction::Judge);
+        assert_eq!(w.end(), 30);
+    }
+
+    #[test]
+    fn expansion_schedule_matches_paper() {
+        // W=20, Δ=20, W_M=60: sizes 20 → 40 → 60 → refuse
+        let mut w = WindowTracker::new(0, 20);
+        assert!(w.expand(20, 60));
+        assert_eq!(w.size, 40);
+        assert!(w.expand(20, 60));
+        assert_eq!(w.size, 60);
+        assert!(!w.expand(20, 60));
+        assert_eq!(w.size, 60);
+        assert_eq!(w.expansions, 2);
+    }
+
+    #[test]
+    fn expansion_keeps_start() {
+        let mut w = WindowTracker::new(100, 20);
+        w.expand(20, 60);
+        assert_eq!(w.start, 100);
+        assert_eq!(w.end(), 140);
+    }
+
+    #[test]
+    fn advance_starts_next_window() {
+        let mut w = WindowTracker::new(0, 20);
+        w.expand(20, 60);
+        w.advance(20);
+        assert_eq!(w.start, 40);
+        assert_eq!(w.size, 20);
+        assert_eq!(w.expansions, 0);
+    }
+
+    #[test]
+    fn most_windows_stay_small() {
+        // paper observation: "only a small number of time windows are
+        // scaled up to at most 2-3 times their initial size" — the cap
+        // enforces the at-most-3x invariant for W=20, W_M=60.
+        let mut w = WindowTracker::new(0, 20);
+        let mut expansions = 0;
+        while w.expand(20, 60) {
+            expansions += 1;
+        }
+        assert_eq!(w.size, 60);
+        assert!(w.size <= 3 * 20);
+        assert_eq!(expansions, 2);
+    }
+}

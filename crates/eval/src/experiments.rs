@@ -1,0 +1,793 @@
+//! One driver per paper table/figure (see DESIGN.md §4 for the index).
+//!
+//! Every driver takes a [`Scale`] so the same code serves the integration
+//! tests (tiny), the default laptop runs, and `--scale 1.0` paper-sized
+//! reproductions. The experiment binaries in `crates/bench` are thin
+//! wrappers that print these drivers' outputs.
+
+use crate::methods::{retrain_seconds, run_method, MethodKind, MethodOutcome};
+use crate::metrics::{adjusted_confusion, windowed_any, Confusion, Spread};
+use crate::protocol::ProtocolConfig;
+use dbcatcher_baselines::matrix_method::{CorrelationMeasure, MatrixMethod};
+use dbcatcher_baselines::search::{random_search, simulated_annealing, AnnealingConfig};
+use dbcatcher_core::config::DbCatcherConfig;
+use dbcatcher_core::feedback::{f_measure_on_records, JudgmentRecord};
+use dbcatcher_core::ga::learn_thresholds;
+use dbcatcher_core::kcd::kcd;
+use dbcatcher_core::pipeline::{detect_series, DbCatcher};
+use dbcatcher_sim::{
+    BalancerStrategy, CorrelationClass, Kpi, OfferedLoad, UnitConfig, UnitSim, ALL_KPIS,
+    NUM_KPIS,
+};
+use dbcatcher_workload::dataset::{Dataset, DatasetSpec, Subset};
+use dbcatcher_workload::profile::LoadProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Experiment scale: dataset size factor, repetition count and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Multiplier on the paper's unit counts (`1.0` = Table III sizes).
+    pub factor: f64,
+    /// Repetitions (the paper uses 20 for Fig. 8–10).
+    pub repeats: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Laptop default: ~5 % of the paper's data, 3 repetitions.
+    pub fn lab() -> Self {
+        Self {
+            factor: 0.05,
+            repeats: 3,
+            seed: 1,
+        }
+    }
+
+    /// Micro scale for tests.
+    pub fn tiny() -> Self {
+        Self {
+            factor: 0.02,
+            repeats: 1,
+            seed: 1,
+        }
+    }
+
+    /// Parses `--scale F`, `--repeats N`, `--seed S` from process
+    /// arguments, falling back to [`Scale::lab`].
+    pub fn from_args() -> Self {
+        let mut scale = Scale::lab();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 0;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--scale" => scale.factor = args[i + 1].parse().unwrap_or(scale.factor),
+                "--repeats" => scale.repeats = args[i + 1].parse().unwrap_or(scale.repeats),
+                "--seed" => scale.seed = args[i + 1].parse().unwrap_or(scale.seed),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        scale
+    }
+}
+
+/// The three mixed dataset specs (Table III shapes) at a given scale.
+pub fn mixed_specs(scale: &Scale) -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::paper_tencent(scale.seed).scaled(scale.factor),
+        DatasetSpec::paper_sysbench(scale.seed).scaled(scale.factor),
+        DatasetSpec::paper_tpcc(scale.seed).scaled(scale.factor),
+    ]
+}
+
+/// Subset variants (Tencent I / Sysbench I / … or the II family).
+pub fn subset_specs(scale: &Scale, subset: Subset) -> Vec<DatasetSpec> {
+    mixed_specs(scale)
+        .into_iter()
+        .map(|s| match subset {
+            Subset::Mixed => s,
+            Subset::Irregular => s.irregular(),
+            Subset::Periodic => s.periodic(),
+        })
+        .collect()
+}
+
+/// Aggregated results of one method on one dataset across repetitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompareCell {
+    /// Which method.
+    pub method: MethodKind,
+    /// Precision spread over repetitions.
+    pub precision: Spread,
+    /// Recall spread.
+    pub recall: Spread,
+    /// F-Measure spread.
+    pub f_measure: Spread,
+    /// Mean window size (Tables V/VII/VIII).
+    pub window_size: f64,
+    /// Mean training seconds (Table VI).
+    pub train_secs: f64,
+}
+
+/// All methods' results on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetComparison {
+    /// Dataset display name.
+    pub dataset: String,
+    /// One cell per method, in [`MethodKind::all`] order restricted to the
+    /// requested methods.
+    pub cells: Vec<CompareCell>,
+}
+
+/// The Fig. 8/9/10 + Table V/VI/VII/VIII workhorse: for every dataset
+/// spec, repeat (rebuild dataset, 50/50 split, train, test) and aggregate.
+pub fn compare_methods(
+    specs: &[DatasetSpec],
+    methods: &[MethodKind],
+    scale: &Scale,
+) -> Vec<DatasetComparison> {
+    specs
+        .iter()
+        .map(|spec| {
+            let mut per_method: Vec<Vec<MethodOutcome>> =
+                vec![Vec::with_capacity(scale.repeats); methods.len()];
+            for rep in 0..scale.repeats {
+                let mut rep_spec = spec.clone();
+                rep_spec.seed = scale.seed.wrapping_add(rep as u64 * 1009);
+                let dataset = rep_spec.build();
+                let (train, test) = dataset.split(0.5);
+                let cfg = ProtocolConfig::default()
+                    .with_seed(scale.seed.wrapping_add(rep as u64 * 7919));
+                for (mi, &method) in methods.iter().enumerate() {
+                    per_method[mi].push(run_method(method, &train, &test, &cfg));
+                }
+            }
+            let cells = methods
+                .iter()
+                .zip(&per_method)
+                .map(|(&method, outcomes)| {
+                    let take = |f: fn(&MethodOutcome) -> f64| -> Vec<f64> {
+                        outcomes.iter().map(f).collect()
+                    };
+                    CompareCell {
+                        method,
+                        precision: Spread::of(&take(|o| o.precision)),
+                        recall: Spread::of(&take(|o| o.recall)),
+                        f_measure: Spread::of(&take(|o| o.f_measure)),
+                        window_size: take(|o| o.window_size).iter().sum::<f64>()
+                            / outcomes.len() as f64,
+                        train_secs: take(|o| o.train_secs).iter().sum::<f64>()
+                            / outcomes.len() as f64,
+                    }
+                })
+                .collect();
+            DatasetComparison {
+                dataset: spec.name.clone(),
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// One Table II row measured on the simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KpiCorrelationRow {
+    /// The KPI.
+    pub kpi: Kpi,
+    /// Median primary↔replica KCD.
+    pub pr_score: f64,
+    /// Median replica↔replica KCD.
+    pub rr_score: f64,
+    /// Table II's expected class.
+    pub expected: CorrelationClass,
+}
+
+/// Measures Table II: per KPI, the median pairwise KCD between the
+/// primary and replicas (P-R) and among replicas (R-R) on a healthy unit.
+pub fn table2_measure(seed: u64) -> Vec<KpiCorrelationRow> {
+    let profile = LoadProfile::Cyclic {
+        base_reads: 4000.0,
+        base_writes: 400.0,
+        period: 60,
+        amplitude: 0.5,
+        harmonic: 0.1,
+        noise: 0.05,
+    };
+    let loads = profile.generate(240, seed);
+    let mut sim = UnitSim::new(UnitConfig {
+        seed,
+        ..UnitConfig::default()
+    });
+    let samples = sim.run(&loads);
+    let n = sim.num_databases();
+    // series[db][kpi]
+    let mut series = vec![vec![Vec::new(); NUM_KPIS]; n];
+    for s in &samples {
+        for db in 0..n {
+            for k in 0..NUM_KPIS {
+                series[db][k].push(s.values[db][k]);
+            }
+        }
+    }
+    ALL_KPIS
+        .iter()
+        .map(|&kpi| {
+            let k = kpi.index();
+            let mut pr = Vec::new();
+            let mut rr = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let score = kcd(&series[i][k], &series[j][k], 5);
+                    if i == 0 {
+                        pr.push(score);
+                    } else {
+                        rr.push(score);
+                    }
+                }
+            }
+            KpiCorrelationRow {
+                kpi,
+                pr_score: dbcatcher_signal::stats::median(&pr),
+                rr_score: dbcatcher_signal::stats::median(&rr),
+                expected: kpi.correlation_class(),
+            }
+        })
+        .collect()
+}
+
+/// Table IX: retraining seconds when the workload drifts A→B, for each
+/// method, over the three drift pairs (T-S, T-C, S-C).
+pub fn table9_drift(scale: &Scale, methods: &[MethodKind]) -> Vec<(MethodKind, [f64; 3])> {
+    let specs = mixed_specs(scale);
+    // drift targets: Sysbench (from Tencent), TPCC (from Tencent), TPCC
+    // (from Sysbench) — retraining happens on the *new* workload's data.
+    let targets = [&specs[1], &specs[2], &specs[2]];
+    methods
+        .iter()
+        .map(|&method| {
+            let mut times = [0.0; 3];
+            for (i, target) in targets.iter().enumerate() {
+                let mut spec = (*target).clone();
+                spec.seed = scale.seed.wrapping_add(31 * i as u64);
+                let dataset = spec.build();
+                let (train, _) = dataset.split(0.5);
+                let cfg = ProtocolConfig::default().with_seed(scale.seed);
+                times[i] = retrain_seconds(method, &train, &cfg);
+            }
+            (method, times)
+        })
+        .collect()
+}
+
+/// Windowed per-database F-Measure of a matrix-method detector on a
+/// dataset.
+pub fn matrix_method_f1(mm: &MatrixMethod, dataset: &Dataset) -> f64 {
+    let w = mm.config.initial_window;
+    let mut confusion = Confusion::default();
+    for unit in &dataset.units {
+        let preds = mm.detect(&unit.series, Some(&unit.participation));
+        for db in 0..unit.num_databases() {
+            let wp = windowed_any(&preds[db], w);
+            let wl = windowed_any(&unit.labels[db], w);
+            confusion.merge(&adjusted_confusion(&wp, &wl));
+        }
+    }
+    confusion.f_measure()
+}
+
+/// Random-search fit of a matrix method's thresholds on a training split
+/// (the ablations use the same budgeted random search for every measure so
+/// only the correlation measure differs).
+pub fn fit_matrix_method(
+    measure: CorrelationMeasure,
+    flexible: bool,
+    train: &Dataset,
+    candidates: usize,
+    seed: u64,
+) -> MatrixMethod {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(MatrixMethod, f64)> = None;
+    for _ in 0..candidates.max(1) {
+        let alpha = rng.gen_range(0.4..0.95);
+        let theta = rng.gen_range(0.05..0.3);
+        let max_tolerance = rng.gen_range(0..=3);
+        let config = DbCatcherConfig {
+            alphas: vec![alpha; NUM_KPIS],
+            theta,
+            max_tolerance,
+            ..DbCatcherConfig::default()
+        };
+        let mm = MatrixMethod::new(measure, config, flexible);
+        let f1 = matrix_method_f1(&mm, train);
+        if best.as_ref().map(|(_, b)| f1 > *b).unwrap_or(true) {
+            best = Some((mm, f1));
+        }
+    }
+    best.expect("candidates >= 1").0
+}
+
+/// One Table X row: the ablation label plus per-dataset test F-Measure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableXRow {
+    /// `MM-Pearson`, `MM-DTW`, `MM-KCD` or `AMM-KCD`.
+    pub label: String,
+    /// Test F-Measure per dataset (same order as the dataset list).
+    pub f1: Vec<f64>,
+}
+
+/// Table X: correlation-measure ablation on the mixed datasets.
+pub fn table10_matrix_methods(scale: &Scale, candidates: usize) -> (Vec<String>, Vec<TableXRow>) {
+    let specs = mixed_specs(scale);
+    let variants = [
+        (CorrelationMeasure::Pearson, false),
+        (CorrelationMeasure::Dtw, false),
+        (CorrelationMeasure::Spearman, false), // extension row (related work §VI)
+        (CorrelationMeasure::Kcd, false),
+        (CorrelationMeasure::Kcd, true),
+    ];
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let mut rows: Vec<TableXRow> = variants
+        .iter()
+        .map(|(m, f)| TableXRow {
+            label: MatrixMethod::new(*m, DbCatcherConfig::default(), *f).label(),
+            f1: Vec::with_capacity(specs.len()),
+        })
+        .collect();
+    for spec in &specs {
+        let dataset = spec.build();
+        let (train, test) = dataset.split(0.5);
+        for (row, (measure, flexible)) in rows.iter_mut().zip(&variants) {
+            let mm = fit_matrix_method(*measure, *flexible, &train, candidates, scale.seed);
+            row.f1.push(matrix_method_f1(&mm, &test));
+        }
+    }
+    (names, rows)
+}
+
+/// Fig. 11: mean F-Measure found by GA vs simulated annealing vs random
+/// search at an equal evaluation budget, per dataset.
+pub fn fig11_threshold_search(scale: &Scale) -> (Vec<String>, Vec<(String, Vec<f64>)>) {
+    let specs = mixed_specs(scale);
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let mut ga_rows = Vec::new();
+    let mut saa_rows = Vec::new();
+    let mut rnd_rows = Vec::new();
+    for spec in &specs {
+        let mut ga_s = Vec::new();
+        let mut saa_s = Vec::new();
+        let mut rnd_s = Vec::new();
+        for rep in 0..scale.repeats {
+            let mut rep_spec = spec.clone();
+            rep_spec.seed = scale.seed.wrapping_add(rep as u64 * 977);
+            let dataset = rep_spec.build();
+            let (train, _) = dataset.split(0.5);
+            let records = collect_judgment_records(&train);
+            let cfg = ProtocolConfig::default()
+                .with_seed(scale.seed.wrapping_add(rep as u64));
+            let budget = cfg.ga.population * cfg.ga.generations + cfg.ga.population;
+            let fitness = |g: &dbcatcher_core::ga::Genes| f_measure_on_records(g, &records);
+            ga_s.push(learn_thresholds(NUM_KPIS, &cfg.ga, fitness).fitness);
+            saa_s.push(
+                simulated_annealing(NUM_KPIS, &cfg.ga, &AnnealingConfig::default(), budget, fitness)
+                    .fitness,
+            );
+            rnd_s.push(random_search(NUM_KPIS, &cfg.ga, budget, fitness).fitness);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        ga_rows.push(mean(&ga_s));
+        saa_rows.push(mean(&saa_s));
+        rnd_rows.push(mean(&rnd_s));
+    }
+    (
+        names,
+        vec![
+            ("GA".to_string(), ga_rows),
+            ("SAA".to_string(), saa_rows),
+            ("Random".to_string(), rnd_rows),
+        ],
+    )
+}
+
+/// Streams a training split with the base thresholds and collects
+/// DBA-labelled judgment records (the GA's fitness data).
+pub fn collect_judgment_records(train: &Dataset) -> Vec<JudgmentRecord> {
+    let mut records = Vec::new();
+    for unit in &train.units {
+        let (verdicts, _) = detect_series(
+            DbCatcherConfig::default(),
+            &unit.series,
+            Some(unit.participation.clone()),
+        );
+        for v in verdicts {
+            let end = (v.end_tick as usize).min(unit.num_ticks());
+            let label = (v.start_tick as usize..end).any(|t| unit.labels[v.db][t]);
+            records.push(JudgmentRecord {
+                scores: v.scores,
+                label,
+            });
+        }
+    }
+    records
+}
+
+/// §IV-D4 component-time report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentTimeReport {
+    /// Units streamed.
+    pub units: usize,
+    /// Ticks per unit.
+    pub ticks: usize,
+    /// Total wall-clock detection seconds.
+    pub total_secs: f64,
+    /// Fraction spent in correlation measurement (paper: ≈70 %).
+    pub correlation_frac: f64,
+    /// Fraction spent in window observation (paper: ≈30 %).
+    pub observation_frac: f64,
+    /// Volume of KPI data processed, in bytes (8 bytes per point).
+    pub bytes_processed: usize,
+    /// Extrapolated seconds per 100 MB of KPI data (paper: 42 s).
+    pub secs_per_100mb: f64,
+}
+
+/// §IV-D4: streams `units` healthy units of 5 databases through DBCatcher
+/// and reports where the time goes.
+pub fn component_time(units: usize, ticks: usize, seed: u64) -> ComponentTimeReport {
+    let mut total = std::time::Duration::ZERO;
+    let mut correlation = std::time::Duration::ZERO;
+    let mut observation = std::time::Duration::ZERO;
+    for u in 0..units {
+        let profile = LoadProfile::Cyclic {
+            base_reads: 3000.0,
+            base_writes: 300.0,
+            period: 50,
+            amplitude: 0.5,
+            harmonic: 0.0,
+            noise: 0.05,
+        };
+        let loads = profile.generate(ticks, seed ^ (u as u64) << 3);
+        let mut sim = UnitSim::new(UnitConfig {
+            seed: seed ^ (u as u64),
+            ..UnitConfig::default()
+        });
+        let mask = sim.participation_mask();
+        let samples = sim.run(&loads);
+        let mut catcher = DbCatcher::new(DbCatcherConfig::default(), 5).with_participation(mask);
+        let t0 = Instant::now();
+        for s in &samples {
+            let frame: Vec<Vec<f64>> = s.values.iter().map(|v| v.to_vec()).collect();
+            catcher.ingest_tick(&frame);
+        }
+        total += t0.elapsed();
+        let timing = catcher.timing();
+        correlation += timing.correlation;
+        observation += timing.observation;
+    }
+    let measured = correlation + observation;
+    let bytes = units * 5 * NUM_KPIS * ticks * 8;
+    let total_secs = total.as_secs_f64();
+    ComponentTimeReport {
+        units,
+        ticks,
+        total_secs,
+        correlation_frac: if measured.as_secs_f64() > 0.0 {
+            correlation.as_secs_f64() / measured.as_secs_f64()
+        } else {
+            0.0
+        },
+        observation_frac: if measured.as_secs_f64() > 0.0 {
+            observation.as_secs_f64() / measured.as_secs_f64()
+        } else {
+            0.0
+        },
+        bytes_processed: bytes,
+        secs_per_100mb: total_secs * 100e6 / bytes as f64,
+    }
+}
+
+/// Fig. 5 data point: KCD of a fluctuation-bearing pair at one window
+/// size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig5Point {
+    /// Window size (ticks).
+    pub window: usize,
+    /// KCD between a clean and a fluctuation-bearing database.
+    pub kcd_with_fluctuation: f64,
+    /// KCD between two clean databases (control).
+    pub kcd_clean: f64,
+}
+
+/// Fig. 5: the effect of a temporal fluctuation on the correlation score
+/// shrinks as the window grows.
+pub fn fig5_window_sweep(seed: u64, windows: &[usize]) -> Vec<Fig5Point> {
+    // Shared trend, three synthetic databases, one carrying a 3-tick
+    // fluctuation at the centre of every window.
+    let max_w = windows.iter().copied().max().unwrap_or(60);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trend: Vec<f64> = (0..max_w * 2)
+        .map(|t| 100.0 + 30.0 * (std::f64::consts::TAU * t as f64 / 40.0).sin())
+        .collect();
+    let noise = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.02..0.02);
+    let a: Vec<f64> = trend.iter().map(|v| v * noise(&mut rng)).collect();
+    let b: Vec<f64> = trend.iter().map(|v| v * 1.2 * noise(&mut rng)).collect();
+    let mut c: Vec<f64> = trend.iter().map(|v| v * 0.9 * noise(&mut rng)).collect();
+    windows
+        .iter()
+        .map(|&w| {
+            let start = max_w - w / 2;
+            // plant the fluctuation at the centre of this window
+            let centre = start + w / 2;
+            let mut c_fluct = c.clone();
+            for i in centre.saturating_sub(1)..(centre + 2).min(c_fluct.len()) {
+                c_fluct[i] *= 1.6;
+            }
+            let clean = kcd(&a[start..start + w], &b[start..start + w], 3);
+            let fluct = kcd(&a[start..start + w], &c_fluct[start..start + w], 3);
+            std::mem::swap(&mut c, &mut c_fluct); // keep base series intact
+            std::mem::swap(&mut c, &mut c_fluct);
+            Fig5Point {
+                window: w,
+                kcd_with_fluctuation: fluct,
+                kcd_clean: clean,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4-style scenario: returns per-database normalised series of a
+/// chosen KPI before/after an injected defective-balancer episode.
+pub fn fig4_series(seed: u64, kpi: Kpi) -> (usize, Vec<Vec<f64>>) {
+    let scenario = dbcatcher_workload::scenario::UnitScenario::quickstart(seed);
+    let data = scenario.generate();
+    let onset = 300usize;
+    let series: Vec<Vec<f64>> = (0..data.num_databases())
+        .map(|db| dbcatcher_signal::normalize::min_max(data.kpi_series(db, kpi.index())))
+        .collect();
+    (onset, series)
+}
+
+/// Builds a balanced vs skewed load-share demonstration (Fig. 2/Fig. 4
+/// routing view).
+pub fn balancer_shares_demo(seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let healthy = dbcatcher_sim::LoadBalancer::new(5, BalancerStrategy::JitteredEven {
+        jitter: 0.05,
+    })
+    .shares(&mut rng);
+    let skewed = dbcatcher_sim::LoadBalancer::new(5, BalancerStrategy::Skewed {
+        target: 0,
+        extra: 0.4,
+    })
+    .shares(&mut rng);
+    (healthy, skewed)
+}
+
+/// One design-choice ablation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Which knob and setting.
+    pub label: String,
+    /// Test F-Measure with thresholds re-learned under that setting.
+    pub f1: f64,
+    /// Average detection window observed on the test split.
+    pub avg_window: f64,
+}
+
+/// Ablates DBCatcher's design choices (DESIGN.md §3): score aggregation,
+/// KCD lag-scan bound, resolve-at-max policy and the tolerance number.
+/// Each variant re-learns its thresholds on the training split, so the
+/// comparison isolates the structural choice.
+pub fn ablation_design_choices(scale: &Scale) -> Vec<AblationRow> {
+    use crate::methods::{test_method, train_method, MethodKind, TrainedMethod};
+    use dbcatcher_core::config::{LevelAggregation, ResolvePolicy};
+
+    let spec = DatasetSpec::paper_sysbench(scale.seed).scaled(scale.factor.max(0.06));
+    let dataset = spec.build();
+    let (train, test) = dataset.split(0.5);
+
+    let mut variants: Vec<(String, DbCatcherConfig)> = Vec::new();
+    for (name, aggregation) in [
+        ("aggregation=median", LevelAggregation::Median),
+        ("aggregation=min", LevelAggregation::Min),
+        ("aggregation=mean", LevelAggregation::Mean),
+    ] {
+        variants.push((
+            name.to_string(),
+            DbCatcherConfig {
+                aggregation,
+                ..DbCatcherConfig::default()
+            },
+        ));
+    }
+    {
+        use dbcatcher_core::config::DelayScan;
+        for (name, delay_scan) in [
+            ("lag-scan=0 (Pearson-like)", DelayScan::Fixed(0)),
+            ("lag-scan=±3 (default)", DelayScan::Fixed(3)),
+            ("lag-scan=±n/2 (paper Eq. 3)", DelayScan::HalfWindow),
+        ] {
+            variants.push((
+                name.to_string(),
+                DbCatcherConfig {
+                    delay_scan,
+                    ..DbCatcherConfig::default()
+                },
+            ));
+        }
+    }
+    for (name, resolve_at_max) in [
+        ("resolve-at-max=abnormal", ResolvePolicy::Abnormal),
+        ("resolve-at-max=healthy", ResolvePolicy::Healthy),
+    ] {
+        variants.push((
+            name.to_string(),
+            DbCatcherConfig {
+                resolve_at_max,
+                ..DbCatcherConfig::default()
+            },
+        ));
+    }
+    for window in [10usize, 20, 30] {
+        variants.push((
+            format!("initial-window={window}"),
+            DbCatcherConfig {
+                initial_window: window,
+                max_window: window * 3,
+                ..DbCatcherConfig::default()
+            },
+        ));
+    }
+
+    variants
+        .into_iter()
+        .map(|(label, base_config)| {
+            let cfg = ProtocolConfig {
+                base_config,
+                ..ProtocolConfig::default().with_seed(scale.seed)
+            };
+            let (trained, _) = train_method(MethodKind::DbCatcher, &train, &cfg);
+            let (confusion, avg_window) = test_method(&trained, &test, &cfg);
+            let _ = &trained as &TrainedMethod;
+            AblationRow {
+                label,
+                f1: confusion.f_measure(),
+                avg_window,
+            }
+        })
+        .collect()
+}
+
+/// Quick single-unit throughput sanity: ticks/second of the streaming
+/// detector (used by the pipeline bench and the README).
+pub fn streaming_throughput(ticks: usize, seed: u64) -> f64 {
+    let profile = LoadProfile::Steady {
+        reads: 3000.0,
+        writes: 300.0,
+        noise: 0.05,
+    };
+    let loads = profile.generate(ticks, seed);
+    let mut sim = UnitSim::new(UnitConfig::default());
+    let samples = sim.run(&loads);
+    let mut catcher = DbCatcher::new(DbCatcherConfig::default(), 5);
+    let t0 = Instant::now();
+    for s in &samples {
+        let frame: Vec<Vec<f64>> = s.values.iter().map(|v| v.to_vec()).collect();
+        catcher.ingest_tick(&frame);
+    }
+    ticks as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Fake load helper shared by example binaries.
+pub fn steady_loads(ticks: usize) -> Vec<OfferedLoad> {
+    vec![OfferedLoad::new(3000.0, 300.0); ticks]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_defaults() {
+        let s = Scale::lab();
+        assert!(s.factor > 0.0 && s.repeats >= 1);
+    }
+
+    #[test]
+    fn mixed_specs_shapes() {
+        let specs = mixed_specs(&Scale::tiny());
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].name, "Tencent");
+        assert!(specs.iter().all(|s| s.num_units >= 2 && s.ticks >= 120));
+    }
+
+    #[test]
+    fn subset_specs_rename() {
+        let specs = subset_specs(&Scale::tiny(), Subset::Irregular);
+        assert_eq!(specs[1].name, "Sysbench I");
+        let specs = subset_specs(&Scale::tiny(), Subset::Periodic);
+        assert_eq!(specs[2].name, "TPCC II");
+    }
+
+    #[test]
+    fn table2_recovers_correlation_classes() {
+        let rows = table2_measure(7);
+        assert_eq!(rows.len(), NUM_KPIS);
+        for row in &rows {
+            // replicas always correlate strongly
+            assert!(row.rr_score > 0.6, "{:?}: rr {}", row.kpi, row.rr_score);
+            if row.expected == CorrelationClass::ReplicaOnly {
+                assert!(
+                    row.pr_score < row.rr_score,
+                    "{:?}: pr {} rr {}",
+                    row.kpi,
+                    row.pr_score,
+                    row.rr_score
+                );
+            }
+        }
+        // P-R correlation is high for at least the request-driven KPIs
+        let rps = rows
+            .iter()
+            .find(|r| r.kpi == Kpi::RequestsPerSecond)
+            .unwrap();
+        assert!(rps.pr_score > 0.6, "rps pr {}", rps.pr_score);
+    }
+
+    #[test]
+    fn fig5_fluctuation_effect_shrinks_with_window() {
+        let points = fig5_window_sweep(3, &[10, 60]);
+        assert_eq!(points.len(), 2);
+        let short = &points[0];
+        let long = &points[1];
+        // fluctuation hurts the short window more than the long one
+        let short_drop = short.kcd_clean - short.kcd_with_fluctuation;
+        let long_drop = long.kcd_clean - long.kcd_with_fluctuation;
+        assert!(
+            short_drop > long_drop,
+            "short drop {short_drop} vs long drop {long_drop}"
+        );
+    }
+
+    #[test]
+    fn component_time_fractions_sum_to_one() {
+        let report = component_time(2, 150, 3);
+        assert!(report.total_secs > 0.0);
+        assert!((report.correlation_frac + report.observation_frac - 1.0).abs() < 1e-9);
+        assert!(report.correlation_frac > 0.5, "correlation should dominate");
+        assert!(report.secs_per_100mb > 0.0);
+    }
+
+    #[test]
+    fn collect_judgment_records_labelled() {
+        let spec = DatasetSpec {
+            num_units: 1,
+            ticks: 200,
+            ..DatasetSpec::paper_sysbench(3).scaled(0.02)
+        };
+        let ds = spec.build();
+        let records = collect_judgment_records(&ds);
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.scores.len() == NUM_KPIS));
+    }
+
+    #[test]
+    fn balancer_demo_shares() {
+        let (healthy, skewed) = balancer_shares_demo(1);
+        assert_eq!(healthy.len(), 5);
+        assert!(skewed[0] > 0.4);
+    }
+
+    #[test]
+    fn fig4_series_shapes() {
+        let (onset, series) = fig4_series(42, Kpi::BufferPoolReadRequests);
+        assert_eq!(onset, 300);
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|s| s.len() == 600));
+    }
+}

@@ -1,0 +1,29 @@
+//! # dbcatcher-eval
+//!
+//! Evaluation harness reproducing the DBCatcher paper's protocol (§IV):
+//!
+//! * [`metrics`] — precision / recall / F-Measure over per-window
+//!   verdicts (§IV-A3);
+//! * [`protocol`] — the train/test regime: 50/50 temporal split, random
+//!   search of thresholds and window sizes on the training split, frozen
+//!   parameters on the testing split (§IV-B);
+//! * [`methods`] — uniform wrappers running DBCatcher and the five
+//!   baselines through that regime, measuring training time and the
+//!   Window-Size efficiency metric;
+//! * [`experiments`] — one driver per paper table/figure, used by the
+//!   `dbcatcher-bench` experiment binaries and the integration tests;
+//! * [`report`] — plain-text table/figure formatting plus JSON dumps.
+
+// Index-based loops over matrix/tensor dimensions are clearer than
+// iterator chains in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod experiments;
+pub mod methods;
+pub mod metrics;
+pub mod protocol;
+pub mod replay;
+pub mod report;
+
+pub use methods::{MethodKind, MethodOutcome};
+pub use metrics::Confusion;

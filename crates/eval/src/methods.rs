@@ -1,0 +1,397 @@
+//! Uniform train/test wrappers for DBCatcher and the five baselines.
+//!
+//! Every method runs the same regime (paper §IV-B): train (and search its
+//! parameters) on the training split, freeze everything, evaluate on the
+//! testing split. Outputs cover all four of the paper's reporting axes:
+//! Precision / Recall / F-Measure, the Window-Size efficiency metric,
+//! training time, and retraining time under workload drift.
+
+use crate::metrics::{adjusted_confusion, verdict_ticks, windowed_any, Confusion};
+use crate::protocol::{search_threshold_window, ProtocolConfig, SearchedParams};
+use dbcatcher_baselines::detector::Detector;
+use dbcatcher_baselines::fft::FftDetector;
+use dbcatcher_baselines::jumpstarter::JumpStarter;
+use dbcatcher_baselines::omni::{OmniAnomaly, OmniConfig};
+use dbcatcher_baselines::sr::SrDetector;
+use dbcatcher_baselines::srcnn::{SrCnnConfig, SrCnnDetector};
+use dbcatcher_core::config::DbCatcherConfig;
+use dbcatcher_core::feedback::{f_measure_on_records, JudgmentRecord};
+use dbcatcher_core::ga::learn_thresholds;
+use dbcatcher_core::pipeline::{detect_series, DbCatcher};
+use dbcatcher_workload::dataset::{Dataset, UnitData};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The six compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Fast Fourier Transform residual detector.
+    Fft,
+    /// Spectral Residual saliency detector.
+    Sr,
+    /// SR + CNN discriminator.
+    SrCnn,
+    /// GRU-VAE reconstruction detector.
+    OmniAnomaly,
+    /// Compressed-sensing detector.
+    JumpStarter,
+    /// This paper's system.
+    DbCatcher,
+}
+
+impl MethodKind {
+    /// All methods in the paper's table order.
+    pub fn all() -> [MethodKind; 6] {
+        [
+            MethodKind::Fft,
+            MethodKind::Sr,
+            MethodKind::SrCnn,
+            MethodKind::OmniAnomaly,
+            MethodKind::JumpStarter,
+            MethodKind::DbCatcher,
+        ]
+    }
+
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::Fft => "FFT",
+            MethodKind::Sr => "SR",
+            MethodKind::SrCnn => "SR-CNN",
+            MethodKind::OmniAnomaly => "OmniAnomaly",
+            MethodKind::JumpStarter => "JumpStarter",
+            MethodKind::DbCatcher => "DBCatcher",
+        }
+    }
+}
+
+/// A trained, frozen method ready for testing.
+pub enum TrainedMethod {
+    /// A score-producing baseline plus its searched parameters.
+    Baseline {
+        /// Which method this is.
+        kind: MethodKind,
+        /// The fitted detector.
+        detector: Box<dyn Detector>,
+        /// The searched `(window, threshold)`.
+        params: SearchedParams,
+    },
+    /// DBCatcher with GA-learned thresholds.
+    Catcher {
+        /// Full configuration including learned genes.
+        config: DbCatcherConfig,
+    },
+}
+
+/// One method's full outcome on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodOutcome {
+    /// Which method.
+    pub method: MethodKind,
+    /// Test precision.
+    pub precision: f64,
+    /// Test recall.
+    pub recall: f64,
+    /// Test F-Measure.
+    pub f_measure: f64,
+    /// Average window size needed per detection (efficiency metric).
+    pub window_size: f64,
+    /// Training wall-clock seconds.
+    pub train_secs: f64,
+}
+
+/// Builds an untrained baseline detector.
+///
+/// # Panics
+/// Panics when called with [`MethodKind::DbCatcher`] (not a baseline).
+pub fn baseline_detector(kind: MethodKind, num_kpis: usize, seed: u64) -> Box<dyn Detector> {
+    match kind {
+        MethodKind::Fft => Box::new(FftDetector::default()),
+        MethodKind::Sr => Box::new(SrDetector::default()),
+        MethodKind::SrCnn => Box::new(SrCnnDetector::new(SrCnnConfig {
+            seed,
+            ..SrCnnConfig::default()
+        })),
+        MethodKind::OmniAnomaly => Box::new(OmniAnomaly::new(
+            OmniConfig {
+                seed,
+                ..OmniConfig::default()
+            },
+            num_kpis,
+        )),
+        MethodKind::JumpStarter => Box::new(JumpStarter::default()),
+        MethodKind::DbCatcher => panic!("DBCatcher is not a baseline detector"),
+    }
+}
+
+/// Unit-level ground truth: any database anomalous per tick.
+fn unit_labels(unit: &UnitData) -> Vec<bool> {
+    (0..unit.num_ticks()).map(|t| unit.any_anomalous(t)).collect()
+}
+
+/// Trains a method on the training split. Returns the frozen method and
+/// the training wall-clock seconds (fit + parameter search, as the paper
+/// times it).
+pub fn train_method(
+    kind: MethodKind,
+    train: &Dataset,
+    cfg: &ProtocolConfig,
+) -> (TrainedMethod, f64) {
+    let t0 = Instant::now();
+    match kind {
+        MethodKind::DbCatcher => {
+            let (config, _) = train_dbcatcher(train, cfg);
+            (TrainedMethod::Catcher { config }, t0.elapsed().as_secs_f64())
+        }
+        _ => {
+            let num_kpis = train.units.first().map(|u| u.num_kpis()).unwrap_or(14);
+            let mut detector = baseline_detector(kind, num_kpis, cfg.seed ^ kind as u64);
+            let unit_series: Vec<&Vec<Vec<Vec<f64>>>> =
+                train.units.iter().map(|u| &u.series).collect();
+            detector.fit(&unit_series);
+            let scores: Vec<Vec<f64>> =
+                train.units.iter().map(|u| detector.score(&u.series)).collect();
+            let labels: Vec<Vec<bool>> = train.units.iter().map(unit_labels).collect();
+            let params = search_threshold_window(&scores, &labels, cfg);
+            (
+                TrainedMethod::Baseline {
+                    kind,
+                    detector,
+                    params,
+                },
+                t0.elapsed().as_secs_f64(),
+            )
+        }
+    }
+}
+
+/// DBCatcher's training: stream the training units with the base
+/// thresholds, collect DBA-labelled judgment records, and let the GA
+/// re-fit the thresholds on them. Returns the learned configuration and
+/// the achieved training F-Measure.
+pub fn train_dbcatcher(train: &Dataset, cfg: &ProtocolConfig) -> (DbCatcherConfig, f64) {
+    let mut records: Vec<JudgmentRecord> = Vec::new();
+    for unit in &train.units {
+        let (verdicts, _) = detect_series(
+            cfg.base_config.clone(),
+            &unit.series,
+            Some(unit.participation.clone()),
+        );
+        for v in verdicts {
+            let end = (v.end_tick as usize).min(unit.num_ticks());
+            let label = (v.start_tick as usize..end).any(|t| unit.labels[v.db][t]);
+            records.push(JudgmentRecord {
+                scores: v.scores,
+                label,
+            });
+        }
+    }
+    let num_kpis = cfg.base_config.num_kpis;
+    let outcome = learn_thresholds(num_kpis, &cfg.ga, |genes| {
+        f_measure_on_records(genes, &records)
+    });
+    let mut config = cfg.base_config.clone();
+    config.apply_genes(&outcome.genes);
+    (config, outcome.fitness)
+}
+
+/// Evaluates a frozen method on the testing split: point-adjusted
+/// confusion at the fixed evaluation granularity, plus the average
+/// detection window size used (the Window-Size efficiency metric).
+pub fn test_method(
+    method: &TrainedMethod,
+    test: &Dataset,
+    cfg: &ProtocolConfig,
+) -> (Confusion, f64) {
+    let eval_w = cfg.eval_window;
+    match method {
+        TrainedMethod::Baseline {
+            detector, params, ..
+        } => {
+            let mut confusion = Confusion::default();
+            for unit in &test.units {
+                if unit.num_ticks() < params.window.max(eval_w) {
+                    continue;
+                }
+                let scores = detector.score(&unit.series);
+                let ticks = verdict_ticks(&scores, params.window, params.threshold);
+                let preds = windowed_any(&ticks, eval_w);
+                let wl = windowed_any(&unit_labels(unit), eval_w);
+                confusion.merge(&adjusted_confusion(&preds, &wl));
+            }
+            (confusion, params.window as f64)
+        }
+        TrainedMethod::Catcher { config } => {
+            let mut confusion = Confusion::default();
+            let mut window_sum = 0u64;
+            let mut verdict_count = 0u64;
+            for unit in &test.units {
+                let mut catcher = DbCatcher::new(config.clone(), unit.num_databases())
+                    .with_participation(unit.participation.clone());
+                let ticks_n = unit.num_ticks();
+                let mut tick_preds = vec![false; ticks_n];
+                for t in 0..ticks_n {
+                    let frame = unit.tick_matrix(t);
+                    for v in catcher.ingest_tick(&frame) {
+                        if v.state.is_abnormal() {
+                            let end = (v.end_tick as usize).min(ticks_n);
+                            tick_preds[v.start_tick as usize..end]
+                                .iter_mut()
+                                .for_each(|p| *p = true);
+                        }
+                        window_sum += v.window_size as u64;
+                        verdict_count += 1;
+                    }
+                }
+                let preds = windowed_any(&tick_preds, eval_w);
+                let wl = windowed_any(&unit_labels(unit), eval_w);
+                confusion.merge(&adjusted_confusion(&preds, &wl));
+            }
+            let avg_window = if verdict_count == 0 {
+                0.0
+            } else {
+                window_sum as f64 / verdict_count as f64
+            };
+            (confusion, avg_window)
+        }
+    }
+}
+
+/// Full regime: train on `train`, evaluate on `test`.
+pub fn run_method(
+    kind: MethodKind,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &ProtocolConfig,
+) -> MethodOutcome {
+    let (trained, train_secs) = train_method(kind, train, cfg);
+    let (confusion, window_size) = test_method(&trained, test, cfg);
+    MethodOutcome {
+        method: kind,
+        precision: confusion.precision(),
+        recall: confusion.recall(),
+        f_measure: confusion.f_measure(),
+        window_size,
+        train_secs,
+    }
+}
+
+/// Retraining time under workload drift (Table IX): the method was
+/// trained on workload A and the workload shifts to B — how long until it
+/// is ready again?
+///
+/// Baselines must refit and re-search on B; DBCatcher only re-runs its
+/// threshold learner on fresh judgment records from B.
+pub fn retrain_seconds(kind: MethodKind, new_train: &Dataset, cfg: &ProtocolConfig) -> f64 {
+    let t0 = Instant::now();
+    match kind {
+        MethodKind::DbCatcher => {
+            let _ = train_dbcatcher(new_train, cfg);
+        }
+        _ => {
+            let _ = train_method(kind, new_train, cfg);
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_workload::anomaly::AnomalyPlanConfig;
+    use dbcatcher_workload::profile::RareEventConfig;
+    use dbcatcher_workload::dataset::{DatasetSpec, Subset, WorkloadKind};
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        DatasetSpec {
+            name: "tiny".into(),
+            kind: WorkloadKind::Sysbench,
+            subset: Subset::Mixed,
+            num_units: 2,
+            ticks: 240,
+            databases_per_unit: 5,
+            anomalies: AnomalyPlanConfig {
+                target_ratio: 0.06,
+                start_margin: 40,
+                min_duration: 15,
+                max_duration: 30,
+                gap: 15,
+            },
+            rare_events: RareEventConfig::default(),
+            seed,
+        }
+        .build()
+    }
+
+    fn quick_protocol() -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::default();
+        cfg.window_grid = vec![20, 40];
+        cfg.ga.population = 8;
+        cfg.ga.generations = 4;
+        cfg
+    }
+
+    #[test]
+    fn method_names_ordered() {
+        let names: Vec<&str> = MethodKind::all().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["FFT", "SR", "SR-CNN", "OmniAnomaly", "JumpStarter", "DBCatcher"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a baseline")]
+    fn dbcatcher_is_not_a_baseline() {
+        let _ = baseline_detector(MethodKind::DbCatcher, 14, 1);
+    }
+
+    #[test]
+    fn dbcatcher_end_to_end_outperforms_chance() {
+        let ds = tiny_dataset(3);
+        let (train, test) = ds.split(0.5);
+        let outcome = run_method(MethodKind::DbCatcher, &train, &test, &quick_protocol());
+        assert!(
+            outcome.f_measure > 0.5,
+            "DBCatcher F1 {} too low",
+            outcome.f_measure
+        );
+        assert!(outcome.window_size >= 20.0);
+        assert!(outcome.train_secs > 0.0);
+    }
+
+    #[test]
+    fn fft_end_to_end_runs() {
+        let ds = tiny_dataset(5);
+        let (train, test) = ds.split(0.5);
+        let outcome = run_method(MethodKind::Fft, &train, &test, &quick_protocol());
+        assert!(outcome.window_size >= 20.0);
+        assert!((0.0..=1.0).contains(&outcome.f_measure));
+    }
+
+    #[test]
+    fn jumpstarter_end_to_end_runs() {
+        let ds = tiny_dataset(7);
+        let (train, test) = ds.split(0.5);
+        let outcome = run_method(MethodKind::JumpStarter, &train, &test, &quick_protocol());
+        assert!((0.0..=1.0).contains(&outcome.f_measure));
+    }
+
+    #[test]
+    fn train_dbcatcher_learns_genes_in_bounds() {
+        let ds = tiny_dataset(9);
+        let (train, _) = ds.split(0.5);
+        let cfg = quick_protocol();
+        let (config, train_f1) = train_dbcatcher(&train, &cfg);
+        assert!(config.alphas.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        assert!((0.0..=1.0).contains(&train_f1));
+    }
+
+    #[test]
+    fn retrain_seconds_positive() {
+        let ds = tiny_dataset(11);
+        let (train, _) = ds.split(0.5);
+        let secs = retrain_seconds(MethodKind::DbCatcher, &train, &quick_protocol());
+        assert!(secs > 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Detection metrics (paper §IV-A3).
+//!
+//! Results are labelled per *time window*: a window is a true positive
+//! when the method calls it abnormal and the ground truth contains an
+//! anomalous tick inside it, and so on. Precision, Recall and F-Measure
+//! follow directly.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts over windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Correctly detected abnormal windows.
+    pub tp: usize,
+    /// Healthy windows flagged abnormal.
+    pub fp: usize,
+    /// Abnormal windows missed.
+    pub fn_: usize,
+    /// Healthy windows passed as healthy.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Accumulates one observation.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another confusion into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// `TP / (TP + FP)`; 0 when nothing was predicted positive... unless
+    /// nothing was positive at all, which scores a vacuous 1.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return if self.fn_ == 0 { 1.0 } else { 0.0 };
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// `TP / (TP + FN)`; vacuous 1 when there were no positives to find
+    /// and none were invented.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return if self.fp == 0 { 1.0 } else { 0.0 };
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total observed windows.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Builds a confusion over aligned prediction/label sequences.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn confusion_from(predictions: &[bool], labels: &[bool]) -> Confusion {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &l) in predictions.iter().zip(labels) {
+        c.observe(p, l);
+    }
+    c
+}
+
+/// Tiles `ticks` into consecutive windows of size `w` (the trailing
+/// partial window is dropped, mirroring a blocked online detector).
+pub fn window_ranges(ticks: usize, w: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(w > 0, "window must be positive");
+    (0..ticks / w).map(|i| i * w..(i + 1) * w).collect()
+}
+
+/// Reduces per-tick booleans to per-window "any" values.
+pub fn windowed_any(ticks: &[bool], w: usize) -> Vec<bool> {
+    window_ranges(ticks.len(), w)
+        .into_iter()
+        .map(|r| ticks[r].iter().any(|&b| b))
+        .collect()
+}
+
+/// Reduces per-tick scores to per-window maxima.
+pub fn windowed_max(scores: &[f64], w: usize) -> Vec<f64> {
+    window_ranges(scores.len(), w)
+        .into_iter()
+        .map(|r| scores[r].iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
+}
+
+/// Expands per-detection-window verdicts back to per-tick predictions: a
+/// detection window of `det_w` ticks whose score maximum exceeds `thr`
+/// marks all its ticks abnormal (trailing partial windows stay healthy —
+/// a blocked detector never judges them).
+pub fn verdict_ticks(scores: &[f64], det_w: usize, thr: f64) -> Vec<bool> {
+    let mut ticks = vec![false; scores.len()];
+    for r in window_ranges(scores.len(), det_w) {
+        let max = scores[r.clone()]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max > thr {
+            ticks[r].iter_mut().for_each(|t| *t = true);
+        }
+    }
+    ticks
+}
+
+/// Point-adjusts predictions against ground-truth episodes (the standard
+/// protocol of the OmniAnomaly / JumpStarter line of work the paper
+/// compares against): within every maximal run of positive labels, a
+/// single positive prediction marks the whole run as detected. Operates at
+/// whatever granularity the sequences are in (ticks or windows).
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn point_adjust(predictions: &mut [bool], labels: &[bool]) {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut i = 0;
+    while i < labels.len() {
+        if !labels[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < labels.len() && labels[i] {
+            i += 1;
+        }
+        if predictions[start..i].iter().any(|&p| p) {
+            predictions[start..i].iter_mut().for_each(|p| *p = true);
+        }
+    }
+}
+
+/// [`confusion_from`] after [`point_adjust`].
+pub fn adjusted_confusion(predictions: &[bool], labels: &[bool]) -> Confusion {
+    let mut preds = predictions.to_vec();
+    point_adjust(&mut preds, labels);
+    confusion_from(&preds, labels)
+}
+
+/// Mean / min / max summary of repeated runs (the error bars of
+/// Fig. 8–10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spread {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Minimum over runs.
+    pub min: f64,
+    /// Maximum over runs.
+    pub max: f64,
+}
+
+impl Spread {
+    /// Summarises a non-empty sample.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(samples: &[f64]) -> Spread {
+        assert!(!samples.is_empty(), "no samples");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Spread {
+            mean,
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let c = confusion_from(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f_measure(), 1.0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn known_counts() {
+        // 2 TP, 1 FP, 1 FN, 1 TN
+        let c = confusion_from(
+            &[true, true, true, false, false],
+            &[true, true, false, true, false],
+        );
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f_measure() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let all_quiet = confusion_from(&[false; 4], &[false; 4]);
+        assert_eq!(all_quiet.precision(), 1.0);
+        assert_eq!(all_quiet.recall(), 1.0);
+        let all_missed = confusion_from(&[false; 3], &[true; 3]);
+        assert_eq!(all_missed.recall(), 0.0);
+        assert_eq!(all_missed.f_measure(), 0.0);
+        let all_noise = confusion_from(&[true; 3], &[false; 3]);
+        assert_eq!(all_noise.precision(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = confusion_from(&[true], &[true]);
+        let b = confusion_from(&[true, false], &[false, true]);
+        a.merge(&b);
+        assert_eq!((a.tp, a.fp, a.fn_, a.tn), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn window_ranges_tile() {
+        let r = window_ranges(25, 10);
+        assert_eq!(r, vec![0..10, 10..20]);
+        assert!(window_ranges(5, 10).is_empty());
+    }
+
+    #[test]
+    fn windowed_reductions() {
+        let ticks = [false, true, false, false, false, false];
+        assert_eq!(windowed_any(&ticks, 3), vec![true, false]);
+        let scores = [1.0, 5.0, 2.0, 0.0, 3.0, 1.0];
+        assert_eq!(windowed_max(&scores, 3), vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn point_adjust_fills_detected_episode() {
+        let labels = [false, true, true, true, false, true, true];
+        let mut preds = [false, false, true, false, false, false, false];
+        point_adjust(&mut preds, &labels);
+        assert_eq!(preds, [false, true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn point_adjust_leaves_missed_episode() {
+        let labels = [true, true, false];
+        let mut preds = [false, false, true];
+        point_adjust(&mut preds, &labels);
+        assert_eq!(preds, [false, false, true]); // miss stays a miss, FP stays
+    }
+
+    #[test]
+    fn adjusted_confusion_rewards_partial_hits() {
+        let labels = [false, true, true, true, false];
+        let preds = [false, false, true, false, false];
+        let raw = confusion_from(&preds, &labels);
+        let adj = adjusted_confusion(&preds, &labels);
+        assert!(adj.recall() > raw.recall());
+        assert_eq!(adj.recall(), 1.0);
+    }
+
+    #[test]
+    fn spread_summary() {
+        let s = Spread::of(&[0.5, 0.7, 0.6]);
+        assert!((s.mean - 0.6).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn spread_empty_panics() {
+        let _ = Spread::of(&[]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text report formatting for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned ASCII table.
+///
+/// # Panics
+/// Panics when a row's arity differs from the header's.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row arity mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |widths: &[usize]| {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let _ = writeln!(out, "{}", line(&widths));
+    let mut header = String::from("|");
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(header, " {h:w$} |");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", line(&widths));
+    for row in rows {
+        let mut r = String::from("|");
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(r, " {cell:w$} |");
+        }
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = writeln!(out, "{}", line(&widths));
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}s")
+    } else if x >= 1.0 {
+        format!("{x:.1}s")
+    } else {
+        format!("{:.0}ms", x * 1000.0)
+    }
+}
+
+/// Renders a crude ASCII sparkline of a series (for the figure binaries).
+pub fn sparkline(series: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let step = (series.len() as f64 / width as f64).max(1.0);
+    let mut out = String::with_capacity(width);
+    let mut pos = 0.0;
+    while (pos as usize) < series.len() && out.chars().count() < width {
+        let v = series[pos as usize];
+        let idx = (((v - lo) / range) * 7.0).round() as usize;
+        out.push(GLYPHS[idx.min(7)]);
+        pos += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = render_table(
+            "demo",
+            &["Model", "F1"],
+            &[
+                vec!["FFT".into(), "52.0%".into()],
+                vec!["DBCatcher".into(), "88.5%".into()],
+            ],
+        );
+        assert!(out.contains("== demo =="));
+        assert!(out.contains("| Model     | F1    |"));
+        assert!(out.contains("| DBCatcher | 88.5% |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn ragged_rows_panic() {
+        let _ = render_table("x", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.885), "88.5%");
+        assert_eq!(secs(0.5), "500ms");
+        assert_eq!(secs(42.0), "42.0s");
+        assert_eq!(secs(1106.0), "1106s");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[], 10), "");
+    }
+}

@@ -1,0 +1,116 @@
+//! Activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+
+/// Supported activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (no nonlinearity).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn forward(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Tanh => x.map(f64::tanh),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Linear => x.clone(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated output* `y`
+    /// (all four activations admit this form), multiplied into `grad`.
+    pub fn backward(self, y: &Matrix, grad: &Matrix) -> Matrix {
+        match self {
+            Activation::Sigmoid => grad.zip_map(y, |g, yv| g * yv * (1.0 - yv)),
+            Activation::Tanh => grad.zip_map(y, |g, yv| g * (1.0 - yv * yv)),
+            Activation::Relu => grad.zip_map(y, |g, yv| if yv > 0.0 { g } else { 0.0 }),
+            Activation::Linear => grad.clone(),
+        }
+    }
+}
+
+/// Scalar logistic sigmoid, numerically stable for large |x|.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn sigmoid_values() {
+        close(sigmoid(0.0), 0.5);
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-745.0).is_finite());
+        assert!(sigmoid(745.0).is_finite());
+    }
+
+    #[test]
+    fn forward_shapes_and_values() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        let relu = Activation::Relu.forward(&x);
+        assert_eq!(relu.data(), &[0.0, 0.0, 2.0]);
+        let lin = Activation::Linear.forward(&x);
+        assert_eq!(lin.data(), x.data());
+        let tanh = Activation::Tanh.forward(&x);
+        close(tanh.data()[1], 0.0);
+    }
+
+    /// Finite-difference check of every activation derivative.
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-6;
+        for act in [
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Linear,
+        ] {
+            for &x0 in &[-1.5, -0.3, 0.4, 2.0] {
+                let x = Matrix::from_vec(1, 1, vec![x0]);
+                let y = act.forward(&x);
+                let ones = Matrix::from_vec(1, 1, vec![1.0]);
+                let analytic = act.backward(&y, &ones).data()[0];
+                let xp = Matrix::from_vec(1, 1, vec![x0 + eps]);
+                let xm = Matrix::from_vec(1, 1, vec![x0 - eps]);
+                let numeric =
+                    (act.forward(&xp).data()[0] - act.forward(&xm).data()[0]) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "{act:?} at {x0}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scales_gradient() {
+        let y = Matrix::from_vec(1, 2, vec![0.5, 0.5]);
+        let g = Matrix::from_vec(1, 2, vec![2.0, 4.0]);
+        let out = Activation::Sigmoid.backward(&y, &g);
+        close(out.data()[0], 2.0 * 0.25);
+        close(out.data()[1], 4.0 * 0.25);
+    }
+}

@@ -1,0 +1,269 @@
+//! 1-D convolution layer (valid padding, stride 1) with manual backprop.
+//!
+//! Inputs are `channels x length` matrices; this is all the SR-CNN baseline
+//! needs (it convolves a single-channel saliency map, then stacks a second
+//! conv and a dense head).
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::XorShiftRng;
+
+/// A 1-D convolution: `out[o][t] = act(b[o] + Σ_i Σ_k w[o][i][k] · x[i][t+k])`.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    act: Activation,
+    /// Weights flattened as `out x (in * kernel)`.
+    w: Matrix,
+    b: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+}
+
+/// Forward-pass cache for the backward pass.
+#[derive(Debug, Clone)]
+pub struct Conv1dCache {
+    input: Matrix,
+    output: Matrix,
+}
+
+impl Conv1dCache {
+    /// The activated `out_channels x out_len` output.
+    pub fn output(&self) -> &Matrix {
+        &self.output
+    }
+}
+
+impl Conv1d {
+    /// Creates a convolution layer with Xavier-initialised kernels.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        act: Activation,
+        rng: &mut XorShiftRng,
+    ) -> Self {
+        assert!(kernel >= 1, "kernel must be >= 1");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            act,
+            w: Matrix::xavier(out_channels, in_channels * kernel, rng),
+            b: vec![0.0; out_channels],
+            grad_w: Matrix::zeros(out_channels, in_channels * kernel),
+            grad_b: vec![0.0; out_channels],
+        }
+    }
+
+    /// Output length for an input of length `len` (valid padding, stride 1).
+    pub fn out_len(&self, len: usize) -> usize {
+        len.saturating_sub(self.kernel - 1)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Forward pass over a `in_channels x length` matrix.
+    ///
+    /// # Panics
+    /// Panics if the channel count mismatches or the input is shorter than
+    /// the kernel.
+    pub fn forward(&self, x: &Matrix) -> Conv1dCache {
+        assert_eq!(x.rows(), self.in_channels, "channel mismatch");
+        let len = x.cols();
+        assert!(len >= self.kernel, "input shorter than kernel");
+        let out_len = self.out_len(len);
+        let mut z = Matrix::zeros(self.out_channels, out_len);
+        for o in 0..self.out_channels {
+            for t in 0..out_len {
+                let mut acc = self.b[o];
+                for i in 0..self.in_channels {
+                    let xrow = x.row(i);
+                    let wbase = i * self.kernel;
+                    for k in 0..self.kernel {
+                        acc += self.w[(o, wbase + k)] * xrow[t + k];
+                    }
+                }
+                z[(o, t)] = acc;
+            }
+        }
+        let output = self.act.forward(&z);
+        Conv1dCache {
+            input: x.clone(),
+            output,
+        }
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input (`in_channels x length`).
+    pub fn backward(&mut self, cache: &Conv1dCache, grad_out: &Matrix) -> Matrix {
+        let grad_z = self.act.backward(&cache.output, grad_out);
+        let x = &cache.input;
+        let len = x.cols();
+        let out_len = grad_z.cols();
+        let mut grad_in = Matrix::zeros(self.in_channels, len);
+        for o in 0..self.out_channels {
+            for t in 0..out_len {
+                let g = grad_z[(o, t)];
+                if g == 0.0 {
+                    continue;
+                }
+                self.grad_b[o] += g;
+                for i in 0..self.in_channels {
+                    let wbase = i * self.kernel;
+                    for k in 0..self.kernel {
+                        self.grad_w[(o, wbase + k)] += g * x[(i, t + k)];
+                        grad_in[(i, t + k)] += g * self.w[(o, wbase + k)];
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// SGD step on accumulated gradients, then clears them.
+    pub fn sgd_step(&mut self, lr: f64) {
+        let gw = self.grad_w.clone();
+        self.w.add_scaled_in_place(&gw, -lr);
+        for (b, g) in self.b.iter_mut().zip(&self.grad_b) {
+            *b -= lr * g;
+        }
+        self.zero_grad();
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+
+    #[test]
+    fn out_len_valid_padding() {
+        let mut rng = XorShiftRng::new(1);
+        let c = Conv1d::new(1, 1, 3, Activation::Linear, &mut rng);
+        assert_eq!(c.out_len(10), 8);
+        assert_eq!(c.out_len(3), 1);
+        assert_eq!(c.out_len(2), 0);
+    }
+
+    #[test]
+    fn identity_kernel_shifts_through() {
+        let mut rng = XorShiftRng::new(1);
+        let mut c = Conv1d::new(1, 1, 1, Activation::Linear, &mut rng);
+        // force weight=1, bias=0
+        c.w = Matrix::from_vec(1, 1, vec![1.0]);
+        c.b = vec![0.0];
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let out = c.forward(&x);
+        assert_eq!(out.output().data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_convolution_values() {
+        let mut rng = XorShiftRng::new(1);
+        let mut c = Conv1d::new(1, 1, 2, Activation::Linear, &mut rng);
+        c.w = Matrix::from_vec(1, 2, vec![1.0, -1.0]); // difference kernel
+        c.b = vec![0.0];
+        let x = Matrix::row_vector(&[1.0, 4.0, 9.0, 16.0]);
+        let out = c.forward(&x);
+        assert_eq!(out.output().data(), &[-3.0, -5.0, -7.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_contributions() {
+        let mut rng = XorShiftRng::new(1);
+        let mut c = Conv1d::new(2, 1, 1, Activation::Linear, &mut rng);
+        c.w = Matrix::from_vec(1, 2, vec![2.0, 3.0]);
+        c.b = vec![1.0];
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 10.0, 20.0]);
+        let out = c.forward(&x);
+        // 1*2+10*3+1=33, 2*2+20*3+1=65
+        assert_eq!(out.output().data(), &[33.0, 65.0]);
+    }
+
+    /// Finite-difference check over all parameters and the input.
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = XorShiftRng::new(7);
+        let mut layer = Conv1d::new(2, 2, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::from_fn(2, 6, |r, c| ((r * 6 + c) as f64 * 0.37).sin());
+        let target = Matrix::from_fn(2, 4, |r, c| ((r + c) as f64 * 0.21).cos());
+
+        let cache = layer.forward(&x);
+        let (l0, grad) = mse(cache.output(), &target);
+        let grad_in = layer.backward(&cache, &grad);
+
+        let eps = 1e-6;
+        for r in 0..layer.w.rows() {
+            for c in 0..layer.w.cols() {
+                let mut p = layer.clone();
+                p.w[(r, c)] += eps;
+                let (lp, _) = mse(p.forward(&x).output(), &target);
+                let numeric = (lp - l0) / eps;
+                assert!(
+                    (numeric - layer.grad_w[(r, c)]).abs() < 1e-4,
+                    "w[{r},{c}]: {numeric} vs {}",
+                    layer.grad_w[(r, c)]
+                );
+            }
+        }
+        for i in 0..layer.b.len() {
+            let mut p = layer.clone();
+            p.b[i] += eps;
+            let (lp, _) = mse(p.forward(&x).output(), &target);
+            let numeric = (lp - l0) / eps;
+            assert!((numeric - layer.grad_b[i]).abs() < 1e-4);
+        }
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let (lp, _) = mse(layer.forward(&xp).output(), &target);
+                let numeric = (lp - l0) / eps;
+                assert!(
+                    (numeric - grad_in[(r, c)]).abs() < 1e-4,
+                    "x[{r},{c}]: {numeric} vs {}",
+                    grad_in[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_learns_edge_detector() {
+        // teach the conv to respond to upward steps
+        let mut rng = XorShiftRng::new(13);
+        let mut layer = Conv1d::new(1, 1, 2, Activation::Linear, &mut rng);
+        let x = Matrix::row_vector(&[0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+        let target = Matrix::row_vector(&[0.0, 1.0, 0.0, -1.0, 0.0, 1.0, 0.0]);
+        let mut last = f64::MAX;
+        for _ in 0..500 {
+            let cache = layer.forward(&x);
+            let (loss, grad) = mse(cache.output(), &target);
+            layer.backward(&cache, &grad);
+            layer.sgd_step(0.05);
+            last = loss;
+        }
+        assert!(last < 1e-3, "loss {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let mut rng = XorShiftRng::new(1);
+        let c = Conv1d::new(2, 1, 3, Activation::Linear, &mut rng);
+        let x = Matrix::zeros(1, 10);
+        let _ = c.forward(&x);
+    }
+}

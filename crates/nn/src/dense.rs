@@ -1,0 +1,225 @@
+//! Fully connected layer with manual backprop.
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::XorShiftRng;
+
+/// A dense layer: `y = act(x W^T + b)`.
+///
+/// Weights are stored `out x in`; inputs are `batch x in` matrices.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    act: Activation,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+}
+
+/// Values a forward pass must retain for the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    input: Matrix,
+    output: Matrix,
+}
+
+impl DenseCache {
+    /// The activated output of the forward pass that produced this cache.
+    pub fn output(&self) -> &Matrix {
+        &self.output
+    }
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialised weights and zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut XorShiftRng) -> Self {
+        Self {
+            w: Matrix::xavier(out_dim, in_dim, rng),
+            b: vec![0.0; out_dim],
+            act,
+            grad_w: Matrix::zeros(out_dim, in_dim),
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Forward pass over a `batch x in` matrix.
+    pub fn forward(&self, x: &Matrix) -> DenseCache {
+        let z = x.matmul(&self.w.t()).add_bias_row(&self.b);
+        let output = self.act.forward(&z);
+        DenseCache {
+            input: x.clone(),
+            output,
+        }
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    pub fn backward(&mut self, cache: &DenseCache, grad_out: &Matrix) -> Matrix {
+        let grad_z = self.act.backward(&cache.output, grad_out);
+        // dW = grad_z^T * x  (out x in)
+        let gw = grad_z.t().matmul(&cache.input);
+        self.grad_w.add_scaled_in_place(&gw, 1.0);
+        for (gb, s) in self.grad_b.iter_mut().zip(grad_z.col_sums()) {
+            *gb += s;
+        }
+        // dx = grad_z * W  (batch x in)
+        grad_z.matmul(&self.w)
+    }
+
+    /// Applies accumulated gradients with a plain SGD step and clears them.
+    pub fn sgd_step(&mut self, lr: f64) {
+        let gw = self.grad_w.clone();
+        self.w.add_scaled_in_place(&gw, -lr);
+        for (b, g) in self.b.iter_mut().zip(&self.grad_b) {
+            *b -= lr * g;
+        }
+        self.zero_grad();
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Mutable access to parameters and gradients for external optimizers:
+    /// `(weights, weight grads, biases, bias grads)`.
+    pub fn params_mut(&mut self) -> (&mut Matrix, &Matrix, &mut Vec<f64>, &Vec<f64>) {
+        (&mut self.w, &self.grad_w, &mut self.b, &self.grad_b)
+    }
+
+    /// Immutable access to the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Immutable access to the bias vector.
+    pub fn biases(&self) -> &[f64] {
+        &self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = XorShiftRng::new(1);
+        let layer = Dense::new(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::zeros(5, 4);
+        let cache = layer.forward(&x);
+        assert_eq!(cache.output().rows(), 5);
+        assert_eq!(cache.output().cols(), 3);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+    }
+
+    /// Full-layer finite-difference gradient check (weights, biases, input).
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = XorShiftRng::new(5);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.4, 0.7, 0.3, 0.9, -0.2]);
+        let target = Matrix::from_vec(2, 2, vec![0.5, -0.5, 0.1, 0.2]);
+
+        let cache = layer.forward(&x);
+        let (loss0, grad) = mse(cache.output(), &target);
+        let grad_in = layer.backward(&cache, &grad);
+
+        let eps = 1e-6;
+        // check weight gradients
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut perturbed = layer.clone();
+                perturbed.params_mut().0[(r, c)] += eps;
+                let (lp, _) = mse(perturbed.forward(&x).output(), &target);
+                let numeric = (lp - loss0) / eps;
+                let analytic = layer.grad_w_at(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "w[{r},{c}]: {numeric} vs {analytic}"
+                );
+            }
+        }
+        // check bias gradients
+        for i in 0..2 {
+            let mut perturbed = layer.clone();
+            perturbed.params_mut().2[i] += eps;
+            let (lp, _) = mse(perturbed.forward(&x).output(), &target);
+            let numeric = (lp - loss0) / eps;
+            assert!(
+                (numeric - layer.grad_b[i]).abs() < 1e-4,
+                "b[{i}]: {numeric} vs {}",
+                layer.grad_b[i]
+            );
+        }
+        // check input gradients
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let (lp, _) = mse(layer.forward(&xp).output(), &target);
+                let numeric = (lp - loss0) / eps;
+                assert!(
+                    (numeric - grad_in[(r, c)]).abs() < 1e-4,
+                    "x[{r},{c}]: {numeric} vs {}",
+                    grad_in[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut rng = XorShiftRng::new(9);
+        let mut layer = Dense::new(2, 1, Activation::Linear, &mut rng);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        // learn y = x0 + 2*x1
+        let target = Matrix::from_vec(4, 1, vec![0.0, 2.0, 1.0, 3.0]);
+        let mut last = f64::MAX;
+        for _ in 0..200 {
+            let cache = layer.forward(&x);
+            let (loss, grad) = mse(cache.output(), &target);
+            layer.backward(&cache, &grad);
+            layer.sgd_step(0.1);
+            last = loss;
+        }
+        assert!(last < 1e-3, "loss {last}");
+        assert!((layer.weights()[(0, 0)] - 1.0).abs() < 0.05);
+        assert!((layer.weights()[(0, 1)] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = XorShiftRng::new(2);
+        let mut layer = Dense::new(2, 2, Activation::Sigmoid, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let cache = layer.forward(&x);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        layer.backward(&cache, &g);
+        assert!(layer.grad_w.frobenius_norm() > 0.0);
+        layer.zero_grad();
+        assert_eq!(layer.grad_w.frobenius_norm(), 0.0);
+        assert!(layer.grad_b.iter().all(|&g| g == 0.0));
+    }
+}
+
+#[cfg(test)]
+impl Dense {
+    /// Test-only accessor for an accumulated weight gradient.
+    fn grad_w_at(&self, r: usize, c: usize) -> f64 {
+        self.grad_w[(r, c)]
+    }
+}

@@ -1,0 +1,203 @@
+//! Loss functions: each returns `(loss, d loss / d prediction)`.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error over all elements.
+///
+/// # Panics
+/// Panics on shape mismatch (delegated to [`Matrix::zip_map`]).
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    let n = (pred.rows() * pred.cols()) as f64;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f64>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Binary cross-entropy for predictions in `(0, 1)`, with clipping for
+/// numerical stability.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn bce(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    let n = (pred.rows() * pred.cols()) as f64;
+    let eps = 1e-12;
+    let loss: f64 = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum();
+    let grad = pred.zip_map(target, |p, t| {
+        let p = p.clamp(eps, 1.0 - eps);
+        (p - t) / (p * (1.0 - p)) / n
+    });
+    (loss / n, grad)
+}
+
+/// Per-dimension Gaussian negative log-likelihood with diagonal covariance.
+///
+/// `mu` and `logvar` parameterise the Gaussian; `x` is the observation.
+/// Returns `(nll, d nll/d mu, d nll/d logvar)`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn gaussian_nll(x: &Matrix, mu: &Matrix, logvar: &Matrix) -> (f64, Matrix, Matrix) {
+    let n = (x.rows() * x.cols()) as f64;
+    let mut loss = 0.0;
+    let mut dmu = Matrix::zeros(mu.rows(), mu.cols());
+    let mut dlogvar = Matrix::zeros(logvar.rows(), logvar.cols());
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let xv = x[(r, c)];
+            let m = mu[(r, c)];
+            let lv = logvar[(r, c)].clamp(-20.0, 20.0);
+            let var = lv.exp();
+            let d = xv - m;
+            loss += 0.5 * (lv + d * d / var + std::f64::consts::TAU.ln());
+            dmu[(r, c)] = -d / var / n;
+            dlogvar[(r, c)] = 0.5 * (1.0 - d * d / var) / n;
+        }
+    }
+    (loss / n, dmu, dlogvar)
+}
+
+/// KL divergence from `N(mu, diag(exp(logvar)))` to the standard normal,
+/// averaged over elements. Returns `(kl, d kl/d mu, d kl/d logvar)`.
+pub fn kl_standard_normal(mu: &Matrix, logvar: &Matrix) -> (f64, Matrix, Matrix) {
+    let n = (mu.rows() * mu.cols()) as f64;
+    let mut kl = 0.0;
+    let dmu = mu.map(|m| m / n);
+    let dlogvar = logvar.map(|lv| 0.5 * (lv.clamp(-20.0, 20.0).exp() - 1.0) / n);
+    for r in 0..mu.rows() {
+        for c in 0..mu.cols() {
+            let m = mu[(r, c)];
+            let lv = logvar[(r, c)].clamp(-20.0, 20.0);
+            kl += 0.5 * (m * m + lv.exp() - 1.0 - lv);
+        }
+    }
+    (kl / n, dmu, dlogvar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mse_zero_for_equal() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let (loss, grad) = mse(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        close(loss, 5.0, 1e-12); // (1 + 9) / 2
+        close(grad.data()[0], 1.0, 1e-12); // 2*1/2
+        close(grad.data()[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn mse_grad_matches_fd() {
+        let p = Matrix::from_vec(1, 3, vec![0.2, -0.7, 1.4]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.5, 1.0]);
+        let (l0, grad) = mse(&p, &t);
+        let eps = 1e-7;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let (lp, _) = mse(&pp, &t);
+            close((lp - l0) / eps, grad.data()[i], 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let p = Matrix::from_vec(1, 2, vec![0.999999, 0.000001]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, _) = bce(&p, &t);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn bce_grad_matches_fd() {
+        let p = Matrix::from_vec(1, 3, vec![0.3, 0.6, 0.9]);
+        let t = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let (l0, grad) = bce(&p, &t);
+        let eps = 1e-7;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let (lp, _) = bce(&pp, &t);
+            close((lp - l0) / eps, grad.data()[i], 1e-4);
+        }
+    }
+
+    #[test]
+    fn gaussian_nll_grads_match_fd() {
+        let x = Matrix::from_vec(1, 2, vec![0.5, -1.0]);
+        let mu = Matrix::from_vec(1, 2, vec![0.2, -0.5]);
+        let lv = Matrix::from_vec(1, 2, vec![0.1, -0.3]);
+        let (l0, dmu, dlv) = gaussian_nll(&x, &mu, &lv);
+        let eps = 1e-7;
+        for i in 0..2 {
+            let mut mp = mu.clone();
+            mp.data_mut()[i] += eps;
+            let (lp, _, _) = gaussian_nll(&x, &mp, &lv);
+            close((lp - l0) / eps, dmu.data()[i], 1e-5);
+
+            let mut lvp = lv.clone();
+            lvp.data_mut()[i] += eps;
+            let (lp, _, _) = gaussian_nll(&x, &mu, &lvp);
+            close((lp - l0) / eps, dlv.data()[i], 1e-5);
+        }
+    }
+
+    #[test]
+    fn kl_zero_at_standard_normal() {
+        let mu = Matrix::zeros(1, 4);
+        let lv = Matrix::zeros(1, 4);
+        let (kl, dmu, dlv) = kl_standard_normal(&mu, &lv);
+        close(kl, 0.0, 1e-12);
+        assert!(dmu.data().iter().all(|&g| g == 0.0));
+        assert!(dlv.data().iter().all(|&g| g.abs() < 1e-12));
+    }
+
+    #[test]
+    fn kl_grads_match_fd() {
+        let mu = Matrix::from_vec(1, 2, vec![0.7, -0.4]);
+        let lv = Matrix::from_vec(1, 2, vec![0.3, -0.6]);
+        let (l0, dmu, dlv) = kl_standard_normal(&mu, &lv);
+        let eps = 1e-7;
+        for i in 0..2 {
+            let mut mp = mu.clone();
+            mp.data_mut()[i] += eps;
+            let (lp, _, _) = kl_standard_normal(&mp, &lv);
+            close((lp - l0) / eps, dmu.data()[i], 1e-5);
+
+            let mut lvp = lv.clone();
+            lvp.data_mut()[i] += eps;
+            let (lp, _, _) = kl_standard_normal(&mu, &lvp);
+            close((lp - l0) / eps, dlv.data()[i], 1e-5);
+        }
+    }
+
+    #[test]
+    fn kl_positive_away_from_prior() {
+        let mu = Matrix::from_vec(1, 1, vec![2.0]);
+        let lv = Matrix::zeros(1, 1);
+        let (kl, _, _) = kl_standard_normal(&mu, &lv);
+        assert!(kl > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Optimizers.
+//!
+//! The layers accumulate gradients internally and expose `sgd_step`; for the
+//! trainers that want adaptive learning rates, [`Adam`] keeps per-parameter
+//! first/second-moment state and is applied to `(param, grad)` slices.
+
+/// Adam optimizer state for one flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam state for `dim` parameters with the usual defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(dim: usize, lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Applies one Adam update: `params -= lr * m̂ / (sqrt(v̂) + ε)`.
+    ///
+    /// # Panics
+    /// Panics when slice lengths disagree with the state dimension.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param dim mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad dim mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Current step counter.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x - 3)
+        let mut adam = Adam::new(1, 0.1);
+        let mut x = vec![0.0];
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_handles_ill_scaled_dims() {
+        // f(x, y) = 1000 x^2 + 0.001 y^2 — plain SGD would need very
+        // different rates per dimension; Adam normalises.
+        let mut adam = Adam::new(2, 0.05);
+        let mut p = vec![1.0, 1000.0];
+        for _ in 0..3000 {
+            let g = vec![2000.0 * p[0], 0.002 * p[1]];
+            adam.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-2, "x = {}", p[0]);
+        assert!(p[1].abs() < 950.0, "y = {}", p[1]); // slow dim still moving
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut adam = Adam::new(1, 0.1);
+        assert_eq!(adam.steps(), 0);
+        adam.step(&mut [0.0], &[1.0]);
+        adam.step(&mut [0.0], &[1.0]);
+        assert_eq!(adam.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "param dim mismatch")]
+    fn dim_mismatch_panics() {
+        let mut adam = Adam::new(2, 0.1);
+        adam.step(&mut [0.0], &[1.0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_noop_direction() {
+        let mut adam = Adam::new(1, 0.1);
+        let mut x = vec![5.0];
+        adam.step(&mut x, &[0.0]);
+        assert!((x[0] - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Variational bottleneck: diagonal-Gaussian reparameterisation.
+//!
+//! OmniAnomaly pairs a GRU encoder with a VAE; this module supplies the
+//! sampling trick `z = μ + ε·exp(logvar/2)` and its backward pass, so the
+//! baseline can train end-to-end through the stochastic layer.
+
+use crate::matrix::Matrix;
+use crate::XorShiftRng;
+
+/// The result of a reparameterised sample: `z` plus the noise that produced
+/// it (needed for the backward pass).
+#[derive(Debug, Clone)]
+pub struct Reparameterized {
+    /// The latent sample `μ + ε ⊙ exp(logvar / 2)`.
+    pub z: Matrix,
+    /// The standard-normal noise used.
+    pub epsilon: Matrix,
+}
+
+/// Draws `z = μ + ε ⊙ σ`, with `σ = exp(logvar / 2)` and `ε ~ N(0, I)`.
+///
+/// # Panics
+/// Panics on shape mismatch between `mu` and `logvar`.
+pub fn reparameterize(mu: &Matrix, logvar: &Matrix, rng: &mut XorShiftRng) -> Reparameterized {
+    assert_eq!(
+        (mu.rows(), mu.cols()),
+        (logvar.rows(), logvar.cols()),
+        "mu/logvar shape mismatch"
+    );
+    let epsilon = Matrix::from_fn(mu.rows(), mu.cols(), |_, _| rng.normal());
+    let z = mu.add(&epsilon.zip_map(logvar, |e, lv| e * (0.5 * lv.clamp(-20.0, 20.0)).exp()));
+    Reparameterized { z, epsilon }
+}
+
+/// Deterministic "sample" at the mean (used at inference time, where
+/// OmniAnomaly scores with the posterior mean rather than a random draw).
+pub fn mean_sample(mu: &Matrix) -> Matrix {
+    mu.clone()
+}
+
+/// Backward pass through the reparameterisation.
+///
+/// Given `d loss / d z`, returns `(d loss / d mu, d loss / d logvar)`:
+/// `dz/dμ = 1`, `dz/dlogvar = ε · σ / 2`.
+pub fn reparameterize_backward(
+    sample: &Reparameterized,
+    logvar: &Matrix,
+    dz: &Matrix,
+) -> (Matrix, Matrix) {
+    let dmu = dz.clone();
+    let dlogvar = dz.zip_map(
+        &sample.epsilon.zip_map(logvar, |e, lv| {
+            0.5 * e * (0.5 * lv.clamp(-20.0, 20.0)).exp()
+        }),
+        |g, d| g * d,
+    );
+    (dmu, dlogvar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_logvar_gives_unit_noise() {
+        let mut rng = XorShiftRng::new(3);
+        let mu = Matrix::zeros(1, 1000);
+        let logvar = Matrix::zeros(1, 1000);
+        let s = reparameterize(&mu, &logvar, &mut rng);
+        let mean = s.z.sum() / 1000.0;
+        let var = s.z.data().iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / 1000.0;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn tiny_variance_collapses_to_mu() {
+        let mut rng = XorShiftRng::new(5);
+        let mu = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let logvar = Matrix::from_vec(1, 3, vec![-40.0, -40.0, -40.0]);
+        let s = reparameterize(&mu, &logvar, &mut rng);
+        // logvar is clamped at -20, so σ = e^{-10} ≈ 4.5e-5.
+        for (z, m) in s.z.data().iter().zip(mu.data()) {
+            assert!((z - m).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mean_sample_is_mu() {
+        let mu = Matrix::from_vec(1, 2, vec![0.3, 0.7]);
+        assert_eq!(mean_sample(&mu), mu);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = XorShiftRng::new(9);
+        let mu = Matrix::from_vec(1, 2, vec![0.4, -0.6]);
+        let logvar = Matrix::from_vec(1, 2, vec![0.2, -0.1]);
+        let s = reparameterize(&mu, &logvar, &mut rng);
+        // loss = sum(z^2)
+        let loss = |z: &Matrix| z.data().iter().map(|v| v * v).sum::<f64>();
+        let l0 = loss(&s.z);
+        let dz = s.z.scale(2.0);
+        let (dmu, dlogvar) = reparameterize_backward(&s, &logvar, &dz);
+
+        let eps = 1e-6;
+        for i in 0..2 {
+            // same epsilon, perturbed mu
+            let mut mup = mu.clone();
+            mup.data_mut()[i] += eps;
+            let zp = mup.add(
+                &s.epsilon
+                    .zip_map(&logvar, |e, lv| e * (0.5 * lv).exp()),
+            );
+            let numeric = (loss(&zp) - l0) / eps;
+            assert!((numeric - dmu.data()[i]).abs() < 1e-4);
+
+            let mut lvp = logvar.clone();
+            lvp.data_mut()[i] += eps;
+            let zp = mu.add(&s.epsilon.zip_map(&lvp, |e, lv| e * (0.5 * lv).exp()));
+            let numeric = (loss(&zp) - l0) / eps;
+            assert!((numeric - dlogvar.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mu/logvar shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut rng = XorShiftRng::new(1);
+        let _ = reparameterize(&Matrix::zeros(1, 2), &Matrix::zeros(1, 3), &mut rng);
+    }
+}

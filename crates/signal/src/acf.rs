@@ -1,0 +1,159 @@
+//! Autocorrelation function.
+//!
+//! Used by the RobustPeriod-like periodic/irregular classifier
+//! ([`crate::period`]) to validate candidate periods found in the
+//! periodogram, mirroring the ACF-validation step of RobustPeriod (paper
+//! §IV-A2 uses RobustPeriod to split datasets).
+
+use crate::error::SignalError;
+use crate::stats::mean;
+
+/// Sample autocorrelation at a single `lag` (biased estimator, normalised by
+/// the lag-0 variance so `acf(xs, 0) == 1` for any non-constant series).
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] for empty input;
+/// [`SignalError::InvalidParameter`] when `lag >= xs.len()`.
+pub fn acf_at(xs: &[f64], lag: usize) -> Result<f64, SignalError> {
+    if xs.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    if lag >= xs.len() {
+        return Err(SignalError::InvalidParameter {
+            name: "lag",
+            reason: format!("lag {lag} >= series length {}", xs.len()),
+        });
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        // Constant series: perfectly self-similar at every lag.
+        return Ok(1.0);
+    }
+    let num: f64 = xs
+        .iter()
+        .take(xs.len() - lag)
+        .zip(xs.iter().skip(lag))
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Autocorrelation for all lags `0..max_lag` (inclusive of 0, exclusive of
+/// `max_lag`).
+///
+/// # Errors
+/// Propagates [`acf_at`] errors; `max_lag` must be `<= xs.len()`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Result<Vec<f64>, SignalError> {
+    if xs.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    if max_lag > xs.len() {
+        return Err(SignalError::InvalidParameter {
+            name: "max_lag",
+            reason: format!("max_lag {max_lag} > series length {}", xs.len()),
+        });
+    }
+    let m = mean(xs);
+    let centered: Vec<f64> = xs.iter().map(|x| x - m).collect();
+    let denom: f64 = centered.iter().map(|x| x * x).sum();
+    let mut out = Vec::with_capacity(max_lag);
+    if denom == 0.0 {
+        out.resize(max_lag, 1.0);
+        return Ok(out);
+    }
+    for lag in 0..max_lag {
+        let num: f64 = centered
+            .iter()
+            .take(xs.len() - lag)
+            .zip(centered.iter().skip(lag))
+            .map(|(a, b)| a * b)
+            .sum();
+        out.push(num / denom);
+    }
+    Ok(out)
+}
+
+/// Indices of local maxima in an ACF curve that exceed `threshold`,
+/// ignoring lag 0. Used to confirm periodogram period candidates.
+pub fn acf_peaks(acf_values: &[f64], threshold: f64) -> Vec<usize> {
+    let mut peaks = Vec::new();
+    for i in 1..acf_values.len().saturating_sub(1) {
+        let v = acf_values[i];
+        if v > threshold && v >= acf_values[i - 1] && v >= acf_values[i + 1] {
+            peaks.push(i);
+        }
+    }
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((acf_at(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_all_ones() {
+        let a = acf(&[2.0; 10], 5).unwrap();
+        assert!(a.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_period() {
+        let period = 10usize;
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period as f64).sin())
+            .collect();
+        let a = acf(&xs, 40).unwrap();
+        let peaks = acf_peaks(&a, 0.5);
+        assert!(
+            peaks.contains(&period) || peaks.contains(&(period - 1)) || peaks.contains(&(period + 1)),
+            "peaks: {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn white_noise_acf_small() {
+        // Deterministic pseudo-noise via a simple LCG.
+        let mut state = 12345u64;
+        let xs: Vec<f64> = (0..1000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            })
+            .collect();
+        let a = acf(&xs, 20).unwrap();
+        for &v in &a[1..] {
+            assert!(v.abs() < 0.2, "noise acf too large: {v}");
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_params() {
+        assert!(acf_at(&[], 0).is_err());
+        assert!(acf_at(&[1.0, 2.0], 2).is_err());
+        assert!(acf(&[1.0, 2.0], 3).is_err());
+        assert!(acf(&[], 1).is_err());
+    }
+
+    #[test]
+    fn acf_matches_acf_at() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * i) % 7) as f64).collect();
+        let all = acf(&xs, 10).unwrap();
+        for (lag, &v) in all.iter().enumerate() {
+            let single = acf_at(&xs, lag).unwrap();
+            assert!((v - single).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn acf_peaks_empty_and_flat() {
+        assert!(acf_peaks(&[], 0.5).is_empty());
+        assert!(acf_peaks(&[1.0, 0.0, 0.0, 0.0], 0.5).is_empty());
+    }
+}

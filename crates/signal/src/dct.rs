@@ -1,0 +1,151 @@
+//! Discrete cosine transform (DCT-II / DCT-III).
+//!
+//! The JumpStarter-style compressed-sensing baseline reconstructs sampled
+//! KPI windows against a DCT dictionary, exploiting that smooth KPI trends
+//! are sparse in the DCT basis. Windows are short (tens of points), so the
+//! direct O(n²) transform with an orthonormal basis is both simple and fast
+//! enough; orthonormality is what the matching-pursuit solver relies on.
+
+use crate::error::SignalError;
+
+/// Orthonormal DCT-II of `xs`.
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] on empty input.
+pub fn dct2(xs: &[f64]) -> Result<Vec<f64>, SignalError> {
+    let n = xs.len();
+    if n == 0 {
+        return Err(SignalError::EmptyInput);
+    }
+    let nf = n as f64;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos();
+        }
+        let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        out.push(acc * scale);
+    }
+    Ok(out)
+}
+
+/// Orthonormal DCT-III (the inverse of [`dct2`]).
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] on empty input.
+pub fn dct3(coeffs: &[f64]) -> Result<Vec<f64>, SignalError> {
+    let n = coeffs.len();
+    if n == 0 {
+        return Err(SignalError::EmptyInput);
+    }
+    let nf = n as f64;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = coeffs[0] * (1.0 / nf).sqrt();
+        for (k, &c) in coeffs.iter().enumerate().skip(1) {
+            acc += c
+                * (2.0 / nf).sqrt()
+                * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos();
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Value of the `k`-th orthonormal DCT basis function at sample `i`, for a
+/// length-`n` transform. This lets the matching-pursuit solver evaluate
+/// dictionary atoms at arbitrary (sampled) positions without materialising
+/// the full basis matrix.
+#[inline]
+pub fn dct_atom(n: usize, k: usize, i: usize) -> f64 {
+    let nf = n as f64;
+    let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+    scale * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let xs: Vec<f64> = (0..37).map(|i| ((i * 13) % 11) as f64 - 5.0).collect();
+        let back = dct3(&dct2(&xs).unwrap()).unwrap();
+        for (a, b) in xs.iter().zip(back.iter()) {
+            close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn constant_maps_to_dc_only() {
+        let coeffs = dct2(&[3.0; 16]).unwrap();
+        assert!(coeffs[0] > 0.0);
+        for &c in &coeffs[1..] {
+            close(c, 0.0);
+        }
+    }
+
+    #[test]
+    fn orthonormal_energy_preserved() {
+        let xs: Vec<f64> = (0..25).map(|i| (i as f64 * 0.37).sin()).collect();
+        let coeffs = dct2(&xs).unwrap();
+        let te: f64 = xs.iter().map(|x| x * x).sum();
+        let fe: f64 = coeffs.iter().map(|c| c * c).sum();
+        close(te, fe);
+    }
+
+    #[test]
+    fn atom_matches_transform_column() {
+        // dct2 of a delta at position i gives column i of the basis matrix.
+        let n = 12;
+        for i in 0..n {
+            let mut delta = vec![0.0; n];
+            delta[i] = 1.0;
+            let col = dct2(&delta).unwrap();
+            for k in 0..n {
+                close(col[k], dct_atom(n, k, i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(dct2(&[]).is_err());
+        assert!(dct3(&[]).is_err());
+    }
+
+    #[test]
+    fn basis_functions_are_orthonormal() {
+        let n = 10;
+        for k1 in 0..n {
+            for k2 in 0..n {
+                let dot: f64 = (0..n).map(|i| dct_atom(n, k1, i) * dct_atom(n, k2, i)).sum();
+                if k1 == k2 {
+                    close(dot, 1.0);
+                } else {
+                    close(dot, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_signal_is_sparse() {
+        // A slow cosine concentrates energy in few coefficients.
+        let n = 64;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * i as f64 / n as f64).cos())
+            .collect();
+        let coeffs = dct2(&xs).unwrap();
+        let total: f64 = coeffs.iter().map(|c| c * c).sum();
+        let mut sorted: Vec<f64> = coeffs.iter().map(|c| c * c).collect();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let top3: f64 = sorted.iter().take(3).sum();
+        assert!(top3 / total > 0.99, "top3 ratio {}", top3 / total);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the signal-processing primitives.
+
+use std::fmt;
+
+/// Errors produced by the signal-processing substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalError {
+    /// The input slice was empty where a non-empty series is required.
+    EmptyInput,
+    /// Two inputs that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::EmptyInput => write!(f, "input series is empty"),
+            SignalError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            SignalError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_input() {
+        assert_eq!(SignalError::EmptyInput.to_string(), "input series is empty");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = SignalError::LengthMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "length mismatch: 3 vs 5");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = SignalError::InvalidParameter {
+            name: "lag",
+            reason: "must be < n".into(),
+        };
+        assert_eq!(e.to_string(), "invalid parameter `lag`: must be < n");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&SignalError::EmptyInput);
+    }
+}

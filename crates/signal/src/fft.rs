@@ -1,0 +1,402 @@
+//! Fast Fourier transform.
+//!
+//! Iterative radix-2 Cooley–Tukey FFT over a minimal [`Complex`] type.
+//! Non-power-of-two inputs are handled by the callers either via zero
+//! padding ([`next_pow2`]) or by the O(n²) reference DFT ([`dft`]), which is
+//! also used to cross-check the fast path in tests.
+
+use crate::error::SignalError;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Deliberately tiny: only the operations the FFT and the detectors need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — a point on the unit circle.
+    #[inline]
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude (L2 norm).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; cheaper than [`Complex::abs`] when comparing.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Smallest power of two `>= n` (and `>= 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// # Errors
+/// Returns [`SignalError::InvalidParameter`] when the length is not a power
+/// of two, and [`SignalError::EmptyInput`] on an empty buffer.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), SignalError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/n` scaling).
+///
+/// # Errors
+/// Same contract as [`fft_in_place`].
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), SignalError> {
+    transform(buf, true)?;
+    let inv = 1.0 / buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = v.scale(inv);
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), SignalError> {
+    let n = buf.len();
+    if n == 0 {
+        return Err(SignalError::EmptyInput);
+    }
+    if !n.is_power_of_two() {
+        return Err(SignalError::InvalidParameter {
+            name: "len",
+            reason: format!("{n} is not a power of two"),
+        });
+    }
+    // Bit-reversal permutation (n == 1 has no bits to reverse, and the
+    // shift by usize::BITS would overflow).
+    let bits = n.trailing_zeros();
+    if bits > 0 {
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        for chunk in buf.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            let mut w = Complex::new(1.0, 0.0);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real series, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of the padded series.
+///
+/// # Errors
+/// Returns [`SignalError::EmptyInput`] on an empty slice.
+pub fn rfft_padded(series: &[f64]) -> Result<Vec<Complex>, SignalError> {
+    if series.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    let n = next_pow2(series.len());
+    let mut buf = Vec::with_capacity(n);
+    buf.extend(series.iter().map(|&x| Complex::new(x, 0.0)));
+    buf.resize(n, Complex::zero());
+    fft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// Inverse FFT returning only real parts, truncated to `out_len` samples.
+///
+/// # Errors
+/// Propagates [`ifft_in_place`] errors; `out_len` must not exceed the
+/// spectrum length.
+pub fn irfft_truncated(spectrum: &[Complex], out_len: usize) -> Result<Vec<f64>, SignalError> {
+    if out_len > spectrum.len() {
+        return Err(SignalError::InvalidParameter {
+            name: "out_len",
+            reason: format!("{out_len} exceeds spectrum length {}", spectrum.len()),
+        });
+    }
+    let mut buf = spectrum.to_vec();
+    ifft_in_place(&mut buf)?;
+    Ok(buf.iter().take(out_len).map(|c| c.re).collect())
+}
+
+/// Reference O(n²) DFT of a real series — any length.
+///
+/// Used to validate the fast path and for tiny inputs where padding would
+/// distort the spectrum.
+///
+/// # Errors
+/// Returns [`SignalError::EmptyInput`] on an empty slice.
+pub fn dft(series: &[f64]) -> Result<Vec<Complex>, SignalError> {
+    let n = series.len();
+    if n == 0 {
+        return Err(SignalError::EmptyInput);
+    }
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::zero();
+        for (t, &x) in series.iter().enumerate() {
+            let ang = -std::f64::consts::TAU * (k * t) as f64 / n as f64;
+            acc = acc + Complex::from_polar_unit(ang).scale(x);
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_close(Complex::new(3.0, 4.0).abs(), 5.0, 1e-12);
+        assert_close(Complex::new(3.0, 4.0).norm_sqr(), 25.0, 1e-12);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(17), 32);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    fn fft_rejects_non_pow2() {
+        let mut buf = vec![Complex::zero(); 3];
+        assert!(matches!(
+            fft_in_place(&mut buf),
+            Err(SignalError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn fft_rejects_empty() {
+        let mut buf: Vec<Complex> = vec![];
+        assert_eq!(fft_in_place(&mut buf), Err(SignalError::EmptyInput));
+    }
+
+    #[test]
+    fn single_element_fft_is_identity() {
+        // regression: n = 1 used to overflow the bit-reversal shift in
+        // debug builds
+        let mut buf = vec![Complex::new(3.5, -1.25)];
+        fft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.5, -1.25));
+        ifft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.5, -1.25));
+        let spec = rfft_padded(&[7.0]).unwrap();
+        assert_eq!(spec.len(), 1);
+        let back = irfft_truncated(&spec, 1).unwrap();
+        assert!((back[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::zero(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for c in &buf {
+            assert_close(c.re, 1.0, 1e-12);
+            assert_close(c.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_dc() {
+        let mut buf = vec![Complex::new(2.0, 0.0); 16];
+        fft_in_place(&mut buf).unwrap();
+        assert_close(buf[0].re, 32.0, 1e-9);
+        for c in &buf[1..] {
+            assert_close(c.abs(), 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let series: Vec<f64> = (0..64)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.3).sin() + 0.5 * (t * 1.7).cos() + 0.1 * t
+            })
+            .collect();
+        let fast = rfft_padded(&series).unwrap();
+        let slow = dft(&series).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_close(f.re, s.re, 1e-8);
+            assert_close(f.im, s.im, 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_recovers_signal() {
+        let series: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let spectrum = rfft_padded(&series).unwrap();
+        let back = irfft_truncated(&spectrum, series.len()).unwrap();
+        for (orig, rec) in series.iter().zip(back.iter()) {
+            assert_close(*orig, *rec, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_round_trip_complex() {
+        let mut buf: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64, (i as f64).sin()))
+            .collect();
+        let orig = buf.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in orig.iter().zip(buf.iter()) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 128usize;
+        let k = 5usize;
+        let series: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = rfft_padded(&series).unwrap();
+        let (argmax, _) = spec
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap();
+        assert_eq!(argmax, k);
+    }
+
+    #[test]
+    fn irfft_truncated_rejects_oversize() {
+        let spec = vec![Complex::zero(); 4];
+        assert!(irfft_truncated(&spec, 5).is_err());
+    }
+
+    #[test]
+    fn dft_rejects_empty() {
+        assert_eq!(dft(&[]), Err(SignalError::EmptyInput));
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let series: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64 / 17.0).collect();
+        let spec = rfft_padded(&series).unwrap();
+        let time_energy: f64 = series.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Simple time-domain filters.
+//!
+//! The baseline detectors and the workload generators use these for
+//! smoothing, trend extraction and detrending.
+
+use crate::error::SignalError;
+use crate::stats::median_in_place;
+
+/// Centred moving average with window `w` (clamped at the edges).
+///
+/// # Errors
+/// [`SignalError::InvalidParameter`] when `w == 0`.
+pub fn moving_average(xs: &[f64], w: usize) -> Result<Vec<f64>, SignalError> {
+    if w == 0 {
+        return Err(SignalError::InvalidParameter {
+            name: "w",
+            reason: "window must be >= 1".into(),
+        });
+    }
+    let n = xs.len();
+    let half = w / 2;
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums keep this O(n) even for large windows.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in xs {
+        prefix.push(prefix.last().unwrap() + x);
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    Ok(out)
+}
+
+/// Centred moving median with window `w` (clamped at the edges). Robust to
+/// spikes; used by outlier-resistant preprocessing.
+///
+/// # Errors
+/// [`SignalError::InvalidParameter`] when `w == 0`.
+pub fn moving_median(xs: &[f64], w: usize) -> Result<Vec<f64>, SignalError> {
+    if w == 0 {
+        return Err(SignalError::InvalidParameter {
+            name: "w",
+            reason: "window must be >= 1".into(),
+        });
+    }
+    let n = xs.len();
+    let half = w / 2;
+    let mut out = Vec::with_capacity(n);
+    let mut scratch = Vec::with_capacity(w + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        scratch.clear();
+        scratch.extend_from_slice(&xs[lo..hi]);
+        out.push(median_in_place(&mut scratch));
+    }
+    Ok(out)
+}
+
+/// Exponentially weighted moving average; `alpha` in `(0, 1]` is the weight
+/// of the newest observation.
+///
+/// # Errors
+/// [`SignalError::InvalidParameter`] for `alpha` outside `(0, 1]`.
+pub fn ewma(xs: &[f64], alpha: f64) -> Result<Vec<f64>, SignalError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(SignalError::InvalidParameter {
+            name: "alpha",
+            reason: format!("{alpha} not in (0, 1]"),
+        });
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = f64::NAN;
+    for &x in xs {
+        acc = if acc.is_nan() { x } else { alpha * x + (1.0 - alpha) * acc };
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// First difference: `out[i] = xs[i+1] - xs[i]` (length `n - 1`).
+/// The classic cheap detrend used before periodicity analysis.
+pub fn diff(xs: &[f64]) -> Vec<f64> {
+    xs.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Removes a linear trend fitted by least squares, returning the residuals.
+/// Constant and near-constant series come back (numerically) unchanged
+/// around zero.
+pub fn detrend_linear(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let nf = n as f64;
+    let tx: f64 = (0..n).map(|i| i as f64).sum();
+    let txx: f64 = (0..n).map(|i| (i * i) as f64).sum();
+    let sy: f64 = xs.iter().sum();
+    let sxy: f64 = xs.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+    let denom = nf * txx - tx * tx;
+    let (slope, intercept) = if denom == 0.0 {
+        (0.0, sy / nf)
+    } else {
+        let slope = (nf * sxy - tx * sy) / denom;
+        (slope, (sy - slope * tx) / nf)
+    };
+    xs.iter()
+        .enumerate()
+        .map(|(i, &y)| y - (intercept + slope * i as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn moving_average_smooths_constant() {
+        let out = moving_average(&[3.0; 10], 5).unwrap();
+        assert!(out.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let xs = [1.0, 5.0, 2.0];
+        assert_eq!(moving_average(&xs, 1).unwrap(), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_centre_value() {
+        let out = moving_average(&[0.0, 0.0, 9.0, 0.0, 0.0], 3).unwrap();
+        close(out[2], 3.0);
+        close(out[1], 3.0);
+        close(out[0], 0.0);
+    }
+
+    #[test]
+    fn moving_average_rejects_zero_window() {
+        assert!(moving_average(&[1.0], 0).is_err());
+        assert!(moving_median(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn moving_median_kills_spike() {
+        let xs = [1.0, 1.0, 100.0, 1.0, 1.0];
+        let out = moving_median(&xs, 3).unwrap();
+        close(out[2], 1.0);
+    }
+
+    #[test]
+    fn ewma_constant_stays_constant() {
+        let out = ewma(&[4.0; 8], 0.3).unwrap();
+        assert!(out.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ewma_rejects_bad_alpha() {
+        assert!(ewma(&[1.0], 0.0).is_err());
+        assert!(ewma(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn ewma_first_value_seeded() {
+        let out = ewma(&[10.0, 0.0], 0.5).unwrap();
+        close(out[0], 10.0);
+        close(out[1], 5.0);
+    }
+
+    #[test]
+    fn diff_length_and_values() {
+        assert_eq!(diff(&[1.0, 4.0, 9.0]), vec![3.0, 5.0]);
+        assert!(diff(&[1.0]).is_empty());
+        assert!(diff(&[]).is_empty());
+    }
+
+    #[test]
+    fn detrend_removes_line() {
+        let xs: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 + 7.0).collect();
+        let out = detrend_linear(&xs);
+        assert!(out.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn detrend_preserves_oscillation() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| 0.5 * i as f64 + (i as f64 * 0.7).sin())
+            .collect();
+        let out = detrend_linear(&xs);
+        // trend gone, oscillation amplitude preserved
+        let max = out.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 0.5 && max < 1.5, "max {max}");
+    }
+
+    #[test]
+    fn detrend_short_series() {
+        assert_eq!(detrend_linear(&[]), Vec::<f64>::new());
+        assert_eq!(detrend_linear(&[5.0]), vec![0.0]);
+    }
+}

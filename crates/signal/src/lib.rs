@@ -1,0 +1,38 @@
+//! # dbcatcher-signal
+//!
+//! Signal-processing substrate for the DBCatcher reproduction.
+//!
+//! The DBCatcher paper (ICDE 2023) and the baseline detectors it compares
+//! against lean on a small set of classical signal-processing primitives:
+//!
+//! * a **fast Fourier transform** ([`fft`]) — used by the FFT and Spectral
+//!   Residual baselines and by the periodicity classifier;
+//! * a **discrete cosine transform** ([`dct`]) — the sparse dictionary used
+//!   by the JumpStarter-style compressed-sensing baseline;
+//! * **autocorrelation** ([`acf`]) and a **periodogram** ([`periodogram`]) —
+//!   combined in [`period`] into a RobustPeriod-like periodic/irregular
+//!   classifier (paper §IV-A2);
+//! * **robust statistics** ([`stats`]), **normalisation** ([`normalize`],
+//!   paper Eq. 1) and simple **filters** ([`filters`]).
+//!
+//! Everything is implemented from scratch on `f64` slices with no external
+//! numeric dependencies, and each module carries exhaustive unit tests
+//! (including FFT-vs-naive-DFT cross checks).
+
+// Index-based loops over matrix/tensor dimensions are clearer than
+// iterator chains in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod acf;
+pub mod dct;
+pub mod error;
+pub mod fft;
+pub mod filters;
+pub mod linalg;
+pub mod normalize;
+pub mod period;
+pub mod periodogram;
+pub mod stats;
+
+pub use error::SignalError;
+pub use fft::Complex;

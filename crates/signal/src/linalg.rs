@@ -1,0 +1,163 @@
+//! Tiny dense linear algebra: Gaussian elimination and least squares.
+//!
+//! The JumpStarter-style compressed-sensing baseline solves small
+//! (sparsity × sparsity) normal-equation systems inside its orthogonal
+//! matching pursuit loop; nothing bigger than ~10×10 ever appears, so a
+//! straightforward partial-pivoting implementation is ideal.
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// Returns `None` when the matrix is (numerically) singular.
+///
+/// # Panics
+/// Panics when `a` is not square or `b` has the wrong length.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // augmented matrix
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        // eliminate below
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in (row + 1)..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Least squares `min ||A x − b||₂` via the normal equations
+/// `(AᵀA) x = Aᵀ b`. `a` is row-major with `rows >= cols`.
+///
+/// Returns `None` when the normal equations are singular.
+///
+/// # Panics
+/// Panics when row lengths are inconsistent or `b` mismatches.
+pub fn least_squares(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let rows = a.len();
+    assert_eq!(b.len(), rows, "rhs length mismatch");
+    if rows == 0 {
+        return Some(Vec::new());
+    }
+    let cols = a[0].len();
+    assert!(a.iter().all(|r| r.len() == cols), "ragged matrix");
+    let mut ata = vec![vec![0.0; cols]; cols];
+    let mut atb = vec![0.0; cols];
+    for (row, &rhs) in a.iter().zip(b) {
+        for i in 0..cols {
+            atb[i] += row[i] * rhs;
+            for j in i..cols {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            ata[i][j] = ata[j][i];
+        }
+    }
+    solve(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        close(x[0], 3.0);
+        close(x[1], 4.0);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x - y = 1  → x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        close(x[0], 2.0);
+        close(x[1], 1.0);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(&a, &[7.0, 9.0]).unwrap();
+        close(x[0], 9.0);
+        close(x[1], 7.0);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(solve(&[], &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 2x + 1 sampled exactly
+        let a: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 1.0]).collect();
+        let b: Vec<f64> = (0..5).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let x = least_squares(&a, &b).unwrap();
+        close(x[0], 2.0);
+        close(x[1], 1.0);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 3x with symmetric perturbation: slope recovered exactly
+        let a = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let b = vec![3.1, 5.9, 9.1, 11.9];
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 0.05, "slope {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be square")]
+    fn non_square_panics() {
+        let _ = solve(&[vec![1.0, 2.0]], &[1.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Series normalisation.
+//!
+//! DBCatcher compares *trends*, not magnitudes, so every window is min–max
+//! normalised before the KCD score is computed (paper Eq. 1). Z-score and
+//! robust variants are provided for the baselines.
+
+use crate::stats::{mad, mean, median, std_dev};
+
+/// Min–max normalisation into `[0, 1]` (paper Eq. 1).
+///
+/// A constant series maps to all zeros — the convention the correlation
+/// matrix relies on for "unused database" handling.
+pub fn min_max(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    min_max_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`min_max`] for hot paths (the correlation module
+/// normalises every window of every KPI of every database).
+pub fn min_max_in_place(xs: &mut [f64]) {
+    let Some(&first) = xs.first() else { return };
+    let (mut lo, mut hi) = (first, first);
+    for &x in xs.iter() {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    let range = hi - lo;
+    if range == 0.0 {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+    } else {
+        let inv = 1.0 / range;
+        xs.iter_mut().for_each(|x| *x = (*x - lo) * inv);
+    }
+}
+
+/// Z-score (standard) normalisation. Constant series map to all zeros.
+pub fn z_score(xs: &[f64]) -> Vec<f64> {
+    let sd = std_dev(xs);
+    if sd == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) / sd).collect()
+}
+
+/// Robust normalisation: `(x - median) / (1.4826 * MAD)`.
+/// Falls back to [`z_score`] when the MAD is zero.
+pub fn robust(xs: &[f64]) -> Vec<f64> {
+    let scale = mad(xs) * 1.4826;
+    if scale == 0.0 {
+        return z_score(xs);
+    }
+    let med = median(xs);
+    xs.iter().map(|x| (x - med) / scale).collect()
+}
+
+/// Mean-centres a series in place (used by the KCD numerator, Eq. 3).
+pub fn center_in_place(xs: &mut [f64]) {
+    let m = mean(xs);
+    xs.iter_mut().for_each(|x| *x -= m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let out = min_max(&[10.0, 20.0, 15.0]);
+        close(out[0], 0.0);
+        close(out[1], 1.0);
+        close(out[2], 0.5);
+    }
+
+    #[test]
+    fn min_max_constant_is_zero() {
+        assert_eq!(min_max(&[7.0, 7.0, 7.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_empty_noop() {
+        assert!(min_max(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_max_idempotent() {
+        let once = min_max(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        let twice = min_max(&once);
+        for (a, b) in once.iter().zip(twice.iter()) {
+            close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn min_max_negative_values() {
+        let out = min_max(&[-2.0, 0.0, 2.0]);
+        close(out[0], 0.0);
+        close(out[1], 0.5);
+        close(out[2], 1.0);
+    }
+
+    #[test]
+    fn z_score_zero_mean_unit_std() {
+        let out = z_score(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        close(crate::stats::mean(&out), 0.0);
+        close(crate::stats::std_dev(&out), 1.0);
+    }
+
+    #[test]
+    fn z_score_constant() {
+        assert_eq!(z_score(&[2.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn robust_ignores_outlier_scale() {
+        // Without the outlier, values are 0..9; the robust scale should not
+        // blow up because of the single 1000.
+        let mut xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        xs.push(1000.0);
+        let out = robust(&xs);
+        // the non-outlier points stay within a small band
+        assert!(out[..10].iter().all(|v| v.abs() < 3.0));
+        assert!(out[10] > 100.0);
+    }
+
+    #[test]
+    fn center_in_place_zero_mean() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        center_in_place(&mut xs);
+        close(xs.iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Periodic-vs-irregular classification (RobustPeriod substitute).
+//!
+//! Paper §IV-A2 uses RobustPeriod to split each dataset into a *periodic*
+//! subset (Tencent/Sysbench/TPCC II) and an *irregular* subset (… I) based
+//! on the "Requests Per Second" KPI. We reproduce the decision with the
+//! same two-stage recipe RobustPeriod popularised:
+//!
+//! 1. detrend the series and compute its periodogram; take dominant peaks
+//!    as *candidate* periods;
+//! 2. validate each candidate against the autocorrelation function — a real
+//!    period must also produce an ACF local maximum near the same lag.
+//!
+//! A series is **periodic** when a validated period explains a sufficient
+//! fraction of spectral power.
+
+use crate::acf::acf;
+use crate::error::SignalError;
+use crate::filters::detrend_linear;
+use crate::periodogram::{peak_power_ratio, top_peaks};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeriodicityConfig {
+    /// Number of periodogram peaks to consider as candidates.
+    pub candidates: usize,
+    /// ACF value required at (or adjacent to) the candidate lag.
+    pub acf_threshold: f64,
+    /// Minimum fraction of spectral power in the dominant peak.
+    pub min_peak_power_ratio: f64,
+    /// Candidate periods shorter than this are treated as noise.
+    pub min_period: usize,
+    /// Relative tolerance when matching an ACF peak to a candidate period.
+    pub lag_tolerance: f64,
+}
+
+impl Default for PeriodicityConfig {
+    fn default() -> Self {
+        Self {
+            candidates: 5,
+            acf_threshold: 0.3,
+            min_peak_power_ratio: 0.08,
+            min_period: 4,
+            lag_tolerance: 0.2,
+        }
+    }
+}
+
+/// Outcome of the periodicity analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicityVerdict {
+    /// Whether the series is classified periodic.
+    pub periodic: bool,
+    /// The validated dominant period (samples), if any.
+    pub period: Option<f64>,
+    /// Fraction of spectral power in the strongest peak.
+    pub peak_power_ratio: f64,
+    /// ACF value at the validated period lag (0 when none validated).
+    pub acf_at_period: f64,
+}
+
+/// Classifies a series as periodic or irregular.
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] when the series is empty, and
+/// [`SignalError::InvalidParameter`] when it is too short to analyse
+/// (fewer than `4 * min_period` samples).
+pub fn classify(series: &[f64], cfg: &PeriodicityConfig) -> Result<PeriodicityVerdict, SignalError> {
+    if series.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    if series.len() < cfg.min_period * 4 {
+        return Err(SignalError::InvalidParameter {
+            name: "series",
+            reason: format!(
+                "need at least {} samples, got {}",
+                cfg.min_period * 4,
+                series.len()
+            ),
+        });
+    }
+    let detrended = detrend_linear(series);
+    let ratio = peak_power_ratio(&detrended)?;
+    let peaks = top_peaks(&detrended, cfg.candidates)?;
+    // ACF over at most half the series (longer lags are unreliable).
+    let max_lag = series.len() / 2;
+    let acf_curve = acf(&detrended, max_lag)?;
+
+    let mut best: Option<(f64, f64)> = None; // (period, acf value)
+    for peak in &peaks {
+        if peak.period < cfg.min_period as f64 || peak.period > max_lag as f64 {
+            continue;
+        }
+        let lag = peak.period.round() as usize;
+        let slack = ((peak.period * cfg.lag_tolerance).ceil() as usize).max(1);
+        let lo = lag.saturating_sub(slack).max(1);
+        let hi = (lag + slack).min(acf_curve.len().saturating_sub(1));
+        if lo > hi {
+            continue;
+        }
+        let local_max = acf_curve[lo..=hi].iter().cloned().fold(f64::MIN, f64::max);
+        if local_max >= cfg.acf_threshold {
+            match best {
+                Some((_, v)) if v >= local_max => {}
+                _ => best = Some((peak.period, local_max)),
+            }
+        }
+    }
+
+    let periodic = best.is_some() && ratio >= cfg.min_peak_power_ratio;
+    Ok(PeriodicityVerdict {
+        periodic,
+        period: best.map(|(p, _)| p).filter(|_| periodic),
+        peak_power_ratio: ratio,
+        acf_at_period: if periodic { best.map(|(_, v)| v).unwrap_or(0.0) } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_noise(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                amp * ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_sine_is_periodic() {
+        let period = 24.0;
+        let xs: Vec<f64> = (0..480)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period).sin())
+            .collect();
+        let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
+        assert!(v.periodic);
+        let p = v.period.unwrap();
+        assert!((p - period).abs() / period < 0.2, "period {p}");
+    }
+
+    #[test]
+    fn noisy_sine_is_periodic() {
+        let period = 20.0;
+        let noise = lcg_noise(600, 7, 0.4);
+        let xs: Vec<f64> = (0..600)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period).sin() + noise[i])
+            .collect();
+        let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
+        assert!(v.periodic, "verdict: {v:?}");
+    }
+
+    #[test]
+    fn white_noise_is_irregular() {
+        let xs = lcg_noise(600, 42, 1.0);
+        let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
+        assert!(!v.periodic, "verdict: {v:?}");
+        assert!(v.period.is_none());
+    }
+
+    #[test]
+    fn random_walk_is_irregular() {
+        let steps = lcg_noise(600, 5, 1.0);
+        let mut acc = 0.0;
+        let xs: Vec<f64> = steps
+            .iter()
+            .map(|s| {
+                acc += s;
+                acc
+            })
+            .collect();
+        let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
+        assert!(!v.periodic, "verdict: {v:?}");
+    }
+
+    #[test]
+    fn trend_plus_sine_still_periodic() {
+        let period = 30.0;
+        let xs: Vec<f64> = (0..600)
+            .map(|i| 0.05 * i as f64 + 2.0 * (std::f64::consts::TAU * i as f64 / period).sin())
+            .collect();
+        let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
+        assert!(v.periodic, "verdict: {v:?}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(classify(&[1.0; 8], &PeriodicityConfig::default()).is_err());
+        assert!(classify(&[], &PeriodicityConfig::default()).is_err());
+    }
+
+    #[test]
+    fn constant_is_irregular() {
+        let v = classify(&[3.0; 200], &PeriodicityConfig::default()).unwrap();
+        assert!(!v.periodic);
+        assert_eq!(v.peak_power_ratio, 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Periodogram (power spectral density estimate).
+//!
+//! The periodogram proposes candidate periods for the RobustPeriod-like
+//! classifier in [`crate::period`]; the FFT baseline detector also uses it
+//! to find dominant frequencies.
+
+use crate::error::SignalError;
+use crate::fft::rfft_padded;
+use crate::normalize::center_in_place;
+
+/// One spectral peak: FFT bin, implied period in samples, and power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralPeak {
+    /// FFT bin index (1-based bins carry frequency `bin / n_padded`).
+    pub bin: usize,
+    /// Period implied by the bin, in samples of the original series.
+    pub period: f64,
+    /// Power at the bin.
+    pub power: f64,
+}
+
+/// Computes the one-sided periodogram of a (mean-centred) series.
+///
+/// The series is centred, zero-padded to a power of two and transformed; the
+/// returned vector holds `n_padded / 2` power values (bin 0 = DC is zeroed
+/// because the mean was removed).
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] for empty input.
+pub fn periodogram(series: &[f64]) -> Result<Vec<f64>, SignalError> {
+    if series.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    let mut centered = series.to_vec();
+    center_in_place(&mut centered);
+    let spectrum = rfft_padded(&centered)?;
+    let n = spectrum.len();
+    let scale = 1.0 / (n as f64 * series.len() as f64);
+    Ok(spectrum
+        .iter()
+        .take(n / 2)
+        .map(|c| c.norm_sqr() * scale)
+        .collect())
+}
+
+/// Extracts up to `k` dominant spectral peaks (local maxima, sorted by
+/// descending power), reporting periods in units of the *original* series
+/// length.
+///
+/// # Errors
+/// Propagates [`periodogram`] errors.
+pub fn top_peaks(series: &[f64], k: usize) -> Result<Vec<SpectralPeak>, SignalError> {
+    let pg = periodogram(series)?;
+    let n_padded = crate::fft::next_pow2(series.len());
+    let mut peaks: Vec<SpectralPeak> = Vec::new();
+    for bin in 1..pg.len() {
+        let left = if bin > 0 { pg[bin - 1] } else { 0.0 };
+        let right = if bin + 1 < pg.len() { pg[bin + 1] } else { 0.0 };
+        if pg[bin] >= left && pg[bin] >= right && pg[bin] > 0.0 {
+            peaks.push(SpectralPeak {
+                bin,
+                period: n_padded as f64 / bin as f64,
+                power: pg[bin],
+            });
+        }
+    }
+    peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
+    peaks.truncate(k);
+    Ok(peaks)
+}
+
+/// Fraction of total spectral power captured by the strongest peak — a
+/// simple "how periodic is this" score in `[0, 1]`.
+///
+/// # Errors
+/// Propagates [`periodogram`] errors.
+pub fn peak_power_ratio(series: &[f64]) -> Result<f64, SignalError> {
+    let pg = periodogram(series)?;
+    let total: f64 = pg.iter().sum();
+    if total == 0.0 {
+        return Ok(0.0);
+    }
+    let max = pg.iter().cloned().fold(0.0_f64, f64::max);
+    Ok(max / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_peak_at_right_period() {
+        let period = 16usize;
+        let xs: Vec<f64> = (0..256)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period as f64).sin())
+            .collect();
+        let peaks = top_peaks(&xs, 1).unwrap();
+        assert_eq!(peaks.len(), 1);
+        assert!(
+            (peaks[0].period - period as f64).abs() < 1.0,
+            "found period {}",
+            peaks[0].period
+        );
+    }
+
+    #[test]
+    fn constant_has_no_peaks() {
+        let xs = vec![5.0; 64];
+        let peaks = top_peaks(&xs, 3).unwrap();
+        assert!(peaks.is_empty());
+        assert_eq!(peak_power_ratio(&xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn periodic_beats_noise_on_ratio() {
+        let period = 12usize;
+        let periodic: Vec<f64> = (0..300)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period as f64).sin())
+            .collect();
+        let mut state = 99u64;
+        let noise: Vec<f64> = (0..300)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            })
+            .collect();
+        let rp = peak_power_ratio(&periodic).unwrap();
+        let rn = peak_power_ratio(&noise).unwrap();
+        assert!(rp > rn * 3.0, "periodic {rp} vs noise {rn}");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(periodogram(&[]).is_err());
+        assert!(top_peaks(&[], 1).is_err());
+    }
+
+    #[test]
+    fn two_tone_yields_two_peaks() {
+        let xs: Vec<f64> = (0..512)
+            .map(|i| {
+                let t = i as f64;
+                (std::f64::consts::TAU * t / 32.0).sin() + 0.8 * (std::f64::consts::TAU * t / 8.0).sin()
+            })
+            .collect();
+        let peaks = top_peaks(&xs, 2).unwrap();
+        assert_eq!(peaks.len(), 2);
+        let mut periods: Vec<f64> = peaks.iter().map(|p| p.period).collect();
+        periods.sort_by(f64::total_cmp);
+        assert!((periods[0] - 8.0).abs() < 0.5);
+        assert!((periods[1] - 32.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Descriptive and robust statistics over `f64` slices.
+//!
+//! These are the building blocks for the KCD correlation score (paper
+//! Eq. 3–4), the baseline detectors' thresholds, and the outlier-resistant
+//! sampling of the JumpStarter baseline.
+
+use crate::error::SignalError;
+
+/// Arithmetic mean. Returns 0 for an empty slice (documented convention so
+/// hot paths need no branching); use [`try_mean`] when emptiness is an error.
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Arithmetic mean that rejects empty input.
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] when `xs` is empty.
+pub fn try_mean(xs: &[f64]) -> Result<f64, SignalError> {
+    if xs.is_empty() {
+        Err(SignalError::EmptyInput)
+    } else {
+        Ok(mean(xs))
+    }
+}
+
+/// Population variance (divides by `n`).
+#[inline]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[inline]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// L2 norm of a slice.
+#[inline]
+pub fn l2_norm(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Median (by sorting a scratch copy). Returns 0 for empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut scratch = xs.to_vec();
+    median_in_place(&mut scratch)
+}
+
+/// Median computed in place over a scratch buffer (avoids the copy when the
+/// caller already owns one). The buffer order is unspecified afterwards.
+pub fn median_in_place(scratch: &mut [f64]) -> f64 {
+    if scratch.is_empty() {
+        return 0.0;
+    }
+    let n = scratch.len();
+    let mid = n / 2;
+    scratch.sort_unstable_by(f64::total_cmp);
+    if n % 2 == 1 {
+        scratch[mid]
+    } else {
+        0.5 * (scratch[mid - 1] + scratch[mid])
+    }
+}
+
+/// Median absolute deviation (raw, not scaled to σ).
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let mut dev: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median_in_place(&mut dev)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+///
+/// # Errors
+/// [`SignalError::EmptyInput`] on empty input and
+/// [`SignalError::InvalidParameter`] when `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64, SignalError> {
+    if xs.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(SignalError::InvalidParameter {
+            name: "q",
+            reason: format!("{q} not in [0, 1]"),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Covariance of two equally long series (population).
+///
+/// # Errors
+/// [`SignalError::LengthMismatch`] / [`SignalError::EmptyInput`].
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, SignalError> {
+    if xs.len() != ys.len() {
+        return Err(SignalError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.is_empty() {
+        return Err(SignalError::EmptyInput);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64)
+}
+
+/// Pearson linear correlation coefficient.
+///
+/// Degenerate conventions (needed by the correlation-matrix semantics of the
+/// paper, §III-B): two constant series are perfectly correlated (`1.0`);
+/// a constant against a varying series is uncorrelated (`0.0`).
+///
+/// # Errors
+/// [`SignalError::LengthMismatch`] / [`SignalError::EmptyInput`].
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, SignalError> {
+    let cov = covariance(xs, ys)?;
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx == 0.0 && sy == 0.0 {
+        return Ok(1.0);
+    }
+    if sx == 0.0 || sy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((cov / (sx * sy)).clamp(-1.0, 1.0))
+}
+
+/// Index of the maximum element (ties resolve to the first). `None` if empty.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element (ties resolve to the first). `None` if empty.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+}
+
+/// Robust z-scores based on median/MAD (with the 1.4826 σ-consistency
+/// factor). Falls back to mean/std when MAD is zero; all-zero output when the
+/// series is constant.
+pub fn robust_z_scores(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let med = median(xs);
+    let scale = mad(xs) * 1.4826;
+    if scale > 0.0 {
+        return xs.iter().map(|x| (x - med) / scale).collect();
+    }
+    let sd = std_dev(xs);
+    if sd > 0.0 {
+        let m = mean(xs);
+        xs.iter().map(|x| (x - m) / sd).collect()
+    } else {
+        vec![0.0; xs.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mean_basic_and_empty() {
+        close(mean(&[1.0, 2.0, 3.0]), 2.0);
+        close(mean(&[]), 0.0);
+        assert_eq!(try_mean(&[]), Err(SignalError::EmptyInput));
+        close(try_mean(&[4.0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        close(variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 4.0);
+        close(std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 2.0);
+        close(variance(&[]), 0.0);
+        close(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_pythagorean() {
+        close(l2_norm(&[3.0, 4.0]), 5.0);
+        close(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        close(median(&[3.0, 1.0, 2.0]), 2.0);
+        close(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        close(median(&[]), 0.0);
+        close(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_known_value() {
+        // values: 1 1 2 2 4 6 9 -> median 2, |x-2|: 1 1 0 0 2 4 7 -> median 1
+        close(mad(&[1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0]), 1.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        close(quantile(&xs, 0.0).unwrap(), 1.0);
+        close(quantile(&xs, 1.0).unwrap(), 4.0);
+        close(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn covariance_checks() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        close(covariance(&xs, &ys).unwrap(), 4.0 / 3.0);
+        assert!(covariance(&xs, &ys[..2]).is_err());
+        assert!(covariance(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        close(pearson(&xs, &ys).unwrap(), 1.0);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        close(pearson(&xs, &neg).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn pearson_degenerate_conventions() {
+        close(pearson(&[5.0, 5.0], &[2.0, 2.0]).unwrap(), 1.0);
+        close(pearson(&[5.0, 5.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0)); // first tie wins
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn robust_z_scores_flags_outlier() {
+        let mut xs = vec![1.0; 20];
+        xs.push(100.0);
+        let z = robust_z_scores(&xs);
+        // MAD is 0 here (all-but-one identical) so falls back to mean/std,
+        // which still ranks the outlier far above the rest.
+        let zmax = z.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(zmax > 3.0);
+    }
+
+    #[test]
+    fn robust_z_scores_constant_is_zero() {
+        let z = robust_z_scores(&[4.0; 10]);
+        assert!(z.iter().all(|&v| v == 0.0));
+        assert!(robust_z_scores(&[]).is_empty());
+    }
+
+    #[test]
+    fn robust_z_median_center() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let z = robust_z_scores(&xs);
+        // median is 3, so the third entry scores 0.
+        close(z[2], 0.0);
+        assert!(z[4] > 10.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the signal substrate.
+
+use dbcatcher_signal::dct::{dct2, dct3};
+use dbcatcher_signal::fft::{dft, irfft_truncated, rfft_padded};
+use dbcatcher_signal::filters::{detrend_linear, diff, ewma, moving_average, moving_median};
+use dbcatcher_signal::linalg::{least_squares, solve};
+use dbcatcher_signal::normalize::{min_max, z_score};
+use dbcatcher_signal::stats::{l2_norm, mad, mean, median, quantile, std_dev};
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e5f64..1e5, 1..80)
+}
+
+proptest! {
+    /// FFT round trip recovers the signal.
+    #[test]
+    fn fft_round_trip(xs in series()) {
+        let spec = rfft_padded(&xs).unwrap();
+        let back = irfft_truncated(&spec, xs.len()).unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Fast FFT agrees with the O(n²) DFT on power-of-two lengths.
+    #[test]
+    fn fft_matches_dft(xs in prop::collection::vec(-1e3f64..1e3, 1..5)) {
+        // build a 16-point series from the seed values
+        let padded: Vec<f64> = (0..16).map(|i| xs[i % xs.len()] * (i as f64 * 0.3).cos()).collect();
+        let fast = rfft_padded(&padded).unwrap();
+        let slow = dft(&padded).unwrap();
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f.re - s.re).abs() < 1e-6);
+            prop_assert!((f.im - s.im).abs() < 1e-6);
+        }
+    }
+
+    /// DCT round trip and energy preservation.
+    #[test]
+    fn dct_round_trip_and_parseval(xs in series()) {
+        let coeffs = dct2(&xs).unwrap();
+        let back = dct3(&coeffs).unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+        let te: f64 = xs.iter().map(|x| x * x).sum();
+        let fe: f64 = coeffs.iter().map(|c| c * c).sum();
+        prop_assert!((te - fe).abs() < 1e-5 * (1.0 + te));
+    }
+
+    /// Summary statistics basic identities.
+    #[test]
+    fn stats_identities(xs in series()) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        let med = median(&xs);
+        prop_assert!(med >= lo && med <= hi);
+        prop_assert!(std_dev(&xs) >= 0.0);
+        prop_assert!(mad(&xs) >= 0.0);
+        prop_assert!(l2_norm(&xs) >= 0.0);
+        // quantile endpoints
+        prop_assert!((quantile(&xs, 0.0).unwrap() - lo).abs() < 1e-9);
+        prop_assert!((quantile(&xs, 1.0).unwrap() - hi).abs() < 1e-9);
+    }
+
+    /// Normalisation contracts.
+    #[test]
+    fn normalisation_contracts(xs in series()) {
+        let mm = min_max(&xs);
+        prop_assert!(mm.iter().all(|v| (0.0..=1.0).contains(v)));
+        let z = z_score(&xs);
+        if std_dev(&xs) > 1e-9 {
+            prop_assert!(mean(&z).abs() < 1e-6);
+            prop_assert!((std_dev(&z) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Filters preserve length (except diff) and bounds.
+    #[test]
+    fn filter_contracts(xs in series(), w in 1usize..9, alpha in 0.01f64..1.0) {
+        prop_assert_eq!(moving_average(&xs, w).unwrap().len(), xs.len());
+        let mm = moving_median(&xs, w).unwrap();
+        prop_assert_eq!(mm.len(), xs.len());
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mm.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+        let e = ewma(&xs, alpha).unwrap();
+        prop_assert_eq!(e.len(), xs.len());
+        prop_assert!(e.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+        prop_assert_eq!(diff(&xs).len(), xs.len().saturating_sub(1));
+        // detrended residuals of a pure line are ~zero
+        let line: Vec<f64> = (0..xs.len()).map(|i| 3.0 * i as f64 - 7.0).collect();
+        prop_assert!(detrend_linear(&line).iter().all(|r| r.abs() < 1e-6));
+    }
+
+    /// solve() actually solves: residual of A x − b vanishes for
+    /// well-conditioned diagonally dominant systems.
+    #[test]
+    fn linear_solver_residual(
+        diag in prop::collection::vec(1.0f64..10.0, 2..6),
+        rhs_seed in prop::collection::vec(-5.0f64..5.0, 2..6),
+    ) {
+        let n = diag.len().min(rhs_seed.len());
+        let a: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { diag[i] + n as f64 } else { 0.3 })
+                    .collect()
+            })
+            .collect();
+        let b: Vec<f64> = rhs_seed[..n].to_vec();
+        let x = solve(&a, &b).expect("diagonally dominant");
+        for i in 0..n {
+            let r: f64 = (0..n).map(|j| a[i][j] * x[j]).sum::<f64>() - b[i];
+            prop_assert!(r.abs() < 1e-8, "residual {r}");
+        }
+        // least squares on a square nonsingular system agrees with solve
+        let ls = least_squares(&a, &b).expect("solvable");
+        for (u, v) in x.iter().zip(&ls) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+}

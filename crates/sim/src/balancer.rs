@@ -1,0 +1,177 @@
+//! Load balancer of a database unit (paper Fig. 2).
+//!
+//! Read requests are distributed across all databases of the unit; the
+//! distribution strategy determines how close to "perfectly balanced" the
+//! per-database load shares are. A *defective* strategy — the real-world
+//! anomaly of paper Fig. 4 — skews a disproportionate share onto one
+//! database.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution strategies for read traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BalancerStrategy {
+    /// Perfectly even split.
+    RoundRobin,
+    /// Even split with small per-tick random jitter (the realistic default —
+    /// "complex workloads make absolute load balancing tough to achieve",
+    /// paper §II-D). `jitter` is the relative share noise, e.g. `0.05`.
+    JitteredEven {
+        /// Relative standard deviation of the share noise.
+        jitter: f64,
+    },
+    /// A defective policy mapping an extra fraction of the traffic onto one
+    /// database (paper Fig. 4). `extra` is taken from the others evenly.
+    Skewed {
+        /// Index of the overloaded database.
+        target: usize,
+        /// Extra share (0–1) routed to the target on top of its fair share.
+        extra: f64,
+    },
+}
+
+/// The unit's load balancer: converts offered read traffic into per-database
+/// shares that sum to 1.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    strategy: BalancerStrategy,
+    num_databases: usize,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer for `num_databases` databases.
+    ///
+    /// # Panics
+    /// Panics when `num_databases == 0`.
+    pub fn new(num_databases: usize, strategy: BalancerStrategy) -> Self {
+        assert!(num_databases > 0, "unit must contain at least one database");
+        Self {
+            strategy,
+            num_databases,
+        }
+    }
+
+    /// Replaces the strategy at runtime (how defective-LB anomalies are
+    /// injected mid-run).
+    pub fn set_strategy(&mut self, strategy: BalancerStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Current strategy.
+    pub fn strategy(&self) -> &BalancerStrategy {
+        &self.strategy
+    }
+
+    /// Per-database read shares for one tick. Always sums to 1 (within
+    /// floating-point error) and every share is non-negative.
+    pub fn shares(&self, rng: &mut StdRng) -> Vec<f64> {
+        let n = self.num_databases;
+        let fair = 1.0 / n as f64;
+        match &self.strategy {
+            BalancerStrategy::RoundRobin => vec![fair; n],
+            BalancerStrategy::JitteredEven { jitter } => {
+                let mut shares: Vec<f64> = (0..n)
+                    .map(|_| {
+                        let noise: f64 = rng.gen_range(-1.0..1.0) * jitter;
+                        (fair * (1.0 + noise)).max(0.0)
+                    })
+                    .collect();
+                let total: f64 = shares.iter().sum();
+                if total > 0.0 {
+                    shares.iter_mut().for_each(|s| *s /= total);
+                }
+                shares
+            }
+            BalancerStrategy::Skewed { target, extra } => {
+                let extra = extra.clamp(0.0, 1.0 - fair);
+                let taken_each = extra / n as f64;
+                let mut shares = vec![fair - taken_each; n];
+                let t = (*target).min(n - 1);
+                shares[t] = fair - taken_each + extra;
+                shares
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn assert_valid_shares(shares: &[f64]) {
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        assert!(shares.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn round_robin_is_even() {
+        let lb = LoadBalancer::new(5, BalancerStrategy::RoundRobin);
+        let shares = lb.shares(&mut rng());
+        assert_valid_shares(&shares);
+        assert!(shares.iter().all(|&s| (s - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn jittered_stays_close_to_even() {
+        let lb = LoadBalancer::new(5, BalancerStrategy::JitteredEven { jitter: 0.05 });
+        let mut r = rng();
+        for _ in 0..100 {
+            let shares = lb.shares(&mut r);
+            assert_valid_shares(&shares);
+            for &s in &shares {
+                assert!((s - 0.2).abs() < 0.03, "share {s} too far from fair");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_overloads_target() {
+        let lb = LoadBalancer::new(5, BalancerStrategy::Skewed { target: 2, extra: 0.4 });
+        let shares = lb.shares(&mut rng());
+        assert_valid_shares(&shares);
+        assert!(shares[2] > 0.5, "target share {}", shares[2]);
+        for (i, &s) in shares.iter().enumerate() {
+            if i != 2 {
+                assert!(s < 0.2);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_extra_clamped() {
+        let lb = LoadBalancer::new(2, BalancerStrategy::Skewed { target: 0, extra: 5.0 });
+        let shares = lb.shares(&mut rng());
+        assert_valid_shares(&shares);
+    }
+
+    #[test]
+    fn skewed_out_of_range_target_clamped() {
+        let lb = LoadBalancer::new(3, BalancerStrategy::Skewed { target: 99, extra: 0.3 });
+        let shares = lb.shares(&mut rng());
+        assert_valid_shares(&shares);
+        assert!(shares[2] > shares[0]);
+    }
+
+    #[test]
+    fn strategy_swap() {
+        let mut lb = LoadBalancer::new(4, BalancerStrategy::RoundRobin);
+        lb.set_strategy(BalancerStrategy::Skewed { target: 1, extra: 0.3 });
+        assert!(matches!(lb.strategy(), BalancerStrategy::Skewed { .. }));
+        let shares = lb.shares(&mut rng());
+        assert!(shares[1] > shares[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one database")]
+    fn zero_databases_panics() {
+        let _ = LoadBalancer::new(0, BalancerStrategy::RoundRobin);
+    }
+}

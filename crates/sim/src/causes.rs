@@ -1,0 +1,168 @@
+//! Cause interpretation: mapping a diagnosis's deviating KPIs onto the
+//! anomaly families of the paper's case studies (§V).
+//!
+//! `dbcatcher-core`'s `diagnosis` module ranks *which* KPIs broke
+//! correlation; this module knows what the 14 KPIs *mean* (Table II) and
+//! turns the pattern into a DBA-facing hypothesis:
+//!
+//! * capacity diverging alone → storage fragmentation (paper Fig. 12);
+//! * CPU / rows-read up while request counts stay in line → a
+//!   resource-consuming task (paper Fig. 13);
+//! * request-rate KPIs broken across the board → traffic imbalance
+//!   (paper Fig. 4's defective balancer);
+//! * write-path KPIs only → replication / write-path trouble.
+
+use crate::kpi::Kpi;
+use serde::{Deserialize, Serialize};
+
+/// DBA-facing anomaly hypotheses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CauseHint {
+    /// Reads routed unevenly — defective load balancing (Fig. 4).
+    TrafficImbalance,
+    /// Per-request cost exploded while traffic stayed level (Fig. 13).
+    ResourceContention,
+    /// Storage occupancy diverging — fragmentation / runaway growth
+    /// (Fig. 12).
+    CapacityAnomaly,
+    /// Write path / replication trouble (stalls, lag).
+    WriteAnomaly,
+    /// Several families at once.
+    Mixed,
+    /// Nothing deviates (healthy verdict) or no pattern matches.
+    Unknown,
+}
+
+impl CauseHint {
+    /// DBA-facing one-liner.
+    pub fn description(self) -> &'static str {
+        match self {
+            CauseHint::TrafficImbalance => {
+                "read traffic routed unevenly — inspect the load balancing strategy"
+            }
+            CauseHint::ResourceContention => {
+                "per-request cost exploded with level traffic — look for slow or resource-hungry queries"
+            }
+            CauseHint::CapacityAnomaly => {
+                "storage occupancy diverging — check fragmentation and data churn"
+            }
+            CauseHint::WriteAnomaly => {
+                "write path deviating — check replication and write stalls"
+            }
+            CauseHint::Mixed => "multiple KPI families deviating — broad incident",
+            CauseHint::Unknown => "no deviating KPIs matched a known cause pattern",
+        }
+    }
+}
+
+fn is_traffic(kpi: Kpi) -> bool {
+    matches!(
+        kpi,
+        Kpi::RequestsPerSecond | Kpi::TotalRequests | Kpi::BufferPoolReadRequests
+    )
+}
+
+fn is_cost(kpi: Kpi) -> bool {
+    matches!(kpi, Kpi::CpuUtilization | Kpi::InnodbRowsRead)
+}
+
+/// Classifies the deviating KPI set (most severe first, as produced by
+/// `dbcatcher-core`'s `diagnose`).
+pub fn interpret_cause(deviating: &[Kpi]) -> CauseHint {
+    if deviating.is_empty() {
+        return CauseHint::Unknown;
+    }
+    let capacity = deviating.contains(&Kpi::RealCapacity);
+    let traffic = deviating.iter().any(|&k| is_traffic(k));
+    let cost = deviating.iter().any(|&k| is_cost(k));
+    let writes = deviating.iter().any(|&k| k.is_write_driven());
+
+    // capacity alone (or clearly leading) is its own family
+    if capacity && !traffic && !cost {
+        return CauseHint::CapacityAnomaly;
+    }
+    match (traffic, cost, writes) {
+        // cost up without traffic: the Fig. 13 signature
+        (false, true, _) => CauseHint::ResourceContention,
+        // traffic itself broken: Fig. 4
+        (true, _, _) => CauseHint::TrafficImbalance,
+        (false, false, true) => CauseHint::WriteAnomaly,
+        (false, false, false) => {
+            if capacity {
+                CauseHint::CapacityAnomaly
+            } else {
+                CauseHint::Mixed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_signature_is_capacity() {
+        assert_eq!(
+            interpret_cause(&[Kpi::RealCapacity]),
+            CauseHint::CapacityAnomaly
+        );
+    }
+
+    #[test]
+    fn fig13_signature_is_contention() {
+        assert_eq!(
+            interpret_cause(&[Kpi::CpuUtilization, Kpi::InnodbRowsRead]),
+            CauseHint::ResourceContention
+        );
+        // buffer-pool reads join in (they are traffic-ish) → imbalance wins
+        assert_eq!(
+            interpret_cause(&[
+                Kpi::CpuUtilization,
+                Kpi::InnodbRowsRead,
+                Kpi::BufferPoolReadRequests
+            ]),
+            CauseHint::TrafficImbalance
+        );
+    }
+
+    #[test]
+    fn fig4_signature_is_imbalance() {
+        assert_eq!(
+            interpret_cause(&[
+                Kpi::RequestsPerSecond,
+                Kpi::TotalRequests,
+                Kpi::BufferPoolReadRequests,
+                Kpi::InnodbRowsRead
+            ]),
+            CauseHint::TrafficImbalance
+        );
+    }
+
+    #[test]
+    fn write_only_signature() {
+        assert_eq!(
+            interpret_cause(&[Kpi::InnodbDataWrites, Kpi::InnodbRowsUpdated]),
+            CauseHint::WriteAnomaly
+        );
+    }
+
+    #[test]
+    fn empty_is_unknown() {
+        assert_eq!(interpret_cause(&[]), CauseHint::Unknown);
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for hint in [
+            CauseHint::TrafficImbalance,
+            CauseHint::ResourceContention,
+            CauseHint::CapacityAnomaly,
+            CauseHint::WriteAnomaly,
+            CauseHint::Mixed,
+            CauseHint::Unknown,
+        ] {
+            assert!(!hint.description().is_empty());
+        }
+    }
+}

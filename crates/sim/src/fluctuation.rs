@@ -1,0 +1,217 @@
+//! Temporal fluctuations (paper §II-D, Fig. 5).
+//!
+//! Fluctuations are *minor deviations at individual points* that return to
+//! normal by themselves — maintenance tasks, cache warm-ups, imperfect load
+//! balancing. They are explicitly **not** anomalies, and DBCatcher's
+//! flexible time window exists precisely to avoid alarming on them.
+//!
+//! The process is per-database: fluctuation events start with a small
+//! probability each tick, last a couple of ticks, and multiply a random
+//! subset of KPIs by a modest factor.
+
+use crate::kpi::NUM_KPIS;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fluctuation process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluctuationConfig {
+    /// Per-tick probability that a new fluctuation event starts on a
+    /// database.
+    pub start_prob: f64,
+    /// Minimum event duration in ticks.
+    pub min_duration: usize,
+    /// Maximum event duration in ticks (inclusive).
+    pub max_duration: usize,
+    /// Maximum relative amplitude, e.g. `0.3` for ±30 %.
+    pub max_amplitude: f64,
+    /// How many KPIs an event touches at most.
+    pub max_kpis: usize,
+}
+
+impl Default for FluctuationConfig {
+    fn default() -> Self {
+        // "minor deviations at individual points" (§II-D): strong enough
+        // to push a KPI into the level-2 band, not to fake an anomaly
+        Self {
+            start_prob: 0.01,
+            min_duration: 1,
+            max_duration: 3,
+            max_amplitude: 0.15,
+            max_kpis: 3,
+        }
+    }
+}
+
+/// A currently active fluctuation on one database.
+#[derive(Debug, Clone)]
+struct ActiveFluctuation {
+    remaining: usize,
+    /// Multiplicative factor per KPI (1.0 = untouched).
+    factors: [f64; NUM_KPIS],
+}
+
+/// The per-database fluctuation process.
+#[derive(Debug, Clone)]
+pub struct FluctuationProcess {
+    config: FluctuationConfig,
+    active: Vec<Option<ActiveFluctuation>>,
+}
+
+impl FluctuationProcess {
+    /// Creates the process for `num_databases` databases.
+    pub fn new(num_databases: usize, config: FluctuationConfig) -> Self {
+        Self {
+            config,
+            active: vec![None; num_databases],
+        }
+    }
+
+    /// Disables fluctuations entirely (useful for clean-room tests).
+    pub fn disabled(num_databases: usize) -> Self {
+        Self::new(
+            num_databases,
+            FluctuationConfig {
+                start_prob: 0.0,
+                ..FluctuationConfig::default()
+            },
+        )
+    }
+
+    /// Advances one tick and returns, for each database, the per-KPI
+    /// multiplicative factors to apply (1.0 everywhere when quiet).
+    pub fn tick(&mut self, rng: &mut StdRng) -> Vec<[f64; NUM_KPIS]> {
+        let cfg = self.config.clone();
+        self.active
+            .iter_mut()
+            .map(|slot| {
+                // expire / continue an active event
+                if let Some(active) = slot {
+                    let factors = active.factors;
+                    active.remaining -= 1;
+                    if active.remaining == 0 {
+                        *slot = None;
+                    }
+                    return factors;
+                }
+                // maybe start a new one
+                if cfg.start_prob > 0.0 && rng.gen_bool(cfg.start_prob.min(1.0)) {
+                    let duration = rng.gen_range(cfg.min_duration..=cfg.max_duration).max(1);
+                    let mut factors = [1.0; NUM_KPIS];
+                    let touched = rng.gen_range(1..=cfg.max_kpis.clamp(1, NUM_KPIS));
+                    for _ in 0..touched {
+                        let k = rng.gen_range(0..NUM_KPIS);
+                        let amp = rng.gen_range(-cfg.max_amplitude..=cfg.max_amplitude);
+                        factors[k] = (1.0 + amp).max(0.05);
+                    }
+                    let fl = ActiveFluctuation {
+                        remaining: duration,
+                        factors,
+                    };
+                    let out = fl.factors;
+                    if duration > 1 {
+                        *slot = Some(ActiveFluctuation {
+                            remaining: duration - 1,
+                            factors: fl.factors,
+                        });
+                    }
+                    return out;
+                }
+                [1.0; NUM_KPIS]
+            })
+            .collect()
+    }
+
+    /// Whether any fluctuation is currently active on `db`.
+    pub fn is_active(&self, db: usize) -> bool {
+        self.active.get(db).map(|s| s.is_some()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_process_is_identity() {
+        let mut p = FluctuationProcess::disabled(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let factors = p.tick(&mut rng);
+            assert_eq!(factors.len(), 3);
+            for db in &factors {
+                assert!(db.iter().all(|&f| f == 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn events_eventually_fire_and_expire() {
+        let mut p = FluctuationProcess::new(
+            2,
+            FluctuationConfig {
+                start_prob: 0.5,
+                ..FluctuationConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut fired = false;
+        for _ in 0..100 {
+            let factors = p.tick(&mut rng);
+            if factors.iter().any(|db| db.iter().any(|&f| f != 1.0)) {
+                fired = true;
+            }
+        }
+        assert!(fired, "fluctuations never fired at p=0.5");
+        // With start_prob back to zero, any active event must drain.
+        p.config.start_prob = 0.0;
+        for _ in 0..10 {
+            p.tick(&mut rng);
+        }
+        assert!(!p.is_active(0) && !p.is_active(1));
+    }
+
+    #[test]
+    fn amplitude_bounded() {
+        let cfg = FluctuationConfig {
+            start_prob: 1.0,
+            max_amplitude: 0.2,
+            ..FluctuationConfig::default()
+        };
+        let mut p = FluctuationProcess::new(1, cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let factors = p.tick(&mut rng);
+            for &f in &factors[0] {
+                assert!((0.79..=1.21).contains(&f) || f == 1.0, "factor {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn duration_respected() {
+        let cfg = FluctuationConfig {
+            start_prob: 1.0,
+            min_duration: 3,
+            max_duration: 3,
+            max_amplitude: 0.3,
+            max_kpis: 14,
+        };
+        let mut p = FluctuationProcess::new(1, cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        // first tick starts an event lasting exactly 3 ticks
+        let f1 = p.tick(&mut rng);
+        assert!(p.is_active(0));
+        let f2 = p.tick(&mut rng);
+        // factors stay identical across the event's lifetime
+        assert_eq!(f1[0], f2[0]);
+    }
+
+    #[test]
+    fn is_active_out_of_range_false() {
+        let p = FluctuationProcess::disabled(1);
+        assert!(!p.is_active(99));
+    }
+}

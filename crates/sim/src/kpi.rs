@@ -1,0 +1,205 @@
+//! The 14 key performance indicators of Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Which database pairs exhibit UKPIC on a KPI (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorrelationClass {
+    /// Correlates both primary-to-replica and replica-to-replica.
+    PrimaryAndReplica,
+    /// Correlates replica-to-replica only; the primary's series carries an
+    /// idiosyncratic component and is excluded from this KPI's judgement.
+    ReplicaOnly,
+}
+
+/// The 14 KPIs collected per database (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Kpi {
+    /// `Com Insert` — insert statements executed per interval.
+    ComInsert = 0,
+    /// `Com Update` — update statements executed per interval.
+    ComUpdate = 1,
+    /// `CPU Utilization` — percentage of CPU busy.
+    CpuUtilization = 2,
+    /// `BufferPool Read Request` — logical reads from the buffer pool.
+    BufferPoolReadRequests = 3,
+    /// `Innodb Data Writes` — physical write operations.
+    InnodbDataWrites = 4,
+    /// `Innodb Data Written` — bytes written.
+    InnodbDataWritten = 5,
+    /// `Innodb Rows Deleted` — rows deleted per interval.
+    InnodbRowsDeleted = 6,
+    /// `Innodb Rows Inserted` — rows inserted per interval.
+    InnodbRowsInserted = 7,
+    /// `Innodb Rows Read` — rows read per interval.
+    InnodbRowsRead = 8,
+    /// `Innodb Rows Updated` — rows updated per interval.
+    InnodbRowsUpdated = 9,
+    /// `Requests Per Second` — SQL requests arriving per second.
+    RequestsPerSecond = 10,
+    /// `Total Requests` — requests served in the interval.
+    TotalRequests = 11,
+    /// `Real Capacity` — bytes of storage actually occupied.
+    RealCapacity = 12,
+    /// `Transactions Per Second` — committed transactions per second.
+    TransactionsPerSecond = 13,
+}
+
+/// Number of KPIs (the `Q` of the paper's correlation matrices).
+pub const NUM_KPIS: usize = 14;
+
+/// All KPIs in index order.
+pub const ALL_KPIS: [Kpi; NUM_KPIS] = [
+    Kpi::ComInsert,
+    Kpi::ComUpdate,
+    Kpi::CpuUtilization,
+    Kpi::BufferPoolReadRequests,
+    Kpi::InnodbDataWrites,
+    Kpi::InnodbDataWritten,
+    Kpi::InnodbRowsDeleted,
+    Kpi::InnodbRowsInserted,
+    Kpi::InnodbRowsRead,
+    Kpi::InnodbRowsUpdated,
+    Kpi::RequestsPerSecond,
+    Kpi::TotalRequests,
+    Kpi::RealCapacity,
+    Kpi::TransactionsPerSecond,
+];
+
+impl Kpi {
+    /// Stable index of the KPI in `0..NUM_KPIS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// KPI from its index.
+    ///
+    /// # Panics
+    /// Panics when `idx >= NUM_KPIS`.
+    pub fn from_index(idx: usize) -> Kpi {
+        ALL_KPIS[idx]
+    }
+
+    /// The correlation class of Table II.
+    pub fn correlation_class(self) -> CorrelationClass {
+        use CorrelationClass::*;
+        match self {
+            Kpi::ComInsert
+            | Kpi::ComUpdate
+            | Kpi::InnodbRowsDeleted
+            | Kpi::InnodbRowsInserted
+            | Kpi::TransactionsPerSecond => ReplicaOnly,
+            _ => PrimaryAndReplica,
+        }
+    }
+
+    /// Human-readable name matching the paper's Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kpi::ComInsert => "Com Insert",
+            Kpi::ComUpdate => "Com Update",
+            Kpi::CpuUtilization => "CPU Utilization",
+            Kpi::BufferPoolReadRequests => "BufferPool Read Request",
+            Kpi::InnodbDataWrites => "Innodb Data Writes",
+            Kpi::InnodbDataWritten => "Innodb Data Written",
+            Kpi::InnodbRowsDeleted => "Innodb Rows Deleted",
+            Kpi::InnodbRowsInserted => "Innodb Rows Inserted",
+            Kpi::InnodbRowsRead => "Innodb Rows Read",
+            Kpi::InnodbRowsUpdated => "Innodb Rows Updated",
+            Kpi::RequestsPerSecond => "Requests Per Second",
+            Kpi::TotalRequests => "Total Requests",
+            Kpi::RealCapacity => "Real Capacity",
+            Kpi::TransactionsPerSecond => "Transactions Per Second",
+        }
+    }
+
+    /// Whether the KPI is driven primarily by the write path.
+    pub fn is_write_driven(self) -> bool {
+        matches!(
+            self,
+            Kpi::ComInsert
+                | Kpi::ComUpdate
+                | Kpi::InnodbDataWrites
+                | Kpi::InnodbDataWritten
+                | Kpi::InnodbRowsDeleted
+                | Kpi::InnodbRowsInserted
+                | Kpi::InnodbRowsUpdated
+                | Kpi::TransactionsPerSecond
+        )
+    }
+}
+
+impl std::fmt::Display for Kpi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_kpis() {
+        assert_eq!(ALL_KPIS.len(), 14);
+        assert_eq!(NUM_KPIS, 14);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, kpi) in ALL_KPIS.iter().enumerate() {
+            assert_eq!(kpi.index(), i);
+            assert_eq!(Kpi::from_index(i), *kpi);
+        }
+    }
+
+    #[test]
+    fn table_ii_correlation_classes() {
+        use CorrelationClass::*;
+        assert_eq!(Kpi::ComInsert.correlation_class(), ReplicaOnly);
+        assert_eq!(Kpi::ComUpdate.correlation_class(), ReplicaOnly);
+        assert_eq!(Kpi::CpuUtilization.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::BufferPoolReadRequests.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::InnodbDataWrites.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::InnodbDataWritten.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::InnodbRowsDeleted.correlation_class(), ReplicaOnly);
+        assert_eq!(Kpi::InnodbRowsInserted.correlation_class(), ReplicaOnly);
+        assert_eq!(Kpi::InnodbRowsRead.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::InnodbRowsUpdated.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::RequestsPerSecond.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::TotalRequests.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::RealCapacity.correlation_class(), PrimaryAndReplica);
+        assert_eq!(Kpi::TransactionsPerSecond.correlation_class(), ReplicaOnly);
+    }
+
+    #[test]
+    fn replica_only_count_matches_table() {
+        let replica_only = ALL_KPIS
+            .iter()
+            .filter(|k| k.correlation_class() == CorrelationClass::ReplicaOnly)
+            .count();
+        assert_eq!(replica_only, 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL_KPIS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_KPIS);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Kpi::CpuUtilization.to_string(), "CPU Utilization");
+    }
+
+    #[test]
+    fn write_driven_partition() {
+        assert!(Kpi::ComInsert.is_write_driven());
+        assert!(!Kpi::BufferPoolReadRequests.is_write_driven());
+        assert!(!Kpi::CpuUtilization.is_write_driven());
+    }
+}

@@ -1,0 +1,47 @@
+//! # dbcatcher-sim
+//!
+//! A cloud-database **unit** simulator, substituting for the Tencent Cloud
+//! MySQL units the DBCatcher paper evaluates on (§II-A, §IV-A5).
+//!
+//! A unit is one *primary* database plus several *replica* databases behind
+//! a load balancer. The simulator reproduces the properties the paper's
+//! detection method depends on:
+//!
+//! * **UKPIC** (§II-B): the load balancer hands every database a similar
+//!   share of the offered load, so the same KPI follows the same trend on
+//!   every database of the unit — with per-database gains and noise, so
+//!   *values* differ while *trends* correlate.
+//! * **P-R vs R-R correlation classes** (Table II): write-command KPIs such
+//!   as `Com Insert` only correlate replica-to-replica; the primary carries
+//!   an idiosyncratic component (client write handling, purge activity)
+//!   that decorrelates it on those KPIs.
+//! * **Point-in-time delays** (§II-D): each database's monitoring samples
+//!   are collected with a small per-database delay of 0–3 ticks.
+//! * **Temporal fluctuations** (§II-D): short-lived, per-database bumps
+//!   (maintenance tasks) that are *not* anomalies.
+//! * **Anomaly modifiers** (§II-C, §V): spikes, level shifts, concept
+//!   drift, stalls, defective load balancing, capacity fragmentation and
+//!   resource-hog effects, with per-tick ground-truth labels.
+//!
+//! The collection interval is the paper's 5 seconds; one `tick` = one
+//! sample of all 14 KPIs on all databases.
+
+// Index-based loops over matrix/tensor dimensions are clearer than
+// iterator chains in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod balancer;
+pub mod causes;
+pub mod fluctuation;
+pub mod kpi;
+pub mod modifier;
+pub mod unit;
+
+pub use balancer::{BalancerStrategy, LoadBalancer};
+pub use causes::{interpret_cause, CauseHint};
+pub use kpi::{CorrelationClass, Kpi, ALL_KPIS, NUM_KPIS};
+pub use modifier::{AnomalyEffect, Modifier};
+pub use unit::{DbRole, OfferedLoad, TickSample, UnitConfig, UnitSim};
+
+/// The monitoring collection interval, in seconds (paper §III-A).
+pub const COLLECTION_INTERVAL_SECS: f64 = 5.0;

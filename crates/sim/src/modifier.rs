@@ -1,0 +1,253 @@
+//! Anomaly modifiers: scheduled effects that turn healthy KPI streams into
+//! the abnormal trends catalogued by the paper (§II-C: concept drift,
+//! spike, level shift; §V: fragmentation, resource hogs; Fig. 4: defective
+//! load balancing).
+//!
+//! A [`Modifier`] targets one database over a tick range. While active, it
+//! distorts either the database's KPI values or (for the load-balancing
+//! anomaly) the unit's traffic routing, and the simulator reports the
+//! affected `(db, tick)` pairs as ground truth.
+
+use crate::kpi::{Kpi, NUM_KPIS};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// The anomaly taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnomalyEffect {
+    /// Multiplicative spike on the listed KPIs, e.g. `factor = 3.0`.
+    Spike {
+        /// KPIs affected.
+        kpis: Vec<Kpi>,
+        /// Multiplicative factor applied while active.
+        factor: f64,
+    },
+    /// Persistent level shift on the listed KPIs.
+    LevelShift {
+        /// KPIs affected.
+        kpis: Vec<Kpi>,
+        /// Multiplicative factor applied while active.
+        factor: f64,
+    },
+    /// Concept drift: the factor ramps linearly from 1 at onset to
+    /// `end_factor` at the end of the range.
+    ConceptDrift {
+        /// KPIs affected.
+        kpis: Vec<Kpi>,
+        /// Factor reached at the last tick of the range.
+        end_factor: f64,
+    },
+    /// The KPIs freeze at their value from the tick before onset
+    /// (hung process / stuck replication).
+    Stall {
+        /// KPIs affected.
+        kpis: Vec<Kpi>,
+    },
+    /// Defective load balancing (paper Fig. 4): the target database
+    /// receives an extra share of read traffic, dragging *many* KPIs with
+    /// it. Applied at the balancer level, so the effect propagates
+    /// naturally through the KPI transfer functions.
+    LoadSkew {
+        /// Extra traffic share (0–1) routed to the target database.
+        extra_share: f64,
+    },
+    /// Storage fragmentation (paper Fig. 12, the level-1 capacity case):
+    /// `Real Capacity` grows at an abnormal extra rate while logical data
+    /// volume does not.
+    Fragmentation {
+        /// Extra capacity growth per tick, as a fraction of current
+        /// capacity (e.g. `0.01`).
+        growth_per_tick: f64,
+    },
+    /// A resource-consuming task mapped onto one database (paper Fig. 13,
+    /// the level-2 e-commerce case): CPU and rows-read inflate while the
+    /// request count stays in line with peers.
+    ResourceHog {
+        /// Factor on `CPU Utilization`.
+        cpu_factor: f64,
+        /// Factor on `Innodb Rows Read` (and buffer-pool reads).
+        rows_read_factor: f64,
+    },
+}
+
+impl AnomalyEffect {
+    /// KPI-value multiplicative factors at `progress` ∈ [0, 1] through the
+    /// anomaly window. Routing-level effects return the identity here.
+    pub fn kpi_factors(&self, progress: f64) -> [f64; NUM_KPIS] {
+        let mut factors = [1.0; NUM_KPIS];
+        match self {
+            AnomalyEffect::Spike { kpis, factor } | AnomalyEffect::LevelShift { kpis, factor } => {
+                for k in kpis {
+                    factors[k.index()] = *factor;
+                }
+            }
+            AnomalyEffect::ConceptDrift { kpis, end_factor } => {
+                let f = 1.0 + (end_factor - 1.0) * progress.clamp(0.0, 1.0);
+                for k in kpis {
+                    factors[k.index()] = f;
+                }
+            }
+            AnomalyEffect::ResourceHog {
+                cpu_factor,
+                rows_read_factor,
+            } => {
+                factors[Kpi::CpuUtilization.index()] = *cpu_factor;
+                factors[Kpi::InnodbRowsRead.index()] = *rows_read_factor;
+                factors[Kpi::BufferPoolReadRequests.index()] = *rows_read_factor;
+            }
+            AnomalyEffect::Stall { .. }
+            | AnomalyEffect::LoadSkew { .. }
+            | AnomalyEffect::Fragmentation { .. } => {}
+        }
+        factors
+    }
+
+    /// KPIs frozen by a [`AnomalyEffect::Stall`]; empty otherwise.
+    pub fn stalled_kpis(&self) -> &[Kpi] {
+        match self {
+            AnomalyEffect::Stall { kpis } => kpis,
+            _ => &[],
+        }
+    }
+
+    /// Per-tick relative turbulence applied to the affected KPIs while the
+    /// anomaly is active. Real abnormal KPIs stop *tracking* the shared
+    /// workload trend rather than scaling it cleanly (paper Fig. 4 shows
+    /// erratic post-onset series); without this, a constant multiplicative
+    /// distortion would be erased by the per-window min–max normalisation.
+    pub fn turbulence(&self) -> f64 {
+        match self {
+            AnomalyEffect::Spike { .. }
+            | AnomalyEffect::LevelShift { .. }
+            | AnomalyEffect::ConceptDrift { .. } => 0.15,
+            AnomalyEffect::ResourceHog { .. } => 0.08,
+            AnomalyEffect::Stall { .. }
+            | AnomalyEffect::LoadSkew { .. }
+            | AnomalyEffect::Fragmentation { .. } => 0.0,
+        }
+    }
+}
+
+/// One scheduled anomaly on one database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Modifier {
+    /// Index of the targeted database in the unit.
+    pub db: usize,
+    /// Half-open tick range `[start, end)` during which the effect applies.
+    pub ticks: Range<u64>,
+    /// What the anomaly does.
+    pub effect: AnomalyEffect,
+}
+
+impl Modifier {
+    /// Whether the modifier is active at `tick`.
+    #[inline]
+    pub fn active_at(&self, tick: u64) -> bool {
+        self.ticks.contains(&tick)
+    }
+
+    /// Progress through the anomaly window at `tick`, in `[0, 1]`.
+    pub fn progress_at(&self, tick: u64) -> f64 {
+        let len = self.ticks.end.saturating_sub(self.ticks.start);
+        if len <= 1 {
+            return 1.0;
+        }
+        ((tick.saturating_sub(self.ticks.start)) as f64 / (len - 1) as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_factors_hit_only_listed_kpis() {
+        let e = AnomalyEffect::Spike {
+            kpis: vec![Kpi::CpuUtilization],
+            factor: 3.0,
+        };
+        let f = e.kpi_factors(0.5);
+        assert_eq!(f[Kpi::CpuUtilization.index()], 3.0);
+        assert!(f
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != Kpi::CpuUtilization.index())
+            .all(|(_, &v)| v == 1.0));
+    }
+
+    #[test]
+    fn drift_ramps_linearly() {
+        let e = AnomalyEffect::ConceptDrift {
+            kpis: vec![Kpi::RequestsPerSecond],
+            end_factor: 2.0,
+        };
+        let idx = Kpi::RequestsPerSecond.index();
+        assert!((e.kpi_factors(0.0)[idx] - 1.0).abs() < 1e-12);
+        assert!((e.kpi_factors(0.5)[idx] - 1.5).abs() < 1e-12);
+        assert!((e.kpi_factors(1.0)[idx] - 2.0).abs() < 1e-12);
+        // clamped outside [0,1]
+        assert!((e.kpi_factors(2.0)[idx] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_hog_touches_cpu_and_reads() {
+        let e = AnomalyEffect::ResourceHog {
+            cpu_factor: 2.0,
+            rows_read_factor: 4.0,
+        };
+        let f = e.kpi_factors(0.0);
+        assert_eq!(f[Kpi::CpuUtilization.index()], 2.0);
+        assert_eq!(f[Kpi::InnodbRowsRead.index()], 4.0);
+        assert_eq!(f[Kpi::BufferPoolReadRequests.index()], 4.0);
+        assert_eq!(f[Kpi::RequestsPerSecond.index()], 1.0);
+    }
+
+    #[test]
+    fn routing_effects_are_identity_on_values() {
+        let skew = AnomalyEffect::LoadSkew { extra_share: 0.5 };
+        assert!(skew.kpi_factors(0.3).iter().all(|&f| f == 1.0));
+        let frag = AnomalyEffect::Fragmentation { growth_per_tick: 0.01 };
+        assert!(frag.kpi_factors(0.3).iter().all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn modifier_activity_and_progress() {
+        let m = Modifier {
+            db: 1,
+            ticks: 10..20,
+            effect: AnomalyEffect::Stall {
+                kpis: vec![Kpi::TotalRequests],
+            },
+        };
+        assert!(!m.active_at(9));
+        assert!(m.active_at(10));
+        assert!(m.active_at(19));
+        assert!(!m.active_at(20));
+        assert!((m.progress_at(10) - 0.0).abs() < 1e-12);
+        assert!((m.progress_at(19) - 1.0).abs() < 1e-12);
+        assert!((m.progress_at(14) - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tick_modifier_progress_is_one() {
+        let m = Modifier {
+            db: 0,
+            ticks: 5..6,
+            effect: AnomalyEffect::LoadSkew { extra_share: 0.2 },
+        };
+        assert_eq!(m.progress_at(5), 1.0);
+    }
+
+    #[test]
+    fn stalled_kpis_accessor() {
+        let stall = AnomalyEffect::Stall {
+            kpis: vec![Kpi::ComInsert, Kpi::ComUpdate],
+        };
+        assert_eq!(stall.stalled_kpis().len(), 2);
+        let spike = AnomalyEffect::Spike {
+            kpis: vec![Kpi::ComInsert],
+            factor: 2.0,
+        };
+        assert!(spike.stalled_kpis().is_empty());
+    }
+}

@@ -1,0 +1,740 @@
+//! The database-unit simulator.
+//!
+//! One [`UnitSim`] models a unit of paper Fig. 2: database 0 is the
+//! *primary*, the rest are *replicas*, all behind a [`LoadBalancer`]. Each
+//! call to [`UnitSim::tick`] consumes the unit-wide offered load for one
+//! 5-second collection interval and emits one monitoring sample: the 14 KPI
+//! values for every database, plus ground-truth anomaly labels.
+//!
+//! The KPI transfer functions are calibrated so that a mid-size OLTP unit
+//! (a few thousand requests/second) lands in realistic ranges (CPU 30–60 %,
+//! tens of thousands of buffer-pool requests, …). Absolute values are not
+//! what the experiments measure — trend correlation is — but realistic
+//! scales keep the examples and case studies readable.
+
+use crate::balancer::{BalancerStrategy, LoadBalancer};
+use crate::fluctuation::{FluctuationConfig, FluctuationProcess};
+use crate::kpi::{CorrelationClass, Kpi, ALL_KPIS, NUM_KPIS};
+use crate::modifier::{AnomalyEffect, Modifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Unit-wide offered load for one tick, in requests per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfferedLoad {
+    /// Read requests per second arriving at the unit.
+    pub reads: f64,
+    /// Write requests per second arriving at the unit (handled by the
+    /// primary, replayed by replicas).
+    pub writes: f64,
+}
+
+impl OfferedLoad {
+    /// Convenience constructor.
+    pub fn new(reads: f64, writes: f64) -> Self {
+        Self { reads, writes }
+    }
+}
+
+/// Role of a database within its unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbRole {
+    /// Handles client writes; source of replication.
+    Primary,
+    /// Serves reads; replays the primary's write stream.
+    Replica,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitConfig {
+    /// Databases in the unit (>= 2); index 0 is the primary.
+    pub num_databases: usize,
+    /// RNG seed — every stochastic component derives from it.
+    pub seed: u64,
+    /// Read-traffic distribution strategy.
+    pub balancer: BalancerStrategy,
+    /// Temporal-fluctuation process configuration.
+    pub fluctuation: FluctuationConfig,
+    /// Maximum per-database collection delay, in ticks (paper §II-D:
+    /// point-in-time delays of a few data points).
+    pub max_delay_ticks: usize,
+    /// Multiplicative measurement-noise standard deviation.
+    pub noise: f64,
+    /// Spread of per-database per-KPI gain factors (log-scale sigma).
+    pub gain_spread: f64,
+    /// Strength of the primary-only idiosyncratic component on
+    /// replica-only-correlated KPIs (0 disables it).
+    pub primary_idiosyncrasy: f64,
+}
+
+impl Default for UnitConfig {
+    fn default() -> Self {
+        Self {
+            num_databases: 5,
+            seed: 0xDBCA,
+            // Calibrated so that healthy same-KPI pairs score ≈0.9+ KCD as
+            // in paper Fig. 3: the shared load variation (profiles wiggle
+            // 5–10 % per tick) must dominate the per-database noise.
+            balancer: BalancerStrategy::JitteredEven { jitter: 0.02 },
+            fluctuation: FluctuationConfig::default(),
+            // 0–2 ticks of collection delay: combined with the 1-tick
+            // replication offset this stays within the detector's default
+            // ±3 lag scan
+            max_delay_ticks: 2,
+            // counter KPIs are exact counts aggregated over 5 s; the
+            // residual per-database noise is well below 1 %
+            noise: 0.005,
+            gain_spread: 0.15,
+            primary_idiosyncrasy: 0.5,
+        }
+    }
+}
+
+/// One monitoring sample: every KPI of every database at one tick.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TickSample {
+    /// Tick counter (multiples of the 5-second collection interval).
+    pub tick: u64,
+    /// `values[db][kpi]` — the collected KPI values.
+    pub values: Vec<[f64; NUM_KPIS]>,
+    /// Ground truth: whether an anomaly modifier was active per database.
+    pub anomalous: Vec<bool>,
+}
+
+/// The unit simulator.
+///
+/// ```
+/// use dbcatcher_sim::{OfferedLoad, UnitConfig, UnitSim};
+///
+/// let mut sim = UnitSim::new(UnitConfig::default());
+/// let sample = sim.tick(OfferedLoad::new(3000.0, 300.0));
+/// assert_eq!(sample.values.len(), 5);      // five databases
+/// assert_eq!(sample.values[0].len(), 14);  // Table II's KPIs
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitSim {
+    config: UnitConfig,
+    rng: StdRng,
+    balancer: LoadBalancer,
+    fluctuation: FluctuationProcess,
+    /// Per-database per-KPI constant gain.
+    gains: Vec<[f64; NUM_KPIS]>,
+    /// Per-database collection delay in ticks.
+    delays: Vec<usize>,
+    /// Per-database ring buffer of recent true samples (for delays).
+    history: Vec<VecDeque<[f64; NUM_KPIS]>>,
+    /// Replica write-replay smoothing state (index 0 unused).
+    replay: Vec<f64>,
+    /// Previous tick's primary write rate (replication lags one tick).
+    prev_writes: f64,
+    /// AR(1) idiosyncratic multiplier for the primary on R-R KPIs.
+    idio: f64,
+    /// Stateful `Real Capacity` per database, bytes.
+    capacity: Vec<f64>,
+    /// Index of the current primary (changes on failover, paper §II-A).
+    primary: usize,
+    /// Scheduled anomalies and their lazily captured stall baselines.
+    modifiers: Vec<Modifier>,
+    frozen: Vec<Option<[f64; NUM_KPIS]>>,
+    tick: u64,
+    noise_dist: Normal<f64>,
+}
+
+impl UnitSim {
+    /// Builds a unit simulator.
+    ///
+    /// # Panics
+    /// Panics when `num_databases < 2` (a unit needs a primary and at least
+    /// one replica for P-R correlations to exist).
+    pub fn new(config: UnitConfig) -> Self {
+        assert!(
+            config.num_databases >= 2,
+            "unit needs at least a primary and one replica"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.num_databases;
+        let gain_dist = Normal::new(0.0, config.gain_spread.max(1e-9)).expect("valid sigma");
+        let gains = (0..n)
+            .map(|_| {
+                let mut g = [1.0; NUM_KPIS];
+                for v in g.iter_mut() {
+                    *v = gain_dist.sample(&mut rng).exp();
+                }
+                g
+            })
+            .collect();
+        let delays = (0..n)
+            .map(|_| {
+                if config.max_delay_ticks == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=config.max_delay_ticks)
+                }
+            })
+            .collect();
+        let balancer = LoadBalancer::new(n, config.balancer.clone());
+        let fluctuation = FluctuationProcess::new(n, config.fluctuation.clone());
+        let noise_dist = Normal::new(0.0, config.noise.max(1e-12)).expect("valid sigma");
+        // Start every database with ~20 GB occupied, mildly varied.
+        let capacity = (0..n)
+            .map(|_| 20e9 * (1.0 + rng.gen_range(-0.2..0.2)))
+            .collect();
+        Self {
+            balancer,
+            fluctuation,
+            gains,
+            delays,
+            history: vec![VecDeque::with_capacity(config.max_delay_ticks + 1); n],
+            replay: vec![0.0; n],
+            prev_writes: 0.0,
+            idio: 1.0,
+            capacity,
+            primary: 0,
+            modifiers: Vec::new(),
+            frozen: Vec::new(),
+            tick: 0,
+            noise_dist,
+            rng,
+            config,
+        }
+    }
+
+    /// Number of databases in the unit.
+    pub fn num_databases(&self) -> usize {
+        self.config.num_databases
+    }
+
+    /// Role of database `db` (index 0 at start; changes on failover).
+    pub fn role(&self, db: usize) -> DbRole {
+        if db == self.primary {
+            DbRole::Primary
+        } else {
+            DbRole::Replica
+        }
+    }
+
+    /// Index of the current primary database.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Fails over to a new primary (paper §II-A: "when a failover occurs,
+    /// a replica instance is selected as the new primary instance and
+    /// request processing continues as before"). The old primary becomes a
+    /// replica; callers monitoring with DBCatcher should refresh the
+    /// participation mask via [`UnitSim::participation_mask`].
+    ///
+    /// # Panics
+    /// Panics when `new_primary` is out of range.
+    pub fn fail_over(&mut self, new_primary: usize) {
+        assert!(
+            new_primary < self.config.num_databases,
+            "failover target {new_primary} of {}",
+            self.config.num_databases
+        );
+        self.primary = new_primary;
+        // the new primary starts serving client writes immediately; its
+        // replay slot is irrelevant from now on
+        self.idio = 1.0;
+    }
+
+    /// Per-database collection delays (ticks) — exposed for tests and for
+    /// experiments that sweep the delay range.
+    pub fn delays(&self) -> &[usize] {
+        &self.delays
+    }
+
+    /// Schedules an anomaly.
+    pub fn add_modifier(&mut self, modifier: Modifier) {
+        assert!(
+            modifier.db < self.config.num_databases,
+            "modifier targets database {} of {}",
+            modifier.db,
+            self.config.num_databases
+        );
+        self.modifiers.push(modifier);
+        self.frozen.push(None);
+    }
+
+    /// Replaces the balancer strategy at runtime.
+    pub fn set_balancer(&mut self, strategy: BalancerStrategy) {
+        self.balancer.set_strategy(strategy);
+    }
+
+    /// Advances the simulation by one 5-second tick.
+    pub fn tick(&mut self, load: OfferedLoad) -> TickSample {
+        let n = self.config.num_databases;
+        let t = self.tick;
+
+        // --- routing ---------------------------------------------------
+        let mut shares = self.balancer.shares(&mut self.rng);
+        for m in &self.modifiers {
+            if let AnomalyEffect::LoadSkew { extra_share } = &m.effect {
+                if m.active_at(t) {
+                    // a defective strategy skews erratically (its broken
+                    // routing keys shift with the workload mix), so the
+                    // target's traffic trend diverges from its peers
+                    let jitter: f64 = self.rng.gen_range(0.5..1.5);
+                    let e = (extra_share * jitter).clamp(0.0, 0.95);
+                    shares.iter_mut().for_each(|s| *s *= 1.0 - e);
+                    shares[m.db] += e;
+                }
+            }
+        }
+
+        // --- write streams ----------------------------------------------
+        // Primary sees client writes; replicas replay the previous tick's
+        // stream verbatim (replication lag is sub-second, far below the
+        // 5-second collection interval — any smoothing here would destroy
+        // the P-R correlation of write-driven KPIs that Table II
+        // documents; the 1-tick offset is exactly the point-in-time delay
+        // the KCD lag scan exists for).
+        for r in 0..n {
+            if r != self.primary {
+                self.replay[r] = self.prev_writes;
+            }
+        }
+        self.prev_writes = load.writes;
+
+        // Primary idiosyncratic AR(1) multiplier around 1: the primary's
+        // write-command counters reflect client statements while replicas
+        // replay row events, so their trends share only part of their
+        // variance — this is what makes Table II's R-R-only rows R-R-only.
+        let sigma = self.config.primary_idiosyncrasy;
+        if sigma > 0.0 {
+            let shock: f64 = self.rng.gen_range(-1.0..1.0) * sigma * 0.6;
+            self.idio = (0.93 * self.idio + 0.07 * 1.0 + shock).clamp(0.2, 3.0);
+        }
+
+        // --- per-database KPI values -------------------------------------
+        let fluct = self.fluctuation.tick(&mut self.rng);
+        let mut values: Vec<[f64; NUM_KPIS]> = Vec::with_capacity(n);
+        let mut anomalous = vec![false; n];
+
+        for db in 0..n {
+            let reads = shares[db] * load.reads;
+            let writes = if db == self.primary { load.writes } else { self.replay[db] };
+            // Driver for replica-only KPIs on the primary carries the
+            // idiosyncratic multiplier, weakening P-R correlation there.
+            let writes_rr = if db == self.primary { writes * self.idio } else { writes };
+
+            let is_primary = db == self.primary;
+            let mut v = self.base_kpis(db, is_primary, reads, writes, writes_rr);
+
+            // per-KPI gain, fluctuation, measurement noise; CPU's gain is
+            // already inside its saturation curve (a slower machine runs
+            // hotter *before* the 100 % ceiling), so scaling the output
+            // here would make databases saturate at different loads and
+            // fake trend divergence during legitimate bursts
+            for k in 0..NUM_KPIS {
+                let noise = 1.0 + self.noise_dist.sample(&mut self.rng);
+                let gain = if k == Kpi::CpuUtilization.index() {
+                    1.0
+                } else {
+                    self.gains[db][k]
+                };
+                v[k] *= gain * fluct[db][k] * noise.max(0.0);
+            }
+
+            values.push(v);
+        }
+
+        // --- capacity dynamics (stateful) --------------------------------
+        for db in 0..n {
+            let written = values[db][Kpi::InnodbDataWritten.index()];
+            // net growth: a fraction of written bytes persists; purge trims.
+            self.capacity[db] += written * crate::COLLECTION_INTERVAL_SECS * 0.02;
+            self.capacity[db] *= 0.999_999; // slow background compaction
+        }
+        for (mi, m) in self.modifiers.iter().enumerate() {
+            if let AnomalyEffect::Fragmentation { growth_per_tick } = &m.effect {
+                if m.active_at(t) {
+                    self.capacity[m.db] *= 1.0 + growth_per_tick.max(0.0);
+                    let _ = mi;
+                }
+            }
+        }
+        // Capacity is an exact storage counter, not a sampled gauge: no
+        // measurement noise. A unit-wide churn process (temporary tables,
+        // purge cycles — shared because the write stream is shared) gives
+        // every healthy database the same visible short-term trend, which
+        // is what the UKPIC phenomenon on `Real Capacity` looks like.
+        let tf = t as f64;
+        let churn = 1.0
+            + 0.04 * (std::f64::consts::TAU * tf / 23.0).sin()
+            + 0.02 * (std::f64::consts::TAU * tf / 7.3).sin();
+        for db in 0..n {
+            values[db][Kpi::RealCapacity.index()] =
+                self.capacity[db] * churn * self.gains[db][Kpi::RealCapacity.index()];
+        }
+
+        // --- anomaly effects ---------------------------------------------
+        for (mi, m) in self.modifiers.iter().enumerate() {
+            if !m.active_at(t) {
+                continue;
+            }
+            anomalous[m.db] = true;
+            let progress = m.progress_at(t);
+            let factors = m.effect.kpi_factors(progress);
+            let turbulence = m.effect.turbulence();
+            for k in 0..NUM_KPIS {
+                if factors[k] != 1.0 {
+                    let wobble: f64 = if turbulence > 0.0 {
+                        1.0 + turbulence * self.rng.gen_range(-1.0..1.0)
+                    } else {
+                        1.0
+                    };
+                    values[m.db][k] *= factors[k] * wobble;
+                }
+            }
+            let stalled = m.effect.stalled_kpis();
+            if !stalled.is_empty() {
+                let frozen = self.frozen[mi].get_or_insert_with(|| values[m.db]);
+                for kpi in stalled {
+                    values[m.db][kpi.index()] = frozen[kpi.index()];
+                }
+            }
+        }
+
+        // clamp CPU to its physical range after all multipliers
+        for v in values.iter_mut() {
+            let cpu = &mut v[Kpi::CpuUtilization.index()];
+            *cpu = cpu.clamp(0.0, 100.0);
+        }
+
+        // --- collection delays --------------------------------------------
+        let mut collected = Vec::with_capacity(n);
+        for db in 0..n {
+            let hist = &mut self.history[db];
+            hist.push_back(values[db]);
+            if hist.len() > self.config.max_delay_ticks + 1 {
+                hist.pop_front();
+            }
+            let d = self.delays[db].min(hist.len() - 1);
+            collected.push(hist[hist.len() - 1 - d]);
+        }
+
+        self.tick += 1;
+        TickSample {
+            tick: t,
+            values: collected,
+            anomalous,
+        }
+    }
+
+    /// Runs the simulator over a load trace.
+    pub fn run(&mut self, loads: &[OfferedLoad]) -> Vec<TickSample> {
+        loads.iter().map(|&l| self.tick(l)).collect()
+    }
+
+    /// The undelayed, unnoised KPI transfer functions.
+    fn base_kpis(
+        &self,
+        db: usize,
+        is_primary: bool,
+        reads: f64,
+        writes: f64,
+        writes_rr: f64,
+    ) -> [f64; NUM_KPIS] {
+        let mut v = [0.0; NUM_KPIS];
+        let rps = reads + if is_primary { writes } else { 0.2 * writes };
+        v[Kpi::ComInsert.index()] = 0.35 * writes_rr;
+        v[Kpi::ComUpdate.index()] = 0.45 * writes_rr;
+        // Saturating CPU; the per-database gain scales the *demand* (a
+        // slower machine runs hotter), keeping the saturation shape shared.
+        let gain = self.gains[db][Kpi::CpuUtilization.index()];
+        let util_load = (0.000_3 * reads + 0.001_2 * writes + 0.05) * gain;
+        v[Kpi::CpuUtilization.index()] = 100.0 * (1.0 - (-util_load).exp());
+        v[Kpi::BufferPoolReadRequests.index()] = 25.0 * reads;
+        v[Kpi::InnodbDataWrites.index()] = 1.2 * writes;
+        v[Kpi::InnodbDataWritten.index()] = 16_384.0 * writes;
+        v[Kpi::InnodbRowsDeleted.index()] = 0.12 * writes_rr;
+        v[Kpi::InnodbRowsInserted.index()] = 0.35 * writes_rr;
+        v[Kpi::InnodbRowsRead.index()] = 40.0 * reads;
+        v[Kpi::InnodbRowsUpdated.index()] = 0.45 * writes;
+        v[Kpi::RequestsPerSecond.index()] = rps;
+        v[Kpi::TotalRequests.index()] = rps * crate::COLLECTION_INTERVAL_SECS;
+        // RealCapacity is overwritten by the stateful integrator in tick().
+        v[Kpi::RealCapacity.index()] = 0.0;
+        v[Kpi::TransactionsPerSecond.index()] = 0.5 * writes_rr + 0.02 * reads;
+        v
+    }
+
+    /// Participation mask for the detector: `mask[kpi][db]` is `false` for
+    /// the primary on replica-only-correlated KPIs (Table II) — those
+    /// series must not vote on the primary's state.
+    pub fn participation_mask(&self) -> Vec<Vec<bool>> {
+        let n = self.config.num_databases;
+        ALL_KPIS
+            .iter()
+            .map(|kpi| {
+                (0..n)
+                    .map(|db| {
+                        !(db == self.primary
+                            && kpi.correlation_class() == CorrelationClass::ReplicaOnly)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config(seed: u64) -> UnitConfig {
+        UnitConfig {
+            seed,
+            fluctuation: FluctuationConfig {
+                start_prob: 0.0,
+                ..FluctuationConfig::default()
+            },
+            max_delay_ticks: 0,
+            noise: 0.0,
+            gain_spread: 0.0,
+            primary_idiosyncrasy: 0.0,
+            balancer: BalancerStrategy::RoundRobin,
+            ..UnitConfig::default()
+        }
+    }
+
+    fn steady_loads(n: usize) -> Vec<OfferedLoad> {
+        vec![OfferedLoad::new(5000.0, 500.0); n]
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = UnitSim::new(UnitConfig::default());
+        let mut b = UnitSim::new(UnitConfig::default());
+        let loads = steady_loads(20);
+        let sa = a.run(&loads);
+        let sb = b.run(&loads);
+        for (x, y) in sa.iter().zip(sb.iter()) {
+            assert_eq!(x.values, y.values);
+        }
+    }
+
+    #[test]
+    fn replicas_track_each_other_in_quiet_mode() {
+        let mut sim = UnitSim::new(quiet_config(1));
+        let samples = sim.run(&steady_loads(50));
+        let last = samples.last().unwrap();
+        // replicas 1..5 should be near-identical without noise/gains
+        for k in 0..NUM_KPIS {
+            if k == Kpi::RealCapacity.index() {
+                continue; // initial capacity is randomised per db
+            }
+            let v1 = last.values[1][k];
+            for db in 2..5 {
+                let v = last.values[db][k];
+                // gain/noise sigmas are floored at ~1e-9, so allow ppm-level
+                // divergence even in "quiet" mode
+                assert!(
+                    (v - v1).abs() <= 1e-6_f64.max(v1.abs() * 1e-6),
+                    "kpi {k}: {v} vs {v1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_within_physical_range() {
+        let mut sim = UnitSim::new(UnitConfig::default());
+        for s in sim.run(&steady_loads(100)) {
+            for db in &s.values {
+                let cpu = db[Kpi::CpuUtilization.index()];
+                assert!((0.0..=100.0).contains(&cpu), "cpu {cpu}");
+            }
+        }
+    }
+
+    #[test]
+    fn rising_load_raises_kpis() {
+        let mut sim = UnitSim::new(quiet_config(2));
+        let low = sim.tick(OfferedLoad::new(1000.0, 100.0));
+        // run several ticks so the replay stream catches up
+        for _ in 0..5 {
+            sim.tick(OfferedLoad::new(1000.0, 100.0));
+        }
+        for _ in 0..5 {
+            sim.tick(OfferedLoad::new(8000.0, 800.0));
+        }
+        let high = sim.tick(OfferedLoad::new(8000.0, 800.0));
+        for db in 0..5 {
+            assert!(
+                high.values[db][Kpi::RequestsPerSecond.index()]
+                    > low.values[db][Kpi::RequestsPerSecond.index()]
+            );
+            assert!(
+                high.values[db][Kpi::CpuUtilization.index()]
+                    > low.values[db][Kpi::CpuUtilization.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn spike_modifier_marks_ground_truth_and_distorts() {
+        let mut sim = UnitSim::new(quiet_config(3));
+        sim.add_modifier(Modifier {
+            db: 2,
+            ticks: 10..15,
+            effect: AnomalyEffect::Spike {
+                kpis: vec![Kpi::CpuUtilization],
+                factor: 1.8,
+            },
+        });
+        // light load so the 1.8x CPU spike is not flattened by the 100 % clamp
+        let samples = sim.run(&vec![OfferedLoad::new(1500.0, 150.0); 20]);
+        assert!(!samples[9].anomalous[2]);
+        assert!(samples[12].anomalous[2]);
+        assert!(!samples[15].anomalous[2]);
+        let normal_cpu = samples[9].values[2][Kpi::CpuUtilization.index()];
+        let spiked_cpu = samples[12].values[2][Kpi::CpuUtilization.index()];
+        assert!(spiked_cpu > normal_cpu * 1.5, "{spiked_cpu} vs {normal_cpu}");
+        // other databases untouched
+        assert!(
+            (samples[12].values[1][Kpi::CpuUtilization.index()] - normal_cpu).abs()
+                < normal_cpu * 0.05
+        );
+    }
+
+    #[test]
+    fn load_skew_shifts_traffic() {
+        let mut sim = UnitSim::new(quiet_config(4));
+        sim.add_modifier(Modifier {
+            db: 1,
+            ticks: 20..40,
+            effect: AnomalyEffect::LoadSkew { extra_share: 0.5 },
+        });
+        let samples = sim.run(&steady_loads(40));
+        let before = samples[10].values[1][Kpi::BufferPoolReadRequests.index()];
+        let during = samples[30].values[1][Kpi::BufferPoolReadRequests.index()];
+        assert!(during > before * 2.0, "{during} vs {before}");
+        // peers lose traffic
+        let peer_before = samples[10].values[3][Kpi::BufferPoolReadRequests.index()];
+        let peer_during = samples[30].values[3][Kpi::BufferPoolReadRequests.index()];
+        assert!(peer_during < peer_before);
+    }
+
+    #[test]
+    fn stall_freezes_kpi() {
+        let mut sim = UnitSim::new(quiet_config(5));
+        sim.add_modifier(Modifier {
+            db: 3,
+            ticks: 5..15,
+            effect: AnomalyEffect::Stall {
+                kpis: vec![Kpi::TotalRequests],
+            },
+        });
+        // varying load so a non-frozen KPI would change
+        let loads: Vec<OfferedLoad> = (0..20)
+            .map(|i| OfferedLoad::new(3000.0 + 200.0 * i as f64, 300.0))
+            .collect();
+        let samples = sim.run(&loads);
+        let frozen_val = samples[5].values[3][Kpi::TotalRequests.index()];
+        for s in &samples[6..15] {
+            assert_eq!(s.values[3][Kpi::TotalRequests.index()], frozen_val);
+        }
+        assert_ne!(samples[16].values[3][Kpi::TotalRequests.index()], frozen_val);
+    }
+
+    #[test]
+    fn fragmentation_inflates_capacity() {
+        let mut sim = UnitSim::new(quiet_config(6));
+        sim.add_modifier(Modifier {
+            db: 0,
+            ticks: 0..50,
+            effect: AnomalyEffect::Fragmentation {
+                growth_per_tick: 0.02,
+            },
+        });
+        let samples = sim.run(&steady_loads(50));
+        let cap_target = samples[49].values[0][Kpi::RealCapacity.index()]
+            / samples[0].values[0][Kpi::RealCapacity.index()];
+        let cap_peer = samples[49].values[1][Kpi::RealCapacity.index()]
+            / samples[0].values[1][Kpi::RealCapacity.index()];
+        assert!(cap_target > cap_peer * 1.5, "{cap_target} vs {cap_peer}");
+    }
+
+    #[test]
+    fn delays_are_bounded_and_applied() {
+        let cfg = UnitConfig {
+            max_delay_ticks: 3,
+            ..quiet_config(7)
+        };
+        let sim = UnitSim::new(cfg);
+        assert!(sim.delays().iter().all(|&d| d <= 3));
+    }
+
+    #[test]
+    fn participation_mask_excludes_primary_on_rr_kpis() {
+        let sim = UnitSim::new(UnitConfig::default());
+        let mask = sim.participation_mask();
+        assert_eq!(mask.len(), NUM_KPIS);
+        assert!(!mask[Kpi::ComInsert.index()][0]);
+        assert!(mask[Kpi::ComInsert.index()][1]);
+        assert!(mask[Kpi::CpuUtilization.index()][0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a primary")]
+    fn too_few_databases_panics() {
+        let _ = UnitSim::new(UnitConfig {
+            num_databases: 1,
+            ..UnitConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "modifier targets database")]
+    fn modifier_out_of_range_panics() {
+        let mut sim = UnitSim::new(UnitConfig::default());
+        sim.add_modifier(Modifier {
+            db: 99,
+            ticks: 0..1,
+            effect: AnomalyEffect::LoadSkew { extra_share: 0.1 },
+        });
+    }
+
+    #[test]
+    fn failover_moves_primary_role_and_write_stream() {
+        let mut sim = UnitSim::new(quiet_config(9));
+        // run a bit, then fail over to db 3
+        sim.run(&steady_loads(10));
+        assert_eq!(sim.primary(), 0);
+        sim.fail_over(3);
+        assert_eq!(sim.role(3), DbRole::Primary);
+        assert_eq!(sim.role(0), DbRole::Replica);
+        // after settling, the new primary carries the client write stream:
+        // its RPS includes full writes, the old primary's only 20 %
+        let samples = sim.run(&steady_loads(10));
+        let last = samples.last().unwrap();
+        let rps_new = last.values[3][Kpi::RequestsPerSecond.index()];
+        let rps_old = last.values[0][Kpi::RequestsPerSecond.index()];
+        assert!(rps_new > rps_old, "{rps_new} vs {rps_old}");
+        // participation mask follows the new primary
+        let mask = sim.participation_mask();
+        assert!(mask[Kpi::ComInsert.index()][0], "old primary participates again");
+        assert!(!mask[Kpi::ComInsert.index()][3], "new primary excluded on R-R KPIs");
+    }
+
+    #[test]
+    #[should_panic(expected = "failover target")]
+    fn failover_out_of_range_panics() {
+        let mut sim = UnitSim::new(quiet_config(9));
+        sim.fail_over(99);
+    }
+
+    #[test]
+    fn roles_assigned() {
+        let sim = UnitSim::new(UnitConfig::default());
+        assert_eq!(sim.role(0), DbRole::Primary);
+        assert_eq!(sim.role(1), DbRole::Replica);
+        assert_eq!(sim.num_databases(), 5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Anomaly planning.
+//!
+//! The paper injects "time series deviations induced by the real Tencent
+//! cloud database abnormal issues" into the Sysbench and TPCC datasets
+//! proportionally (§IV-A1) and reports per-dataset abnormal ratios of
+//! 3–4 % (Table III). [`plan_anomalies`] schedules non-overlapping anomaly
+//! episodes — drawn from the paper's taxonomy (§II-C, §V) — until a target
+//! fraction of database-ticks is anomalous.
+//!
+//! Only one database is anomalous at any moment: the paper explicitly
+//! scopes detection to single-database anomalies ("it is rare for multiple
+//! databases to have abnormal issues at the same time", §II-C).
+
+use dbcatcher_sim::{AnomalyEffect, Kpi, Modifier, ALL_KPIS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the anomaly planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyPlanConfig {
+    /// Target fraction of (database, tick) pairs that are anomalous.
+    pub target_ratio: f64,
+    /// Minimum episode duration in ticks.
+    pub min_duration: usize,
+    /// Maximum episode duration in ticks.
+    pub max_duration: usize,
+    /// Leading ticks kept anomaly-free (detector warm-up).
+    pub start_margin: usize,
+    /// Minimum healthy gap between consecutive episodes, in ticks.
+    pub gap: usize,
+}
+
+impl Default for AnomalyPlanConfig {
+    fn default() -> Self {
+        Self {
+            target_ratio: 0.035,
+            min_duration: 10,
+            max_duration: 40,
+            start_margin: 60,
+            gap: 20,
+        }
+    }
+}
+
+/// Schedules anomaly episodes for one unit.
+///
+/// Returns modifiers whose tick ranges never overlap (single-anomaly-at-a-
+/// time invariant) and whose combined duration approximates
+/// `target_ratio * num_databases * ticks` database-ticks.
+pub fn plan_anomalies(
+    num_databases: usize,
+    ticks: usize,
+    cfg: &AnomalyPlanConfig,
+    seed: u64,
+) -> Vec<Modifier> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = (cfg.target_ratio * (num_databases * ticks) as f64).round() as usize;
+    let mut spent = 0usize;
+    let mut cursor = cfg.start_margin as u64;
+    let mut out = Vec::new();
+    while spent < budget {
+        let duration = rng
+            .gen_range(cfg.min_duration..=cfg.max_duration.max(cfg.min_duration))
+            .max(1) as u64;
+        // jittered gap keeps episode spacing irregular
+        let gap = cfg.gap as u64 + rng.gen_range(0..=cfg.gap.max(1)) as u64;
+        let start = cursor + gap;
+        let end = start + duration;
+        if end as usize >= ticks {
+            break;
+        }
+        let db = rng.gen_range(0..num_databases);
+        out.push(Modifier {
+            db,
+            ticks: start..end,
+            effect: sample_effect(&mut rng, db),
+        });
+        spent += duration as usize;
+        cursor = end;
+    }
+    out
+}
+
+/// Samples an anomaly effect from the paper's taxonomy with realistic
+/// parameter ranges.
+pub fn sample_effect(rng: &mut StdRng, _db: usize) -> AnomalyEffect {
+    match rng.gen_range(0..7u8) {
+        0 => AnomalyEffect::Spike {
+            kpis: sample_kpis(rng, 2, 5),
+            factor: pick_factor(rng, 2.0, 4.0),
+        },
+        1 => AnomalyEffect::LevelShift {
+            kpis: sample_kpis(rng, 2, 5),
+            factor: pick_factor(rng, 1.7, 2.6),
+        },
+        2 => AnomalyEffect::ConceptDrift {
+            kpis: sample_kpis(rng, 2, 5),
+            end_factor: pick_factor(rng, 2.0, 3.0),
+        },
+        3 => AnomalyEffect::Stall {
+            kpis: sample_kpis(rng, 2, 4),
+        },
+        4 => AnomalyEffect::LoadSkew {
+            extra_share: rng.gen_range(0.3..0.6),
+        },
+        5 => AnomalyEffect::Fragmentation {
+            growth_per_tick: rng.gen_range(0.005..0.02),
+        },
+        _ => AnomalyEffect::ResourceHog {
+            cpu_factor: rng.gen_range(1.8..2.5),
+            rows_read_factor: rng.gen_range(2.0..4.0),
+        },
+    }
+}
+
+/// A random subset of `min..=max` distinct KPIs.
+fn sample_kpis(rng: &mut StdRng, min: usize, max: usize) -> Vec<Kpi> {
+    let count = rng.gen_range(min..=max).min(ALL_KPIS.len());
+    let mut kpis = ALL_KPIS.to_vec();
+    kpis.shuffle(rng);
+    kpis.truncate(count);
+    kpis
+}
+
+/// A multiplicative factor that is an increase or (half the time) the
+/// corresponding decrease — anomalies drag KPIs in both directions.
+fn pick_factor(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let f = rng.gen_range(lo..hi);
+    if rng.gen_bool(0.5) {
+        f
+    } else {
+        1.0 / f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episodes_never_overlap() {
+        let plan = plan_anomalies(5, 2000, &AnomalyPlanConfig::default(), 3);
+        assert!(!plan.is_empty());
+        for pair in plan.windows(2) {
+            assert!(pair[0].ticks.end <= pair[1].ticks.start, "overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn ratio_roughly_met_on_long_horizon() {
+        let cfg = AnomalyPlanConfig::default();
+        let ticks = 20_000;
+        let plan = plan_anomalies(5, ticks, &cfg, 7);
+        let anomalous: usize = plan.iter().map(|m| (m.ticks.end - m.ticks.start) as usize).sum();
+        let ratio = anomalous as f64 / (5 * ticks) as f64;
+        assert!(
+            (ratio - cfg.target_ratio).abs() < cfg.target_ratio * 0.35,
+            "ratio {ratio} vs target {}",
+            cfg.target_ratio
+        );
+    }
+
+    #[test]
+    fn start_margin_respected() {
+        let cfg = AnomalyPlanConfig {
+            start_margin: 100,
+            ..AnomalyPlanConfig::default()
+        };
+        let plan = plan_anomalies(5, 5000, &cfg, 11);
+        assert!(plan.iter().all(|m| m.ticks.start >= 100));
+    }
+
+    #[test]
+    fn durations_within_bounds() {
+        let cfg = AnomalyPlanConfig::default();
+        let plan = plan_anomalies(5, 10_000, &cfg, 13);
+        for m in &plan {
+            let d = (m.ticks.end - m.ticks.start) as usize;
+            assert!(d >= cfg.min_duration && d <= cfg.max_duration, "duration {d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = AnomalyPlanConfig::default();
+        assert_eq!(plan_anomalies(5, 3000, &cfg, 1), plan_anomalies(5, 3000, &cfg, 1));
+        assert_ne!(plan_anomalies(5, 3000, &cfg, 1), plan_anomalies(5, 3000, &cfg, 2));
+    }
+
+    #[test]
+    fn zero_ratio_yields_empty_plan() {
+        let cfg = AnomalyPlanConfig {
+            target_ratio: 0.0,
+            ..AnomalyPlanConfig::default()
+        };
+        assert!(plan_anomalies(5, 5000, &cfg, 1).is_empty());
+    }
+
+    #[test]
+    fn short_horizon_yields_valid_plan() {
+        let plan = plan_anomalies(5, 50, &AnomalyPlanConfig::default(), 5);
+        for m in &plan {
+            assert!((m.ticks.end as usize) < 50);
+        }
+    }
+
+    #[test]
+    fn effects_cover_taxonomy() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let idx = match sample_effect(&mut rng, 0) {
+                AnomalyEffect::Spike { .. } => 0,
+                AnomalyEffect::LevelShift { .. } => 1,
+                AnomalyEffect::ConceptDrift { .. } => 2,
+                AnomalyEffect::Stall { .. } => 3,
+                AnomalyEffect::LoadSkew { .. } => 4,
+                AnomalyEffect::Fragmentation { .. } => 5,
+                AnomalyEffect::ResourceHog { .. } => 6,
+            };
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "taxonomy coverage: {seen:?}");
+    }
+
+    #[test]
+    fn sampled_kpis_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let kpis = sample_kpis(&mut rng, 2, 5);
+            let mut dedup = kpis.clone();
+            dedup.sort_by_key(|k| k.index());
+            dedup.dedup();
+            assert_eq!(dedup.len(), kpis.len());
+        }
+    }
+}

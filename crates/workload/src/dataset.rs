@@ -1,0 +1,574 @@
+//! Dataset construction (paper §IV-A, Table III).
+//!
+//! A [`Dataset`] is a collection of independent unit recordings
+//! ([`UnitData`]): for each unit, the full KPI series of every database,
+//! ground-truth anomaly labels, and the Table II participation mask. The
+//! builders reproduce the paper's three datasets — Tencent, Sysbench and
+//! TPCC — in mixed, irregular-only (…I) and periodic-only (…II) variants,
+//! at a configurable scale (`scale = 1.0` matches the Table III point
+//! counts).
+
+use crate::anomaly::{plan_anomalies, AnomalyPlanConfig};
+use crate::profile::{overlay_rare_events, LoadProfile, RareEventConfig};
+use crate::sysbench::{sysbench_i_profile, sysbench_ii_profile};
+use crate::tencent::Archetype;
+use crate::tpcc::{tpcc_i_profile, tpcc_ii_profile};
+use dbcatcher_sim::{UnitConfig, UnitSim, NUM_KPIS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Which benchmark family a dataset imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Tencent production mixture (social / gaming / e-commerce / finance).
+    Tencent,
+    /// Sysbench `oltp_read_write` parameter space (Table IV).
+    Sysbench,
+    /// TPC-C parameter space (Table IV).
+    Tpcc,
+}
+
+impl WorkloadKind {
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Tencent => "Tencent",
+            WorkloadKind::Sysbench => "Sysbench",
+            WorkloadKind::Tpcc => "TPCC",
+        }
+    }
+}
+
+/// Which periodicity subset to generate (paper §IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Subset {
+    /// The 40 % periodic / 60 % irregular production mixture.
+    Mixed,
+    /// Irregular units only (Tencent I / Sysbench I / TPCC I).
+    Irregular,
+    /// Periodic units only (Tencent II / Sysbench II / TPCC II).
+    Periodic,
+}
+
+/// The recorded KPI streams of one unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitData {
+    /// Identifier within the dataset.
+    pub unit_id: usize,
+    /// `series[db][kpi][tick]`.
+    pub series: Vec<Vec<Vec<f64>>>,
+    /// Ground truth: `labels[db][tick]`.
+    pub labels: Vec<Vec<bool>>,
+    /// Table II participation mask: `participation[kpi][db]`.
+    pub participation: Vec<Vec<bool>>,
+}
+
+impl UnitData {
+    /// Number of databases.
+    pub fn num_databases(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of KPIs.
+    pub fn num_kpis(&self) -> usize {
+        self.series.first().map(|db| db.len()).unwrap_or(0)
+    }
+
+    /// Number of ticks recorded.
+    pub fn num_ticks(&self) -> usize {
+        self.series
+            .first()
+            .and_then(|db| db.first())
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// The `db x kpi` value matrix at one tick — the detector's input frame.
+    ///
+    /// # Panics
+    /// Panics when `tick` is out of range.
+    pub fn tick_matrix(&self, tick: usize) -> Vec<Vec<f64>> {
+        self.series
+            .iter()
+            .map(|db| db.iter().map(|kpi| kpi[tick]).collect())
+            .collect()
+    }
+
+    /// One KPI series of one database.
+    pub fn kpi_series(&self, db: usize, kpi: usize) -> &[f64] {
+        &self.series[db][kpi]
+    }
+
+    /// Whether any database is anomalous at `tick`.
+    pub fn any_anomalous(&self, tick: usize) -> bool {
+        self.labels.iter().any(|db| db[tick])
+    }
+
+    /// Restricts the recording to a tick range (used for train/test splits).
+    pub fn slice(&self, range: Range<usize>) -> UnitData {
+        UnitData {
+            unit_id: self.unit_id,
+            series: self
+                .series
+                .iter()
+                .map(|db| db.iter().map(|kpi| kpi[range.clone()].to_vec()).collect())
+                .collect(),
+            labels: self
+                .labels
+                .iter()
+                .map(|db| db[range.clone()].to_vec())
+                .collect(),
+            participation: self.participation.clone(),
+        }
+    }
+
+    /// Count of anomalous `(db, tick)` pairs.
+    pub fn anomalous_db_ticks(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|db| db.iter().filter(|&&l| l).count())
+            .sum()
+    }
+}
+
+/// Table III-style dataset statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of units.
+    pub units: usize,
+    /// KPI dimensionality (14).
+    pub dimensions: usize,
+    /// Total points: `units * databases * kpis * ticks`.
+    pub total_points: usize,
+    /// Anomalous points (each anomalous db-tick counts its 14 KPI points).
+    pub anomal_points: usize,
+    /// `anomal_points / total_points`.
+    pub abnormal_ratio: f64,
+}
+
+/// A complete dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Display name, e.g. `"Sysbench I"`.
+    pub name: String,
+    /// The benchmark family.
+    pub kind: WorkloadKind,
+    /// Periodicity subset.
+    pub subset: Subset,
+    /// The unit recordings.
+    pub units: Vec<UnitData>,
+}
+
+impl Dataset {
+    /// Table III statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let dims = self.units.first().map(|u| u.num_kpis()).unwrap_or(0);
+        let total: usize = self
+            .units
+            .iter()
+            .map(|u| u.num_databases() * u.num_kpis() * u.num_ticks())
+            .sum();
+        let anomal: usize = self
+            .units
+            .iter()
+            .map(|u| u.anomalous_db_ticks() * u.num_kpis())
+            .sum();
+        DatasetStats {
+            units: self.units.len(),
+            dimensions: dims,
+            total_points: total,
+            anomal_points: anomal,
+            abnormal_ratio: if total == 0 { 0.0 } else { anomal as f64 / total as f64 },
+        }
+    }
+
+    /// Splits each unit's timeline: the first `frac` of ticks become the
+    /// training set, the remainder the testing set (paper §IV-B uses 50/50).
+    pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
+        let frac = frac.clamp(0.0, 1.0);
+        let mk = |units: Vec<UnitData>, tag: &str| Dataset {
+            name: format!("{} ({tag})", self.name),
+            kind: self.kind,
+            subset: self.subset,
+            units,
+        };
+        let train: Vec<UnitData> = self
+            .units
+            .iter()
+            .map(|u| {
+                let cut = (u.num_ticks() as f64 * frac).round() as usize;
+                u.slice(0..cut)
+            })
+            .collect();
+        let test: Vec<UnitData> = self
+            .units
+            .iter()
+            .map(|u| {
+                let cut = (u.num_ticks() as f64 * frac).round() as usize;
+                u.slice(cut..u.num_ticks())
+            })
+            .collect();
+        (mk(train, "train"), mk(test, "test"))
+    }
+}
+
+/// Dataset generation parameters.
+///
+/// ```
+/// use dbcatcher_workload::dataset::DatasetSpec;
+///
+/// // a laptop-sized slice of the paper's Sysbench dataset
+/// let dataset = DatasetSpec::paper_sysbench(7).scaled(0.04).build();
+/// let stats = dataset.stats();
+/// assert_eq!(stats.dimensions, 14);
+/// assert!(stats.abnormal_ratio > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Display name.
+    pub name: String,
+    /// Benchmark family.
+    pub kind: WorkloadKind,
+    /// Periodicity subset.
+    pub subset: Subset,
+    /// Number of units.
+    pub num_units: usize,
+    /// Ticks recorded per unit.
+    pub ticks: usize,
+    /// Databases per unit (paper §IV-A5: one primary + four replicas).
+    pub databases_per_unit: usize,
+    /// Anomaly planner configuration.
+    pub anomalies: AnomalyPlanConfig,
+    /// Rare legitimate load events (paper Fig. 1) overlaid on every unit.
+    pub rare_events: RareEventConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's Tencent dataset shape (Table III): 100 units,
+    /// 5 databases, 14 KPIs, ≈790 ticks, 3.11 % abnormal.
+    pub fn paper_tencent(seed: u64) -> Self {
+        Self {
+            name: "Tencent".into(),
+            kind: WorkloadKind::Tencent,
+            subset: Subset::Mixed,
+            num_units: 100,
+            ticks: 790,
+            databases_per_unit: 5,
+            anomalies: AnomalyPlanConfig {
+                target_ratio: 0.0311,
+                ..AnomalyPlanConfig::default()
+            },
+            rare_events: RareEventConfig::default(),
+            seed,
+        }
+    }
+
+    /// The paper's Sysbench dataset shape: 50 units, ≈185 ticks, 4.21 %.
+    pub fn paper_sysbench(seed: u64) -> Self {
+        Self {
+            name: "Sysbench".into(),
+            kind: WorkloadKind::Sysbench,
+            subset: Subset::Mixed,
+            num_units: 50,
+            ticks: 185,
+            databases_per_unit: 5,
+            anomalies: AnomalyPlanConfig {
+                target_ratio: 0.0421,
+                start_margin: 30,
+                min_duration: 8,
+                max_duration: 25,
+                gap: 10,
+            },
+            rare_events: RareEventConfig::default(),
+            seed,
+        }
+    }
+
+    /// The paper's TPCC dataset shape: 50 units, ≈185 ticks, 4.06 %.
+    pub fn paper_tpcc(seed: u64) -> Self {
+        Self {
+            name: "TPCC".into(),
+            kind: WorkloadKind::Tpcc,
+            subset: Subset::Mixed,
+            num_units: 50,
+            ticks: 185,
+            databases_per_unit: 5,
+            anomalies: AnomalyPlanConfig {
+                target_ratio: 0.0406,
+                start_margin: 30,
+                min_duration: 8,
+                max_duration: 25,
+                gap: 10,
+            },
+            rare_events: RareEventConfig::default(),
+            seed,
+        }
+    }
+
+    /// Scales unit count and tick length by `factor` (for laptop-scale
+    /// runs); keeps at least 2 units and 120 ticks.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.num_units = ((self.num_units as f64 * factor).round() as usize).max(2);
+        self.ticks = ((self.ticks as f64 * factor.sqrt()).round() as usize).max(120);
+        self
+    }
+
+    /// Switches to the irregular-only subset and renames accordingly
+    /// (Tencent I / Sysbench I / TPCC I).
+    pub fn irregular(mut self) -> Self {
+        self.subset = Subset::Irregular;
+        self.name = format!("{} I", self.kind.name());
+        self
+    }
+
+    /// Switches to the periodic-only subset (… II).
+    pub fn periodic(mut self) -> Self {
+        self.subset = Subset::Periodic;
+        self.name = format!("{} II", self.kind.name());
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn build(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let units = (0..self.num_units)
+            .map(|unit_id| {
+                let unit_seed = rng.gen::<u64>();
+                self.build_unit(unit_id, unit_seed)
+            })
+            .collect();
+        Dataset {
+            name: self.name.clone(),
+            kind: self.kind,
+            subset: self.subset,
+            units,
+        }
+    }
+
+    /// Selects the load profile for one unit.
+    fn unit_profile(&self, rng: &mut StdRng, seed: u64) -> LoadProfile {
+        let periodic = match self.subset {
+            Subset::Mixed => rng.gen::<f64>() < 0.4,
+            Subset::Irregular => false,
+            Subset::Periodic => true,
+        };
+        match self.kind {
+            WorkloadKind::Tencent => {
+                let arch = if periodic {
+                    if rng.gen_bool(0.5) { Archetype::Social } else { Archetype::Gaming }
+                } else if rng.gen_bool(0.5) {
+                    Archetype::Ecommerce
+                } else {
+                    Archetype::Finance
+                };
+                arch.profile(seed)
+            }
+            WorkloadKind::Sysbench => {
+                if periodic {
+                    sysbench_ii_profile()
+                } else {
+                    sysbench_i_profile(seed, self.ticks)
+                }
+            }
+            WorkloadKind::Tpcc => {
+                if periodic {
+                    tpcc_ii_profile()
+                } else {
+                    tpcc_i_profile(seed, self.ticks)
+                }
+            }
+        }
+    }
+
+    fn build_unit(&self, unit_id: usize, unit_seed: u64) -> UnitData {
+        let mut rng = StdRng::seed_from_u64(unit_seed);
+        let profile = self.unit_profile(&mut rng, unit_seed);
+        let mut loads = profile.generate(self.ticks, unit_seed ^ 0x10AD);
+        overlay_rare_events(&mut loads, &self.rare_events, unit_seed);
+
+        let mut sim = UnitSim::new(UnitConfig {
+            num_databases: self.databases_per_unit,
+            seed: unit_seed ^ 0x51B,
+            ..UnitConfig::default()
+        });
+        for m in plan_anomalies(
+            self.databases_per_unit,
+            self.ticks,
+            &self.anomalies,
+            unit_seed ^ 0xA40,
+        ) {
+            sim.add_modifier(m);
+        }
+        let participation = sim.participation_mask();
+        let samples = sim.run(&loads);
+
+        let n = self.databases_per_unit;
+        let mut series: Vec<Vec<Vec<f64>>> = (0..n)
+            .map(|_| (0..NUM_KPIS).map(|_| Vec::with_capacity(self.ticks)).collect())
+            .collect();
+        let mut labels = vec![Vec::with_capacity(self.ticks); n];
+        for s in &samples {
+            for db in 0..n {
+                for k in 0..NUM_KPIS {
+                    series[db][k].push(s.values[db][k]);
+                }
+                labels[db].push(s.anomalous[db]);
+            }
+        }
+        UnitData {
+            unit_id,
+            series,
+            labels,
+            participation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "tiny".into(),
+            kind: WorkloadKind::Sysbench,
+            subset: Subset::Mixed,
+            num_units: 3,
+            ticks: 200,
+            databases_per_unit: 5,
+            anomalies: AnomalyPlanConfig {
+                target_ratio: 0.05,
+                start_margin: 30,
+                min_duration: 8,
+                max_duration: 20,
+                gap: 10,
+            },
+            rare_events: RareEventConfig::default(),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn build_shapes_are_consistent() {
+        let ds = tiny_spec().build();
+        assert_eq!(ds.units.len(), 3);
+        for u in &ds.units {
+            assert_eq!(u.num_databases(), 5);
+            assert_eq!(u.num_kpis(), NUM_KPIS);
+            assert_eq!(u.num_ticks(), 200);
+            assert_eq!(u.labels.len(), 5);
+            assert_eq!(u.labels[0].len(), 200);
+            assert_eq!(u.participation.len(), NUM_KPIS);
+        }
+    }
+
+    #[test]
+    fn anomalies_present_and_ratio_sane() {
+        let ds = tiny_spec().build();
+        let stats = ds.stats();
+        assert!(stats.anomal_points > 0, "no anomalies injected");
+        assert!(stats.abnormal_ratio > 0.01 && stats.abnormal_ratio < 0.12,
+            "ratio {}", stats.abnormal_ratio);
+        assert_eq!(stats.dimensions, NUM_KPIS);
+        assert_eq!(
+            stats.total_points,
+            3 * 5 * NUM_KPIS * 200
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tiny_spec().build();
+        let b = tiny_spec().build();
+        assert_eq!(a.units[0].series, b.units[0].series);
+        let mut spec2 = tiny_spec();
+        spec2.seed = 43;
+        let c = spec2.build();
+        assert_ne!(a.units[0].series, c.units[0].series);
+    }
+
+    #[test]
+    fn tick_matrix_matches_series() {
+        let ds = tiny_spec().build();
+        let u = &ds.units[0];
+        let m = u.tick_matrix(17);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[0].len(), NUM_KPIS);
+        assert_eq!(m[2][3], u.kpi_series(2, 3)[17]);
+    }
+
+    #[test]
+    fn split_preserves_totals() {
+        let ds = tiny_spec().build();
+        let (train, test) = ds.split(0.5);
+        for ((u, tr), te) in ds.units.iter().zip(&train.units).zip(&test.units) {
+            assert_eq!(tr.num_ticks() + te.num_ticks(), u.num_ticks());
+            // concatenation reproduces the original
+            assert_eq!(tr.kpi_series(0, 0).len(), 100);
+            assert_eq!(
+                [tr.kpi_series(1, 2), te.kpi_series(1, 2)].concat(),
+                u.kpi_series(1, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_specs_match_table_iii_shapes() {
+        let t = DatasetSpec::paper_tencent(1);
+        assert_eq!(t.num_units, 100);
+        assert_eq!(t.num_units * t.databases_per_unit * NUM_KPIS * t.ticks, 5_530_000);
+        let s = DatasetSpec::paper_sysbench(1);
+        assert_eq!(s.num_units * s.databases_per_unit * NUM_KPIS * s.ticks, 647_500);
+        let c = DatasetSpec::paper_tpcc(1);
+        assert_eq!(c.num_units, 50);
+        assert_eq!(c.kind, WorkloadKind::Tpcc);
+    }
+
+    #[test]
+    fn scaled_reduces_size_with_floors() {
+        let s = DatasetSpec::paper_tencent(1).scaled(0.05);
+        assert_eq!(s.num_units, 5);
+        assert!(s.ticks >= 120);
+        let tinyest = DatasetSpec::paper_tencent(1).scaled(0.0001);
+        assert_eq!(tinyest.num_units, 2);
+        assert_eq!(tinyest.ticks, 120);
+    }
+
+    #[test]
+    fn subset_builders_rename() {
+        let i = DatasetSpec::paper_sysbench(1).irregular();
+        assert_eq!(i.name, "Sysbench I");
+        assert_eq!(i.subset, Subset::Irregular);
+        let p = DatasetSpec::paper_tpcc(1).periodic();
+        assert_eq!(p.name, "TPCC II");
+        assert_eq!(p.subset, Subset::Periodic);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let ds = DatasetSpec {
+            num_units: 1,
+            ticks: 150,
+            ..tiny_spec()
+        }
+        .build();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.units[0].series, ds.units[0].series);
+        assert_eq!(back.name, ds.name);
+    }
+
+    #[test]
+    fn any_anomalous_consistent_with_labels() {
+        let ds = tiny_spec().build();
+        let u = &ds.units[0];
+        for t in 0..u.num_ticks() {
+            let expect = (0..u.num_databases()).any(|db| u.labels[db][t]);
+            assert_eq!(u.any_anomalous(t), expect);
+        }
+    }
+}

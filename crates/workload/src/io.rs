@@ -1,0 +1,265 @@
+//! Dataset persistence and interchange.
+//!
+//! Datasets serialise to a single JSON document (exact f64 round trip —
+//! the workspace enables `serde_json`'s `float_roundtrip`), and unit
+//! recordings export to CSV for inspection with external tooling
+//! (one row per tick: `tick, db0_kpi0, db0_kpi1, …, label_db0, …`).
+
+use crate::dataset::{Dataset, UnitData};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// Malformed CSV content.
+    Csv(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Saves a dataset as JSON.
+///
+/// # Errors
+/// Filesystem and serialisation failures.
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    serde_json::to_writer(&mut writer, dataset)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Loads a dataset from JSON.
+///
+/// # Errors
+/// Filesystem and parse failures.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+/// Exports one unit recording as CSV: header then one row per tick with
+/// every `(db, kpi)` value followed by the per-database labels.
+///
+/// # Errors
+/// Filesystem failures.
+pub fn export_unit_csv(unit: &UnitData, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    // header
+    write!(w, "tick")?;
+    for db in 0..unit.num_databases() {
+        for kpi in 0..unit.num_kpis() {
+            write!(w, ",db{db}_kpi{kpi}")?;
+        }
+    }
+    for db in 0..unit.num_databases() {
+        write!(w, ",label_db{db}")?;
+    }
+    writeln!(w)?;
+    // rows
+    for t in 0..unit.num_ticks() {
+        write!(w, "{t}")?;
+        for db in 0..unit.num_databases() {
+            for kpi in 0..unit.num_kpis() {
+                write!(w, ",{}", unit.kpi_series(db, kpi)[t])?;
+            }
+        }
+        for db in 0..unit.num_databases() {
+            write!(w, ",{}", unit.labels[db][t] as u8)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Imports a unit recording from CSV produced by [`export_unit_csv`].
+/// The participation mask cannot be represented in CSV and defaults to
+/// all-participating.
+///
+/// # Errors
+/// Filesystem failures and malformed rows.
+pub fn import_unit_csv(path: impl AsRef<Path>) -> Result<UnitData, IoError> {
+    let file = File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Csv("empty file".into()))??;
+    let columns: Vec<&str> = header.split(',').collect();
+    // infer shape from the header
+    let num_labels = columns.iter().filter(|c| c.starts_with("label_db")).count();
+    let value_cols = columns.len() - 1 - num_labels;
+    if num_labels == 0 || value_cols == 0 || value_cols % num_labels != 0 {
+        return Err(IoError::Csv(format!(
+            "cannot infer shape from header ({} columns, {} labels)",
+            columns.len(),
+            num_labels
+        )));
+    }
+    let num_dbs = num_labels;
+    let num_kpis = value_cols / num_dbs;
+
+    let mut series = vec![vec![Vec::new(); num_kpis]; num_dbs];
+    let mut labels = vec![Vec::new(); num_dbs];
+    for (row_idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns.len() {
+            return Err(IoError::Csv(format!(
+                "row {} has {} fields, expected {}",
+                row_idx + 1,
+                fields.len(),
+                columns.len()
+            )));
+        }
+        let mut it = fields.iter().skip(1); // skip tick
+        for db_series in series.iter_mut() {
+            for kpi_series in db_series.iter_mut() {
+                let v: f64 = it
+                    .next()
+                    .expect("arity checked")
+                    .parse()
+                    .map_err(|e| IoError::Csv(format!("row {}: {e}", row_idx + 1)))?;
+                kpi_series.push(v);
+            }
+        }
+        for db_labels in labels.iter_mut() {
+            let v: u8 = it
+                .next()
+                .expect("arity checked")
+                .parse()
+                .map_err(|e| IoError::Csv(format!("row {}: {e}", row_idx + 1)))?;
+            db_labels.push(v != 0);
+        }
+    }
+    Ok(UnitData {
+        unit_id: 0,
+        series,
+        labels,
+        participation: vec![vec![true; num_dbs]; num_kpis],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::AnomalyPlanConfig;
+    use crate::dataset::{DatasetSpec, Subset, WorkloadKind};
+    use crate::profile::RareEventConfig;
+
+    fn tiny() -> Dataset {
+        DatasetSpec {
+            name: "io-test".into(),
+            kind: WorkloadKind::Sysbench,
+            subset: Subset::Mixed,
+            num_units: 2,
+            ticks: 150,
+            databases_per_unit: 3,
+            anomalies: AnomalyPlanConfig {
+                target_ratio: 0.05,
+                start_margin: 20,
+                min_duration: 8,
+                max_duration: 15,
+                gap: 10,
+            },
+            rare_events: RareEventConfig::default(),
+            seed: 5,
+        }
+        .build()
+    }
+
+    #[test]
+    fn json_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("dbcatcher_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        let ds = tiny();
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.units.len(), ds.units.len());
+        assert_eq!(back.units[0].series, ds.units[0].series);
+        assert_eq!(back.units[1].labels, ds.units[1].labels);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("dbcatcher_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.csv");
+        let ds = tiny();
+        let unit = &ds.units[0];
+        export_unit_csv(unit, &path).unwrap();
+        let back = import_unit_csv(&path).unwrap();
+        assert_eq!(back.num_databases(), unit.num_databases());
+        assert_eq!(back.num_kpis(), unit.num_kpis());
+        assert_eq!(back.num_ticks(), unit.num_ticks());
+        assert_eq!(back.labels, unit.labels);
+        for db in 0..unit.num_databases() {
+            for kpi in 0..unit.num_kpis() {
+                for (a, b) in back.kpi_series(db, kpi).iter().zip(unit.kpi_series(db, kpi)) {
+                    assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+                }
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_dataset("/nonexistent/nowhere.json").is_err());
+        assert!(import_unit_csv("/nonexistent/nowhere.csv").is_err());
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        let dir = std::env::temp_dir().join("dbcatcher_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "tick,db0_kpi0\n0,notanumber\n").unwrap();
+        // header has no label columns → shape error
+        assert!(matches!(import_unit_csv(&path), Err(IoError::Csv(_))));
+        std::fs::write(&path, "tick,db0_kpi0,label_db0\n0,1.5,0\n1,oops,1\n").unwrap();
+        assert!(matches!(import_unit_csv(&path), Err(IoError::Csv(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoError::Csv("bad row".into());
+        assert!(e.to_string().contains("bad row"));
+    }
+}

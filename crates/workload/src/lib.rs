@@ -1,0 +1,41 @@
+//! # dbcatcher-workload
+//!
+//! Workload generators, anomaly planning and dataset construction for the
+//! DBCatcher reproduction.
+//!
+//! The paper evaluates on three datasets (§IV-A1, Table III):
+//!
+//! * **Tencent** — production KPI series from 100 units serving social,
+//!   gaming, e-commerce and finance applications;
+//! * **Sysbench** and **TPCC** — KPI series collected while driving real
+//!   MySQL units with the benchmark parameter spaces of Table IV, injected
+//!   with deviations replayed from real Tencent anomalies.
+//!
+//! We cannot ship Tencent's production traces, so [`profile`] provides
+//! synthetic load processes with the same taxonomy — periodic "business
+//! cycle" archetypes and irregular bursty/random-walk archetypes — and
+//! [`tencent`], [`sysbench`] and [`tpcc`] turn them into per-tick offered
+//! load for the unit simulator. Time is compressed: a "business cycle" is
+//! tens of ticks rather than a day, so the periodic/irregular distinction
+//! (paper §IV-A2) survives at laptop-scale dataset lengths.
+//!
+//! [`anomaly`] schedules anomaly episodes from the paper's taxonomy to hit
+//! a target abnormal ratio, and [`dataset`] assembles everything into
+//! [`dataset::Dataset`] values with ground-truth labels, train/test splits
+//! and Table III-style statistics.
+
+// Index-based loops over matrix/tensor dimensions are clearer than
+// iterator chains in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod anomaly;
+pub mod dataset;
+pub mod io;
+pub mod profile;
+pub mod scenario;
+pub mod sysbench;
+pub mod tencent;
+pub mod tpcc;
+
+pub use dataset::{Dataset, DatasetSpec, DatasetStats, UnitData, WorkloadKind};
+pub use profile::LoadProfile;

@@ -1,0 +1,400 @@
+//! Offered-load processes.
+//!
+//! A [`LoadProfile`] turns ticks into unit-wide [`OfferedLoad`] values.
+//! Profiles are the workload primitives the Tencent/Sysbench/TPCC dataset
+//! builders compose: periodic business cycles, bursty request storms
+//! (paper Fig. 1), random walks and piecewise-constant benchmark segments.
+
+use dbcatcher_sim::OfferedLoad;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A generator of per-tick offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadProfile {
+    /// Constant load with multiplicative noise.
+    Steady {
+        /// Mean read requests per second.
+        reads: f64,
+        /// Mean write requests per second.
+        writes: f64,
+        /// Relative noise sigma.
+        noise: f64,
+    },
+    /// Periodic "business cycle": sinusoid (+ optional second harmonic)
+    /// around a baseline. Models the paper's periodic datasets (§IV-C2).
+    Cyclic {
+        /// Baseline reads per second.
+        base_reads: f64,
+        /// Baseline writes per second.
+        base_writes: f64,
+        /// Cycle length in ticks.
+        period: usize,
+        /// Relative amplitude of the fundamental, e.g. `0.5`.
+        amplitude: f64,
+        /// Relative amplitude of the second harmonic (0 disables it).
+        harmonic: f64,
+        /// Relative noise sigma.
+        noise: f64,
+    },
+    /// Baseline with Poisson-arriving request bursts (paper Fig. 1:
+    /// e-commerce or game users bursting at some point in time).
+    Bursty {
+        /// Baseline reads per second.
+        base_reads: f64,
+        /// Baseline writes per second.
+        base_writes: f64,
+        /// Per-tick probability that a burst starts.
+        burst_prob: f64,
+        /// Multiplicative burst height (log-normal median).
+        burst_scale: f64,
+        /// Burst duration range in ticks.
+        burst_len: (usize, usize),
+        /// Relative noise sigma.
+        noise: f64,
+    },
+    /// Mean-reverting random walk (irregular workloads, §IV-C1).
+    RandomWalk {
+        /// Long-run mean reads per second.
+        mean_reads: f64,
+        /// Long-run mean writes per second.
+        mean_writes: f64,
+        /// Mean-reversion strength per tick (0–1).
+        reversion: f64,
+        /// Step sigma relative to the mean.
+        volatility: f64,
+    },
+    /// Piecewise-constant benchmark segments (sysbench/tpcc runs): each
+    /// segment holds a request rate for a fixed number of ticks.
+    Segments {
+        /// `(reads, writes, duration_ticks)` per segment, cycled if the
+        /// requested horizon is longer than the plan.
+        plan: Vec<(f64, f64, usize)>,
+        /// Relative noise sigma.
+        noise: f64,
+    },
+}
+
+impl LoadProfile {
+    /// Generates `ticks` offered-load samples, deterministically from
+    /// `seed`.
+    pub fn generate(&self, ticks: usize, seed: u64) -> Vec<OfferedLoad> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            LoadProfile::Steady { reads, writes, noise } => {
+                let mut ln = LoadNoise::new(*noise);
+                (0..ticks)
+                    .map(|_| {
+                        let (fr, fw) = ln.factors(&mut rng);
+                        OfferedLoad::new(reads * fr, writes * fw)
+                    })
+                    .collect()
+            }
+            LoadProfile::Cyclic {
+                base_reads,
+                base_writes,
+                period,
+                amplitude,
+                harmonic,
+                noise,
+            } => {
+                let p = (*period).max(2) as f64;
+                let mut ln = LoadNoise::new(*noise);
+                (0..ticks)
+                    .map(|t| {
+                        let phase = std::f64::consts::TAU * t as f64 / p;
+                        let shape = 1.0
+                            + amplitude * phase.sin()
+                            + harmonic * (2.0 * phase).sin();
+                        let shape = shape.max(0.05);
+                        let (fr, fw) = ln.factors(&mut rng);
+                        OfferedLoad::new(base_reads * shape * fr, base_writes * shape * fw)
+                    })
+                    .collect()
+            }
+            LoadProfile::Bursty {
+                base_reads,
+                base_writes,
+                burst_prob,
+                burst_scale,
+                burst_len,
+                noise,
+            } => {
+                let mut out = Vec::with_capacity(ticks);
+                let mut remaining = 0usize;
+                let mut factor = 1.0;
+                let burst_dist =
+                    LogNormal::new(burst_scale.max(1.0).ln(), 0.3).expect("valid lognormal");
+                let mut ln = LoadNoise::new(*noise);
+                for _ in 0..ticks {
+                    if remaining == 0 && rng.gen_bool(burst_prob.clamp(0.0, 1.0)) {
+                        remaining = rng.gen_range(burst_len.0.max(1)..=burst_len.1.max(burst_len.0).max(1));
+                        factor = burst_dist.sample(&mut rng).max(1.2);
+                    }
+                    let f = if remaining > 0 {
+                        remaining -= 1;
+                        factor
+                    } else {
+                        1.0
+                    };
+                    let (fr, fw) = ln.factors(&mut rng);
+                    out.push(OfferedLoad::new(base_reads * f * fr, base_writes * f * fw));
+                }
+                out
+            }
+            LoadProfile::RandomWalk {
+                mean_reads,
+                mean_writes,
+                reversion,
+                volatility,
+            } => {
+                let mut level = 1.0f64;
+                let step = Normal::new(0.0, volatility.max(1e-9)).expect("valid sigma");
+                (0..ticks)
+                    .map(|_| {
+                        level += reversion * (1.0 - level) + step.sample(&mut rng);
+                        level = level.clamp(0.05, 5.0);
+                        OfferedLoad::new(mean_reads * level, mean_writes * level)
+                    })
+                    .collect()
+            }
+            LoadProfile::Segments { plan, noise } => {
+                assert!(!plan.is_empty(), "segment plan must not be empty");
+                let mut out = Vec::with_capacity(ticks);
+                let mut ln = LoadNoise::new(*noise);
+                'outer: loop {
+                    for &(reads, writes, dur) in plan {
+                        for _ in 0..dur.max(1) {
+                            if out.len() == ticks {
+                                break 'outer;
+                            }
+                            let (fr, fw) = ln.factors(&mut rng);
+                            out.push(OfferedLoad::new(reads * fr, writes * fw));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Configuration of rare *legitimate* load events (paper Fig. 1): short,
+/// strong, unit-wide bursts (or dips) of traffic — e-commerce or game
+/// users arriving at once. They raise every database's KPIs together, so
+/// trend-correlation methods stay quiet while single-series detectors see
+/// a salient deviation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RareEventConfig {
+    /// Per-tick probability that an event starts.
+    pub prob: f64,
+    /// Multiplicative magnitude range of a burst.
+    pub scale: (f64, f64),
+    /// Event duration range in ticks.
+    pub len: (usize, usize),
+    /// Probability that the event is a dip (`1/scale`) instead of a burst.
+    pub dip_prob: f64,
+}
+
+impl Default for RareEventConfig {
+    fn default() -> Self {
+        Self {
+            prob: 0.004,
+            scale: (2.0, 4.0),
+            len: (3, 8),
+            dip_prob: 0.3,
+        }
+    }
+}
+
+/// Overlays rare legitimate events onto a load trace in place.
+pub fn overlay_rare_events(loads: &mut [OfferedLoad], cfg: &RareEventConfig, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let mut t = 0usize;
+    while t < loads.len() {
+        if rng.gen_bool(cfg.prob.clamp(0.0, 1.0)) {
+            let mut factor = rng.gen_range(cfg.scale.0..=cfg.scale.1);
+            if rng.gen_bool(cfg.dip_prob.clamp(0.0, 1.0)) {
+                factor = 1.0 / factor;
+            }
+            let len = rng.gen_range(cfg.len.0.max(1)..=cfg.len.1.max(cfg.len.0).max(1));
+            for l in loads.iter_mut().skip(t).take(len) {
+                l.reads *= factor;
+                l.writes *= factor;
+            }
+            t += len;
+        } else {
+            t += 1;
+        }
+    }
+}
+
+/// AR(1) multiplicative noise on the offered load. Client populations
+/// fluctuate smoothly rather than tick-by-tick, so the noise must carry
+/// autocorrelation — that smooth shared wiggle is the trend the UKPIC
+/// correlation keys on inside otherwise-flat windows.
+#[derive(Debug, Clone)]
+struct LoadNoise {
+    phi: f64,
+    eps_sigma: f64,
+    read_state: f64,
+    write_state: f64,
+}
+
+impl LoadNoise {
+    fn new(sigma: f64) -> Self {
+        let phi = 0.6_f64;
+        Self {
+            phi,
+            // stationary std of AR(1) is eps / sqrt(1 - phi^2)
+            eps_sigma: sigma.max(0.0) * (1.0 - phi * phi).sqrt(),
+            read_state: 0.0,
+            write_state: 0.0,
+        }
+    }
+
+    fn factors(&mut self, rng: &mut StdRng) -> (f64, f64) {
+        if self.eps_sigma <= 0.0 {
+            return (1.0, 1.0);
+        }
+        let n = Normal::new(0.0, self.eps_sigma).expect("valid sigma");
+        self.read_state = self.phi * self.read_state + n.sample(rng);
+        self.write_state = self.phi * self.write_state + n.sample(rng);
+        ((1.0 + self.read_state).max(0.0), (1.0 + self.write_state).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_signal::period::{classify, PeriodicityConfig};
+
+    fn reads_of(loads: &[OfferedLoad]) -> Vec<f64> {
+        loads.iter().map(|l| l.reads).collect()
+    }
+
+    #[test]
+    fn steady_is_deterministic_per_seed() {
+        let p = LoadProfile::Steady {
+            reads: 1000.0,
+            writes: 100.0,
+            noise: 0.1,
+        };
+        assert_eq!(p.generate(50, 1), p.generate(50, 1));
+        assert_ne!(reads_of(&p.generate(50, 1)), reads_of(&p.generate(50, 2)));
+    }
+
+    #[test]
+    fn steady_no_noise_is_constant() {
+        let p = LoadProfile::Steady {
+            reads: 500.0,
+            writes: 50.0,
+            noise: 0.0,
+        };
+        for l in p.generate(10, 3) {
+            assert_eq!(l.reads, 500.0);
+            assert_eq!(l.writes, 50.0);
+        }
+    }
+
+    #[test]
+    fn cyclic_profile_is_classified_periodic() {
+        let p = LoadProfile::Cyclic {
+            base_reads: 2000.0,
+            base_writes: 200.0,
+            period: 48,
+            amplitude: 0.5,
+            harmonic: 0.1,
+            noise: 0.05,
+        };
+        let loads = p.generate(480, 7);
+        let verdict = classify(&reads_of(&loads), &PeriodicityConfig::default()).unwrap();
+        assert!(verdict.periodic, "{verdict:?}");
+    }
+
+    #[test]
+    fn random_walk_is_classified_irregular() {
+        let p = LoadProfile::RandomWalk {
+            mean_reads: 2000.0,
+            mean_writes: 200.0,
+            reversion: 0.02,
+            volatility: 0.08,
+        };
+        let loads = p.generate(480, 11);
+        let verdict = classify(&reads_of(&loads), &PeriodicityConfig::default()).unwrap();
+        assert!(!verdict.periodic, "{verdict:?}");
+    }
+
+    #[test]
+    fn bursty_produces_bursts_above_baseline() {
+        let p = LoadProfile::Bursty {
+            base_reads: 1000.0,
+            base_writes: 100.0,
+            burst_prob: 0.05,
+            burst_scale: 3.0,
+            burst_len: (3, 8),
+            noise: 0.02,
+        };
+        let loads = p.generate(500, 13);
+        let reads = reads_of(&loads);
+        let max = reads.iter().cloned().fold(f64::MIN, f64::max);
+        let median = dbcatcher_signal::stats::median(&reads);
+        assert!(max > median * 2.0, "max {max}, median {median}");
+    }
+
+    #[test]
+    fn segments_follow_plan_and_cycle() {
+        let p = LoadProfile::Segments {
+            plan: vec![(100.0, 10.0, 2), (200.0, 20.0, 3)],
+            noise: 0.0,
+        };
+        let loads = p.generate(7, 1);
+        let reads = reads_of(&loads);
+        assert_eq!(reads, vec![100.0, 100.0, 200.0, 200.0, 200.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn requested_length_always_honoured() {
+        for profile in [
+            LoadProfile::Steady { reads: 1.0, writes: 1.0, noise: 0.1 },
+            LoadProfile::Cyclic {
+                base_reads: 1.0,
+                base_writes: 1.0,
+                period: 10,
+                amplitude: 0.3,
+                harmonic: 0.0,
+                noise: 0.0,
+            },
+            LoadProfile::RandomWalk {
+                mean_reads: 1.0,
+                mean_writes: 1.0,
+                reversion: 0.1,
+                volatility: 0.1,
+            },
+        ] {
+            assert_eq!(profile.generate(123, 9).len(), 123);
+            assert_eq!(profile.generate(0, 9).len(), 0);
+        }
+    }
+
+    #[test]
+    fn loads_never_negative() {
+        let p = LoadProfile::Steady {
+            reads: 10.0,
+            writes: 1.0,
+            noise: 2.0, // huge noise would go negative without clamping
+        };
+        for l in p.generate(1000, 21) {
+            assert!(l.reads >= 0.0 && l.writes >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment plan must not be empty")]
+    fn empty_plan_panics() {
+        let p = LoadProfile::Segments { plan: vec![], noise: 0.0 };
+        let _ = p.generate(5, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Ready-made single-unit scenarios for examples, case studies and docs.
+//!
+//! Each scenario wires a load profile, a unit simulator and a hand-placed
+//! anomaly into a [`UnitData`] recording — the shape the detector and the
+//! paper's case studies (Fig. 12, Fig. 13) consume.
+
+use crate::dataset::UnitData;
+use crate::profile::LoadProfile;
+use crate::tencent::Archetype;
+use dbcatcher_sim::{AnomalyEffect, Kpi, Modifier, UnitConfig, UnitSim, NUM_KPIS};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained one-unit scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitScenario {
+    /// Human-readable description (printed by the examples).
+    pub description: String,
+    /// Load profile driving the unit.
+    pub profile: LoadProfile,
+    /// Databases in the unit.
+    pub num_databases: usize,
+    /// Ticks to record.
+    pub ticks: usize,
+    /// Hand-placed anomalies.
+    pub modifiers: Vec<Modifier>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UnitScenario {
+    /// The quickstart scenario: a gaming unit with a defective
+    /// load-balancing episode — strong enough to alarm with default
+    /// thresholds, small enough to run in a doc test.
+    pub fn quickstart(seed: u64) -> Self {
+        Self {
+            description: "Gaming unit; defective load balancing routes ~50% of reads \
+                          to database 2 during ticks 305..365 (paper Fig. 4)"
+                .into(),
+            profile: Archetype::Gaming.profile(seed),
+            num_databases: 5,
+            ticks: 600,
+            modifiers: vec![Modifier {
+                db: 2,
+                ticks: 305..365,
+                effect: AnomalyEffect::LoadSkew { extra_share: 0.5 },
+            }],
+            seed,
+        }
+    }
+
+    /// Fig. 12 case study: storage fragmentation makes one database's
+    /// `Real Capacity` trend diverge — a level-1 (critical-KPI) anomaly.
+    pub fn case_study_fragmentation(seed: u64) -> Self {
+        Self {
+            description: "E-commerce unit; delete/insert churn fragments database 1's \
+                          storage from tick 400 (paper Fig. 12, level-1 capacity case)"
+                .into(),
+            profile: Archetype::Ecommerce.profile(seed),
+            num_databases: 5,
+            ticks: 700,
+            modifiers: vec![Modifier {
+                db: 1,
+                ticks: 400..520,
+                effect: AnomalyEffect::Fragmentation {
+                    growth_per_tick: 0.015,
+                },
+            }],
+            seed,
+        }
+    }
+
+    /// Fig. 13 case study: a resource-consuming task doubles database 1's
+    /// CPU and rows-read while its request count stays in line with peers —
+    /// a level-2 anomaly.
+    pub fn case_study_resource_hog(seed: u64) -> Self {
+        Self {
+            description: "E-commerce transaction unit; resource-hungry tasks mapped to \
+                          database 1 at tick 350 double CPU while Total Requests stays \
+                          level with peers (paper Fig. 13, level-2 case)"
+                .into(),
+            profile: Archetype::Ecommerce.profile(seed.wrapping_add(7)),
+            num_databases: 5,
+            ticks: 700,
+            modifiers: vec![Modifier {
+                db: 1,
+                ticks: 350..450,
+                effect: AnomalyEffect::ResourceHog {
+                    cpu_factor: 2.2,
+                    rows_read_factor: 3.0,
+                },
+            }],
+            seed,
+        }
+    }
+
+    /// Fig. 1 scenario: a burst of requests drags CPU with it — healthy
+    /// behaviour that single-series detectors misread as anomalous.
+    pub fn burst_demo(seed: u64) -> Self {
+        Self {
+            description: "E-commerce unit; a legitimate request burst raises CPU on every \
+                          database simultaneously (paper Fig. 1) — healthy, no anomaly"
+                .into(),
+            profile: LoadProfile::Bursty {
+                base_reads: 3000.0,
+                base_writes: 300.0,
+                burst_prob: 0.02,
+                burst_scale: 3.0,
+                burst_len: (6, 15),
+                noise: 0.05,
+            },
+            num_databases: 5,
+            ticks: 600,
+            modifiers: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Runs the scenario and returns the recording.
+    pub fn generate(&self) -> UnitData {
+        let loads = self.profile.generate(self.ticks, self.seed ^ 0x10AD);
+        let mut sim = UnitSim::new(UnitConfig {
+            num_databases: self.num_databases,
+            seed: self.seed ^ 0x51B,
+            ..UnitConfig::default()
+        });
+        for m in &self.modifiers {
+            sim.add_modifier(m.clone());
+        }
+        let participation = sim.participation_mask();
+        let samples = sim.run(&loads);
+        let n = self.num_databases;
+        let mut series: Vec<Vec<Vec<f64>>> = (0..n)
+            .map(|_| (0..NUM_KPIS).map(|_| Vec::with_capacity(self.ticks)).collect())
+            .collect();
+        let mut labels = vec![Vec::with_capacity(self.ticks); n];
+        for s in &samples {
+            for db in 0..n {
+                for k in 0..NUM_KPIS {
+                    series[db][k].push(s.values[db][k]);
+                }
+                labels[db].push(s.anomalous[db]);
+            }
+        }
+        UnitData {
+            unit_id: 0,
+            series,
+            labels,
+            participation,
+        }
+    }
+}
+
+/// KPIs worth plotting for the case studies (a readable subset).
+pub fn case_study_kpis() -> Vec<Kpi> {
+    vec![
+        Kpi::RequestsPerSecond,
+        Kpi::CpuUtilization,
+        Kpi::InnodbRowsRead,
+        Kpi::RealCapacity,
+        Kpi::TotalRequests,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_contains_anomaly_window() {
+        let data = UnitScenario::quickstart(42).generate();
+        assert_eq!(data.num_databases(), 5);
+        assert_eq!(data.num_ticks(), 600);
+        assert!(data.labels[2][320]);
+        assert!(!data.labels[2][100]);
+        assert!(!data.labels[0][320]);
+    }
+
+    #[test]
+    fn quickstart_skew_visible_in_reads_kpi() {
+        let data = UnitScenario::quickstart(42).generate();
+        let k = Kpi::BufferPoolReadRequests.index();
+        let before: f64 = data.kpi_series(2, k)[200..290].iter().sum::<f64>() / 90.0;
+        let during: f64 = data.kpi_series(2, k)[310..350].iter().sum::<f64>() / 40.0;
+        assert!(during > before * 1.8, "during {during} vs before {before}");
+    }
+
+    #[test]
+    fn fragmentation_case_diverges_capacity() {
+        let data = UnitScenario::case_study_fragmentation(7).generate();
+        let k = Kpi::RealCapacity.index();
+        let target_growth = data.kpi_series(1, k)[519] / data.kpi_series(1, k)[400];
+        let peer_growth = data.kpi_series(3, k)[519] / data.kpi_series(3, k)[400];
+        assert!(target_growth > peer_growth * 1.5, "{target_growth} vs {peer_growth}");
+    }
+
+    #[test]
+    fn resource_hog_keeps_requests_level() {
+        let data = UnitScenario::case_study_resource_hog(7).generate();
+        let cpu = Kpi::CpuUtilization.index();
+        let req = Kpi::TotalRequests.index();
+        let mid = 400usize;
+        let peer_cpu = data.kpi_series(3, cpu)[mid];
+        let hog_cpu = data.kpi_series(1, cpu)[mid];
+        assert!(hog_cpu > peer_cpu * 1.4, "cpu {hog_cpu} vs {peer_cpu}");
+        let peer_req = data.kpi_series(3, req)[mid];
+        let hog_req = data.kpi_series(1, req)[mid];
+        assert!((hog_req / peer_req - 1.0).abs() < 0.6, "req {hog_req} vs {peer_req}");
+    }
+
+    #[test]
+    fn burst_demo_is_anomaly_free() {
+        let data = UnitScenario::burst_demo(3).generate();
+        assert_eq!(data.anomalous_db_ticks(), 0);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = UnitScenario::quickstart(1).generate();
+        let b = UnitScenario::quickstart(1).generate();
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn case_study_kpis_nonempty() {
+        assert!(!case_study_kpis().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Sysbench-like workload construction (paper Table IV).
+//!
+//! The paper drives real MySQL units with sysbench `oltp_read_write` over
+//! two parameter spaces:
+//!
+//! * **Sysbench I** (irregular): tables 5–20, threads 4–64, 100 000 items,
+//!   0.5–1 minute per run — parameters resampled per segment, so the load
+//!   level jumps irregularly;
+//! * **Sysbench II** (periodic): 10 tables, threads cycling 4-8-16-32,
+//!   0.5 minute per step — a repeating staircase, hence periodic.
+//!
+//! We map a sysbench configuration to offered load with a simple throughput
+//! model: each thread sustains a per-thread request rate that degrades
+//! mildly with table count (more tables → worse cache locality).
+//! `oltp_read_write` issues ~70 % reads / 30 % writes.
+
+use crate::profile::LoadProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Ticks per half-minute at the paper's 5-second collection interval.
+pub const TICKS_PER_HALF_MINUTE: usize = 6;
+
+/// Requests per second sustained by one sysbench thread against one
+/// 4-core database unit (throughput model constant).
+pub const PER_THREAD_RPS: f64 = 120.0;
+
+/// Fraction of sysbench `oltp_read_write` requests that are reads.
+pub const READ_FRACTION: f64 = 0.7;
+
+/// One sysbench run configuration from the Table IV space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SysbenchRun {
+    /// Number of tables (5–20).
+    pub tables: usize,
+    /// Client threads (4–64).
+    pub threads: usize,
+    /// Rows per table (fixed at 100 000 in Table IV).
+    pub items: usize,
+    /// Run duration in ticks (0.5–1 minute → 6–12 ticks).
+    pub duration_ticks: usize,
+}
+
+impl SysbenchRun {
+    /// Offered (reads, writes) per second implied by this configuration.
+    pub fn offered_rate(&self) -> (f64, f64) {
+        // Throughput scales sub-linearly in threads (contention) and
+        // degrades slightly with the table count.
+        let eff_threads = (self.threads as f64).powf(0.9);
+        let table_penalty = 1.0 / (1.0 + 0.01 * self.tables as f64);
+        let total = PER_THREAD_RPS * eff_threads * table_penalty;
+        (total * READ_FRACTION, total * (1.0 - READ_FRACTION))
+    }
+}
+
+/// Builds the **Sysbench I** (irregular) profile: independently resampled
+/// runs from the Table IV space until the horizon is covered.
+pub fn sysbench_i_profile(seed: u64, horizon_ticks: usize) -> LoadProfile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan = Vec::new();
+    let mut covered = 0usize;
+    while covered < horizon_ticks.max(1) {
+        let run = SysbenchRun {
+            tables: rng.gen_range(5..=20),
+            threads: rng.gen_range(4..=64),
+            items: 100_000,
+            duration_ticks: rng.gen_range(TICKS_PER_HALF_MINUTE..=2 * TICKS_PER_HALF_MINUTE),
+        };
+        let (r, w) = run.offered_rate();
+        plan.push((r, w, run.duration_ticks));
+        covered += run.duration_ticks;
+    }
+    LoadProfile::Segments { plan, noise: 0.06 }
+}
+
+/// Builds the **Sysbench II** (periodic) profile: the 4-8-16-32 thread
+/// staircase of Table IV, half a minute per step.
+pub fn sysbench_ii_profile() -> LoadProfile {
+    let plan = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&threads| {
+            let run = SysbenchRun {
+                tables: 10,
+                threads,
+                items: 100_000,
+                duration_ticks: TICKS_PER_HALF_MINUTE,
+            };
+            let (r, w) = run.offered_rate();
+            (r, w, run.duration_ticks)
+        })
+        .collect();
+    LoadProfile::Segments { plan, noise: 0.04 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_signal::period::{classify, PeriodicityConfig};
+
+    #[test]
+    fn offered_rate_monotone_in_threads() {
+        let lo = SysbenchRun { tables: 10, threads: 4, items: 100_000, duration_ticks: 6 };
+        let hi = SysbenchRun { tables: 10, threads: 64, items: 100_000, duration_ticks: 6 };
+        assert!(hi.offered_rate().0 > lo.offered_rate().0);
+        assert!(hi.offered_rate().1 > lo.offered_rate().1);
+    }
+
+    #[test]
+    fn offered_rate_penalised_by_tables() {
+        let few = SysbenchRun { tables: 5, threads: 16, items: 100_000, duration_ticks: 6 };
+        let many = SysbenchRun { tables: 20, threads: 16, items: 100_000, duration_ticks: 6 };
+        assert!(few.offered_rate().0 > many.offered_rate().0);
+    }
+
+    #[test]
+    fn read_write_mix() {
+        let run = SysbenchRun { tables: 10, threads: 16, items: 100_000, duration_ticks: 6 };
+        let (r, w) = run.offered_rate();
+        assert!((r / (r + w) - READ_FRACTION).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sysbench_ii_is_periodic() {
+        let loads = sysbench_ii_profile().generate(240, 3);
+        let reads: Vec<f64> = loads.iter().map(|l| l.reads).collect();
+        let verdict = classify(&reads, &PeriodicityConfig::default()).unwrap();
+        assert!(verdict.periodic, "{verdict:?}");
+        // fundamental period = 4 steps * 6 ticks = 24 ticks
+        let p = verdict.period.unwrap();
+        assert!((p - 24.0).abs() < 4.0, "period {p}");
+    }
+
+    #[test]
+    fn sysbench_i_is_irregular() {
+        let loads = sysbench_i_profile(5, 480).generate(480, 5);
+        let reads: Vec<f64> = loads.iter().map(|l| l.reads).collect();
+        let verdict = classify(&reads, &PeriodicityConfig::default()).unwrap();
+        assert!(!verdict.periodic, "{verdict:?}");
+    }
+
+    #[test]
+    fn sysbench_i_plan_covers_horizon() {
+        let profile = sysbench_i_profile(9, 300);
+        assert_eq!(profile.generate(300, 9).len(), 300);
+    }
+
+    #[test]
+    fn sysbench_i_seeds_differ() {
+        let a = sysbench_i_profile(1, 100);
+        let b = sysbench_i_profile(2, 100);
+        assert_ne!(a, b);
+    }
+}

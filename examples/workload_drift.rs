@@ -1,0 +1,51 @@
+//! Workload drift (paper §IV-C3): thresholds tuned on one workload are
+//! carried to a different one; the adaptive learner re-fits them from
+//! fresh judgment records orders of magnitude faster than retraining a
+//! learned model.
+//!
+//! ```bash
+//! cargo run --release --example workload_drift
+//! ```
+
+use dbcatcher::eval::experiments::collect_judgment_records;
+use dbcatcher::eval::methods::{retrain_seconds, train_dbcatcher, MethodKind};
+use dbcatcher::eval::protocol::ProtocolConfig;
+use dbcatcher::workload::dataset::DatasetSpec;
+
+fn main() {
+    let scale = 0.04;
+    let tencent = DatasetSpec::paper_tencent(11).scaled(scale).build();
+    let sysbench = DatasetSpec::paper_sysbench(13).scaled(scale).build();
+    let cfg = ProtocolConfig::default();
+
+    // Train on the Tencent-like workload.
+    let (tencent_train, _) = tencent.split(0.5);
+    let (config, f1) = train_dbcatcher(&tencent_train, &cfg);
+    println!("trained on Tencent: F-Measure on its own records {f1:.2}");
+
+    // The workload drifts to Sysbench: how do the old thresholds fare on
+    // the new workload's judgment records?
+    let (sys_train, _) = sysbench.split(0.5);
+    let records = collect_judgment_records(&sys_train);
+    let genes = dbcatcher::core::ga::Genes {
+        alphas: config.alphas.clone(),
+        theta: config.theta,
+        max_tolerance: config.max_tolerance,
+    };
+    let drifted_f1 = dbcatcher::core::feedback::f_measure_on_records(&genes, &records);
+    println!("after drift to Sysbench: F-Measure with the old thresholds {drifted_f1:.2}");
+
+    // Retraining cost comparison (paper Table IX): DBCatcher only re-runs
+    // the GA over fresh records; a learned model retrains end to end.
+    for method in [MethodKind::DbCatcher, MethodKind::SrCnn, MethodKind::OmniAnomaly] {
+        let secs = retrain_seconds(method, &sys_train, &cfg);
+        println!("retraining {:<12} on the new workload: {:.3}s", method.name(), secs);
+    }
+
+    // After re-learning, the new thresholds restore performance.
+    let (reconfig, new_f1) = train_dbcatcher(&sys_train, &cfg);
+    println!(
+        "re-learned thresholds: F-Measure {new_f1:.2} (theta {:.2}, tolerance {})",
+        reconfig.theta, reconfig.max_tolerance
+    );
+}

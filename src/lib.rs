@@ -1,0 +1,51 @@
+//! # dbcatcher
+//!
+//! A from-scratch Rust reproduction of **DBCatcher** (ICDE 2023): a cloud
+//! database online anomaly detection system based on indicator correlation.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`core`] — the paper's contribution: KCD correlation measurement,
+//!   correlation matrices, the flexible time-window state machine and the
+//!   adaptive (genetic-algorithm) threshold learner.
+//! * [`sim`] — a cloud-database *unit* simulator (load balancer, primary and
+//!   replica instances, KPI engine with point-in-time delays and temporal
+//!   fluctuations).
+//! * [`workload`] — Tencent-like / Sysbench / TPC-C workload generators,
+//!   anomaly injection and dataset construction.
+//! * [`signal`] — FFT, DCT, ACF, periodogram, robust statistics and a
+//!   RobustPeriod-like periodic/irregular classifier.
+//! * [`nn`] — a minimal neural-network substrate used by the SR-CNN and
+//!   OmniAnomaly baselines.
+//! * [`baselines`] — the five compared detectors plus correlation and
+//!   threshold-search baselines.
+//! * [`eval`] — metrics, splits, search harnesses and experiment drivers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbcatcher::core::{DbCatcher, DbCatcherConfig};
+//! use dbcatcher::workload::scenario::UnitScenario;
+//!
+//! // Simulate one unit of five databases for 600 ticks with a spike anomaly,
+//! // then stream it through the detector.
+//! let scenario = UnitScenario::quickstart(42);
+//! let data = scenario.generate();
+//! let mut catcher = DbCatcher::new(DbCatcherConfig::default(), data.num_databases());
+//! let mut alarms = 0usize;
+//! for tick in 0..data.num_ticks() {
+//!     let verdicts = catcher.ingest_tick(&data.tick_matrix(tick));
+//!     alarms += verdicts.iter().filter(|v| v.state.is_abnormal()).count();
+//! }
+//! // The injected anomaly window must raise at least one alarm.
+//! assert!(alarms > 0);
+//! ```
+
+pub use dbcatcher_baselines as baselines;
+pub use dbcatcher_core as core;
+pub use dbcatcher_eval as eval;
+pub use dbcatcher_nn as nn;
+pub use dbcatcher_signal as signal;
+pub use dbcatcher_sim as sim;
+pub use dbcatcher_workload as workload;

@@ -1,0 +1,124 @@
+//! Baseline detectors through the full evaluation harness, plus failure
+//! injection (unused databases, constant KPIs, extreme delays).
+
+use dbcatcher::baselines::detector::Detector;
+use dbcatcher::baselines::matrix_method::{CorrelationMeasure, MatrixMethod};
+use dbcatcher::core::kcd::kcd;
+use dbcatcher::core::pipeline::detect_series;
+use dbcatcher::core::{DbCatcherConfig, DelayScan};
+use dbcatcher::eval::methods::{baseline_detector, run_method, MethodKind};
+use dbcatcher::eval::protocol::ProtocolConfig;
+use dbcatcher::workload::dataset::DatasetSpec;
+
+fn tiny() -> dbcatcher::workload::Dataset {
+    DatasetSpec {
+        num_units: 2,
+        ticks: 300,
+        ..DatasetSpec::paper_sysbench(29)
+    }
+    .build()
+}
+
+#[test]
+fn every_method_completes_the_protocol() {
+    let ds = tiny();
+    let (train, test) = ds.split(0.5);
+    let mut cfg = ProtocolConfig::default();
+    cfg.window_grid = vec![20, 40];
+    cfg.ga.population = 8;
+    cfg.ga.generations = 4;
+    for kind in MethodKind::all() {
+        let outcome = run_method(kind, &train, &test, &cfg);
+        assert!((0.0..=1.0).contains(&outcome.precision), "{kind:?}");
+        assert!((0.0..=1.0).contains(&outcome.recall), "{kind:?}");
+        assert!((0.0..=1.0).contains(&outcome.f_measure), "{kind:?}");
+        assert!(outcome.window_size >= 0.0);
+        assert!(outcome.train_secs >= 0.0);
+    }
+}
+
+#[test]
+fn detectors_score_degenerate_units_without_panicking() {
+    let ds = tiny();
+    let unit = &ds.units[0];
+    // constant KPIs everywhere
+    let constant: Vec<Vec<Vec<f64>>> =
+        vec![vec![vec![5.0; 100]; unit.num_kpis()]; unit.num_databases()];
+    // an all-zero (unused) database
+    let mut with_unused = unit.series.clone();
+    for kpi in with_unused[3].iter_mut() {
+        kpi.iter_mut().for_each(|v| *v = 0.0);
+    }
+    for kind in [
+        MethodKind::Fft,
+        MethodKind::Sr,
+        MethodKind::JumpStarter,
+    ] {
+        let detector = baseline_detector(kind, unit.num_kpis(), 1);
+        let s1 = detector.score(&constant);
+        assert_eq!(s1.len(), 100);
+        assert!(s1.iter().all(|v| v.is_finite()));
+        let s2 = detector.score(&with_unused);
+        assert_eq!(s2.len(), unit.num_ticks());
+    }
+    // DBCatcher on the unused-database variant: db 3 must stay quiet
+    let (_, preds) = detect_series(DbCatcherConfig::default(), &with_unused, None);
+    assert!(preds[3].iter().all(|&p| !p), "unused database flagged");
+}
+
+#[test]
+fn delay_beyond_scan_range_decorrelates() {
+    // a delay larger than the scanned lag range looks like an anomaly —
+    // the documented limitation of a bounded scan
+    let base: Vec<f64> = (0..80)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 16.0).sin())
+        .collect();
+    let delayed: Vec<f64> = (0..80usize)
+        .map(|i| base[i.saturating_sub(7)])
+        .collect();
+    let within = kcd(&base[10..70], &delayed[10..70], 8);
+    let beyond = kcd(&base[10..70], &delayed[10..70], 3);
+    assert!(within > 0.95, "scan covering the delay must recover: {within}");
+    assert!(beyond < within - 0.1, "bounded scan must lose correlation: {beyond}");
+}
+
+#[test]
+fn amm_kcd_agrees_with_streaming_dbcatcher_on_strong_anomaly() {
+    // the ablation's AMM-KCD is the same machinery as the streaming
+    // detector; both must catch a hard distortion
+    let ds = tiny();
+    let unit = &ds.units[1];
+    let config = DbCatcherConfig {
+        delay_scan: DelayScan::Fixed(3),
+        ..DbCatcherConfig::default()
+    };
+    let amm = MatrixMethod::new(CorrelationMeasure::Kcd, config.clone(), true);
+    let amm_preds = amm.detect(&unit.series, Some(&unit.participation));
+    let (_, stream_preds) = detect_series(config, &unit.series, Some(unit.participation.clone()));
+    // agreement on anomalous databases: any db flagged by streaming within
+    // labelled ranges is also flagged by AMM (they share thresholds)
+    for db in 0..unit.num_databases() {
+        let stream_hits = stream_preds[db].iter().filter(|&&p| p).count();
+        let amm_hits = amm_preds[db].iter().filter(|&&p| p).count();
+        if stream_hits > 30 {
+            assert!(amm_hits > 0, "AMM missed db {db} that streaming flagged");
+        }
+    }
+}
+
+#[test]
+fn correlation_baselines_rank_as_paper_reports() {
+    // Table X's qualitative ordering on delayed healthy data:
+    // KCD tolerates collection delays that break Pearson
+    let ds = tiny();
+    let unit = &ds.units[0];
+    let k = 10; // Requests Per Second
+    let a = &unit.kpi_series(1, k)[40..100];
+    let b = &unit.kpi_series(2, k)[40..100];
+    let kcd_score = CorrelationMeasure::Kcd.score(a, b, 3);
+    let pearson_score = CorrelationMeasure::Pearson.score(a, b, 3);
+    assert!(
+        kcd_score >= pearson_score - 1e-9,
+        "kcd {kcd_score} vs pearson {pearson_score}"
+    );
+}

@@ -1,0 +1,138 @@
+//! Dataset-level invariants: Table III shapes, split algebra, subset
+//! periodicity, UKPIC in generated data.
+
+use dbcatcher::core::kcd::kcd;
+use dbcatcher::signal::period::{classify, PeriodicityConfig};
+use dbcatcher::sim::Kpi;
+use dbcatcher::workload::dataset::{DatasetSpec, Subset};
+
+fn small(spec: DatasetSpec) -> DatasetSpec {
+    DatasetSpec {
+        num_units: 4,
+        ticks: 400,
+        ..spec
+    }
+}
+
+#[test]
+fn abnormal_ratio_tracks_table_iii_target() {
+    let spec = small(DatasetSpec::paper_tencent(3));
+    let target = spec.anomalies.target_ratio;
+    let stats = spec.build().stats();
+    assert!(
+        (stats.abnormal_ratio - target).abs() < target * 0.6,
+        "ratio {} vs target {target}",
+        stats.abnormal_ratio
+    );
+    assert_eq!(stats.dimensions, 14);
+    assert_eq!(stats.units, 4);
+}
+
+#[test]
+fn split_is_a_partition() {
+    let ds = small(DatasetSpec::paper_sysbench(5)).build();
+    let (train, test) = ds.split(0.5);
+    for ((orig, tr), te) in ds.units.iter().zip(&train.units).zip(&test.units) {
+        assert_eq!(tr.num_ticks() + te.num_ticks(), orig.num_ticks());
+        assert_eq!(
+            [tr.kpi_series(0, 0), te.kpi_series(0, 0)].concat(),
+            orig.kpi_series(0, 0)
+        );
+        assert_eq!(
+            tr.anomalous_db_ticks() + te.anomalous_db_ticks(),
+            orig.anomalous_db_ticks()
+        );
+    }
+}
+
+#[test]
+fn periodic_subset_classifies_periodic() {
+    let ds = small(DatasetSpec::paper_sysbench(7).periodic()).build();
+    let cfg = PeriodicityConfig::default();
+    let mut periodic = 0;
+    for unit in &ds.units {
+        let rps = unit.kpi_series(1, Kpi::RequestsPerSecond.index());
+        if classify(rps, &cfg).map(|v| v.periodic).unwrap_or(false) {
+            periodic += 1;
+        }
+    }
+    assert!(
+        periodic >= ds.units.len() - 1,
+        "{periodic}/{} periodic units in the periodic subset",
+        ds.units.len()
+    );
+}
+
+#[test]
+fn irregular_subset_classifies_irregular() {
+    let ds = small(DatasetSpec::paper_tpcc(9).irregular()).build();
+    let cfg = PeriodicityConfig::default();
+    let mut irregular = 0;
+    for unit in &ds.units {
+        let rps = unit.kpi_series(1, Kpi::RequestsPerSecond.index());
+        if !classify(rps, &cfg).map(|v| v.periodic).unwrap_or(false) {
+            irregular += 1;
+        }
+    }
+    assert!(
+        irregular >= ds.units.len() - 1,
+        "{irregular}/{} irregular units in the irregular subset",
+        ds.units.len()
+    );
+}
+
+/// UKPIC must hold in generated data: healthy replicas correlate strongly
+/// on every KPI; the primary correlates on the P-R KPIs.
+#[test]
+fn ukpic_holds_on_healthy_stretches() {
+    let mut spec = small(DatasetSpec::paper_tencent(21));
+    spec.anomalies.target_ratio = 0.0; // fully healthy
+    let ds = spec.build();
+    let unit = &ds.units[0];
+    let window = 60usize;
+    let start = 100usize;
+    for kpi in [
+        Kpi::RequestsPerSecond,
+        Kpi::BufferPoolReadRequests,
+        Kpi::CpuUtilization,
+        Kpi::InnodbDataWrites,
+    ] {
+        let k = kpi.index();
+        // replica-replica
+        let a = &unit.kpi_series(1, k)[start..start + window];
+        let b = &unit.kpi_series(2, k)[start..start + window];
+        let rr = kcd(a, b, 3);
+        assert!(rr > 0.8, "{}: R-R KCD {rr}", kpi.name());
+        // primary-replica
+        let p = &unit.kpi_series(0, k)[start..start + window];
+        let pr = kcd(p, a, 3);
+        assert!(pr > 0.7, "{}: P-R KCD {pr}", kpi.name());
+    }
+}
+
+#[test]
+fn dataset_serialization_round_trips() {
+    let ds = DatasetSpec {
+        num_units: 1,
+        ticks: 150,
+        ..DatasetSpec::paper_sysbench(1)
+    }
+    .build();
+    let json = serde_json::to_string(&ds).expect("serialize");
+    let back: dbcatcher::workload::Dataset = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.units[0].series, ds.units[0].series);
+    assert_eq!(back.units[0].labels, ds.units[0].labels);
+}
+
+#[test]
+fn single_anomaly_at_a_time_invariant() {
+    let ds = small(DatasetSpec::paper_tencent(33)).build();
+    for unit in &ds.units {
+        for t in 0..unit.num_ticks() {
+            let simultaneous = (0..unit.num_databases())
+                .filter(|&db| unit.labels[db][t])
+                .count();
+            assert!(simultaneous <= 1, "two databases anomalous at tick {t}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over the cross-crate invariants.
+
+use dbcatcher::core::kcd::kcd;
+use dbcatcher::core::levels::{level_row, score_to_level, Level};
+use dbcatcher::core::state::{determine_state, DbState};
+use dbcatcher::eval::metrics::{confusion_from, point_adjust, Confusion};
+use dbcatcher::signal::normalize::min_max;
+use proptest::prelude::*;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 2..max_len)
+}
+
+proptest! {
+    /// KCD is symmetric and bounded.
+    #[test]
+    fn kcd_symmetric_and_bounded(
+        x in finite_series(40),
+        lag in 0usize..10,
+    ) {
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        let a = kcd(&x, &y, lag);
+        let b = kcd(&y, &x, lag);
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!((-1.0..=1.0).contains(&a));
+    }
+
+    /// KCD is invariant under positive affine transforms of either input.
+    #[test]
+    fn kcd_affine_invariant(
+        x in finite_series(40),
+        scale in 0.1f64..100.0,
+        shift in -1e4f64..1e4,
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| (v * 1.3).sin() * 10.0).collect();
+        let y2: Vec<f64> = y.iter().map(|v| v * scale + shift).collect();
+        let a = kcd(&x, &y, 3);
+        let b = kcd(&x, &y2, 3);
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    /// Self-correlation is perfect.
+    #[test]
+    fn kcd_self_is_one(x in finite_series(40)) {
+        prop_assert!((kcd(&x, &x, 5) - 1.0).abs() < 1e-9);
+    }
+
+    /// Min–max output always lies in [0, 1] and is idempotent.
+    #[test]
+    fn min_max_contract(x in finite_series(60)) {
+        let once = min_max(&x);
+        prop_assert!(once.iter().all(|v| (0.0..=1.0).contains(v)));
+        let twice = min_max(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Level quantisation is monotone in the score.
+    #[test]
+    fn levels_monotone(
+        s1 in -1.0f64..1.0,
+        s2 in -1.0f64..1.0,
+        alpha in 0.3f64..0.95,
+        theta in 0.05f64..0.3,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let l_lo = score_to_level(lo, alpha, theta);
+        let l_hi = score_to_level(hi, alpha, theta);
+        prop_assert!(l_lo <= l_hi, "{l_lo:?} > {l_hi:?}");
+    }
+
+    /// State determination: adding a level-1 KPI can only make the state
+    /// worse, and a fully correlated row is healthy.
+    #[test]
+    fn state_decision_sane(
+        scores in prop::collection::vec(0.71f64..1.0, 1..14),
+        tolerance in 0usize..4,
+    ) {
+        let alphas = vec![0.7; scores.len()];
+        let row = level_row(&scores, &alphas, 0.2);
+        prop_assert_eq!(determine_state(&row, tolerance), DbState::Healthy);
+        // degrade one KPI to extreme deviation
+        let mut bad = scores.clone();
+        bad[0] = 0.1;
+        let row = level_row(&bad, &alphas, 0.2);
+        prop_assert_eq!(determine_state(&row, tolerance), DbState::Abnormal);
+    }
+
+    /// Precision/recall/F1 stay in [0, 1] and point-adjust never reduces
+    /// recall.
+    #[test]
+    fn metrics_bounds_and_adjust_monotonicity(
+        preds in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let labels: Vec<bool> = preds.iter().enumerate().map(|(i, _)| i % 7 < 2).collect();
+        let raw: Confusion = confusion_from(&preds, &labels);
+        for v in [raw.precision(), raw.recall(), raw.f_measure()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let mut adjusted = preds.clone();
+        point_adjust(&mut adjusted, &labels);
+        let adj = confusion_from(&adjusted, &labels);
+        prop_assert!(adj.recall() + 1e-12 >= raw.recall());
+        // adjustment never invents alarms on healthy ticks
+        for (i, (&a, &p)) in adjusted.iter().zip(&preds).enumerate() {
+            if !labels[i] {
+                prop_assert_eq!(a, p);
+            }
+        }
+    }
+
+    /// Window verdict expansion covers exactly the judged ticks.
+    #[test]
+    fn verdict_ticks_cover_windows(
+        scores in prop::collection::vec(0.0f64..10.0, 20..120),
+        w in 5usize..30,
+        thr in 0.0f64..10.0,
+    ) {
+        let ticks = dbcatcher::eval::metrics::verdict_ticks(&scores, w, thr);
+        prop_assert_eq!(ticks.len(), scores.len());
+        // trailing partial window always healthy
+        let full = (scores.len() / w) * w;
+        for &t in &ticks[full..] {
+            prop_assert!(!t);
+        }
+        // each full window is all-true or all-false
+        for chunk in ticks[..full].chunks(w) {
+            let first = chunk[0];
+            prop_assert!(chunk.iter().all(|&c| c == first));
+        }
+    }
+}
+
+/// Non-proptest sanity: Level ordering used by the monotonicity property.
+#[test]
+fn level_order_is_semantic() {
+    assert!(Level::ExtremeDeviation < Level::SlightDeviation);
+    assert!(Level::SlightDeviation < Level::Correlated);
+}
