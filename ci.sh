@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, lint, and smoke-run the KCD bench.
+# Run from the repository root. Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> kcd bench smoke (DBCATCHER_BENCH_FAST=1)"
+DBCATCHER_BENCH_FAST=1 cargo bench -p dbcatcher-bench --bench kcd -- kcd_backends
+
+echo "==> ci.sh: all green"

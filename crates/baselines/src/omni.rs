@@ -351,7 +351,7 @@ mod tests {
         let scores = model.score(&unit);
         assert_eq!(scores.len(), 60);
         // series shorter than the window score zero
-        let short = model.score_database(&vec![vec![1.0; 5], vec![1.0; 5]]);
+        let short = model.score_database(&[vec![1.0; 5], vec![1.0; 5]]);
         assert!(short.iter().all(|&s| s == 0.0));
     }
 

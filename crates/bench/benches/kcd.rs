@@ -4,6 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbcatcher_baselines::correlation::{dtw_score, pearson_score};
 use dbcatcher_core::kcd::kcd;
+use dbcatcher_core::kcd_incremental::IncrementalCorrelator;
+use dbcatcher_core::queues::KpiQueues;
 use std::hint::black_box;
 
 fn series(n: usize, phase: f64) -> Vec<f64> {
@@ -40,5 +42,74 @@ fn bench_kcd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kcd);
+/// One steady-state detector tick per iteration: ingest a frame, then
+/// score every database pair over the trailing window of `k` ticks —
+/// exactly the per-KPI work `aggregated_scores` does at judgement time.
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcd_backends");
+    // (window k, lag scan m, databases d) spanning the deployment ranges;
+    // (120, 5, 8) is the speedup acceptance point.
+    let configs: &[(usize, usize, usize)] = &[
+        (30, 0, 4),
+        (30, 3, 4),
+        (60, 3, 8),
+        (120, 5, 8),
+        (120, 0, 8),
+        (300, 5, 16),
+    ];
+    for &(k, m, d) in configs {
+        let data: Vec<Vec<f64>> = (0..d).map(|db| series(4 * k, db as f64 * 1.7)).collect();
+        let frame_at = |t: usize| -> Vec<Vec<f64>> {
+            data.iter().map(|s| vec![s[t % s.len()]]).collect()
+        };
+        let label = format!("k{k}_m{m}_d{d}");
+
+        let mut queues = KpiQueues::new(d, 1, 2 * k);
+        let mut tick = 0usize;
+        while tick < k {
+            queues.push(&frame_at(tick));
+            tick += 1;
+        }
+        group.bench_with_input(BenchmarkId::new("naive", &label), &k, |b, _| {
+            b.iter(|| {
+                queues.push(&frame_at(tick));
+                tick += 1;
+                let start = queues.next_tick() - k as u64;
+                let mut acc = 0.0;
+                for i in 0..d {
+                    for j in (i + 1)..d {
+                        let x = queues.window(i, 0, start, k).expect("window");
+                        let y = queues.window(j, 0, start, k).expect("window");
+                        acc += kcd(black_box(&x), black_box(&y), m);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+
+        let mut engine = IncrementalCorrelator::new(d, 1, 2 * k);
+        let mut tick = 0usize;
+        while tick < k {
+            engine.push(&frame_at(tick));
+            tick += 1;
+        }
+        group.bench_with_input(BenchmarkId::new("incremental", &label), &k, |b, _| {
+            b.iter(|| {
+                engine.push(&frame_at(tick));
+                tick += 1;
+                let start = engine.next_tick() - k as u64;
+                let mut acc = 0.0;
+                for i in 0..d {
+                    for j in (i + 1)..d {
+                        acc += engine.pair_score(i, j, 0, black_box(start), k, m);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcd, bench_backends);
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy keeps
 //! the CLI free of an argument-parser crate).
 
+use dbcatcher_core::config::CorrelationBackend;
 use dbcatcher_workload::dataset::{Subset, WorkloadKind};
 
 /// Usage text printed on parse errors and `--help`.
@@ -11,7 +12,9 @@ USAGE:
   dbcatcher simulate  --kind <tencent|sysbench|tpcc> [--subset <mixed|irregular|periodic>]
                       [--units N] [--ticks T] [--seed S] [--anomaly-ratio R] --out <ds.json>
   dbcatcher detect    --data <ds.json> [--learn] [--train-frac F] [--out <verdicts.jsonl>]
+                      [--backend <naive|incremental>]
   dbcatcher evaluate  --data <ds.json> [--learn] [--train-frac F]
+                      [--backend <naive|incremental>]
   dbcatcher export-csv --data <ds.json> [--unit I] --out <unit.csv>
   dbcatcher help
 ";
@@ -46,6 +49,8 @@ pub enum Command {
         train_frac: f64,
         /// Optional JSONL output path (stdout when absent).
         out: Option<String>,
+        /// Correlation engine.
+        backend: CorrelationBackend,
     },
     /// Detect and score against the dataset's ground truth.
     Evaluate {
@@ -55,6 +60,8 @@ pub enum Command {
         learn: bool,
         /// Fraction used for threshold learning.
         train_frac: f64,
+        /// Correlation engine.
+        backend: CorrelationBackend,
     },
     /// Export one unit as CSV.
     ExportCsv {
@@ -73,6 +80,15 @@ fn value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
     argv.windows(2)
         .find(|w| w[0] == flag)
         .map(|w| w[1].as_str())
+}
+
+fn parse_backend(argv: &[String]) -> Result<CorrelationBackend, String> {
+    match value(argv, "--backend") {
+        None => Ok(CorrelationBackend::default()),
+        Some("naive") => Ok(CorrelationBackend::Naive),
+        Some("incremental") => Ok(CorrelationBackend::Incremental),
+        Some(other) => Err(format!("unknown backend: {other}")),
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(argv: &[String], flag: &str, default: T) -> Result<T, String> {
@@ -128,6 +144,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             learn: rest.iter().any(|a| a == "--learn"),
             train_frac: parse_num(rest, "--train-frac", 0.5)?,
             out: value(rest, "--out").map(str::to_string),
+            backend: parse_backend(rest)?,
         }),
         "evaluate" => Ok(Command::Evaluate {
             data: value(rest, "--data")
@@ -135,6 +152,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .to_string(),
             learn: rest.iter().any(|a| a == "--learn"),
             train_frac: parse_num(rest, "--train-frac", 0.5)?,
+            backend: parse_backend(rest)?,
         }),
         "export-csv" => Ok(Command::ExportCsv {
             data: value(rest, "--data")
@@ -206,6 +224,7 @@ mod tests {
                 learn: true,
                 train_frac: 0.5,
                 out: Some("v.jsonl".into()),
+                backend: CorrelationBackend::Incremental,
             }
         );
         let cmd = parse(&argv("evaluate --data ds.json --train-frac 0.6")).unwrap();
@@ -215,8 +234,26 @@ mod tests {
                 data: "ds.json".into(),
                 learn: false,
                 train_frac: 0.6,
+                backend: CorrelationBackend::Incremental,
             }
         );
+    }
+
+    #[test]
+    fn backend_flag() {
+        let cmd = parse(&argv("detect --data ds.json --backend naive")).unwrap();
+        match cmd {
+            Command::Detect { backend, .. } => assert_eq!(backend, CorrelationBackend::Naive),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("evaluate --data ds.json --backend incremental")).unwrap();
+        match cmd {
+            Command::Evaluate { backend, .. } => {
+                assert_eq!(backend, CorrelationBackend::Incremental)
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("detect --data ds.json --backend turbo")).is_err());
     }
 
     #[test]

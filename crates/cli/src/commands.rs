@@ -62,9 +62,11 @@ pub fn run(command: Command) -> Result<(), String> {
             learn,
             train_frac,
             out,
+            backend,
         } => {
             let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
-            let (config, test) = prepare(&dataset, learn, train_frac)?;
+            let (mut config, test) = prepare(&dataset, learn, train_frac)?;
+            config.backend = backend;
             let mut sink: Box<dyn Write> = match out {
                 Some(path) => {
                     Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?)
@@ -99,9 +101,11 @@ pub fn run(command: Command) -> Result<(), String> {
             data,
             learn,
             train_frac,
+            backend,
         } => {
             let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
-            let (config, test) = prepare(&dataset, learn, train_frac)?;
+            let (mut config, test) = prepare(&dataset, learn, train_frac)?;
+            config.backend = backend;
             let eval_w = 20usize;
             let mut confusion = dbcatcher_eval::metrics::Confusion::default();
             for unit in &test.units {

@@ -27,6 +27,22 @@ impl DelayScan {
     }
 }
 
+/// Which correlation engine the pipeline runs (see
+/// [`crate::kcd_incremental`] and DESIGN.md).
+///
+/// Both backends implement the same KCD semantics; `Naive` recomputes
+/// every evaluation from scratch and serves as the oracle the
+/// differential suite checks `Incremental` against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrelationBackend {
+    /// Window copy + fresh normalisation + two-pass lag scan per pair.
+    Naive,
+    /// Monotonic-deque min/max, cached normalised windows, prefix-sum
+    /// moments (default).
+    #[default]
+    Incremental,
+}
+
 /// How a database's N−1 pairwise scores reduce to one score per KPI.
 ///
 /// The paper's Algorithm 1 leaves this open; see DESIGN.md §3.2. Median is
@@ -75,6 +91,8 @@ pub struct DbCatcherConfig {
     pub max_window: usize,
     /// KCD lag-scan policy.
     pub delay_scan: DelayScan,
+    /// Correlation engine implementation.
+    pub backend: CorrelationBackend,
     /// Pairwise-score aggregation.
     pub aggregation: LevelAggregation,
     /// Resolution policy at W_M.
@@ -106,6 +124,7 @@ impl Default for DbCatcherConfig {
             // destroys discrimination; ±3 covers realistic collection
             // delays (see DESIGN.md §3.6 and the `kcd` ablation bench).
             delay_scan: DelayScan::Fixed(3),
+            backend: CorrelationBackend::Incremental,
             aggregation: LevelAggregation::Median,
             resolve_at_max: ResolvePolicy::Abnormal,
             unused_epsilon: 1e-9,

@@ -3,13 +3,12 @@
 //! The paper deploys DBCatcher over 50 units at once (§IV-D4). Units are
 //! independent, so detection shards perfectly: [`FleetDetector`] owns one
 //! [`DbCatcher`] per unit, partitions them across long-lived worker
-//! threads, and fans each monitoring tick out over crossbeam channels.
+//! threads, and fans each monitoring tick out over mpsc channels.
 
 use crate::config::DbCatcherConfig;
 use crate::pipeline::{ComponentTiming, DbCatcher, Verdict};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A verdict tagged with the unit that produced it.
@@ -97,8 +96,9 @@ impl FleetDetector {
                     .iter()
                     .map(|&u| (u, catchers[u].take().expect("each unit owned once")))
                     .collect();
-                let (job_tx, job_rx) = unbounded::<Job>();
-                let (res_tx, res_rx) = bounded::<Vec<FleetVerdict>>(1);
+                let (job_tx, job_rx) = channel::<Job>();
+                let (res_tx, res_rx): (SyncSender<Vec<FleetVerdict>>, Receiver<_>) =
+                    sync_channel(1);
                 let stats = Arc::clone(&stats);
                 let handle = std::thread::spawn(move || {
                     while let Ok(job) = job_rx.recv() {
@@ -123,7 +123,7 @@ impl FleetDetector {
                         }
                     }
                     // merge end-of-run statistics
-                    let mut s = stats.lock();
+                    let mut s = stats.lock().expect("stats mutex poisoned");
                     for (_, c) in &owned {
                         let t = c.timing();
                         s.timing.correlation += t.correlation;
@@ -191,7 +191,7 @@ impl FleetDetector {
     /// accumulated component timing.
     pub fn finish(mut self) -> (f64, ComponentTiming) {
         self.shutdown();
-        let s = self.stats.lock();
+        let s = self.stats.lock().expect("stats mutex poisoned");
         let avg = if s.verdict_count == 0 {
             0.0
         } else {
@@ -284,6 +284,39 @@ mod tests {
         for (a, b) in seq_verdicts.iter().zip(&fleet_verdicts) {
             assert_eq!(a.unit, b.unit);
             assert_eq!(a.verdict, b.verdict);
+        }
+    }
+
+    #[test]
+    fn fleet_backends_agree() {
+        // The backend choice rides through the shared config: a naive
+        // fleet and an incremental fleet must emit equal verdict sets.
+        let mut collected = Vec::new();
+        for backend in [
+            crate::config::CorrelationBackend::Naive,
+            crate::config::CorrelationBackend::Incremental,
+        ] {
+            let cfg = DbCatcherConfig {
+                backend,
+                ..config(3)
+            };
+            let mut fleet = FleetDetector::new(cfg, &[3, 3], None, 2);
+            let mut verdicts = Vec::new();
+            for t in 0..60 {
+                verdicts.extend(fleet.ingest_tick(&frame(2, 3, 3, t)));
+            }
+            verdicts.sort_by_key(|v| (v.unit, v.verdict.db, v.verdict.start_tick));
+            collected.push(verdicts);
+        }
+        let (naive, incr) = (&collected[0], &collected[1]);
+        assert!(!naive.is_empty());
+        assert_eq!(naive.len(), incr.len());
+        for (a, b) in naive.iter().zip(incr) {
+            assert_eq!(a.unit, b.unit);
+            assert_eq!(a.verdict.db, b.verdict.db);
+            assert_eq!(a.verdict.state, b.verdict.state);
+            assert_eq!(a.verdict.start_tick, b.verdict.start_tick);
+            assert_eq!(a.verdict.window_size, b.verdict.window_size);
         }
     }
 

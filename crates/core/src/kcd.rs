@@ -19,7 +19,9 @@ use dbcatcher_signal::normalize::min_max;
 /// Correlation of the two overlapping, mean-centred segments.
 ///
 /// `xs` and `ys` must be equally long; returns a value in [−1, 1].
-fn centered_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+/// Crate-visible so the incremental engine can fall back to the exact
+/// two-pass formulation on degenerate (near-constant) segments.
+pub(crate) fn centered_correlation(xs: &[f64], ys: &[f64]) -> f64 {
     debug_assert_eq!(xs.len(), ys.len());
     let n = xs.len();
     if n == 0 {

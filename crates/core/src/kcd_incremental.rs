@@ -1,0 +1,522 @@
+//! Incremental correlation engine (the fast path of [`crate::pipeline`]).
+//!
+//! The naive backend treats every KCD evaluation as independent: copy both
+//! windows out of the queues, min–max normalise each, then run the lag
+//! scan with two passes per lag. On a unit of D databases judging aligned
+//! windows that costs D·(D−1)/2 normalisations per KPI per tick and
+//! re-derives every segment mean from scratch.
+//!
+//! This module keeps per-`(db, kpi)` state across ticks and exploits three
+//! structural facts of the pipeline:
+//!
+//! 1. **Windows are suffixes.** The window state machine judges a window
+//!    exactly when its end reaches the newest tick, so every min/max query
+//!    is over a suffix of the ingested history — answered in O(log k) from
+//!    a pair of monotonic deques instead of an O(k) scan.
+//! 2. **Normalisation is shared, and expansions extend it.** The
+//!    normalised window of `(db, kpi)` is cached with the `(start, lo,
+//!    hi)` that produced it; every peer pair reuses it, and an expanded
+//!    window whose min/max did not change appends only the new points
+//!    instead of renormalising (the cache invalidates only when the
+//!    min/max actually moves or the window advances).
+//! 3. **Lag-scan moments come from prefix sums.** Prefix sums of the
+//!    normalised window and its squares give every lag segment's mean and
+//!    energy in O(1), collapsing each lag to a single fused dot-product
+//!    pass — versus two passes per lag per direction in the naive path.
+//!
+//! Numerical contract: scores are algebraically identical to
+//! [`crate::kcd::kcd_normalized`] but may differ in the last few ulps
+//! because moments are derived from prefix sums. Whole-window constants
+//! take the exact convention branches (detected from the deques), and
+//! near-constant *segments* fall back to the exact two-pass formulation,
+//! so the degenerate conventions (constant-vs-constant = 1,
+//! constant-vs-varying = 0) are preserved bit-for-bit. The differential
+//! suite (`tests/differential.rs`) pins the backends to verdict-for-
+//! verdict equality.
+
+use crate::queues::KpiQueues;
+use std::collections::VecDeque;
+
+/// A segment's energy below `EPS_PER_POINT · len` is treated as
+/// potentially degenerate and re-evaluated with the exact two-pass
+/// formula. Normalised values live in [0, 1], so this is a relative
+/// threshold on the variance scale.
+const EPS_PER_POINT: f64 = 1e-12;
+
+/// Cached min–max-normalised window of one series, with prefix sums.
+#[derive(Debug, Clone, Default)]
+struct NormCache {
+    valid: bool,
+    start: u64,
+    lo: f64,
+    hi: f64,
+    /// Normalised points; `norm.len()` is the cached window length.
+    norm: Vec<f64>,
+    /// `psum[i]` = sum of `norm[..i]` (length `norm.len() + 1`).
+    psum: Vec<f64>,
+    /// `psumsq[i]` = sum of squares of `norm[..i]`.
+    psumsq: Vec<f64>,
+}
+
+impl NormCache {
+    fn reset(&mut self) {
+        self.valid = false;
+        self.norm.clear();
+        self.psum.clear();
+        self.psumsq.clear();
+    }
+
+    /// Appends normalised points for `raw` under the cached `(lo, hi)`.
+    fn extend(&mut self, raw: &[f64]) {
+        if self.psum.is_empty() {
+            self.psum.push(0.0);
+            self.psumsq.push(0.0);
+        }
+        let range = self.hi - self.lo;
+        let mut sum = *self.psum.last().expect("prefix seeded");
+        let mut sumsq = *self.psumsq.last().expect("prefix seeded");
+        if range == 0.0 {
+            // Constant window: min_max maps it to all zeros.
+            for _ in raw {
+                self.norm.push(0.0);
+                self.psum.push(sum);
+                self.psumsq.push(sumsq);
+            }
+        } else {
+            let inv = 1.0 / range;
+            for &x in raw {
+                let v = (x - self.lo) * inv;
+                self.norm.push(v);
+                sum += v;
+                sumsq += v * v;
+                self.psum.push(sum);
+                self.psumsq.push(sumsq);
+            }
+        }
+    }
+}
+
+/// Rolling state of one `(db, kpi)` series.
+#[derive(Debug, Clone, Default)]
+struct SeriesState {
+    /// Contiguous retained samples; `data[0]` holds absolute tick `base`.
+    data: Vec<f64>,
+    base: u64,
+    /// `(tick, value)` candidates, ticks ascending, values ascending —
+    /// front is the minimum of the whole retained suffix.
+    min_deque: VecDeque<(u64, f64)>,
+    /// Same, values descending — front is the maximum.
+    max_deque: VecDeque<(u64, f64)>,
+    cache: NormCache,
+}
+
+impl SeriesState {
+    fn push(&mut self, tick: u64, value: f64, capacity: usize) {
+        self.data.push(value);
+        // Compact lazily at 2× capacity so slices stay contiguous and the
+        // amortised cost per push is O(1).
+        if self.data.len() > capacity * 2 {
+            let drop = self.data.len() - capacity;
+            self.data.drain(..drop);
+            self.base += drop as u64;
+        }
+        while self
+            .min_deque
+            .back()
+            .is_some_and(|&(_, v)| v >= value)
+        {
+            self.min_deque.pop_back();
+        }
+        self.min_deque.push_back((tick, value));
+        while self
+            .max_deque
+            .back()
+            .is_some_and(|&(_, v)| v <= value)
+        {
+            self.max_deque.pop_back();
+        }
+        self.max_deque.push_back((tick, value));
+        // Evict candidates that no valid window can reach any more.
+        let horizon = (tick + 1).saturating_sub(capacity as u64);
+        while self.min_deque.front().is_some_and(|&(t, _)| t < horizon) {
+            self.min_deque.pop_front();
+        }
+        while self.max_deque.front().is_some_and(|&(t, _)| t < horizon) {
+            self.max_deque.pop_front();
+        }
+    }
+
+    /// Minimum and maximum over the suffix window starting at `start`
+    /// and ending at the newest retained tick.
+    fn suffix_min_max(&self, start: u64) -> (f64, f64) {
+        (
+            Self::suffix_query(&self.min_deque, start),
+            Self::suffix_query(&self.max_deque, start),
+        )
+    }
+
+    fn suffix_query(deque: &VecDeque<(u64, f64)>, start: u64) -> f64 {
+        // Ticks ascend, so the first candidate at or after `start` is the
+        // extremum of the suffix.
+        let idx = deque.partition_point(|&(t, _)| t < start);
+        deque[idx].1
+    }
+
+    /// Ensures the normalised-window cache covers `[start, start + len)`,
+    /// extending incrementally when only the window length grew.
+    fn ensure_normalized(&mut self, start: u64, len: usize) {
+        let (lo, hi) = self.suffix_min_max(start);
+        let reusable = self.cache.valid
+            && self.cache.start == start
+            && self.cache.lo == lo
+            && self.cache.hi == hi
+            && self.cache.norm.len() <= len;
+        if !reusable {
+            self.cache.reset();
+            self.cache.start = start;
+            self.cache.lo = lo;
+            self.cache.hi = hi;
+            self.cache.valid = true;
+        }
+        let cached = self.cache.norm.len();
+        if cached < len {
+            let offset = (start - self.base) as usize;
+            let fresh = self.data[offset + cached..offset + len].to_vec();
+            self.cache.extend(&fresh);
+        }
+    }
+}
+
+/// Incremental pairwise KCD engine over a unit's KPI streams.
+///
+/// Feed it the same frames as [`KpiQueues`] and ask for pair scores over
+/// suffix windows; see the module docs for the caching contract.
+#[derive(Debug, Clone)]
+pub struct IncrementalCorrelator {
+    num_dbs: usize,
+    num_kpis: usize,
+    capacity: usize,
+    /// `states[db * num_kpis + kpi]`.
+    states: Vec<SeriesState>,
+    /// Total ticks ingested (== next absolute tick).
+    len: u64,
+}
+
+impl IncrementalCorrelator {
+    /// Creates an engine retaining the last `capacity` ticks per series.
+    ///
+    /// # Panics
+    /// Panics when any dimension is zero.
+    pub fn new(num_dbs: usize, num_kpis: usize, capacity: usize) -> Self {
+        assert!(
+            num_dbs > 0 && num_kpis > 0 && capacity > 0,
+            "dimensions must be positive"
+        );
+        Self {
+            num_dbs,
+            num_kpis,
+            capacity,
+            states: vec![SeriesState::default(); num_dbs * num_kpis],
+            len: 0,
+        }
+    }
+
+    /// Rebuilds the engine from a queue snapshot by replaying its retained
+    /// samples (snapshot restore support).
+    pub fn from_queues(queues: &KpiQueues) -> Self {
+        let mut engine = Self::new(queues.num_dbs(), queues.num_kpis(), queues.capacity());
+        let base = queues.base_tick();
+        let retained = (queues.next_tick() - base) as usize;
+        for db in 0..engine.num_dbs {
+            for kpi in 0..engine.num_kpis {
+                let series = queues
+                    .window(db, kpi, base, retained)
+                    .expect("retained range readable");
+                let state = &mut engine.states[db * engine.num_kpis + kpi];
+                state.base = base;
+                for (i, &v) in series.iter().enumerate() {
+                    state.push(base + i as u64, v, engine.capacity);
+                }
+            }
+        }
+        engine.len = queues.next_tick();
+        engine
+    }
+
+    /// Next absolute tick to be ingested.
+    pub fn next_tick(&self) -> u64 {
+        self.len
+    }
+
+    /// Ingests one frame (`frame[db][kpi]`), mirroring
+    /// [`KpiQueues::push`].
+    ///
+    /// # Panics
+    /// Panics when the frame shape mismatches the engine dimensions.
+    pub fn push(&mut self, frame: &[Vec<f64>]) {
+        assert_eq!(frame.len(), self.num_dbs, "frame database arity mismatch");
+        let tick = self.len;
+        for (db, kpis) in frame.iter().enumerate() {
+            assert_eq!(kpis.len(), self.num_kpis, "frame KPI arity mismatch");
+            for (k, &v) in kpis.iter().enumerate() {
+                self.states[db * self.num_kpis + k].push(tick, v, self.capacity);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// KCD score of databases `a` and `b` on `kpi` over the suffix window
+    /// `[start, start + len)`, scanning lags up to `max_delay`.
+    ///
+    /// # Panics
+    /// Panics when the window is not the current suffix (its end must be
+    /// the newest ingested tick), has been evicted, or indices are out of
+    /// range.
+    pub fn pair_score(
+        &mut self,
+        a: usize,
+        b: usize,
+        kpi: usize,
+        start: u64,
+        len: usize,
+        max_delay: usize,
+    ) -> f64 {
+        assert!(a < self.num_dbs && b < self.num_dbs && kpi < self.num_kpis, "index out of range");
+        assert!(len > 0, "empty window");
+        assert_eq!(
+            start + len as u64,
+            self.len,
+            "incremental engine judges suffix windows only"
+        );
+        assert!(
+            self.len - start <= self.capacity as u64,
+            "window reaches into evicted history"
+        );
+
+        let ia = a * self.num_kpis + kpi;
+        let ib = b * self.num_kpis + kpi;
+        self.states[ia].ensure_normalized(start, len);
+        self.states[ib].ensure_normalized(start, len);
+
+        let sa = &self.states[ia];
+        let sb = &self.states[ib];
+        let a_const = sa.cache.hi == sa.cache.lo;
+        let b_const = sb.cache.hi == sb.cache.lo;
+        // min_max maps constants to all-zero windows; the conventions of
+        // `centered_correlation` then collapse the whole lag scan.
+        match (a_const, b_const) {
+            (true, true) => return 1.0,
+            (true, false) | (false, true) => return 0.0,
+            (false, false) => {}
+        }
+
+        let max_s = max_delay.min(len.saturating_sub(2));
+        let mut best = f64::NEG_INFINITY;
+        for s in 0..=max_s {
+            let seg = len - s;
+            // a delayed by s (a's sample i matches b's sample i−s)
+            let c1 = lag_correlation(&sa.cache, &sb.cache, s, 0, seg);
+            // b delayed by s; identical to c1 at s = 0
+            let c2 = if s == 0 {
+                c1
+            } else {
+                lag_correlation(&sa.cache, &sb.cache, 0, s, seg)
+            };
+            best = best.max(c1).max(c2);
+            if best >= 1.0 {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Correlation of `x.norm[x_off..x_off + len]` against
+/// `y.norm[y_off..y_off + len]`, moments from prefix sums, one fused dot
+/// pass. Falls back to the exact two-pass formula on degenerate segments.
+fn lag_correlation(x: &NormCache, y: &NormCache, x_off: usize, y_off: usize, len: usize) -> f64 {
+    let n = len as f64;
+    let xs = &x.norm[x_off..x_off + len];
+    let ys = &y.norm[y_off..y_off + len];
+    let sx = x.psum[x_off + len] - x.psum[x_off];
+    let sy = y.psum[y_off + len] - y.psum[y_off];
+    let mx = sx / n;
+    let my = sy / n;
+    let nx = (x.psumsq[x_off + len] - x.psumsq[x_off] - n * mx * mx).max(0.0);
+    let ny = (y.psumsq[y_off + len] - y.psumsq[y_off] - n * my * my).max(0.0);
+    let eps = EPS_PER_POINT * n;
+    if nx <= eps || ny <= eps {
+        // A (near-)constant segment: the convention branches depend on
+        // *exact* zero energy, which prefix-sum cancellation cannot
+        // witness — defer to the naive formulation.
+        return crate::kcd::centered_correlation(xs, ys);
+    }
+    let mut dot = 0.0;
+    for (&xv, &yv) in xs.iter().zip(ys) {
+        dot += xv * yv;
+    }
+    let centered = dot - n * mx * my;
+    (centered / (nx.sqrt() * ny.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcd::kcd_normalized;
+    use dbcatcher_signal::normalize::min_max;
+
+    /// Deterministic pseudo-random stream.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn feed(engine: &mut IncrementalCorrelator, series: &[Vec<f64>], upto: usize) {
+        let start = engine.next_tick() as usize;
+        for t in start..upto {
+            let frame: Vec<Vec<f64>> = series.iter().map(|kpis| vec![kpis[t]]).collect();
+            engine.push(&frame);
+        }
+    }
+
+    /// Reference score via the naive path over the same window.
+    fn naive(series: &[Vec<f64>], a: usize, b: usize, start: usize, len: usize, m: usize) -> f64 {
+        let x = min_max(&series[a][start..start + len]);
+        let y = min_max(&series[b][start..start + len]);
+        kcd_normalized(&x, &y, m)
+    }
+
+    #[test]
+    fn matches_naive_on_random_windows() {
+        let mut next = lcg(42);
+        let series: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..200).map(|_| next() * 50.0).collect())
+            .collect();
+        let mut engine = IncrementalCorrelator::new(3, 1, 140);
+        for (start, len) in [(0usize, 20usize), (20, 30), (50, 25), (75, 60)] {
+            feed(&mut engine, &series, start + len);
+            for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+                for m in [0usize, 3, 5] {
+                    let fast = engine.pair_score(a, b, 0, start as u64, len, m);
+                    let slow = naive(&series, a, b, start, len, m);
+                    assert!(
+                        (fast - slow).abs() < 1e-9,
+                        "({a},{b}) window ({start},{len}) m={m}: {fast} vs {slow}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_extends_cache_and_matches_naive() {
+        let mut next = lcg(7);
+        let series: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..100).map(|_| next() * 10.0 - 5.0).collect())
+            .collect();
+        let mut engine = IncrementalCorrelator::new(2, 1, 140);
+        // same start, growing window — the expansion path
+        for len in [10usize, 20, 30, 40, 60] {
+            feed(&mut engine, &series, len);
+            let fast = engine.pair_score(0, 1, 0, 0, len, 3);
+            let slow = naive(&series, 0, 1, 0, len, 3);
+            assert!((fast - slow).abs() < 1e-9, "len {len}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn constant_conventions_are_exact() {
+        let flat = vec![5.0; 60];
+        let flat2 = vec![-3.0; 60];
+        let varying: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).sin()).collect();
+        let series = vec![flat, flat2, varying];
+        let mut engine = IncrementalCorrelator::new(3, 1, 140);
+        feed(&mut engine, &series, 40);
+        assert_eq!(engine.pair_score(0, 1, 0, 10, 30, 5), 1.0);
+        assert_eq!(engine.pair_score(0, 2, 0, 10, 30, 5), 0.0);
+        assert_eq!(engine.pair_score(2, 1, 0, 10, 30, 5), 0.0);
+    }
+
+    #[test]
+    fn flat_segment_inside_varying_window_matches_naive() {
+        // A window whose interior contains an exactly constant stretch —
+        // the degenerate-segment fallback must reproduce the naive
+        // convention for lags that align onto the flat part.
+        let mut a = vec![1.0; 30];
+        a[0] = 0.0; // varies overall, flat on [1..30)
+        let b: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let series = vec![a, b];
+        let mut engine = IncrementalCorrelator::new(2, 1, 140);
+        feed(&mut engine, &series, 30);
+        for m in [0usize, 5, 14] {
+            let fast = engine.pair_score(0, 1, 0, 0, 30, m);
+            let slow = naive(&series, 0, 1, 0, 30, m);
+            assert!((fast - slow).abs() < 1e-9, "m={m}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let mut next = lcg(99);
+        let series: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..50).map(|_| next()).collect())
+            .collect();
+        let mut engine = IncrementalCorrelator::new(2, 1, 140);
+        feed(&mut engine, &series, 50);
+        let ab = engine.pair_score(0, 1, 0, 20, 30, 4);
+        let ba = engine.pair_score(1, 0, 0, 20, 30, 4);
+        assert!((ab - ba).abs() < 1e-12, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn long_run_with_eviction_matches_naive() {
+        let mut next = lcg(1234);
+        let cap = 50usize;
+        let series: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..400).map(|_| next() * 100.0).collect())
+            .collect();
+        let mut engine = IncrementalCorrelator::new(2, 1, cap);
+        let mut start = 0usize;
+        let len = 20usize;
+        while start + len <= 400 {
+            feed(&mut engine, &series, start + len);
+            let fast = engine.pair_score(0, 1, 0, start as u64, len, 3);
+            let slow = naive(&series, 0, 1, start, len, 3);
+            assert!((fast - slow).abs() < 1e-9, "start {start}: {fast} vs {slow}");
+            start += len;
+        }
+    }
+
+    #[test]
+    fn from_queues_replays_state() {
+        let mut next = lcg(5);
+        let series: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..80).map(|_| next() * 9.0).collect())
+            .collect();
+        let mut queues = KpiQueues::new(2, 1, 60);
+        let mut live = IncrementalCorrelator::new(2, 1, 60);
+        for t in 0..80 {
+            let frame: Vec<Vec<f64>> = series.iter().map(|kpis| vec![kpis[t]]).collect();
+            queues.push(&frame);
+            live.push(&frame);
+        }
+        let mut restored = IncrementalCorrelator::from_queues(&queues);
+        assert_eq!(restored.next_tick(), live.next_tick());
+        let a = live.pair_score(0, 1, 0, 60, 20, 3);
+        let b = restored.pair_score(0, 1, 0, 60, 20, 3);
+        assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix windows only")]
+    fn non_suffix_window_panics() {
+        let mut engine = IncrementalCorrelator::new(2, 1, 40);
+        for t in 0..30 {
+            engine.push(&[vec![t as f64], vec![t as f64 * 2.0]]);
+        }
+        let _ = engine.pair_score(0, 1, 0, 0, 20, 3);
+    }
+}

@@ -39,6 +39,7 @@ pub mod feedback;
 pub mod fleet;
 pub mod ga;
 pub mod kcd;
+pub mod kcd_incremental;
 pub mod levels;
 pub mod matrix;
 pub mod pipeline;
@@ -47,12 +48,13 @@ pub mod snapshot;
 pub mod state;
 pub mod window;
 
-pub use config::{DbCatcherConfig, DelayScan, LevelAggregation, ResolvePolicy};
+pub use config::{CorrelationBackend, DbCatcherConfig, DelayScan, LevelAggregation, ResolvePolicy};
 pub use diagnosis::{diagnose, Diagnosis};
 pub use feedback::{FeedbackModule, JudgmentRecord};
 pub use fleet::{FleetDetector, FleetVerdict};
 pub use ga::{Genes, GeneticConfig};
 pub use kcd::kcd;
+pub use kcd_incremental::IncrementalCorrelator;
 pub use levels::Level;
 pub use matrix::CorrelationMatrix;
 pub use pipeline::{ComponentTiming, DbCatcher, Verdict};

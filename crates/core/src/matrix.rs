@@ -6,7 +6,8 @@
 //! upper triangle is stored (the paper: "there is no need to save the
 //! information of the lower triangular matrix").
 
-use crate::kcd::kcd;
+use crate::kcd::kcd_normalized;
+use dbcatcher_signal::normalize::min_max;
 use serde::{Deserialize, Serialize};
 
 /// Symmetric N×N correlation matrix, packed upper-triangular.
@@ -40,15 +41,34 @@ impl CorrelationMatrix {
     pub fn from_windows(windows: &[&[f64]], participates: &[bool], max_delay: usize) -> Self {
         let n = windows.len();
         assert_eq!(participates.len(), n, "participation mask arity mismatch");
+        // Each window is normalised once, not once per pair: KCD's Eq. 1
+        // step depends only on the window itself, so the N−1 pairings of a
+        // database all share the same normalised form.
+        let normalised: Vec<Option<Vec<f64>>> = windows
+            .iter()
+            .zip(participates)
+            .map(|(w, &p)| p.then(|| min_max(w)))
+            .collect();
+        Self::from_pairwise(n, |i, j| match (&normalised[i], &normalised[j]) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.len(), b.len(), "KCD windows must be equally long");
+                kcd_normalized(a, b, max_delay)
+            }
+            // paper: a non-participating member zeroes the pair
+            _ => 0.0,
+        })
+    }
+
+    /// Builds the matrix by asking `score(i, j)` for every `i < j` pair —
+    /// the hook the incremental engine uses to fill matrices from cached
+    /// state. Symmetry is supplied by the packing: each pair is evaluated
+    /// once.
+    pub fn from_pairwise(n: usize, mut score: impl FnMut(usize, usize) -> f64) -> Self {
         let mut m = Self::zeros(n);
         for i in 0..n {
             for j in (i + 1)..n {
-                let score = if participates[i] && participates[j] {
-                    kcd(windows[i], windows[j], max_delay)
-                } else {
-                    0.0
-                };
-                m.set(i, j, score);
+                let s = score(i, j);
+                m.set(i, j, s);
             }
         }
         m
@@ -176,6 +196,19 @@ mod tests {
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(1, 2), 0.0);
         assert!(m.get(0, 2) > 0.999);
+    }
+
+    #[test]
+    fn from_pairwise_evaluates_each_pair_once() {
+        let mut calls = Vec::new();
+        let m = CorrelationMatrix::from_pairwise(4, |i, j| {
+            calls.push((i, j));
+            (i * 10 + j) as f64
+        });
+        assert_eq!(calls.len(), 6);
+        assert!(calls.iter().all(|&(i, j)| i < j), "only upper triangle");
+        assert_eq!(m.get(1, 3), 13.0);
+        assert_eq!(m.get(3, 1), 13.0, "symmetry from packing");
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! the paper's §IV-D4 breakdown (correlation measurement ≈ 70 % of the
 //! online cost, window observation ≈ 30 %).
 
-use crate::config::DbCatcherConfig;
+use crate::config::{CorrelationBackend, DbCatcherConfig};
 use crate::kcd::kcd_normalized;
+use crate::kcd_incremental::IncrementalCorrelator;
 use crate::levels::{aggregate_scores, level_row};
 use crate::queues::KpiQueues;
 use crate::state::{determine_state, DbState};
@@ -56,6 +57,8 @@ pub struct DbCatcher {
     config: DbCatcherConfig,
     num_dbs: usize,
     queues: KpiQueues,
+    /// `Some` iff the configured backend is [`CorrelationBackend::Incremental`].
+    correlator: Option<IncrementalCorrelator>,
     trackers: Vec<WindowTracker>,
     timing: ComponentTiming,
     window_size_sum: u64,
@@ -73,6 +76,12 @@ impl DbCatcher {
         assert!(num_dbs > 0, "unit must contain at least one database");
         let capacity = config.max_window * 2 + config.initial_window;
         let queues = KpiQueues::new(num_dbs, config.num_kpis, capacity);
+        let correlator = match config.backend {
+            CorrelationBackend::Naive => None,
+            CorrelationBackend::Incremental => {
+                Some(IncrementalCorrelator::new(num_dbs, config.num_kpis, capacity))
+            }
+        };
         let trackers = (0..num_dbs)
             .map(|_| WindowTracker::new(0, config.initial_window))
             .collect();
@@ -80,6 +89,7 @@ impl DbCatcher {
             config,
             num_dbs,
             queues,
+            correlator,
             trackers,
             timing: ComponentTiming::default(),
             window_size_sum: 0,
@@ -152,10 +162,17 @@ impl DbCatcher {
         window_size_sum: u64,
         verdict_count: u64,
     ) -> Self {
+        // The incremental engine is derived state: replay the retained
+        // queue samples instead of persisting it in the snapshot format.
+        let correlator = match config.backend {
+            CorrelationBackend::Naive => None,
+            CorrelationBackend::Incremental => Some(IncrementalCorrelator::from_queues(&queues)),
+        };
         Self {
             config,
             num_dbs,
             queues,
+            correlator,
             trackers,
             timing: ComponentTiming::default(),
             window_size_sum,
@@ -179,6 +196,9 @@ impl DbCatcher {
     /// Panics when the frame shape mismatches the configuration.
     pub fn ingest_tick(&mut self, frame: &[Vec<f64>]) -> Vec<Verdict> {
         self.queues.push(frame);
+        if let Some(correlator) = &mut self.correlator {
+            correlator.push(frame);
+        }
         let next_tick = self.queues.next_tick();
         let mut verdicts = Vec::new();
         // KCD scores are symmetric and window-scoped; when several
@@ -268,22 +288,27 @@ impl DbCatcher {
     /// Aggregated per-KPI scores of `db` against participating peers over
     /// the window. `NaN` marks KPIs without a vote.
     fn aggregated_scores(
-        &self,
+        &mut self,
         db: usize,
         start: u64,
         size: usize,
         usable: &[bool],
         cache: &mut HashMap<(usize, usize, usize, u64, usize), f64>,
     ) -> Vec<f64> {
-        let max_delay = self.config.delay_scan.max_lag(size);
-        let mut out = Vec::with_capacity(self.config.num_kpis);
-        // Normalised windows are shared across peers per KPI.
-        let mut own_norm: Vec<Option<Vec<f64>>> = vec![None; self.config.num_kpis];
-        for kpi in 0..self.config.num_kpis {
+        // Disjoint field borrows: the incremental engine needs `&mut`
+        // while config/queues stay shared.
+        let config = &self.config;
+        let queues = &self.queues;
+        let num_dbs = self.num_dbs;
+        let mut correlator = self.correlator.as_mut();
+        let max_delay = config.delay_scan.max_lag(size);
+        let mut out = Vec::with_capacity(config.num_kpis);
+        // Naive path: normalised windows are shared across peers per KPI.
+        let mut own_norm: Vec<Option<Vec<f64>>> = vec![None; config.num_kpis];
+        for kpi in 0..config.num_kpis {
             let participates = |d: usize| {
                 usable[d]
-                    && self
-                        .config
+                    && config
                         .participation
                         .as_ref()
                         .map(|m| m[kpi][d])
@@ -293,8 +318,8 @@ impl DbCatcher {
                 out.push(f64::NAN);
                 continue;
             }
-            let mut pair_scores = Vec::with_capacity(self.num_dbs - 1);
-            for peer in 0..self.num_dbs {
+            let mut pair_scores = Vec::with_capacity(num_dbs - 1);
+            for peer in 0..num_dbs {
                 if peer == db || !participates(peer) {
                     continue;
                 }
@@ -302,24 +327,24 @@ impl DbCatcher {
                 let score = if let Some(&s) = cache.get(&key) {
                     s
                 } else {
-                    let a = own_norm[kpi].get_or_insert_with(|| {
-                        min_max(&self.queues.window(db, kpi, start, size).expect("own window"))
-                    });
-                    let b = min_max(
-                        &self
-                            .queues
-                            .window(peer, kpi, start, size)
-                            .expect("peer window"),
-                    );
-                    let s = kcd_normalized(a, &b, max_delay);
+                    let s = match correlator.as_deref_mut() {
+                        Some(engine) => engine.pair_score(db, peer, kpi, start, size, max_delay),
+                        None => {
+                            let a = own_norm[kpi].get_or_insert_with(|| {
+                                min_max(&queues.window(db, kpi, start, size).expect("own window"))
+                            });
+                            let b = min_max(
+                                &queues.window(peer, kpi, start, size).expect("peer window"),
+                            );
+                            kcd_normalized(a, &b, max_delay)
+                        }
+                    };
                     cache.insert(key, s);
                     s
                 };
                 pair_scores.push(score);
             }
-            out.push(
-                aggregate_scores(&pair_scores, self.config.aggregation).unwrap_or(f64::NAN),
-            );
+            out.push(aggregate_scores(&pair_scores, config.aggregation).unwrap_or(f64::NAN));
         }
         out
     }

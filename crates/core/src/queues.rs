@@ -50,6 +50,11 @@ impl KpiQueues {
         self.num_kpis
     }
 
+    /// Retention capacity in ticks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Next absolute tick to be ingested.
     pub fn next_tick(&self) -> u64 {
         self.len

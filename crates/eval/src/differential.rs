@@ -1,0 +1,169 @@
+//! Differential testing of the correlation backends.
+//!
+//! The incremental engine ([`dbcatcher_core::kcd_incremental`]) is an
+//! optimisation of the naive KCD path, not a re-specification: for any
+//! input stream the two must emit the same verdicts. This module drives
+//! both backends through identical tick streams and checks
+//! verdict-for-verdict equality — the discrete fields exactly, the
+//! recorded scores within [`SCORE_TOLERANCE`] (prefix-sum moment
+//! derivation may differ from the two-pass formula in the last ulps).
+
+use dbcatcher_core::config::{CorrelationBackend, DbCatcherConfig};
+use dbcatcher_core::pipeline::DbCatcher;
+
+/// Largest per-score divergence the harness accepts. Far below any level
+/// threshold granularity (α, θ ≥ 0.01), so agreeing scores can never
+/// quantise into different levels in practice; disagreeing verdicts fail
+/// regardless of score distance.
+pub const SCORE_TOLERANCE: f64 = 1e-9;
+
+/// What a differential run observed — tests assert on these to prove a
+/// scenario actually exercised the paths it claims to (expansions,
+/// abnormal verdicts, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DifferentialOutcome {
+    /// Ticks streamed.
+    pub ticks: usize,
+    /// Verdicts emitted (identical count on both backends).
+    pub verdicts: usize,
+    /// Sum of window expansions across all verdicts.
+    pub expansions: u64,
+    /// Verdicts that resolved abnormal.
+    pub abnormal: usize,
+}
+
+/// Streams `series[db][kpi][tick]` through one detector per backend and
+/// compares the verdicts emitted at every tick.
+///
+/// # Errors
+/// Describes the first divergence found (tick, verdict index, field).
+pub fn run_differential(
+    config: &DbCatcherConfig,
+    series: &[Vec<Vec<f64>>],
+    participation: Option<Vec<Vec<bool>>>,
+) -> Result<DifferentialOutcome, String> {
+    let num_dbs = series.len();
+    let num_ticks = series
+        .first()
+        .and_then(|db| db.first())
+        .map(|s| s.len())
+        .unwrap_or(0);
+
+    let build = |backend: CorrelationBackend| {
+        let cfg = DbCatcherConfig {
+            backend,
+            ..config.clone()
+        };
+        let mut catcher = DbCatcher::new(cfg, num_dbs);
+        if let Some(mask) = &participation {
+            catcher = catcher.with_participation(mask.clone());
+        }
+        catcher
+    };
+    let mut naive = build(CorrelationBackend::Naive);
+    let mut incremental = build(CorrelationBackend::Incremental);
+
+    let mut outcome = DifferentialOutcome {
+        ticks: num_ticks,
+        ..DifferentialOutcome::default()
+    };
+    for t in 0..num_ticks {
+        let frame: Vec<Vec<f64>> = series
+            .iter()
+            .map(|db| db.iter().map(|kpi| kpi[t]).collect())
+            .collect();
+        let vn = naive.ingest_tick(&frame);
+        let vi = incremental.ingest_tick(&frame);
+        if vn.len() != vi.len() {
+            return Err(format!(
+                "tick {t}: naive emitted {} verdict(s), incremental {}",
+                vn.len(),
+                vi.len()
+            ));
+        }
+        for (idx, (a, b)) in vn.iter().zip(&vi).enumerate() {
+            let ctx = format!("tick {t}, verdict {idx} (db {})", a.db);
+            if (a.db, a.start_tick, a.end_tick) != (b.db, b.start_tick, b.end_tick) {
+                return Err(format!(
+                    "{ctx}: window mismatch — naive ({}, {}..{}) vs incremental ({}, {}..{})",
+                    a.db, a.start_tick, a.end_tick, b.db, b.start_tick, b.end_tick
+                ));
+            }
+            if a.state != b.state {
+                return Err(format!(
+                    "{ctx}: state mismatch — naive {:?} vs incremental {:?}",
+                    a.state, b.state
+                ));
+            }
+            if (a.window_size, a.expansions) != (b.window_size, b.expansions) {
+                return Err(format!(
+                    "{ctx}: shape mismatch — naive size {} x{} vs incremental size {} x{}",
+                    a.window_size, a.expansions, b.window_size, b.expansions
+                ));
+            }
+            if a.scores.len() != b.scores.len() {
+                return Err(format!("{ctx}: score arity mismatch"));
+            }
+            for (k, (sa, sb)) in a.scores.iter().zip(&b.scores).enumerate() {
+                let agree = (sa.is_nan() && sb.is_nan()) || (sa - sb).abs() <= SCORE_TOLERANCE;
+                if !agree {
+                    return Err(format!(
+                        "{ctx}: KPI {k} score diverged — naive {sa} vs incremental {sb}"
+                    ));
+                }
+            }
+            outcome.verdicts += 1;
+            outcome.expansions += u64::from(a.expansions);
+            if a.state.is_abnormal() {
+                outcome.abnormal += 1;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_core::config::DelayScan;
+
+    fn tiny_unit(dbs: usize, kpis: usize, ticks: usize) -> Vec<Vec<Vec<f64>>> {
+        (0..dbs)
+            .map(|db| {
+                (0..kpis)
+                    .map(|kpi| {
+                        (0..ticks)
+                            .map(|t| {
+                                let trend = ((t as f64) * std::f64::consts::TAU / 25.0
+                                    + kpi as f64)
+                                    .sin();
+                                50.0 + 20.0 * trend + 5.0 * db as f64
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_stream_agrees() {
+        let config = DbCatcherConfig {
+            initial_window: 10,
+            max_window: 30,
+            delay_scan: DelayScan::Fixed(3),
+            ..DbCatcherConfig::with_kpis(3)
+        };
+        let outcome =
+            run_differential(&config, &tiny_unit(3, 3, 80), None).expect("backends agree");
+        assert!(outcome.verdicts > 0);
+        assert_eq!(outcome.abnormal, 0);
+    }
+
+    #[test]
+    fn empty_stream_is_trivially_equal() {
+        let config = DbCatcherConfig::with_kpis(2);
+        let outcome = run_differential(&config, &[vec![vec![], vec![]]], None).expect("agree");
+        assert_eq!(outcome, DifferentialOutcome::default());
+    }
+}

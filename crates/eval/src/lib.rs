@@ -12,12 +12,15 @@
 //!   Window-Size efficiency metric;
 //! * [`experiments`] — one driver per paper table/figure, used by the
 //!   `dbcatcher-bench` experiment binaries and the integration tests;
-//! * [`report`] — plain-text table/figure formatting plus JSON dumps.
+//! * [`report`] — plain-text table/figure formatting plus JSON dumps;
+//! * [`differential`] — backend-equivalence harness driving the naive and
+//!   incremental correlation engines through identical streams.
 
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]
 
+pub mod differential;
 pub mod experiments;
 pub mod methods;
 pub mod metrics;

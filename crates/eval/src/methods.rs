@@ -324,8 +324,10 @@ mod tests {
     }
 
     fn quick_protocol() -> ProtocolConfig {
-        let mut cfg = ProtocolConfig::default();
-        cfg.window_grid = vec![20, 40];
+        let mut cfg = ProtocolConfig {
+            window_grid: vec![20, 40],
+            ..ProtocolConfig::default()
+        };
         cfg.ga.population = 8;
         cfg.ga.generations = 4;
         cfg

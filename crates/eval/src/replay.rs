@@ -141,7 +141,7 @@ mod tests {
                 ..AnomalyPlanConfig::default()
             },
             rare_events: RareEventConfig::default(),
-            seed: 7,
+            seed: 1,
         }
         .build()
         .units

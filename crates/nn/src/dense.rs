@@ -110,6 +110,14 @@ impl Dense {
 }
 
 #[cfg(test)]
+impl Dense {
+    /// Test-only accessor for an accumulated weight gradient.
+    fn grad_w_at(&self, r: usize, c: usize) -> f64 {
+        self.grad_w[(r, c)]
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::loss::mse;
@@ -213,13 +221,5 @@ mod tests {
         layer.zero_grad();
         assert_eq!(layer.grad_w.frobenius_norm(), 0.0);
         assert!(layer.grad_b.iter().all(|&g| g == 0.0));
-    }
-}
-
-#[cfg(test)]
-impl Dense {
-    /// Test-only accessor for an accumulated weight gradient.
-    fn grad_w_at(&self, r: usize, c: usize) -> f64 {
-        self.grad_w[(r, c)]
     }
 }

@@ -118,7 +118,7 @@ pub fn import_unit_csv(path: impl AsRef<Path>) -> Result<UnitData, IoError> {
     // infer shape from the header
     let num_labels = columns.iter().filter(|c| c.starts_with("label_db")).count();
     let value_cols = columns.len() - 1 - num_labels;
-    if num_labels == 0 || value_cols == 0 || value_cols % num_labels != 0 {
+    if num_labels == 0 || value_cols == 0 || !value_cols.is_multiple_of(num_labels) {
         return Err(IoError::Csv(format!(
             "cannot infer shape from header ({} columns, {} labels)",
             columns.len(),

@@ -115,13 +115,12 @@ mod tests {
 
     #[test]
     fn irregular_archetypes_classify_irregular() {
-        for (arch, seed) in [(Archetype::Finance, 4u64)] {
-            let p = arch.profile(seed);
-            let xs = reads(&p, 600, seed);
-            let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
-            assert!(!v.periodic, "{arch:?}: {v:?}");
-            assert!(!arch.is_periodic());
-        }
+        let (arch, seed) = (Archetype::Finance, 4u64);
+        let p = arch.profile(seed);
+        let xs = reads(&p, 600, seed);
+        let v = classify(&xs, &PeriodicityConfig::default()).unwrap();
+        assert!(!v.periodic, "{arch:?}: {v:?}");
+        assert!(!arch.is_periodic());
     }
 
     #[test]

