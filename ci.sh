@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
+echo "==> fault-injection soak (fixed seed, all fault kinds)"
+cargo test --release -q --test fault_soak -- --ignored
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,6 +2,8 @@
 //! the CLI free of an argument-parser crate).
 
 use dbcatcher_core::config::CorrelationBackend;
+use dbcatcher_core::ingest::GapPolicy;
+use dbcatcher_sim::faults::FaultPreset;
 use dbcatcher_workload::dataset::{Subset, WorkloadKind};
 
 /// Usage text printed on parse errors and `--help`.
@@ -13,10 +15,18 @@ USAGE:
                       [--units N] [--ticks T] [--seed S] [--anomaly-ratio R] --out <ds.json>
   dbcatcher detect    --data <ds.json> [--learn] [--train-frac F] [--out <verdicts.jsonl>]
                       [--backend <naive|incremental>]
+                      [--faults <none|standard|heavy>] [--fault-seed S]
+                      [--gap-policy <hold-last|linear-fill|mark-missing>]
   dbcatcher evaluate  --data <ds.json> [--learn] [--train-frac F]
                       [--backend <naive|incremental>]
+                      [--faults <none|standard|heavy>] [--fault-seed S]
+                      [--gap-policy <hold-last|linear-fill|mark-missing>]
   dbcatcher export-csv --data <ds.json> [--unit I] --out <unit.csv>
   dbcatcher help
+
+--faults corrupts the telemetry stream on its way into the detector
+(dropped frames, NaN bursts, duplicated ticks, stuck sensors, collector
+outages); --gap-policy selects how the ingest layer repairs the gaps.
 ";
 
 /// A parsed CLI invocation.
@@ -51,6 +61,12 @@ pub enum Command {
         out: Option<String>,
         /// Correlation engine.
         backend: CorrelationBackend,
+        /// Collector faults injected into the telemetry stream.
+        faults: FaultPreset,
+        /// Seed for the fault injector's dice.
+        fault_seed: u64,
+        /// Gap-repair policy of the ingest layer.
+        gap_policy: GapPolicy,
     },
     /// Detect and score against the dataset's ground truth.
     Evaluate {
@@ -62,6 +78,12 @@ pub enum Command {
         train_frac: f64,
         /// Correlation engine.
         backend: CorrelationBackend,
+        /// Collector faults injected into the telemetry stream.
+        faults: FaultPreset,
+        /// Seed for the fault injector's dice.
+        fault_seed: u64,
+        /// Gap-repair policy of the ingest layer.
+        gap_policy: GapPolicy,
     },
     /// Export one unit as CSV.
     ExportCsv {
@@ -145,6 +167,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             train_frac: parse_num(rest, "--train-frac", 0.5)?,
             out: value(rest, "--out").map(str::to_string),
             backend: parse_backend(rest)?,
+            faults: parse_num(rest, "--faults", FaultPreset::None)?,
+            fault_seed: parse_num(rest, "--fault-seed", 7)?,
+            gap_policy: parse_num(rest, "--gap-policy", GapPolicy::default())?,
         }),
         "evaluate" => Ok(Command::Evaluate {
             data: value(rest, "--data")
@@ -153,6 +178,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             learn: rest.iter().any(|a| a == "--learn"),
             train_frac: parse_num(rest, "--train-frac", 0.5)?,
             backend: parse_backend(rest)?,
+            faults: parse_num(rest, "--faults", FaultPreset::None)?,
+            fault_seed: parse_num(rest, "--fault-seed", 7)?,
+            gap_policy: parse_num(rest, "--gap-policy", GapPolicy::default())?,
         }),
         "export-csv" => Ok(Command::ExportCsv {
             data: value(rest, "--data")
@@ -225,6 +253,9 @@ mod tests {
                 train_frac: 0.5,
                 out: Some("v.jsonl".into()),
                 backend: CorrelationBackend::Incremental,
+                faults: FaultPreset::None,
+                fault_seed: 7,
+                gap_policy: GapPolicy::HoldLast,
             }
         );
         let cmd = parse(&argv("evaluate --data ds.json --train-frac 0.6")).unwrap();
@@ -235,8 +266,38 @@ mod tests {
                 learn: false,
                 train_frac: 0.6,
                 backend: CorrelationBackend::Incremental,
+                faults: FaultPreset::None,
+                fault_seed: 7,
+                gap_policy: GapPolicy::HoldLast,
             }
         );
+    }
+
+    #[test]
+    fn fault_and_gap_flags() {
+        let cmd = parse(&argv(
+            "detect --data ds.json --faults heavy --fault-seed 99 --gap-policy linear-fill",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Detect { faults, fault_seed, gap_policy, .. } => {
+                assert_eq!(faults, FaultPreset::Heavy);
+                assert_eq!(fault_seed, 99);
+                assert_eq!(gap_policy, GapPolicy::LinearFill);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("evaluate --data ds.json --faults standard --gap-policy mark-missing"))
+            .unwrap();
+        match cmd {
+            Command::Evaluate { faults, gap_policy, .. } => {
+                assert_eq!(faults, FaultPreset::Standard);
+                assert_eq!(gap_policy, GapPolicy::MarkMissing);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("detect --data ds.json --faults catastrophic")).is_err());
+        assert!(parse(&argv("detect --data ds.json --gap-policy zero-fill")).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_eval::metrics::{adjusted_confusion, windowed_any};
 use dbcatcher_eval::methods::train_dbcatcher;
 use dbcatcher_eval::protocol::ProtocolConfig;
+use dbcatcher_sim::faults::{FaultInjector, FaultPreset};
 use dbcatcher_workload::anomaly::AnomalyPlanConfig;
 use dbcatcher_workload::dataset::{Dataset, DatasetSpec, UnitData};
 use dbcatcher_workload::io::{export_unit_csv, load_dataset, save_dataset};
@@ -63,10 +64,14 @@ pub fn run(command: Command) -> Result<(), String> {
             train_frac,
             out,
             backend,
+            faults,
+            fault_seed,
+            gap_policy,
         } => {
             let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
             let (mut config, test) = prepare(&dataset, learn, train_frac)?;
             config.backend = backend;
+            config.ingest.gap_policy = gap_policy;
             let mut sink: Box<dyn Write> = match out {
                 Some(path) => {
                     Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?)
@@ -77,8 +82,16 @@ pub fn run(command: Command) -> Result<(), String> {
             for (unit_idx, unit) in test.units.iter().enumerate() {
                 let mut catcher = DbCatcher::new(config.clone(), unit.num_databases())
                     .with_participation(unit.participation.clone());
+                let mut injector = unit_injector(faults, fault_seed, unit_idx, unit);
                 for t in 0..unit.num_ticks() {
-                    for v in catcher.ingest_tick(&unit.tick_matrix(t)) {
+                    let mut frame = unit.tick_matrix(t);
+                    if let Some(inj) = injector.as_mut() {
+                        inj.apply(t as u64, &mut frame);
+                    }
+                    let report = catcher
+                        .try_ingest_tick(&frame)
+                        .map_err(|e| format!("unit {unit_idx} tick {t}: {e}"))?;
+                    for v in report.verdicts {
                         if v.state.is_abnormal() {
                             total += 1;
                             let record = serde_json::json!({
@@ -93,6 +106,7 @@ pub fn run(command: Command) -> Result<(), String> {
                         }
                     }
                 }
+                report_health(unit_idx, &catcher, faults);
             }
             eprintln!("{total} abnormal verdict(s)");
             Ok(())
@@ -102,18 +116,30 @@ pub fn run(command: Command) -> Result<(), String> {
             learn,
             train_frac,
             backend,
+            faults,
+            fault_seed,
+            gap_policy,
         } => {
             let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
             let (mut config, test) = prepare(&dataset, learn, train_frac)?;
             config.backend = backend;
+            config.ingest.gap_policy = gap_policy;
             let eval_w = 20usize;
             let mut confusion = dbcatcher_eval::metrics::Confusion::default();
-            for unit in &test.units {
+            for (unit_idx, unit) in test.units.iter().enumerate() {
                 let mut catcher = DbCatcher::new(config.clone(), unit.num_databases())
                     .with_participation(unit.participation.clone());
+                let mut injector = unit_injector(faults, fault_seed, unit_idx, unit);
                 let mut tick_preds = vec![false; unit.num_ticks()];
                 for t in 0..unit.num_ticks() {
-                    for v in catcher.ingest_tick(&unit.tick_matrix(t)) {
+                    let mut frame = unit.tick_matrix(t);
+                    if let Some(inj) = injector.as_mut() {
+                        inj.apply(t as u64, &mut frame);
+                    }
+                    let report = catcher
+                        .try_ingest_tick(&frame)
+                        .map_err(|e| format!("unit {unit_idx} tick {t}: {e}"))?;
+                    for v in report.verdicts {
                         if v.state.is_abnormal() {
                             let end = (v.end_tick as usize).min(unit.num_ticks());
                             tick_preds[v.start_tick as usize..end]
@@ -122,6 +148,7 @@ pub fn run(command: Command) -> Result<(), String> {
                         }
                     }
                 }
+                report_health(unit_idx, &catcher, faults);
                 let labels: Vec<bool> =
                     (0..unit.num_ticks()).map(|t| unit.any_anomalous(t)).collect();
                 confusion.merge(&adjusted_confusion(
@@ -153,6 +180,34 @@ pub fn run(command: Command) -> Result<(), String> {
             );
             Ok(())
         }
+    }
+}
+
+/// Builds the per-unit fault injector for `--faults`, seeded so every
+/// unit corrupts differently but reproducibly.
+fn unit_injector(
+    faults: FaultPreset,
+    fault_seed: u64,
+    unit_idx: usize,
+    unit: &UnitData,
+) -> Option<FaultInjector> {
+    if faults == FaultPreset::None {
+        return None;
+    }
+    Some(FaultInjector::with_preset(
+        faults,
+        unit.num_databases(),
+        unit.num_ticks() as u64,
+        fault_seed.wrapping_add(unit_idx as u64),
+    ))
+}
+
+/// Prints the unit's telemetry-health ledger to stderr when anything
+/// noteworthy happened (faults requested, or bad samples in the data).
+fn report_health(unit_idx: usize, catcher: &DbCatcher, faults: FaultPreset) {
+    let health = catcher.health();
+    if faults != FaultPreset::None || health.total_repaired() > 0 || health.total_stale() > 0 {
+        eprintln!("unit {unit_idx} telemetry health: {}", health.summary_line());
     }
 }
 

@@ -5,7 +5,93 @@
 //! tolerance deviation number N ∈ [0, 3], initial window W ∈ [15, 25],
 //! maximum window W_M ∈ [45, 75] — we default to each range's midpoint.
 
+use crate::ingest::IngestConfig;
 use serde::{Deserialize, Serialize};
+
+/// A specific, typed configuration violation found by
+/// [`DbCatcherConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `num_kpis` is zero.
+    NoKpis,
+    /// `alphas` length mismatches `num_kpis`.
+    AlphaArity {
+        /// Entries in `alphas`.
+        alphas: usize,
+        /// Configured KPI count.
+        kpis: usize,
+    },
+    /// `initial_window` below the 2-tick minimum a correlation needs.
+    InitialWindowTooSmall {
+        /// Configured initial window.
+        initial_window: usize,
+    },
+    /// `max_window` smaller than `initial_window`.
+    MaxWindowBelowInitial {
+        /// Configured maximum window.
+        max_window: usize,
+        /// Configured initial window.
+        initial_window: usize,
+    },
+    /// `theta` outside `[0, 1]`.
+    ThetaOutOfRange {
+        /// Configured theta.
+        theta: f64,
+    },
+    /// Participation mask row count mismatches `num_kpis`.
+    ParticipationArity {
+        /// Mask rows.
+        rows: usize,
+        /// Configured KPI count.
+        kpis: usize,
+    },
+    /// Ingest `demote_ratio` outside `(0, 1]`.
+    DemoteRatioOutOfRange {
+        /// Configured ratio.
+        ratio: f64,
+    },
+    /// Ingest `health_window` is zero.
+    ZeroHealthWindow,
+    /// Ingest `readmit_after` is zero.
+    ZeroReadmitAfter,
+    /// A detector was built for zero databases.
+    NoDatabases,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoKpis => write!(f, "num_kpis must be >= 1"),
+            ConfigError::AlphaArity { alphas, kpis } => {
+                write!(f, "alphas has {alphas} entries for {kpis} KPIs")
+            }
+            ConfigError::InitialWindowTooSmall { initial_window } => {
+                write!(f, "initial_window {initial_window} must be >= 2")
+            }
+            ConfigError::MaxWindowBelowInitial {
+                max_window,
+                initial_window,
+            } => write!(
+                f,
+                "max_window {max_window} must be >= initial_window {initial_window}"
+            ),
+            ConfigError::ThetaOutOfRange { theta } => {
+                write!(f, "theta {theta} must lie in [0, 1]")
+            }
+            ConfigError::ParticipationArity { rows, kpis } => {
+                write!(f, "participation mask has {rows} rows for {kpis} KPIs")
+            }
+            ConfigError::DemoteRatioOutOfRange { ratio } => {
+                write!(f, "ingest demote_ratio {ratio} must lie in (0, 1]")
+            }
+            ConfigError::ZeroHealthWindow => write!(f, "ingest health_window must be >= 1"),
+            ConfigError::ZeroReadmitAfter => write!(f, "ingest readmit_after must be >= 1"),
+            ConfigError::NoDatabases => write!(f, "unit must contain at least one database"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How many lags the KCD scan covers (paper Eq. 3 scans up to m = n/2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,6 +189,9 @@ pub struct DbCatcherConfig {
     /// Optional participation mask `mask[kpi][db]`: `false` entries are
     /// excluded from that KPI's level computation (Table II semantics).
     pub participation: Option<Vec<Vec<bool>>>,
+    /// Ingestion-hardening knobs (gap repair, staleness, non-voting
+    /// demotion); defaults are behaviour-neutral on clean streams.
+    pub ingest: IngestConfig,
 }
 
 impl Default for DbCatcherConfig {
@@ -129,6 +218,7 @@ impl Default for DbCatcherConfig {
             resolve_at_max: ResolvePolicy::Abnormal,
             unused_epsilon: 1e-9,
             participation: None,
+            ingest: IngestConfig::default(),
         }
     }
 }
@@ -167,33 +257,40 @@ impl DbCatcherConfig {
     /// Validates internal consistency.
     ///
     /// # Errors
-    /// Returns a human-readable description of the first violation found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violation found as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_kpis == 0 {
-            return Err("num_kpis must be >= 1".into());
+            return Err(ConfigError::NoKpis);
         }
         if self.alphas.len() != self.num_kpis {
-            return Err(format!(
-                "alphas has {} entries for {} KPIs",
-                self.alphas.len(),
-                self.num_kpis
-            ));
+            return Err(ConfigError::AlphaArity {
+                alphas: self.alphas.len(),
+                kpis: self.num_kpis,
+            });
         }
         if self.initial_window < 2 {
-            return Err("initial_window must be >= 2".into());
+            return Err(ConfigError::InitialWindowTooSmall {
+                initial_window: self.initial_window,
+            });
         }
         if self.max_window < self.initial_window {
-            return Err("max_window must be >= initial_window".into());
+            return Err(ConfigError::MaxWindowBelowInitial {
+                max_window: self.max_window,
+                initial_window: self.initial_window,
+            });
         }
         if !(0.0..=1.0).contains(&self.theta) {
-            return Err("theta must lie in [0, 1]".into());
+            return Err(ConfigError::ThetaOutOfRange { theta: self.theta });
         }
         if let Some(mask) = &self.participation {
             if mask.len() != self.num_kpis {
-                return Err("participation mask KPI arity mismatch".into());
+                return Err(ConfigError::ParticipationArity {
+                    rows: mask.len(),
+                    kpis: self.num_kpis,
+                });
             }
         }
-        Ok(())
+        crate::ingest::validate_ingest(&self.ingest)
     }
 }
 
@@ -263,6 +360,40 @@ mod tests {
             ..DbCatcherConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut c = DbCatcherConfig::default();
+        c.alphas.pop();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::AlphaArity { alphas: 13, kpis: 14 })
+        );
+
+        let mut c = DbCatcherConfig::default();
+        c.ingest.demote_ratio = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::DemoteRatioOutOfRange { .. })
+        ));
+
+        let mut c = DbCatcherConfig::default();
+        c.ingest.health_window = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroHealthWindow));
+
+        let mut c = DbCatcherConfig::default();
+        c.ingest.readmit_after = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroReadmitAfter));
+    }
+
+    #[test]
+    fn config_errors_display_human_readable() {
+        let err = ConfigError::MaxWindowBelowInitial {
+            max_window: 5,
+            initial_window: 20,
+        };
+        assert!(err.to_string().contains("max_window 5"));
     }
 
     #[test]

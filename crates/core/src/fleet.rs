@@ -4,12 +4,19 @@
 //! independent, so detection shards perfectly: [`FleetDetector`] owns one
 //! [`DbCatcher`] per unit, partitions them across long-lived worker
 //! threads, and fans each monitoring tick out over mpsc channels.
+//!
+//! Failure containment: a malformed frame degrades *one unit* (its
+//! detector stops, peers keep running) and a wedged or dead worker thread
+//! degrades only the units it owns — the fleet-level `ingest_tick` never
+//! panics on worker trouble and surfaces everything in [`FleetStats`].
 
 use crate::config::DbCatcherConfig;
 use crate::pipeline::{ComponentTiming, DbCatcher, Verdict};
+use std::collections::BTreeSet;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A verdict tagged with the unit that produced it.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,29 +31,61 @@ enum Job {
     /// One tick's frames for this worker's units: `(unit index, frame)`.
     Tick(Vec<(usize, Vec<Vec<f64>>)>),
     Stop,
+    /// Test hook: sleep without replying, simulating a wedged worker.
+    #[cfg(test)]
+    Wedge(Duration),
+}
+
+/// One tick's reply from a worker.
+struct TickReply {
+    verdicts: Vec<FleetVerdict>,
+    /// Units whose detector rejected the frame this tick.
+    degraded: Vec<usize>,
 }
 
 struct Worker {
     jobs: Sender<Job>,
-    results: Receiver<Vec<FleetVerdict>>,
+    results: Receiver<TickReply>,
     handle: Option<JoinHandle<()>>,
     /// Unit indices owned by this worker.
     units: Vec<usize>,
+    /// `false` once the worker wedged, died or stopped replying.
+    alive: bool,
 }
 
-/// Shared end-of-run statistics, filled when workers stop.
+/// Shared end-of-run accumulators, merged when workers stop.
 #[derive(Debug, Default)]
-struct FleetStats {
+struct SharedStats {
     window_size_sum: f64,
     verdict_count: u64,
     timing: ComponentTiming,
+}
+
+/// End-of-run fleet statistics, including degradation accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Mean final window size over all verdicts (the paper's Window-Size
+    /// efficiency metric).
+    pub average_window_size: f64,
+    /// Accumulated per-component wall-clock time.
+    pub timing: ComponentTiming,
+    /// Total verdicts emitted.
+    pub verdict_count: u64,
+    /// Worker threads lost to wedging / death during the run.
+    pub failed_workers: usize,
+    /// Units that stopped being detected (their worker failed or their
+    /// detector rejected a frame), ascending.
+    pub degraded_units: Vec<usize>,
 }
 
 /// Parallel detector over a fleet of units.
 pub struct FleetDetector {
     workers: Vec<Worker>,
     num_units: usize,
-    stats: Arc<Mutex<FleetStats>>,
+    stats: Arc<Mutex<SharedStats>>,
+    worker_timeout: Duration,
+    failed_workers: usize,
+    degraded_units: BTreeSet<usize>,
 }
 
 impl FleetDetector {
@@ -74,7 +113,7 @@ impl FleetDetector {
             .map(|n| n.get())
             .unwrap_or(1);
         let worker_count = if workers == 0 { hw } else { workers }.min(units.len()).max(1);
-        let stats = Arc::new(Mutex::new(FleetStats::default()));
+        let stats = Arc::new(Mutex::new(SharedStats::default()));
 
         let mut catchers: Vec<Option<DbCatcher>> = units
             .iter()
@@ -97,29 +136,48 @@ impl FleetDetector {
                     .map(|&u| (u, catchers[u].take().expect("each unit owned once")))
                     .collect();
                 let (job_tx, job_rx) = channel::<Job>();
-                let (res_tx, res_rx): (SyncSender<Vec<FleetVerdict>>, Receiver<_>) =
-                    sync_channel(1);
+                let (res_tx, res_rx): (SyncSender<TickReply>, Receiver<_>) = sync_channel(1);
                 let stats = Arc::clone(&stats);
                 let handle = std::thread::spawn(move || {
+                    // units whose detector rejected a frame: skipped from
+                    // then on so one bad stream cannot wedge the worker
+                    let mut dead_units: Vec<usize> = Vec::new();
                     while let Ok(job) = job_rx.recv() {
                         match job {
                             Job::Tick(frames) => {
-                                let mut out = Vec::new();
+                                let mut verdicts = Vec::new();
+                                let mut degraded = Vec::new();
                                 for (unit, frame) in frames {
+                                    if dead_units.contains(&unit) {
+                                        continue;
+                                    }
                                     let catcher = owned
                                         .iter_mut()
                                         .find(|(u, _)| *u == unit)
                                         .map(|(_, c)| c)
                                         .expect("frame routed to owning worker");
-                                    for verdict in catcher.ingest_tick(&frame) {
-                                        out.push(FleetVerdict { unit, verdict });
+                                    match catcher.try_ingest_tick(&frame) {
+                                        Ok(report) => {
+                                            verdicts.extend(
+                                                report
+                                                    .verdicts
+                                                    .into_iter()
+                                                    .map(|verdict| FleetVerdict { unit, verdict }),
+                                            );
+                                        }
+                                        Err(_) => {
+                                            dead_units.push(unit);
+                                            degraded.push(unit);
+                                        }
                                     }
                                 }
-                                if res_tx.send(out).is_err() {
+                                if res_tx.send(TickReply { verdicts, degraded }).is_err() {
                                     break;
                                 }
                             }
                             Job::Stop => break,
+                            #[cfg(test)]
+                            Job::Wedge(pause) => std::thread::sleep(pause),
                         }
                     }
                     // merge end-of-run statistics
@@ -138,6 +196,7 @@ impl FleetDetector {
                     results: res_rx,
                     handle: Some(handle),
                     units: owned_units,
+                    alive: true,
                 }
             })
             .collect();
@@ -146,7 +205,17 @@ impl FleetDetector {
             workers: workers_vec,
             num_units: units.len(),
             stats,
+            worker_timeout: Duration::from_secs(30),
+            failed_workers: 0,
+            degraded_units: BTreeSet::new(),
         }
+    }
+
+    /// Sets how long one tick waits for each worker before writing the
+    /// worker off as wedged (default 30 s).
+    pub fn with_worker_timeout(mut self, timeout: Duration) -> Self {
+        self.worker_timeout = timeout;
+        self
     }
 
     /// Number of units monitored.
@@ -159,50 +228,104 @@ impl FleetDetector {
         self.workers.len()
     }
 
+    /// Units currently excluded from detection, ascending.
+    pub fn degraded_units(&self) -> Vec<usize> {
+        self.degraded_units.iter().copied().collect()
+    }
+
     /// Ingests one tick for the whole fleet: `frames[unit][db][kpi]`.
     /// Returns every verdict that became final, in unit order.
+    ///
+    /// A worker that does not reply within the configured timeout (or
+    /// whose channels closed) is marked failed and its units degraded; the
+    /// remaining workers keep detecting.
     ///
     /// # Panics
     /// Panics when `frames.len()` mismatches the fleet size.
     pub fn ingest_tick(&mut self, frames: &[Vec<Vec<f64>>]) -> Vec<FleetVerdict> {
         assert_eq!(frames.len(), self.num_units, "fleet frame arity mismatch");
         // fan out
-        for worker in &self.workers {
+        let mut sent = vec![false; self.workers.len()];
+        for (w, worker) in self.workers.iter().enumerate() {
+            if !worker.alive {
+                continue;
+            }
             let batch: Vec<(usize, Vec<Vec<f64>>)> = worker
                 .units
                 .iter()
                 .map(|&u| (u, frames[u].clone()))
                 .collect();
-            worker
-                .jobs
-                .send(Job::Tick(batch))
-                .expect("worker alive while detector exists");
+            sent[w] = worker.jobs.send(Job::Tick(batch)).is_ok();
         }
         // gather
         let mut verdicts = Vec::new();
-        for worker in &self.workers {
-            verdicts.extend(worker.results.recv().expect("worker reply"));
+        let mut failures = Vec::new();
+        for (w, worker) in self.workers.iter().enumerate() {
+            if !worker.alive {
+                continue;
+            }
+            if !sent[w] {
+                failures.push(w);
+                continue;
+            }
+            match worker.results.recv_timeout(self.worker_timeout) {
+                Ok(reply) => {
+                    verdicts.extend(reply.verdicts);
+                    self.degraded_units.extend(reply.degraded);
+                }
+                Err(_) => failures.push(w),
+            }
+        }
+        for w in failures {
+            self.fail_worker(w);
         }
         verdicts.sort_by_key(|v| (v.unit, v.verdict.db, v.verdict.start_tick));
         verdicts
     }
 
-    /// Stops the workers and returns the fleet-wide mean window size and
-    /// accumulated component timing.
-    pub fn finish(mut self) -> (f64, ComponentTiming) {
+    /// Writes worker `w` off: marks it dead, degrades its units and
+    /// detaches its thread (a wedged thread may never see `Stop`, so it
+    /// must not be joined).
+    fn fail_worker(&mut self, w: usize) {
+        if !self.workers[w].alive {
+            return;
+        }
+        self.workers[w].alive = false;
+        self.failed_workers += 1;
+        let units = self.workers[w].units.clone();
+        self.degraded_units.extend(units);
+        drop(self.workers[w].handle.take());
+    }
+
+    /// Stops the workers and returns the end-of-run [`FleetStats`].
+    pub fn finish(mut self) -> FleetStats {
         self.shutdown();
         let s = self.stats.lock().expect("stats mutex poisoned");
-        let avg = if s.verdict_count == 0 {
+        let average_window_size = if s.verdict_count == 0 {
             0.0
         } else {
             s.window_size_sum / s.verdict_count as f64
         };
-        (avg, s.timing)
+        FleetStats {
+            average_window_size,
+            timing: s.timing,
+            verdict_count: s.verdict_count,
+            failed_workers: self.failed_workers,
+            degraded_units: self.degraded_units.iter().copied().collect(),
+        }
+    }
+
+    /// Test hook: wedge one worker's thread for `pause` without a reply.
+    #[cfg(test)]
+    fn wedge_worker(&self, w: usize, pause: Duration) {
+        let _ = self.workers[w].jobs.send(Job::Wedge(pause));
     }
 
     fn shutdown(&mut self) {
         for worker in &self.workers {
-            let _ = worker.jobs.send(Job::Stop);
+            if worker.alive {
+                let _ = worker.jobs.send(Job::Stop);
+            }
         }
         for worker in &mut self.workers {
             if let Some(handle) = worker.handle.take() {
@@ -326,9 +449,52 @@ mod tests {
         for t in 0..40 {
             fleet.ingest_tick(&frame(2, 2, 3, t));
         }
-        let (avg_window, timing) = fleet.finish();
-        assert!((avg_window - 10.0).abs() < 1e-9, "avg window {avg_window}");
-        assert!(timing.correlation > std::time::Duration::ZERO);
+        let stats = fleet.finish();
+        assert!(
+            (stats.average_window_size - 10.0).abs() < 1e-9,
+            "avg window {}",
+            stats.average_window_size
+        );
+        assert!(stats.timing.correlation > std::time::Duration::ZERO);
+        assert!(stats.verdict_count > 0);
+        assert_eq!(stats.failed_workers, 0);
+        assert!(stats.degraded_units.is_empty());
+    }
+
+    #[test]
+    fn malformed_unit_degrades_only_itself() {
+        let mut fleet = FleetDetector::new(config(3), &[2, 2], None, 2);
+        for t in 0..15 {
+            let mut frames = frame(2, 2, 3, t);
+            if t >= 5 {
+                frames[1][0].pop(); // unit 1 starts delivering short frames
+            }
+            fleet.ingest_tick(&frames); // must not panic
+        }
+        assert_eq!(fleet.degraded_units(), vec![1]);
+        let stats = fleet.finish();
+        assert_eq!(stats.degraded_units, vec![1]);
+        assert_eq!(stats.failed_workers, 0, "worker survived the bad unit");
+        assert!(stats.verdict_count > 0, "unit 0 kept detecting");
+    }
+
+    #[test]
+    fn wedged_worker_degrades_its_units_not_the_fleet() {
+        let mut fleet = FleetDetector::new(config(3), &[2, 2], None, 2)
+            .with_worker_timeout(Duration::from_millis(40));
+        for t in 0..5 {
+            fleet.ingest_tick(&frame(2, 2, 3, t));
+        }
+        fleet.wedge_worker(0, Duration::from_millis(400));
+        // the wedged worker misses the timeout; the tick still returns
+        for t in 5..40 {
+            fleet.ingest_tick(&frame(2, 2, 3, t));
+        }
+        let degraded = fleet.degraded_units();
+        assert_eq!(degraded, vec![0], "worker 0 owns exactly unit 0");
+        let stats = fleet.finish();
+        assert_eq!(stats.failed_workers, 1);
+        assert_eq!(stats.degraded_units, vec![0]);
     }
 
     #[test]

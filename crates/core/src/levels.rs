@@ -39,8 +39,19 @@ impl Level {
     }
 }
 
+/// Quantisation grid for [`score_to_level`]. The two correlation
+/// backends agree to ~1e-9 but not to the last ulp; when an aggregated
+/// score lands *exactly* on a threshold (easy under telemetry faults:
+/// the mean of an exact-convention 0.0 and a ~1.0 peer score is ~0.5,
+/// the default `α − θ`), that last ulp would quantise into different
+/// levels and the backends' window schedules would diverge. Snapping
+/// scores to this grid first makes the decision insensitive to sub-grid
+/// noise; exact convention values (0, ±0.5, 1) lie on the grid.
+const LEVEL_GRID: f64 = 1e-12;
+
 /// `ScoreToLevel` of Algorithm 1.
 pub fn score_to_level(score: f64, alpha: f64, theta: f64) -> Level {
+    let score = (score / LEVEL_GRID).round() * LEVEL_GRID;
     if score < alpha - theta {
         Level::ExtremeDeviation
     } else if score < alpha {

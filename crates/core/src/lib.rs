@@ -38,6 +38,7 @@ pub mod diagnosis;
 pub mod feedback;
 pub mod fleet;
 pub mod ga;
+pub mod ingest;
 pub mod kcd;
 pub mod kcd_incremental;
 pub mod levels;
@@ -48,10 +49,13 @@ pub mod snapshot;
 pub mod state;
 pub mod window;
 
-pub use config::{CorrelationBackend, DbCatcherConfig, DelayScan, LevelAggregation, ResolvePolicy};
+pub use config::{
+    ConfigError, CorrelationBackend, DbCatcherConfig, DelayScan, LevelAggregation, ResolvePolicy,
+};
 pub use diagnosis::{diagnose, Diagnosis};
 pub use feedback::{FeedbackModule, JudgmentRecord};
-pub use fleet::{FleetDetector, FleetVerdict};
+pub use fleet::{FleetDetector, FleetStats, FleetVerdict};
+pub use ingest::{GapPolicy, IngestConfig, IngestError, IngestReport, TelemetryHealth};
 pub use ga::{Genes, GeneticConfig};
 pub use kcd::kcd;
 pub use kcd_incremental::IncrementalCorrelator;

@@ -9,7 +9,8 @@
 //! the paper's §IV-D4 breakdown (correlation measurement ≈ 70 % of the
 //! online cost, window observation ≈ 30 %).
 
-use crate::config::{CorrelationBackend, DbCatcherConfig};
+use crate::config::{ConfigError, CorrelationBackend, DbCatcherConfig};
+use crate::ingest::{IngestError, IngestReport, TelemetryHealth};
 use crate::kcd::kcd_normalized;
 use crate::kcd_incremental::IncrementalCorrelator;
 use crate::levels::{aggregate_scores, level_row};
@@ -60,6 +61,8 @@ pub struct DbCatcher {
     /// `Some` iff the configured backend is [`CorrelationBackend::Incremental`].
     correlator: Option<IncrementalCorrelator>,
     trackers: Vec<WindowTracker>,
+    /// Telemetry health ledger (gap repair, staleness, non-voting state).
+    health: TelemetryHealth,
     timing: ComponentTiming,
     window_size_sum: u64,
     verdict_count: u64,
@@ -69,11 +72,22 @@ impl DbCatcher {
     /// Creates a detector for a unit of `num_dbs` databases.
     ///
     /// # Panics
-    /// Panics when the configuration fails [`DbCatcherConfig::validate`]
-    /// or `num_dbs == 0`.
+    /// Panics when [`Self::try_new`] would return an error.
     pub fn new(config: DbCatcherConfig, num_dbs: usize) -> Self {
-        config.validate().expect("invalid DbCatcher configuration");
-        assert!(num_dbs > 0, "unit must contain at least one database");
+        Self::try_new(config, num_dbs).expect("invalid DbCatcher configuration")
+    }
+
+    /// Fallible constructor: validates the configuration instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// The first [`ConfigError`] found, including [`ConfigError::NoDatabases`]
+    /// for an empty unit.
+    pub fn try_new(config: DbCatcherConfig, num_dbs: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if num_dbs == 0 {
+            return Err(ConfigError::NoDatabases);
+        }
         let capacity = config.max_window * 2 + config.initial_window;
         let queues = KpiQueues::new(num_dbs, config.num_kpis, capacity);
         let correlator = match config.backend {
@@ -85,16 +99,18 @@ impl DbCatcher {
         let trackers = (0..num_dbs)
             .map(|_| WindowTracker::new(0, config.initial_window))
             .collect();
-        Self {
+        let health = TelemetryHealth::new(num_dbs, config.num_kpis);
+        Ok(Self {
             config,
             num_dbs,
             queues,
             correlator,
             trackers,
+            health,
             timing: ComponentTiming::default(),
             window_size_sum: 0,
             verdict_count: 0,
-        }
+        })
     }
 
     /// Installs a participation mask (`mask[kpi][db]`, Table II
@@ -136,6 +152,17 @@ impl DbCatcher {
         self.verdict_count
     }
 
+    /// The telemetry health ledger: repair counters, staleness, voting
+    /// state.
+    pub fn health(&self) -> &TelemetryHealth {
+        &self.health
+    }
+
+    /// Databases currently demoted to non-voting, ascending.
+    pub fn non_voting(&self) -> Vec<usize> {
+        self.health.non_voting()
+    }
+
     /// Internal: queue state (snapshot support).
     pub(crate) fn queues_ref(&self) -> &crate::queues::KpiQueues {
         &self.queues
@@ -159,6 +186,7 @@ impl DbCatcher {
         num_dbs: usize,
         queues: crate::queues::KpiQueues,
         trackers: Vec<crate::window::WindowTracker>,
+        health: TelemetryHealth,
         window_size_sum: u64,
         verdict_count: u64,
     ) -> Self {
@@ -174,6 +202,7 @@ impl DbCatcher {
             queues,
             correlator,
             trackers,
+            health,
             timing: ComponentTiming::default(),
             window_size_sum,
             verdict_count,
@@ -193,14 +222,58 @@ impl DbCatcher {
     /// verdicts that became final at this tick.
     ///
     /// # Panics
-    /// Panics when the frame shape mismatches the configuration.
+    /// Panics when [`Self::try_ingest_tick`] would return an error.
     pub fn ingest_tick(&mut self, frame: &[Vec<f64>]) -> Vec<Verdict> {
-        self.queues.push(frame);
+        match self.try_ingest_tick(frame) {
+            Ok(report) => report.verdicts,
+            Err(e) => panic!("frame rejected: {e}"),
+        }
+    }
+
+    /// Ingests one monitoring frame without panicking: the frame shape is
+    /// validated, non-finite samples are repaired by the configured
+    /// [`crate::ingest::GapPolicy`], and the telemetry health ledger
+    /// (staleness, non-voting demotion / re-admission) is updated before
+    /// any window is judged.
+    ///
+    /// # Errors
+    /// [`IngestError::FrameArity`] / [`IngestError::KpiArity`] on shape
+    /// mismatch — the frame is rejected whole and the detector state is
+    /// untouched. [`IngestError::WindowUnavailable`] signals an internal
+    /// retention inconsistency (never expected with a validated
+    /// configuration).
+    pub fn try_ingest_tick(&mut self, frame: &[Vec<f64>]) -> Result<IngestReport, IngestError> {
+        if frame.len() != self.num_dbs {
+            return Err(IngestError::FrameArity {
+                expected: self.num_dbs,
+                got: frame.len(),
+            });
+        }
+        for (db, kpis) in frame.iter().enumerate() {
+            if kpis.len() != self.config.num_kpis {
+                return Err(IngestError::KpiArity {
+                    db,
+                    expected: self.config.num_kpis,
+                    got: kpis.len(),
+                });
+            }
+        }
+        let tick = self.queues.next_tick();
+        let (sanitized, tick_health) =
+            self.health
+                .observe(frame, tick, &self.config.ingest, self.queues.capacity());
+        self.queues.push(&sanitized);
         if let Some(correlator) = &mut self.correlator {
-            correlator.push(frame);
+            correlator.push(&sanitized);
         }
         let next_tick = self.queues.next_tick();
-        let mut verdicts = Vec::new();
+        let mut report = IngestReport {
+            repaired: tick_health.repaired,
+            stale: tick_health.stale,
+            demoted: tick_health.demoted,
+            readmitted: tick_health.readmitted,
+            ..IngestReport::default()
+        };
         // KCD scores are symmetric and window-scoped; when several
         // databases judge the same bounds in one tick, share the work.
         let mut cache: HashMap<(usize, usize, usize, u64, usize), f64> = HashMap::new();
@@ -208,32 +281,32 @@ impl DbCatcher {
             // A database may resolve several consecutive windows in one
             // tick only if sizes shrank; normally at most one iteration.
             while self.trackers[db].action(next_tick) == WindowAction::Judge {
-                match self.judge(db, &mut cache) {
+                match self.judge(db, &mut cache)? {
                     Some(v) => {
                         self.window_size_sum += v.window_size as u64;
                         self.verdict_count += 1;
-                        verdicts.push(v);
+                        report.verdicts.push(v);
                     }
                     None => break, // window expanded; wait for data
                 }
             }
         }
-        verdicts
+        Ok(report)
     }
 
-    /// Judges database `db`'s current window. Returns `None` when the
+    /// Judges database `db`'s current window. Returns `Ok(None)` when the
     /// state was observable and the window expanded instead of resolving.
     fn judge(
         &mut self,
         db: usize,
         cache: &mut HashMap<(usize, usize, usize, u64, usize), f64>,
-    ) -> Option<Verdict> {
+    ) -> Result<Option<Verdict>, IngestError> {
         let tracker = self.trackers[db];
         let (start, size) = (tracker.start, tracker.size);
 
         let t0 = Instant::now();
         let usable = self.usable_databases(start, size);
-        let scores = self.aggregated_scores(db, start, size, &usable, cache);
+        let scores = self.aggregated_scores(db, start, size, &usable, cache)?;
         self.timing.correlation += t0.elapsed();
 
         let t1 = Instant::now();
@@ -245,7 +318,7 @@ impl DbCatcher {
                 let step = self.config.expansion_step();
                 if self.trackers[db].expand(step, self.config.max_window) {
                     self.timing.observation += t1.elapsed();
-                    return None; // wait for the expanded window to fill
+                    return Ok(None); // wait for the expanded window to fill
                 }
                 match self.config.resolve_at_max {
                     crate::config::ResolvePolicy::Abnormal => DbState::Abnormal,
@@ -267,7 +340,7 @@ impl DbCatcher {
         };
         self.trackers[db].advance(self.config.initial_window);
         self.timing.observation += t1.elapsed();
-        Some(verdict)
+        Ok(Some(verdict))
     }
 
     /// A database is *usable* in a window when any KPI shows activity
@@ -287,6 +360,12 @@ impl DbCatcher {
 
     /// Aggregated per-KPI scores of `db` against participating peers over
     /// the window. `NaN` marks KPIs without a vote.
+    ///
+    /// Participation per `(kpi, d)` combines four gates: the
+    /// unused-database rule (`usable`), the configured Table II mask, the
+    /// telemetry voting state (a demoted database contributes to no
+    /// peer's score) and — under mark-missing gap repair — a clean window
+    /// (no repaired sample inside the judged range).
     fn aggregated_scores(
         &mut self,
         db: usize,
@@ -294,11 +373,12 @@ impl DbCatcher {
         size: usize,
         usable: &[bool],
         cache: &mut HashMap<(usize, usize, usize, u64, usize), f64>,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, IngestError> {
         // Disjoint field borrows: the incremental engine needs `&mut`
-        // while config/queues stay shared.
+        // while config/queues/health stay shared.
         let config = &self.config;
         let queues = &self.queues;
+        let health = &self.health;
         let num_dbs = self.num_dbs;
         let mut correlator = self.correlator.as_mut();
         let max_delay = config.delay_scan.max_lag(size);
@@ -307,12 +387,14 @@ impl DbCatcher {
         let mut own_norm: Vec<Option<Vec<f64>>> = vec![None; config.num_kpis];
         for kpi in 0..config.num_kpis {
             let participates = |d: usize| {
-                usable[d]
+                health.is_voting(d)
+                    && usable[d]
                     && config
                         .participation
                         .as_ref()
                         .map(|m| m[kpi][d])
                         .unwrap_or(true)
+                    && health.window_clean(d, kpi, start, size)
             };
             if !participates(db) {
                 out.push(f64::NAN);
@@ -330,13 +412,22 @@ impl DbCatcher {
                     let s = match correlator.as_deref_mut() {
                         Some(engine) => engine.pair_score(db, peer, kpi, start, size, max_delay),
                         None => {
-                            let a = own_norm[kpi].get_or_insert_with(|| {
-                                min_max(&queues.window(db, kpi, start, size).expect("own window"))
-                            });
-                            let b = min_max(
-                                &queues.window(peer, kpi, start, size).expect("peer window"),
-                            );
-                            kcd_normalized(a, &b, max_delay)
+                            if own_norm[kpi].is_none() {
+                                let w = queues.window(db, kpi, start, size).ok_or(
+                                    IngestError::WindowUnavailable { db, kpi, start, len: size },
+                                )?;
+                                own_norm[kpi] = Some(min_max(&w));
+                            }
+                            let a = own_norm[kpi].as_ref().expect("just filled");
+                            let w = queues.window(peer, kpi, start, size).ok_or(
+                                IngestError::WindowUnavailable {
+                                    db: peer,
+                                    kpi,
+                                    start,
+                                    len: size,
+                                },
+                            )?;
+                            kcd_normalized(a, &min_max(&w), max_delay)
                         }
                     };
                     cache.insert(key, s);
@@ -346,7 +437,7 @@ impl DbCatcher {
             }
             out.push(aggregate_scores(&pair_scores, config.aggregation).unwrap_or(f64::NAN));
         }
-        out
+        Ok(out)
     }
 }
 

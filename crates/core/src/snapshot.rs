@@ -7,6 +7,7 @@
 //! captures all of it as plain serde data.
 
 use crate::config::DbCatcherConfig;
+use crate::ingest::TelemetryHealth;
 use crate::pipeline::DbCatcher;
 use crate::queues::KpiQueues;
 use crate::window::WindowTracker;
@@ -23,6 +24,8 @@ pub struct DetectorSnapshot {
     pub queues: KpiQueues,
     /// Per-database flexible-window trackers.
     pub trackers: Vec<WindowTracker>,
+    /// Telemetry health ledger, including non-voting demotion state.
+    pub health: TelemetryHealth,
     /// Verdict-count / window-size accumulators for the efficiency metric.
     pub window_size_sum: u64,
     /// Total verdicts emitted so far.
@@ -56,6 +59,7 @@ impl DbCatcher {
             num_dbs: self.num_databases(),
             queues: self.queues_ref().clone(),
             trackers: self.trackers_ref().to_vec(),
+            health: self.health().clone(),
             window_size_sum: self.window_size_sum_raw(),
             verdict_count: self.verdict_count(),
         }
@@ -82,6 +86,7 @@ impl DbCatcher {
             snapshot.num_dbs,
             snapshot.queues,
             snapshot.trackers,
+            snapshot.health,
             snapshot.window_size_sum,
             snapshot.verdict_count,
         )

@@ -30,6 +30,14 @@ pub struct DifferentialOutcome {
     pub expansions: u64,
     /// Verdicts that resolved abnormal.
     pub abnormal: usize,
+    /// Samples repaired by the ingest layer (identical on both backends).
+    pub repaired: u64,
+    /// Samples flagged stale by the ingest layer.
+    pub stale: u64,
+    /// Non-voting demotions (identical on both backends).
+    pub demotions: u64,
+    /// Re-admissions after demotion (identical on both backends).
+    pub readmissions: u64,
 }
 
 /// Streams `series[db][kpi][tick]` through one detector per backend and
@@ -72,8 +80,34 @@ pub fn run_differential(
             .iter()
             .map(|db| db.iter().map(|kpi| kpi[t]).collect())
             .collect();
-        let vn = naive.ingest_tick(&frame);
-        let vi = incremental.ingest_tick(&frame);
+        let rn = naive
+            .try_ingest_tick(&frame)
+            .map_err(|e| format!("tick {t}: naive rejected the frame: {e}"))?;
+        let ri = incremental
+            .try_ingest_tick(&frame)
+            .map_err(|e| format!("tick {t}: incremental rejected the frame: {e}"))?;
+        if (rn.repaired, rn.stale, &rn.demoted, &rn.readmitted)
+            != (ri.repaired, ri.stale, &ri.demoted, &ri.readmitted)
+        {
+            return Err(format!(
+                "tick {t}: ingest reports diverged — naive {:?}/{:?}/{:?}/{:?} vs \
+                 incremental {:?}/{:?}/{:?}/{:?}",
+                rn.repaired, rn.stale, rn.demoted, rn.readmitted, ri.repaired, ri.stale,
+                ri.demoted, ri.readmitted
+            ));
+        }
+        if naive.non_voting() != incremental.non_voting() {
+            return Err(format!(
+                "tick {t}: non-voting sets diverged — naive {:?} vs incremental {:?}",
+                naive.non_voting(),
+                incremental.non_voting()
+            ));
+        }
+        outcome.repaired += rn.repaired as u64;
+        outcome.stale += rn.stale as u64;
+        outcome.demotions += rn.demoted.len() as u64;
+        outcome.readmissions += rn.readmitted.len() as u64;
+        let (vn, vi) = (rn.verdicts, ri.verdicts);
         if vn.len() != vi.len() {
             return Err(format!(
                 "tick {t}: naive emitted {} verdict(s), incremental {}",

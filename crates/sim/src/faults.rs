@@ -1,0 +1,451 @@
+//! Collector fault injection: telemetry-layer corruption, not anomalies.
+//!
+//! The simulator's [`crate::modifier`] effects change what the *databases*
+//! do; the faults here change what the *monitoring collector* delivers.
+//! Real cloud pipelines drop frames, duplicate samples, wedge sensors and
+//! lose whole collectors for minutes — none of which means the database is
+//! anomalous, so ground-truth labels are untouched. A missing sample is
+//! encoded as `NaN` in the delivered frame (the transport's "no data"
+//! marker the detector's ingest layer understands); corrupted samples may
+//! also arrive as `±Inf`.
+//!
+//! Faults compose freely with anomaly [`crate::Modifier`]s: inject an
+//! anomaly into the simulated unit, then corrupt the recording on its way
+//! to the detector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// What a faulty collector does to one database's samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Each tick the whole frame of the database is lost with probability
+    /// `prob` (every KPI arrives as `NaN`).
+    DropFrame {
+        /// Per-tick loss probability.
+        prob: f64,
+    },
+    /// Each KPI sample is independently corrupted to `NaN` or `±Inf` with
+    /// probability `prob`.
+    NanBurst {
+        /// Per-sample corruption probability.
+        prob: f64,
+    },
+    /// With probability `prob` the collector re-delivers the previous
+    /// tick's frame instead of the current one (duplicated sample).
+    DuplicateTicks {
+        /// Per-tick duplication probability.
+        prob: f64,
+    },
+    /// One sensor wedges: the KPI repeats its value from fault onset for
+    /// the whole active range.
+    StuckSensor {
+        /// Index of the wedged KPI.
+        kpi: usize,
+    },
+    /// Full collector outage: every KPI of the database is missing for the
+    /// whole active range; delivery recovers when the range ends.
+    Outage,
+}
+
+/// One scheduled collector fault: a [`FaultKind`] active on database `db`
+/// over the absolute tick range `ticks`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectorFault {
+    /// Target database index.
+    pub db: usize,
+    /// Active tick range (half-open).
+    pub ticks: Range<u64>,
+    /// The corruption applied while active.
+    pub kind: FaultKind,
+}
+
+/// Ready-made fault plans for the CLI and the soak tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultPreset {
+    /// Clean telemetry.
+    #[default]
+    None,
+    /// One fault of each kind, in disjoint time segments.
+    Standard,
+    /// Overlapping faults with higher probabilities plus a second outage.
+    Heavy,
+}
+
+impl FaultPreset {
+    /// Expands the preset into a concrete plan for a unit of `num_dbs`
+    /// databases observed for `ticks` ticks. Deterministic: the schedule
+    /// is pure arithmetic; only the per-tick dice inside
+    /// [`FaultInjector`] consume randomness.
+    pub fn plan(self, num_dbs: usize, ticks: u64) -> Vec<CollectorFault> {
+        assert!(num_dbs > 0, "fault plan needs at least one database");
+        let seg = (ticks / 6).max(1);
+        let db = |i: usize| i % num_dbs;
+        let standard = vec![
+            CollectorFault {
+                db: db(0),
+                ticks: seg..2 * seg,
+                kind: FaultKind::DropFrame { prob: 0.3 },
+            },
+            CollectorFault {
+                db: db(1),
+                ticks: 2 * seg..3 * seg,
+                kind: FaultKind::NanBurst { prob: 0.25 },
+            },
+            CollectorFault {
+                db: db(2),
+                ticks: 3 * seg..4 * seg,
+                kind: FaultKind::DuplicateTicks { prob: 0.5 },
+            },
+            CollectorFault {
+                db: db(3),
+                ticks: 4 * seg..5 * seg,
+                kind: FaultKind::StuckSensor { kpi: 0 },
+            },
+            CollectorFault {
+                db: db(4),
+                ticks: 5 * seg..5 * seg + seg / 2 + 1,
+                kind: FaultKind::Outage,
+            },
+        ];
+        match self {
+            FaultPreset::None => Vec::new(),
+            FaultPreset::Standard => standard,
+            FaultPreset::Heavy => {
+                let mut plan = standard;
+                plan.extend([
+                    CollectorFault {
+                        db: db(1),
+                        ticks: seg..3 * seg,
+                        kind: FaultKind::DropFrame { prob: 0.5 },
+                    },
+                    CollectorFault {
+                        db: db(3),
+                        ticks: 2 * seg..5 * seg,
+                        kind: FaultKind::NanBurst { prob: 0.4 },
+                    },
+                    CollectorFault {
+                        db: db(0),
+                        ticks: 4 * seg..4 * seg + seg / 2 + 1,
+                        kind: FaultKind::Outage,
+                    },
+                ]);
+                plan
+            }
+        }
+    }
+}
+
+/// Parses a preset name (CLI `--faults` values).
+impl std::str::FromStr for FaultPreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(FaultPreset::None),
+            "standard" => Ok(FaultPreset::Standard),
+            "heavy" => Ok(FaultPreset::Heavy),
+            other => Err(format!("unknown fault preset: {other}")),
+        }
+    }
+}
+
+/// Applies a set of [`CollectorFault`]s to the frame stream, tick by tick.
+///
+/// Deterministic for a fixed seed and fault plan when [`Self::apply`] is
+/// called once per tick in order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    faults: Vec<CollectorFault>,
+    rng: StdRng,
+    /// Previous *delivered* frame rows, for duplication.
+    prev: HashMap<usize, Vec<f64>>,
+    /// Wedged-sensor values captured at fault onset.
+    stuck: HashMap<(usize, usize), f64>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no scheduled faults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            faults: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            prev: HashMap::new(),
+            stuck: HashMap::new(),
+        }
+    }
+
+    /// Creates an injector preloaded with a preset plan.
+    pub fn with_preset(preset: FaultPreset, num_dbs: usize, ticks: u64, seed: u64) -> Self {
+        let mut inj = Self::new(seed);
+        for fault in preset.plan(num_dbs, ticks) {
+            inj.add(fault);
+        }
+        inj
+    }
+
+    /// Schedules one fault.
+    pub fn add(&mut self, fault: CollectorFault) {
+        self.faults.push(fault);
+    }
+
+    /// Scheduled faults.
+    pub fn faults(&self) -> &[CollectorFault] {
+        &self.faults
+    }
+
+    /// Corrupts one frame (`frame[db][kpi]`) in place as the collector
+    /// would deliver it at `tick`.
+    pub fn apply(&mut self, tick: u64, frame: &mut [Vec<f64>]) {
+        for i in 0..self.faults.len() {
+            let (db, kind) = {
+                let f = &self.faults[i];
+                if !f.ticks.contains(&tick) || f.db >= frame.len() {
+                    continue;
+                }
+                (f.db, f.kind.clone())
+            };
+            match kind {
+                FaultKind::DropFrame { prob } => {
+                    if self.rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                        frame[db].iter_mut().for_each(|v| *v = f64::NAN);
+                    }
+                }
+                FaultKind::NanBurst { prob } => {
+                    let p = prob.clamp(0.0, 1.0);
+                    for v in frame[db].iter_mut() {
+                        if self.rng.gen_bool(p) {
+                            *v = match self.rng.gen_range(0..4u32) {
+                                2 => f64::INFINITY,
+                                3 => f64::NEG_INFINITY,
+                                _ => f64::NAN,
+                            };
+                        }
+                    }
+                }
+                FaultKind::DuplicateTicks { prob } => {
+                    if self.rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                        if let Some(prev) = self.prev.get(&db) {
+                            let n = frame[db].len().min(prev.len());
+                            frame[db][..n].clone_from_slice(&prev[..n]);
+                        }
+                    }
+                }
+                FaultKind::StuckSensor { kpi } => {
+                    if kpi < frame[db].len() {
+                        let held = *self.stuck.entry((db, kpi)).or_insert(frame[db][kpi]);
+                        frame[db][kpi] = held;
+                    }
+                }
+                FaultKind::Outage => {
+                    frame[db].iter_mut().for_each(|v| *v = f64::NAN);
+                }
+            }
+        }
+        for (db, row) in frame.iter().enumerate() {
+            self.prev.insert(db, row.clone());
+        }
+    }
+}
+
+/// Corrupts a whole recording (`series[db][kpi][tick]`) in place — the
+/// offline counterpart of per-tick [`FaultInjector::apply`].
+pub fn corrupt_series(faults: &[CollectorFault], seed: u64, series: &mut [Vec<Vec<f64>>]) {
+    let num_ticks = series
+        .first()
+        .and_then(|db| db.first())
+        .map(|kpi| kpi.len())
+        .unwrap_or(0);
+    let mut injector = FaultInjector::new(seed);
+    for fault in faults {
+        injector.add(fault.clone());
+    }
+    for t in 0..num_ticks {
+        let mut frame: Vec<Vec<f64>> = series
+            .iter()
+            .map(|db| db.iter().map(|kpi| kpi[t]).collect())
+            .collect();
+        injector.apply(t as u64, &mut frame);
+        for (db, row) in frame.iter().enumerate() {
+            for (k, &v) in row.iter().enumerate() {
+                series[db][k][t] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_frame(dbs: usize, kpis: usize, t: u64) -> Vec<Vec<f64>> {
+        (0..dbs)
+            .map(|db| (0..kpis).map(|k| (t as f64) + (db * 10 + k) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn outage_blanks_whole_frames_and_recovers() {
+        let mut inj = FaultInjector::new(1);
+        inj.add(CollectorFault {
+            db: 1,
+            ticks: 5..8,
+            kind: FaultKind::Outage,
+        });
+        for t in 0..12 {
+            let mut frame = clean_frame(3, 4, t);
+            inj.apply(t, &mut frame);
+            let blanked = frame[1].iter().all(|v| v.is_nan());
+            assert_eq!(blanked, (5..8).contains(&t), "tick {t}");
+            assert!(frame[0].iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn stuck_sensor_holds_onset_value() {
+        let mut inj = FaultInjector::new(1);
+        inj.add(CollectorFault {
+            db: 0,
+            ticks: 3..10,
+            kind: FaultKind::StuckSensor { kpi: 2 },
+        });
+        let mut held = None;
+        for t in 0..10 {
+            let mut frame = clean_frame(2, 4, t);
+            inj.apply(t, &mut frame);
+            if t == 3 {
+                held = Some(frame[0][2]);
+            }
+            if t > 3 {
+                assert_eq!(Some(frame[0][2]), held, "tick {t}");
+            }
+            assert_eq!(frame[0][3], (t as f64) + 3.0, "other KPIs untouched");
+        }
+    }
+
+    #[test]
+    fn duplicate_redelivers_previous_frame() {
+        let mut inj = FaultInjector::new(1);
+        inj.add(CollectorFault {
+            db: 0,
+            ticks: 1..20,
+            kind: FaultKind::DuplicateTicks { prob: 1.0 },
+        });
+        let mut frame0 = clean_frame(1, 3, 0);
+        inj.apply(0, &mut frame0);
+        for t in 1..5 {
+            let mut frame = clean_frame(1, 3, t);
+            inj.apply(t, &mut frame);
+            assert_eq!(frame[0], frame0[0], "tick {t} should repeat tick 0");
+        }
+    }
+
+    #[test]
+    fn drop_and_burst_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            inj.add(CollectorFault {
+                db: 0,
+                ticks: 0..50,
+                kind: FaultKind::DropFrame { prob: 0.4 },
+            });
+            inj.add(CollectorFault {
+                db: 1,
+                ticks: 0..50,
+                kind: FaultKind::NanBurst { prob: 0.3 },
+            });
+            let mut bits = Vec::new();
+            for t in 0..50 {
+                let mut frame = clean_frame(2, 3, t);
+                inj.apply(t, &mut frame);
+                for row in &frame {
+                    for v in row {
+                        bits.push(v.to_bits());
+                    }
+                }
+            }
+            bits
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds should corrupt differently");
+    }
+
+    #[test]
+    fn presets_cover_every_fault_kind() {
+        let plan = FaultPreset::Standard.plan(5, 600);
+        assert_eq!(plan.len(), 5);
+        let has = |pred: fn(&FaultKind) -> bool| plan.iter().any(|f| pred(&f.kind));
+        assert!(has(|k| matches!(k, FaultKind::DropFrame { .. })));
+        assert!(has(|k| matches!(k, FaultKind::NanBurst { .. })));
+        assert!(has(|k| matches!(k, FaultKind::DuplicateTicks { .. })));
+        assert!(has(|k| matches!(k, FaultKind::StuckSensor { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Outage)));
+        assert!(FaultPreset::Heavy.plan(5, 600).len() > plan.len());
+        assert!(FaultPreset::None.plan(5, 600).is_empty());
+        // every fault ends before the stream does: recovery is observed
+        assert!(plan.iter().all(|f| f.ticks.end < 600));
+    }
+
+    #[test]
+    fn presets_wrap_small_units() {
+        for fault in FaultPreset::Heavy.plan(2, 120) {
+            assert!(fault.db < 2);
+        }
+    }
+
+    #[test]
+    fn corrupt_series_matches_streaming_injection() {
+        let dbs = 3;
+        let kpis = 2;
+        let ticks = 40u64;
+        let faults = FaultPreset::Standard.plan(dbs, ticks);
+        let mut series: Vec<Vec<Vec<f64>>> = (0..dbs)
+            .map(|db| {
+                (0..kpis)
+                    .map(|k| (0..ticks).map(|t| (t + (db * 7 + k) as u64) as f64).collect())
+                    .collect()
+            })
+            .collect();
+        let mut offline = series.clone();
+        corrupt_series(&faults, 5, &mut offline);
+
+        let mut inj = FaultInjector::new(5);
+        for f in &faults {
+            inj.add(f.clone());
+        }
+        for t in 0..ticks {
+            let mut frame: Vec<Vec<f64>> = series
+                .iter()
+                .map(|db| db.iter().map(|kpi| kpi[t as usize]).collect())
+                .collect();
+            inj.apply(t, &mut frame);
+            for db in 0..dbs {
+                for k in 0..kpis {
+                    let a = offline[db][k][t as usize];
+                    let b = frame[db][k];
+                    assert!(a.to_bits() == b.to_bits(), "({db},{k},{t}): {a} vs {b}");
+                }
+            }
+            for (db, row) in frame.iter().enumerate() {
+                for (k, &v) in row.iter().enumerate() {
+                    series[db][k][t as usize] = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_serde_round_trips() {
+        let fault = CollectorFault {
+            db: 2,
+            ticks: 10..25,
+            kind: FaultKind::NanBurst { prob: 0.2 },
+        };
+        let json = serde_json::to_string(&fault).expect("serialize");
+        let back: CollectorFault = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(fault, back);
+    }
+}

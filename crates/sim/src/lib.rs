@@ -32,6 +32,7 @@
 
 pub mod balancer;
 pub mod causes;
+pub mod faults;
 pub mod fluctuation;
 pub mod kpi;
 pub mod modifier;
@@ -39,6 +40,7 @@ pub mod unit;
 
 pub use balancer::{BalancerStrategy, LoadBalancer};
 pub use causes::{interpret_cause, CauseHint};
+pub use faults::{corrupt_series, CollectorFault, FaultInjector, FaultKind, FaultPreset};
 pub use kpi::{CorrelationClass, Kpi, ALL_KPIS, NUM_KPIS};
 pub use modifier::{AnomalyEffect, Modifier};
 pub use unit::{DbRole, OfferedLoad, TickSample, UnitConfig, UnitSim};

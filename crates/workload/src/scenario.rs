@@ -7,6 +7,7 @@
 use crate::dataset::UnitData;
 use crate::profile::LoadProfile;
 use crate::tencent::Archetype;
+use dbcatcher_sim::faults::{corrupt_series, CollectorFault, FaultPreset};
 use dbcatcher_sim::{AnomalyEffect, Kpi, Modifier, UnitConfig, UnitSim, NUM_KPIS};
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +24,9 @@ pub struct UnitScenario {
     pub ticks: usize,
     /// Hand-placed anomalies.
     pub modifiers: Vec<Modifier>,
+    /// Collector faults corrupting the recording on its way to the
+    /// detector (telemetry trouble, not anomalies — labels untouched).
+    pub faults: Vec<CollectorFault>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -44,6 +48,7 @@ impl UnitScenario {
                 ticks: 305..365,
                 effect: AnomalyEffect::LoadSkew { extra_share: 0.5 },
             }],
+            faults: Vec::new(),
             seed,
         }
     }
@@ -65,6 +70,7 @@ impl UnitScenario {
                     growth_per_tick: 0.015,
                 },
             }],
+            faults: Vec::new(),
             seed,
         }
     }
@@ -89,6 +95,7 @@ impl UnitScenario {
                     rows_read_factor: 3.0,
                 },
             }],
+            faults: Vec::new(),
             seed,
         }
     }
@@ -111,8 +118,24 @@ impl UnitScenario {
             num_databases: 5,
             ticks: 600,
             modifiers: Vec::new(),
+            faults: Vec::new(),
             seed,
         }
+    }
+
+    /// The quickstart scenario plus a standard battery of collector
+    /// faults — dropped frames, NaN bursts, duplicated ticks, a stuck
+    /// sensor and a full outage — for exercising the ingest hardening.
+    /// Labels are untouched: the anomaly is the same defective load
+    /// balancer; the faults are telemetry trouble layered on top.
+    pub fn faulted_quickstart(seed: u64) -> Self {
+        let mut scenario = Self::quickstart(seed);
+        scenario.description = format!(
+            "{} — with the standard collector-fault battery layered on the telemetry",
+            scenario.description
+        );
+        scenario.faults = FaultPreset::Standard.plan(scenario.num_databases, scenario.ticks as u64);
+        scenario
     }
 
     /// Runs the scenario and returns the recording.
@@ -140,6 +163,9 @@ impl UnitScenario {
                 }
                 labels[db].push(s.anomalous[db]);
             }
+        }
+        if !self.faults.is_empty() {
+            corrupt_series(&self.faults, self.seed ^ 0xFA, &mut series);
         }
         UnitData {
             unit_id: 0,
@@ -223,5 +249,34 @@ mod tests {
     #[test]
     fn case_study_kpis_nonempty() {
         assert!(!case_study_kpis().is_empty());
+    }
+
+    #[test]
+    fn faulted_quickstart_corrupts_telemetry_not_labels() {
+        let clean = UnitScenario::quickstart(42).generate();
+        let faulted = UnitScenario::faulted_quickstart(42).generate();
+        assert_eq!(clean.labels, faulted.labels, "faults must not move labels");
+        assert_ne!(clean.series, faulted.series, "faults must corrupt the series");
+        let non_finite: usize = faulted
+            .series
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|v| !v.is_finite())
+            .count();
+        assert!(non_finite > 0, "the NaN burst must land in the recording");
+    }
+
+    #[test]
+    fn faulted_quickstart_is_deterministic() {
+        let a = UnitScenario::faulted_quickstart(9).generate();
+        let b = UnitScenario::faulted_quickstart(9).generate();
+        assert!(a
+            .series
+            .iter()
+            .flatten()
+            .flatten()
+            .zip(b.series.iter().flatten().flatten())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

@@ -68,7 +68,8 @@ fn main() {
             }
         }
     }
-    let (avg_window, timing) = fleet.finish();
+    let stats = fleet.finish();
+    let (avg_window, timing) = (stats.average_window_size, stats.timing);
     println!(
         "\n{} alarms over {} unit-ticks in {:.2?}; avg window {:.1} ticks; \
          correlation {:.0}% / observation {:.0}% of detection time",

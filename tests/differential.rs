@@ -5,6 +5,7 @@
 
 use dbcatcher::core::config::{DbCatcherConfig, DelayScan};
 use dbcatcher::eval::differential::run_differential;
+use dbcatcher::sim::{corrupt_series, CollectorFault, FaultKind, FaultPreset};
 use dbcatcher::workload::scenario::UnitScenario;
 
 /// A synthetic unit sharing one sinusoid trend, optionally distorting one
@@ -89,6 +90,89 @@ fn unused_database_backends_agree() {
         kpi.iter_mut().for_each(|v| *v = 7.5);
     }
     let outcome = run_differential(&small_config(3), &series, None).expect("backends agree");
+    assert!(outcome.verdicts > 0, "{outcome:?}");
+}
+
+/// Ingest knobs tight enough that the fault scenarios below actually
+/// exercise demotion, staleness and re-admission (the defaults need 60
+/// bad ticks in a 120-tick stream to demote anything).
+fn fault_config(kpis: usize) -> DbCatcherConfig {
+    let mut config = small_config(kpis);
+    config.ingest.demote_ratio = 0.3;
+    config.ingest.health_window = 20;
+    config.ingest.readmit_after = 5;
+    config.ingest.stale_after = 8;
+    config
+}
+
+/// A healthy synthetic unit with one scheduled collector fault applied.
+fn faulted_series(db: usize, ticks: std::ops::Range<u64>, kind: FaultKind) -> Vec<Vec<Vec<f64>>> {
+    let mut series = unit_series(4, 3, 160, None);
+    corrupt_series(&[CollectorFault { db, ticks, kind }], 11, &mut series);
+    series
+}
+
+#[test]
+fn dropped_frames_backends_agree() {
+    let series = faulted_series(1, 40..90, FaultKind::DropFrame { prob: 0.4 });
+    let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
+    assert!(outcome.repaired > 0, "drops never repaired: {outcome:?}");
+    assert!(outcome.verdicts > 0, "{outcome:?}");
+}
+
+#[test]
+fn nan_burst_backends_agree() {
+    let series = faulted_series(2, 30..120, FaultKind::NanBurst { prob: 0.3 });
+    let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
+    assert!(outcome.repaired > 0, "burst never repaired: {outcome:?}");
+    assert!(outcome.verdicts > 0, "{outcome:?}");
+}
+
+#[test]
+fn duplicated_ticks_backends_agree() {
+    // prob 1.0 re-delivers the tick-39 frame for the whole range, so the
+    // run-length staleness check must fire on every KPI of the database.
+    let series = faulted_series(0, 40..70, FaultKind::DuplicateTicks { prob: 1.0 });
+    let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
+    assert!(outcome.stale > 0, "duplicates never flagged stale: {outcome:?}");
+}
+
+#[test]
+fn stuck_sensor_backends_agree() {
+    let series = faulted_series(3, 50..130, FaultKind::StuckSensor { kpi: 1 });
+    let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
+    assert!(outcome.stale > 0, "wedged sensor never flagged: {outcome:?}");
+    assert!(outcome.verdicts > 0, "{outcome:?}");
+}
+
+#[test]
+fn outage_with_recovery_backends_agree() {
+    // A 40-tick outage trips the 30%-of-20-ticks demotion threshold well
+    // inside the stream; the fault ends at tick 100, leaving 60 clean
+    // ticks — enough for the 5-tick re-admission streak.
+    let series = faulted_series(1, 60..100, FaultKind::Outage);
+    let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
+    assert!(outcome.repaired > 0, "{outcome:?}");
+    assert!(outcome.demotions > 0, "outage never demoted the database: {outcome:?}");
+    assert!(outcome.readmissions > 0, "recovery never re-admitted: {outcome:?}");
+}
+
+#[test]
+fn heavy_fault_battery_backends_agree() {
+    // Every fault kind at once, overlapping, on top of a real simulated
+    // workload with an injected anomaly and a participation mask.
+    let data = UnitScenario::quickstart(42).generate();
+    let mut series = data.series.clone();
+    let plan = FaultPreset::Heavy.plan(data.num_databases(), data.num_ticks() as u64);
+    corrupt_series(&plan, 3, &mut series);
+    let mut config = DbCatcherConfig::with_kpis(data.num_kpis());
+    config.ingest.demote_ratio = 0.3;
+    config.ingest.health_window = 30;
+    config.ingest.readmit_after = 10;
+    config.ingest.stale_after = 10;
+    let outcome = run_differential(&config, &series, Some(data.participation.clone()))
+        .expect("backends agree");
+    assert!(outcome.repaired > 0, "{outcome:?}");
     assert!(outcome.verdicts > 0, "{outcome:?}");
 }
 

@@ -1,0 +1,102 @@
+//! Fault-injection soak: a long fixed-seed stream carrying every fault
+//! kind (the Heavy preset, twice, at staggered offsets) must stream
+//! through both backends with zero panics, verdict-for-verdict backend
+//! agreement, and bounded verdict drift against the clean run — the
+//! degraded-mode machinery is allowed to change *some* verdicts (that is
+//! its job) but must not destabilise the detector at large.
+//!
+//! Ignored by default (several seconds); ci.sh runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -q --test fault_soak -- --ignored
+//! ```
+
+use dbcatcher::core::config::{DbCatcherConfig, DelayScan};
+use dbcatcher::eval::differential::run_differential;
+use dbcatcher::sim::{corrupt_series, CollectorFault, FaultPreset};
+
+const DBS: usize = 5;
+const KPIS: usize = 4;
+const TICKS: usize = 3000;
+
+/// A healthy synthetic fleet-like unit: shared sinusoid trend per KPI
+/// with per-database gain/offset and a slow secondary period.
+fn soak_series() -> Vec<Vec<Vec<f64>>> {
+    (0..DBS)
+        .map(|db| {
+            (0..KPIS)
+                .map(|kpi| {
+                    (0..TICKS)
+                        .map(|t| {
+                            let tf = t as f64;
+                            let fast = (tf * std::f64::consts::TAU / 30.0 + kpi as f64).sin();
+                            let slow = (tf * std::f64::consts::TAU / 480.0).cos();
+                            100.0
+                                + 40.0 * fast * (1.0 + 0.1 * db as f64)
+                                + 15.0 * slow
+                                + 10.0 * db as f64
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn soak_config() -> DbCatcherConfig {
+    let mut config = DbCatcherConfig {
+        initial_window: 10,
+        max_window: 30,
+        delay_scan: DelayScan::Fixed(3),
+        ..DbCatcherConfig::with_kpis(KPIS)
+    };
+    config.ingest.demote_ratio = 0.3;
+    config.ingest.health_window = 30;
+    config.ingest.readmit_after = 10;
+    config.ingest.stale_after = 12;
+    config
+}
+
+#[test]
+#[ignore = "soak test: several seconds; run via ci.sh"]
+fn heavy_faults_soak_without_panics_or_drift() {
+    let clean = soak_series();
+    let clean_outcome =
+        run_differential(&soak_config(), &clean, None).expect("clean backends agree");
+    assert!(clean_outcome.verdicts > 0);
+    assert_eq!(clean_outcome.abnormal, 0, "clean stream must stay healthy");
+
+    // Two staggered Heavy batteries: every fault kind, overlapping, with
+    // the second half's schedule shifted so recovery is also soaked.
+    let mut faults: Vec<CollectorFault> = FaultPreset::Heavy.plan(DBS, TICKS as u64 / 2);
+    for mut fault in FaultPreset::Heavy.plan(DBS, TICKS as u64 / 2) {
+        fault.db = (fault.db + 2) % DBS;
+        fault.ticks = fault.ticks.start + TICKS as u64 / 2..fault.ticks.end + TICKS as u64 / 2;
+        faults.push(fault);
+    }
+    let mut faulted = clean.clone();
+    corrupt_series(&faults, 20_240, &mut faulted);
+
+    let outcome = run_differential(&soak_config(), &faulted, None).expect("backends agree");
+    assert_eq!(outcome.ticks, TICKS);
+    assert!(outcome.repaired > 0, "{outcome:?}");
+    assert!(outcome.stale > 0, "{outcome:?}");
+    assert!(outcome.demotions > 0, "{outcome:?}");
+    assert!(outcome.readmissions > 0, "{outcome:?}");
+    // Drift bound: telemetry trouble is not an anomaly — repair plus
+    // demotion must keep false alarms to a small fraction of verdicts.
+    // Fault-induced expansions shift window boundaries, so the faulted
+    // run may close a handful fewer windows by stream end — but not more.
+    assert!(
+        outcome.verdicts.abs_diff(clean_outcome.verdicts) <= DBS * 3,
+        "verdict cadence drifted: {} vs clean {}",
+        outcome.verdicts,
+        clean_outcome.verdicts
+    );
+    let drift = outcome.abnormal.abs_diff(clean_outcome.abnormal) as f64;
+    let bound = (outcome.verdicts as f64 * 0.05).max(8.0);
+    assert!(
+        drift <= bound,
+        "verdict drift {drift} exceeds bound {bound}: {outcome:?} vs clean {clean_outcome:?}"
+    );
+}

@@ -15,21 +15,24 @@
 //! then review the diff of `tests/golden/quickstart_verdicts.jsonl` like
 //! any other code change.
 
-use dbcatcher::core::{DbCatcher, DbCatcherConfig};
+use dbcatcher::core::{DbCatcher, DbCatcherConfig, GapPolicy};
 use dbcatcher::workload::scenario::UnitScenario;
 use std::path::Path;
 
 const GOLDEN_PATH: &str = "tests/golden/quickstart_verdicts.jsonl";
+const FAULTED_GOLDEN_PATH: &str = "tests/golden/faulted_verdicts.jsonl";
 
 /// One JSON line per verdict, in emission order.
-fn render_verdicts() -> String {
-    let data = UnitScenario::quickstart(7).generate();
-    let config = DbCatcherConfig::with_kpis(data.num_kpis());
+fn render_verdicts(scenario: &UnitScenario, config: DbCatcherConfig) -> String {
+    let data = scenario.generate();
     let mut catcher =
         DbCatcher::new(config, data.num_databases()).with_participation(data.participation.clone());
     let mut out = String::new();
     for t in 0..data.num_ticks() {
-        for v in catcher.ingest_tick(&data.tick_matrix(t)) {
+        let report = catcher
+            .try_ingest_tick(&data.tick_matrix(t))
+            .expect("well-shaped frame");
+        for v in report.verdicts {
             out.push_str(&serde_json::to_string(&v).expect("verdict serializes"));
             out.push('\n');
         }
@@ -37,15 +40,12 @@ fn render_verdicts() -> String {
     out
 }
 
-#[test]
-fn quickstart_verdicts_match_golden_file() {
-    let rendered = render_verdicts();
-    assert!(!rendered.is_empty(), "scenario produced no verdicts");
-
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+/// Compares (or, under `UPDATE_GOLDEN=1`, regenerates) one golden file.
+fn check_golden(rendered: &str, golden_path: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(golden_path);
     if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
         std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
-        std::fs::write(&path, &rendered).expect("write golden file");
+        std::fs::write(&path, rendered).expect("write golden file");
         eprintln!("regenerated {}", path.display());
         return;
     }
@@ -73,4 +73,31 @@ fn quickstart_verdicts_match_golden_file() {
             golden.lines().count()
         );
     }
+}
+
+#[test]
+fn quickstart_verdicts_match_golden_file() {
+    let scenario = UnitScenario::quickstart(7);
+    let rendered = render_verdicts(&scenario, DbCatcherConfig::default());
+    assert!(!rendered.is_empty(), "scenario produced no verdicts");
+    check_golden(&rendered, GOLDEN_PATH);
+}
+
+/// Pins the degraded-mode behaviour: the same scenario with the standard
+/// collector-fault battery, repaired under mark-missing and with ingest
+/// knobs tight enough that the outage demotes its database. Catches
+/// unintended changes anywhere in the gap-repair / staleness / demotion
+/// path, complementing the clean-stream golden above.
+#[test]
+fn faulted_verdicts_match_golden_file() {
+    let scenario = UnitScenario::faulted_quickstart(7);
+    let mut config = DbCatcherConfig::default();
+    config.ingest.gap_policy = GapPolicy::MarkMissing;
+    config.ingest.demote_ratio = 0.3;
+    config.ingest.health_window = 30;
+    config.ingest.readmit_after = 10;
+    config.ingest.stale_after = 12;
+    let rendered = render_verdicts(&scenario, config);
+    assert!(!rendered.is_empty(), "faulted scenario produced no verdicts");
+    check_golden(&rendered, FAULTED_GOLDEN_PATH);
 }
