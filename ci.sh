@@ -16,7 +16,42 @@ cargo test --release -q --test fault_soak -- --ignored
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> kcd bench smoke (DBCATCHER_BENCH_FAST=1)"
-DBCATCHER_BENCH_FAST=1 cargo bench -p dbcatcher-bench --bench kcd -- kcd_backends
+echo "==> kcd bench smoke (DBCATCHER_BENCH_FAST=1) -> BENCH_kcd.json"
+BENCH_RAW="$(mktemp)"
+DBCATCHER_BENCH_FAST=1 DBCATCHER_BENCH_JSON="$BENCH_RAW" \
+  cargo bench -p dbcatcher-bench --bench kcd -- kcd_backends
+DBCATCHER_BENCH_FAST=1 cargo run -q --release -p dbcatcher-bench --bin bench_report -- \
+  "$BENCH_RAW" BENCH_kcd.json
+rm -f "$BENCH_RAW"
+test -s BENCH_kcd.json || { echo "BENCH_kcd.json missing or empty"; exit 1; }
+
+echo "==> serve loopback smoke (ephemeral port, 200 ticks)"
+SMOKE_DIR="$(mktemp -d)"
+DBC=target/release/dbcatcher
+"$DBC" simulate --kind tencent --units 1 --ticks 200 --seed 11 --out "$SMOKE_DIR/ds.json"
+"$DBC" detect --data "$SMOKE_DIR/ds.json" --out "$SMOKE_DIR/offline.jsonl" \
+  2> "$SMOKE_DIR/detect.log"
+"$DBC" serve --listen 127.0.0.1:0 --port-file "$SMOKE_DIR/port.txt" \
+  2> "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SMOKE_DIR/port.txt" ] && break; sleep 0.1; done
+test -s "$SMOKE_DIR/port.txt" || { echo "serve never bound"; kill "$SERVE_PID"; exit 1; }
+ADDR="$(tr -d '\n' < "$SMOKE_DIR/port.txt")"
+timeout 60 "$DBC" emit --connect "$ADDR" --data "$SMOKE_DIR/ds.json" \
+  --out "$SMOKE_DIR/online.jsonl" --stop-server 2> "$SMOKE_DIR/emit.log"
+# clean daemon shutdown within the timeout
+SHUTDOWN_OK=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then SHUTDOWN_OK=1; break; fi
+  sleep 0.1
+done
+[ "$SHUTDOWN_OK" = 1 ] || { echo "serve did not shut down"; kill "$SERVE_PID"; exit 1; }
+wait "$SERVE_PID"
+# online verdict stream must match the offline golden stream exactly
+diff "$SMOKE_DIR/offline.jsonl" "$SMOKE_DIR/online.jsonl" \
+  || { echo "loopback verdicts diverge from offline detect"; exit 1; }
+grep -q "abnormal verdict" "$SMOKE_DIR/emit.log" \
+  || { echo "emit reported no verdict count"; exit 1; }
+rm -rf "$SMOKE_DIR"
 
 echo "==> ci.sh: all green"

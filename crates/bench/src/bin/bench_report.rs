@@ -1,0 +1,124 @@
+//! Turns the criterion shim's raw JSON results (`DBCATCHER_BENCH_JSON`)
+//! into the repo-root `BENCH_kcd.json` perf-trajectory artifact:
+//! per-config naive/incremental ns-per-tick plus median speedup, so CI
+//! runs can be compared across PRs.
+//!
+//! Usage: `bench-report <raw-results.json> <BENCH_kcd.json>`
+
+use serde::Value;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        0.5 * (xs[mid - 1] + xs[mid])
+    }
+}
+
+fn run(raw_path: &str, out_path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(raw_path).map_err(|e| format!("read {raw_path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(&raw).map_err(|e| format!("parse {raw_path}: {e}"))?;
+    let results = value
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{raw_path}: no `results` array"))?;
+
+    // label shape: kcd_backends/<backend>/k<k>_m<m>_d<d>
+    let mut configs: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
+    for entry in results {
+        let label = match entry.get("label") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        let ns = entry
+            .get("ns_per_iter")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let mut parts = label.split('/');
+        if parts.next() != Some("kcd_backends") {
+            continue;
+        }
+        let (Some(backend), Some(config)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let slot = match configs.iter_mut().find(|(c, _, _)| c == config) {
+            Some(slot) => slot,
+            None => {
+                configs.push((config.to_string(), None, None));
+                configs.last_mut().ok_or("push failed")?
+            }
+        };
+        match backend {
+            "naive" => slot.1 = Some(ns),
+            "incremental" => slot.2 = Some(ns),
+            _ => {}
+        }
+    }
+    if configs.is_empty() {
+        return Err(format!("{raw_path}: no kcd_backends results"));
+    }
+
+    let mut rows = Vec::new();
+    let mut naive_all = Vec::new();
+    let mut incremental_all = Vec::new();
+    let mut speedups = Vec::new();
+    for (config, naive, incremental) in &configs {
+        let row = serde_json::json!({
+            "config": config,
+            "naive_ns_per_tick": naive.unwrap_or(0.0),
+            "incremental_ns_per_tick": incremental.unwrap_or(0.0),
+            "speedup": match (naive, incremental) {
+                (Some(n), Some(i)) if *i > 0.0 => n / i,
+                _ => 0.0,
+            },
+        });
+        if let Some(n) = naive {
+            naive_all.push(*n);
+        }
+        if let Some(i) = incremental {
+            incremental_all.push(*i);
+            if let Some(n) = naive {
+                if *i > 0.0 {
+                    speedups.push(n / i);
+                }
+            }
+        }
+        rows.push(row);
+    }
+
+    let fast = std::env::var("DBCATCHER_BENCH_FAST").is_ok_and(|v| v == "1");
+    let report = serde_json::json!({
+        "bench": "kcd_backends",
+        "mode": if fast { "fast" } else { "full" },
+        "unit": "ns_per_tick (one detector tick: push + all-pairs window scores)",
+        "configs": rows,
+        "median_naive_ns_per_tick": median(naive_all),
+        "median_incremental_ns_per_tick": median(incremental_all),
+        "median_speedup": median(speedups),
+    });
+    let json = serde_json::to_string(&report).map_err(|e| format!("render report: {e}"))?;
+    std::fs::write(out_path, format!("{json}\n")).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path} ({} config(s))", configs.len());
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (raw, out) = match args.as_slice() {
+        [raw, out] => (raw.as_str(), out.as_str()),
+        _ => {
+            eprintln!("usage: bench-report <raw-results.json> <BENCH_kcd.json>");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(raw, out) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

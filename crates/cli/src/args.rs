@@ -22,11 +22,25 @@ USAGE:
                       [--faults <none|standard|heavy>] [--fault-seed S]
                       [--gap-policy <hold-last|linear-fill|mark-missing>]
   dbcatcher export-csv --data <ds.json> [--unit I] --out <unit.csv>
+  dbcatcher serve     --listen <addr> [--units N] [--shards S] [--queue-cap Q]
+                      [--snapshot-dir D] [--snapshot-every T] [--resume D]
+                      [--backend <naive|incremental>]
+                      [--gap-policy <hold-last|linear-fill|mark-missing>]
+                      [--port-file <path>]
+  dbcatcher emit      --connect <addr> --data <ds.json> [--rate R] [--window W]
+                      [--faults <none|standard|heavy>] [--fault-seed S]
+                      [--out <verdicts.jsonl>] [--stop-server]
+  dbcatcher stats     --connect <addr>
   dbcatcher help
 
 --faults corrupts the telemetry stream on its way into the detector
 (dropped frames, NaN bursts, duplicated ticks, stuck sensors, collector
 outages); --gap-policy selects how the ingest layer repairs the gaps.
+
+serve runs the online daemon (newline-delimited JSON over TCP); emit
+streams a dataset to it and collects the verdicts; stats prints one
+metrics snapshot as JSON. --listen 127.0.0.1:0 picks an ephemeral port
+(written to --port-file for scripts).
 ";
 
 /// A parsed CLI invocation.
@@ -84,6 +98,53 @@ pub enum Command {
         fault_seed: u64,
         /// Gap-repair policy of the ingest layer.
         gap_policy: GapPolicy,
+    },
+    /// Run the online detection daemon.
+    Serve {
+        /// Listen address (`host:port`; port `0` = ephemeral).
+        listen: String,
+        /// Maximum unit id is `units - 1`.
+        units: usize,
+        /// Shard worker threads (`0` = auto).
+        shards: usize,
+        /// Per-unit bounded ingress queue depth.
+        queue_cap: usize,
+        /// Directory for periodic detector snapshots.
+        snapshot_dir: Option<String>,
+        /// Snapshot every N ingested ticks per unit.
+        snapshot_every: u64,
+        /// Directory to restore unit snapshots from at Hello time.
+        resume: Option<String>,
+        /// Correlation engine.
+        backend: CorrelationBackend,
+        /// Gap-repair policy of the ingest layer.
+        gap_policy: GapPolicy,
+        /// File to write the bound address to (ephemeral-port scripting).
+        port_file: Option<String>,
+    },
+    /// Stream a dataset to a running daemon and collect verdicts.
+    Emit {
+        /// Daemon address.
+        connect: String,
+        /// Dataset path.
+        data: String,
+        /// Ticks per second per unit (`0` = full speed).
+        rate: f64,
+        /// Max unacknowledged ticks in flight.
+        window: usize,
+        /// Collector faults injected into the stream before sending.
+        faults: FaultPreset,
+        /// Seed for the fault injector's dice.
+        fault_seed: u64,
+        /// Optional JSONL output path (stdout when absent).
+        out: Option<String>,
+        /// Ask the daemon to shut down after the stream completes.
+        stop_server: bool,
+    },
+    /// Print one daemon metrics snapshot as JSON.
+    Stats {
+        /// Daemon address.
+        connect: String,
     },
     /// Export one unit as CSV.
     ExportCsv {
@@ -181,6 +242,39 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             faults: parse_num(rest, "--faults", FaultPreset::None)?,
             fault_seed: parse_num(rest, "--fault-seed", 7)?,
             gap_policy: parse_num(rest, "--gap-policy", GapPolicy::default())?,
+        }),
+        "serve" => Ok(Command::Serve {
+            listen: value(rest, "--listen")
+                .ok_or("serve requires --listen <addr>")?
+                .to_string(),
+            units: parse_num(rest, "--units", 64)?,
+            shards: parse_num(rest, "--shards", 0)?,
+            queue_cap: parse_num(rest, "--queue-cap", 256)?,
+            snapshot_dir: value(rest, "--snapshot-dir").map(str::to_string),
+            snapshot_every: parse_num(rest, "--snapshot-every", 64)?,
+            resume: value(rest, "--resume").map(str::to_string),
+            backend: parse_backend(rest)?,
+            gap_policy: parse_num(rest, "--gap-policy", GapPolicy::default())?,
+            port_file: value(rest, "--port-file").map(str::to_string),
+        }),
+        "emit" => Ok(Command::Emit {
+            connect: value(rest, "--connect")
+                .ok_or("emit requires --connect <addr>")?
+                .to_string(),
+            data: value(rest, "--data")
+                .ok_or("emit requires --data <path>")?
+                .to_string(),
+            rate: parse_num(rest, "--rate", 0.0)?,
+            window: parse_num(rest, "--window", 32)?,
+            faults: parse_num(rest, "--faults", FaultPreset::None)?,
+            fault_seed: parse_num(rest, "--fault-seed", 7)?,
+            out: value(rest, "--out").map(str::to_string),
+            stop_server: rest.iter().any(|a| a == "--stop-server"),
+        }),
+        "stats" => Ok(Command::Stats {
+            connect: value(rest, "--connect")
+                .ok_or("stats requires --connect <addr>")?
+                .to_string(),
         }),
         "export-csv" => Ok(Command::ExportCsv {
             data: value(rest, "--data")
@@ -328,6 +422,57 @@ mod tests {
                 out: "u.csv".into(),
             }
         );
+    }
+
+    #[test]
+    fn serve_and_emit() {
+        let cmd = parse(&argv(
+            "serve --listen 127.0.0.1:0 --units 8 --shards 2 --queue-cap 16 \
+             --snapshot-dir snaps --snapshot-every 32 --resume snaps --port-file p.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                listen: "127.0.0.1:0".into(),
+                units: 8,
+                shards: 2,
+                queue_cap: 16,
+                snapshot_dir: Some("snaps".into()),
+                snapshot_every: 32,
+                resume: Some("snaps".into()),
+                backend: CorrelationBackend::Incremental,
+                gap_policy: GapPolicy::HoldLast,
+                port_file: Some("p.txt".into()),
+            }
+        );
+        let cmd = parse(&argv(
+            "emit --connect 127.0.0.1:7070 --data ds.json --rate 50 --window 8 \
+             --faults standard --out v.jsonl --stop-server",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Emit {
+                connect: "127.0.0.1:7070".into(),
+                data: "ds.json".into(),
+                rate: 50.0,
+                window: 8,
+                faults: FaultPreset::Standard,
+                fault_seed: 7,
+                out: Some("v.jsonl".into()),
+                stop_server: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv("stats --connect 127.0.0.1:7070")).unwrap(),
+            Command::Stats {
+                connect: "127.0.0.1:7070".into()
+            }
+        );
+        assert!(parse(&argv("serve --units 4")).is_err());
+        assert!(parse(&argv("emit --connect x")).is_err());
+        assert!(parse(&argv("stats")).is_err());
     }
 
     #[test]

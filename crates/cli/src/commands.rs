@@ -6,18 +6,76 @@ use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_eval::metrics::{adjusted_confusion, windowed_any};
 use dbcatcher_eval::methods::train_dbcatcher;
 use dbcatcher_eval::protocol::ProtocolConfig;
+use dbcatcher_serve::server::{DetectionServer, ServeConfig};
+use dbcatcher_serve::{DetectorTemplate, EmitOptions, UnitStream};
 use dbcatcher_sim::faults::{FaultInjector, FaultPreset};
 use dbcatcher_workload::anomaly::AnomalyPlanConfig;
 use dbcatcher_workload::dataset::{Dataset, DatasetSpec, UnitData};
 use dbcatcher_workload::io::{export_unit_csv, load_dataset, save_dataset};
 use dbcatcher_workload::profile::RareEventConfig;
 use std::io::Write;
+use std::path::PathBuf;
+
+/// A typed CLI failure. The long-running daemon records unit-scoped
+/// problems in its metrics (`dbcatcher stats`) instead of surfacing them
+/// here; this type covers the failures that genuinely end a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Filesystem / socket failure, with what the CLI was doing.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Dataset serialisation trouble (load/save/export).
+    Data {
+        /// What was being attempted.
+        context: String,
+        /// The underlying diagnostic.
+        detail: String,
+    },
+    /// The detector rejected its input.
+    Detect(String),
+    /// Wire-client failure talking to a daemon.
+    Client(String),
+    /// Invalid argument values that the parser could not catch.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+            CliError::Data { context, detail } => write!(f, "{context}: {detail}"),
+            CliError::Detect(m) | CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Client(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    fn io(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> Self {
+        let context = context.into();
+        move |source| CliError::Io { context, source }
+    }
+
+    fn data(context: impl Into<String>) -> impl FnOnce(dbcatcher_workload::io::IoError) -> Self {
+        let context = context.into();
+        move |e| CliError::Data {
+            context,
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Executes a parsed command.
 ///
 /// # Errors
-/// A human-readable message on any failure.
-pub fn run(command: Command) -> Result<(), String> {
+/// A typed [`CliError`] on any failure.
+pub fn run(command: Command) -> Result<(), CliError> {
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -48,7 +106,7 @@ pub fn run(command: Command) -> Result<(), String> {
             };
             let dataset = spec.build();
             let stats = dataset.stats();
-            save_dataset(&dataset, &out).map_err(|e| e.to_string())?;
+            save_dataset(&dataset, &out).map_err(CliError::data(format!("write {out}")))?;
             println!(
                 "wrote {out}: {} units x 5 databases x {} KPIs, {} points, {:.2}% anomalous",
                 stats.units,
@@ -68,14 +126,14 @@ pub fn run(command: Command) -> Result<(), String> {
             fault_seed,
             gap_policy,
         } => {
-            let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
+            let dataset = load_dataset(&data).map_err(CliError::data(format!("load {data}")))?;
             let (mut config, test) = prepare(&dataset, learn, train_frac)?;
             config.backend = backend;
             config.ingest.gap_policy = gap_policy;
             let mut sink: Box<dyn Write> = match out {
-                Some(path) => {
-                    Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?)
-                }
+                Some(path) => Box::new(
+                    std::fs::File::create(&path).map_err(CliError::io(format!("create {path}")))?,
+                ),
                 None => Box::new(std::io::stdout()),
             };
             let mut total = 0usize;
@@ -90,19 +148,11 @@ pub fn run(command: Command) -> Result<(), String> {
                     }
                     let report = catcher
                         .try_ingest_tick(&frame)
-                        .map_err(|e| format!("unit {unit_idx} tick {t}: {e}"))?;
+                        .map_err(|e| CliError::Detect(format!("unit {unit_idx} tick {t}: {e}")))?;
                     for v in report.verdicts {
                         if v.state.is_abnormal() {
                             total += 1;
-                            let record = serde_json::json!({
-                                "unit": unit_idx,
-                                "db": v.db,
-                                "start_tick": v.start_tick,
-                                "end_tick": v.end_tick,
-                                "window_size": v.window_size,
-                                "expansions": v.expansions,
-                            });
-                            writeln!(sink, "{record}").map_err(|e| e.to_string())?;
+                            write_verdict_record(&mut sink, unit_idx, &v)?;
                         }
                     }
                 }
@@ -120,7 +170,7 @@ pub fn run(command: Command) -> Result<(), String> {
             fault_seed,
             gap_policy,
         } => {
-            let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
+            let dataset = load_dataset(&data).map_err(CliError::data(format!("load {data}")))?;
             let (mut config, test) = prepare(&dataset, learn, train_frac)?;
             config.backend = backend;
             config.ingest.gap_policy = gap_policy;
@@ -138,7 +188,7 @@ pub fn run(command: Command) -> Result<(), String> {
                     }
                     let report = catcher
                         .try_ingest_tick(&frame)
-                        .map_err(|e| format!("unit {unit_idx} tick {t}: {e}"))?;
+                        .map_err(|e| CliError::Detect(format!("unit {unit_idx} tick {t}: {e}")))?;
                     for v in report.verdicts {
                         if v.state.is_abnormal() {
                             let end = (v.end_tick as usize).min(unit.num_ticks());
@@ -165,13 +215,101 @@ pub fn run(command: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Serve {
+            listen,
+            units,
+            shards,
+            queue_cap,
+            snapshot_dir,
+            snapshot_every,
+            resume,
+            backend,
+            gap_policy,
+            port_file,
+        } => {
+            let config = ServeConfig {
+                max_units: units,
+                shards,
+                queue_cap,
+                snapshot_dir: snapshot_dir.map(PathBuf::from),
+                snapshot_every,
+                resume_dir: resume.map(PathBuf::from),
+                template: DetectorTemplate { backend, gap_policy },
+                ..ServeConfig::default()
+            };
+            let server = DetectionServer::bind(listen.as_str(), config)
+                .map_err(CliError::io(format!("bind {listen}")))?;
+            let addr = server.local_addr();
+            if let Some(path) = port_file {
+                std::fs::write(&path, format!("{addr}\n"))
+                    .map_err(CliError::io(format!("write {path}")))?;
+            }
+            eprintln!("dbcatcher serve: listening on {addr} (units <= {units})");
+            server.run().map_err(CliError::io("serve"))?;
+            eprintln!("dbcatcher serve: clean shutdown");
+            Ok(())
+        }
+        Command::Emit {
+            connect,
+            data,
+            rate,
+            window,
+            faults,
+            fault_seed,
+            out,
+            stop_server,
+        } => {
+            let dataset = load_dataset(&data).map_err(CliError::data(format!("load {data}")))?;
+            let streams = dataset_streams(&dataset, faults, fault_seed);
+            let options = EmitOptions {
+                rate,
+                window,
+                stop_after: stop_server,
+            };
+            let report = dbcatcher_serve::emit(connect.as_str(), streams, &options)
+                .map_err(|e| CliError::Client(e.to_string()))?;
+            let mut sink: Box<dyn Write> = match out {
+                Some(path) => Box::new(
+                    std::fs::File::create(&path).map_err(CliError::io(format!("create {path}")))?,
+                ),
+                None => Box::new(std::io::stdout()),
+            };
+            let mut total = 0usize;
+            for record in report.sorted_verdicts() {
+                if record.verdict.state.is_abnormal() {
+                    total += 1;
+                    write_verdict_record(&mut sink, record.unit, &record.verdict)?;
+                }
+            }
+            for (unit, next_tick) in &report.resumed {
+                eprintln!("unit {unit}: server resumed from snapshot at tick {next_tick}");
+            }
+            for message in &report.errors {
+                eprintln!("server: {message}");
+            }
+            eprintln!(
+                "{} tick(s) accepted, {} backpressure reject(s), {} out-of-order reject(s)",
+                report.ticks_accepted, report.rejects_backpressure, report.rejects_order
+            );
+            eprintln!("{total} abnormal verdict(s)");
+            Ok(())
+        }
+        Command::Stats { connect } => {
+            let snapshot = dbcatcher_serve::fetch_stats(connect.as_str())
+                .map_err(|e| CliError::Client(e.to_string()))?;
+            let json = serde_json::to_string(&snapshot).map_err(|e| CliError::Data {
+                context: "render stats".into(),
+                detail: e.to_string(),
+            })?;
+            println!("{json}");
+            Ok(())
+        }
         Command::ExportCsv { data, unit, out } => {
-            let dataset = load_dataset(&data).map_err(|e| e.to_string())?;
-            let unit_data: &UnitData = dataset
-                .units
-                .get(unit)
-                .ok_or_else(|| format!("unit {unit} of {}", dataset.units.len()))?;
-            export_unit_csv(unit_data, &out).map_err(|e| e.to_string())?;
+            let dataset = load_dataset(&data).map_err(CliError::data(format!("load {data}")))?;
+            let unit_data: &UnitData = dataset.units.get(unit).ok_or_else(|| {
+                CliError::Usage(format!("unit {unit} of {}", dataset.units.len()))
+            })?;
+            export_unit_csv(unit_data, &out).map_err(CliError::data(format!("write {out}")))?;
             println!(
                 "wrote {out}: {} ticks x {} databases x {} KPIs",
                 unit_data.num_ticks(),
@@ -181,6 +319,54 @@ pub fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// Writes one abnormal verdict in the CLI's JSONL format (shared by
+/// `detect` and `emit` so loopback output diffs clean against offline).
+fn write_verdict_record(
+    sink: &mut dyn Write,
+    unit: usize,
+    v: &dbcatcher_core::pipeline::Verdict,
+) -> Result<(), CliError> {
+    let record = serde_json::json!({
+        "unit": unit,
+        "db": v.db,
+        "start_tick": v.start_tick,
+        "end_tick": v.end_tick,
+        "window_size": v.window_size,
+        "expansions": v.expansions,
+    });
+    writeln!(sink, "{record}").map_err(CliError::io("write verdicts"))
+}
+
+/// Converts a dataset into per-unit wire streams, pre-applying collector
+/// faults exactly as the offline path does (same seeds, same order), so a
+/// loopback run sees bit-identical telemetry.
+fn dataset_streams(dataset: &Dataset, faults: FaultPreset, fault_seed: u64) -> Vec<UnitStream> {
+    dataset
+        .units
+        .iter()
+        .enumerate()
+        .map(|(unit_idx, unit)| {
+            let mut injector = unit_injector(faults, fault_seed, unit_idx, unit);
+            let frames = (0..unit.num_ticks())
+                .map(|t| {
+                    let mut frame = unit.tick_matrix(t);
+                    if let Some(inj) = injector.as_mut() {
+                        inj.apply(t as u64, &mut frame);
+                    }
+                    frame
+                })
+                .collect();
+            UnitStream {
+                unit: unit_idx,
+                dbs: unit.num_databases(),
+                kpis: unit.num_kpis(),
+                participation: Some(unit.participation.clone()),
+                frames,
+            }
+        })
+        .collect()
 }
 
 /// Builds the per-unit fault injector for `--faults`, seeded so every
@@ -217,9 +403,11 @@ fn prepare(
     dataset: &Dataset,
     learn: bool,
     train_frac: f64,
-) -> Result<(DbCatcherConfig, Dataset), String> {
+) -> Result<(DbCatcherConfig, Dataset), CliError> {
     if !(0.0..1.0).contains(&train_frac) {
-        return Err(format!("train-frac {train_frac} must lie in [0, 1)"));
+        return Err(CliError::Usage(format!(
+            "train-frac {train_frac} must lie in [0, 1)"
+        )));
     }
     if learn {
         let (train, test) = dataset.split(train_frac);

@@ -5,6 +5,9 @@
 //! dbcatcher detect   --data ds.json --out verdicts.jsonl [--learn]
 //! dbcatcher evaluate --data ds.json [--learn]
 //! dbcatcher export-csv --data ds.json --unit 0 --out unit0.csv
+//! dbcatcher serve    --listen 127.0.0.1:7070 --snapshot-dir snaps
+//! dbcatcher emit     --connect 127.0.0.1:7070 --data ds.json --stop-server
+//! dbcatcher stats    --connect 127.0.0.1:7070
 //! ```
 
 mod args;

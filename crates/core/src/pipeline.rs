@@ -142,6 +142,14 @@ impl DbCatcher {
         self.num_dbs
     }
 
+    /// Next absolute tick the detector expects — equal to the number of
+    /// ticks ingested since creation, and preserved across
+    /// snapshot/restore. Online front-ends use this to resume a stream
+    /// exactly where the detector left off.
+    pub fn next_tick(&self) -> u64 {
+        self.queues.next_tick()
+    }
+
     /// Per-component timing accumulated so far.
     pub fn timing(&self) -> ComponentTiming {
         self.timing

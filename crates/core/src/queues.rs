@@ -189,4 +189,101 @@ mod tests {
         assert_eq!(q.window(0, 0, 1, 1), Some(vec![2.0]));
         assert!(q.window(0, 0, 0, 1).is_none());
     }
+
+    #[test]
+    fn base_tick_stays_zero_until_exactly_capacity() {
+        // The boundary: `capacity` pushes retain everything; push
+        // `capacity + 1` evicts exactly one tick.
+        let cap = 4usize;
+        let mut q = KpiQueues::new(1, 1, cap);
+        for t in 0..cap {
+            q.push(&frame(1, 1, t as f64));
+            assert_eq!(q.base_tick(), 0, "no eviction through tick {t}");
+        }
+        assert_eq!(q.window(0, 0, 0, cap).unwrap(), vec![0.0, 1.0, 2.0, 3.0]);
+        q.push(&frame(1, 1, cap as f64));
+        assert_eq!(q.base_tick(), 1, "one tick past capacity evicts one");
+        assert!(q.window(0, 0, 0, 1).is_none(), "tick 0 evicted");
+        assert_eq!(q.window(0, 0, 1, cap).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn base_tick_advances_one_per_push_once_saturated() {
+        let cap = 3usize;
+        let mut q = KpiQueues::new(2, 2, cap);
+        for t in 0..20u64 {
+            q.push(&frame(2, 2, t as f64));
+            let expected_base = (t + 1).saturating_sub(cap as u64);
+            assert_eq!(q.base_tick(), expected_base, "after push {t}");
+            assert_eq!(q.next_tick(), t + 1);
+            // the retained span is always addressable...
+            assert!(q.window(1, 1, expected_base, q.next_tick() as usize
+                - expected_base as usize).is_some());
+            // ...and one tick before it never is
+            if expected_base > 0 {
+                assert!(q.window(1, 1, expected_base - 1, 1).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn absolute_addressing_survives_long_uptime() {
+        // Online shards address windows by absolute tick after arbitrary
+        // uptime; the mapping through base_tick must stay exact.
+        let cap = 8usize;
+        let mut q = KpiQueues::new(1, 1, cap);
+        let total = 10_000u64;
+        for t in 0..total {
+            q.push(&[vec![t as f64]]);
+        }
+        assert_eq!(q.next_tick(), total);
+        assert_eq!(q.base_tick(), total - cap as u64);
+        // full retained window, exact values
+        let w = q.window(0, 0, total - cap as u64, cap).unwrap();
+        let expect: Vec<f64> = (total - cap as u64..total).map(|t| t as f64).collect();
+        assert_eq!(w, expect);
+        // suffix window straddling nothing evicted
+        assert_eq!(q.window(0, 0, total - 2, 2).unwrap(), vec![
+            (total - 2) as f64,
+            (total - 1) as f64
+        ]);
+        // requests past the head are refused, even by one tick
+        assert!(q.window(0, 0, total - 1, 2).is_none());
+        assert!(q.window_max_abs(0, 0, total - 1, 2).is_none());
+        assert_eq!(
+            q.window_max_abs(0, 0, total - cap as u64, cap),
+            Some((total - 1) as f64)
+        );
+    }
+
+    #[test]
+    fn window_len_zero_at_boundaries() {
+        let mut q = KpiQueues::new(1, 1, 2);
+        for t in 0..5 {
+            q.push(&frame(1, 1, t as f64));
+        }
+        // empty windows are valid wherever their start is retained
+        assert_eq!(q.window(0, 0, q.base_tick(), 0), Some(vec![]));
+        assert_eq!(q.window(0, 0, q.next_tick(), 0), Some(vec![]));
+        assert!(q.window(0, 0, q.base_tick() - 1, 0).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_base_tick() {
+        // Warm restart depends on absolute addressing surviving
+        // snapshot/restore byte-for-byte.
+        let mut q = KpiQueues::new(2, 1, 3);
+        for t in 0..7 {
+            q.push(&frame(2, 1, t as f64));
+        }
+        let json = serde_json::to_string(&q).expect("serialize");
+        let back: KpiQueues = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.base_tick(), q.base_tick());
+        assert_eq!(back.next_tick(), q.next_tick());
+        assert_eq!(back.capacity(), q.capacity());
+        assert_eq!(
+            back.window(1, 0, q.base_tick(), 3),
+            q.window(1, 0, q.base_tick(), 3)
+        );
+    }
 }

@@ -310,7 +310,13 @@ pub fn fit_matrix_method(
             best = Some((mm, f1));
         }
     }
-    best.expect("candidates >= 1").0
+    match best {
+        Some((mm, _)) => mm,
+        // Unreachable by construction (the loop runs at least once), but a
+        // long-running caller should get the paper-default method rather
+        // than a process abort if that ever changes.
+        None => MatrixMethod::new(measure, DbCatcherConfig::default(), flexible),
+    }
 }
 
 /// One Table X row: the ablation label plus per-dataset test F-Measure.

@@ -1,0 +1,476 @@
+//! Client side of the wire protocol: the `dbcatcher emit` engine plus
+//! small helpers (`stats`, `stop`, verdict subscription).
+//!
+//! The emitter is windowed: it keeps at most `window` unacknowledged
+//! ticks in flight per connection, and treats every `Rejected` as a
+//! rewind instruction — the per-unit cursor moves back to the server's
+//! `expected` tick and the stream is resent from there. Because replies
+//! arrive in request order, any already-in-flight later ticks bounce as
+//! out-of-order and converge to the same cursor, so backpressure costs
+//! retries, never correctness.
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{self, ProtocolError, Request, Response, MAX_LINE_BYTES};
+use dbcatcher_core::pipeline::Verdict;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent a line this client cannot decode.
+    Protocol(ProtocolError),
+    /// The server reported an error (`Response::Error`).
+    Server(String),
+    /// The server replied with something the protocol does not allow
+    /// here.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "bad server reply: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected server reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One unit's telemetry to stream: `frames[tick][db][kpi]`, already
+/// fault-injected if the caller wants faults on the wire.
+#[derive(Debug, Clone)]
+pub struct UnitStream {
+    /// Unit id on the server.
+    pub unit: usize,
+    /// Databases in the unit.
+    pub dbs: usize,
+    /// KPIs per database.
+    pub kpis: usize,
+    /// Optional participation mask (`mask[kpi][db]`).
+    pub participation: Option<Vec<Vec<bool>>>,
+    /// The frames, tick-major.
+    pub frames: Vec<Vec<Vec<f64>>>,
+}
+
+/// Emitter knobs.
+#[derive(Debug, Clone)]
+pub struct EmitOptions {
+    /// Ticks per second per unit; `0.0` streams at full speed.
+    pub rate: f64,
+    /// Max unacknowledged ticks in flight on the connection.
+    pub window: usize,
+    /// Stop the daemon after the stream completes.
+    pub stop_after: bool,
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        Self {
+            rate: 0.0,
+            window: 32,
+            stop_after: false,
+        }
+    }
+}
+
+/// One verdict received over the wire.
+#[derive(Debug, Clone)]
+pub struct VerdictRecord {
+    /// Unit id.
+    pub unit: usize,
+    /// Tick whose ingestion resolved the verdict.
+    pub at_tick: u64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// What an emit run did.
+#[derive(Debug, Clone, Default)]
+pub struct EmitReport {
+    /// Ticks accepted by the server.
+    pub ticks_accepted: u64,
+    /// Backpressure rejections (each later resent).
+    pub rejects_backpressure: u64,
+    /// Out-of-order rejections (rewind echoes).
+    pub rejects_order: u64,
+    /// All verdicts received, in arrival order.
+    pub verdicts: Vec<VerdictRecord>,
+    /// `(unit, next_tick)` for units the server resumed from a snapshot.
+    pub resumed: Vec<(usize, u64)>,
+    /// Unit-scoped server errors (degraded units); the stream for such a
+    /// unit stops but the run continues.
+    pub errors: Vec<String>,
+}
+
+impl EmitReport {
+    /// Sorts verdicts into the offline emission order
+    /// `(unit, at_tick, db, start_tick)` so the stream can be diffed
+    /// against `dbcatcher detect` output.
+    pub fn sorted_verdicts(&self) -> Vec<VerdictRecord> {
+        let mut out = self.verdicts.clone();
+        out.sort_by_key(|r| (r.unit, r.at_tick, r.verdict.db, r.verdict.start_tick));
+        out
+    }
+}
+
+/// A line-oriented protocol connection.
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    line: String,
+}
+
+impl Connection {
+    fn open<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            line: String::new(),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let line = protocol::encode(request);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        self.line.clear();
+        let mut taken = (&mut self.reader).take((MAX_LINE_BYTES + 2) as u64);
+        let n = taken.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        protocol::decode_response(&self.line).map_err(ClientError::Protocol)
+    }
+}
+
+/// Per-unit emit progress.
+struct UnitCursor {
+    stream: UnitStream,
+    /// Next frame index to send.
+    next: u64,
+    /// The unit stopped accepting ticks (degraded).
+    dead: bool,
+}
+
+/// Streams every [`UnitStream`] to the daemon and collects the verdicts.
+///
+/// # Errors
+/// Connection-level failures abort; unit-degradation errors are recorded
+/// in the report instead.
+pub fn emit<A: ToSocketAddrs>(
+    addr: A,
+    streams: Vec<UnitStream>,
+    options: &EmitOptions,
+) -> Result<EmitReport, ClientError> {
+    let mut conn = Connection::open(addr)?;
+    let mut report = EmitReport::default();
+    let mut units: Vec<UnitCursor> = Vec::with_capacity(streams.len());
+
+    // Register every unit up front; a warm-restarted server tells us
+    // where to resume.
+    for stream in streams {
+        conn.send(&Request::Hello {
+            unit: stream.unit,
+            dbs: stream.dbs,
+            kpis: stream.kpis,
+            participation: stream.participation.clone(),
+        })?;
+        let next = loop {
+            match conn.recv()? {
+                Response::HelloAck {
+                    unit,
+                    next_tick,
+                    resumed,
+                } => {
+                    if unit != stream.unit {
+                        return Err(ClientError::Unexpected(format!(
+                            "HelloAck for unit {unit}, expected {}",
+                            stream.unit
+                        )));
+                    }
+                    if resumed {
+                        report.resumed.push((unit, next_tick));
+                    }
+                    break next_tick;
+                }
+                Response::Error { message } => return Err(ClientError::Server(message)),
+                Response::Verdict {
+                    unit,
+                    at_tick,
+                    verdict,
+                } => report.verdicts.push(VerdictRecord {
+                    unit,
+                    at_tick,
+                    verdict,
+                }),
+                other => {
+                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                }
+            }
+        };
+        units.push(UnitCursor {
+            stream,
+            next,
+            dead: false,
+        });
+    }
+
+    // Windowed streaming, round-robin across units. `inflight` tracks
+    // ticks sent but not yet acknowledged.
+    let window = options.window.max(1);
+    let mut inflight: VecDeque<usize> = VecDeque::new(); // unit ids, send order
+    let started = Instant::now();
+    let mut sent_rounds = 0u64;
+    loop {
+        let mut progressed = false;
+        for (idx, cursor) in units.iter_mut().enumerate() {
+            if inflight.len() >= window {
+                break;
+            }
+            if cursor.dead || cursor.next >= cursor.stream.frames.len() as u64 {
+                continue;
+            }
+            if options.rate > 0.0 {
+                let due = Duration::from_secs_f64(sent_rounds as f64 / options.rate);
+                let elapsed = started.elapsed();
+                if elapsed < due {
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+            let tick = cursor.next;
+            conn.send(&Request::Tick {
+                unit: cursor.stream.unit,
+                tick,
+                frame: cursor.stream.frames[tick as usize].clone(),
+            })?;
+            cursor.next += 1;
+            inflight.push_back(idx);
+            progressed = true;
+        }
+        if inflight.is_empty() {
+            if !progressed {
+                break; // every unit drained (or dead) and nothing pending
+            }
+            continue;
+        }
+        sent_rounds += 1;
+        // Drain acknowledgements until the window has room again (or
+        // fully, once there is nothing left to send).
+        let all_sent = units
+            .iter()
+            .all(|c| c.dead || c.next >= c.stream.frames.len() as u64);
+        let target = if all_sent { 0 } else { window.saturating_sub(1) };
+        while inflight.len() > target {
+            let idx = *inflight.front().expect("inflight non-empty");
+            match conn.recv()? {
+                Response::Accepted { .. } => {
+                    inflight.pop_front();
+                    report.ticks_accepted += 1;
+                }
+                Response::Rejected {
+                    unit,
+                    expected,
+                    retry_after_ms,
+                    reason,
+                    ..
+                } => {
+                    inflight.pop_front();
+                    let cursor = &mut units[idx];
+                    debug_assert_eq!(cursor.stream.unit, unit);
+                    match reason {
+                        protocol::RejectReason::Backpressure => {
+                            report.rejects_backpressure += 1;
+                            cursor.next = cursor.next.min(expected);
+                            if retry_after_ms > 0 {
+                                std::thread::sleep(Duration::from_millis(retry_after_ms));
+                            }
+                        }
+                        protocol::RejectReason::OutOfOrder => {
+                            report.rejects_order += 1;
+                            cursor.next = cursor.next.min(expected);
+                        }
+                        protocol::RejectReason::Degraded
+                        | protocol::RejectReason::UnknownUnit => {
+                            cursor.dead = true;
+                            report
+                                .errors
+                                .push(format!("unit {unit} rejected: {reason:?}"));
+                        }
+                    }
+                }
+                Response::Verdict {
+                    unit,
+                    at_tick,
+                    verdict,
+                } => {
+                    report.verdicts.push(VerdictRecord {
+                        unit,
+                        at_tick,
+                        verdict,
+                    });
+                }
+                Response::Error { message } => {
+                    // Shard-originated (e.g. the unit degraded). Not an
+                    // acknowledgement — the reader keeps acks in request
+                    // order, so do not consume an inflight slot; the
+                    // unit's next tick bounces as `Degraded` and marks
+                    // the cursor dead.
+                    report.errors.push(message);
+                }
+                other => {
+                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                }
+            }
+        }
+    }
+
+    // Barrier per unit: FlushAck arrives only after every accepted tick
+    // (and its verdicts) has been processed.
+    for cursor in &units {
+        let unit = cursor.stream.unit;
+        if cursor.dead {
+            continue;
+        }
+        conn.send(&Request::Flush { unit })?;
+        loop {
+            match conn.recv()? {
+                Response::FlushAck { unit: acked, .. } if acked == unit => break,
+                Response::Verdict {
+                    unit,
+                    at_tick,
+                    verdict,
+                } => report.verdicts.push(VerdictRecord {
+                    unit,
+                    at_tick,
+                    verdict,
+                }),
+                Response::Error { message } => {
+                    report.errors.push(message);
+                    break;
+                }
+                other => {
+                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                }
+            }
+        }
+    }
+
+    if options.stop_after {
+        conn.send(&Request::Stop)?;
+        // Verdicts cannot arrive past the flush barrier; wait for the ack.
+        loop {
+            match conn.recv() {
+                Ok(Response::Stopping) => break,
+                Ok(Response::Verdict {
+                    unit,
+                    at_tick,
+                    verdict,
+                }) => report.verdicts.push(VerdictRecord {
+                    unit,
+                    at_tick,
+                    verdict,
+                }),
+                Ok(_) => continue,
+                Err(_) => break, // server may close first; stop is done
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Fetches one metrics snapshot.
+///
+/// # Errors
+/// Propagates connection and protocol failures.
+pub fn fetch_stats<A: ToSocketAddrs>(addr: A) -> Result<MetricsSnapshot, ClientError> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Request::Stats)?;
+    match conn.recv()? {
+        Response::Stats(snapshot) => Ok(snapshot),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Unexpected(format!("{other:?}"))),
+    }
+}
+
+/// Asks the daemon to shut down cleanly.
+///
+/// # Errors
+/// Propagates connection and protocol failures.
+pub fn send_stop<A: ToSocketAddrs>(addr: A) -> Result<(), ClientError> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Request::Stop)?;
+    match conn.recv()? {
+        Response::Stopping => Ok(()),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Unexpected(format!("{other:?}"))),
+    }
+}
+
+/// A verdict-stream consumer connection.
+pub struct Subscriber {
+    conn: Connection,
+}
+
+impl Subscriber {
+    /// Connects and switches the connection into subscription mode.
+    ///
+    /// # Errors
+    /// Propagates connection and protocol failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let mut conn = Connection::open(addr)?;
+        conn.send(&Request::Subscribe)?;
+        match conn.recv()? {
+            Response::Subscribed => Ok(Self { conn }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Blocks until the next broadcast verdict (other broadcast messages
+    /// are skipped).
+    ///
+    /// # Errors
+    /// Propagates connection and protocol failures (including EOF when
+    /// the daemon shuts down).
+    pub fn next_verdict(&mut self) -> Result<VerdictRecord, ClientError> {
+        loop {
+            if let Response::Verdict {
+                unit,
+                at_tick,
+                verdict,
+            } = self.conn.recv()?
+            {
+                return Ok(VerdictRecord {
+                    unit,
+                    at_tick,
+                    verdict,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Online detection service for DBCatcher (paper §III-A).
+//!
+//! The paper frames DBCatcher as an *online* system: a monitoring plane
+//! continuously collects KPI frames from cloud-database units and the
+//! detector answers within the collection cycle. This crate supplies that
+//! missing operational shape on top of `dbcatcher-core`:
+//!
+//! - [`server::DetectionServer`] — a std-only TCP daemon (thread-per
+//!   connection, no async runtime) speaking a newline-delimited JSON
+//!   protocol ([`protocol`]), sharding units across worker threads that
+//!   own their [`dbcatcher_core::pipeline::DbCatcher`] state.
+//! - Bounded ingress with explicit backpressure: per-unit in-flight caps
+//!   enforced at the socket reader, rejects carrying `retry_after_ms` and
+//!   the expected tick so producers rewind instead of buffering.
+//! - Fault containment via the PR 2 hardened ingest layer: malformed
+//!   frames degrade one unit (visible in [`metrics`]), never a shard.
+//! - Warm restart: periodic [`dbcatcher_core::snapshot`] persistence and
+//!   `--resume`, with `HelloAck{next_tick}` telling producers where to
+//!   pick the stream back up.
+//! - [`client`] — the `dbcatcher emit` engine (windowed, rewind-on-
+//!   reject), plus `stats` / `stop` / subscription helpers.
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+mod shard;
+
+pub use client::{emit, fetch_stats, send_stop, EmitOptions, EmitReport, Subscriber, UnitStream};
+pub use metrics::{MetricsSnapshot, ServerMetrics, UnitMetrics};
+pub use protocol::{Request, Response};
+pub use server::{DetectionServer, ServeConfig, ServerHandle};
+pub use shard::DetectorTemplate;

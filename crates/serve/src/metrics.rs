@@ -1,0 +1,297 @@
+//! Live observability for the daemon.
+//!
+//! [`ServerMetrics`] is the single shared sink every layer reports into:
+//! the connection readers count accepts/rejects at enqueue time, the shard
+//! workers count ticks, verdicts, wall-clock and snapshot failures, and a
+//! `Stats` request renders the whole thing as one serialisable
+//! [`MetricsSnapshot`]. Errors that would have aborted the offline CLI
+//! (snapshot I/O, degraded detectors) are *recorded here* instead of
+//! killing the process — the daemon degrades and tells you about it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-unit counters, accumulated since daemon start (or warm restart).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UnitMetrics {
+    /// Unit id.
+    pub unit: usize,
+    /// Shard worker that owns the unit.
+    pub shard: usize,
+    /// Ticks ingested by the detector.
+    pub ticks: u64,
+    /// Ticks rejected because the ingress queue was full.
+    pub rejected_backpressure: u64,
+    /// Ticks rejected because they were out of order.
+    pub rejected_order: u64,
+    /// Healthy verdicts emitted.
+    pub verdicts_healthy: u64,
+    /// Abnormal verdicts emitted.
+    pub verdicts_abnormal: u64,
+    /// Ticks currently sitting in the ingress queue.
+    pub queue_depth: usize,
+    /// Databases currently demoted to non-voting by telemetry health.
+    pub demoted_dbs: Vec<usize>,
+    /// Whether the unit's detector rejected a frame and stopped.
+    pub degraded: bool,
+    /// Mean detector wall-clock per tick, in nanoseconds.
+    pub ns_per_tick: u64,
+    /// Snapshot persistence failures (the daemon keeps running).
+    pub snapshot_errors: u64,
+    /// Most recent error recorded for the unit, if any.
+    pub last_error: Option<String>,
+}
+
+/// One `Stats` reply: the full state of the daemon.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-unit metrics, ascending by unit id.
+    pub units: Vec<UnitMetrics>,
+    /// Shard worker threads.
+    pub shards: usize,
+    /// Connected verdict-stream subscribers.
+    pub subscribers: usize,
+    /// Sum of `ticks` over all units.
+    pub total_ticks: u64,
+    /// Sum of both reject counters over all units.
+    pub total_rejects: u64,
+    /// Sum of both verdict counters over all units.
+    pub total_verdicts: u64,
+}
+
+/// Internal mutable per-unit state behind the metrics lock.
+#[derive(Debug, Default)]
+struct UnitCounters {
+    shard: usize,
+    ticks: u64,
+    rejected_backpressure: u64,
+    rejected_order: u64,
+    verdicts_healthy: u64,
+    verdicts_abnormal: u64,
+    demoted_dbs: Vec<usize>,
+    degraded: bool,
+    detector_nanos: u128,
+    snapshot_errors: u64,
+    last_error: Option<String>,
+}
+
+/// The shared metrics sink. Cheap to clone the handle (`Arc` it at the
+/// server level); every method takes `&self`.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    units: Mutex<BTreeMap<usize, UnitCounters>>,
+    /// Per-unit in-flight tick counts (`unit id` indexed), shared with the
+    /// connection readers for bounded-ingress accounting.
+    inflight: Vec<AtomicUsize>,
+    shards: usize,
+}
+
+impl ServerMetrics {
+    /// A sink for up to `max_units` units over `shards` workers.
+    pub fn new(max_units: usize, shards: usize) -> Self {
+        Self {
+            units: Mutex::new(BTreeMap::new()),
+            inflight: (0..max_units).map(|_| AtomicUsize::new(0)).collect(),
+            shards,
+        }
+    }
+
+    fn with_unit<R>(&self, unit: usize, f: impl FnOnce(&mut UnitCounters) -> R) -> R {
+        let mut map = self.units.lock().expect("metrics lock poisoned");
+        f(map.entry(unit).or_default())
+    }
+
+    /// Records the shard assignment when a unit registers.
+    pub fn register_unit(&self, unit: usize, shard: usize) {
+        self.with_unit(unit, |u| u.shard = shard);
+    }
+
+    /// Current in-flight count for a unit.
+    pub fn queue_depth(&self, unit: usize) -> usize {
+        self.inflight
+            .get(unit)
+            .map(|c| c.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Reserves one ingress slot if the unit is below `cap`. Returns
+    /// whether the reservation succeeded (reader side of backpressure).
+    pub fn try_reserve_slot(&self, unit: usize, cap: usize) -> bool {
+        let Some(counter) = self.inflight.get(unit) else {
+            return false;
+        };
+        let mut current = counter.load(Ordering::Acquire);
+        loop {
+            if current >= cap {
+                return false;
+            }
+            match counter.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Releases one ingress slot (shard side, after processing; also the
+    /// reader side when a reserved send fails).
+    pub fn release_slot(&self, unit: usize) {
+        if let Some(counter) = self.inflight.get(unit) {
+            counter.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Counts one rejected tick.
+    pub fn record_reject(&self, unit: usize, backpressure: bool) {
+        self.with_unit(unit, |u| {
+            if backpressure {
+                u.rejected_backpressure += 1;
+            } else {
+                u.rejected_order += 1;
+            }
+        });
+    }
+
+    /// Counts one ingested tick and its detector wall clock.
+    pub fn record_tick(&self, unit: usize, nanos: u128) {
+        self.with_unit(unit, |u| {
+            u.ticks += 1;
+            u.detector_nanos += nanos;
+        });
+    }
+
+    /// Counts verdicts by level.
+    pub fn record_verdicts(&self, unit: usize, healthy: u64, abnormal: u64) {
+        self.with_unit(unit, |u| {
+            u.verdicts_healthy += healthy;
+            u.verdicts_abnormal += abnormal;
+        });
+    }
+
+    /// Updates the unit's demoted-database list.
+    pub fn record_demoted(&self, unit: usize, demoted: Vec<usize>) {
+        self.with_unit(unit, |u| u.demoted_dbs = demoted);
+    }
+
+    /// Marks the unit degraded and records the error.
+    pub fn record_degraded(&self, unit: usize, error: String) {
+        self.with_unit(unit, |u| {
+            u.degraded = true;
+            u.last_error = Some(error);
+        });
+    }
+
+    /// Counts one snapshot persistence failure.
+    pub fn record_snapshot_error(&self, unit: usize, error: String) {
+        self.with_unit(unit, |u| {
+            u.snapshot_errors += 1;
+            u.last_error = Some(error);
+        });
+    }
+
+    /// Records a non-fatal unit-scoped error without degrading the unit.
+    pub fn record_error(&self, unit: usize, error: String) {
+        self.with_unit(unit, |u| u.last_error = Some(error));
+    }
+
+    /// Renders the full snapshot.
+    pub fn snapshot(&self, subscribers: usize) -> MetricsSnapshot {
+        let map = self.units.lock().expect("metrics lock poisoned");
+        let mut units = Vec::with_capacity(map.len());
+        let (mut ticks, mut rejects, mut verdicts) = (0u64, 0u64, 0u64);
+        for (&unit, c) in map.iter() {
+            ticks += c.ticks;
+            rejects += c.rejected_backpressure + c.rejected_order;
+            verdicts += c.verdicts_healthy + c.verdicts_abnormal;
+            units.push(UnitMetrics {
+                unit,
+                shard: c.shard,
+                ticks: c.ticks,
+                rejected_backpressure: c.rejected_backpressure,
+                rejected_order: c.rejected_order,
+                verdicts_healthy: c.verdicts_healthy,
+                verdicts_abnormal: c.verdicts_abnormal,
+                queue_depth: self.queue_depth(unit),
+                demoted_dbs: c.demoted_dbs.clone(),
+                degraded: c.degraded,
+                ns_per_tick: if c.ticks == 0 {
+                    0
+                } else {
+                    (c.detector_nanos / u128::from(c.ticks)) as u64
+                },
+                snapshot_errors: c.snapshot_errors,
+                last_error: c.last_error.clone(),
+            });
+        }
+        MetricsSnapshot {
+            units,
+            shards: self.shards,
+            subscribers,
+            total_ticks: ticks,
+            total_rejects: rejects,
+            total_verdicts: verdicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_reservation_enforces_cap() {
+        let m = ServerMetrics::new(2, 1);
+        assert!(m.try_reserve_slot(0, 2));
+        assert!(m.try_reserve_slot(0, 2));
+        assert!(!m.try_reserve_slot(0, 2), "third reservation must fail");
+        assert_eq!(m.queue_depth(0), 2);
+        m.release_slot(0);
+        assert!(m.try_reserve_slot(0, 2));
+        // out-of-range units never reserve
+        assert!(!m.try_reserve_slot(7, 2));
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = ServerMetrics::new(4, 2);
+        m.register_unit(1, 1);
+        m.record_tick(1, 500);
+        m.record_tick(1, 1500);
+        m.record_verdicts(1, 3, 1);
+        m.record_reject(1, true);
+        m.record_reject(1, false);
+        m.record_demoted(1, vec![2]);
+        m.record_snapshot_error(1, "disk full".into());
+        let snap = m.snapshot(3);
+        assert_eq!(snap.subscribers, 3);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.total_ticks, 2);
+        assert_eq!(snap.total_rejects, 2);
+        assert_eq!(snap.total_verdicts, 4);
+        let u = &snap.units[0];
+        assert_eq!(u.unit, 1);
+        assert_eq!(u.shard, 1);
+        assert_eq!(u.ns_per_tick, 1000);
+        assert_eq!(u.demoted_dbs, vec![2]);
+        assert_eq!(u.snapshot_errors, 1);
+        assert_eq!(u.last_error.as_deref(), Some("disk full"));
+        assert!(!u.degraded);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips() {
+        let m = ServerMetrics::new(2, 1);
+        m.record_tick(0, 42);
+        m.record_degraded(0, "bad frame".into());
+        let snap = m.snapshot(0);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,470 @@
+//! The detection daemon: accept loop, connection plumbing, backpressure.
+//!
+//! Threading model (std-only — no async runtime in the workspace):
+//!
+//! ```text
+//! accept loop ──spawns──▶ per-connection reader ──jobs──▶ shard workers
+//!                              │      ▲                        │
+//!                              │      └── registry (expected   │
+//!                              ▼          tick, degraded)      ▼
+//!                         outbound channel ◀── verdicts / acks ┘
+//!                              │
+//!                              ▼
+//!                         per-connection writer
+//! ```
+//!
+//! The reader makes every accept/reject decision *synchronously* at
+//! enqueue time — slot reservation against the per-unit in-flight cap,
+//! expected-tick check against the shared [`Registry`] — so the client
+//! sees `Accepted`/`Rejected` in request order and ingress memory is
+//! bounded by `max_units x queue_cap` frames no matter how fast
+//! producers push. Shard workers only ever see ticks that were accepted.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, Request, Response, MAX_LINE_BYTES};
+use crate::shard::{DetectorTemplate, Job, Registry, ShardContext, ShardPool};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long blocked socket reads wait before re-checking the shutdown
+/// flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Highest unit id accepted is `max_units - 1`.
+    pub max_units: usize,
+    /// Shard worker threads; `0` picks `min(parallelism, max_units)`.
+    pub shards: usize,
+    /// Per-unit bounded ingress queue depth (ticks in flight).
+    pub queue_cap: usize,
+    /// Directory for periodic detector snapshots (warm restart), if any.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Snapshot every N ingested ticks per unit.
+    pub snapshot_every: u64,
+    /// Directory to restore unit snapshots from at `Hello` time.
+    pub resume_dir: Option<PathBuf>,
+    /// Detector configuration applied to every unit.
+    pub template: DetectorTemplate,
+    /// Retry hint attached to backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Artificial per-tick shard delay (backpressure/load testing only).
+    pub slow_tick: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_units: 64,
+            shards: 0,
+            queue_cap: 256,
+            snapshot_dir: None,
+            snapshot_every: 64,
+            resume_dir: None,
+            template: DetectorTemplate::default(),
+            retry_after_ms: 20,
+            slow_tick: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_shards(&self) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2);
+        let requested = if self.shards == 0 { auto } else { self.shards };
+        requested.clamp(1, self.max_units.max(1))
+    }
+}
+
+/// A clonable remote control for a running server: lets another thread
+/// (or a signal handler) stop the accept loop.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a clean shutdown: queued ticks drain, final snapshots are
+    /// written, `run` returns.
+    pub fn stop(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// The online detection daemon. `bind` then `run`; `run` blocks until a
+/// `Stop` request arrives or [`ServerHandle::stop`] is called.
+pub struct DetectionServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl DetectionServer {
+    /// Binds the listener. Use port `0` for an ephemeral port and read it
+    /// back via [`Self::local_addr`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            addr,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control valid for the lifetime of the process.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Runs the daemon to completion (clean shutdown).
+    ///
+    /// # Errors
+    /// Propagates accept-loop socket errors other than transient ones.
+    pub fn run(self) -> std::io::Result<()> {
+        let config = self.config;
+        let shards = config.effective_shards();
+        let metrics = Arc::new(ServerMetrics::new(config.max_units, shards));
+        let registry = Arc::new(Registry::new(config.max_units));
+        let subscribers: Arc<Mutex<Vec<Sender<Response>>>> = Arc::new(Mutex::new(Vec::new()));
+        let pool = Arc::new(ShardPool::spawn(
+            shards,
+            config.max_units,
+            config.queue_cap,
+            |shard| ShardContext {
+                shard,
+                template: config.template.clone(),
+                snapshot_dir: config.snapshot_dir.clone(),
+                snapshot_every: config.snapshot_every,
+                resume_dir: config.resume_dir.clone(),
+                metrics: Arc::clone(&metrics),
+                registry: Arc::clone(&registry),
+                subscribers: Arc::clone(&subscribers),
+                slow_tick: config.slow_tick,
+            },
+        ));
+        let handle = ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        };
+        let mut readers = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    // Tear down cleanly before surfacing the error.
+                    pool.stop();
+                    return Err(e);
+                }
+            };
+            let ctx = ConnContext {
+                pool: Arc::clone(&pool),
+                metrics: Arc::clone(&metrics),
+                registry: Arc::clone(&registry),
+                subscribers: Arc::clone(&subscribers),
+                handle: handle.clone(),
+                queue_cap: config.queue_cap,
+                retry_after_ms: config.retry_after_ms,
+            };
+            readers.push(
+                std::thread::Builder::new()
+                    .name("dbcatcher-conn".into())
+                    .spawn(move || handle_connection(stream, ctx))
+                    .expect("spawn connection reader"),
+            );
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // Drain accepted ticks, write final snapshots, join workers.
+        pool.stop();
+        // Drop subscriber senders so their writer threads exit.
+        subscribers.lock().expect("subscriber lock poisoned").clear();
+        Ok(())
+    }
+}
+
+/// Everything a connection reader needs.
+struct ConnContext {
+    pool: Arc<ShardPool>,
+    metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    subscribers: Arc<Mutex<Vec<Sender<Response>>>>,
+    handle: ServerHandle,
+    queue_cap: usize,
+    retry_after_ms: u64,
+}
+
+fn handle_connection(stream: TcpStream, ctx: ConnContext) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<Response>();
+    // Writer thread: serialises every outbound message (reader acks and
+    // shard verdicts alike) onto the socket. Exits when all senders drop
+    // or the peer goes away.
+    std::thread::Builder::new()
+        .name("dbcatcher-conn-writer".into())
+        .spawn(move || {
+            let mut writer = BufWriter::new(write_half);
+            while let Ok(response) = rx.recv() {
+                let line = protocol::encode(&response);
+                if writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        if ctx.handle.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue; // partial data stays in `buf`; re-check shutdown
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        let complete = buf.last() == Some(&b'\n');
+        if discarding {
+            // Skipping the remainder of an oversized line.
+            buf.clear();
+            discarding = !complete;
+            continue;
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let _ = tx.send(Response::Error {
+                message: protocol::ProtocolError::Oversized {
+                    max: MAX_LINE_BYTES,
+                }
+                .to_string(),
+            });
+            buf.clear();
+            discarding = !complete;
+            continue;
+        }
+        if !complete {
+            continue; // timeout mid-line; keep accumulating
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        buf.clear();
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::decode_request(&line) {
+            Ok(request) => {
+                let stop = matches!(request, Request::Stop);
+                dispatch(request, &tx, &ctx);
+                if stop {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Malformed input never reaches a shard; the connection
+                // survives.
+                let _ = tx.send(Response::Error {
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
+    match request {
+        Request::Hello {
+            unit,
+            dbs,
+            kpis,
+            participation,
+        } => {
+            if ctx.registry.with_entry(unit, |_| ()).is_none() {
+                let _ = tx.send(Response::Error {
+                    message: format!("unit {unit} out of range (daemon ran with fewer --units)"),
+                });
+                return;
+            }
+            ctx.pool.send(
+                unit,
+                Job::Hello {
+                    unit,
+                    dbs,
+                    kpis,
+                    participation,
+                    reply: tx.clone(),
+                },
+            );
+        }
+        Request::Tick { unit, tick, frame } => handle_tick_request(unit, tick, frame, tx, ctx),
+        Request::Flush { unit } => {
+            let registered = ctx
+                .registry
+                .with_entry(unit, |entry| entry.registered)
+                .unwrap_or(false);
+            if registered {
+                ctx.pool.send(unit, Job::Flush {
+                    unit,
+                    reply: tx.clone(),
+                });
+            } else {
+                let _ = tx.send(Response::Error {
+                    message: format!("flush for unregistered unit {unit}"),
+                });
+            }
+        }
+        Request::Subscribe => {
+            ctx.subscribers
+                .lock()
+                .expect("subscriber lock poisoned")
+                .push(tx.clone());
+            let _ = tx.send(Response::Subscribed);
+        }
+        Request::Stats => {
+            let subscriber_count = ctx
+                .subscribers
+                .lock()
+                .expect("subscriber lock poisoned")
+                .len();
+            let _ = tx.send(Response::Stats(ctx.metrics.snapshot(subscriber_count)));
+        }
+        Request::Stop => {
+            let _ = tx.send(Response::Stopping);
+            ctx.handle.stop();
+        }
+    }
+}
+
+fn handle_tick_request(
+    unit: usize,
+    tick: u64,
+    frame: Vec<Vec<f64>>,
+    tx: &Sender<Response>,
+    ctx: &ConnContext,
+) {
+    use crate::protocol::RejectReason;
+    // The whole accept decision happens under the unit's registry entry,
+    // so concurrent producers for one unit cannot double-accept a tick.
+    let mut job = Some(Job::Tick {
+        unit,
+        tick,
+        frame,
+        reply: tx.clone(),
+    });
+    let decision = ctx.registry.with_entry(unit, |entry| {
+        if !entry.registered {
+            return Response::Rejected {
+                unit,
+                tick,
+                expected: 0,
+                retry_after_ms: 0,
+                reason: RejectReason::UnknownUnit,
+            };
+        }
+        if entry.degraded {
+            return Response::Rejected {
+                unit,
+                tick,
+                expected: entry.expected,
+                retry_after_ms: 0,
+                reason: RejectReason::Degraded,
+            };
+        }
+        if tick != entry.expected {
+            ctx.metrics.record_reject(unit, false);
+            return Response::Rejected {
+                unit,
+                tick,
+                expected: entry.expected,
+                retry_after_ms: 0,
+                reason: RejectReason::OutOfOrder,
+            };
+        }
+        if !ctx.metrics.try_reserve_slot(unit, ctx.queue_cap) {
+            ctx.metrics.record_reject(unit, true);
+            return Response::Rejected {
+                unit,
+                tick,
+                expected: entry.expected,
+                retry_after_ms: ctx.retry_after_ms,
+                reason: RejectReason::Backpressure,
+            };
+        }
+        match ctx
+            .pool
+            .try_send_tick(unit, job.take().expect("job taken once"))
+        {
+            Ok(()) => {
+                entry.expected += 1;
+                Response::Accepted { unit, tick }
+            }
+            Err(_) => {
+                // Shard channel full: release the reservation and report
+                // backpressure just like a full unit queue.
+                ctx.metrics.release_slot(unit);
+                ctx.metrics.record_reject(unit, true);
+                Response::Rejected {
+                    unit,
+                    tick,
+                    expected: entry.expected,
+                    retry_after_ms: ctx.retry_after_ms,
+                    reason: RejectReason::Backpressure,
+                }
+            }
+        }
+    });
+    let _ = tx.send(decision.unwrap_or(Response::Rejected {
+        unit,
+        tick,
+        expected: 0,
+        retry_after_ms: 0,
+        reason: RejectReason::UnknownUnit,
+    }));
+}

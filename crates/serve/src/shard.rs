@@ -1,0 +1,444 @@
+//! Shard workers: the threads that own detector state.
+//!
+//! Units are independent (paper §IV-D4), so the daemon shards them across
+//! long-lived workers by `unit % shards` — the same partitioning as
+//! [`dbcatcher_core::fleet::FleetDetector`], but fed from bounded network
+//! ingress queues instead of a lock-step `ingest_tick` fan-out. Each
+//! worker owns the [`DbCatcher`] pipelines of its units; nothing else ever
+//! touches them, so no detector state is shared or locked.
+//!
+//! Failure containment mirrors the fleet: a frame the hardened ingest
+//! layer rejects degrades *that unit* (recorded in metrics, subsequent
+//! ticks rejected at the reader), never the worker. Snapshot persistence
+//! failures are counted and reported in `Stats`, not fatal.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::Response;
+use dbcatcher_core::config::{CorrelationBackend, DbCatcherConfig};
+use dbcatcher_core::ingest::GapPolicy;
+use dbcatcher_core::pipeline::DbCatcher;
+use dbcatcher_core::snapshot::DetectorSnapshot;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reader-visible state of one unit slot, updated by shard workers on
+/// registration/degradation and by connection readers on every accepted
+/// tick. The reader consults it synchronously, so accept/reject replies
+/// are ordered with the request stream.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UnitEntry {
+    /// A `Hello` has created the detector.
+    pub registered: bool,
+    /// Next absolute tick the unit accepts.
+    pub expected: u64,
+    /// The detector rejected a frame; the unit no longer accepts ticks.
+    pub degraded: bool,
+}
+
+/// Shared unit table, sized to the server's `max_units`.
+#[derive(Debug)]
+pub(crate) struct Registry {
+    entries: Mutex<Vec<UnitEntry>>,
+}
+
+impl Registry {
+    pub fn new(max_units: usize) -> Self {
+        Self {
+            entries: Mutex::new(vec![UnitEntry::default(); max_units]),
+        }
+    }
+
+    pub fn with_entry<R>(&self, unit: usize, f: impl FnOnce(&mut UnitEntry) -> R) -> Option<R> {
+        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        entries.get_mut(unit).map(f)
+    }
+}
+
+/// Work items routed to a shard. Every tick job carries the origin
+/// connection's outbound sender so verdicts stream back to the producer.
+pub(crate) enum Job {
+    Hello {
+        unit: usize,
+        dbs: usize,
+        kpis: usize,
+        participation: Option<Vec<Vec<bool>>>,
+        reply: Sender<Response>,
+    },
+    Tick {
+        unit: usize,
+        tick: u64,
+        frame: Vec<Vec<f64>>,
+        reply: Sender<Response>,
+    },
+    Flush {
+        unit: usize,
+        reply: Sender<Response>,
+    },
+    Stop,
+}
+
+/// Detector-configuration template applied to every unit the daemon
+/// creates (the per-unit KPI count comes from `Hello`).
+#[derive(Debug, Clone, Default)]
+pub struct DetectorTemplate {
+    /// Correlation engine.
+    pub backend: CorrelationBackend,
+    /// Gap-repair policy of the ingest layer.
+    pub gap_policy: GapPolicy,
+}
+
+impl DetectorTemplate {
+    fn config(&self, kpis: usize) -> DbCatcherConfig {
+        let mut config = DbCatcherConfig::with_kpis(kpis);
+        config.backend = self.backend;
+        config.ingest.gap_policy = self.gap_policy;
+        config
+    }
+}
+
+/// Knobs a shard worker needs beyond its job queue.
+pub(crate) struct ShardContext {
+    pub shard: usize,
+    pub template: DetectorTemplate,
+    pub snapshot_dir: Option<PathBuf>,
+    pub snapshot_every: u64,
+    pub resume_dir: Option<PathBuf>,
+    pub metrics: Arc<ServerMetrics>,
+    pub registry: Arc<Registry>,
+    pub subscribers: Arc<Mutex<Vec<Sender<Response>>>>,
+    /// Artificial per-tick delay — a load-testing / backpressure-test
+    /// hook, never set by the CLI defaults.
+    pub slow_tick: Option<Duration>,
+}
+
+/// One unit's state inside a worker.
+struct UnitSlot {
+    catcher: DbCatcher,
+    resumed: bool,
+    degraded: bool,
+    ticks: u64,
+    verdicts: u64,
+}
+
+/// The worker pool: `shards` threads, each with a bounded job queue.
+/// Shared behind an `Arc` by every connection; [`Self::stop`] is called
+/// once by the accept loop after all readers have exited.
+pub(crate) struct ShardPool {
+    senders: Vec<SyncSender<Job>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ShardPool {
+    /// Spawns the pool. Each shard's channel is sized so that readers
+    /// honouring the per-unit ingress cap never block on `try_send`.
+    pub fn spawn(
+        shards: usize,
+        max_units: usize,
+        queue_cap: usize,
+        make_context: impl Fn(usize) -> ShardContext,
+    ) -> Self {
+        let units_per_shard = max_units.div_ceil(shards);
+        let channel_cap = units_per_shard * queue_cap + 8;
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<Job>(channel_cap);
+            let context = make_context(shard);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dbcatcher-shard-{shard}"))
+                    .spawn(move || run_worker(context, rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Which shard owns a unit.
+    pub fn shard_of(&self, unit: usize) -> usize {
+        unit % self.senders.len()
+    }
+
+    /// Enqueues a job for a unit's shard, blocking until there is room
+    /// (used for control jobs; ticks go through [`Self::try_send_tick`]).
+    pub fn send(&self, unit: usize, job: Job) {
+        let _ = self.senders[self.shard_of(unit)].send(job);
+    }
+
+    /// Enqueues a tick without blocking. `Err` means the shard queue is
+    /// full — backpressure at the shard level.
+    pub fn try_send_tick(&self, unit: usize, job: Job) -> Result<(), Box<Job>> {
+        match self.senders[self.shard_of(unit)].try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                Err(Box::new(job))
+            }
+        }
+    }
+
+    /// Stops and joins every worker. Queued jobs are drained first, so a
+    /// clean stop never discards accepted ticks. Idempotent.
+    pub fn stop(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(Job::Stop);
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("shard handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn snapshot_path(dir: &Path, unit: usize) -> PathBuf {
+    dir.join(format!("unit_{unit}.json"))
+}
+
+/// Writes the unit snapshot atomically (tmp + rename), so a crash mid-write
+/// never corrupts the resume state.
+fn persist_snapshot(dir: &Path, unit: usize, catcher: &DbCatcher) -> Result<(), String> {
+    let json = catcher
+        .snapshot()
+        .to_json()
+        .map_err(|e| format!("serialize snapshot: {e}"))?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let tmp = dir.join(format!("unit_{unit}.json.tmp"));
+    std::fs::write(&tmp, json).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    let path = snapshot_path(dir, unit);
+    std::fs::rename(&tmp, &path).map_err(|e| format!("rename to {}: {e}", path.display()))
+}
+
+/// Attempts a warm restore; `None` (fresh start) when no snapshot exists
+/// or it mismatches the declared unit shape.
+fn try_resume(
+    dir: &Path,
+    unit: usize,
+    dbs: usize,
+    kpis: usize,
+    metrics: &ServerMetrics,
+) -> Option<DbCatcher> {
+    let path = snapshot_path(dir, unit);
+    let json = std::fs::read_to_string(&path).ok()?;
+    let snapshot = match DetectorSnapshot::from_json(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            metrics.record_error(unit, format!("unreadable snapshot {}: {e}", path.display()));
+            return None;
+        }
+    };
+    let consistent = snapshot.num_dbs == dbs
+        && snapshot.config.num_kpis == kpis
+        && snapshot.trackers.len() == snapshot.num_dbs
+        && snapshot.config.validate().is_ok();
+    if !consistent {
+        metrics.record_error(
+            unit,
+            format!("snapshot {} mismatches Hello({dbs} dbs, {kpis} kpis)", path.display()),
+        );
+        return None;
+    }
+    Some(DbCatcher::restore(snapshot))
+}
+
+fn fan_out(
+    response: &Response,
+    reply: &Sender<Response>,
+    subscribers: &Mutex<Vec<Sender<Response>>>,
+) {
+    let _ = reply.send(response.clone());
+    let mut subs = subscribers.lock().expect("subscriber lock poisoned");
+    subs.retain(|s| s.send(response.clone()).is_ok());
+}
+
+fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
+    let mut slots: HashMap<usize, UnitSlot> = HashMap::new();
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Hello { unit, dbs, kpis, participation, reply } => {
+                handle_hello(&ctx, &mut slots, unit, dbs, kpis, participation, &reply);
+            }
+            Job::Tick { unit, tick, frame, reply } => {
+                handle_tick(&ctx, &mut slots, unit, tick, frame, &reply);
+                ctx.metrics.release_slot(unit);
+            }
+            Job::Flush { unit, reply } => {
+                let response = match slots.get(&unit) {
+                    Some(slot) => Response::FlushAck {
+                        unit,
+                        ticks_ingested: slot.ticks,
+                        verdicts: slot.verdicts,
+                    },
+                    None => Response::Error {
+                        message: format!("flush for unregistered unit {unit}"),
+                    },
+                };
+                let _ = reply.send(response);
+            }
+            Job::Stop => break,
+        }
+    }
+    // Final snapshots on clean shutdown: the daemon restarts warm even
+    // when the last periodic snapshot is stale.
+    if let Some(dir) = &ctx.snapshot_dir {
+        for (unit, slot) in &slots {
+            if slot.ticks > 0 {
+                if let Err(e) = persist_snapshot(dir, *unit, &slot.catcher) {
+                    ctx.metrics.record_snapshot_error(*unit, e);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_hello(
+    ctx: &ShardContext,
+    slots: &mut HashMap<usize, UnitSlot>,
+    unit: usize,
+    dbs: usize,
+    kpis: usize,
+    participation: Option<Vec<Vec<bool>>>,
+    reply: &Sender<Response>,
+) {
+    if let Some(slot) = slots.get(&unit) {
+        // Re-attach (e.g. a producer reconnecting): the state stands.
+        let _ = reply.send(Response::HelloAck {
+            unit,
+            next_tick: slot.catcher.next_tick(),
+            resumed: slot.resumed,
+        });
+        return;
+    }
+    if let Some(mask) = &participation {
+        let arity_ok = mask.len() == kpis && mask.iter().all(|row| row.len() == dbs);
+        if !arity_ok {
+            let _ = reply.send(Response::Error {
+                message: format!("participation mask mismatches {kpis} KPIs x {dbs} databases"),
+            });
+            return;
+        }
+    }
+    let (catcher, resumed) = match ctx
+        .resume_dir
+        .as_deref()
+        .and_then(|dir| try_resume(dir, unit, dbs, kpis, &ctx.metrics))
+    {
+        Some(catcher) => (catcher, true),
+        None => {
+            let config = ctx.template.config(kpis);
+            match DbCatcher::try_new(config, dbs) {
+                Ok(mut c) => {
+                    if let Some(mask) = participation {
+                        c = c.with_participation(mask);
+                    }
+                    (c, false)
+                }
+                Err(e) => {
+                    let _ = reply.send(Response::Error {
+                        message: format!("cannot create detector for unit {unit}: {e}"),
+                    });
+                    return;
+                }
+            }
+        }
+    };
+    let next_tick = catcher.next_tick();
+    ctx.metrics.register_unit(unit, ctx.shard);
+    ctx.registry.with_entry(unit, |entry| {
+        entry.registered = true;
+        entry.expected = next_tick;
+        entry.degraded = false;
+    });
+    slots.insert(
+        unit,
+        UnitSlot {
+            catcher,
+            resumed,
+            degraded: false,
+            ticks: 0,
+            verdicts: 0,
+        },
+    );
+    let _ = reply.send(Response::HelloAck {
+        unit,
+        next_tick,
+        resumed,
+    });
+}
+
+fn handle_tick(
+    ctx: &ShardContext,
+    slots: &mut HashMap<usize, UnitSlot>,
+    unit: usize,
+    tick: u64,
+    frame: Vec<Vec<f64>>,
+    reply: &Sender<Response>,
+) {
+    let Some(slot) = slots.get_mut(&unit) else {
+        let _ = reply.send(Response::Error {
+            message: format!("tick for unregistered unit {unit}"),
+        });
+        return;
+    };
+    if slot.degraded {
+        return; // reader already rejects; drain anything in flight
+    }
+    if let Some(pause) = ctx.slow_tick {
+        std::thread::sleep(pause);
+    }
+    let started = Instant::now();
+    match slot.catcher.try_ingest_tick(&frame) {
+        Ok(report) => {
+            ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
+            slot.ticks += 1;
+            if !report.demoted.is_empty() || !report.readmitted.is_empty() {
+                ctx.metrics.record_demoted(unit, slot.catcher.non_voting());
+            }
+            let (mut healthy, mut abnormal) = (0u64, 0u64);
+            for verdict in report.verdicts {
+                if verdict.state.is_abnormal() {
+                    abnormal += 1;
+                } else {
+                    healthy += 1;
+                }
+                fan_out(
+                    &Response::Verdict {
+                        unit,
+                        at_tick: tick,
+                        verdict,
+                    },
+                    reply,
+                    &ctx.subscribers,
+                );
+            }
+            slot.verdicts += healthy + abnormal;
+            if healthy + abnormal > 0 {
+                ctx.metrics.record_verdicts(unit, healthy, abnormal);
+            }
+            if let Some(dir) = &ctx.snapshot_dir {
+                let every = ctx.snapshot_every.max(1);
+                if slot.catcher.next_tick() % every == 0 {
+                    if let Err(e) = persist_snapshot(dir, unit, &slot.catcher) {
+                        ctx.metrics.record_snapshot_error(unit, e);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            slot.degraded = true;
+            ctx.registry.with_entry(unit, |entry| entry.degraded = true);
+            ctx.metrics
+                .record_degraded(unit, format!("tick {tick}: {e}"));
+            let _ = reply.send(Response::Error {
+                message: format!("unit {unit} degraded at tick {tick}: {e}"),
+            });
+        }
+    }
+}

@@ -10,12 +10,20 @@
 //!
 //! * `DBCATCHER_BENCH_FAST=1` — smoke mode: tiny warm-up/measurement
 //!   windows so CI can execute every bench in seconds;
+//! * `DBCATCHER_BENCH_JSON=<path>` — additionally write every result as
+//!   machine-readable JSON (`{"results": [{"label", "ns_per_iter"}…]}`)
+//!   to `<path>` when the bench binary finishes;
 //! * a first CLI argument (as `cargo bench -- <filter>`) filters
 //!   benchmarks by substring.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results accumulated for `DBCATCHER_BENCH_JSON`, flushed by
+/// [`__flush_json_report`] from `criterion_main!`.
+static JSON_RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 fn fast_mode() -> bool {
     std::env::var("DBCATCHER_BENCH_FAST").is_ok_and(|v| v == "1")
@@ -155,6 +163,9 @@ impl Criterion {
             1e9 / nanos as f64
         };
         println!("bench: {label:<60} {nanos:>12} ns/iter ({per_sec:>14.1} iter/s)");
+        if let Ok(mut results) = JSON_RESULTS.lock() {
+            results.push((label.to_string(), nanos));
+        }
     }
 
     /// Opens a named benchmark group.
@@ -183,6 +194,42 @@ pub fn __new_criterion() -> Criterion {
     }
 }
 
+/// Writes the accumulated results to `DBCATCHER_BENCH_JSON` (no-op when
+/// the variable is unset). Called by `criterion_main!` after all groups.
+#[doc(hidden)]
+pub fn __flush_json_report() {
+    let Ok(path) = std::env::var("DBCATCHER_BENCH_JSON") else {
+        return;
+    };
+    let results = match JSON_RESULTS.lock() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut out = String::from("{\"results\":[");
+    for (i, (label, nanos)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Labels are bench identifiers (no quotes/control chars), but
+        // escape defensively so the file always parses.
+        let escaped: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if c.is_control() => " ".chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"label\":\"{escaped}\",\"ns_per_iter\":{nanos}}}"
+        ));
+    }
+    out.push_str("]}");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: cannot write bench report {path}: {e}");
+    }
+}
+
 /// Declares a benchmark group function list (criterion compatibility).
 #[macro_export]
 macro_rules! criterion_group {
@@ -200,6 +247,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::__flush_json_report();
         }
     };
 }

@@ -21,6 +21,8 @@
 //! * [`baselines`] — the five compared detectors plus correlation and
 //!   threshold-search baselines.
 //! * [`eval`] — metrics, splits, search harnesses and experiment drivers.
+//! * [`serve`] — the online detection daemon: a TCP wire protocol, sharded
+//!   ingestion with backpressure, live metrics and warm restart.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use dbcatcher_baselines as baselines;
 pub use dbcatcher_core as core;
 pub use dbcatcher_eval as eval;
 pub use dbcatcher_nn as nn;
+pub use dbcatcher_serve as serve;
 pub use dbcatcher_signal as signal;
 pub use dbcatcher_sim as sim;
 pub use dbcatcher_workload as workload;

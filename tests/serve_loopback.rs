@@ -1,0 +1,382 @@
+//! End-to-end tests of the online daemon: loopback equality with the
+//! offline detector, warm restart, backpressure under burst, fault
+//! containment, and the subscriber stream.
+
+use dbcatcher::core::config::DbCatcherConfig;
+use dbcatcher::core::pipeline::{DbCatcher, Verdict};
+use dbcatcher::serve::client::VerdictRecord;
+use dbcatcher::serve::server::{DetectionServer, ServeConfig, ServerHandle};
+use dbcatcher::serve::{emit, fetch_stats, EmitOptions, Subscriber, UnitStream};
+use dbcatcher::workload::scenario::UnitScenario;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const TICKS: usize = 260;
+
+/// One scenario unit's stream, truncated for test speed.
+struct UnitFixture {
+    frames: Vec<Vec<Vec<f64>>>,
+    participation: Vec<Vec<bool>>,
+    dbs: usize,
+    kpis: usize,
+}
+
+fn unit_frames(seed: u64) -> UnitFixture {
+    let data = UnitScenario::quickstart(seed).generate();
+    let frames: Vec<_> = (0..TICKS.min(data.num_ticks()))
+        .map(|t| data.tick_matrix(t))
+        .collect();
+    let (dbs, kpis) = (data.num_databases(), data.num_kpis());
+    UnitFixture {
+        frames,
+        participation: data.participation,
+        dbs,
+        kpis,
+    }
+}
+
+/// The offline reference: the same frames through a local `DbCatcher`,
+/// with each verdict stamped by the tick whose ingestion resolved it.
+fn offline_verdicts(
+    frames: &[Vec<Vec<f64>>],
+    participation: &[Vec<bool>],
+    dbs: usize,
+) -> Vec<(u64, Verdict)> {
+    let mut catcher = DbCatcher::new(DbCatcherConfig::default(), dbs)
+        .with_participation(participation.to_vec());
+    let mut out = Vec::new();
+    for (t, frame) in frames.iter().enumerate() {
+        let report = catcher.try_ingest_tick(frame).expect("clean frames ingest");
+        out.extend(report.verdicts.into_iter().map(|v| (t as u64, v)));
+    }
+    out
+}
+
+/// A fully comparable image of a verdict. Scores are compared by bit
+/// pattern with every NaN collapsed to one sentinel — `NaN != NaN` would
+/// otherwise make identical streams compare unequal (non-participating
+/// KPIs legitimately score NaN).
+type VerdictKey = (usize, u64, usize, u64, u64, String, usize, u32, Vec<u64>);
+
+fn verdict_key(unit: usize, at_tick: u64, v: &Verdict) -> VerdictKey {
+    (
+        unit,
+        at_tick,
+        v.db,
+        v.start_tick,
+        v.end_tick,
+        format!("{:?}", v.state),
+        v.window_size,
+        v.expansions,
+        v.scores
+            .iter()
+            .map(|s| if s.is_nan() { u64::MAX } else { s.to_bits() })
+            .collect(),
+    )
+}
+
+fn sorted_records(records: &[VerdictRecord]) -> Vec<VerdictKey> {
+    let mut out: Vec<_> = records
+        .iter()
+        .map(|r| verdict_key(r.unit, r.at_tick, &r.verdict))
+        .collect();
+    out.sort();
+    out
+}
+
+fn sorted_expected(expected: &[(u64, Verdict)]) -> Vec<VerdictKey> {
+    let mut out: Vec<_> = expected
+        .iter()
+        .map(|(t, v)| verdict_key(0, *t, v))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Spawns a daemon on an ephemeral port; returns its address, handle and
+/// the join handle of the serving thread.
+fn spawn_server(config: ServeConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = DetectionServer::bind("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbcatcher_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn loopback_verdicts_match_offline() {
+    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(7);
+    let expected = offline_verdicts(&frames, &participation, dbs);
+    assert!(!expected.is_empty(), "scenario must produce verdicts");
+
+    let (addr, handle, join) = spawn_server(ServeConfig::default());
+    let report = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs,
+            kpis,
+            participation: Some(participation),
+            frames: frames.clone(),
+        }],
+        &EmitOptions::default(),
+    )
+    .expect("emit");
+    handle.stop();
+    join.join().expect("server thread");
+
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.ticks_accepted, frames.len() as u64);
+    assert_eq!(
+        sorted_records(&report.verdicts),
+        sorted_expected(&expected),
+        "online verdict stream must equal offline"
+    );
+}
+
+#[test]
+fn warm_restart_resumes_with_at_most_one_tick_lost() {
+    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(21);
+    let expected = offline_verdicts(&frames, &participation, dbs);
+    let snaps = scratch_dir("serve_restart");
+    let split = frames.len() / 2;
+
+    // First run: stream the first half, then stop (final snapshot on
+    // clean shutdown persists the exact stream position).
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(snaps.clone()),
+        snapshot_every: 16,
+        ..ServeConfig::default()
+    });
+    let first = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs,
+            kpis,
+            participation: Some(participation.clone()),
+            frames: frames[..split].to_vec(),
+        }],
+        &EmitOptions::default(),
+    )
+    .expect("first emit");
+    handle.stop();
+    join.join().expect("server thread");
+    assert_eq!(first.ticks_accepted, split as u64);
+
+    // Second run: resume from the snapshot directory and offer the FULL
+    // stream; `HelloAck{next_tick}` makes the client skip what the
+    // snapshot already holds.
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        resume_dir: Some(snaps.clone()),
+        ..ServeConfig::default()
+    });
+    let second = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs,
+            kpis,
+            participation: Some(participation),
+            frames: frames.clone(),
+        }],
+        &EmitOptions::default(),
+    )
+    .expect("second emit");
+    handle.stop();
+    join.join().expect("server thread");
+
+    let resumed_from = second
+        .resumed
+        .first()
+        .map(|(_, next)| *next)
+        .expect("server must resume unit 0 from snapshot");
+    // Clean shutdown snapshots every accepted tick; at most one in-flight
+    // tick per unit may be lost by a harsher kill.
+    assert!(
+        resumed_from + 1 >= split as u64,
+        "resume point {resumed_from} lost more than one of {split} ticks"
+    );
+
+    // Verdict union must equal the offline stream (boundary verdicts may
+    // arrive in both runs; dedup by identity).
+    let mut got = sorted_records(&first.verdicts);
+    got.extend(sorted_records(&second.verdicts));
+    got.sort();
+    got.dedup();
+    assert_eq!(
+        got,
+        sorted_expected(&expected),
+        "resumed stream must reconstruct offline verdicts"
+    );
+
+    let _ = std::fs::remove_dir_all(&snaps);
+}
+
+#[test]
+fn burst_hits_backpressure_and_stays_bounded() {
+    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(3);
+    let expected = offline_verdicts(&frames, &participation, dbs);
+
+    // Tiny ingress queue + artificially slow shard: a full-speed burst
+    // with a window larger than the queue must trip backpressure.
+    let queue_cap = 4usize;
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        queue_cap,
+        shards: 1,
+        slow_tick: Some(Duration::from_millis(2)),
+        ..ServeConfig::default()
+    });
+    let report = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs,
+            kpis,
+            participation: Some(participation),
+            frames: frames.clone(),
+        }],
+        &EmitOptions {
+            window: 4 * queue_cap,
+            ..EmitOptions::default()
+        },
+    )
+    .expect("emit under burst");
+
+    assert!(
+        report.rejects_backpressure > 0,
+        "burst must observe backpressure"
+    );
+    // Rejections are retried, never lost: the stream still completes and
+    // matches offline exactly.
+    assert_eq!(report.ticks_accepted, frames.len() as u64);
+    assert_eq!(sorted_records(&report.verdicts), sorted_expected(&expected));
+
+    // Backpressure is observable in stats, and queues drained afterwards.
+    let stats = fetch_stats(addr).expect("stats");
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert_eq!(
+        unit.rejected_backpressure, report.rejects_backpressure,
+        "server-side reject count must match the client's"
+    );
+    assert_eq!(unit.queue_depth, 0, "ingress queue must drain");
+    assert!(!unit.degraded);
+    assert_eq!(stats.total_ticks, frames.len() as u64);
+
+    handle.stop();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn malformed_lines_and_nan_bursts_degrade_gracefully() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(5);
+    // Offline reference with the same NaN burst: db 1 goes silent (NaN)
+    // from tick 40 on, long enough for TelemetryHealth to demote it.
+    let mut poisoned = frames.clone();
+    for frame in poisoned.iter_mut().skip(40) {
+        for value in frame[1].iter_mut() {
+            *value = f64::NAN;
+        }
+    }
+    let mut reference = DbCatcher::new(DbCatcherConfig::default(), dbs)
+        .with_participation(participation.clone());
+    for frame in &poisoned {
+        reference.try_ingest_tick(frame).expect("repairable frames");
+    }
+    let expected_demoted = reference.non_voting();
+    assert!(
+        expected_demoted.contains(&1),
+        "reference must demote the silent database"
+    );
+
+    let (addr, handle, join) = spawn_server(ServeConfig::default());
+
+    // Hostile connection first: garbage, truncated JSON and an oversized
+    // line must each produce an Error reply and leave the daemon healthy.
+    let mut hostile = std::net::TcpStream::connect(addr).expect("connect");
+    let mut replies = BufReader::new(hostile.try_clone().expect("clone"));
+    for bad in [
+        "not json at all\n".to_string(),
+        "{\"Tick\":{\"unit\":0\n".to_string(),
+        format!("{}\n", "x".repeat(2 * 1024 * 1024)),
+    ] {
+        hostile.write_all(bad.as_bytes()).expect("write");
+        hostile.flush().expect("flush");
+        let mut line = String::new();
+        replies.read_line(&mut line).expect("reply");
+        assert!(
+            line.contains("Error"),
+            "hostile line must get an Error reply, got {line:?}"
+        );
+    }
+    drop(replies);
+    drop(hostile);
+
+    // The daemon still serves: stream the poisoned unit and compare.
+    let report = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs,
+            kpis,
+            participation: Some(participation),
+            frames: poisoned,
+        }],
+        &EmitOptions::default(),
+    )
+    .expect("emit after hostile connection");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    let stats = fetch_stats(addr).expect("stats");
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert_eq!(
+        unit.demoted_dbs, expected_demoted,
+        "NaN burst must demote via TelemetryHealth exactly as offline"
+    );
+    assert!(!unit.degraded, "repairable faults must not degrade the unit");
+
+    handle.stop();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn subscriber_receives_the_verdict_stream() {
+    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(9);
+    let expected = offline_verdicts(&frames, &participation, dbs);
+
+    let (addr, handle, join) = spawn_server(ServeConfig::default());
+    let mut subscriber = Subscriber::connect(addr).expect("subscribe");
+    let report = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs,
+            kpis,
+            participation: Some(participation),
+            frames,
+        }],
+        &EmitOptions::default(),
+    )
+    .expect("emit");
+    assert_eq!(report.verdicts.len(), expected.len());
+
+    // The subscriber sees every verdict the producer saw.
+    let mut seen = Vec::new();
+    for _ in 0..expected.len() {
+        seen.push(subscriber.next_verdict().expect("broadcast verdict"));
+    }
+    assert_eq!(sorted_records(&seen), sorted_records(&report.verdicts));
+
+    handle.stop();
+    join.join().expect("server thread");
+}
