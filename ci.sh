@@ -18,11 +18,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> kcd bench smoke (DBCATCHER_BENCH_FAST=1) -> BENCH_kcd.json"
 BENCH_RAW="$(mktemp)"
+BENCH_ALLOCS="$(mktemp)"
+BENCH_BASELINE="$(mktemp)"
+# the committed artifact is the regression baseline for this run
+cp BENCH_kcd.json "$BENCH_BASELINE"
 DBCATCHER_BENCH_FAST=1 DBCATCHER_BENCH_JSON="$BENCH_RAW" \
+  DBCATCHER_BENCH_ALLOCS="$BENCH_ALLOCS" \
   cargo bench -p dbcatcher-bench --bench kcd -- kcd_backends
 DBCATCHER_BENCH_FAST=1 cargo run -q --release -p dbcatcher-bench --bin bench_report -- \
-  "$BENCH_RAW" BENCH_kcd.json
-rm -f "$BENCH_RAW"
+  "$BENCH_RAW" BENCH_kcd.json --allocs "$BENCH_ALLOCS" --baseline "$BENCH_BASELINE"
+rm -f "$BENCH_RAW" "$BENCH_ALLOCS" "$BENCH_BASELINE"
 test -s BENCH_kcd.json || { echo "BENCH_kcd.json missing or empty"; exit 1; }
 
 echo "==> serve loopback smoke (ephemeral port, 200 ticks)"

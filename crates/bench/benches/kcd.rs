@@ -1,12 +1,58 @@
 //! Criterion bench: the KCD correlation measurement (the 70 % component
 //! of §IV-D4) against Pearson and DTW, plus the lag-scan ablation.
+//!
+//! Besides wall clock, the binary audits the heap: a counting global
+//! allocator tallies allocations per steady-state tick for each backend
+//! and, when `DBCATCHER_BENCH_ALLOCS=<path>` is set, writes them as JSON
+//! for `bench_report` to merge into `BENCH_kcd.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbcatcher_baselines::correlation::{dtw_score, pearson_score};
 use dbcatcher_core::kcd::kcd;
 use dbcatcher_core::kcd_incremental::IncrementalCorrelator;
 use dbcatcher_core::queues::KpiQueues;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// (window k, lag scan m, databases d) spanning the deployment ranges;
+/// (300, 5, 16) is the speedup acceptance point.
+const CONFIGS: &[(usize, usize, usize)] = &[
+    (30, 0, 4),
+    (30, 3, 4),
+    (60, 3, 8),
+    (120, 5, 8),
+    (120, 0, 8),
+    (300, 5, 16),
+];
 
 fn series(n: usize, phase: f64) -> Vec<f64> {
     // deterministic noise keeps any lag from reaching exactly 1.0, so the
@@ -47,17 +93,7 @@ fn bench_kcd(c: &mut Criterion) {
 /// exactly the per-KPI work `aggregated_scores` does at judgement time.
 fn bench_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("kcd_backends");
-    // (window k, lag scan m, databases d) spanning the deployment ranges;
-    // (120, 5, 8) is the speedup acceptance point.
-    let configs: &[(usize, usize, usize)] = &[
-        (30, 0, 4),
-        (30, 3, 4),
-        (60, 3, 8),
-        (120, 5, 8),
-        (120, 0, 8),
-        (300, 5, 16),
-    ];
-    for &(k, m, d) in configs {
+    for &(k, m, d) in CONFIGS {
         let data: Vec<Vec<f64>> = (0..d).map(|db| series(4 * k, db as f64 * 1.7)).collect();
         let frame_at = |t: usize| -> Vec<Vec<f64>> {
             data.iter().map(|s| vec![s[t % s.len()]]).collect()
@@ -78,9 +114,9 @@ fn bench_backends(c: &mut Criterion) {
                 let mut acc = 0.0;
                 for i in 0..d {
                     for j in (i + 1)..d {
-                        let x = queues.window(i, 0, start, k).expect("window");
-                        let y = queues.window(j, 0, start, k).expect("window");
-                        acc += kcd(black_box(&x), black_box(&y), m);
+                        let x = queues.window_slice(i, 0, start, k).expect("window");
+                        let y = queues.window_slice(j, 0, start, k).expect("window");
+                        acc += kcd(black_box(x), black_box(y), m);
                     }
                 }
                 black_box(acc)
@@ -111,5 +147,89 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kcd, bench_backends);
+/// Heap audit: allocations per steady-state tick for both backends, one
+/// row per config, written to `DBCATCHER_BENCH_ALLOCS`. Frames are built
+/// ahead of the measured span so only push + scoring are counted —
+/// mirroring the timing loops above exactly.
+fn audit_allocs(_c: &mut Criterion) {
+    let Ok(path) = std::env::var("DBCATCHER_BENCH_ALLOCS") else {
+        return;
+    };
+    const MEASURE: usize = 64;
+    let mut rows: Vec<serde::Value> = Vec::new();
+    for &(k, m, d) in CONFIGS {
+        let data: Vec<Vec<f64>> = (0..d).map(|db| series(4 * k, db as f64 * 1.7)).collect();
+        let total = 3 * k + MEASURE;
+        let frames: Vec<Vec<Vec<f64>>> = (0..total)
+            .map(|t| data.iter().map(|s| vec![s[t % s.len()]]).collect())
+            .collect();
+        let label = format!("k{k}_m{m}_d{d}");
+
+        let naive_tick = |queues: &mut KpiQueues, frame: &[Vec<f64>]| -> f64 {
+            queues.push(frame);
+            let start = queues.next_tick() - k as u64;
+            let mut acc = 0.0;
+            for i in 0..d {
+                for j in (i + 1)..d {
+                    let x = queues.window_slice(i, 0, start, k).expect("window");
+                    let y = queues.window_slice(j, 0, start, k).expect("window");
+                    acc += kcd(black_box(x), black_box(y), m);
+                }
+            }
+            acc
+        };
+        let mut queues = KpiQueues::new(d, 1, 2 * k);
+        for frame in &frames[..k] {
+            queues.push(frame);
+        }
+        for frame in &frames[k..3 * k] {
+            black_box(naive_tick(&mut queues, frame));
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for frame in &frames[3 * k..] {
+            black_box(naive_tick(&mut queues, frame));
+        }
+        let naive_allocs =
+            (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / MEASURE as f64;
+
+        let incremental_tick = |engine: &mut IncrementalCorrelator, frame: &[Vec<f64>]| -> f64 {
+            engine.push(frame);
+            let start = engine.next_tick() - k as u64;
+            let mut acc = 0.0;
+            for i in 0..d {
+                for j in (i + 1)..d {
+                    acc += engine.pair_score(i, j, 0, black_box(start), k, m);
+                }
+            }
+            acc
+        };
+        let mut engine = IncrementalCorrelator::new(d, 1, 2 * k);
+        for frame in &frames[..k] {
+            engine.push(frame);
+        }
+        for frame in &frames[k..3 * k] {
+            black_box(incremental_tick(&mut engine, frame));
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for frame in &frames[3 * k..] {
+            black_box(incremental_tick(&mut engine, frame));
+        }
+        let incremental_allocs =
+            (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / MEASURE as f64;
+
+        rows.push(serde_json::json!({
+            "config": label,
+            "naive_allocs_per_tick": naive_allocs,
+            "incremental_allocs_per_tick": incremental_allocs,
+        }));
+        println!(
+            "allocs/tick {label}: naive {naive_allocs:.1}, incremental {incremental_allocs:.1}"
+        );
+    }
+    let report = serde_json::json!({ "allocs": rows });
+    let json = serde_json::to_string(&report).expect("render alloc report");
+    std::fs::write(&path, format!("{json}\n")).expect("write alloc report");
+}
+
+criterion_group!(benches, bench_kcd, bench_backends, audit_allocs);
 criterion_main!(benches);

@@ -3,9 +3,19 @@
 //! per-config naive/incremental ns-per-tick plus median speedup, so CI
 //! runs can be compared across PRs.
 //!
-//! Usage: `bench-report <raw-results.json> <BENCH_kcd.json>`
+//! Usage:
+//! `bench-report <raw-results.json> <BENCH_kcd.json>
+//!     [--allocs <allocs.json>] [--baseline <old-BENCH_kcd.json>]`
+//!
+//! * `--allocs` merges the bench binary's `DBCATCHER_BENCH_ALLOCS` heap
+//!   audit (allocations per steady-state tick) into each config row;
+//! * `--baseline` is the CI regression gate: the run fails when the new
+//!   median incremental ns/tick exceeds the baseline's by more than 25 %.
 
 use serde::Value;
+
+/// Maximum tolerated slowdown of median incremental ns/tick vs baseline.
+const REGRESSION_LIMIT: f64 = 1.25;
 
 fn median(mut xs: Vec<f64>) -> f64 {
     if xs.is_empty() {
@@ -20,7 +30,63 @@ fn median(mut xs: Vec<f64>) -> f64 {
     }
 }
 
-fn run(raw_path: &str, out_path: &str) -> Result<(), String> {
+/// Loads the `{"allocs": [{config, *_allocs_per_tick}…]}` side channel
+/// written by the bench binary's heap audit.
+fn load_allocs(path: &str) -> Result<Vec<(String, f64, f64)>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value: Value = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    let rows = value
+        .get("allocs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no `allocs` array"))?;
+    let mut out = Vec::new();
+    for row in rows {
+        let Some(Value::Str(config)) = row.get("config") else {
+            continue;
+        };
+        let get = |name: &str| row.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+        out.push((
+            config.clone(),
+            get("naive_allocs_per_tick"),
+            get("incremental_allocs_per_tick"),
+        ));
+    }
+    Ok(out)
+}
+
+/// The CI regression gate: compares the freshly-measured median
+/// incremental ns/tick against a previous `BENCH_kcd.json`.
+fn check_baseline(path: &str, new_median: f64) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value: Value = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    let old_median = value
+        .get("median_incremental_ns_per_tick")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{path}: no median_incremental_ns_per_tick"))?;
+    if old_median <= 0.0 {
+        println!("baseline median is {old_median}; skipping regression gate");
+        return Ok(());
+    }
+    let ratio = new_median / old_median;
+    println!(
+        "regression gate: median incremental {new_median:.0} ns/tick vs baseline \
+         {old_median:.0} ns/tick ({ratio:.2}x, limit {REGRESSION_LIMIT:.2}x)"
+    );
+    if ratio > REGRESSION_LIMIT {
+        return Err(format!(
+            "median incremental ns/tick regressed {ratio:.2}x over the baseline \
+             (limit {REGRESSION_LIMIT:.2}x)"
+        ));
+    }
+    Ok(())
+}
+
+fn run(
+    raw_path: &str,
+    out_path: &str,
+    allocs_path: Option<&str>,
+    baseline_path: Option<&str>,
+) -> Result<(), String> {
     let raw = std::fs::read_to_string(raw_path).map_err(|e| format!("read {raw_path}: {e}"))?;
     let value: Value =
         serde_json::from_str(&raw).map_err(|e| format!("parse {raw_path}: {e}"))?;
@@ -64,12 +130,17 @@ fn run(raw_path: &str, out_path: &str) -> Result<(), String> {
         return Err(format!("{raw_path}: no kcd_backends results"));
     }
 
+    let allocs = match allocs_path {
+        Some(path) => load_allocs(path)?,
+        None => Vec::new(),
+    };
+
     let mut rows = Vec::new();
     let mut naive_all = Vec::new();
     let mut incremental_all = Vec::new();
     let mut speedups = Vec::new();
     for (config, naive, incremental) in &configs {
-        let row = serde_json::json!({
+        let mut row = serde_json::json!({
             "config": config,
             "naive_ns_per_tick": naive.unwrap_or(0.0),
             "incremental_ns_per_tick": incremental.unwrap_or(0.0),
@@ -78,6 +149,20 @@ fn run(raw_path: &str, out_path: &str) -> Result<(), String> {
                 _ => 0.0,
             },
         });
+        if let Some((_, naive_allocs, incr_allocs)) =
+            allocs.iter().find(|(c, _, _)| c == config)
+        {
+            if let Value::Object(fields) = &mut row {
+                fields.push((
+                    "naive_allocs_per_tick".to_string(),
+                    Value::F64(*naive_allocs),
+                ));
+                fields.push((
+                    "incremental_allocs_per_tick".to_string(),
+                    Value::F64(*incr_allocs),
+                ));
+            }
+        }
         if let Some(n) = naive {
             naive_all.push(*n);
         }
@@ -93,31 +178,67 @@ fn run(raw_path: &str, out_path: &str) -> Result<(), String> {
     }
 
     let fast = std::env::var("DBCATCHER_BENCH_FAST").is_ok_and(|v| v == "1");
+    let median_incremental = median(incremental_all);
     let report = serde_json::json!({
         "bench": "kcd_backends",
         "mode": if fast { "fast" } else { "full" },
         "unit": "ns_per_tick (one detector tick: push + all-pairs window scores)",
         "configs": rows,
         "median_naive_ns_per_tick": median(naive_all),
-        "median_incremental_ns_per_tick": median(incremental_all),
+        "median_incremental_ns_per_tick": median_incremental,
         "median_speedup": median(speedups),
     });
     let json = serde_json::to_string(&report).map_err(|e| format!("render report: {e}"))?;
     std::fs::write(out_path, format!("{json}\n")).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path} ({} config(s))", configs.len());
+
+    if let Some(path) = baseline_path {
+        check_baseline(path, median_incremental)?;
+    }
     Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-report <raw-results.json> <BENCH_kcd.json> \
+         [--allocs <allocs.json>] [--baseline <old-BENCH_kcd.json>]"
+    );
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (raw, out) = match args.as_slice() {
-        [raw, out] => (raw.as_str(), out.as_str()),
-        _ => {
-            eprintln!("usage: bench-report <raw-results.json> <BENCH_kcd.json>");
-            std::process::exit(2);
+    let mut positional = Vec::new();
+    let mut allocs = None;
+    let mut baseline = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--allocs" => {
+                allocs = args.get(i + 1).cloned();
+                if allocs.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = args.get(i + 1).cloned();
+                if baseline.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => usage(),
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
         }
+    }
+    let [raw, out] = positional.as_slice() else {
+        usage();
     };
-    if let Err(message) = run(raw, out) {
+    if let Err(message) = run(raw, out, allocs.as_deref(), baseline.as_deref()) {
         eprintln!("error: {message}");
         std::process::exit(1);
     }

@@ -28,8 +28,9 @@ pub struct FleetVerdict {
 }
 
 enum Job {
-    /// One tick's frames for this worker's units: `(unit index, frame)`.
-    Tick(Vec<(usize, Vec<Vec<f64>>)>),
+    /// One tick's frames for the whole fleet (`frames[unit][db][kpi]`),
+    /// shared across workers; each worker indexes only the units it owns.
+    Tick(Arc<Vec<Vec<Vec<f64>>>>),
     Stop,
     /// Test hook: sleep without replying, simulating a wedged worker.
     #[cfg(test)]
@@ -147,16 +148,12 @@ impl FleetDetector {
                             Job::Tick(frames) => {
                                 let mut verdicts = Vec::new();
                                 let mut degraded = Vec::new();
-                                for (unit, frame) in frames {
+                                for (unit, catcher) in owned.iter_mut() {
+                                    let unit = *unit;
                                     if dead_units.contains(&unit) {
                                         continue;
                                     }
-                                    let catcher = owned
-                                        .iter_mut()
-                                        .find(|(u, _)| *u == unit)
-                                        .map(|(_, c)| c)
-                                        .expect("frame routed to owning worker");
-                                    match catcher.try_ingest_tick(&frame) {
+                                    match catcher.try_ingest_tick(&frames[unit]) {
                                         Ok(report) => {
                                             verdicts.extend(
                                                 report
@@ -244,18 +241,14 @@ impl FleetDetector {
     /// Panics when `frames.len()` mismatches the fleet size.
     pub fn ingest_tick(&mut self, frames: &[Vec<Vec<f64>>]) -> Vec<FleetVerdict> {
         assert_eq!(frames.len(), self.num_units, "fleet frame arity mismatch");
-        // fan out
+        // fan out: one deep copy of the tick, shared by every worker
+        let shared = Arc::new(frames.to_vec());
         let mut sent = vec![false; self.workers.len()];
         for (w, worker) in self.workers.iter().enumerate() {
             if !worker.alive {
                 continue;
             }
-            let batch: Vec<(usize, Vec<Vec<f64>>)> = worker
-                .units
-                .iter()
-                .map(|&u| (u, frames[u].clone()))
-                .collect();
-            sent[w] = worker.jobs.send(Job::Tick(batch)).is_ok();
+            sent[w] = worker.jobs.send(Job::Tick(Arc::clone(&shared))).is_ok();
         }
         // gather
         let mut verdicts = Vec::new();

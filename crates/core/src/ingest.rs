@@ -247,10 +247,27 @@ impl TelemetryHealth {
         retention: usize,
     ) -> (Vec<Vec<f64>>, TickHealth) {
         let mut out = Vec::with_capacity(frame.len());
+        let summary = self.observe_into(frame, tick, cfg, retention, &mut out);
+        (out, summary)
+    }
+
+    /// [`Self::observe`] writing the sanitized frame into a reusable
+    /// staging buffer instead of allocating one — `out` is reshaped to the
+    /// frame (rows keep their capacity across ticks), so a warmed-up
+    /// caller pays zero allocations on a clean tick.
+    pub fn observe_into(
+        &mut self,
+        frame: &[Vec<f64>],
+        tick: u64,
+        cfg: &IngestConfig,
+        retention: usize,
+        out: &mut Vec<Vec<f64>>,
+    ) -> TickHealth {
+        out.resize_with(frame.len(), Vec::new);
         let mut summary = TickHealth::default();
-        for (db, kpis) in frame.iter().enumerate() {
+        for ((db, kpis), row) in frame.iter().enumerate().zip(out.iter_mut()) {
             let mut db_bad = false;
-            let mut row = Vec::with_capacity(kpis.len());
+            row.clear();
             for (kpi, &raw) in kpis.iter().enumerate() {
                 let i = self.idx(db, kpi);
                 let s = &mut self.sensors[i];
@@ -313,7 +330,6 @@ impl TelemetryHealth {
                 }
                 row.push(value);
             }
-            out.push(row);
 
             // sliding badness window + voting state
             let ring = &mut self.recent_bad[db];
@@ -347,7 +363,7 @@ impl TelemetryHealth {
                 }
             }
         }
-        (out, summary)
+        summary
     }
 
     /// Whether database `db` currently votes in correlation matrices and

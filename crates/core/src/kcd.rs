@@ -39,6 +39,12 @@ pub(crate) fn centered_correlation(xs: &[f64], ys: &[f64]) -> f64 {
         nx += dx * dx;
         ny += dy * dy;
     }
+    finish_correlation(dot, nx, ny)
+}
+
+/// Shared epilogue: degenerate conventions, then normalise and clamp.
+#[inline]
+fn finish_correlation(dot: f64, nx: f64, ny: f64) -> f64 {
     if nx == 0.0 && ny == 0.0 {
         return 1.0; // both segments constant: identical trend
     }
@@ -46,6 +52,74 @@ pub(crate) fn centered_correlation(xs: &[f64], ys: &[f64]) -> f64 {
         return 0.0; // one flat, one varying: no trend agreement
     }
     (dot / (nx.sqrt() * ny.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Sum of a slice with four independent accumulator lanes, combined
+/// pairwise at the end — the shape LLVM turns into packed adds.
+#[inline]
+fn sum4(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = xs.chunks_exact(4);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for (lane, &v) in acc.iter_mut().zip(c) {
+            *lane += v;
+        }
+    }
+    let mut rest = 0.0;
+    for &v in tail {
+        rest += v;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
+}
+
+/// Fused, unrolled correlation kernel used by the lag scan: one pass
+/// computing dot / ‖x‖² / ‖y‖² with four independent accumulator lanes
+/// per statistic, so the loop autovectorises and the FP dependency chain
+/// is a quarter of the scalar version's.
+///
+/// Floating-point sums are reassociated relative to
+/// [`centered_correlation`], so results can differ in the last ulps; the
+/// degenerate conventions stay exact because min–max-normalised constant
+/// windows are all-zero and every partial sum of zeros is zero under any
+/// association. The scalar two-pass form remains the bit-exact oracle for
+/// the incremental engine's degenerate-segment fallback.
+fn centered_correlation_fused(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = sum4(xs) / n as f64;
+    let my = sum4(ys) / n as f64;
+    let mut dot = [0.0f64; 4];
+    let mut nx = [0.0f64; 4];
+    let mut ny = [0.0f64; 4];
+    let xc = xs.chunks_exact(4);
+    let yc = ys.chunks_exact(4);
+    let (xt, yt) = (xc.remainder(), yc.remainder());
+    for (cx, cy) in xc.zip(yc) {
+        for lane in 0..4 {
+            let dx = cx[lane] - mx;
+            let dy = cy[lane] - my;
+            dot[lane] += dx * dy;
+            nx[lane] += dx * dx;
+            ny[lane] += dy * dy;
+        }
+    }
+    let (mut dot_t, mut nx_t, mut ny_t) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xt.iter().zip(yt) {
+        let dx = x - mx;
+        let dy = y - my;
+        dot_t += dx * dy;
+        nx_t += dx * dx;
+        ny_t += dy * dy;
+    }
+    finish_correlation(
+        (dot[0] + dot[1]) + (dot[2] + dot[3]) + dot_t,
+        (nx[0] + nx[1]) + (nx[2] + nx[3]) + nx_t,
+        (ny[0] + ny[1]) + (ny[2] + ny[3]) + ny_t,
+    )
 }
 
 /// KCD over pre-normalised windows, scanning lags `0..=max_delay` in both
@@ -62,9 +136,9 @@ pub fn kcd_normalized(x: &[f64], y: &[f64], max_delay: usize) -> f64 {
     for s in 0..=max_s {
         let len = n - s;
         // x delayed by s (x's sample i matches y's sample i−s)
-        let c1 = centered_correlation(&x[s..s + len], &y[..len]);
+        let c1 = centered_correlation_fused(&x[s..s + len], &y[..len]);
         // y delayed by s
-        let c2 = centered_correlation(&x[..len], &y[s..s + len]);
+        let c2 = centered_correlation_fused(&x[..len], &y[s..s + len]);
         best = best.max(c1).max(c2);
         if best >= 1.0 {
             break;
@@ -233,6 +307,31 @@ mod tests {
         let x = sine(33, 9.0, 0.0);
         let y: Vec<f64> = sine(33, 9.0, 2.0).iter().map(|v| v * 2.0 + 1.0).collect();
         close(kcd(&x, &y, 10), kcd(&y, &x, 10), 1e-12);
+    }
+
+    #[test]
+    fn fused_kernel_matches_scalar_oracle() {
+        // The 4-lane kernel reassociates sums; it must stay within a few
+        // ulps of the exact two-pass form on arbitrary data and exactly on
+        // degenerate (constant) segments.
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 15, 16, 33, 120] {
+            let x: Vec<f64> = (0..len).map(|_| next() * 10.0 - 5.0).collect();
+            let y: Vec<f64> = (0..len).map(|_| next() * 10.0 - 5.0).collect();
+            let exact = centered_correlation(&x, &y);
+            let fused = centered_correlation_fused(&x, &y);
+            close(fused, exact, 1e-12);
+        }
+        let zeros = vec![0.0; 11];
+        let varying: Vec<f64> = (0..11).map(|i| (i % 3) as f64).collect();
+        assert_eq!(centered_correlation_fused(&zeros, &zeros), 1.0);
+        assert_eq!(centered_correlation_fused(&zeros, &varying), 0.0);
+        assert_eq!(centered_correlation_fused(&varying, &zeros), 0.0);
+        assert_eq!(centered_correlation_fused(&[], &[]), 0.0);
     }
 
     #[test]

@@ -59,6 +59,17 @@ struct NormCache {
 }
 
 impl NormCache {
+    /// A cache whose buffers never reallocate for windows up to
+    /// `capacity` points.
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            norm: Vec::with_capacity(capacity),
+            psum: Vec::with_capacity(capacity + 1),
+            psumsq: Vec::with_capacity(capacity + 1),
+            ..Self::default()
+        }
+    }
+
     fn reset(&mut self) {
         self.valid = false;
         self.norm.clear();
@@ -111,6 +122,20 @@ struct SeriesState {
 }
 
 impl SeriesState {
+    /// State sized so the steady-state push/normalise cycle never
+    /// reallocates: `data` grows to `2 * capacity + 1` before its lazy
+    /// compaction and the deques briefly hold `capacity + 1` candidates
+    /// before horizon eviction.
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity * 2 + 1),
+            base: 0,
+            min_deque: VecDeque::with_capacity(capacity + 1),
+            max_deque: VecDeque::with_capacity(capacity + 1),
+            cache: NormCache::with_capacity(capacity),
+        }
+    }
+
     fn push(&mut self, tick: u64, value: f64, capacity: usize) {
         self.data.push(value);
         // Compact lazily at 2× capacity so slices stay contiguous and the
@@ -181,8 +206,10 @@ impl SeriesState {
         let cached = self.cache.norm.len();
         if cached < len {
             let offset = (start - self.base) as usize;
-            let fresh = self.data[offset + cached..offset + len].to_vec();
-            self.cache.extend(&fresh);
+            // Split the borrow so the cache extends straight from the
+            // retained samples — no temporary copy of the fresh points.
+            let Self { data, cache, .. } = self;
+            cache.extend(&data[offset + cached..offset + len]);
         }
     }
 }
@@ -216,7 +243,9 @@ impl IncrementalCorrelator {
             num_dbs,
             num_kpis,
             capacity,
-            states: vec![SeriesState::default(); num_dbs * num_kpis],
+            states: (0..num_dbs * num_kpis)
+                .map(|_| SeriesState::with_capacity(capacity))
+                .collect(),
             len: 0,
         }
     }
@@ -230,7 +259,7 @@ impl IncrementalCorrelator {
         for db in 0..engine.num_dbs {
             for kpi in 0..engine.num_kpis {
                 let series = queues
-                    .window(db, kpi, base, retained)
+                    .window_slice(db, kpi, base, retained)
                     .expect("retained range readable");
                 let state = &mut engine.states[db * engine.num_kpis + kpi];
                 state.base = base;
@@ -311,24 +340,45 @@ impl IncrementalCorrelator {
         }
 
         let max_s = max_delay.min(len.saturating_sub(2));
-        let mut best = f64::NEG_INFINITY;
-        for s in 0..=max_s {
-            let seg = len - s;
-            // a delayed by s (a's sample i matches b's sample i−s)
-            let c1 = lag_correlation(&sa.cache, &sb.cache, s, 0, seg);
-            // b delayed by s; identical to c1 at s = 0
-            let c2 = if s == 0 {
-                c1
+        // Lags 0..=2 share one five-chain sweep when the scan reaches that
+        // far; shorter scans start from a plain lag-0 pass. Scores clamp
+        // to [-1, 1], so folding extra lags into a sweep that already hit
+        // 1.0 cannot change the maximum — early exit stays sound.
+        let mut best;
+        let mut s;
+        if max_s >= 2 {
+            let (c0, c1, c2, c3, c4) = lag_correlation_penta(&sa.cache, &sb.cache, len);
+            best = c0.max(c1).max(c2).max(c3).max(c4);
+            s = 3;
+        } else {
+            best = lag_correlation(&sa.cache, &sb.cache, 0, 0, len);
+            s = 1;
+        }
+        // Remaining lags go two at a time — four direction chains per
+        // memory sweep — with an odd final lag on the dual-chain pass.
+        while s <= max_s && best < 1.0 {
+            if s < max_s {
+                let (c1, c2, c3, c4) = lag_correlation_quad(&sa.cache, &sb.cache, s, len - s);
+                best = best.max(c1).max(c2).max(c3).max(c4);
+                s += 2;
             } else {
-                lag_correlation(&sa.cache, &sb.cache, 0, s, seg)
-            };
-            best = best.max(c1).max(c2);
-            if best >= 1.0 {
-                break;
+                let (c1, c2) = lag_correlation_pair(&sa.cache, &sb.cache, s, len - s);
+                best = best.max(c1).max(c2);
+                s += 1;
             }
         }
         best
     }
+}
+
+/// Mean and centred energy of `c.norm[off..off + len]`, in O(1) from the
+/// prefix sums.
+#[inline]
+fn segment_moments(c: &NormCache, off: usize, len: usize) -> (f64, f64) {
+    let n = len as f64;
+    let m = (c.psum[off + len] - c.psum[off]) / n;
+    let e = (c.psumsq[off + len] - c.psumsq[off] - n * m * m).max(0.0);
+    (m, e)
 }
 
 /// Correlation of `x.norm[x_off..x_off + len]` against
@@ -338,12 +388,8 @@ fn lag_correlation(x: &NormCache, y: &NormCache, x_off: usize, y_off: usize, len
     let n = len as f64;
     let xs = &x.norm[x_off..x_off + len];
     let ys = &y.norm[y_off..y_off + len];
-    let sx = x.psum[x_off + len] - x.psum[x_off];
-    let sy = y.psum[y_off + len] - y.psum[y_off];
-    let mx = sx / n;
-    let my = sy / n;
-    let nx = (x.psumsq[x_off + len] - x.psumsq[x_off] - n * mx * mx).max(0.0);
-    let ny = (y.psumsq[y_off + len] - y.psumsq[y_off] - n * my * my).max(0.0);
+    let (mx, nx) = segment_moments(x, x_off, len);
+    let (my, ny) = segment_moments(y, y_off, len);
     let eps = EPS_PER_POINT * n;
     if nx <= eps || ny <= eps {
         // A (near-)constant segment: the convention branches depend on
@@ -357,6 +403,169 @@ fn lag_correlation(x: &NormCache, y: &NormCache, x_off: usize, y_off: usize, len
     }
     let centered = dot - n * mx * my;
     (centered / (nx.sqrt() * ny.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Both directions of lag `s` in one fused pass: the dot products of
+/// `x[s..]·y[..len]` and `x[..len]·y[s..]` accumulate in two *independent*
+/// chains inside a single loop, halving the number of memory sweeps while
+/// keeping each chain's summation order — and therefore every score bit —
+/// identical to [`lag_correlation`] run twice. Either direction with a
+/// (near-)degenerate segment takes the exact-oracle path unchanged.
+fn lag_correlation_pair(x: &NormCache, y: &NormCache, s: usize, len: usize) -> (f64, f64) {
+    let n = len as f64;
+    let eps = EPS_PER_POINT * n;
+    let (mx1, nx1) = segment_moments(x, s, len);
+    let (my1, ny1) = segment_moments(y, 0, len);
+    let (mx2, nx2) = segment_moments(x, 0, len);
+    let (my2, ny2) = segment_moments(y, s, len);
+    if nx1 <= eps || ny1 <= eps || nx2 <= eps || ny2 <= eps {
+        return (
+            lag_correlation(x, y, s, 0, len),
+            lag_correlation(x, y, 0, s, len),
+        );
+    }
+    let xa = &x.norm[s..s + len];
+    let yb = &y.norm[..len];
+    let xb = &x.norm[..len];
+    let ya = &y.norm[s..s + len];
+    let mut d1 = 0.0;
+    let mut d2 = 0.0;
+    for ((&a, &b), (&c, &d)) in xa.iter().zip(yb).zip(xb.iter().zip(ya)) {
+        d1 += a * b;
+        d2 += c * d;
+    }
+    let c1 = ((d1 - n * mx1 * my1) / (nx1.sqrt() * ny1.sqrt())).clamp(-1.0, 1.0);
+    let c2 = ((d2 - n * mx2 * my2) / (nx2.sqrt() * ny2.sqrt())).clamp(-1.0, 1.0);
+    (c1, c2)
+}
+
+/// Lags 0, 1 and 2 — five chains (lag 0 is its own reverse) — in one
+/// fused sweep over `x.norm[..len]` and `y.norm[..len]`. Chain `i` of
+/// lag `s` accumulates in the same ascending order as
+/// [`lag_correlation`], so all five scores are bit-identical to the
+/// unfused passes; any (near-)degenerate segment drops the whole step
+/// back to the narrower kernels. Requires `len >= 4`.
+fn lag_correlation_penta(x: &NormCache, y: &NormCache, len: usize) -> (f64, f64, f64, f64, f64) {
+    let l1 = len - 1;
+    let l2 = len - 2;
+    let (n0, n1, n2) = (len as f64, l1 as f64, l2 as f64);
+    let (mx0, nx0) = segment_moments(x, 0, len);
+    let (my0, ny0) = segment_moments(y, 0, len);
+    let (mx1, nx1) = segment_moments(x, 1, l1);
+    let (my1, ny1) = segment_moments(y, 0, l1);
+    let (mx2, nx2) = segment_moments(x, 0, l1);
+    let (my2, ny2) = segment_moments(y, 1, l1);
+    let (mx3, nx3) = segment_moments(x, 2, l2);
+    let (my3, ny3) = segment_moments(y, 0, l2);
+    let (mx4, nx4) = segment_moments(x, 0, l2);
+    let (my4, ny4) = segment_moments(y, 2, l2);
+    let (eps0, eps1, eps2) = (EPS_PER_POINT * n0, EPS_PER_POINT * n1, EPS_PER_POINT * n2);
+    if nx0 <= eps0
+        || ny0 <= eps0
+        || nx1 <= eps1
+        || ny1 <= eps1
+        || nx2 <= eps1
+        || ny2 <= eps1
+        || nx3 <= eps2
+        || ny3 <= eps2
+        || nx4 <= eps2
+        || ny4 <= eps2
+    {
+        let c0 = lag_correlation(x, y, 0, 0, len);
+        let (c1, c2) = lag_correlation_pair(x, y, 1, l1);
+        let (c3, c4) = lag_correlation_pair(x, y, 2, l2);
+        return (c0, c1, c2, c3, c4);
+    }
+    let xs = &x.norm[..len];
+    let ys = &y.norm[..len];
+    let mut d0 = 0.0;
+    let mut d1 = 0.0;
+    let mut d2 = 0.0;
+    let mut d3 = 0.0;
+    let mut d4 = 0.0;
+    for i in 0..l2 {
+        d0 += xs[i] * ys[i];
+        d1 += xs[i + 1] * ys[i];
+        d2 += xs[i] * ys[i + 1];
+        d3 += xs[i + 2] * ys[i];
+        d4 += xs[i] * ys[i + 2];
+    }
+    // top up the longer chains: lag 1 has one more point, lag 0 two
+    d0 += xs[l2] * ys[l2];
+    d1 += xs[l1] * ys[l2];
+    d2 += xs[l2] * ys[l1];
+    d0 += xs[l1] * ys[l1];
+    let c0 = ((d0 - n0 * mx0 * my0) / (nx0.sqrt() * ny0.sqrt())).clamp(-1.0, 1.0);
+    let c1 = ((d1 - n1 * mx1 * my1) / (nx1.sqrt() * ny1.sqrt())).clamp(-1.0, 1.0);
+    let c2 = ((d2 - n1 * mx2 * my2) / (nx2.sqrt() * ny2.sqrt())).clamp(-1.0, 1.0);
+    let c3 = ((d3 - n2 * mx3 * my3) / (nx3.sqrt() * ny3.sqrt())).clamp(-1.0, 1.0);
+    let c4 = ((d4 - n2 * mx4 * my4) / (nx4.sqrt() * ny4.sqrt())).clamp(-1.0, 1.0);
+    (c0, c1, c2, c3, c4)
+}
+
+/// Lags `s` and `s + 1` — four direction chains — in one fused sweep.
+/// The lag-`s` segments are `len` points, the lag-`s + 1` segments
+/// `len - 1`: the main loop feeds all four chains, then the last point
+/// tops up the two lag-`s` chains. Every chain accumulates in the same
+/// ascending order as [`lag_correlation`], so each of the four scores is
+/// bit-identical to the unfused passes; any (near-)degenerate segment
+/// drops the whole step back to the dual-chain path.
+fn lag_correlation_quad(
+    x: &NormCache,
+    y: &NormCache,
+    s: usize,
+    len: usize,
+) -> (f64, f64, f64, f64) {
+    let n1 = len as f64;
+    let short = len - 1;
+    let n2 = short as f64;
+    let (mx1, nx1) = segment_moments(x, s, len);
+    let (my1, ny1) = segment_moments(y, 0, len);
+    let (mx2, nx2) = segment_moments(x, 0, len);
+    let (my2, ny2) = segment_moments(y, s, len);
+    let (mx3, nx3) = segment_moments(x, s + 1, short);
+    let (my3, ny3) = segment_moments(y, 0, short);
+    let (mx4, nx4) = segment_moments(x, 0, short);
+    let (my4, ny4) = segment_moments(y, s + 1, short);
+    let eps1 = EPS_PER_POINT * n1;
+    let eps2 = EPS_PER_POINT * n2;
+    if nx1 <= eps1
+        || ny1 <= eps1
+        || nx2 <= eps1
+        || ny2 <= eps1
+        || nx3 <= eps2
+        || ny3 <= eps2
+        || nx4 <= eps2
+        || ny4 <= eps2
+    {
+        let (c1, c2) = lag_correlation_pair(x, y, s, len);
+        let (c3, c4) = lag_correlation_pair(x, y, s + 1, short);
+        return (c1, c2, c3, c4);
+    }
+    let xa = &x.norm[s..s + len];
+    let ya = &y.norm[s..s + len];
+    let xb = &x.norm[..len];
+    let yb = &y.norm[..len];
+    let xc = &x.norm[s + 1..s + 1 + short];
+    let yd = &y.norm[s + 1..s + 1 + short];
+    let mut d1 = 0.0;
+    let mut d2 = 0.0;
+    let mut d3 = 0.0;
+    let mut d4 = 0.0;
+    for i in 0..short {
+        d1 += xa[i] * yb[i];
+        d2 += xb[i] * ya[i];
+        d3 += xc[i] * yb[i];
+        d4 += xb[i] * yd[i];
+    }
+    // the lag-`s` chains carry one more point than the lag-`s + 1` pair
+    d1 += xa[short] * yb[short];
+    d2 += xb[short] * ya[short];
+    let c1 = ((d1 - n1 * mx1 * my1) / (nx1.sqrt() * ny1.sqrt())).clamp(-1.0, 1.0);
+    let c2 = ((d2 - n1 * mx2 * my2) / (nx2.sqrt() * ny2.sqrt())).clamp(-1.0, 1.0);
+    let c3 = ((d3 - n2 * mx3 * my3) / (nx3.sqrt() * ny3.sqrt())).clamp(-1.0, 1.0);
+    let c4 = ((d4 - n2 * mx4 * my4) / (nx4.sqrt() * ny4.sqrt())).clamp(-1.0, 1.0);
+    (c1, c2, c3, c4)
 }
 
 #[cfg(test)]
@@ -508,6 +717,131 @@ mod tests {
         let a = live.pair_score(0, 1, 0, 60, 20, 3);
         let b = restored.pair_score(0, 1, 0, 60, 20, 3);
         assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+    }
+
+    #[test]
+    fn fused_pair_is_bit_identical_to_two_single_passes() {
+        // The dual-chain kernel is an instruction-scheduling change only:
+        // each direction's summation order is untouched, so the golden
+        // verdict streams (full-precision incremental scores) cannot move.
+        let mut next = lcg(77);
+        for len in [2usize, 3, 5, 17, 60, 140] {
+            let raw_x: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
+            let raw_y: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
+            let mut cx = NormCache::with_capacity(len);
+            let mut cy = NormCache::with_capacity(len);
+            let (lo_x, hi_x) = raw_x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_y, hi_y) = raw_y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            cx.lo = lo_x;
+            cx.hi = hi_x;
+            cy.lo = lo_y;
+            cy.hi = hi_y;
+            cx.extend(&raw_x);
+            cy.extend(&raw_y);
+            for s in 1..len.saturating_sub(1) {
+                let seg = len - s;
+                let (c1, c2) = lag_correlation_pair(&cx, &cy, s, seg);
+                let r1 = lag_correlation(&cx, &cy, s, 0, seg);
+                let r2 = lag_correlation(&cx, &cy, 0, s, seg);
+                assert_eq!(c1.to_bits(), r1.to_bits(), "len {len} s {s} dir 1");
+                assert_eq!(c2.to_bits(), r2.to_bits(), "len {len} s {s} dir 2");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quad_is_bit_identical_to_two_pairs() {
+        // Same contract one level up: folding lags s and s + 1 into one
+        // sweep must leave all four scores bit-identical to the
+        // dual-chain passes.
+        let mut next = lcg(99);
+        for len in [4usize, 5, 17, 60, 140] {
+            let raw_x: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
+            let raw_y: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
+            let mut cx = NormCache::with_capacity(len);
+            let mut cy = NormCache::with_capacity(len);
+            let (lo_x, hi_x) = raw_x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_y, hi_y) = raw_y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            cx.lo = lo_x;
+            cx.hi = hi_x;
+            cy.lo = lo_y;
+            cy.hi = hi_y;
+            cx.extend(&raw_x);
+            cy.extend(&raw_y);
+            for s in 1..len.saturating_sub(2) {
+                let seg = len - s;
+                let (q1, q2, q3, q4) = lag_correlation_quad(&cx, &cy, s, seg);
+                let (p1, p2) = lag_correlation_pair(&cx, &cy, s, seg);
+                let (p3, p4) = lag_correlation_pair(&cx, &cy, s + 1, seg - 1);
+                assert_eq!(q1.to_bits(), p1.to_bits(), "len {len} s {s} lag s dir 1");
+                assert_eq!(q2.to_bits(), p2.to_bits(), "len {len} s {s} lag s dir 2");
+                assert_eq!(q3.to_bits(), p3.to_bits(), "len {len} s {s} lag s+1 dir 1");
+                assert_eq!(q4.to_bits(), p4.to_bits(), "len {len} s {s} lag s+1 dir 2");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_penta_is_bit_identical_to_narrow_kernels() {
+        // The lag-0..=2 sweep must reproduce the plain pass and both
+        // dual-chain passes bit for bit.
+        let mut next = lcg(1234);
+        for len in [4usize, 5, 17, 60, 140] {
+            let raw_x: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
+            let raw_y: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
+            let mut cx = NormCache::with_capacity(len);
+            let mut cy = NormCache::with_capacity(len);
+            let (lo_x, hi_x) = raw_x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_y, hi_y) = raw_y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            cx.lo = lo_x;
+            cx.hi = hi_x;
+            cy.lo = lo_y;
+            cy.hi = hi_y;
+            cx.extend(&raw_x);
+            cy.extend(&raw_y);
+            let (c0, c1, c2, c3, c4) = lag_correlation_penta(&cx, &cy, len);
+            let r0 = lag_correlation(&cx, &cy, 0, 0, len);
+            let (r1, r2) = lag_correlation_pair(&cx, &cy, 1, len - 1);
+            let (r3, r4) = lag_correlation_pair(&cx, &cy, 2, len - 2);
+            assert_eq!(c0.to_bits(), r0.to_bits(), "len {len} lag 0");
+            assert_eq!(c1.to_bits(), r1.to_bits(), "len {len} lag 1 dir 1");
+            assert_eq!(c2.to_bits(), r2.to_bits(), "len {len} lag 1 dir 2");
+            assert_eq!(c3.to_bits(), r3.to_bits(), "len {len} lag 2 dir 1");
+            assert_eq!(c4.to_bits(), r4.to_bits(), "len {len} lag 2 dir 2");
+        }
+    }
+
+    #[test]
+    fn steady_state_pair_scores_do_not_reallocate() {
+        // After warmup the per-series buffers (data, deques, norm cache)
+        // must hold their allocations through push + pair_score cycles.
+        let mut next = lcg(2024);
+        let cap = 60usize;
+        let mut engine = IncrementalCorrelator::new(2, 1, cap);
+        let len = 20usize;
+        for t in 0..3 * cap as u64 {
+            engine.push(&[vec![next() * 4.0], vec![next() * 4.0]]);
+            if t as usize + 1 >= len {
+                let _ = engine.pair_score(0, 1, 0, t + 1 - len as u64, len, 3);
+            }
+        }
+        let fingerprints: Vec<(*const f64, usize)> = engine
+            .states
+            .iter()
+            .map(|s| (s.data.as_ptr(), s.data.capacity()))
+            .collect();
+        let norm_caps: Vec<usize> = engine.states.iter().map(|s| s.cache.norm.capacity()).collect();
+        for t in 3 * cap as u64..5 * cap as u64 {
+            engine.push(&[vec![next() * 4.0], vec![next() * 4.0]]);
+            let _ = engine.pair_score(0, 1, 0, t + 1 - len as u64, len, 3);
+        }
+        for (state, (ptr, cap_before)) in engine.states.iter().zip(&fingerprints) {
+            assert_eq!(state.data.as_ptr(), *ptr, "data buffer must not move");
+            assert_eq!(state.data.capacity(), *cap_before);
+        }
+        for (state, cap_before) in engine.states.iter().zip(&norm_caps) {
+            assert_eq!(state.cache.norm.capacity(), *cap_before);
+        }
     }
 
     #[test]

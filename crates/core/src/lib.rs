@@ -45,6 +45,7 @@ pub mod levels;
 pub mod matrix;
 pub mod pipeline;
 pub mod queues;
+pub mod scratch;
 pub mod snapshot;
 pub mod state;
 pub mod window;

@@ -7,7 +7,8 @@
 //! information of the lower triangular matrix").
 
 use crate::kcd::kcd_normalized;
-use dbcatcher_signal::normalize::min_max;
+use crate::scratch::TickScratch;
+use dbcatcher_signal::normalize::min_max_in_place;
 use serde::{Deserialize, Serialize};
 
 /// Symmetric N×N correlation matrix, packed upper-triangular.
@@ -36,27 +37,67 @@ impl CorrelationMatrix {
     /// * `max_delay` — KCD lag-scan bound.
     ///
     /// # Panics
-    /// Panics when `participates.len() != windows.len()` or window lengths
-    /// differ.
+    /// Panics when `participates.len() != windows.len()` or participating
+    /// window lengths differ.
     pub fn from_windows(windows: &[&[f64]], participates: &[bool], max_delay: usize) -> Self {
+        let mut m = Self::zeros(windows.len());
+        m.from_windows_into(windows, participates, max_delay, &mut TickScratch::new());
+        m
+    }
+
+    /// [`Self::from_windows`] rebuilding `self` in place, with every
+    /// normalised window staged in the caller's [`TickScratch`] — the
+    /// allocation-free form for per-tick matrix refreshes.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::from_windows`].
+    pub fn from_windows_into(
+        &mut self,
+        windows: &[&[f64]],
+        participates: &[bool],
+        max_delay: usize,
+        scratch: &mut TickScratch,
+    ) {
         let n = windows.len();
         assert_eq!(participates.len(), n, "participation mask arity mismatch");
+        // Validate length agreement once up front instead of per pair
+        // inside the O(N²) scoring loop.
+        let mut expected: Option<usize> = None;
+        for (w, &p) in windows.iter().zip(participates) {
+            if !p {
+                continue;
+            }
+            match expected {
+                None => expected = Some(w.len()),
+                Some(len) => assert_eq!(w.len(), len, "KCD windows must be equally long"),
+            }
+        }
         // Each window is normalised once, not once per pair: KCD's Eq. 1
         // step depends only on the window itself, so the N−1 pairings of a
         // database all share the same normalised form.
-        let normalised: Vec<Option<Vec<f64>>> = windows
-            .iter()
-            .zip(participates)
-            .map(|(w, &p)| p.then(|| min_max(w)))
-            .collect();
-        Self::from_pairwise(n, |i, j| match (&normalised[i], &normalised[j]) {
-            (Some(a), Some(b)) => {
-                assert_eq!(a.len(), b.len(), "KCD windows must be equally long");
-                kcd_normalized(a, b, max_delay)
+        let normalised = &mut scratch.norm_windows;
+        normalised.resize_with(n, Vec::new);
+        for ((w, &p), buf) in windows.iter().zip(participates).zip(normalised.iter_mut()) {
+            buf.clear();
+            if p {
+                buf.extend_from_slice(w);
+                min_max_in_place(buf);
             }
-            // paper: a non-participating member zeroes the pair
-            _ => 0.0,
-        })
+        }
+        self.n = n;
+        self.scores.clear();
+        self.scores.resize(n * n.saturating_sub(1) / 2, 0.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // paper: a non-participating member zeroes the pair
+                let s = if participates[i] && participates[j] {
+                    kcd_normalized(&normalised[i], &normalised[j], max_delay)
+                } else {
+                    0.0
+                };
+                self.set(i, j, s);
+            }
+        }
     }
 
     /// Builds the matrix by asking `score(i, j)` for every `i < j` pair —
@@ -196,6 +237,47 @@ mod tests {
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(1, 2), 0.0);
         assert!(m.get(0, 2) > 0.999);
+    }
+
+    #[test]
+    fn from_windows_into_reuses_scratch_without_changing_results() {
+        let base: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let w1: Vec<f64> = base.iter().map(|v| v * 2.0 + 3.0).collect();
+        let w2: Vec<f64> = (0..30).map(|i| ((i as f64) * 0.7).cos()).collect();
+        let windows: Vec<&[f64]> = vec![&base, &w1, &w2];
+        let reference = CorrelationMatrix::from_windows(&windows, &[true; 3], 5);
+        let mut scratch = TickScratch::new();
+        let mut m = CorrelationMatrix::zeros(0);
+        for _ in 0..3 {
+            m.from_windows_into(&windows, &[true; 3], 5, &mut scratch);
+            assert_eq!(m, reference);
+        }
+        // a smaller rebuild through the same scratch shrinks cleanly
+        m.from_windows_into(&windows[..2], &[true; 2], 5, &mut scratch);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0, 1), reference.get(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn mismatched_window_lengths_rejected_up_front() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let windows: Vec<&[f64]> = vec![&a, &b];
+        let _ = CorrelationMatrix::from_windows(&windows, &[true, true], 3);
+    }
+
+    #[test]
+    fn non_participating_window_length_is_ignored() {
+        // The up-front validation must not be stricter than the old
+        // per-pair assert: a masked-out window of a different length never
+        // participated in a pair, so it must not panic.
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let short: Vec<f64> = vec![1.0, 2.0];
+        let windows: Vec<&[f64]> = vec![&a, &short, &a];
+        let m = CorrelationMatrix::from_windows(&windows, &[true, false, true], 3);
+        assert!(m.get(0, 2) > 0.999);
+        assert_eq!(m.get(0, 1), 0.0);
     }
 
     #[test]

@@ -15,11 +15,11 @@ use crate::kcd::kcd_normalized;
 use crate::kcd_incremental::IncrementalCorrelator;
 use crate::levels::{aggregate_scores, level_row};
 use crate::queues::KpiQueues;
+use crate::scratch::TickScratch;
 use crate::state::{determine_state, DbState};
 use crate::window::{WindowAction, WindowTracker};
-use dbcatcher_signal::normalize::min_max;
+use dbcatcher_signal::normalize::min_max_in_place;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// A final (healthy/abnormal) judgement of one database over one window.
@@ -63,6 +63,8 @@ pub struct DbCatcher {
     trackers: Vec<WindowTracker>,
     /// Telemetry health ledger (gap repair, staleness, non-voting state).
     health: TelemetryHealth,
+    /// Reusable per-tick buffers; not part of the persisted state.
+    scratch: TickScratch,
     timing: ComponentTiming,
     window_size_sum: u64,
     verdict_count: u64,
@@ -107,6 +109,7 @@ impl DbCatcher {
             correlator,
             trackers,
             health,
+            scratch: TickScratch::new(),
             timing: ComponentTiming::default(),
             window_size_sum: 0,
             verdict_count: 0,
@@ -211,6 +214,7 @@ impl DbCatcher {
             correlator,
             trackers,
             health,
+            scratch: TickScratch::new(),
             timing: ComponentTiming::default(),
             window_size_sum,
             verdict_count,
@@ -267,12 +271,19 @@ impl DbCatcher {
             }
         }
         let tick = self.queues.next_tick();
-        let (sanitized, tick_health) =
-            self.health
-                .observe(frame, tick, &self.config.ingest, self.queues.capacity());
-        self.queues.push(&sanitized);
+        // Sanitize into the reusable staging buffer; the queues and the
+        // incremental engine then read it by shared borrow — on a clean
+        // steady-state tick nothing below allocates.
+        let tick_health = self.health.observe_into(
+            frame,
+            tick,
+            &self.config.ingest,
+            self.queues.capacity(),
+            &mut self.scratch.sanitized,
+        );
+        self.queues.push(&self.scratch.sanitized);
         if let Some(correlator) = &mut self.correlator {
-            correlator.push(&sanitized);
+            correlator.push(&self.scratch.sanitized);
         }
         let next_tick = self.queues.next_tick();
         let mut report = IngestReport {
@@ -283,13 +294,14 @@ impl DbCatcher {
             ..IngestReport::default()
         };
         // KCD scores are symmetric and window-scoped; when several
-        // databases judge the same bounds in one tick, share the work.
-        let mut cache: HashMap<(usize, usize, usize, u64, usize), f64> = HashMap::new();
+        // databases judge the same bounds in one tick, share the work
+        // through the scratch memo (cleared each tick, capacity kept).
+        self.scratch.pair_cache.clear();
         for db in 0..self.num_dbs {
             // A database may resolve several consecutive windows in one
             // tick only if sizes shrank; normally at most one iteration.
             while self.trackers[db].action(next_tick) == WindowAction::Judge {
-                match self.judge(db, &mut cache)? {
+                match self.judge(db)? {
                     Some(v) => {
                         self.window_size_sum += v.window_size as u64;
                         self.verdict_count += 1;
@@ -304,17 +316,12 @@ impl DbCatcher {
 
     /// Judges database `db`'s current window. Returns `Ok(None)` when the
     /// state was observable and the window expanded instead of resolving.
-    fn judge(
-        &mut self,
-        db: usize,
-        cache: &mut HashMap<(usize, usize, usize, u64, usize), f64>,
-    ) -> Result<Option<Verdict>, IngestError> {
+    fn judge(&mut self, db: usize) -> Result<Option<Verdict>, IngestError> {
         let tracker = self.trackers[db];
         let (start, size) = (tracker.start, tracker.size);
 
         let t0 = Instant::now();
-        let usable = self.usable_databases(start, size);
-        let scores = self.aggregated_scores(db, start, size, &usable, cache)?;
+        let scores = self.aggregated_scores(db, start, size)?;
         self.timing.correlation += t0.elapsed();
 
         let t1 = Instant::now();
@@ -351,48 +358,62 @@ impl DbCatcher {
         Ok(Some(verdict))
     }
 
-    /// A database is *usable* in a window when any KPI shows activity
-    /// above the unused-epsilon (paper §III-B unused-database rule).
-    fn usable_databases(&self, start: u64, size: usize) -> Vec<bool> {
-        (0..self.num_dbs)
-            .map(|db| {
-                (0..self.config.num_kpis).any(|k| {
-                    self.queues
-                        .window_max_abs(db, k, start, size)
-                        .map(|m| m > self.config.unused_epsilon)
-                        .unwrap_or(false)
-                })
-            })
-            .collect()
-    }
-
     /// Aggregated per-KPI scores of `db` against participating peers over
     /// the window. `NaN` marks KPIs without a vote.
     ///
     /// Participation per `(kpi, d)` combines four gates: the
-    /// unused-database rule (`usable`), the configured Table II mask, the
-    /// telemetry voting state (a demoted database contributes to no
-    /// peer's score) and — under mark-missing gap repair — a clean window
-    /// (no repaired sample inside the judged range).
+    /// unused-database rule (paper §III-B, computed into the scratch
+    /// mask), the configured Table II mask, the telemetry voting state (a
+    /// demoted database contributes to no peer's score) and — under
+    /// mark-missing gap repair — a clean window (no repaired sample inside
+    /// the judged range).
+    ///
+    /// Everything transient lives in the [`TickScratch`] arena; only the
+    /// returned score vector (owned by the eventual [`Verdict`]) is
+    /// allocated here.
     fn aggregated_scores(
         &mut self,
         db: usize,
         start: u64,
         size: usize,
-        usable: &[bool],
-        cache: &mut HashMap<(usize, usize, usize, u64, usize), f64>,
     ) -> Result<Vec<f64>, IngestError> {
-        // Disjoint field borrows: the incremental engine needs `&mut`
-        // while config/queues/health stay shared.
-        let config = &self.config;
-        let queues = &self.queues;
-        let health = &self.health;
-        let num_dbs = self.num_dbs;
-        let mut correlator = self.correlator.as_mut();
+        // Disjoint field borrows: the incremental engine and the scratch
+        // buffers need `&mut` while config/queues/health stay shared.
+        let Self {
+            config,
+            num_dbs,
+            queues,
+            correlator,
+            health,
+            scratch,
+            ..
+        } = self;
+        let num_dbs = *num_dbs;
+        let TickScratch {
+            usable,
+            own_norm,
+            peer_norm,
+            pair_scores,
+            pair_cache,
+            ..
+        } = scratch;
+
+        // A database is *usable* in a window when any KPI shows activity
+        // above the unused-epsilon (paper §III-B unused-database rule).
+        usable.clear();
+        usable.extend((0..num_dbs).map(|d| {
+            (0..config.num_kpis).any(|k| {
+                queues
+                    .window_max_abs(d, k, start, size)
+                    .map(|m| m > config.unused_epsilon)
+                    .unwrap_or(false)
+            })
+        }));
+        let usable: &[bool] = usable;
+
+        let mut correlator = correlator.as_mut();
         let max_delay = config.delay_scan.max_lag(size);
         let mut out = Vec::with_capacity(config.num_kpis);
-        // Naive path: normalised windows are shared across peers per KPI.
-        let mut own_norm: Vec<Option<Vec<f64>>> = vec![None; config.num_kpis];
         for kpi in 0..config.num_kpis {
             let participates = |d: usize| {
                 health.is_voting(d)
@@ -408,26 +429,31 @@ impl DbCatcher {
                 out.push(f64::NAN);
                 continue;
             }
-            let mut pair_scores = Vec::with_capacity(num_dbs - 1);
+            // Naive path: `db`'s normalised window is shared across every
+            // peer of this KPI.
+            let mut own_valid = false;
+            pair_scores.clear();
             for peer in 0..num_dbs {
                 if peer == db || !participates(peer) {
                     continue;
                 }
                 let key = (db.min(peer), db.max(peer), kpi, start, size);
-                let score = if let Some(&s) = cache.get(&key) {
+                let score = if let Some(&s) = pair_cache.get(&key) {
                     s
                 } else {
                     let s = match correlator.as_deref_mut() {
                         Some(engine) => engine.pair_score(db, peer, kpi, start, size, max_delay),
                         None => {
-                            if own_norm[kpi].is_none() {
-                                let w = queues.window(db, kpi, start, size).ok_or(
+                            if !own_valid {
+                                let w = queues.window_slice(db, kpi, start, size).ok_or(
                                     IngestError::WindowUnavailable { db, kpi, start, len: size },
                                 )?;
-                                own_norm[kpi] = Some(min_max(&w));
+                                own_norm.clear();
+                                own_norm.extend_from_slice(w);
+                                min_max_in_place(own_norm);
+                                own_valid = true;
                             }
-                            let a = own_norm[kpi].as_ref().expect("just filled");
-                            let w = queues.window(peer, kpi, start, size).ok_or(
+                            let w = queues.window_slice(peer, kpi, start, size).ok_or(
                                 IngestError::WindowUnavailable {
                                     db: peer,
                                     kpi,
@@ -435,15 +461,18 @@ impl DbCatcher {
                                     len: size,
                                 },
                             )?;
-                            kcd_normalized(a, &min_max(&w), max_delay)
+                            peer_norm.clear();
+                            peer_norm.extend_from_slice(w);
+                            min_max_in_place(peer_norm);
+                            kcd_normalized(own_norm, peer_norm, max_delay)
                         }
                     };
-                    cache.insert(key, s);
+                    pair_cache.insert(key, s);
                     s
                 };
                 pair_scores.push(score);
             }
-            out.push(aggregate_scores(&pair_scores, config.aggregation).unwrap_or(f64::NAN));
+            out.push(aggregate_scores(pair_scores, config.aggregation).unwrap_or(f64::NAN));
         }
         Ok(out)
     }
@@ -470,11 +499,16 @@ pub fn detect_series(
         catcher = catcher.with_participation(mask);
     }
     let mut verdicts = Vec::new();
+    // One frame buffer reused across every tick of the replay.
+    let mut frame: Vec<Vec<f64>> = series
+        .iter()
+        .map(|db| Vec::with_capacity(db.len()))
+        .collect();
     for t in 0..num_ticks {
-        let frame: Vec<Vec<f64>> = series
-            .iter()
-            .map(|db| db.iter().map(|kpi| kpi[t]).collect())
-            .collect();
+        for (row, db) in frame.iter_mut().zip(series) {
+            row.clear();
+            row.extend(db.iter().map(|kpi| kpi[t]));
+        }
         verdicts.extend(catcher.ingest_tick(&frame));
     }
     let mut predictions = vec![vec![false; num_ticks]; num_dbs];
@@ -652,11 +686,12 @@ mod tests {
     fn average_window_size_tracks_verdicts() {
         let series = unit_series(3, 2, 100, None);
         let mut catcher = DbCatcher::new(small_config(2), 3);
+        let mut frame: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for t in 0..100 {
-            let frame: Vec<Vec<f64>> = series
-                .iter()
-                .map(|db| db.iter().map(|k| k[t]).collect())
-                .collect();
+            for (row, db) in frame.iter_mut().zip(&series) {
+                row.clear();
+                row.extend(db.iter().map(|k| k[t]));
+            }
             catcher.ingest_tick(&frame);
         }
         assert!((catcher.average_window_size() - 10.0).abs() < 1e-9);

@@ -2,21 +2,39 @@
 //!
 //! "The data processing module maintains multiple queues for each KPI, the
 //! number of which is equal to the number of databases in the unit." —
-//! [`KpiQueues`] is exactly that: a bounded ring buffer per `(db, kpi)`
-//! pair, addressed by absolute tick so the flexible windows can reach back
-//! into history after expansions.
+//! [`KpiQueues`] is exactly that: a bounded history per `(db, kpi)` pair,
+//! addressed by absolute tick so the flexible windows can reach back into
+//! history after expansions.
+//!
+//! Storage is a single flat `Vec<f64>` holding one fixed-stride slab per
+//! series (structure-of-arrays). Each slab is `2 * capacity` samples wide
+//! and filled left to right; when a slab fills up, the newest `capacity`
+//! samples are slid back to the slab front with `copy_within`. Amortised
+//! over `capacity` pushes that is O(1) per sample, never allocates after
+//! construction, and — the point of the layout — every retained window is
+//! one contiguous `&[f64]` slice ([`KpiQueues::window_slice`]), so the
+//! correlation kernels stream straight over memory instead of chasing
+//! `VecDeque` halves.
 
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Bounded per-(database, KPI) history of collected samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written to stay byte-compatible with the original
+/// nested `buffers[db][kpi]` snapshot shape, so snapshots written before
+/// the flat layout restore unchanged (and vice versa).
+#[derive(Debug, Clone)]
 pub struct KpiQueues {
     num_dbs: usize,
     num_kpis: usize,
     capacity: usize,
-    /// `buffers[db][kpi]`.
-    buffers: Vec<Vec<VecDeque<f64>>>,
+    /// Physical samples currently stored per series (same for all series).
+    filled: usize,
+    /// Absolute tick of physical slot 0 in every slab.
+    phys_base: u64,
+    /// `num_dbs * num_kpis` slabs of `2 * capacity` samples each;
+    /// series `(db, kpi)` owns `data[(db * num_kpis + kpi) * slab ..][..slab]`.
+    data: Vec<f64>,
     /// Absolute tick of the oldest retained sample.
     base_tick: u64,
     /// Total samples ingested (== next absolute tick).
@@ -34,10 +52,18 @@ impl KpiQueues {
             num_dbs,
             num_kpis,
             capacity,
-            buffers: vec![vec![VecDeque::with_capacity(capacity + 1); num_kpis]; num_dbs],
+            filled: 0,
+            phys_base: 0,
+            data: vec![0.0; num_dbs * num_kpis * capacity * 2],
             base_tick: 0,
             len: 0,
         }
+    }
+
+    /// Slab width per series: headroom past `capacity` so compaction runs
+    /// once per `capacity` pushes, not on every push.
+    fn slab(&self) -> usize {
+        self.capacity * 2
     }
 
     /// Number of databases.
@@ -65,60 +91,165 @@ impl KpiQueues {
         self.base_tick
     }
 
-    /// Ingests one frame: `frame[db][kpi]`.
+    /// Slides the newest `capacity` samples of every slab to its front.
+    fn compact(&mut self) {
+        let slab = self.slab();
+        let drop = slab - self.capacity;
+        for series in 0..self.num_dbs * self.num_kpis {
+            let o = series * slab;
+            self.data.copy_within(o + drop..o + slab, o);
+        }
+        self.filled = self.capacity;
+        self.phys_base += drop as u64;
+    }
+
+    /// Ingests one frame: `frame[db][kpi]`. Never allocates.
     ///
     /// # Panics
     /// Panics when the frame shape mismatches the queue dimensions.
     pub fn push(&mut self, frame: &[Vec<f64>]) {
         assert_eq!(frame.len(), self.num_dbs, "frame database arity mismatch");
+        if self.filled == self.slab() {
+            self.compact();
+        }
+        let slab = self.slab();
+        let at = self.filled;
         for (db, kpis) in frame.iter().enumerate() {
             assert_eq!(kpis.len(), self.num_kpis, "frame KPI arity mismatch");
             for (k, &v) in kpis.iter().enumerate() {
-                let buf = &mut self.buffers[db][k];
-                buf.push_back(v);
-                if buf.len() > self.capacity {
-                    buf.pop_front();
-                }
+                self.data[(db * self.num_kpis + k) * slab + at] = v;
             }
         }
+        self.filled += 1;
         self.len += 1;
         if self.len - self.base_tick > self.capacity as u64 {
             self.base_tick = self.len - self.capacity as u64;
         }
     }
 
-    /// Copies the window `[start, start + len)` of `(db, kpi)` into a
-    /// `Vec`. Returns `None` when any part of the window has been evicted
-    /// or has not arrived yet.
-    pub fn window(&self, db: usize, kpi: usize, start: u64, len: usize) -> Option<Vec<f64>> {
-        if start < self.base_tick || start + len as u64 > self.len {
+    /// Borrows the window `[start, start + len)` of `(db, kpi)` as one
+    /// contiguous slice. Returns `None` when any part of the window has
+    /// been evicted or has not arrived yet.
+    ///
+    /// Eviction is logical: a sample older than `base_tick` is refused
+    /// even while it physically lingers in the slab headroom, so flat and
+    /// nested layouts agree tick-for-tick.
+    pub fn window_slice(&self, db: usize, kpi: usize, start: u64, len: usize) -> Option<&[f64]> {
+        let end = start.checked_add(len as u64)?;
+        if start < self.base_tick || end > self.len {
             return None;
         }
-        let offset = (start - self.base_tick) as usize;
-        let buf = &self.buffers[db][kpi];
-        Some(buf.iter().skip(offset).take(len).copied().collect())
+        let offset = (start - self.phys_base) as usize;
+        let o = (db * self.num_kpis + kpi) * self.slab();
+        Some(&self.data[o + offset..o + offset + len])
+    }
+
+    /// Copies the window `[start, start + len)` of `(db, kpi)` into a
+    /// `Vec`. Same availability rules as [`Self::window_slice`], which
+    /// hot paths should prefer.
+    pub fn window(&self, db: usize, kpi: usize, start: u64, len: usize) -> Option<Vec<f64>> {
+        self.window_slice(db, kpi, start, len).map(<[f64]>::to_vec)
     }
 
     /// Maximum value of `(db, kpi)` over a window, for unused-database
     /// detection. `None` under the same conditions as [`Self::window`].
     pub fn window_max_abs(&self, db: usize, kpi: usize, start: u64, len: usize) -> Option<f64> {
-        if start < self.base_tick || start + len as u64 > self.len {
-            return None;
+        self.window_slice(db, kpi, start, len)
+            .map(|w| w.iter().fold(0.0f64, |acc, &v| acc.max(v.abs())))
+    }
+}
+
+// ------------------------------------------------------------------ serde
+//
+// The original derive serialised `buffers: Vec<Vec<VecDeque<f64>>>` of
+// retained samples. These impls reproduce that shape (same fields, same
+// order) from the flat slabs so snapshot files stay interchangeable.
+
+impl Serialize for KpiQueues {
+    fn to_value(&self) -> Value {
+        let retained = (self.len - self.base_tick) as usize;
+        let buffers: Vec<Value> = (0..self.num_dbs)
+            .map(|db| {
+                Value::Array(
+                    (0..self.num_kpis)
+                        .map(|k| {
+                            let w = self
+                                .window_slice(db, k, self.base_tick, retained)
+                                .expect("retained span is always addressable");
+                            Value::Array(w.iter().map(|v| v.to_value()).collect())
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("num_dbs".to_string(), self.num_dbs.to_value()),
+            ("num_kpis".to_string(), self.num_kpis.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("buffers".to_string(), Value::Array(buffers)),
+            ("base_tick".to_string(), self.base_tick.to_value()),
+            ("len".to_string(), self.len.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for KpiQueues {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::new(format!("KpiQueues: missing field `{name}`")))
+        };
+        let num_dbs = usize::from_value(field("num_dbs")?)?;
+        let num_kpis = usize::from_value(field("num_kpis")?)?;
+        let capacity = usize::from_value(field("capacity")?)?;
+        let buffers = Vec::<Vec<Vec<f64>>>::from_value(field("buffers")?)?;
+        let base_tick = u64::from_value(field("base_tick")?)?;
+        let len = u64::from_value(field("len")?)?;
+        if num_dbs == 0 || num_kpis == 0 || capacity == 0 {
+            return Err(DeError::new("KpiQueues: dimensions must be positive".to_string()));
         }
-        let offset = (start - self.base_tick) as usize;
-        Some(
-            self.buffers[db][kpi]
-                .iter()
-                .skip(offset)
-                .take(len)
-                .fold(0.0f64, |acc, &v| acc.max(v.abs())),
-        )
+        let retained = len
+            .checked_sub(base_tick)
+            .ok_or_else(|| DeError::new("KpiQueues: base_tick past len".to_string()))?
+            as usize;
+        if retained > capacity {
+            return Err(DeError::new("KpiQueues: retained span exceeds capacity".to_string()));
+        }
+        if buffers.len() != num_dbs || buffers.iter().any(|db| db.len() != num_kpis) {
+            return Err(DeError::new("KpiQueues: buffer arity mismatch".to_string()));
+        }
+        let slab = capacity * 2;
+        let mut data = vec![0.0; num_dbs * num_kpis * slab];
+        for (db, kpis) in buffers.iter().enumerate() {
+            for (k, buf) in kpis.iter().enumerate() {
+                if buf.len() != retained {
+                    return Err(DeError::new(format!(
+                        "KpiQueues: series ({db},{k}) holds {} samples, expected {retained}",
+                        buf.len()
+                    )));
+                }
+                let o = (db * num_kpis + k) * slab;
+                data[o..o + retained].copy_from_slice(buf);
+            }
+        }
+        Ok(Self {
+            num_dbs,
+            num_kpis,
+            capacity,
+            filled: retained,
+            phys_base: base_tick,
+            data,
+            base_tick,
+            len,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
 
     fn frame(n_db: usize, n_kpi: usize, v: f64) -> Vec<Vec<f64>> {
         (0..n_db)
@@ -135,6 +266,7 @@ mod tests {
         assert_eq!(q.next_tick(), 5);
         let w = q.window(1, 2, 1, 3).unwrap();
         assert_eq!(w, vec![112.0, 212.0, 312.0]);
+        assert_eq!(q.window_slice(1, 2, 1, 3).unwrap(), &[112.0, 212.0, 312.0]);
     }
 
     #[test]
@@ -269,6 +401,29 @@ mod tests {
     }
 
     #[test]
+    fn absurd_window_requests_are_refused_not_panicking() {
+        // `start + len` near u64::MAX must not wrap past the bounds check.
+        let mut q = KpiQueues::new(1, 1, 4);
+        q.push(&frame(1, 1, 0.0));
+        assert!(q.window_slice(0, 0, u64::MAX - 1, 3).is_none());
+        assert!(q.window_slice(0, 0, u64::MAX, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn push_never_allocates_after_construction() {
+        // The slab headroom plus `copy_within` compaction keeps the flat
+        // store allocation-free for the lifetime of the queue.
+        let mut q = KpiQueues::new(2, 2, 3);
+        let data_ptr = q.data.as_ptr();
+        let data_cap = q.data.capacity();
+        for t in 0..50 {
+            q.push(&frame(2, 2, t as f64));
+        }
+        assert_eq!(q.data.as_ptr(), data_ptr, "storage must not reallocate");
+        assert_eq!(q.data.capacity(), data_cap);
+    }
+
+    #[test]
     fn serde_round_trip_preserves_base_tick() {
         // Warm restart depends on absolute addressing surviving
         // snapshot/restore byte-for-byte.
@@ -285,5 +440,65 @@ mod tests {
             back.window(1, 0, q.base_tick(), 3),
             q.window(1, 0, q.base_tick(), 3)
         );
+    }
+
+    #[test]
+    fn serde_shape_matches_legacy_nested_layout() {
+        // Snapshots written by the pre-flat derive (nested
+        // `buffers[db][kpi]` of retained samples) must stay interchangeable
+        // in both directions, byte for byte.
+        #[derive(Serialize, Deserialize)]
+        struct LegacyQueues {
+            num_dbs: usize,
+            num_kpis: usize,
+            capacity: usize,
+            buffers: Vec<Vec<VecDeque<f64>>>,
+            base_tick: u64,
+            len: u64,
+        }
+
+        let mut q = KpiQueues::new(2, 2, 3);
+        let mut legacy = LegacyQueues {
+            num_dbs: 2,
+            num_kpis: 2,
+            capacity: 3,
+            buffers: vec![vec![VecDeque::new(); 2]; 2],
+            base_tick: 0,
+            len: 0,
+        };
+        for t in 0..8u64 {
+            let f = frame(2, 2, t as f64 + 0.25);
+            q.push(&f);
+            for (db, kpis) in f.iter().enumerate() {
+                for (k, &v) in kpis.iter().enumerate() {
+                    let buf = &mut legacy.buffers[db][k];
+                    buf.push_back(v);
+                    if buf.len() > legacy.capacity {
+                        buf.pop_front();
+                    }
+                }
+            }
+            legacy.len += 1;
+            legacy.base_tick = legacy.len.saturating_sub(legacy.capacity as u64);
+        }
+
+        let flat_json = serde_json::to_string(&q).expect("serialize flat");
+        let legacy_json = serde_json::to_string(&legacy).expect("serialize legacy");
+        assert_eq!(flat_json, legacy_json, "wire shape must be identical");
+
+        // and a legacy-produced snapshot restores into the flat layout
+        let back: KpiQueues = serde_json::from_str(&legacy_json).expect("parse legacy");
+        assert_eq!(back.window(1, 1, back.base_tick(), 3), q.window(1, 1, q.base_tick(), 3));
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_snapshots() {
+        let mut q = KpiQueues::new(1, 1, 2);
+        q.push(&frame(1, 1, 0.0));
+        let json = serde_json::to_string(&q).expect("serialize");
+        // truncate a retained sample out of the buffers array
+        let broken = json.replace("[[[0.0]]]", "[[[]]]");
+        assert_ne!(json, broken, "fixture must actually change");
+        assert!(serde_json::from_str::<KpiQueues>(&broken).is_err());
     }
 }

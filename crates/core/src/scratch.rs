@@ -1,0 +1,54 @@
+//! Reusable per-tick scratch buffers (the hot path's arena).
+//!
+//! Every [`crate::DbCatcher`] owns one [`TickScratch`] — and since serve
+//! shards and fleet workers each own their detectors, each shard/worker
+//! thread gets its own arena for free, with no sharing or locking.
+//!
+//! Ownership rules:
+//!
+//! * buffers are **borrowed for the duration of one call** and always
+//!   left in a reusable state (`clear()` keeps capacity);
+//! * nothing in here is detector *state* — snapshots skip it entirely and
+//!   a restored detector starts with an empty arena that re-warms within
+//!   one tick;
+//! * callers that need several buffers at once destructure the struct so
+//!   the borrows are visibly disjoint.
+//!
+//! After a short warmup (capacities grow to the unit's steady shape) the
+//! arena makes the non-judging `ingest_tick` path allocation-free; the
+//! counting-allocator harness in `tests/zero_alloc.rs` pins that budget.
+
+use std::collections::HashMap;
+
+/// Cache key for one symmetric pair score within a tick:
+/// `(min(db, peer), max(db, peer), kpi, window start, window size)`.
+pub(crate) type PairKey = (usize, usize, usize, u64, usize);
+
+/// Reusable buffers for one detector's tick processing.
+#[derive(Debug, Clone, Default)]
+pub struct TickScratch {
+    /// Sanitized frame staging (`[db][kpi]`), filled by
+    /// [`crate::ingest::TelemetryHealth::observe_into`].
+    pub(crate) sanitized: Vec<Vec<f64>>,
+    /// Per-database unused-rule mask for the window being judged.
+    pub(crate) usable: Vec<bool>,
+    /// Naive backend: min–max-normalised window of the judged database.
+    pub(crate) own_norm: Vec<f64>,
+    /// Naive backend: min–max-normalised window of the current peer.
+    pub(crate) peer_norm: Vec<f64>,
+    /// Per-KPI peer scores awaiting aggregation.
+    pub(crate) pair_scores: Vec<f64>,
+    /// Per-database normalised windows for whole-matrix construction
+    /// ([`crate::matrix::CorrelationMatrix::from_windows_into`]).
+    pub(crate) norm_windows: Vec<Vec<f64>>,
+    /// Symmetric pair-score memo shared by every judgement within one
+    /// tick; cleared (capacity kept) at the start of each tick.
+    pub(crate) pair_cache: HashMap<PairKey, f64>,
+}
+
+impl TickScratch {
+    /// A fresh, empty arena; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

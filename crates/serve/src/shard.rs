@@ -247,14 +247,18 @@ fn try_resume(
     Some(DbCatcher::restore(snapshot))
 }
 
+/// Takes the response by value: subscribers get clones, the producing
+/// connection receives the original — zero clones when nobody subscribes.
 fn fan_out(
-    response: &Response,
+    response: Response,
     reply: &Sender<Response>,
     subscribers: &Mutex<Vec<Sender<Response>>>,
 ) {
-    let _ = reply.send(response.clone());
-    let mut subs = subscribers.lock().expect("subscriber lock poisoned");
-    subs.retain(|s| s.send(response.clone()).is_ok());
+    {
+        let mut subs = subscribers.lock().expect("subscriber lock poisoned");
+        subs.retain(|s| s.send(response.clone()).is_ok());
+    }
+    let _ = reply.send(response);
 }
 
 fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
@@ -409,7 +413,7 @@ fn handle_tick(
                     healthy += 1;
                 }
                 fan_out(
-                    &Response::Verdict {
+                    Response::Verdict {
                         unit,
                         at_tick: tick,
                         verdict,

@@ -3,10 +3,12 @@
 use dbcatcher::core::kcd::kcd;
 use dbcatcher::core::kcd_incremental::IncrementalCorrelator;
 use dbcatcher::core::levels::{level_row, score_to_level, Level};
+use dbcatcher::core::queues::KpiQueues;
 use dbcatcher::core::state::{determine_state, DbState};
 use dbcatcher::eval::metrics::{confusion_from, point_adjust, Confusion};
 use dbcatcher::signal::normalize::min_max;
 use proptest::prelude::*;
+use std::collections::VecDeque;
 
 fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 2..max_len)
@@ -178,6 +180,66 @@ proptest! {
         for (i, (&a, &p)) in adjusted.iter().zip(&preds).enumerate() {
             if !labels[i] {
                 prop_assert_eq!(a, p);
+            }
+        }
+    }
+
+    /// The flat slab layout of [`KpiQueues`] is observationally identical
+    /// — bit for bit — to the original nested `VecDeque` rings across
+    /// pushes, wrap-arounds and snapshot/restore cycles.
+    #[test]
+    fn flat_queues_match_nested_ring_model(
+        dbs in 1usize..4,
+        kpis in 1usize..4,
+        cap in 1usize..9,
+        seeds in prop::collection::vec(-1e9f64..1e9, 1..80),
+        restore_every in 1usize..20,
+    ) {
+        let mut q = KpiQueues::new(dbs, kpis, cap);
+        let mut model: Vec<Vec<VecDeque<f64>>> = vec![vec![VecDeque::new(); kpis]; dbs];
+        for (t, &seed) in seeds.iter().enumerate() {
+            let frame: Vec<Vec<f64>> = (0..dbs)
+                .map(|db| {
+                    (0..kpis)
+                        .map(|k| seed * (1.0 + 0.1 * db as f64) + k as f64)
+                        .collect()
+                })
+                .collect();
+            q.push(&frame);
+            for (db, kpis_row) in frame.iter().enumerate() {
+                for (k, &v) in kpis_row.iter().enumerate() {
+                    let ring = &mut model[db][k];
+                    ring.push_back(v);
+                    if ring.len() > cap {
+                        ring.pop_front();
+                    }
+                }
+            }
+            // periodic serde round trip: a warm restart mid-stream must
+            // not perturb a single bit
+            if (t + 1) % restore_every == 0 {
+                let json = serde_json::to_string(&q).expect("serialize");
+                q = serde_json::from_str(&json).expect("restore");
+            }
+            let base = (t as u64 + 1).saturating_sub(cap as u64);
+            prop_assert_eq!(q.base_tick(), base);
+            prop_assert_eq!(q.next_tick(), t as u64 + 1);
+            let retained = (q.next_tick() - base) as usize;
+            for (db, rings) in model.iter().enumerate() {
+                for (k, ring) in rings.iter().enumerate() {
+                    let slice = q.window_slice(db, k, base, retained)
+                        .expect("retained span addressable");
+                    prop_assert_eq!(slice.len(), ring.len());
+                    for (a, b) in slice.iter().zip(ring.iter()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    if base > 0 {
+                        prop_assert!(
+                            q.window_slice(db, k, base - 1, 1).is_none(),
+                            "evicted tick must stay refused"
+                        );
+                    }
+                }
             }
         }
     }
