@@ -13,6 +13,10 @@ cargo test -q --workspace
 echo "==> fault-injection soak (fixed seed, all fault kinds)"
 cargo test --release -q --test fault_soak -- --ignored
 
+echo "==> chaos simulator soak gate (20 fixed seeds + 256-case atomicity sweep)"
+cargo test --release -q --test sim_soak -- --ignored
+cargo test --release -q -p dbcatcher-serve --test snapshot_atomicity -- --ignored
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -58,5 +62,20 @@ diff "$SMOKE_DIR/offline.jsonl" "$SMOKE_DIR/online.jsonl" \
 grep -q "abnormal verdict" "$SMOKE_DIR/emit.log" \
   || { echo "emit reported no verdict count"; exit 1; }
 rm -rf "$SMOKE_DIR"
+
+echo "==> chaos smoke (one random seed + same-seed determinism diff)"
+CHAOS_DIR="$(mktemp -d)"
+CHAOS_SEED="${CHAOS_SEED:-$RANDOM}"
+"$DBC" simulate --chaos --seed "$CHAOS_SEED" \
+  --out "$CHAOS_DIR/events_a.jsonl" --verdicts "$CHAOS_DIR/verdicts_a.jsonl" \
+  || { echo "chaos run failed; reproduce with: $DBC simulate --chaos --seed $CHAOS_SEED"; exit 1; }
+"$DBC" simulate --chaos --seed "$CHAOS_SEED" \
+  --out "$CHAOS_DIR/events_b.jsonl" --verdicts "$CHAOS_DIR/verdicts_b.jsonl" \
+  || { echo "chaos rerun failed; reproduce with: $DBC simulate --chaos --seed $CHAOS_SEED"; exit 1; }
+diff "$CHAOS_DIR/events_a.jsonl" "$CHAOS_DIR/events_b.jsonl" \
+  || { echo "chaos event logs diverge for seed $CHAOS_SEED"; exit 1; }
+diff "$CHAOS_DIR/verdicts_a.jsonl" "$CHAOS_DIR/verdicts_b.jsonl" \
+  || { echo "chaos verdict logs diverge for seed $CHAOS_SEED"; exit 1; }
+rm -rf "$CHAOS_DIR"
 
 echo "==> ci.sh: all green"

@@ -13,6 +13,8 @@ dbcatcher — cloud-database anomaly detection (DBCatcher, ICDE 2023)
 USAGE:
   dbcatcher simulate  --kind <tencent|sysbench|tpcc> [--subset <mixed|irregular|periodic>]
                       [--units N] [--ticks T] [--seed S] [--anomaly-ratio R] --out <ds.json>
+  dbcatcher simulate  --chaos [--seed S] [--units N] [--ticks T] [--boots B] [--no-crash]
+                      [--out <events.jsonl>] [--verdicts <verdicts.jsonl>] [--no-shrink]
   dbcatcher detect    --data <ds.json> [--learn] [--train-frac F] [--out <verdicts.jsonl>]
                       [--backend <naive|incremental>]
                       [--faults <none|standard|heavy>] [--fault-seed S]
@@ -41,6 +43,13 @@ serve runs the online daemon (newline-delimited JSON over TCP); emit
 streams a dataset to it and collects the verdicts; stats prints one
 metrics snapshot as JSON. --listen 127.0.0.1:0 picks an ephemeral port
 (written to --port-file for scripts).
+
+simulate --chaos runs the deterministic whole-system chaos simulator:
+one seed (--seed or the SEED env var) draws unit topology, anomaly and
+collector-fault schedules, producer churn and daemon kill/resume points,
+executes them against a real in-process daemon and property-checks the
+verdicts against an offline replay. Same seed, same bytes. On failure the
+minimized schedule is printed to stderr and the exit code is nonzero.
 ";
 
 /// A parsed CLI invocation.
@@ -62,6 +71,25 @@ pub enum Command {
         anomaly_ratio: f64,
         /// Output path.
         out: String,
+    },
+    /// Run the deterministic whole-system chaos simulator.
+    Chaos {
+        /// Seed; `None` falls back to the `SEED` env var at run time.
+        seed: Option<u64>,
+        /// Most units in the plan.
+        units: usize,
+        /// Most ticks per unit.
+        ticks: usize,
+        /// Most daemon boots (restarts).
+        boots: usize,
+        /// Disallow simulated mid-tick kills.
+        no_crash: bool,
+        /// Optional event-log path (stdout when absent).
+        out: Option<String>,
+        /// Optional canonical verdict-stream path.
+        verdicts: Option<String>,
+        /// Skip schedule minimization when the run fails.
+        no_shrink: bool,
     },
     /// Stream a dataset through the detector, emitting verdicts.
     Detect {
@@ -195,6 +223,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let rest = &argv[1..];
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" if rest.iter().any(|a| a == "--chaos") => Ok(Command::Chaos {
+            seed: match value(rest, "--seed") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| format!("invalid value for --seed: {raw}"))?,
+                ),
+            },
+            units: parse_num(rest, "--units", 3)?,
+            ticks: parse_num(rest, "--ticks", 240)?,
+            boots: parse_num(rest, "--boots", 3)?,
+            no_crash: rest.iter().any(|a| a == "--no-crash"),
+            out: value(rest, "--out").map(str::to_string),
+            verdicts: value(rest, "--verdicts").map(str::to_string),
+            no_shrink: rest.iter().any(|a| a == "--no-shrink"),
+        }),
         "simulate" => {
             let kind = match value(rest, "--kind").unwrap_or("tencent") {
                 "tencent" => WorkloadKind::Tencent,
@@ -334,6 +378,47 @@ mod tests {
     #[test]
     fn simulate_requires_out() {
         assert!(parse(&argv("simulate --kind tpcc")).is_err());
+    }
+
+    #[test]
+    fn simulate_chaos_full() {
+        let cmd = parse(&argv(
+            "simulate --chaos --seed 17 --units 2 --ticks 160 --boots 2 --no-crash \
+             --out e.jsonl --verdicts v.jsonl --no-shrink",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                seed: Some(17),
+                units: 2,
+                ticks: 160,
+                boots: 2,
+                no_crash: true,
+                out: Some("e.jsonl".into()),
+                verdicts: Some("v.jsonl".into()),
+                no_shrink: true,
+            }
+        );
+    }
+
+    #[test]
+    fn simulate_chaos_defaults_leave_seed_to_env() {
+        let cmd = parse(&argv("simulate --chaos")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                seed: None,
+                units: 3,
+                ticks: 240,
+                boots: 3,
+                no_crash: false,
+                out: None,
+                verdicts: None,
+                no_shrink: false,
+            }
+        );
+        assert!(parse(&argv("simulate --chaos --seed banana")).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use dbcatcher_eval::protocol::ProtocolConfig;
 use dbcatcher_serve::server::{DetectionServer, ServeConfig};
 use dbcatcher_serve::{DetectorTemplate, EmitOptions, UnitStream};
 use dbcatcher_sim::faults::{FaultInjector, FaultPreset};
+use dbcatcher_simulator::{self as simulator, SimOpts};
 use dbcatcher_workload::anomaly::AnomalyPlanConfig;
 use dbcatcher_workload::dataset::{Dataset, DatasetSpec, UnitData};
 use dbcatcher_workload::io::{export_unit_csv, load_dataset, save_dataset};
@@ -116,6 +117,16 @@ pub fn run(command: Command) -> Result<(), CliError> {
             );
             Ok(())
         }
+        Command::Chaos {
+            seed,
+            units,
+            ticks,
+            boots,
+            no_crash,
+            out,
+            verdicts,
+            no_shrink,
+        } => run_chaos(seed, units, ticks, boots, no_crash, out, verdicts, no_shrink),
         Command::Detect {
             data,
             learn,
@@ -319,6 +330,84 @@ pub fn run(command: Command) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// `simulate --chaos`: one seed, one deterministic whole-system run.
+/// Failures print the invariant violations plus a minimized schedule to
+/// stderr and surface as a [`CliError::Detect`] (nonzero exit).
+#[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+fn run_chaos(
+    seed: Option<u64>,
+    units: usize,
+    ticks: usize,
+    boots: usize,
+    no_crash: bool,
+    out: Option<String>,
+    verdicts: Option<String>,
+    no_shrink: bool,
+) -> Result<(), CliError> {
+    let seed = match seed.or_else(|| {
+        std::env::var("SEED")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+    }) {
+        Some(seed) => seed,
+        None => {
+            return Err(CliError::Usage(
+                "simulate --chaos needs a seed: pass --seed N or set SEED=N".into(),
+            ))
+        }
+    };
+    let opts = SimOpts {
+        max_units: units.max(1),
+        max_ticks: ticks,
+        max_boots: boots.max(1),
+        allow_crash: !no_crash,
+    };
+    eprintln!("chaos: running seed {seed} (units <= {units}, ticks <= {ticks}, boots <= {boots})");
+    let outcome = simulator::run_seed(seed, &opts);
+
+    match &out {
+        Some(path) => std::fs::write(path, outcome.event_log())
+            .map_err(CliError::io(format!("write {path}")))?,
+        None => print!("{}", outcome.event_log()),
+    }
+    if let Some(path) = &verdicts {
+        std::fs::write(path, outcome.verdict_log())
+            .map_err(CliError::io(format!("write {path}")))?;
+    }
+
+    if outcome.passed() {
+        eprintln!(
+            "chaos: seed {seed} passed ({} canonical verdict(s))",
+            outcome.verdicts.len()
+        );
+        return Ok(());
+    }
+
+    eprintln!("chaos: seed {seed} FAILED:");
+    for failure in &outcome.failures {
+        eprintln!("  - {failure}");
+    }
+    if no_shrink {
+        eprintln!("chaos: failing plan (shrink skipped):");
+        eprintln!("{}", outcome.plan.to_json());
+    } else {
+        eprintln!("chaos: minimizing the failing schedule...");
+        let report = simulator::shrink(&outcome.plan, 24);
+        for edit in &report.applied {
+            eprintln!("  kept failing after: {edit}");
+        }
+        eprintln!(
+            "chaos: minimized plan after {} re-run(s) (replay it with `simulate --chaos --seed {seed}`):",
+            report.runs
+        );
+        eprintln!("{}", report.plan.to_json());
+    }
+    Err(CliError::Detect(format!(
+        "chaos seed {seed} violated {} invariant check(s)",
+        outcome.failures.len()
+    )))
 }
 
 /// Writes one abnormal verdict in the CLI's JSONL format (shared by

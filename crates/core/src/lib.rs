@@ -63,5 +63,5 @@ pub use kcd_incremental::IncrementalCorrelator;
 pub use levels::Level;
 pub use matrix::CorrelationMatrix;
 pub use pipeline::{ComponentTiming, DbCatcher, Verdict};
-pub use snapshot::DetectorSnapshot;
+pub use snapshot::{DetectorSnapshot, SnapshotSummary};
 pub use state::DbState;

@@ -32,7 +32,69 @@ pub struct DetectorSnapshot {
     pub verdict_count: u64,
 }
 
+/// A cheap, human-readable digest of a snapshot file — what an operator
+/// (or a chaos harness) needs to know about persisted resume state
+/// without rebuilding the detector: where the stream picks back up, how
+/// much it has seen, and which databases are currently demoted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotSummary {
+    /// Databases monitored.
+    pub num_dbs: usize,
+    /// KPIs per database.
+    pub num_kpis: usize,
+    /// Next absolute tick the restored detector will accept.
+    pub next_tick: u64,
+    /// Verdicts emitted before the snapshot was taken.
+    pub verdict_count: u64,
+    /// Databases demoted to non-voting by telemetry health.
+    pub non_voting: Vec<usize>,
+}
+
 impl DetectorSnapshot {
+    /// Next absolute tick a detector restored from this snapshot accepts.
+    pub fn next_tick(&self) -> u64 {
+        self.queues.next_tick()
+    }
+
+    /// Builds the introspection digest.
+    pub fn summary(&self) -> SnapshotSummary {
+        SnapshotSummary {
+            num_dbs: self.num_dbs,
+            num_kpis: self.config.num_kpis,
+            next_tick: self.next_tick(),
+            verdict_count: self.verdict_count,
+            non_voting: self.health.non_voting(),
+        }
+    }
+
+    /// Checks the internal consistency [`DbCatcher::restore`] would
+    /// otherwise assert on, as a recoverable error: a caller holding an
+    /// untrusted snapshot file (a warm-restarting daemon, the chaos
+    /// harness inspecting state between boots) can reject it instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// Describes the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.trackers.len() != self.num_dbs {
+            return Err(format!(
+                "{} window trackers for {} databases",
+                self.trackers.len(),
+                self.num_dbs
+            ));
+        }
+        if self.queues.num_kpis() != self.config.num_kpis {
+            return Err(format!(
+                "queues carry {} KPIs but the configuration declares {}",
+                self.queues.num_kpis(),
+                self.config.num_kpis
+            ));
+        }
+        self.config
+            .validate()
+            .map_err(|e| format!("invalid configuration: {e}"))
+    }
+
     /// Serialises to JSON.
     ///
     /// # Errors
@@ -176,6 +238,41 @@ mod tests {
     #[test]
     fn malformed_json_rejected() {
         assert!(DetectorSnapshot::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn summary_reports_resume_point_and_health() {
+        let all = frames(40, 3, 4);
+        let mut catcher = DbCatcher::new(config(4), 3);
+        for f in &all {
+            let _ = catcher.ingest_tick(f);
+        }
+        let snap = catcher.snapshot();
+        let summary = snap.summary();
+        assert_eq!(summary.num_dbs, 3);
+        assert_eq!(summary.num_kpis, 4);
+        assert_eq!(summary.next_tick, 40);
+        assert_eq!(summary.next_tick, snap.next_tick());
+        assert_eq!(summary.verdict_count, snap.verdict_count);
+        assert!(summary.non_voting.is_empty());
+        // The digest itself round-trips through serde.
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: SnapshotSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+    }
+
+    #[test]
+    fn validate_catches_what_restore_asserts() {
+        let catcher = DbCatcher::new(config(2), 3);
+        let good = catcher.snapshot();
+        assert!(good.validate().is_ok());
+        let mut bad = good.clone();
+        bad.trackers.pop();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("window trackers"), "{err}");
+        let mut bad = good;
+        bad.config.num_kpis = 7;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub struct EmitReport {
     /// Unit-scoped server errors (degraded units); the stream for such a
     /// unit stops but the run continues.
     pub errors: Vec<String>,
+    /// Set when the run died on a connection-level failure (daemon
+    /// crashed or closed mid-stream) and the report is partial. Only
+    /// [`emit_surviving`] produces aborted reports; [`emit`] turns the
+    /// same failures into `Err`.
+    pub aborted: Option<String>,
 }
 
 impl EmitReport {
@@ -189,6 +194,62 @@ pub fn emit<A: ToSocketAddrs>(
 ) -> Result<EmitReport, ClientError> {
     let mut conn = Connection::open(addr)?;
     let mut report = EmitReport::default();
+    emit_core(&mut conn, streams, options, &mut report)?;
+    Ok(report)
+}
+
+/// Like [`emit`], but a connection-level failure mid-run (the daemon
+/// crashed, was killed, or closed the socket) returns the *partial*
+/// report with [`EmitReport::aborted`] set instead of discarding the
+/// verdicts and counters collected so far. Before giving up it drains
+/// whatever the server managed to flush onto the wire, so verdicts for
+/// ticks that were persisted before the crash are not lost.
+///
+/// Chaos harnesses use this to reconcile online observations across
+/// daemon kills; ordinary producers should keep using [`emit`].
+///
+/// # Errors
+/// Only failing to open the connection errors — past that point every
+/// failure is folded into the report.
+pub fn emit_surviving<A: ToSocketAddrs>(
+    addr: A,
+    streams: Vec<UnitStream>,
+    options: &EmitOptions,
+) -> Result<EmitReport, ClientError> {
+    let mut conn = Connection::open(addr)?;
+    let mut report = EmitReport::default();
+    if let Err(e) = emit_core(&mut conn, streams, options, &mut report) {
+        // Best-effort drain of already-buffered broadcasts: bounded by a
+        // read timeout so a wedged server cannot hang the harness.
+        let _ = conn
+            .reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(500)));
+        while let Ok(response) = conn.recv() {
+            if let Response::Verdict {
+                unit,
+                at_tick,
+                verdict,
+            } = response
+            {
+                report.verdicts.push(VerdictRecord {
+                    unit,
+                    at_tick,
+                    verdict,
+                });
+            }
+        }
+        report.aborted = Some(e.to_string());
+    }
+    Ok(report)
+}
+
+fn emit_core(
+    conn: &mut Connection,
+    streams: Vec<UnitStream>,
+    options: &EmitOptions,
+    report: &mut EmitReport,
+) -> Result<(), ClientError> {
     let mut units: Vec<UnitCursor> = Vec::with_capacity(streams.len());
 
     // Register every unit up front; a warm-restarted server tells us
@@ -400,7 +461,7 @@ pub fn emit<A: ToSocketAddrs>(
             }
         }
     }
-    Ok(report)
+    Ok(())
 }
 
 /// Fetches one metrics snapshot.

@@ -26,8 +26,10 @@ pub mod protocol;
 pub mod server;
 mod shard;
 
-pub use client::{emit, fetch_stats, send_stop, EmitOptions, EmitReport, Subscriber, UnitStream};
+pub use client::{
+    emit, emit_surviving, fetch_stats, send_stop, EmitOptions, EmitReport, Subscriber, UnitStream,
+};
 pub use metrics::{MetricsSnapshot, ServerMetrics, UnitMetrics};
 pub use protocol::{Request, Response};
 pub use server::{DetectionServer, ServeConfig, ServerHandle};
-pub use shard::DetectorTemplate;
+pub use shard::{CrashSwitch, DetectorTemplate};

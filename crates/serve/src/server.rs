@@ -22,7 +22,7 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, Response, MAX_LINE_BYTES};
-use crate::shard::{DetectorTemplate, Job, Registry, ShardContext, ShardPool};
+use crate::shard::{CrashSwitch, DetectorTemplate, Job, Registry, ShardContext, ShardPool};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -32,8 +32,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How long blocked socket reads wait before re-checking the shutdown
-/// flag.
-const READ_POLL: Duration = Duration::from_millis(100);
+/// flag. Short enough that teardown-heavy tests (proptest sweeps spawn a
+/// fresh daemon per case) are not dominated by reader-exit latency.
+const READ_POLL: Duration = Duration::from_millis(25);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +57,9 @@ pub struct ServeConfig {
     pub retry_after_ms: u64,
     /// Artificial per-tick shard delay (backpressure/load testing only).
     pub slow_tick: Option<Duration>,
+    /// Deterministic kill point for chaos tests: the daemon dies mid-tick
+    /// when the switch trips. Never set outside tests/simulation.
+    pub crash: Option<Arc<CrashSwitch>>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +74,7 @@ impl Default for ServeConfig {
             template: DetectorTemplate::default(),
             retry_after_ms: 20,
             slow_tick: None,
+            crash: None,
         }
     }
 }
@@ -157,6 +162,10 @@ impl DetectionServer {
         let metrics = Arc::new(ServerMetrics::new(config.max_units, shards));
         let registry = Arc::new(Registry::new(config.max_units));
         let subscribers: Arc<Mutex<Vec<Sender<Response>>>> = Arc::new(Mutex::new(Vec::new()));
+        let handle = ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        };
         let pool = Arc::new(ShardPool::spawn(
             shards,
             config.max_units,
@@ -171,12 +180,10 @@ impl DetectionServer {
                 registry: Arc::clone(&registry),
                 subscribers: Arc::clone(&subscribers),
                 slow_tick: config.slow_tick,
+                crash: config.crash.clone(),
+                handle: handle.clone(),
             },
         ));
-        let handle = ServerHandle {
-            addr: self.addr,
-            shutdown: Arc::clone(&self.shutdown),
-        };
         let mut readers = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {

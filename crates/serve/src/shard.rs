@@ -14,16 +14,72 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::Response;
+use crate::server::ServerHandle;
 use dbcatcher_core::config::{CorrelationBackend, DbCatcherConfig};
 use dbcatcher_core::ingest::GapPolicy;
 use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_core::snapshot::DetectorSnapshot;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Deterministic kill point for chaos tests.
+///
+/// Armed with a tick budget and handed to [`crate::server::ServeConfig`],
+/// the switch trips on the N-th ingested tick across all units and the
+/// daemon dies as if killed mid-tick: the tripping tick's verdicts and
+/// snapshot never escape, queued-but-unprocessed ticks are discarded, and
+/// no final shutdown snapshots are written. The harness keeps its own
+/// `Arc` and reads [`Self::ingested`] afterwards to know exactly how far
+/// each unit got — the ground truth for the "≤ 1 in-flight tick lost per
+/// restart" invariant (which holds when `snapshot_every == 1`).
+#[derive(Debug, Default)]
+pub struct CrashSwitch {
+    /// Total ingested ticks that trigger the kill; `0` means disarmed.
+    after_ticks: u64,
+    /// Per-unit ingested-tick counts for this server lifetime.
+    counts: Mutex<BTreeMap<usize, u64>>,
+    tripped: AtomicBool,
+}
+
+impl CrashSwitch {
+    /// Arms a switch that kills the daemon on the `after_ticks`-th
+    /// ingested tick (counted across all units).
+    pub fn armed(after_ticks: u64) -> Arc<Self> {
+        Arc::new(Self {
+            after_ticks,
+            counts: Mutex::new(BTreeMap::new()),
+            tripped: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the kill has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+
+    /// Ticks ingested per unit during the crashed server's lifetime
+    /// (includes each unit's final, unsnapshotted tick).
+    pub fn ingested(&self) -> BTreeMap<usize, u64> {
+        self.counts.lock().expect("crash switch lock poisoned").clone()
+    }
+
+    /// Records one ingested tick; returns `true` exactly once, on the
+    /// tick that trips the kill.
+    fn note_ingest(&self, unit: usize) -> bool {
+        let mut counts = self.counts.lock().expect("crash switch lock poisoned");
+        *counts.entry(unit).or_insert(0) += 1;
+        let total: u64 = counts.values().sum();
+        if self.after_ticks > 0 && total >= self.after_ticks {
+            return !self.tripped.swap(true, Ordering::SeqCst);
+        }
+        false
+    }
+}
 
 /// Reader-visible state of one unit slot, updated by shard workers on
 /// registration/degradation and by connection readers on every accepted
@@ -113,6 +169,19 @@ pub(crate) struct ShardContext {
     /// Artificial per-tick delay — a load-testing / backpressure-test
     /// hook, never set by the CLI defaults.
     pub slow_tick: Option<Duration>,
+    /// Deterministic mid-tick kill point (chaos tests only).
+    pub crash: Option<Arc<CrashSwitch>>,
+    /// Remote control for the daemon, so a tripping crash switch can take
+    /// the whole process down like a real kill would.
+    pub handle: ServerHandle,
+}
+
+impl ShardContext {
+    /// Whether the simulated kill has fired (always `false` in normal
+    /// operation).
+    fn crashed(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.tripped())
+    }
 }
 
 /// One unit's state inside a worker.
@@ -233,11 +302,11 @@ fn try_resume(
             return None;
         }
     };
-    let consistent = snapshot.num_dbs == dbs
-        && snapshot.config.num_kpis == kpis
-        && snapshot.trackers.len() == snapshot.num_dbs
-        && snapshot.config.validate().is_ok();
-    if !consistent {
+    if let Err(e) = snapshot.validate() {
+        metrics.record_error(unit, format!("invalid snapshot {}: {e}", path.display()));
+        return None;
+    }
+    if snapshot.num_dbs != dbs || snapshot.config.num_kpis != kpis {
         metrics.record_error(
             unit,
             format!("snapshot {} mismatches Hello({dbs} dbs, {kpis} kpis)", path.display()),
@@ -264,6 +333,15 @@ fn fan_out(
 fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
     let mut slots: HashMap<usize, UnitSlot> = HashMap::new();
     while let Ok(job) = jobs.recv() {
+        if ctx.crashed() {
+            // Simulated kill: everything still queued is discarded exactly
+            // as a real crash would drop it. Only `Stop` is honoured so the
+            // pool can join the worker.
+            if matches!(job, Job::Stop) {
+                break;
+            }
+            continue;
+        }
         match job {
             Job::Hello { unit, dbs, kpis, participation, reply } => {
                 handle_hello(&ctx, &mut slots, unit, dbs, kpis, participation, &reply);
@@ -289,7 +367,12 @@ fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
         }
     }
     // Final snapshots on clean shutdown: the daemon restarts warm even
-    // when the last periodic snapshot is stale.
+    // when the last periodic snapshot is stale. A crashed daemon gets no
+    // such courtesy — resume state is whatever the periodic snapshots
+    // already persisted.
+    if ctx.crashed() {
+        return;
+    }
     if let Some(dir) = &ctx.snapshot_dir {
         for (unit, slot) in &slots {
             if slot.ticks > 0 {
@@ -355,6 +438,12 @@ fn handle_hello(
     };
     let next_tick = catcher.next_tick();
     ctx.metrics.register_unit(unit, ctx.shard);
+    // A restored snapshot can carry demoted databases; reflect them in
+    // stats immediately instead of waiting for the next health event.
+    let non_voting = catcher.non_voting();
+    if !non_voting.is_empty() {
+        ctx.metrics.record_demoted(unit, non_voting);
+    }
     ctx.registry.with_entry(unit, |entry| {
         entry.registered = true;
         entry.expected = next_tick;
@@ -400,6 +489,19 @@ fn handle_tick(
     let started = Instant::now();
     match slot.catcher.try_ingest_tick(&frame) {
         Ok(report) => {
+            if let Some(crash) = &ctx.crash {
+                // The kill point sits between ingestion and everything
+                // downstream (verdict fan-out, snapshot persist): a tick
+                // the detector consumed but the world never saw — the
+                // worst case the "≤1 tick lost" resume invariant covers.
+                let tripping = crash.note_ingest(unit);
+                if tripping {
+                    ctx.handle.stop();
+                }
+                if crash.tripped() {
+                    return;
+                }
+            }
             ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
             slot.ticks += 1;
             if !report.demoted.is_empty() || !report.readmitted.is_empty() {

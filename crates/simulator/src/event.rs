@@ -1,0 +1,287 @@
+//! Deterministic event log.
+//!
+//! The log is the simulator's reproducibility contract: two runs of the
+//! same seed must produce **byte-identical** logs. Everything written
+//! here is therefore derived from deterministic facts — the plan, the
+//! offline oracle, canonical verdict digests and invariant verdicts.
+//! Timing-dependent observables (reject counts, which worker tripped the
+//! kill, poll samples) are diagnostics, not events; the harness routes
+//! them to the failure details instead.
+
+use crate::plan::{BootEnd, SimPlan};
+use dbcatcher_serve::client::VerdictRecord;
+use serde::Serialize;
+
+/// A fully comparable image of one verdict: every score collapsed to a
+/// bit pattern with NaN mapped to a single sentinel (non-participating
+/// KPIs legitimately score NaN, and `NaN != NaN` would break equality).
+pub type VerdictKey = (
+    usize,
+    u64,
+    usize,
+    u64,
+    u64,
+    String,
+    usize,
+    u32,
+    Vec<u64>,
+);
+
+/// Builds the canonical key of a verdict record.
+pub fn verdict_key(r: &VerdictRecord) -> VerdictKey {
+    (
+        r.unit,
+        r.at_tick,
+        r.verdict.db,
+        r.verdict.start_tick,
+        r.verdict.end_tick,
+        format!("{:?}", r.verdict.state),
+        r.verdict.window_size,
+        r.verdict.expansions,
+        r.verdict
+            .scores
+            .iter()
+            .map(|s| if s.is_nan() { u64::MAX } else { s.to_bits() })
+            .collect(),
+    )
+}
+
+/// Sorts and dedups records into the canonical stream order
+/// `(unit, at_tick, db, start_tick, …)`. Re-ingested ticks after a
+/// restart re-emit bit-identical verdicts, so key-dedup removes exactly
+/// the replay duplicates.
+pub fn canonicalize(records: &[VerdictRecord]) -> Vec<VerdictRecord> {
+    let mut keyed: Vec<(VerdictKey, VerdictRecord)> = records
+        .iter()
+        .map(|r| (verdict_key(r), r.clone()))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.dedup_by(|a, b| a.0 == b.0);
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One canonical verdict line (the `--verdicts` output format).
+#[derive(Debug, Serialize)]
+struct VerdictLine {
+    unit: usize,
+    at_tick: u64,
+    db: usize,
+    start_tick: u64,
+    end_tick: u64,
+    state: String,
+    window_size: usize,
+    expansions: u32,
+    scores: Vec<f64>,
+}
+
+/// Renders one canonical verdict as a JSONL line.
+pub fn verdict_line(r: &VerdictRecord) -> String {
+    serde_json::to_string(&VerdictLine {
+        unit: r.unit,
+        at_tick: r.at_tick,
+        db: r.verdict.db,
+        start_tick: r.verdict.start_tick,
+        end_tick: r.verdict.end_tick,
+        state: format!("{:?}", r.verdict.state),
+        window_size: r.verdict.window_size,
+        expansions: r.verdict.expansions,
+        scores: r.verdict.scores.clone(),
+    })
+    .expect("verdict line serialises")
+}
+
+/// FNV-1a digest over the canonical verdict lines — a compact stream
+/// fingerprint for the event log.
+pub fn verdict_digest(lines: &[String]) -> String {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for line in lines {
+        for b in line.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{hash:016x}")
+}
+
+#[derive(Serialize)]
+struct PlanEvent {
+    event: &'static str,
+    plan: SimPlan,
+}
+
+#[derive(Serialize)]
+struct BootEvent {
+    event: &'static str,
+    index: usize,
+    sessions: usize,
+    crash: bool,
+    after_ticks: u64,
+}
+
+#[derive(Serialize)]
+struct UnitSummaryEvent {
+    event: &'static str,
+    unit: usize,
+    databases: usize,
+    ticks: usize,
+    offline_verdicts: usize,
+    non_voting: Vec<usize>,
+}
+
+#[derive(Serialize)]
+struct InvariantEvent {
+    event: &'static str,
+    scope: String,
+    name: String,
+    ok: bool,
+}
+
+#[derive(Serialize)]
+struct DigestEvent {
+    event: &'static str,
+    verdicts: usize,
+    digest: String,
+}
+
+#[derive(Serialize)]
+struct ResultEvent {
+    event: &'static str,
+    ok: bool,
+    failed_invariants: usize,
+}
+
+/// Ordered builder for the deterministic event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    lines: Vec<String>,
+    failed: usize,
+}
+
+impl EventLog {
+    fn push<T: Serialize>(&mut self, value: &T) {
+        self.lines
+            .push(serde_json::to_string(value).expect("event serialises"));
+    }
+
+    /// Records the full plan as the first event.
+    pub fn plan(&mut self, plan: &SimPlan) {
+        self.push(&PlanEvent {
+            event: "plan",
+            plan: plan.clone(),
+        });
+    }
+
+    /// Records a boot boundary.
+    pub fn boot(&mut self, index: usize, boot_sessions: usize, end: &BootEnd) {
+        let (crash, after_ticks) = match end {
+            BootEnd::CleanStop => (false, 0),
+            BootEnd::Crash { after_ticks } => (true, *after_ticks),
+        };
+        self.push(&BootEvent {
+            event: "boot",
+            index,
+            sessions: boot_sessions,
+            crash,
+            after_ticks,
+        });
+    }
+
+    /// Records one unit's offline-oracle summary.
+    pub fn unit_summary(
+        &mut self,
+        unit: usize,
+        databases: usize,
+        ticks: usize,
+        offline_verdicts: usize,
+        non_voting: Vec<usize>,
+    ) {
+        self.push(&UnitSummaryEvent {
+            event: "unit_summary",
+            unit,
+            databases,
+            ticks,
+            offline_verdicts,
+            non_voting,
+        });
+    }
+
+    /// Records one invariant verdict.
+    pub fn invariant(&mut self, scope: &str, name: &str, ok: bool) {
+        if !ok {
+            self.failed += 1;
+        }
+        self.push(&InvariantEvent {
+            event: "invariant",
+            scope: scope.to_string(),
+            name: name.to_string(),
+            ok,
+        });
+    }
+
+    /// Records the canonical verdict-stream digest.
+    pub fn digest(&mut self, verdicts: usize, digest: &str) {
+        self.push(&DigestEvent {
+            event: "verdict_stream",
+            verdicts,
+            digest: digest.to_string(),
+        });
+    }
+
+    /// Records the final result and returns the finished log.
+    pub fn finish(mut self) -> Vec<String> {
+        let failed_invariants = self.failed;
+        self.push(&ResultEvent {
+            event: "result",
+            ok: failed_invariants == 0,
+            failed_invariants,
+        });
+        self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_core::pipeline::Verdict;
+    use dbcatcher_core::state::DbState;
+
+    fn record(unit: usize, at_tick: u64, db: usize) -> VerdictRecord {
+        VerdictRecord {
+            unit,
+            at_tick,
+            verdict: Verdict {
+                db,
+                start_tick: at_tick.saturating_sub(10),
+                end_tick: at_tick,
+                state: DbState::Healthy,
+                window_size: 10,
+                expansions: 0,
+                scores: vec![0.9, f64::NAN],
+            },
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let records = vec![record(1, 20, 0), record(0, 10, 1), record(1, 20, 0)];
+        let canon = canonicalize(&records);
+        assert_eq!(canon.len(), 2);
+        assert_eq!((canon[0].unit, canon[0].at_tick), (0, 10));
+        assert_eq!((canon[1].unit, canon[1].at_tick), (1, 20));
+    }
+
+    #[test]
+    fn nan_scores_compare_equal_via_keys() {
+        assert_eq!(verdict_key(&record(0, 5, 2)), verdict_key(&record(0, 5, 2)));
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "x".to_string()];
+        assert_eq!(verdict_digest(&a), verdict_digest(&a));
+        assert_ne!(verdict_digest(&a), verdict_digest(&b));
+    }
+}

@@ -1,0 +1,618 @@
+//! Plan execution against a real daemon, plus the invariant checks.
+//!
+//! The harness brings up an in-process [`DetectionServer`] per boot,
+//! streams the planned sessions through the real wire client, kills the
+//! daemon with [`CrashSwitch`] where the plan says so, restarts it with
+//! `resume_dir` pointing at the snapshot directory, and checks:
+//!
+//! 1. **online == offline** — the canonical (sorted, replay-deduped)
+//!    union of every verdict any session received equals a deterministic
+//!    offline replay of the same frames.
+//! 2. **bounded queues** — no stats poll ever observes a per-unit queue
+//!    depth above `queue_cap`, and queues are drained at the end.
+//! 3. **≤ 1 tick lost per restart** — after a kill, each unit's persisted
+//!    snapshot position is within one tick of what the crash switch
+//!    counted as ingested.
+//! 4. **demotion lifecycle** — the final daemon's demoted-database lists
+//!    equal the offline oracle's `non_voting()` (including demotions that
+//!    crossed a snapshot/restore boundary).
+//! 5. **no shard wedge** — every boot completes within a generous
+//!    timeout; a hang is an invariant failure, not a hung test. Each boot
+//!    runs on a detached thread so a wedged daemon cannot block the
+//!    harness itself.
+
+use crate::event::{canonicalize, verdict_digest, verdict_key, verdict_line, EventLog};
+use crate::plan::{BootEnd, BootPlan, SimPlan, UnitPlan};
+use dbcatcher_core::config::DbCatcherConfig;
+use dbcatcher_core::pipeline::DbCatcher;
+use dbcatcher_core::snapshot::{DetectorSnapshot, SnapshotSummary};
+use dbcatcher_serve::client::VerdictRecord;
+use dbcatcher_serve::{
+    emit_surviving, fetch_stats, CrashSwitch, DetectionServer, EmitOptions, EmitReport,
+    MetricsSnapshot, ServeConfig, Subscriber, UnitStream,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-boot completion deadline; a boot that misses it is recorded as a
+/// shard wedge. Generous enough for debug builds under load.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(180);
+
+/// What one simulated run produced.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The executed plan.
+    pub plan: SimPlan,
+    /// Deterministic event log (JSONL lines; byte-identical per seed).
+    pub events: Vec<String>,
+    /// Canonical verdict stream (JSONL lines; byte-identical per seed).
+    pub verdicts: Vec<String>,
+    /// Human-readable invariant failures; empty means the run passed.
+    /// Unlike the event log these may carry timing-dependent diagnostics.
+    pub failures: Vec<String>,
+}
+
+impl SimOutcome {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The event log as one newline-terminated string.
+    pub fn event_log(&self) -> String {
+        let mut out = self.events.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// The canonical verdict stream as one newline-terminated string
+    /// (empty when the run produced no verdicts).
+    pub fn verdict_log(&self) -> String {
+        if self.verdicts.is_empty() {
+            return String::new();
+        }
+        let mut out = self.verdicts.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+/// One unit's generated telemetry plus its offline oracle.
+struct UnitFixture {
+    unit: usize,
+    dbs: usize,
+    kpis: usize,
+    participation: Vec<Vec<bool>>,
+    frames: Vec<Vec<Vec<f64>>>,
+    offline: Vec<VerdictRecord>,
+    non_voting: Vec<usize>,
+}
+
+fn build_fixture(plan_unit: &UnitPlan) -> UnitFixture {
+    let data = plan_unit.scenario.generate();
+    let frames: Vec<_> = (0..data.num_ticks()).map(|t| data.tick_matrix(t)).collect();
+    let dbs = data.num_databases();
+    let kpis = data.num_kpis();
+    // Mirrors `DetectorTemplate::default()` server-side: `with_kpis`
+    // plus the default backend and gap policy.
+    let mut catcher = DbCatcher::new(DbCatcherConfig::with_kpis(kpis), dbs)
+        .with_participation(data.participation.clone());
+    let mut offline = Vec::new();
+    for (t, frame) in frames.iter().enumerate() {
+        let report = catcher
+            .try_ingest_tick(frame)
+            .expect("scenario faults are repairable by the ingest layer");
+        offline.extend(report.verdicts.into_iter().map(|verdict| VerdictRecord {
+            unit: plan_unit.unit,
+            at_tick: t as u64,
+            verdict,
+        }));
+    }
+    UnitFixture {
+        unit: plan_unit.unit,
+        dbs,
+        kpis,
+        participation: data.participation,
+        frames,
+        offline,
+        non_voting: catcher.non_voting(),
+    }
+}
+
+/// Scratch snapshot directory, unique per run within the process (so a
+/// shrinking pass re-running plans never collides with itself).
+fn scratch_dir(seed: u64) -> PathBuf {
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    let run = RUN.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "dbcatcher_chaos_{}_{seed}_{run}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create chaos scratch dir");
+    dir
+}
+
+/// Reads, validates and summarises every unit snapshot currently on
+/// disk. `None` = no snapshot file; `Some(Err)` = an unreadable or
+/// internally inconsistent snapshot (an invariant violation).
+fn read_summaries(dir: &Path, units: usize) -> Vec<Option<Result<SnapshotSummary, String>>> {
+    (0..units)
+        .map(|unit| {
+            let path = dir.join(format!("unit_{unit}.json"));
+            let json = std::fs::read_to_string(&path).ok()?;
+            Some(match DetectorSnapshot::from_json(&json) {
+                Ok(snapshot) => match snapshot.validate() {
+                    Ok(()) => Ok(snapshot.summary()),
+                    Err(e) => Err(format!("unit {unit}: inconsistent snapshot: {e}")),
+                },
+                Err(e) => Err(format!("unit {unit}: unreadable snapshot: {e}")),
+            })
+        })
+        .collect()
+}
+
+/// Everything one boot brought back.
+struct BootResult {
+    reports: Vec<EmitReport>,
+    /// Stats fetched after the last session (final clean boot only).
+    stats: Option<MetricsSnapshot>,
+    /// Highest per-unit queue depth any stats poll observed.
+    max_queue_depth: usize,
+    /// Verdicts the ride-along subscriber saw, if subscribed.
+    subscriber: Option<Vec<VerdictRecord>>,
+}
+
+/// Immutable context shared with the detached per-boot threads.
+struct BootEnv {
+    plan: SimPlan,
+    fixtures: Vec<UnitFixture>,
+    dir: PathBuf,
+}
+
+impl BootEnv {
+    fn serve_config(&self, crash: Option<Arc<CrashSwitch>>) -> ServeConfig {
+        ServeConfig {
+            max_units: self.fixtures.len(),
+            shards: self.plan.shards,
+            queue_cap: self.plan.queue_cap,
+            snapshot_dir: Some(self.dir.clone()),
+            snapshot_every: self.plan.snapshot_every,
+            resume_dir: Some(self.dir.clone()),
+            retry_after_ms: 5,
+            slow_tick: (self.plan.slow_tick_us > 0)
+                .then(|| Duration::from_micros(self.plan.slow_tick_us)),
+            crash,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn session_streams(&self, offered: &[usize]) -> Vec<UnitStream> {
+        self.fixtures
+            .iter()
+            .zip(offered)
+            .map(|(f, &o)| UnitStream {
+                unit: f.unit,
+                dbs: f.dbs,
+                kpis: f.kpis,
+                participation: Some(f.participation.clone()),
+                frames: f.frames[..o.min(f.frames.len())].to_vec(),
+            })
+            .collect()
+    }
+
+    /// Runs one boot to completion. The caller fences this whole call
+    /// behind [`WEDGE_TIMEOUT`] on a detached thread.
+    fn run_boot(
+        &self,
+        boot: &BootPlan,
+        crash: Option<Arc<CrashSwitch>>,
+        fetch_final_stats: bool,
+    ) -> Result<BootResult, String> {
+        let server = DetectionServer::bind("127.0.0.1:0", self.serve_config(crash.clone()))
+            .map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let stop_polling = Arc::new(AtomicBool::new(false));
+        let max_depth = Arc::new(AtomicUsize::new(0));
+        let poller = spawn_queue_poller(addr, Arc::clone(&stop_polling), Arc::clone(&max_depth));
+        let subscriber = if self.plan.subscribe {
+            match Subscriber::connect(addr) {
+                Ok(sub) => Some(spawn_subscriber_drain(sub)),
+                Err(e) => {
+                    stop_polling.store(true, Ordering::SeqCst);
+                    handle.stop();
+                    let _ = server_thread.join();
+                    let _ = poller.join();
+                    return Err(format!("subscribe: {e}"));
+                }
+            }
+        } else {
+            None
+        };
+
+        let options = EmitOptions {
+            rate: 0.0,
+            window: self.plan.emit_window,
+            stop_after: false,
+        };
+        let mut reports = Vec::with_capacity(boot.sessions.len());
+        for session in &boot.sessions {
+            if crash.as_ref().is_some_and(|c| c.tripped()) {
+                break; // daemon is dead; remaining churn sessions moot
+            }
+            let streams = self.session_streams(&session.offered);
+            match emit_surviving(addr, streams, &options) {
+                Ok(report) => reports.push(report),
+                // Connecting to a just-killed daemon can fail outright;
+                // that is the crash, not a harness error.
+                Err(e) if crash.is_some() => {
+                    reports.push(EmitReport {
+                        aborted: Some(e.to_string()),
+                        ..EmitReport::default()
+                    });
+                }
+                Err(e) => {
+                    stop_polling.store(true, Ordering::SeqCst);
+                    handle.stop();
+                    let _ = server_thread.join();
+                    let _ = poller.join();
+                    return Err(format!("session connect failed on a clean boot: {e}"));
+                }
+            }
+        }
+
+        let stats = if fetch_final_stats && !crash.as_ref().is_some_and(|c| c.tripped()) {
+            fetch_stats(addr).ok()
+        } else {
+            None
+        };
+
+        stop_polling.store(true, Ordering::SeqCst);
+        handle.stop();
+        let run_result = server_thread.join();
+        let _ = poller.join();
+        let subscriber = subscriber.map(|thread| thread.join().unwrap_or_default());
+        match run_result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("server run failed: {e}")),
+            Err(_) => return Err("server thread panicked".into()),
+        }
+        Ok(BootResult {
+            reports,
+            stats,
+            max_queue_depth: max_depth.load(Ordering::SeqCst),
+            subscriber,
+        })
+    }
+}
+
+fn spawn_queue_poller(
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    max_depth: Arc<AtomicUsize>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            if let Ok(stats) = fetch_stats(addr) {
+                let depth = stats.units.iter().map(|u| u.queue_depth).max().unwrap_or(0);
+                max_depth.fetch_max(depth, Ordering::SeqCst);
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    })
+}
+
+/// Drains an already-connected subscriber (connected *before* any
+/// session starts, so it sees every broadcast of the boot) until the
+/// daemon closes the stream.
+fn spawn_subscriber_drain(mut sub: Subscriber) -> std::thread::JoinHandle<Vec<VerdictRecord>> {
+    std::thread::spawn(move || {
+        let mut seen = Vec::new();
+        while let Ok(record) = sub.next_verdict() {
+            seen.push(record);
+        }
+        seen
+    })
+}
+
+fn session_key_set(reports: &[EmitReport]) -> BTreeSet<crate::event::VerdictKey> {
+    reports
+        .iter()
+        .flat_map(|r| r.verdicts.iter().map(verdict_key))
+        .collect()
+}
+
+/// Runs a plan end to end and returns the outcome. Panics only on
+/// harness-level impossibilities (scratch-dir creation); every detector-
+/// or daemon-level deviation becomes an invariant failure in the outcome.
+pub fn run_plan(plan: &SimPlan) -> SimOutcome {
+    let env = Arc::new(BootEnv {
+        plan: plan.clone(),
+        fixtures: plan.units.iter().map(build_fixture).collect(),
+        dir: scratch_dir(plan.seed),
+    });
+    let mut events = EventLog::default();
+    let mut failures: Vec<String> = Vec::new();
+    events.plan(plan);
+    for f in &env.fixtures {
+        events.unit_summary(
+            f.unit,
+            f.dbs,
+            f.frames.len(),
+            f.offline.len(),
+            f.non_voting.clone(),
+        );
+    }
+
+    let units = env.fixtures.len();
+    let mut online: Vec<VerdictRecord> = Vec::new();
+    let mut final_stats: Option<MetricsSnapshot> = None;
+    let mut pre_final_next: Vec<u64> = vec![0; units];
+    let num_boots = plan.boots.len();
+
+    for (index, boot) in plan.boots.iter().enumerate() {
+        let is_final = index + 1 == num_boots;
+        events.boot(index, boot.sessions.len(), &boot.end);
+        let pre: Vec<u64> = read_summaries(&env.dir, units)
+            .into_iter()
+            .map(|s| match s {
+                Some(Ok(summary)) => summary.next_tick,
+                _ => 0,
+            })
+            .collect();
+        if is_final {
+            pre_final_next.clone_from(&pre);
+        }
+        let crash = match &boot.end {
+            BootEnd::Crash { after_ticks } => Some(CrashSwitch::armed(*after_ticks)),
+            BootEnd::CleanStop => None,
+        };
+
+        // Anything in the boot could wedge (that is invariant 5), so the
+        // boot runs detached and the harness only waits bounded time. On
+        // timeout the thread is abandoned — the process can still exit,
+        // and the run is reported failed.
+        let (tx, rx) = channel();
+        {
+            let env = Arc::clone(&env);
+            let boot = boot.clone();
+            let crash = crash.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(env.run_boot(&boot, crash, is_final));
+            });
+        }
+        let fenced = rx.recv_timeout(WEDGE_TIMEOUT);
+        events.invariant("boot", "no_shard_wedge", fenced.is_ok());
+        let Ok(boot_result) = fenced else {
+            failures.push(format!(
+                "boot {index}: wedged (no completion within {WEDGE_TIMEOUT:?})"
+            ));
+            // The abandoned thread still holds the scratch dir; nothing
+            // after this point could run against a sane daemon.
+            let event_lines = events.finish();
+            return SimOutcome {
+                plan: plan.clone(),
+                events: event_lines,
+                verdicts: Vec::new(),
+                failures,
+            };
+        };
+        let boot_result = match boot_result {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("boot {index}: {e}"));
+                events.invariant("boot", "boot_completed", false);
+                continue;
+            }
+        };
+        events.invariant("boot", "boot_completed", true);
+
+        for report in &boot_result.reports {
+            online.extend(report.verdicts.iter().cloned());
+        }
+
+        let bounded = boot_result.max_queue_depth <= plan.queue_cap;
+        events.invariant("boot", "bounded_queues", bounded);
+        if !bounded {
+            failures.push(format!(
+                "boot {index}: observed queue depth {} > cap {}",
+                boot_result.max_queue_depth, plan.queue_cap
+            ));
+        }
+
+        let post = read_summaries(&env.dir, units);
+        let mut snapshots_valid = true;
+        for summary in post.iter().flatten() {
+            if let Err(e) = summary {
+                snapshots_valid = false;
+                failures.push(format!("boot {index}: {e}"));
+            }
+        }
+        events.invariant("boot", "snapshots_valid", snapshots_valid);
+
+        match &boot.end {
+            BootEnd::CleanStop => {
+                let mut clean = true;
+                for report in &boot_result.reports {
+                    if let Some(reason) = &report.aborted {
+                        clean = false;
+                        failures.push(format!("boot {index}: clean session aborted: {reason}"));
+                    }
+                    for error in &report.errors {
+                        clean = false;
+                        failures.push(format!("boot {index}: unit error: {error}"));
+                    }
+                }
+                events.invariant("boot", "sessions_clean", clean);
+
+                let offered = boot
+                    .sessions
+                    .last()
+                    .map(|s| s.offered.clone())
+                    .unwrap_or_default();
+                let mut exact = true;
+                for (unit, summary) in post.iter().enumerate() {
+                    let expect = offered.get(unit).copied().unwrap_or(0) as u64;
+                    let got = match summary {
+                        Some(Ok(s)) => s.next_tick,
+                        _ => 0,
+                    };
+                    if expect > 0 && got != expect {
+                        exact = false;
+                        failures.push(format!(
+                            "boot {index}: unit {unit} snapshot at tick {got}, expected {expect} \
+                             after a clean stop"
+                        ));
+                    }
+                }
+                events.invariant("boot", "snapshot_position_exact", exact);
+
+                if let Some(sub_verdicts) = &boot_result.subscriber {
+                    let sub_keys: BTreeSet<_> = sub_verdicts.iter().map(verdict_key).collect();
+                    let session_keys = session_key_set(&boot_result.reports);
+                    let complete = sub_keys == session_keys;
+                    events.invariant("boot", "subscriber_stream_complete", complete);
+                    if !complete {
+                        failures.push(format!(
+                            "boot {index}: subscriber saw {} distinct verdicts, sessions saw {}",
+                            sub_keys.len(),
+                            session_keys.len()
+                        ));
+                    }
+                }
+            }
+            BootEnd::Crash { after_ticks } => {
+                let switch = crash.as_ref().expect("crash boot has a switch");
+                let tripped = switch.tripped();
+                events.invariant("boot", "crash_tripped", tripped);
+                if !tripped {
+                    failures.push(format!(
+                        "boot {index}: kill after {after_ticks} ingests never fired"
+                    ));
+                }
+                let ingested: BTreeMap<usize, u64> = switch.ingested();
+                let mut at_most_one_lost = true;
+                for (unit, new_ingests) in &ingested {
+                    let absolute = pre.get(*unit).copied().unwrap_or(0) + new_ingests;
+                    let persisted = match post.get(*unit) {
+                        Some(Some(Ok(s))) => s.next_tick,
+                        _ => 0,
+                    };
+                    if persisted + 1 < absolute || persisted > absolute {
+                        at_most_one_lost = false;
+                        failures.push(format!(
+                            "boot {index}: unit {unit} persisted tick {persisted} after \
+                             ingesting through {absolute} — more than one tick lost"
+                        ));
+                    }
+                }
+                events.invariant("boot", "at_most_one_tick_lost", at_most_one_lost);
+
+                if let Some(sub_verdicts) = &boot_result.subscriber {
+                    // Crash boots: broadcast order vs. the kill is racy,
+                    // so only check the subscriber never invents verdicts
+                    // the producers could not have seen.
+                    let session_keys = session_key_set(&boot_result.reports);
+                    let subset = sub_verdicts
+                        .iter()
+                        .all(|r| session_keys.contains(&verdict_key(r)));
+                    events.invariant("boot", "subscriber_stream_subset", subset);
+                    if !subset {
+                        failures.push(format!("boot {index}: subscriber saw unknown verdicts"));
+                    }
+                }
+            }
+        }
+        if is_final {
+            final_stats = boot_result.stats;
+        }
+    }
+
+    // Whole-run invariants: the canonical online union against the
+    // deterministic offline replay.
+    let canonical = canonicalize(&online);
+    let offline_all: Vec<VerdictRecord> = env
+        .fixtures
+        .iter()
+        .flat_map(|f| f.offline.iter().cloned())
+        .collect();
+    let offline_canonical = canonicalize(&offline_all);
+    let online_keys: Vec<_> = canonical.iter().map(verdict_key).collect();
+    let offline_keys: Vec<_> = offline_canonical.iter().map(verdict_key).collect();
+    let matches = online_keys == offline_keys;
+    events.invariant("run", "online_matches_offline", matches);
+    if !matches {
+        failures.push(format!(
+            "online verdict stream ({} canonical) diverges from offline replay ({})",
+            online_keys.len(),
+            offline_keys.len()
+        ));
+    }
+
+    match &final_stats {
+        Some(stats) => {
+            let mut demotion_ok = true;
+            let mut accounting_ok = true;
+            let mut drained = true;
+            for f in &env.fixtures {
+                let unit_stats = stats.units.iter().find(|u| u.unit == f.unit);
+                let (demoted, ticks, depth) = match unit_stats {
+                    Some(u) => (u.demoted_dbs.clone(), u.ticks, u.queue_depth),
+                    None => (Vec::new(), 0, 0),
+                };
+                if demoted != f.non_voting {
+                    demotion_ok = false;
+                    failures.push(format!(
+                        "unit {}: final demoted set {demoted:?} != offline oracle {:?}",
+                        f.unit, f.non_voting
+                    ));
+                }
+                let total = f.frames.len() as u64;
+                let expected = total - pre_final_next[f.unit].min(total);
+                if ticks != expected {
+                    accounting_ok = false;
+                    failures.push(format!(
+                        "unit {}: final boot ingested {ticks} ticks, expected {expected} \
+                         (stream of {total} resumed at {})",
+                        f.unit, pre_final_next[f.unit]
+                    ));
+                }
+                if depth != 0 {
+                    drained = false;
+                    failures.push(format!(
+                        "unit {}: queue depth {depth} after the final flush barrier",
+                        f.unit
+                    ));
+                }
+            }
+            events.invariant("run", "demotion_lifecycle", demotion_ok);
+            events.invariant("run", "final_boot_tick_accounting", accounting_ok);
+            events.invariant("run", "final_queues_drained", drained);
+        }
+        None => {
+            events.invariant("run", "demotion_lifecycle", false);
+            events.invariant("run", "final_boot_tick_accounting", false);
+            events.invariant("run", "final_queues_drained", false);
+            failures.push("final boot produced no stats snapshot".into());
+        }
+    }
+
+    let verdict_lines: Vec<String> = canonical.iter().map(verdict_line).collect();
+    events.digest(verdict_lines.len(), &verdict_digest(&verdict_lines));
+    let event_lines = events.finish();
+    let _ = std::fs::remove_dir_all(&env.dir);
+    SimOutcome {
+        plan: plan.clone(),
+        events: event_lines,
+        verdicts: verdict_lines,
+        failures,
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic whole-system chaos simulator for the DBCatcher daemon.
+//!
+//! The paper (§III-A) positions DBCatcher as an *online* system; PR 4
+//! added the daemon and PR 5 its fault-tolerant ingestion. This crate
+//! closes the loop with a **seed-reproducible soak harness** in the
+//! spirit of FoundationDB-style simulation testing:
+//!
+//! - [`plan`] — one seeded RNG ([`SimPlan::generate`]) draws the entire
+//!   run up front: unit topology, workload/anomaly mixes, collector
+//!   fault schedules, producer connect/disconnect churn, backpressure
+//!   pressure (queue caps, emit windows, slow ticks) and a daemon
+//!   boot/kill/resume schedule. The plan is plain serialisable data; the
+//!   harness adds no randomness, so `SEED=n` reproduces a failure
+//!   byte-identically on any machine.
+//! - [`harness`] — executes a plan against a *real* in-process
+//!   [`dbcatcher_serve::DetectionServer`] over real sockets, then
+//!   property-checks that online verdicts equal a deterministic offline
+//!   replay and that the standing invariants hold: bounded queues, ≤ 1
+//!   in-flight tick lost per kill/resume, demotion/re-admission
+//!   lifecycle intact, no shard ever wedges.
+//! - [`shrink`] — greedy schedule minimization: when a seed fails, the
+//!   failing plan is re-run under simplifying edits (drop crashes, drop
+//!   faults, fewer boots/units, shorter streams) until the smallest
+//!   still-failing schedule remains.
+//! - [`event`] — the deterministic JSONL event log and canonical verdict
+//!   stream (two runs of one seed produce byte-identical output).
+//!
+//! The `dbcatcher simulate --chaos --seed N` subcommand and the
+//! `sim_corpus` / `sim_soak` test suites are thin wrappers over
+//! [`run_seed`].
+
+pub mod event;
+pub mod harness;
+pub mod plan;
+pub mod shrink;
+
+pub use event::{canonicalize, verdict_digest, verdict_key, verdict_line, EventLog, VerdictKey};
+pub use harness::{run_plan, SimOutcome};
+pub use plan::{BootEnd, BootPlan, SessionPlan, SimOpts, SimPlan, UnitPlan, MIN_TICKS};
+pub use shrink::{shrink, shrink_with, ShrinkReport};
+
+/// Generates the plan for `seed` under `opts` and runs it end to end.
+pub fn run_seed(seed: u64, opts: &SimOpts) -> SimOutcome {
+    run_plan(&SimPlan::generate(seed, opts))
+}

@@ -1,0 +1,461 @@
+//! Randomized simulation plans.
+//!
+//! A [`SimPlan`] is the *complete*, serialisable description of one chaos
+//! run: unit topology, workload and anomaly mix, collector fault
+//! schedules, producer connect/disconnect churn, and daemon boot/kill
+//! schedule. Everything is drawn from **one** seeded [`StdRng`]
+//! (mirroring turso's `SimulatorEnv` shape), so `SEED=n` regenerates the
+//! identical plan on any machine — the harness that executes the plan
+//! adds no randomness of its own.
+
+use dbcatcher_sim::faults::{CollectorFault, FaultKind, FaultPreset};
+use dbcatcher_sim::{AnomalyEffect, Kpi, Modifier};
+use dbcatcher_workload::scenario::UnitScenario;
+use dbcatcher_workload::tencent::Archetype;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Bounds on plan generation. Defaults keep a single seed affordable in
+/// a debug-build test; the CLI and the soak gate can widen them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOpts {
+    /// Most units in a plan (at least 1).
+    pub max_units: usize,
+    /// Most ticks per unit (at least [`MIN_TICKS`]).
+    pub max_ticks: usize,
+    /// Most daemon boots (restarts) in a plan (at least 1).
+    pub max_boots: usize,
+    /// Whether boots may end in a simulated mid-tick kill.
+    pub allow_crash: bool,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        Self {
+            max_units: 3,
+            max_ticks: 240,
+            max_boots: 3,
+            allow_crash: true,
+        }
+    }
+}
+
+/// Shortest stream the generator produces: long enough for the default
+/// initial window to resolve verdicts.
+pub const MIN_TICKS: usize = 96;
+
+/// How a daemon boot ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootEnd {
+    /// Clean `stop()`: queues drain, final snapshots are written.
+    CleanStop,
+    /// Simulated kill mid-tick after `after_ticks` total ingests this
+    /// boot (via [`dbcatcher_serve::CrashSwitch`]); nothing drains.
+    Crash {
+        /// Ingested-tick budget that trips the kill.
+        after_ticks: u64,
+    },
+}
+
+/// One producer session inside a boot: connect, offer each unit the
+/// stream prefix `frames[..offered[u]]`, flush, disconnect. Re-offering
+/// ticks the server already holds is free — `HelloAck{next_tick}` makes
+/// the client skip them — so successive sessions model connect/disconnect
+/// churn without losing stream position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionPlan {
+    /// Absolute per-unit prefix lengths, parallel to [`SimPlan::units`].
+    pub offered: Vec<usize>,
+}
+
+/// One daemon lifetime: sessions, then an ending.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BootPlan {
+    /// Producer sessions, run sequentially.
+    pub sessions: Vec<SessionPlan>,
+    /// How the boot ends.
+    pub end: BootEnd,
+}
+
+/// One unit's workload: a full [`UnitScenario`] (profile, anomalies,
+/// collector faults, seed) — the same recording drives both the online
+/// stream and the offline oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitPlan {
+    /// Unit id on the daemon (contiguous from 0).
+    pub unit: usize,
+    /// The scenario generating the unit's telemetry.
+    pub scenario: UnitScenario,
+}
+
+/// A complete, reproducible chaos run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimPlan {
+    /// The seed that generated the plan.
+    pub seed: u64,
+    /// Shard worker threads.
+    pub shards: usize,
+    /// Per-unit bounded ingress queue depth.
+    pub queue_cap: usize,
+    /// Snapshot cadence (forced to 1 when any boot crashes, so the
+    /// ≤1-tick-lost invariant is decidable).
+    pub snapshot_every: u64,
+    /// Artificial per-tick shard delay in microseconds (0 = none); makes
+    /// full-speed sessions hit real backpressure.
+    pub slow_tick_us: u64,
+    /// Producer emit window (max unacknowledged ticks in flight).
+    pub emit_window: usize,
+    /// Whether a verdict subscriber rides along on every boot.
+    pub subscribe: bool,
+    /// The units.
+    pub units: Vec<UnitPlan>,
+    /// The boot schedule. The last boot always ends cleanly with every
+    /// unit's full stream offered, so final state is comparable to the
+    /// offline replay.
+    pub boots: Vec<BootPlan>,
+}
+
+impl SimPlan {
+    /// Generates the plan for `seed` under `opts`. Deterministic: equal
+    /// inputs produce an identical plan.
+    pub fn generate(seed: u64, opts: &SimOpts) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD8CA_7C4E_53ED_0001);
+        let num_units = rng.gen_range(1..=opts.max_units.max(1));
+        let max_ticks = opts.max_ticks.max(MIN_TICKS);
+        let units: Vec<UnitPlan> = (0..num_units)
+            .map(|unit| UnitPlan {
+                unit,
+                scenario: random_scenario(&mut rng, max_ticks),
+            })
+            .collect();
+
+        let shards = rng.gen_range(1..=3usize);
+        let queue_cap = *[4usize, 8, 16, 32].choose(&mut rng).expect("non-empty");
+        let slow_tick_us = if rng.gen_bool(0.35) {
+            rng.gen_range(200..=1200u64)
+        } else {
+            0
+        };
+        let emit_window = rng.gen_range(4..=64usize);
+        let subscribe = rng.gen_bool(0.6);
+
+        let num_boots = rng.gen_range(1..=opts.max_boots.max(1));
+        let ticks: Vec<usize> = units.iter().map(|u| u.scenario.ticks).collect();
+        let mut boots = Vec::with_capacity(num_boots);
+        // Per-unit upper bound on the stream position the daemon can have
+        // persisted entering each boot; a crash budget below the
+        // guaranteed fresh-tick supply always trips.
+        let mut max_persisted: Vec<usize> = vec![0; num_units];
+        let mut prev_offered: Vec<usize> = vec![0; num_units];
+        let mut crashed = false;
+        for boot in 0..num_boots {
+            let last = boot + 1 == num_boots;
+            let num_sessions = rng.gen_range(1..=2usize);
+            let mut sessions = Vec::with_capacity(num_sessions);
+            for session in 0..num_sessions {
+                let final_session = last && session + 1 == num_sessions;
+                let offered: Vec<usize> = (0..num_units)
+                    .map(|u| {
+                        if final_session {
+                            ticks[u]
+                        } else {
+                            let lo = prev_offered[u];
+                            let frac = rng.gen_range(0.2..1.0f64);
+                            let target = (ticks[u] as f64 * frac) as usize;
+                            target.clamp(lo, ticks[u])
+                        }
+                    })
+                    .collect();
+                prev_offered.clone_from(&offered);
+                sessions.push(SessionPlan { offered });
+            }
+            let final_offered = &sessions.last().expect("at least one session").offered;
+            let guaranteed_new: usize = final_offered
+                .iter()
+                .zip(&max_persisted)
+                .map(|(o, p)| o.saturating_sub(*p))
+                .sum();
+            let end = if !last && opts.allow_crash && guaranteed_new >= 16 && rng.gen_bool(0.6) {
+                crashed = true;
+                // Budget with headroom below the guaranteed supply so the
+                // kill always fires regardless of scheduling.
+                let after = rng.gen_range(1..=(guaranteed_new - 8) as u64);
+                // A crash regresses each unit's persisted position by at
+                // most one tick and each shard may ingest one extra
+                // in-flight tick past the trip.
+                for (p, o) in max_persisted.iter_mut().zip(final_offered) {
+                    *p = (*p + after as usize + shards).min(*o);
+                }
+                BootEnd::Crash { after_ticks: after }
+            } else {
+                max_persisted.clone_from(final_offered);
+                BootEnd::CleanStop
+            };
+            boots.push(BootPlan { sessions, end });
+        }
+        let snapshot_every = if crashed {
+            1
+        } else {
+            rng.gen_range(1..=32u64)
+        };
+
+        Self {
+            seed,
+            shards,
+            queue_cap,
+            snapshot_every,
+            slow_tick_us,
+            emit_window,
+            subscribe,
+            units,
+            boots,
+        }
+    }
+
+    /// Re-establishes the structural guarantees generation provides
+    /// (monotone offered prefixes, full final session, crash ⇒
+    /// `snapshot_every == 1`, in-range crash budgets) after a shrinking
+    /// edit mutated the plan.
+    pub fn normalize(&mut self) {
+        let ticks: Vec<usize> = self.units.iter().map(|u| u.scenario.ticks).collect();
+        if self.boots.is_empty() {
+            self.boots.push(BootPlan {
+                sessions: Vec::new(),
+                end: BootEnd::CleanStop,
+            });
+        }
+        let mut prev = vec![0usize; ticks.len()];
+        let mut max_persisted = vec![0usize; ticks.len()];
+        let num_boots = self.boots.len();
+        let mut crashed = false;
+        for (b, boot) in self.boots.iter_mut().enumerate() {
+            let last = b + 1 == num_boots;
+            if boot.sessions.is_empty() {
+                boot.sessions.push(SessionPlan {
+                    offered: ticks.clone(),
+                });
+            }
+            let num_sessions = boot.sessions.len();
+            for (s, session) in boot.sessions.iter_mut().enumerate() {
+                session.offered.resize(ticks.len(), 0);
+                session.offered.truncate(ticks.len());
+                for (u, o) in session.offered.iter_mut().enumerate() {
+                    *o = (*o).clamp(prev[u], ticks[u]);
+                    if last && s + 1 == num_sessions {
+                        *o = ticks[u];
+                    }
+                }
+                prev.clone_from(&session.offered);
+            }
+            let final_offered = &boot.sessions.last().expect("session exists").offered;
+            let guaranteed_new: usize = final_offered
+                .iter()
+                .zip(&max_persisted)
+                .map(|(o, p)| o.saturating_sub(*p))
+                .sum();
+            match &mut boot.end {
+                BootEnd::Crash { after_ticks } if last || guaranteed_new < 16 => {
+                    let _ = after_ticks;
+                    boot.end = BootEnd::CleanStop;
+                    max_persisted.clone_from(final_offered);
+                }
+                BootEnd::Crash { after_ticks } => {
+                    crashed = true;
+                    *after_ticks = (*after_ticks).clamp(1, (guaranteed_new - 8).max(1) as u64);
+                    let after = *after_ticks as usize;
+                    for (p, o) in max_persisted.iter_mut().zip(final_offered) {
+                        *p = (*p + after + self.shards).min(*o);
+                    }
+                }
+                BootEnd::CleanStop => {
+                    max_persisted.clone_from(final_offered);
+                }
+            }
+        }
+        if crashed {
+            self.snapshot_every = 1;
+        }
+        self.shards = self.shards.clamp(1, 3);
+        self.queue_cap = self.queue_cap.clamp(2, 64);
+        self.emit_window = self.emit_window.clamp(1, 128);
+    }
+
+    /// Serialises the plan to pretty JSON (for failure reports).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plan serialises")
+    }
+}
+
+/// Draws one unit's scenario: archetype, size, anomaly mix and collector
+/// fault schedule.
+fn random_scenario(rng: &mut StdRng, max_ticks: usize) -> UnitScenario {
+    let archetype = *[
+        Archetype::Social,
+        Archetype::Gaming,
+        Archetype::Ecommerce,
+        Archetype::Finance,
+    ]
+    .choose(rng)
+    .expect("non-empty");
+    let scenario_seed: u64 = rng.gen();
+    let num_databases = rng.gen_range(3..=6usize);
+    let ticks = rng.gen_range(MIN_TICKS..=max_ticks.max(MIN_TICKS));
+
+    let num_modifiers = rng.gen_range(0..=2usize);
+    let modifiers = (0..num_modifiers)
+        .map(|_| random_modifier(rng, num_databases, ticks as u64))
+        .collect();
+
+    let mut faults = match rng.gen_range(0..10u32) {
+        0..=3 => Vec::new(),
+        4..=7 => FaultPreset::Standard.plan(num_databases, ticks as u64),
+        _ => FaultPreset::Heavy.plan(num_databases, ticks as u64),
+    };
+    if rng.gen_bool(0.3) {
+        faults.push(random_fault(rng, num_databases, ticks as u64));
+    }
+
+    UnitScenario {
+        description: format!("chaos unit ({archetype:?})"),
+        profile: archetype.profile(scenario_seed),
+        num_databases,
+        ticks,
+        modifiers,
+        faults,
+        seed: scenario_seed,
+    }
+}
+
+fn random_range(rng: &mut StdRng, ticks: u64) -> std::ops::Range<u64> {
+    let start = rng.gen_range(0..ticks.saturating_sub(16).max(1));
+    let len = rng.gen_range(8..=(ticks / 3).max(8));
+    start..(start + len).min(ticks)
+}
+
+fn random_modifier(rng: &mut StdRng, dbs: usize, ticks: u64) -> Modifier {
+    let effect = match rng.gen_range(0..4u32) {
+        0 => AnomalyEffect::LoadSkew {
+            extra_share: rng.gen_range(0.3..0.7),
+        },
+        1 => AnomalyEffect::Fragmentation {
+            growth_per_tick: rng.gen_range(0.008..0.02),
+        },
+        2 => AnomalyEffect::ResourceHog {
+            cpu_factor: rng.gen_range(1.8..2.6),
+            rows_read_factor: rng.gen_range(2.0..3.5),
+        },
+        _ => AnomalyEffect::Spike {
+            kpis: vec![Kpi::CpuUtilization, Kpi::InnodbRowsRead],
+            factor: rng.gen_range(2.0..4.0),
+        },
+    };
+    Modifier {
+        db: rng.gen_range(0..dbs),
+        ticks: random_range(rng, ticks),
+        effect,
+    }
+}
+
+fn random_fault(rng: &mut StdRng, dbs: usize, ticks: u64) -> CollectorFault {
+    let kind = match rng.gen_range(0..4u32) {
+        0 => FaultKind::DropFrame {
+            prob: rng.gen_range(0.1..0.4),
+        },
+        1 => FaultKind::NanBurst {
+            prob: rng.gen_range(0.1..0.3),
+        },
+        2 => FaultKind::DuplicateTicks {
+            prob: rng.gen_range(0.2..0.6),
+        },
+        _ => FaultKind::Outage,
+    };
+    CollectorFault {
+        db: rng.gen_range(0..dbs),
+        ticks: random_range(rng, ticks),
+        kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = SimOpts::default();
+        let a = SimPlan::generate(42, &opts);
+        let b = SimPlan::generate(42, &opts);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let opts = SimOpts::default();
+        let a = SimPlan::generate(1, &opts);
+        let b = SimPlan::generate(2, &opts);
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn plans_are_structurally_sound() {
+        let opts = SimOpts::default();
+        for seed in 0..40 {
+            let plan = SimPlan::generate(seed, &opts);
+            assert!(!plan.units.is_empty());
+            assert!(!plan.boots.is_empty());
+            let ticks: Vec<usize> = plan.units.iter().map(|u| u.scenario.ticks).collect();
+            // Offered prefixes monotone; final session offers everything.
+            let mut prev = vec![0usize; ticks.len()];
+            for boot in &plan.boots {
+                for session in &boot.sessions {
+                    assert_eq!(session.offered.len(), ticks.len());
+                    for (u, &o) in session.offered.iter().enumerate() {
+                        assert!(o >= prev[u] && o <= ticks[u], "seed {seed}");
+                    }
+                    prev.clone_from(&session.offered);
+                }
+            }
+            assert_eq!(prev, ticks, "seed {seed}: final session must offer all");
+            let last = plan.boots.last().expect("boot");
+            assert_eq!(last.end, BootEnd::CleanStop, "seed {seed}");
+            if plan
+                .boots
+                .iter()
+                .any(|b| matches!(b.end, BootEnd::Crash { .. }))
+            {
+                assert_eq!(plan.snapshot_every, 1, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = SimPlan::generate(7, &SimOpts::default());
+        let json = plan.to_json();
+        let back: SimPlan = serde_json::from_str(&json).expect("parse");
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn normalize_repairs_mutated_plans() {
+        let mut plan = SimPlan::generate(11, &SimOpts::default());
+        // Break it: truncate ticks, leave offered prefixes stale.
+        for unit in &mut plan.units {
+            unit.scenario.ticks /= 2;
+        }
+        plan.normalize();
+        let ticks: Vec<usize> = plan.units.iter().map(|u| u.scenario.ticks).collect();
+        let last_offered = &plan
+            .boots
+            .last()
+            .expect("boot")
+            .sessions
+            .last()
+            .expect("session")
+            .offered;
+        assert_eq!(last_offered, &ticks);
+        assert_eq!(plan.boots.last().expect("boot").end, BootEnd::CleanStop);
+    }
+}

@@ -1,0 +1,183 @@
+//! Greedy schedule minimization.
+//!
+//! When a seed fails, the raw plan is usually far bigger than the bug
+//! needs: three units, multiple boots, fault schedules, churn sessions.
+//! The shrinker tries a fixed list of simplifying edits — drop the
+//! crashes, drop the faults, fewer boots, fewer units, shorter streams,
+//! calmer timing — re-running the plan after each edit and keeping it
+//! only if the failure survives. The result is the smallest schedule this
+//! pass can find that still reproduces the failure, reported alongside
+//! the original seed.
+//!
+//! Each re-run is a full daemon lifecycle, so the pass is bounded by
+//! `max_runs` rather than run to a fixpoint at any cost.
+
+use crate::harness::run_plan;
+use crate::plan::{BootEnd, SimPlan, MIN_TICKS};
+
+/// One named simplifying edit.
+type Edit = (&'static str, fn(&mut SimPlan));
+
+/// The edit list, ordered from coarsest (cheapest wins first) to finest.
+const EDITS: &[Edit] = &[
+    ("keep only the last boot", |p| {
+        if let Some(last) = p.boots.pop() {
+            p.boots = vec![last];
+        }
+    }),
+    ("drop all crashes", |p| {
+        for boot in &mut p.boots {
+            boot.end = BootEnd::CleanStop;
+        }
+    }),
+    ("drop all collector faults", |p| {
+        for unit in &mut p.units {
+            unit.scenario.faults.clear();
+        }
+    }),
+    ("drop all anomaly modifiers", |p| {
+        for unit in &mut p.units {
+            unit.scenario.modifiers.clear();
+        }
+    }),
+    ("one session per boot", |p| {
+        for boot in &mut p.boots {
+            if let Some(last) = boot.sessions.pop() {
+                boot.sessions = vec![last];
+            }
+        }
+    }),
+    ("halve the unit count", |p| {
+        let keep = p.units.len().div_ceil(2);
+        p.units.truncate(keep);
+    }),
+    ("halve the stream length", |p| {
+        for unit in &mut p.units {
+            unit.scenario.ticks = (unit.scenario.ticks / 2).max(MIN_TICKS);
+        }
+    }),
+    ("calm the timing (no subscriber, no slow tick)", |p| {
+        p.subscribe = false;
+        p.slow_tick_us = 0;
+    }),
+    ("one shard", |p| {
+        p.shards = 1;
+    }),
+];
+
+/// What a shrinking pass did.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The smallest still-failing plan found.
+    pub plan: SimPlan,
+    /// Edits that were applied (in application order).
+    pub applied: Vec<&'static str>,
+    /// How many candidate re-runs the pass spent.
+    pub runs: usize,
+}
+
+/// Shrinks `plan` with a caller-supplied failure oracle. `still_fails`
+/// must return `true` when the candidate plan still reproduces the
+/// failure. Exposed for tests; production callers use [`shrink`].
+pub fn shrink_with(
+    plan: &SimPlan,
+    max_runs: usize,
+    mut still_fails: impl FnMut(&SimPlan) -> bool,
+) -> ShrinkReport {
+    let mut best = plan.clone();
+    let mut applied = Vec::new();
+    let mut runs = 0;
+    let mut progress = true;
+    while progress && runs < max_runs {
+        progress = false;
+        for (name, edit) in EDITS {
+            if runs >= max_runs {
+                break;
+            }
+            let mut candidate = best.clone();
+            edit(&mut candidate);
+            candidate.normalize();
+            if candidate.to_json() == best.to_json() {
+                continue; // edit was a no-op on this plan
+            }
+            runs += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                applied.push(*name);
+                progress = true;
+            }
+        }
+    }
+    ShrinkReport {
+        plan: best,
+        applied,
+        runs,
+    }
+}
+
+/// Shrinks a failing plan by re-running candidates through the real
+/// harness. Spends at most `max_runs` full daemon lifecycles.
+pub fn shrink(plan: &SimPlan, max_runs: usize) -> ShrinkReport {
+    shrink_with(plan, max_runs, |candidate| !run_plan(candidate).passed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SimOpts;
+
+    #[test]
+    fn shrink_reaches_a_minimal_always_failing_plan() {
+        let plan = SimPlan::generate(3, &SimOpts::default());
+        let report = shrink_with(&plan, 64, |_| true);
+        assert_eq!(report.plan.boots.len(), 1);
+        assert_eq!(report.plan.units.len(), 1);
+        assert_eq!(report.plan.units[0].scenario.ticks, MIN_TICKS);
+        assert!(report.plan.units[0].scenario.faults.is_empty());
+        assert!(report.plan.units[0].scenario.modifiers.is_empty());
+        assert!(!report.plan.subscribe);
+        assert_eq!(report.plan.shards, 1);
+        // The minimized plan is still structurally sound.
+        let mut renorm = report.plan.clone();
+        renorm.normalize();
+        assert_eq!(renorm.to_json(), report.plan.to_json());
+    }
+
+    #[test]
+    fn shrink_keeps_the_plan_when_nothing_reproduces() {
+        let plan = SimPlan::generate(5, &SimOpts::default());
+        let report = shrink_with(&plan, 64, |_| false);
+        assert_eq!(report.plan.to_json(), plan.to_json());
+        assert!(report.applied.is_empty());
+    }
+
+    #[test]
+    fn shrink_respects_the_run_budget() {
+        let plan = SimPlan::generate(9, &SimOpts::default());
+        let report = shrink_with(&plan, 3, |_| true);
+        assert!(report.runs <= 3);
+    }
+
+    #[test]
+    fn shrink_preserves_a_targeted_failure() {
+        // Failure depends on a crash being present: the shrinker must
+        // reject the "drop all crashes" edit but still simplify the rest.
+        let opts = SimOpts::default();
+        let plan = (0..200u64)
+            .map(|s| SimPlan::generate(s, &opts))
+            .find(|p| p.boots.iter().any(|b| matches!(b.end, BootEnd::Crash { .. })))
+            .expect("some seed below 200 crashes");
+        let report = shrink_with(&plan, 64, |candidate| {
+            candidate
+                .boots
+                .iter()
+                .any(|b| matches!(b.end, BootEnd::Crash { .. }))
+        });
+        assert!(report
+            .plan
+            .boots
+            .iter()
+            .any(|b| matches!(b.end, BootEnd::Crash { .. })));
+        assert!(report.plan.units[0].scenario.faults.is_empty());
+    }
+}

@@ -350,6 +350,231 @@ fn malformed_lines_and_nan_bursts_degrade_gracefully() {
 }
 
 #[test]
+fn subscriber_churn_gets_gap_free_suffix_and_never_stalls_the_shard() {
+    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(13);
+
+    // Slow the shard so the stream spans real wall-clock time and the
+    // mid-stream re-subscribe genuinely lands mid-stream.
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        shards: 1,
+        slow_tick: Some(Duration::from_millis(2)),
+        ..ServeConfig::default()
+    });
+
+    // First subscriber connects before the stream starts...
+    let mut early_sub = Subscriber::connect(addr).expect("subscribe early");
+    let emit_thread = {
+        let frames = frames.clone();
+        let participation = participation.clone();
+        std::thread::spawn(move || {
+            emit(
+                addr,
+                vec![UnitStream {
+                    unit: 0,
+                    dbs,
+                    kpis,
+                    participation: Some(participation),
+                    frames,
+                }],
+                &EmitOptions::default(),
+            )
+            .expect("emit")
+        })
+    };
+
+    // ...reads a few verdicts, then disconnects mid-stream.
+    for _ in 0..5 {
+        early_sub.next_verdict().expect("early verdicts");
+    }
+    drop(early_sub);
+
+    // A second subscriber joins mid-stream and drains to shutdown.
+    let mut late_sub = Subscriber::connect(addr).expect("re-subscribe mid-stream");
+    let late_thread = std::thread::spawn(move || {
+        let mut seen = Vec::new();
+        while let Ok(record) = late_sub.next_verdict() {
+            seen.push(record);
+        }
+        seen
+    });
+
+    // The abandoned early subscriber must not stall the shard: the full
+    // stream still completes.
+    let report = emit_thread.join().expect("emit thread");
+    assert_eq!(report.ticks_accepted, frames.len() as u64);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        report.verdicts.len() >= 10,
+        "need a meaningful verdict stream, got {}",
+        report.verdicts.len()
+    );
+    let stats = fetch_stats(addr).expect("stats");
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert_eq!(unit.queue_depth, 0, "ingress queue must drain");
+
+    handle.stop();
+    join.join().expect("server thread");
+    let late_seen = late_thread.join().expect("late subscriber thread");
+
+    // The late subscriber's stream must be a gap-free suffix of the
+    // producer's emission-ordered stream: compare sequences (not sets)
+    // from its first observed verdict — any gap or reorder fails.
+    assert!(
+        !late_seen.is_empty(),
+        "mid-stream subscriber must observe the tail of the stream"
+    );
+    let emitted: Vec<VerdictKey> = report
+        .verdicts
+        .iter()
+        .map(|r| verdict_key(r.unit, r.at_tick, &r.verdict))
+        .collect();
+    let late_keys: Vec<VerdictKey> = late_seen
+        .iter()
+        .map(|r| verdict_key(r.unit, r.at_tick, &r.verdict))
+        .collect();
+    let start = emitted
+        .iter()
+        .position(|k| *k == late_keys[0])
+        .expect("first late verdict must exist in the emitted stream");
+    assert_eq!(
+        late_keys,
+        emitted[start..],
+        "late subscriber must see a gap-free verdict suffix from its join point"
+    );
+}
+
+#[test]
+fn metrics_reconcile_exactly_with_client_observations_under_churn() {
+    let unit0 = unit_frames(13);
+    let unit1 = unit_frames(14);
+
+    // One slow shard, tiny queues, wide windows: both producers hammer
+    // the same worker and live through real backpressure while client A
+    // disconnects and reconnects mid-run.
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        shards: 1,
+        queue_cap: 4,
+        slow_tick: Some(Duration::from_millis(1)),
+        ..ServeConfig::default()
+    });
+    let options = EmitOptions {
+        window: 16,
+        ..EmitOptions::default()
+    };
+
+    let b_thread = {
+        let options = options.clone();
+        let frames = unit1.frames.clone();
+        let participation = unit1.participation.clone();
+        let (dbs, kpis) = (unit1.dbs, unit1.kpis);
+        std::thread::spawn(move || {
+            emit(
+                addr,
+                vec![UnitStream {
+                    unit: 1,
+                    dbs,
+                    kpis,
+                    participation: Some(participation),
+                    frames,
+                }],
+                &options,
+            )
+            .expect("producer B")
+        })
+    };
+
+    // Client A: half the stream, disconnect, reconnect, offer the full
+    // stream (the daemon's in-memory position makes it skip the rest).
+    let split = unit0.frames.len() / 2;
+    let a_first = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs: unit0.dbs,
+            kpis: unit0.kpis,
+            participation: Some(unit0.participation.clone()),
+            frames: unit0.frames[..split].to_vec(),
+        }],
+        &options,
+    )
+    .expect("producer A session 1");
+    let a_second = emit(
+        addr,
+        vec![UnitStream {
+            unit: 0,
+            dbs: unit0.dbs,
+            kpis: unit0.kpis,
+            participation: Some(unit0.participation.clone()),
+            frames: unit0.frames.clone(),
+        }],
+        &options,
+    )
+    .expect("producer A session 2");
+    let b_report = b_thread.join().expect("producer B thread");
+
+    // Both sessions ended with a flush barrier, so the counters are
+    // settled; reconcile them exactly against what the clients saw.
+    let stats = fetch_stats(addr).expect("stats");
+    handle.stop();
+    join.join().expect("server thread");
+
+    let unit0_stats = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    let unit1_stats = stats.units.iter().find(|u| u.unit == 1).expect("unit 1");
+
+    assert_eq!(
+        a_first.ticks_accepted + a_second.ticks_accepted,
+        unit0.frames.len() as u64,
+        "A's sessions must cover the stream exactly once"
+    );
+    assert_eq!(unit0_stats.ticks, unit0.frames.len() as u64);
+    assert_eq!(unit1_stats.ticks, unit1.frames.len() as u64);
+    assert_eq!(
+        unit0_stats.rejected_backpressure,
+        a_first.rejects_backpressure + a_second.rejects_backpressure,
+        "unit 0 backpressure rejects must equal A's client-side count"
+    );
+    assert_eq!(
+        unit1_stats.rejected_backpressure, b_report.rejects_backpressure,
+        "unit 1 backpressure rejects must equal B's client-side count"
+    );
+    assert_eq!(
+        unit0_stats.rejected_order,
+        a_first.rejects_order + a_second.rejects_order
+    );
+    assert_eq!(unit1_stats.rejected_order, b_report.rejects_order);
+    assert_eq!(
+        unit0_stats.verdicts_healthy + unit0_stats.verdicts_abnormal,
+        (a_first.verdicts.len() + a_second.verdicts.len()) as u64,
+        "unit 0 verdict counters must equal what A received"
+    );
+    assert_eq!(
+        unit1_stats.verdicts_healthy + unit1_stats.verdicts_abnormal,
+        b_report.verdicts.len() as u64,
+        "unit 1 verdict counters must equal what B received"
+    );
+
+    // And the rollups must be sums of the parts — no drift, no double
+    // counting across the reader/worker handoff.
+    assert_eq!(stats.total_ticks, unit0_stats.ticks + unit1_stats.ticks);
+    assert_eq!(
+        stats.total_rejects,
+        unit0_stats.rejected_backpressure
+            + unit0_stats.rejected_order
+            + unit1_stats.rejected_backpressure
+            + unit1_stats.rejected_order
+    );
+    assert_eq!(
+        stats.total_verdicts,
+        unit0_stats.verdicts_healthy
+            + unit0_stats.verdicts_abnormal
+            + unit1_stats.verdicts_healthy
+            + unit1_stats.verdicts_abnormal
+    );
+    assert_eq!(unit0_stats.queue_depth, 0);
+    assert_eq!(unit1_stats.queue_depth, 0);
+}
+
+#[test]
 fn subscriber_receives_the_verdict_stream() {
     let UnitFixture { frames, participation, dbs, kpis } = unit_frames(9);
     let expected = offline_verdicts(&frames, &participation, dbs);

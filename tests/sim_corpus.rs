@@ -1,0 +1,101 @@
+//! Seed-corpus regression suite for the chaos simulator.
+//!
+//! Every seed here is checked in deliberately: together they cover the
+//! schedule features the simulator can draw (multi-boot restarts,
+//! mid-tick kills, producer churn, subscribers, slow-tick backpressure).
+//! A failure prints the seed and the minimized schedule; reproduce it
+//! locally with `dbcatcher simulate --chaos --seed <seed>`.
+//!
+//! The full 20-seed soak lives in `sim_soak.rs` (`--ignored`, release
+//! builds); this corpus stays affordable for the default test run.
+
+use dbcatcher::simulator::{run_seed, BootEnd, SimOpts, SimPlan};
+
+/// Debug-build-affordable bounds shared by the whole corpus.
+fn corpus_opts() -> SimOpts {
+    SimOpts {
+        max_units: 2,
+        max_ticks: 160,
+        max_boots: 3,
+        allow_crash: true,
+    }
+}
+
+fn assert_seed_passes(seed: u64) {
+    let outcome = run_seed(seed, &corpus_opts());
+    assert!(
+        outcome.passed(),
+        "seed {seed} failed: {:?}\nreproduce: dbcatcher simulate --chaos --seed {seed}",
+        outcome.failures
+    );
+}
+
+/// Picks the first seed at or above `from` whose plan satisfies `want`,
+/// so the corpus provably exercises each schedule feature even if plan
+/// generation changes.
+fn seed_with(from: u64, want: impl Fn(&SimPlan) -> bool) -> u64 {
+    let opts = corpus_opts();
+    (from..from + 500)
+        .find(|&s| want(&SimPlan::generate(s, &opts)))
+        .expect("a qualifying seed exists in the probe range")
+}
+
+#[test]
+fn corpus_seed_with_crash_restart() {
+    let seed = seed_with(0, |p| {
+        p.boots.iter().any(|b| matches!(b.end, BootEnd::Crash { .. }))
+    });
+    assert_seed_passes(seed);
+}
+
+#[test]
+fn corpus_seed_with_multi_boot_and_churn() {
+    let seed = seed_with(0, |p| {
+        p.boots.len() >= 2 && p.boots.iter().any(|b| b.sessions.len() >= 2)
+    });
+    assert_seed_passes(seed);
+}
+
+#[test]
+fn corpus_seed_with_subscriber_and_slow_tick() {
+    let seed = seed_with(0, |p| p.subscribe && p.slow_tick_us > 0);
+    assert_seed_passes(seed);
+}
+
+#[test]
+fn corpus_seed_with_faulty_collectors() {
+    let seed = seed_with(0, |p| {
+        p.units.iter().any(|u| !u.scenario.faults.is_empty())
+    });
+    assert_seed_passes(seed);
+}
+
+#[test]
+fn corpus_seed_single_boot_baseline() {
+    let seed = seed_with(0, |p| {
+        p.boots.len() == 1 && p.boots[0].sessions.len() == 1
+    });
+    assert_seed_passes(seed);
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let seed = seed_with(0, |p| {
+        p.boots.iter().any(|b| matches!(b.end, BootEnd::Crash { .. })) && p.subscribe
+    });
+    let opts = corpus_opts();
+    let a = run_seed(seed, &opts);
+    let b = run_seed(seed, &opts);
+    assert!(a.passed(), "seed {seed} failed: {:?}", a.failures);
+    assert!(b.passed(), "seed {seed} failed: {:?}", b.failures);
+    assert_eq!(
+        a.event_log(),
+        b.event_log(),
+        "event logs for seed {seed} must be byte-identical"
+    );
+    assert_eq!(
+        a.verdict_log(),
+        b.verdict_log(),
+        "verdict streams for seed {seed} must be byte-identical"
+    );
+}

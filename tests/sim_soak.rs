@@ -1,0 +1,29 @@
+//! The chaos soak gate: 20 seeds end to end through the full simulator.
+//!
+//! Ignored by default — `ci.sh` runs it in release via
+//! `cargo test --release --test sim_soak -- --ignored`. A failing seed
+//! reproduces locally with `dbcatcher simulate --chaos --seed <seed>`,
+//! which also prints the minimized schedule.
+
+use dbcatcher::simulator::{run_seed, SimOpts};
+
+#[test]
+#[ignore = "soak gate: run explicitly (release) via ci.sh"]
+fn soak_twenty_seeds_hold_all_invariants() {
+    let opts = SimOpts::default();
+    let mut failed = Vec::new();
+    for seed in 1..=20u64 {
+        let outcome = run_seed(seed, &opts);
+        if !outcome.passed() {
+            eprintln!("seed {seed} failed:");
+            for failure in &outcome.failures {
+                eprintln!("  - {failure}");
+            }
+            failed.push(seed);
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "seeds {failed:?} failed; reproduce with: dbcatcher simulate --chaos --seed <seed>"
+    );
+}
