@@ -63,6 +63,47 @@ grep -q "abnormal verdict" "$SMOKE_DIR/emit.log" \
   || { echo "emit reported no verdict count"; exit 1; }
 rm -rf "$SMOKE_DIR"
 
+echo "==> shard-failure recovery smoke (injected panic and wedge, WAL-backed)"
+RECOV_DIR="$(mktemp -d)"
+"$DBC" simulate --kind tencent --units 1 --ticks 200 --seed 12 --out "$RECOV_DIR/ds.json"
+"$DBC" detect --data "$RECOV_DIR/ds.json" --out "$RECOV_DIR/offline.jsonl" \
+  2> "$RECOV_DIR/detect.log"
+for MODE in PANIC WEDGE; do
+  rm -f "$RECOV_DIR/port.txt"
+  env "DBCATCHER_CHAOS_SHARD_${MODE}=100" \
+    "$DBC" serve --listen 127.0.0.1:0 --port-file "$RECOV_DIR/port.txt" \
+    --shards 1 --wal-dir "$RECOV_DIR/wal_$MODE" \
+    --snapshot-dir "$RECOV_DIR/snap_$MODE" --snapshot-every 32 \
+    2> "$RECOV_DIR/serve_$MODE.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do [ -s "$RECOV_DIR/port.txt" ] && break; sleep 0.1; done
+  test -s "$RECOV_DIR/port.txt" || { echo "$MODE: serve never bound"; kill "$SERVE_PID"; exit 1; }
+  ADDR="$(tr -d '\n' < "$RECOV_DIR/port.txt")"
+  # the stream must complete *through* the injected shard failure
+  timeout 90 "$DBC" emit --connect "$ADDR" --data "$RECOV_DIR/ds.json" \
+    --out "$RECOV_DIR/online_$MODE.jsonl" 2> "$RECOV_DIR/emit_$MODE.log" \
+    || { echo "$MODE: emit failed across the shard failure"; kill "$SERVE_PID"; exit 1; }
+  "$DBC" stats --connect "$ADDR" > "$RECOV_DIR/stats_$MODE.json"
+  grep -q '"restarts":[1-9]' "$RECOV_DIR/stats_$MODE.json" \
+    || { echo "$MODE: supervisor recorded no shard restart"; kill "$SERVE_PID"; exit 1; }
+  grep -q '"failed":true' "$RECOV_DIR/stats_$MODE.json" \
+    && { echo "$MODE: a shard is marked failed"; kill "$SERVE_PID"; exit 1; }
+  # idempotent re-offer is a no-op, then a clean stop
+  timeout 60 "$DBC" emit --connect "$ADDR" --data "$RECOV_DIR/ds.json" \
+    --out /dev/null --stop-server 2>> "$RECOV_DIR/emit_$MODE.log"
+  SHUTDOWN_OK=0
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then SHUTDOWN_OK=1; break; fi
+    sleep 0.1
+  done
+  [ "$SHUTDOWN_OK" = 1 ] || { echo "$MODE: serve did not shut down"; kill "$SERVE_PID"; exit 1; }
+  wait "$SERVE_PID"
+  # zero verdicts lost or duplicated across the worker replacement
+  diff "$RECOV_DIR/offline.jsonl" "$RECOV_DIR/online_$MODE.jsonl" \
+    || { echo "$MODE: recovered verdict stream diverges from offline detect"; exit 1; }
+done
+rm -rf "$RECOV_DIR"
+
 echo "==> chaos smoke (one random seed + same-seed determinism diff)"
 CHAOS_DIR="$(mktemp -d)"
 CHAOS_SEED="${CHAOS_SEED:-$RANDOM}"

@@ -26,13 +26,15 @@ USAGE:
   dbcatcher export-csv --data <ds.json> [--unit I] --out <unit.csv>
   dbcatcher serve     --listen <addr> [--units N] [--shards S] [--queue-cap Q]
                       [--snapshot-dir D] [--snapshot-every T] [--resume D]
-                      [--backend <naive|incremental>]
+                      [--wal-dir D] [--fsync-every N] [--shard-restart-limit N]
+                      [--wedge-timeout-ms T] [--backend <naive|incremental>]
                       [--gap-policy <hold-last|linear-fill|mark-missing>]
                       [--port-file <path>]
   dbcatcher emit      --connect <addr> --data <ds.json> [--rate R] [--window W]
                       [--faults <none|standard|heavy>] [--fault-seed S]
                       [--out <verdicts.jsonl>] [--stop-server]
   dbcatcher stats     --connect <addr>
+  dbcatcher reset-unit --connect <addr> --unit I
   dbcatcher help
 
 --faults corrupts the telemetry stream on its way into the detector
@@ -42,7 +44,14 @@ outages); --gap-policy selects how the ingest layer repairs the gaps.
 serve runs the online daemon (newline-delimited JSON over TCP); emit
 streams a dataset to it and collects the verdicts; stats prints one
 metrics snapshot as JSON. --listen 127.0.0.1:0 picks an ephemeral port
-(written to --port-file for scripts).
+(written to --port-file for scripts). --wal-dir enables the per-shard
+write-ahead log: every accepted tick is durable before detection, so a
+restart with --resume replays snapshot + WAL and loses nothing
+(--fsync-every batches fsyncs). A supervisor restarts panicked or wedged
+shard workers (no progress for --wedge-timeout-ms with work queued) up to
+--shard-restart-limit times per shard; past that the
+shard's units are hard-degraded and reset-unit re-admits a stream on
+probation.
 
 simulate --chaos runs the deterministic whole-system chaos simulator:
 one seed (--seed or the SEED env var) draws unit topology, anomaly and
@@ -143,6 +152,15 @@ pub enum Command {
         snapshot_every: u64,
         /// Directory to restore unit snapshots from at Hello time.
         resume: Option<String>,
+        /// Root directory for per-shard write-ahead logs.
+        wal_dir: Option<String>,
+        /// Batch this many WAL appends per fsync.
+        fsync_every: u64,
+        /// Supervisor restarts tolerated per shard before it is failed.
+        shard_restart_limit: u32,
+        /// Milliseconds without shard progress (with work queued) before the
+        /// supervisor declares a wedge and replaces the worker.
+        wedge_timeout_ms: u64,
         /// Correlation engine.
         backend: CorrelationBackend,
         /// Gap-repair policy of the ingest layer.
@@ -173,6 +191,13 @@ pub enum Command {
     Stats {
         /// Daemon address.
         connect: String,
+    },
+    /// Re-admit a hard-degraded unit (it restarts on probation).
+    ResetUnit {
+        /// Daemon address.
+        connect: String,
+        /// Unit index.
+        unit: usize,
     },
     /// Export one unit as CSV.
     ExportCsv {
@@ -297,6 +322,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             snapshot_dir: value(rest, "--snapshot-dir").map(str::to_string),
             snapshot_every: parse_num(rest, "--snapshot-every", 64)?,
             resume: value(rest, "--resume").map(str::to_string),
+            wal_dir: value(rest, "--wal-dir").map(str::to_string),
+            fsync_every: parse_num(rest, "--fsync-every", 8)?,
+            shard_restart_limit: parse_num(rest, "--shard-restart-limit", 3)?,
+            wedge_timeout_ms: parse_num(rest, "--wedge-timeout-ms", 2000)?,
             backend: parse_backend(rest)?,
             gap_policy: parse_num(rest, "--gap-policy", GapPolicy::default())?,
             port_file: value(rest, "--port-file").map(str::to_string),
@@ -319,6 +348,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             connect: value(rest, "--connect")
                 .ok_or("stats requires --connect <addr>")?
                 .to_string(),
+        }),
+        "reset-unit" => Ok(Command::ResetUnit {
+            connect: value(rest, "--connect")
+                .ok_or("reset-unit requires --connect <addr>")?
+                .to_string(),
+            unit: value(rest, "--unit")
+                .ok_or("reset-unit requires --unit <index>")?
+                .parse()
+                .map_err(|_| "invalid value for --unit".to_string())?,
         }),
         "export-csv" => Ok(Command::ExportCsv {
             data: value(rest, "--data")
@@ -513,7 +551,9 @@ mod tests {
     fn serve_and_emit() {
         let cmd = parse(&argv(
             "serve --listen 127.0.0.1:0 --units 8 --shards 2 --queue-cap 16 \
-             --snapshot-dir snaps --snapshot-every 32 --resume snaps --port-file p.txt",
+             --snapshot-dir snaps --snapshot-every 32 --resume snaps \
+             --wal-dir wal --fsync-every 4 --shard-restart-limit 5 --wedge-timeout-ms 750 \
+             --port-file p.txt",
         ))
         .unwrap();
         assert_eq!(
@@ -526,6 +566,10 @@ mod tests {
                 snapshot_dir: Some("snaps".into()),
                 snapshot_every: 32,
                 resume: Some("snaps".into()),
+                wal_dir: Some("wal".into()),
+                fsync_every: 4,
+                shard_restart_limit: 5,
+                wedge_timeout_ms: 750,
                 backend: CorrelationBackend::Incremental,
                 gap_policy: GapPolicy::HoldLast,
                 port_file: Some("p.txt".into()),
@@ -555,9 +599,31 @@ mod tests {
                 connect: "127.0.0.1:7070".into()
             }
         );
+        assert_eq!(
+            parse(&argv("reset-unit --connect 127.0.0.1:7070 --unit 3")).unwrap(),
+            Command::ResetUnit {
+                connect: "127.0.0.1:7070".into(),
+                unit: 3,
+            }
+        );
         assert!(parse(&argv("serve --units 4")).is_err());
         assert!(parse(&argv("emit --connect x")).is_err());
         assert!(parse(&argv("stats")).is_err());
+        assert!(parse(&argv("reset-unit --connect x")).is_err());
+    }
+
+    #[test]
+    fn serve_durability_defaults() {
+        let cmd = parse(&argv("serve --listen 127.0.0.1:0")).unwrap();
+        match cmd {
+            Command::Serve { wal_dir, fsync_every, shard_restart_limit, wedge_timeout_ms, .. } => {
+                assert_eq!(wal_dir, None);
+                assert_eq!(fsync_every, 8);
+                assert_eq!(shard_restart_limit, 3);
+                assert_eq!(wedge_timeout_ms, 2000);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -234,6 +234,10 @@ pub fn run(command: Command) -> Result<(), CliError> {
             snapshot_dir,
             snapshot_every,
             resume,
+            wal_dir,
+            fsync_every,
+            shard_restart_limit,
+            wedge_timeout_ms,
             backend,
             gap_policy,
             port_file,
@@ -245,6 +249,11 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 snapshot_dir: snapshot_dir.map(PathBuf::from),
                 snapshot_every,
                 resume_dir: resume.map(PathBuf::from),
+                wal_dir: wal_dir.map(PathBuf::from),
+                fsync_every,
+                shard_restart_limit,
+                wedge_timeout: std::time::Duration::from_millis(wedge_timeout_ms),
+                chaos: chaos_from_env(),
                 template: DetectorTemplate { backend, gap_policy },
                 ..ServeConfig::default()
             };
@@ -276,6 +285,10 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 rate,
                 window,
                 stop_after: stop_server,
+                // Decorrelate concurrent producers' backoff jitter the
+                // same way their fault dice are decorrelated.
+                retry_seed: fault_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..EmitOptions::default()
             };
             let report = dbcatcher_serve::emit(connect.as_str(), streams, &options)
                 .map_err(|e| CliError::Client(e.to_string()))?;
@@ -285,8 +298,21 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 ),
                 None => Box::new(std::io::stdout()),
             };
+            // Restart replays re-deliver bit-identical verdicts; the
+            // sorted stream dedups them so the output matches `detect`.
             let mut total = 0usize;
+            let mut last_key: Option<(usize, u64, usize, u64)> = None;
             for record in report.sorted_verdicts() {
+                let key = (
+                    record.unit,
+                    record.at_tick,
+                    record.verdict.db,
+                    record.verdict.start_tick,
+                );
+                if last_key == Some(key) {
+                    continue;
+                }
+                last_key = Some(key);
                 if record.verdict.state.is_abnormal() {
                     total += 1;
                     write_verdict_record(&mut sink, record.unit, &record.verdict)?;
@@ -302,6 +328,15 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 "{} tick(s) accepted, {} backpressure reject(s), {} out-of-order reject(s)",
                 report.ticks_accepted, report.rejects_backpressure, report.rejects_order
             );
+            if report.backoff_waits > 0 || report.flush_rewinds > 0 || report.control_retries > 0 {
+                eprintln!(
+                    "{} backoff wait(s) ({} ms total), {} flush rewind(s), {} control retry(ies)",
+                    report.backoff_waits,
+                    report.backoff_ms_total,
+                    report.flush_rewinds,
+                    report.control_retries
+                );
+            }
             eprintln!("{total} abnormal verdict(s)");
             Ok(())
         }
@@ -313,6 +348,12 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 detail: e.to_string(),
             })?;
             println!("{json}");
+            Ok(())
+        }
+        Command::ResetUnit { connect, unit } => {
+            let next_tick = dbcatcher_serve::reset_unit(connect.as_str(), unit)
+                .map_err(|e| CliError::Client(e.to_string()))?;
+            println!("unit {unit}: re-admitted on probation, next tick {next_tick}");
             Ok(())
         }
         Command::ExportCsv { data, unit, out } => {
@@ -330,6 +371,29 @@ pub fn run(command: Command) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// Test hook for the CI recovery smoke: arms a deterministic shard
+/// failure from the environment — `DBCATCHER_CHAOS_SHARD_PANIC=N`
+/// panics (and `DBCATCHER_CHAOS_SHARD_WEDGE=N` wedges) the worker
+/// processing the `N`-th tick job, which the supervisor must contain.
+/// Unset in production; panic wins when both are set.
+fn chaos_from_env() -> Option<std::sync::Arc<dbcatcher_serve::ShardChaos>> {
+    let armed = |name: &str| {
+        std::env::var(name)
+            .ok()
+            .and_then(|raw| raw.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+    };
+    if let Some(n) = armed("DBCATCHER_CHAOS_SHARD_PANIC") {
+        eprintln!("dbcatcher serve: chaos hook armed — shard panic on tick job {n}");
+        return Some(dbcatcher_serve::ShardChaos::panic_after(n));
+    }
+    if let Some(n) = armed("DBCATCHER_CHAOS_SHARD_WEDGE") {
+        eprintln!("dbcatcher serve: chaos hook armed — shard wedge on tick job {n}");
+        return Some(dbcatcher_serve::ShardChaos::wedge_after(n));
+    }
+    None
 }
 
 /// `simulate --chaos`: one seed, one deterministic whole-system run.

@@ -134,16 +134,20 @@ impl DbCatcher {
     /// Panics when the snapshot is internally inconsistent (tracker count
     /// mismatching the database count, invalid configuration).
     pub fn restore(snapshot: DetectorSnapshot) -> DbCatcher {
-        assert_eq!(
-            snapshot.trackers.len(),
-            snapshot.num_dbs,
-            "tracker count mismatches database count"
-        );
-        snapshot
-            .config
-            .validate()
-            .expect("snapshot carries a valid configuration");
-        DbCatcher::from_parts(
+        Self::try_restore(snapshot).expect("snapshot is internally consistent")
+    }
+
+    /// Non-panicking [`Self::restore`]: validates the snapshot first and
+    /// returns the [`DetectorSnapshot::validate`] diagnostic instead of
+    /// asserting, so long-running services (the serve daemon's warm
+    /// restart and WAL replay) can degrade a unit on a bad snapshot
+    /// rather than abort a worker thread.
+    ///
+    /// # Errors
+    /// Returns the validation diagnostic for an inconsistent snapshot.
+    pub fn try_restore(snapshot: DetectorSnapshot) -> Result<DbCatcher, String> {
+        snapshot.validate()?;
+        Ok(DbCatcher::from_parts(
             snapshot.config,
             snapshot.num_dbs,
             snapshot.queues,
@@ -151,7 +155,7 @@ impl DbCatcher {
             snapshot.health,
             snapshot.window_size_sum,
             snapshot.verdict_count,
-        )
+        ))
     }
 }
 
@@ -276,7 +280,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tracker count mismatches")]
+    #[should_panic(expected = "window trackers")]
     fn inconsistent_snapshot_panics() {
         let catcher = DbCatcher::new(config(2), 3);
         let mut snap = catcher.snapshot();

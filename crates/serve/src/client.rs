@@ -8,6 +8,21 @@
 //! arrive in request order, any already-in-flight later ticks bounce as
 //! out-of-order and converge to the same cursor, so backpressure costs
 //! retries, never correctness.
+//!
+//! Backpressure retries use capped exponential backoff seeded with
+//! deterministic jitter: the server's `retry_after_ms` hint (already
+//! proportional to queue depth) is doubled per consecutive rejection of
+//! the same unit, capped at [`EmitOptions::max_backoff_ms`], and spread
+//! over `[delay/2, delay]` by a seeded xorshift — many producers backing
+//! off from the same saturated shard fan out instead of thundering back
+//! in lockstep, and a given [`EmitOptions::retry_seed`] replays the same
+//! wait sequence (the chaos harness depends on that).
+//!
+//! Control frames (`Hello`, `Flush`) are idempotent and resent on a read
+//! timeout: a supervisor restarting a shard can drop an in-flight
+//! control job, and a producer must ride through that instead of
+//! hanging. Stray duplicate acks from a resend are tolerated wherever
+//! they can surface.
 
 use crate::metrics::MetricsSnapshot;
 use crate::protocol::{self, ProtocolError, Request, Response, MAX_LINE_BYTES};
@@ -75,6 +90,11 @@ pub struct EmitOptions {
     pub window: usize,
     /// Stop the daemon after the stream completes.
     pub stop_after: bool,
+    /// Seed of the deterministic backoff jitter; two runs with the same
+    /// seed (and the same server behaviour) wait the same milliseconds.
+    pub retry_seed: u64,
+    /// Ceiling of one backpressure wait, bounding the exponential growth.
+    pub max_backoff_ms: u64,
 }
 
 impl Default for EmitOptions {
@@ -83,6 +103,8 @@ impl Default for EmitOptions {
             rate: 0.0,
             window: 32,
             stop_after: false,
+            retry_seed: 0x5DB0_CA7C_4E55_11ED,
+            max_backoff_ms: 250,
         }
     }
 }
@@ -111,9 +133,19 @@ pub struct EmitReport {
     pub verdicts: Vec<VerdictRecord>,
     /// `(unit, next_tick)` for units the server resumed from a snapshot.
     pub resumed: Vec<(usize, u64)>,
-    /// Unit-scoped server errors (degraded units); the stream for such a
-    /// unit stops but the run continues.
+    /// Unit-scoped server errors (probation strikes, degraded units); a
+    /// hard-degraded unit's stream stops but the run continues.
     pub errors: Vec<String>,
+    /// Backpressure waits performed (one per backpressure rejection).
+    pub backoff_waits: u64,
+    /// Total milliseconds slept in backpressure backoff.
+    pub backoff_ms_total: u64,
+    /// Idempotent control-frame resends (`Hello`/`Flush` read timeouts).
+    pub control_retries: u64,
+    /// Flush barriers that found the server behind the sent position —
+    /// ticks accepted into a worker generation that died before
+    /// processing them — and rewound the cursor to restream the tail.
+    pub flush_rewinds: u64,
     /// Set when the run died on a connection-level failure (daemon
     /// crashed or closed mid-stream) and the report is partial. Only
     /// [`emit_surviving`] produces aborted reports; [`emit`] turns the
@@ -132,11 +164,23 @@ impl EmitReport {
     }
 }
 
+/// How long one control-frame attempt waits for its ack before the
+/// frame is resent (they are idempotent).
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Control-frame resends before the connection is declared dead.
+const CONTROL_ATTEMPTS: u32 = 5;
+
+/// Consecutive flush-barrier rewinds tolerated without the server's
+/// position advancing before the unit is abandoned.
+const FLUSH_STALL_LIMIT: u32 = 3;
+
 /// A line-oriented protocol connection.
 struct Connection {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
-    line: String,
+    /// Partial-line carry-over across read timeouts.
+    buf: Vec<u8>,
 }
 
 impl Connection {
@@ -147,7 +191,7 @@ impl Connection {
         Ok(Self {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
-            line: String::new(),
+            buf: Vec::new(),
         })
     }
 
@@ -160,17 +204,65 @@ impl Connection {
     }
 
     fn recv(&mut self) -> Result<Response, ClientError> {
-        self.line.clear();
-        let mut taken = (&mut self.reader).take((MAX_LINE_BYTES + 2) as u64);
-        let n = taken.read_line(&mut self.line)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
+        loop {
+            if let Some(response) = self.recv_within(None)? {
+                return Ok(response);
+            }
         }
-        protocol::decode_response(&self.line).map_err(ClientError::Protocol)
     }
+
+    /// Reads one response, waiting at most `timeout` (`None` blocks).
+    /// `Ok(None)` means the timeout expired; bytes of a partially read
+    /// line are kept for the next call.
+    fn recv_within(&mut self, timeout: Option<Duration>) -> Result<Option<Response>, ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        loop {
+            let mut taken = (&mut self.reader).take((MAX_LINE_BYTES + 2) as u64);
+            match taken.read_until(b'\n', &mut self.buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                Ok(_) => {
+                    if self.buf.last() == Some(&b'\n') {
+                        let line = String::from_utf8_lossy(&self.buf).into_owned();
+                        self.buf.clear();
+                        return protocol::decode_response(&line)
+                            .map(Some)
+                            .map_err(ClientError::Protocol);
+                    }
+                    if self.buf.len() > MAX_LINE_BYTES {
+                        self.buf.clear();
+                        return Err(ClientError::Protocol(ProtocolError::Oversized {
+                            max: MAX_LINE_BYTES,
+                        }));
+                    }
+                    // `take` limit hit mid-line; keep reading.
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Advances a xorshift64* state and spreads `delay_ms` over
+/// `[delay/2, delay]` — deterministic for a given seed, decorrelated
+/// across producers with different seeds.
+fn jittered(delay_ms: u64, state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    let span = delay_ms / 2;
+    (delay_ms - span) + (*state % (span + 1))
 }
 
 /// Per-unit emit progress.
@@ -180,6 +272,71 @@ struct UnitCursor {
     next: u64,
     /// The unit stopped accepting ticks (degraded).
     dead: bool,
+    /// Consecutive backpressure rejections (exponential backoff input);
+    /// reset by any accepted tick.
+    attempts: u32,
+    /// Highest server position a flush barrier has confirmed — rewinds
+    /// that do not move past it count as stalls.
+    flush_floor: u64,
+    /// Consecutive flush rewinds without server progress; the unit is
+    /// abandoned (with an error) once this hits the stall limit.
+    flush_stalls: u32,
+}
+
+/// Sends one idempotent `Flush` barrier for `unit` and returns the
+/// detector position from its ack, or `None` when the shard answered
+/// with a unit-scoped error (recorded in the report). Resends on read
+/// timeouts like `Hello`; stray verdicts and duplicate control acks are
+/// folded into the report along the way.
+fn flush_unit(
+    conn: &mut Connection,
+    unit: usize,
+    report: &mut EmitReport,
+) -> Result<Option<u64>, ClientError> {
+    for attempt in 0..CONTROL_ATTEMPTS {
+        if attempt > 0 {
+            report.control_retries += 1;
+        }
+        conn.send(&Request::Flush { unit })?;
+        let deadline = Instant::now() + CONTROL_TIMEOUT;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break; // resend
+            }
+            match conn.recv_within(Some(remaining))? {
+                None => break, // timeout: resend
+                Some(Response::FlushAck {
+                    unit: acked,
+                    next_tick,
+                    ..
+                }) if acked == unit => return Ok(Some(next_tick)),
+                Some(Response::Verdict {
+                    unit,
+                    at_tick,
+                    verdict,
+                }) => report.verdicts.push(VerdictRecord {
+                    unit,
+                    at_tick,
+                    verdict,
+                }),
+                Some(Response::Error { message }) => {
+                    report.errors.push(message);
+                    return Ok(None);
+                }
+                // Stray acks of earlier units or duplicate resends.
+                Some(Response::FlushAck { .. })
+                | Some(Response::HelloAck { .. })
+                | Some(Response::ResetAck { .. }) => {}
+                Some(other) => {
+                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                }
+            }
+        }
+    }
+    Err(ClientError::Unexpected(format!(
+        "no FlushAck for unit {unit} after {CONTROL_ATTEMPTS} attempts"
+    )))
 }
 
 /// Streams every [`UnitStream`] to the daemon and collects the verdicts.
@@ -253,191 +410,245 @@ fn emit_core(
     let mut units: Vec<UnitCursor> = Vec::with_capacity(streams.len());
 
     // Register every unit up front; a warm-restarted server tells us
-    // where to resume.
+    // where to resume. `Hello` is idempotent, so a read timeout (a
+    // supervisor restart can drop an in-flight control job) just resends
+    // it; a duplicate ack from the first copy is skipped below and in
+    // the ack loops.
     for stream in streams {
-        conn.send(&Request::Hello {
-            unit: stream.unit,
-            dbs: stream.dbs,
-            kpis: stream.kpis,
-            participation: stream.participation.clone(),
-        })?;
-        let next = loop {
-            match conn.recv()? {
-                Response::HelloAck {
-                    unit,
-                    next_tick,
-                    resumed,
-                } => {
-                    if unit != stream.unit {
-                        return Err(ClientError::Unexpected(format!(
-                            "HelloAck for unit {unit}, expected {}",
-                            stream.unit
-                        )));
-                    }
-                    if resumed {
-                        report.resumed.push((unit, next_tick));
-                    }
-                    break next_tick;
+        let mut next = None;
+        'attempts: for attempt in 0..CONTROL_ATTEMPTS {
+            if attempt > 0 {
+                report.control_retries += 1;
+            }
+            conn.send(&Request::Hello {
+                unit: stream.unit,
+                dbs: stream.dbs,
+                kpis: stream.kpis,
+                participation: stream.participation.clone(),
+            })?;
+            let deadline = Instant::now() + CONTROL_TIMEOUT;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break; // resend
                 }
-                Response::Error { message } => return Err(ClientError::Server(message)),
-                Response::Verdict {
-                    unit,
-                    at_tick,
-                    verdict,
-                } => report.verdicts.push(VerdictRecord {
-                    unit,
-                    at_tick,
-                    verdict,
-                }),
-                other => {
-                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                match conn.recv_within(Some(remaining))? {
+                    None => break, // timeout: resend
+                    Some(Response::HelloAck {
+                        unit,
+                        next_tick,
+                        resumed,
+                    }) if unit == stream.unit => {
+                        if resumed {
+                            report.resumed.push((unit, next_tick));
+                        }
+                        next = Some(next_tick);
+                        break 'attempts;
+                    }
+                    Some(Response::Error { message }) => return Err(ClientError::Server(message)),
+                    Some(Response::Verdict {
+                        unit,
+                        at_tick,
+                        verdict,
+                    }) => report.verdicts.push(VerdictRecord {
+                        unit,
+                        at_tick,
+                        verdict,
+                    }),
+                    // Stray acks (duplicate HelloAck of an earlier unit
+                    // after a resend) are not ours; skip them.
+                    Some(_) => {}
                 }
             }
+        }
+        let Some(next) = next else {
+            return Err(ClientError::Unexpected(format!(
+                "no HelloAck for unit {} after {CONTROL_ATTEMPTS} attempts",
+                stream.unit
+            )));
         };
         units.push(UnitCursor {
             stream,
             next,
             dead: false,
+            attempts: 0,
+            flush_floor: 0,
+            flush_stalls: 0,
         });
     }
 
     // Windowed streaming, round-robin across units. `inflight` tracks
-    // ticks sent but not yet acknowledged.
+    // ticks sent but not yet acknowledged. The outer loop re-enters the
+    // stream phase whenever the flush barrier discovers the server is
+    // behind the sent position (a worker generation died holding
+    // accepted-but-unprocessed ticks) — the tail is simply restreamed.
     let window = options.window.max(1);
-    let mut inflight: VecDeque<usize> = VecDeque::new(); // unit ids, send order
     let started = Instant::now();
     let mut sent_rounds = 0u64;
+    let mut jitter_state = options.retry_seed | 1; // xorshift state must be non-zero
     loop {
-        let mut progressed = false;
-        for (idx, cursor) in units.iter_mut().enumerate() {
-            if inflight.len() >= window {
-                break;
-            }
-            if cursor.dead || cursor.next >= cursor.stream.frames.len() as u64 {
-                continue;
-            }
-            if options.rate > 0.0 {
-                let due = Duration::from_secs_f64(sent_rounds as f64 / options.rate);
-                let elapsed = started.elapsed();
-                if elapsed < due {
-                    std::thread::sleep(due - elapsed);
+        let mut inflight: VecDeque<usize> = VecDeque::new(); // unit ids, send order
+        loop {
+            let mut progressed = false;
+            for (idx, cursor) in units.iter_mut().enumerate() {
+                if inflight.len() >= window {
+                    break;
                 }
-            }
-            let tick = cursor.next;
-            conn.send(&Request::Tick {
-                unit: cursor.stream.unit,
-                tick,
-                frame: cursor.stream.frames[tick as usize].clone(),
-            })?;
-            cursor.next += 1;
-            inflight.push_back(idx);
-            progressed = true;
-        }
-        if inflight.is_empty() {
-            if !progressed {
-                break; // every unit drained (or dead) and nothing pending
-            }
-            continue;
-        }
-        sent_rounds += 1;
-        // Drain acknowledgements until the window has room again (or
-        // fully, once there is nothing left to send).
-        let all_sent = units
-            .iter()
-            .all(|c| c.dead || c.next >= c.stream.frames.len() as u64);
-        let target = if all_sent { 0 } else { window.saturating_sub(1) };
-        while inflight.len() > target {
-            let idx = *inflight.front().expect("inflight non-empty");
-            match conn.recv()? {
-                Response::Accepted { .. } => {
-                    inflight.pop_front();
-                    report.ticks_accepted += 1;
+                if cursor.dead || cursor.next >= cursor.stream.frames.len() as u64 {
+                    continue;
                 }
-                Response::Rejected {
-                    unit,
-                    expected,
-                    retry_after_ms,
-                    reason,
-                    ..
-                } => {
-                    inflight.pop_front();
-                    let cursor = &mut units[idx];
-                    debug_assert_eq!(cursor.stream.unit, unit);
-                    match reason {
-                        protocol::RejectReason::Backpressure => {
-                            report.rejects_backpressure += 1;
-                            cursor.next = cursor.next.min(expected);
-                            if retry_after_ms > 0 {
-                                std::thread::sleep(Duration::from_millis(retry_after_ms));
-                            }
-                        }
-                        protocol::RejectReason::OutOfOrder => {
-                            report.rejects_order += 1;
-                            cursor.next = cursor.next.min(expected);
-                        }
-                        protocol::RejectReason::Degraded
-                        | protocol::RejectReason::UnknownUnit => {
-                            cursor.dead = true;
-                            report
-                                .errors
-                                .push(format!("unit {unit} rejected: {reason:?}"));
-                        }
+                if options.rate > 0.0 {
+                    let due = Duration::from_secs_f64(sent_rounds as f64 / options.rate);
+                    let elapsed = started.elapsed();
+                    if elapsed < due {
+                        std::thread::sleep(due - elapsed);
                     }
                 }
-                Response::Verdict {
-                    unit,
-                    at_tick,
-                    verdict,
-                } => {
-                    report.verdicts.push(VerdictRecord {
+                let tick = cursor.next;
+                conn.send(&Request::Tick {
+                    unit: cursor.stream.unit,
+                    tick,
+                    frame: cursor.stream.frames[tick as usize].clone(),
+                })?;
+                cursor.next += 1;
+                inflight.push_back(idx);
+                progressed = true;
+            }
+            if inflight.is_empty() {
+                if !progressed {
+                    break; // every unit drained (or dead) and nothing pending
+                }
+                continue;
+            }
+            sent_rounds += 1;
+            // Drain acknowledgements until the window has room again (or
+            // fully, once there is nothing left to send).
+            let all_sent = units
+                .iter()
+                .all(|c| c.dead || c.next >= c.stream.frames.len() as u64);
+            let target = if all_sent { 0 } else { window.saturating_sub(1) };
+            while inflight.len() > target {
+                let idx = *inflight.front().expect("inflight non-empty");
+                match conn.recv()? {
+                    Response::Accepted { .. } => {
+                        inflight.pop_front();
+                        units[idx].attempts = 0;
+                        report.ticks_accepted += 1;
+                    }
+                    Response::Rejected {
+                        unit,
+                        expected,
+                        retry_after_ms,
+                        reason,
+                        ..
+                    } => {
+                        inflight.pop_front();
+                        let cursor = &mut units[idx];
+                        debug_assert_eq!(cursor.stream.unit, unit);
+                        match reason {
+                            protocol::RejectReason::Backpressure => {
+                                report.rejects_backpressure += 1;
+                                cursor.next = cursor.next.min(expected);
+                                // Capped exponential backoff over the server's
+                                // queue-depth-proportional hint, with seeded
+                                // jitter so concurrent producers desynchronise.
+                                cursor.attempts += 1;
+                                let shift = (cursor.attempts - 1).min(6);
+                                let base = retry_after_ms.max(1);
+                                let delay = base
+                                    .checked_shl(shift)
+                                    .unwrap_or(u64::MAX)
+                                    .min(options.max_backoff_ms.max(1));
+                                let wait = jittered(delay, &mut jitter_state);
+                                report.backoff_waits += 1;
+                                report.backoff_ms_total += wait;
+                                std::thread::sleep(Duration::from_millis(wait));
+                            }
+                            protocol::RejectReason::OutOfOrder => {
+                                report.rejects_order += 1;
+                                cursor.next = cursor.next.min(expected);
+                            }
+                            protocol::RejectReason::Degraded
+                            | protocol::RejectReason::UnknownUnit => {
+                                cursor.dead = true;
+                                report
+                                    .errors
+                                    .push(format!("unit {unit} rejected: {reason:?}"));
+                            }
+                        }
+                    }
+                    Response::Verdict {
                         unit,
                         at_tick,
                         verdict,
-                    });
-                }
-                Response::Error { message } => {
-                    // Shard-originated (e.g. the unit degraded). Not an
-                    // acknowledgement — the reader keeps acks in request
-                    // order, so do not consume an inflight slot; the
-                    // unit's next tick bounces as `Degraded` and marks
-                    // the cursor dead.
-                    report.errors.push(message);
-                }
-                other => {
-                    return Err(ClientError::Unexpected(format!("{other:?}")));
+                    } => {
+                        report.verdicts.push(VerdictRecord {
+                            unit,
+                            at_tick,
+                            verdict,
+                        });
+                    }
+                    Response::Error { message } => {
+                        // Shard-originated (e.g. a probation strike or a
+                        // degradation). Not an acknowledgement — the reader
+                        // keeps acks in request order, so do not consume an
+                        // inflight slot; a hard-degraded unit's next tick
+                        // bounces as `Degraded` and marks the cursor dead.
+                        report.errors.push(message);
+                    }
+                    Response::HelloAck { .. }
+                    | Response::FlushAck { .. }
+                    | Response::ResetAck { .. } => {
+                        // Duplicate control ack from an idempotent resend;
+                        // not a tick acknowledgement.
+                    }
+                    other => {
+                        return Err(ClientError::Unexpected(format!("{other:?}")));
+                    }
                 }
             }
         }
-    }
 
-    // Barrier per unit: FlushAck arrives only after every accepted tick
-    // (and its verdicts) has been processed.
-    for cursor in &units {
-        let unit = cursor.stream.unit;
-        if cursor.dead {
-            continue;
-        }
-        conn.send(&Request::Flush { unit })?;
-        loop {
-            match conn.recv()? {
-                Response::FlushAck { unit: acked, .. } if acked == unit => break,
-                Response::Verdict {
-                    unit,
-                    at_tick,
-                    verdict,
-                } => report.verdicts.push(VerdictRecord {
-                    unit,
-                    at_tick,
-                    verdict,
-                }),
-                Response::Error { message } => {
-                    report.errors.push(message);
-                    break;
-                }
-                other => {
-                    return Err(ClientError::Unexpected(format!("{other:?}")));
+        // Barrier per unit: FlushAck arrives only after every accepted
+        // tick (and its verdicts) has been processed, and carries the
+        // detector's position. A position short of the sent prefix means
+        // accepted ticks died with a failed worker generation before
+        // reaching the WAL — rewind and restream that tail. Stalls (no
+        // server progress across consecutive rewinds) abandon the unit
+        // instead of looping forever.
+        let mut rewound = false;
+        for cursor in units.iter_mut() {
+            if cursor.dead {
+                continue;
+            }
+            let unit = cursor.stream.unit;
+            let Some(server_next) = flush_unit(conn, unit, report)? else {
+                continue;
+            };
+            let sent = (cursor.stream.frames.len() as u64).min(cursor.next);
+            if server_next >= sent {
+                continue;
+            }
+            if server_next > cursor.flush_floor {
+                cursor.flush_floor = server_next;
+                cursor.flush_stalls = 0;
+            } else {
+                cursor.flush_stalls += 1;
+                if cursor.flush_stalls >= FLUSH_STALL_LIMIT {
+                    cursor.dead = true;
+                    report.errors.push(format!(
+                        "unit {unit}: flush barrier stuck at tick {server_next} \
+                         after {FLUSH_STALL_LIMIT} resend rounds"
+                    ));
+                    continue;
                 }
             }
+            report.flush_rewinds += 1;
+            cursor.next = server_next;
+            rewound = true;
+        }
+        if !rewound {
+            break;
         }
     }
 
@@ -475,6 +686,27 @@ pub fn fetch_stats<A: ToSocketAddrs>(addr: A) -> Result<MetricsSnapshot, ClientE
         Response::Stats(snapshot) => Ok(snapshot),
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Unexpected(format!("{other:?}"))),
+    }
+}
+
+/// Operator override: re-admits a hard-degraded unit onto probation.
+/// Returns the next tick the server expects from the producer.
+///
+/// # Errors
+/// Propagates connection and protocol failures.
+pub fn reset_unit<A: ToSocketAddrs>(addr: A, unit: usize) -> Result<u64, ClientError> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Request::ResetUnit { unit })?;
+    loop {
+        match conn.recv()? {
+            Response::ResetAck {
+                unit: acked,
+                next_tick,
+            } if acked == unit => return Ok(next_tick),
+            Response::Error { message } => return Err(ClientError::Server(message)),
+            Response::Verdict { .. } => {}
+            other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
     }
 }
 
@@ -533,5 +765,41 @@ impl Subscriber {
                 });
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = 0x5DB0_CA7C_4E55_11EDu64 | 1;
+        let mut b = a;
+        for delay in [1u64, 2, 5, 40, 250] {
+            let wa = jittered(delay, &mut a);
+            let wb = jittered(delay, &mut b);
+            assert_eq!(wa, wb, "same seed must replay the same waits");
+            assert!(wa >= delay - delay / 2 && wa <= delay, "{wa} out of [{}, {delay}]", delay - delay / 2);
+        }
+        // Different seeds decorrelate (not a proof, a smoke check).
+        let mut c = 7u64;
+        let waits_a: Vec<u64> = (0..8).map(|_| jittered(200, &mut a)).collect();
+        let waits_c: Vec<u64> = (0..8).map(|_| jittered(200, &mut c)).collect();
+        assert_ne!(waits_a, waits_c);
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_then_caps() {
+        // Mirrors the emit loop's delay computation.
+        let base: u64 = 13;
+        let cap: u64 = 100;
+        let delays: Vec<u64> = (1..=8u32)
+            .map(|attempts| {
+                let shift = (attempts - 1).min(6);
+                base.checked_shl(shift).unwrap_or(u64::MAX).min(cap)
+            })
+            .collect();
+        assert_eq!(delays, vec![13, 26, 52, 100, 100, 100, 100, 100]);
     }
 }

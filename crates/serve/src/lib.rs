@@ -17,19 +17,31 @@
 //! - Warm restart: periodic [`dbcatcher_core::snapshot`] persistence and
 //!   `--resume`, with `HelloAck{next_tick}` telling producers where to
 //!   pick the stream back up.
+//! - Durability: a per-shard write-ahead log ([`wal`]) records every
+//!   accepted tick *before* detection, so restarts replay
+//!   `snapshot + WAL suffix` and lose nothing — not even the tick a
+//!   crash interrupted mid-detection.
+//! - Self-healing: a [`supervisor`] monitors shard workers, replacing
+//!   panicked or wedged generations from their durable state; units pass
+//!   through a probation lifecycle instead of degrading permanently, and
+//!   operators can `ResetUnit` a hard-degraded stream.
 //! - [`client`] — the `dbcatcher emit` engine (windowed, rewind-on-
-//!   reject), plus `stats` / `stop` / subscription helpers.
+//!   reject, capped jittered backoff), plus `stats` / `stop` /
+//!   `reset_unit` / subscription helpers.
 
 pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 mod shard;
+pub(crate) mod supervisor;
+pub mod wal;
 
 pub use client::{
-    emit, emit_surviving, fetch_stats, send_stop, EmitOptions, EmitReport, Subscriber, UnitStream,
+    emit, emit_surviving, fetch_stats, reset_unit, send_stop, EmitOptions, EmitReport, Subscriber,
+    UnitStream,
 };
-pub use metrics::{MetricsSnapshot, ServerMetrics, UnitMetrics};
+pub use metrics::{MetricsSnapshot, ServerMetrics, ShardStatus, UnitMetrics};
 pub use protocol::{Request, Response};
 pub use server::{DetectionServer, ServeConfig, ServerHandle};
-pub use shard::{CrashSwitch, DetectorTemplate};
+pub use shard::{CrashSwitch, DetectorTemplate, ShardChaos, READMIT_AFTER, STRIKE_LIMIT};

@@ -34,14 +34,42 @@ pub struct UnitMetrics {
     pub queue_depth: usize,
     /// Databases currently demoted to non-voting by telemetry health.
     pub demoted_dbs: Vec<usize>,
-    /// Whether the unit's detector rejected a frame and stopped.
+    /// Whether the unit is hard-degraded (strike limit reached; only an
+    /// operator `ResetUnit` re-admits it).
     pub degraded: bool,
+    /// Whether the unit is on probation: a frame failed ingest recently
+    /// and the unit is substituting/counting clean ticks toward
+    /// re-admission.
+    pub probation: bool,
+    /// Failed-frame strikes since the last re-admission or reset.
+    pub strikes: u32,
+    /// Times the unit completed probation and resumed full health.
+    pub readmissions: u64,
+    /// WAL append failures (durability degraded, detection continues).
+    pub wal_errors: u64,
     /// Mean detector wall-clock per tick, in nanoseconds.
     pub ns_per_tick: u64,
     /// Snapshot persistence failures (the daemon keeps running).
     pub snapshot_errors: u64,
     /// Most recent error recorded for the unit, if any.
     pub last_error: Option<String>,
+}
+
+/// Supervisor-facing state of one shard worker.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Times the supervisor restarted this shard (panic or wedge).
+    pub restarts: u64,
+    /// How many of those restarts were wedge (heartbeat deadline)
+    /// recoveries rather than panics.
+    pub wedges: u64,
+    /// The restart limit was exhausted; the shard is out of service and
+    /// its units are hard-degraded.
+    pub failed: bool,
+    /// Most recent panic payload or wedge diagnostic, if any.
+    pub last_panic: Option<String>,
 }
 
 /// One `Stats` reply: the full state of the daemon.
@@ -51,6 +79,8 @@ pub struct MetricsSnapshot {
     pub units: Vec<UnitMetrics>,
     /// Shard worker threads.
     pub shards: usize,
+    /// Per-shard supervisor state, ascending by shard index.
+    pub shard_status: Vec<ShardStatus>,
     /// Connected verdict-stream subscribers.
     pub subscribers: usize,
     /// Sum of `ticks` over all units.
@@ -72,6 +102,10 @@ struct UnitCounters {
     verdicts_abnormal: u64,
     demoted_dbs: Vec<usize>,
     degraded: bool,
+    probation: bool,
+    strikes: u32,
+    readmissions: u64,
+    wal_errors: u64,
     detector_nanos: u128,
     snapshot_errors: u64,
     last_error: Option<String>,
@@ -86,6 +120,7 @@ pub struct ServerMetrics {
     /// connection readers for bounded-ingress accounting.
     inflight: Vec<AtomicUsize>,
     shards: usize,
+    shard_status: Mutex<Vec<ShardStatus>>,
 }
 
 impl ServerMetrics {
@@ -95,6 +130,14 @@ impl ServerMetrics {
             units: Mutex::new(BTreeMap::new()),
             inflight: (0..max_units).map(|_| AtomicUsize::new(0)).collect(),
             shards,
+            shard_status: Mutex::new(
+                (0..shards)
+                    .map(|shard| ShardStatus {
+                        shard,
+                        ..ShardStatus::default()
+                    })
+                    .collect(),
+            ),
         }
     }
 
@@ -140,10 +183,24 @@ impl ServerMetrics {
     }
 
     /// Releases one ingress slot (shard side, after processing; also the
-    /// reader side when a reserved send fails).
+    /// reader side when a reserved send fails). Saturates at zero: a
+    /// supervisor restart zeroes a shard's queues, and a release racing
+    /// that reset must not underflow the counter into a permanent jam.
     pub fn release_slot(&self, unit: usize) {
         if let Some(counter) = self.inflight.get(unit) {
-            counter.fetch_sub(1, Ordering::AcqRel);
+            let _ = counter.fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+                current.checked_sub(1)
+            });
+        }
+    }
+
+    /// Zeroes a unit's in-flight count. Called by the supervisor when it
+    /// replaces a shard worker: whatever sat in the dead generation's
+    /// queue is gone, and the rewound client will re-send it through
+    /// fresh reservations.
+    pub fn reset_queue(&self, unit: usize) {
+        if let Some(counter) = self.inflight.get(unit) {
+            counter.store(0, Ordering::Release);
         }
     }
 
@@ -179,12 +236,87 @@ impl ServerMetrics {
         self.with_unit(unit, |u| u.demoted_dbs = demoted);
     }
 
-    /// Marks the unit degraded and records the error.
+    /// Marks the unit hard-degraded and records the error.
     pub fn record_degraded(&self, unit: usize, error: String) {
         self.with_unit(unit, |u| {
             u.degraded = true;
+            u.probation = false;
             u.last_error = Some(error);
         });
+    }
+
+    /// Counts one failed-frame strike: the unit enters (or stays on)
+    /// probation.
+    pub fn record_strike(&self, unit: usize, strikes: u32, error: String) {
+        self.with_unit(unit, |u| {
+            u.probation = true;
+            u.strikes = strikes;
+            u.last_error = Some(error);
+        });
+    }
+
+    /// The unit completed its probation clean streak and is healthy again.
+    pub fn record_readmitted(&self, unit: usize) {
+        self.with_unit(unit, |u| {
+            u.probation = false;
+            u.strikes = 0;
+            u.readmissions += 1;
+        });
+    }
+
+    /// An operator `ResetUnit` cleared a hard degradation; the unit
+    /// restarts its lifecycle on probation.
+    pub fn record_reset(&self, unit: usize) {
+        self.with_unit(unit, |u| {
+            u.degraded = false;
+            u.probation = true;
+            u.strikes = 0;
+        });
+    }
+
+    /// Counts one WAL append failure (detection continues, durability of
+    /// that tick is lost).
+    pub fn record_wal_error(&self, unit: usize, error: String) {
+        self.with_unit(unit, |u| {
+            u.wal_errors += 1;
+            u.last_error = Some(error);
+        });
+    }
+
+    /// Counts one supervisor restart of a shard worker.
+    pub fn record_shard_restart(&self, shard: usize, wedge: bool, reason: String) {
+        let mut status = self.shard_status.lock().expect("shard status lock poisoned");
+        if let Some(s) = status.get_mut(shard) {
+            s.restarts += 1;
+            if wedge {
+                s.wedges += 1;
+            }
+            s.last_panic = Some(reason);
+        }
+    }
+
+    /// Marks a shard permanently failed (restart limit exhausted).
+    pub fn record_shard_failed(&self, shard: usize, reason: String) {
+        let mut status = self.shard_status.lock().expect("shard status lock poisoned");
+        if let Some(s) = status.get_mut(shard) {
+            s.failed = true;
+            s.last_panic = Some(reason);
+        }
+    }
+
+    /// Attaches a diagnostic note to a shard (WAL recovery problems,
+    /// disabled durability) without counting a restart.
+    pub fn record_shard_note(&self, shard: usize, note: String) {
+        let mut status = self.shard_status.lock().expect("shard status lock poisoned");
+        if let Some(s) = status.get_mut(shard) {
+            s.last_panic = Some(note);
+        }
+    }
+
+    /// Total supervisor restarts across all shards.
+    pub fn total_shard_restarts(&self) -> u64 {
+        let status = self.shard_status.lock().expect("shard status lock poisoned");
+        status.iter().map(|s| s.restarts).sum()
     }
 
     /// Counts one snapshot persistence failure.
@@ -220,6 +352,10 @@ impl ServerMetrics {
                 queue_depth: self.queue_depth(unit),
                 demoted_dbs: c.demoted_dbs.clone(),
                 degraded: c.degraded,
+                probation: c.probation,
+                strikes: c.strikes,
+                readmissions: c.readmissions,
+                wal_errors: c.wal_errors,
                 ns_per_tick: if c.ticks == 0 {
                     0
                 } else {
@@ -232,6 +368,11 @@ impl ServerMetrics {
         MetricsSnapshot {
             units,
             shards: self.shards,
+            shard_status: self
+                .shard_status
+                .lock()
+                .expect("shard status lock poisoned")
+                .clone(),
             subscribers,
             total_ticks: ticks,
             total_rejects: rejects,
@@ -282,6 +423,49 @@ mod tests {
         assert_eq!(u.snapshot_errors, 1);
         assert_eq!(u.last_error.as_deref(), Some("disk full"));
         assert!(!u.degraded);
+    }
+
+    #[test]
+    fn probation_lifecycle_counters() {
+        let m = ServerMetrics::new(1, 1);
+        m.record_strike(0, 1, "bad frame".into());
+        let snap = m.snapshot(0);
+        assert!(snap.units[0].probation && !snap.units[0].degraded);
+        assert_eq!(snap.units[0].strikes, 1);
+        m.record_readmitted(0);
+        let snap = m.snapshot(0);
+        assert!(!snap.units[0].probation);
+        assert_eq!(snap.units[0].readmissions, 1);
+        assert_eq!(snap.units[0].strikes, 0);
+        m.record_degraded(0, "third strike".into());
+        m.record_reset(0);
+        let snap = m.snapshot(0);
+        assert!(!snap.units[0].degraded && snap.units[0].probation);
+    }
+
+    #[test]
+    fn shard_status_tracks_restarts_and_failure() {
+        let m = ServerMetrics::new(1, 2);
+        m.record_shard_restart(1, false, "panicked: boom".into());
+        m.record_shard_restart(1, true, "wedged past heartbeat deadline".into());
+        m.record_shard_failed(0, "restart limit exhausted".into());
+        assert_eq!(m.total_shard_restarts(), 2);
+        let snap = m.snapshot(0);
+        assert_eq!(snap.shard_status.len(), 2);
+        assert_eq!(snap.shard_status[1].restarts, 2);
+        assert_eq!(snap.shard_status[1].wedges, 1);
+        assert!(snap.shard_status[0].failed);
+        assert!(!snap.shard_status[1].failed);
+    }
+
+    #[test]
+    fn release_saturates_after_queue_reset() {
+        let m = ServerMetrics::new(1, 1);
+        assert!(m.try_reserve_slot(0, 4));
+        m.reset_queue(0);
+        m.release_slot(0);
+        assert_eq!(m.queue_depth(0), 0, "release after reset must not underflow");
+        assert!(m.try_reserve_slot(0, 1), "counter still functional");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! → Tick{unit, tick, frame}                   ← Accepted{unit, tick}
 //! → Tick{unit, tick, frame}   (queue full)    ← Rejected{unit, tick, expected, retry_after_ms, reason}
 //!                                             ← Verdict{unit, at_tick, verdict}   (async)
-//! → Flush{unit}                               ← FlushAck{unit, ticks_ingested, verdicts}
+//! → Flush{unit}                               ← FlushAck{unit, ticks_ingested, verdicts, next_tick}
 //! ```
 //!
 //! Consumer flow: `Subscribe` switches the connection into a verdict
@@ -75,6 +75,12 @@ pub enum Request {
     Subscribe,
     /// Requests one metrics snapshot.
     Stats,
+    /// Operator override: clears a hard-degraded unit back onto
+    /// probation so a repaired producer can resume streaming.
+    ResetUnit {
+        /// Unit id.
+        unit: usize,
+    },
     /// Asks the daemon to shut down cleanly.
     Stop,
 }
@@ -145,9 +151,22 @@ pub enum Response {
         ticks_ingested: u64,
         /// Verdicts emitted for the unit so far.
         verdicts: u64,
+        /// Next tick the detector expects. Lets producers detect ticks
+        /// that were accepted but died with a failed worker generation
+        /// (never reaching the WAL) and resend the tail — the flush
+        /// barrier is an end-to-end position check, not just a drain.
+        next_tick: u64,
     },
     /// `Subscribe` acknowledgement; `Verdict` messages follow.
     Subscribed,
+    /// `ResetUnit` acknowledgement: the unit accepts ticks again (on
+    /// probation until it earns back full health).
+    ResetAck {
+        /// Unit id.
+        unit: usize,
+        /// Next tick the server expects from the producer.
+        next_tick: u64,
+    },
     /// One metrics snapshot.
     Stats(MetricsSnapshot),
     /// `Stop` acknowledgement; the daemon is shutting down.
@@ -236,6 +255,17 @@ mod tests {
             let line = encode(&req);
             assert_eq!(decode_request(&line).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn reset_unit_round_trips() {
+        let req = Request::ResetUnit { unit: 7 };
+        assert_eq!(decode_request(&encode(&req)).unwrap(), req);
+        let ack = Response::ResetAck {
+            unit: 7,
+            next_tick: 42,
+        };
+        assert_eq!(decode_response(&encode(&ack)).unwrap(), ack);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, Response, MAX_LINE_BYTES};
-use crate::shard::{CrashSwitch, DetectorTemplate, Job, Registry, ShardContext, ShardPool};
+use crate::shard::{CrashSwitch, DetectorTemplate, Job, Registry, ShardChaos, ShardContext};
+use crate::supervisor::ShardSupervisor;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -53,13 +54,27 @@ pub struct ServeConfig {
     pub resume_dir: Option<PathBuf>,
     /// Detector configuration applied to every unit.
     pub template: DetectorTemplate,
-    /// Retry hint attached to backpressure rejections.
+    /// Ceiling of the backpressure retry hint; the actual hint scales
+    /// with how saturated the rejecting shard's queue is.
     pub retry_after_ms: u64,
+    /// Write-ahead-log root (per-shard subdirectories); `None` disables
+    /// durability and restarts fall back to periodic snapshots alone.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL fsync batching: flush to disk every N appended records.
+    pub fsync_every: u64,
+    /// Supervisor restarts a shard worker tolerates before the shard is
+    /// marked failed and its units hard-degraded.
+    pub shard_restart_limit: u32,
+    /// How long a shard may sit on queued jobs without progress before
+    /// the supervisor declares it wedged and replaces it.
+    pub wedge_timeout: Duration,
     /// Artificial per-tick shard delay (backpressure/load testing only).
     pub slow_tick: Option<Duration>,
     /// Deterministic kill point for chaos tests: the daemon dies mid-tick
     /// when the switch trips. Never set outside tests/simulation.
     pub crash: Option<Arc<CrashSwitch>>,
+    /// Deterministic shard panic/wedge injector (supervisor tests only).
+    pub chaos: Option<Arc<ShardChaos>>,
 }
 
 impl Default for ServeConfig {
@@ -73,8 +88,13 @@ impl Default for ServeConfig {
             resume_dir: None,
             template: DetectorTemplate::default(),
             retry_after_ms: 20,
+            wal_dir: None,
+            fsync_every: 8,
+            shard_restart_limit: 3,
+            wedge_timeout: Duration::from_secs(2),
             slow_tick: None,
             crash: None,
+            chaos: None,
         }
     }
 }
@@ -110,6 +130,12 @@ impl ServerHandle {
             // Wake the blocking accept with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
         }
+    }
+
+    /// Whether a shutdown has been requested (the supervisor stops
+    /// restarting workers once it has).
+    pub fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 
@@ -166,24 +192,49 @@ impl DetectionServer {
             addr: self.addr,
             shutdown: Arc::clone(&self.shutdown),
         };
-        let pool = Arc::new(ShardPool::spawn(
-            shards,
-            config.max_units,
-            config.queue_cap,
-            |shard| ShardContext {
-                shard,
-                template: config.template.clone(),
-                snapshot_dir: config.snapshot_dir.clone(),
-                snapshot_every: config.snapshot_every,
-                resume_dir: config.resume_dir.clone(),
-                metrics: Arc::clone(&metrics),
-                registry: Arc::clone(&registry),
-                subscribers: Arc::clone(&subscribers),
-                slow_tick: config.slow_tick,
-                crash: config.crash.clone(),
-                handle: handle.clone(),
-            },
-        ));
+        let pool = {
+            let metrics = Arc::clone(&metrics);
+            let registry = Arc::clone(&registry);
+            let subscribers = Arc::clone(&subscribers);
+            let factory_handle = handle.clone();
+            let template = config.template.clone();
+            let snapshot_dir = config.snapshot_dir.clone();
+            let snapshot_every = config.snapshot_every;
+            let resume_dir = config.resume_dir.clone();
+            let wal_root = config.wal_dir.clone();
+            let fsync_every = config.fsync_every;
+            let slow_tick = config.slow_tick;
+            let crash = config.crash.clone();
+            let chaos = config.chaos.clone();
+            ShardSupervisor::spawn(
+                shards,
+                config.max_units,
+                config.queue_cap,
+                config.shard_restart_limit,
+                config.wedge_timeout,
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+                handle.clone(),
+                move |shard, beat, fence| ShardContext {
+                    shard,
+                    template: template.clone(),
+                    snapshot_dir: snapshot_dir.clone(),
+                    snapshot_every,
+                    resume_dir: resume_dir.clone(),
+                    wal_dir: wal_root.as_ref().map(|root| root.join(format!("shard_{shard}"))),
+                    fsync_every,
+                    metrics: Arc::clone(&metrics),
+                    registry: Arc::clone(&registry),
+                    subscribers: Arc::clone(&subscribers),
+                    slow_tick,
+                    crash: crash.clone(),
+                    chaos: chaos.clone(),
+                    handle: factory_handle.clone(),
+                    beat,
+                    fence,
+                },
+            )
+        };
         let mut readers = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -227,7 +278,7 @@ impl DetectionServer {
 
 /// Everything a connection reader needs.
 struct ConnContext {
-    pool: Arc<ShardPool>,
+    pool: Arc<ShardSupervisor>,
     metrics: Arc<ServerMetrics>,
     registry: Arc<Registry>,
     subscribers: Arc<Mutex<Vec<Sender<Response>>>>,
@@ -339,7 +390,7 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
                 });
                 return;
             }
-            ctx.pool.send(
+            let sent = ctx.pool.send(
                 unit,
                 Job::Hello {
                     unit,
@@ -349,6 +400,11 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
                     reply: tx.clone(),
                 },
             );
+            if sent.is_err() {
+                let _ = tx.send(Response::Error {
+                    message: format!("shard for unit {unit} is unavailable; retry"),
+                });
+            }
         }
         Request::Tick { unit, tick, frame } => handle_tick_request(unit, tick, frame, tx, ctx),
         Request::Flush { unit } => {
@@ -357,13 +413,39 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
                 .with_entry(unit, |entry| entry.registered)
                 .unwrap_or(false);
             if registered {
-                ctx.pool.send(unit, Job::Flush {
+                let sent = ctx.pool.send(unit, Job::Flush {
                     unit,
                     reply: tx.clone(),
                 });
+                if sent.is_err() {
+                    let _ = tx.send(Response::Error {
+                        message: format!("shard for unit {unit} is unavailable; retry"),
+                    });
+                }
             } else {
                 let _ = tx.send(Response::Error {
                     message: format!("flush for unregistered unit {unit}"),
+                });
+            }
+        }
+        Request::ResetUnit { unit } => {
+            let registered = ctx
+                .registry
+                .with_entry(unit, |entry| entry.registered)
+                .unwrap_or(false);
+            if registered {
+                let sent = ctx.pool.send(unit, Job::Reset {
+                    unit,
+                    reply: tx.clone(),
+                });
+                if sent.is_err() {
+                    let _ = tx.send(Response::Error {
+                        message: format!("shard for unit {unit} is unavailable; retry"),
+                    });
+                }
+            } else {
+                let _ = tx.send(Response::Error {
+                    message: format!("reset for unregistered unit {unit}"),
                 });
             }
         }
@@ -415,13 +497,27 @@ fn handle_tick_request(
                 reason: RejectReason::UnknownUnit,
             };
         }
-        if entry.degraded {
+        if entry.health.is_degraded() {
             return Response::Rejected {
                 unit,
                 tick,
                 expected: entry.expected,
                 retry_after_ms: 0,
                 reason: RejectReason::Degraded,
+            };
+        }
+        // Checked inside the registry critical section: the registry
+        // mutex orders this against supervisor restart-time expected
+        // resets, so a reader can never pair a reset expected tick with
+        // the dying generation's queue.
+        if !ctx.pool.accepting(unit) {
+            ctx.metrics.record_reject(unit, true);
+            return Response::Rejected {
+                unit,
+                tick,
+                expected: entry.expected,
+                retry_after_ms: ctx.retry_after_ms.max(1),
+                reason: RejectReason::Backpressure,
             };
         }
         if tick != entry.expected {
@@ -440,7 +536,7 @@ fn handle_tick_request(
                 unit,
                 tick,
                 expected: entry.expected,
-                retry_after_ms: ctx.retry_after_ms,
+                retry_after_ms: ctx.pool.retry_hint(unit, ctx.retry_after_ms),
                 reason: RejectReason::Backpressure,
             };
         }
@@ -452,7 +548,7 @@ fn handle_tick_request(
                 entry.expected += 1;
                 Response::Accepted { unit, tick }
             }
-            Err(_) => {
+            Err(()) => {
                 // Shard channel full: release the reservation and report
                 // backpressure just like a full unit queue.
                 ctx.metrics.release_slot(unit);
@@ -461,7 +557,7 @@ fn handle_tick_request(
                     unit,
                     tick,
                     expected: entry.expected,
-                    retry_after_ms: ctx.retry_after_ms,
+                    retry_after_ms: ctx.pool.retry_hint(unit, ctx.retry_after_ms),
                     reason: RejectReason::Backpressure,
                 }
             }

@@ -7,25 +7,42 @@
 //! worker owns the [`DbCatcher`] pipelines of its units; nothing else ever
 //! touches them, so no detector state is shared or locked.
 //!
-//! Failure containment mirrors the fleet: a frame the hardened ingest
-//! layer rejects degrades *that unit* (recorded in metrics, subsequent
-//! ticks rejected at the reader), never the worker. Snapshot persistence
-//! failures are counted and reported in `Stats`, not fatal.
+//! Durability: when a WAL is configured, every accepted tick is appended
+//! to the shard's log *before* detection (see [`crate::wal`]), so a
+//! restart — clean, crashed, or a supervisor-replaced worker — replays
+//! `snapshot + WAL suffix` and recovers exactly what was accepted.
+//!
+//! Failure containment goes through a probation lifecycle instead of a
+//! one-way degradation: a frame the hardened ingest layer rejects costs
+//! the unit a *strike* — the worker substitutes a fully-missing (all-NaN)
+//! frame so the detector stays in lockstep with the wire tick counter,
+//! and the unit re-earns full health after [`READMIT_AFTER`] clean ticks.
+//! [`STRIKE_LIMIT`] strikes hard-degrade the unit until an operator
+//! `ResetUnit`. A worker itself never dies to a bad frame; panics and
+//! wedges are the supervisor's job ([`crate::supervisor`]).
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::Response;
 use crate::server::ServerHandle;
+use crate::wal::{self, PendingFrames, ShardRecovery, WalWriter};
 use dbcatcher_core::config::{CorrelationBackend, DbCatcherConfig};
-use dbcatcher_core::ingest::GapPolicy;
+use dbcatcher_core::ingest::{GapPolicy, IngestReport};
 use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_core::snapshot::DetectorSnapshot;
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Sender, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Clean ingests a unit on probation needs before it is re-admitted to
+/// full health (mirrors `core::ingest`'s clean-streak re-admission).
+pub const READMIT_AFTER: u64 = 8;
+
+/// Failed-frame strikes (without an intervening re-admission) that
+/// hard-degrade a unit until an operator `ResetUnit`.
+pub const STRIKE_LIMIT: u32 = 3;
 
 /// Deterministic kill point for chaos tests.
 ///
@@ -35,8 +52,9 @@ use std::time::{Duration, Instant};
 /// snapshot never escape, queued-but-unprocessed ticks are discarded, and
 /// no final shutdown snapshots are written. The harness keeps its own
 /// `Arc` and reads [`Self::ingested`] afterwards to know exactly how far
-/// each unit got — the ground truth for the "≤ 1 in-flight tick lost per
-/// restart" invariant (which holds when `snapshot_every == 1`).
+/// each unit got. With a WAL configured the tripping tick is already
+/// durable, which is what tightens the resume contract from "≤ 1 tick
+/// lost" to exactly-once recovery.
 #[derive(Debug, Default)]
 pub struct CrashSwitch {
     /// Total ingested ticks that trigger the kill; `0` means disarmed.
@@ -81,18 +99,131 @@ impl CrashSwitch {
     }
 }
 
+/// Deterministic *shard-failure* injector for supervisor tests: unlike
+/// [`CrashSwitch`] (which models the whole process dying) this takes down
+/// one worker thread — by panic or by wedging it past the heartbeat
+/// deadline — and the daemon is expected to survive.
+#[derive(Debug, Default)]
+pub struct ShardChaos {
+    /// Countdown of tick jobs until an injected panic; `0` is disarmed.
+    panic_countdown: AtomicU64,
+    /// Countdown of tick jobs until an injected wedge; `0` is disarmed.
+    wedge_countdown: AtomicU64,
+}
+
+impl ShardChaos {
+    /// Arms a panic on the `n`-th tick job processed (across all shards).
+    pub fn panic_after(n: u64) -> Arc<Self> {
+        Arc::new(Self {
+            panic_countdown: AtomicU64::new(n),
+            wedge_countdown: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms a wedge (worker stalls until fenced) on the `n`-th tick job.
+    pub fn wedge_after(n: u64) -> Arc<Self> {
+        Arc::new(Self {
+            panic_countdown: AtomicU64::new(0),
+            wedge_countdown: AtomicU64::new(n),
+        })
+    }
+
+    fn fire(counter: &AtomicU64) -> bool {
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .map(|previous| previous == 1)
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn should_panic(&self) -> bool {
+        Self::fire(&self.panic_countdown)
+    }
+
+    pub(crate) fn should_wedge(&self) -> bool {
+        Self::fire(&self.wedge_countdown)
+    }
+}
+
+/// Shard heartbeat: the reader side counts enqueued jobs, the worker
+/// counts processed ones. The supervisor reads both to detect wedges
+/// (backlog without progress) and the server derives the adaptive
+/// backpressure hint from the same counters.
+#[derive(Debug, Default)]
+pub struct ShardBeat {
+    enqueued: AtomicU64,
+    processed: AtomicU64,
+}
+
+impl ShardBeat {
+    pub(crate) fn note_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_processed(&self) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic processed-job count (wedge detection).
+    pub(crate) fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs enqueued but not yet processed. Saturates at zero across the
+    /// counter reset of a worker replacement.
+    pub(crate) fn backlog(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.processed.load(Ordering::Relaxed))
+    }
+
+    /// Re-aligns the counters after a worker replacement: jobs lost in
+    /// the dead generation's queue will never be processed and must not
+    /// read as a permanent backlog.
+    pub(crate) fn reset(&self) {
+        let processed = self.processed.load(Ordering::Relaxed);
+        self.enqueued.store(processed, Ordering::Relaxed);
+    }
+}
+
+/// Health lifecycle of one unit, as the connection readers see it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) enum UnitHealth {
+    /// Accepting ticks, no recent strikes.
+    #[default]
+    Healthy,
+    /// Accepting ticks, but a recent frame failed ingest; counting clean
+    /// ticks toward re-admission.
+    Probation,
+    /// Strike limit reached: ticks are rejected until `ResetUnit`.
+    Degraded,
+}
+
+impl UnitHealth {
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, UnitHealth::Degraded)
+    }
+}
+
 /// Reader-visible state of one unit slot, updated by shard workers on
-/// registration/degradation and by connection readers on every accepted
-/// tick. The reader consults it synchronously, so accept/reject replies
-/// are ordered with the request stream.
+/// registration/health transitions and by connection readers on every
+/// accepted tick. The reader consults it synchronously, so accept/reject
+/// replies are ordered with the request stream. `dbs`/`kpis`/
+/// `participation` are remembered from `Hello` so the supervisor can
+/// rebuild the detector even when no snapshot exists yet.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct UnitEntry {
     /// A `Hello` has created the detector.
     pub registered: bool,
     /// Next absolute tick the unit accepts.
     pub expected: u64,
-    /// The detector rejected a frame; the unit no longer accepts ticks.
-    pub degraded: bool,
+    /// Declared databases in the unit.
+    pub dbs: usize,
+    /// Declared KPIs per database.
+    pub kpis: usize,
+    /// Declared participation mask, if any.
+    pub participation: Option<Vec<Vec<bool>>>,
+    /// Probation lifecycle state.
+    pub health: UnitHealth,
 }
 
 /// Shared unit table, sized to the server's `max_units`.
@@ -111,6 +242,18 @@ impl Registry {
     pub fn with_entry<R>(&self, unit: usize, f: impl FnOnce(&mut UnitEntry) -> R) -> Option<R> {
         let mut entries = self.entries.lock().expect("registry lock poisoned");
         entries.get_mut(unit).map(f)
+    }
+
+    /// Clones the registered entries as `(unit, entry)` pairs — the
+    /// supervisor's view of which units a replacement worker must re-own.
+    pub fn registered(&self) -> Vec<(usize, UnitEntry)> {
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.registered)
+            .map(|(unit, e)| (unit, e.clone()))
+            .collect()
     }
 }
 
@@ -131,6 +274,10 @@ pub(crate) enum Job {
         reply: Sender<Response>,
     },
     Flush {
+        unit: usize,
+        reply: Sender<Response>,
+    },
+    Reset {
         unit: usize,
         reply: Sender<Response>,
     },
@@ -163,6 +310,11 @@ pub(crate) struct ShardContext {
     pub snapshot_dir: Option<PathBuf>,
     pub snapshot_every: u64,
     pub resume_dir: Option<PathBuf>,
+    /// This shard's WAL directory (`wal_root/shard_{s}`), if durability
+    /// is enabled.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL fsync batching cadence.
+    pub fsync_every: u64,
     pub metrics: Arc<ServerMetrics>,
     pub registry: Arc<Registry>,
     pub subscribers: Arc<Mutex<Vec<Sender<Response>>>>,
@@ -171,9 +323,17 @@ pub(crate) struct ShardContext {
     pub slow_tick: Option<Duration>,
     /// Deterministic mid-tick kill point (chaos tests only).
     pub crash: Option<Arc<CrashSwitch>>,
+    /// Deterministic shard panic/wedge injector (supervisor tests only).
+    pub chaos: Option<Arc<ShardChaos>>,
     /// Remote control for the daemon, so a tripping crash switch can take
     /// the whole process down like a real kill would.
     pub handle: ServerHandle,
+    /// Heartbeat shared with the supervisor and the backpressure hint.
+    pub beat: Arc<ShardBeat>,
+    /// Generation fence: set by the supervisor when this worker is
+    /// replaced. A fenced worker must stop touching shared state — its
+    /// successor owns the shard now.
+    pub fence: Arc<AtomicBool>,
 }
 
 impl ShardContext {
@@ -182,88 +342,138 @@ impl ShardContext {
     fn crashed(&self) -> bool {
         self.crash.as_ref().is_some_and(|c| c.tripped())
     }
+
+    fn fenced(&self) -> bool {
+        self.fence.load(Ordering::Acquire)
+    }
 }
 
 /// One unit's state inside a worker.
-struct UnitSlot {
-    catcher: DbCatcher,
-    resumed: bool,
-    degraded: bool,
-    ticks: u64,
-    verdicts: u64,
+pub(crate) struct UnitSlot {
+    pub catcher: DbCatcher,
+    pub resumed: bool,
+    /// Hard-degraded (strike limit reached).
+    pub degraded: bool,
+    /// On probation: counting clean ticks toward re-admission. Set by a
+    /// strike and by an operator reset (which clears `strikes` but must
+    /// still earn back full health).
+    pub probation: bool,
+    /// Strikes since the last re-admission/reset.
+    pub strikes: u32,
+    /// Clean ingests since the last strike.
+    pub clean: u64,
+    pub ticks: u64,
+    pub verdicts: u64,
+    /// Replayed verdicts waiting for a producer channel: WAL replay can
+    /// happen before any connection exists (supervisor restart), so the
+    /// worker buffers them and delivers on the unit's next job.
+    pub pending_out: Vec<Response>,
 }
 
-/// The worker pool: `shards` threads, each with a bounded job queue.
-/// Shared behind an `Arc` by every connection; [`Self::stop`] is called
-/// once by the accept loop after all readers have exited.
-pub(crate) struct ShardPool {
-    senders: Vec<SyncSender<Job>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
-}
-
-impl ShardPool {
-    /// Spawns the pool. Each shard's channel is sized so that readers
-    /// honouring the per-unit ingress cap never block on `try_send`.
-    pub fn spawn(
-        shards: usize,
-        max_units: usize,
-        queue_cap: usize,
-        make_context: impl Fn(usize) -> ShardContext,
-    ) -> Self {
-        let units_per_shard = max_units.div_ceil(shards);
-        let channel_cap = units_per_shard * queue_cap + 8;
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = sync_channel::<Job>(channel_cap);
-            let context = make_context(shard);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("dbcatcher-shard-{shard}"))
-                    .spawn(move || run_worker(context, rx))
-                    .expect("spawn shard worker"),
-            );
-            senders.push(tx);
-        }
+impl UnitSlot {
+    fn new(catcher: DbCatcher, resumed: bool) -> Self {
         Self {
-            senders,
-            handles: Mutex::new(handles),
+            catcher,
+            resumed,
+            degraded: false,
+            probation: false,
+            strikes: 0,
+            clean: 0,
+            ticks: 0,
+            verdicts: 0,
+            pending_out: Vec::new(),
         }
     }
+}
 
-    /// Which shard owns a unit.
-    pub fn shard_of(&self, unit: usize) -> usize {
-        unit % self.senders.len()
-    }
+/// Everything a worker generation starts from: pre-revived unit slots
+/// (supervisor restarts) and the recovered WAL state.
+pub(crate) struct WorkerSeed {
+    pub slots: HashMap<usize, UnitSlot>,
+    pub recovery: ShardRecovery,
+}
 
-    /// Enqueues a job for a unit's shard, blocking until there is room
-    /// (used for control jobs; ticks go through [`Self::try_send_tick`]).
-    pub fn send(&self, unit: usize, job: Job) {
-        let _ = self.senders[self.shard_of(unit)].send(job);
-    }
-
-    /// Enqueues a tick without blocking. `Err` means the shard queue is
-    /// full — backpressure at the shard level.
-    pub fn try_send_tick(&self, unit: usize, job: Job) -> Result<(), Box<Job>> {
-        match self.senders[self.shard_of(unit)].try_send(job) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
-                Err(Box::new(job))
+/// Builds the seed for a new worker generation of `ctx.shard`: recovers
+/// the shard's WAL and — when `revive` is set — re-owns every registered
+/// unit of the shard from `snapshot + WAL suffix`, resetting the
+/// registry's expected tick and the unit's in-flight counter to match.
+pub(crate) fn build_seed(ctx: &ShardContext, shards: usize, revive: bool) -> WorkerSeed {
+    let recovery = match &ctx.wal_dir {
+        Some(dir) => match wal::recover_shard(dir) {
+            Ok(recovery) => recovery,
+            Err(e) => {
+                ctx.metrics
+                    .record_shard_note(ctx.shard, format!("WAL recovery failed: {e}"));
+                ShardRecovery::default()
             }
+        },
+        None => ShardRecovery::default(),
+    };
+    if !recovery.diagnostics.is_empty() {
+        ctx.metrics
+            .record_shard_note(ctx.shard, recovery.diagnostics.join("; "));
+    }
+    let mut slots = HashMap::new();
+    if revive {
+        for (unit, entry) in ctx.registry.registered() {
+            if unit % shards != ctx.shard {
+                continue;
+            }
+            let mut slot = revive_unit(ctx, &recovery, unit, &entry);
+            replay_pending(ctx, &recovery.pending, &mut slot, unit, false);
+            let next_tick = slot.catcher.next_tick();
+            ctx.registry.with_entry(unit, |e| e.expected = next_tick);
+            ctx.metrics.reset_queue(unit);
+            slots.insert(unit, slot);
         }
     }
+    WorkerSeed { slots, recovery }
+}
 
-    /// Stops and joins every worker. Queued jobs are drained first, so a
-    /// clean stop never discards accepted ticks. Idempotent.
-    pub fn stop(&self) {
-        for tx in &self.senders {
-            let _ = tx.send(Job::Stop);
+/// Rebuilds one unit's detector for a replacement worker: from its
+/// snapshot when one exists, else fresh from the `Hello` parameters the
+/// registry remembered (WAL replay then brings it forward).
+fn revive_unit(
+    ctx: &ShardContext,
+    _recovery: &ShardRecovery,
+    unit: usize,
+    entry: &UnitEntry,
+) -> UnitSlot {
+    let resumed = ctx
+        .resume_dir
+        .as_deref()
+        .or(ctx.snapshot_dir.as_deref())
+        .and_then(|dir| try_resume(dir, unit, entry.dbs, entry.kpis, &ctx.metrics));
+    let mut slot = match resumed {
+        Some(catcher) => UnitSlot::new(catcher, true),
+        None => {
+            let config = ctx.template.config(entry.kpis);
+            let catcher = match DbCatcher::try_new(config, entry.dbs) {
+                Ok(mut c) => {
+                    if let Some(mask) = entry.participation.clone() {
+                        c = c.with_participation(mask);
+                    }
+                    c
+                }
+                Err(e) => {
+                    // Registered shape no longer constructs a detector —
+                    // should be impossible; degrade the unit loudly.
+                    ctx.metrics
+                        .record_degraded(unit, format!("revive failed: {e}"));
+                    ctx.registry
+                        .with_entry(unit, |e| e.health = UnitHealth::Degraded);
+                    let fallback = DbCatcher::new(DbCatcherConfig::with_kpis(1), 1);
+                    let mut slot = UnitSlot::new(fallback, false);
+                    slot.degraded = true;
+                    return slot;
+                }
+            };
+            UnitSlot::new(catcher, false)
         }
-        let handles = std::mem::take(&mut *self.handles.lock().expect("shard handles poisoned"));
-        for handle in handles {
-            let _ = handle.join();
-        }
-    }
+    };
+    slot.degraded = entry.health.is_degraded();
+    slot.probation = matches!(entry.health, UnitHealth::Probation);
+    slot
 }
 
 fn snapshot_path(dir: &Path, unit: usize) -> PathBuf {
@@ -302,10 +512,6 @@ fn try_resume(
             return None;
         }
     };
-    if let Err(e) = snapshot.validate() {
-        metrics.record_error(unit, format!("invalid snapshot {}: {e}", path.display()));
-        return None;
-    }
     if snapshot.num_dbs != dbs || snapshot.config.num_kpis != kpis {
         metrics.record_error(
             unit,
@@ -313,7 +519,13 @@ fn try_resume(
         );
         return None;
     }
-    Some(DbCatcher::restore(snapshot))
+    match DbCatcher::try_restore(snapshot) {
+        Ok(catcher) => Some(catcher),
+        Err(e) => {
+            metrics.record_error(unit, format!("invalid snapshot {}: {e}", path.display()));
+            None
+        }
+    }
 }
 
 /// Takes the response by value: subscribers get clones, the producing
@@ -330,9 +542,50 @@ fn fan_out(
     let _ = reply.send(response);
 }
 
-fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
-    let mut slots: HashMap<usize, UnitSlot> = HashMap::new();
+/// Flushes a unit's buffered replay verdicts onto the producer channel
+/// (and subscribers) — called on the unit's next job after a replay.
+fn deliver_pending(
+    slot: &mut UnitSlot,
+    reply: &Sender<Response>,
+    subscribers: &Mutex<Vec<Sender<Response>>>,
+) {
+    for response in slot.pending_out.drain(..) {
+        fan_out(response, reply, subscribers);
+    }
+}
+
+/// Mutable per-generation worker state.
+struct WorkerState {
+    slots: HashMap<usize, UnitSlot>,
+    /// WAL frames recovered at startup, replayed lazily at `Hello` for
+    /// units the seed did not pre-revive.
+    pending: PendingFrames,
+    wal: Option<WalWriter>,
+}
+
+pub(crate) fn run_worker(ctx: ShardContext, jobs: Receiver<Job>, seed: WorkerSeed) {
+    let wal = match (&ctx.wal_dir, &seed.recovery) {
+        (Some(dir), recovery) => match WalWriter::open(dir, ctx.fsync_every, recovery) {
+            Ok(writer) => Some(writer),
+            Err(e) => {
+                ctx.metrics
+                    .record_shard_note(ctx.shard, format!("WAL disabled: {e}"));
+                None
+            }
+        },
+        (None, _) => None,
+    };
+    let mut state = WorkerState {
+        slots: seed.slots,
+        pending: seed.recovery.pending,
+        wal,
+    };
     while let Ok(job) = jobs.recv() {
+        if ctx.fenced() {
+            // A replacement generation owns the shard; drop everything
+            // (including final snapshots — the successor's state wins).
+            return;
+        }
         if ctx.crashed() {
             // Simulated kill: everything still queued is discarded exactly
             // as a real crash would drop it. Only `Stop` is honoured so the
@@ -340,46 +593,68 @@ fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
             if matches!(job, Job::Stop) {
                 break;
             }
+            ctx.beat.note_processed();
             continue;
         }
         match job {
             Job::Hello { unit, dbs, kpis, participation, reply } => {
-                handle_hello(&ctx, &mut slots, unit, dbs, kpis, participation, &reply);
+                handle_hello(&ctx, &mut state, unit, dbs, kpis, participation, &reply);
             }
             Job::Tick { unit, tick, frame, reply } => {
-                handle_tick(&ctx, &mut slots, unit, tick, frame, &reply);
+                handle_tick(&ctx, &mut state, unit, tick, frame, &reply);
                 ctx.metrics.release_slot(unit);
             }
             Job::Flush { unit, reply } => {
-                let response = match slots.get(&unit) {
-                    Some(slot) => Response::FlushAck {
-                        unit,
-                        ticks_ingested: slot.ticks,
-                        verdicts: slot.verdicts,
-                    },
+                let response = match state.slots.get_mut(&unit) {
+                    Some(slot) => {
+                        deliver_pending(slot, &reply, &ctx.subscribers);
+                        Response::FlushAck {
+                            unit,
+                            ticks_ingested: slot.ticks,
+                            verdicts: slot.verdicts,
+                            next_tick: slot.catcher.next_tick(),
+                        }
+                    }
                     None => Response::Error {
                         message: format!("flush for unregistered unit {unit}"),
                     },
                 };
                 let _ = reply.send(response);
             }
+            Job::Reset { unit, reply } => {
+                handle_reset(&ctx, &mut state, unit, &reply);
+            }
             Job::Stop => break,
+        }
+        ctx.beat.note_processed();
+        if ctx.fenced() {
+            return;
         }
     }
     // Final snapshots on clean shutdown: the daemon restarts warm even
     // when the last periodic snapshot is stale. A crashed daemon gets no
     // such courtesy — resume state is whatever the periodic snapshots
-    // already persisted.
-    if ctx.crashed() {
+    // already persisted (plus the WAL, which has everything).
+    if ctx.crashed() || ctx.fenced() {
         return;
     }
     if let Some(dir) = &ctx.snapshot_dir {
-        for (unit, slot) in &slots {
+        for (unit, slot) in &state.slots {
             if slot.ticks > 0 {
-                if let Err(e) = persist_snapshot(dir, *unit, &slot.catcher) {
-                    ctx.metrics.record_snapshot_error(*unit, e);
+                match persist_snapshot(dir, *unit, &slot.catcher) {
+                    Ok(()) => {
+                        if let Some(wal) = state.wal.as_mut() {
+                            wal.note_floor(*unit, slot.catcher.next_tick());
+                        }
+                    }
+                    Err(e) => ctx.metrics.record_snapshot_error(*unit, e),
                 }
             }
+        }
+    }
+    if let Some(wal) = state.wal.as_mut() {
+        if let Err(e) = wal.sync() {
+            ctx.metrics.record_shard_note(ctx.shard, format!("WAL final sync: {e}"));
         }
     }
 }
@@ -387,20 +662,21 @@ fn run_worker(ctx: ShardContext, jobs: std::sync::mpsc::Receiver<Job>) {
 #[allow(clippy::too_many_arguments)]
 fn handle_hello(
     ctx: &ShardContext,
-    slots: &mut HashMap<usize, UnitSlot>,
+    state: &mut WorkerState,
     unit: usize,
     dbs: usize,
     kpis: usize,
     participation: Option<Vec<Vec<bool>>>,
     reply: &Sender<Response>,
 ) {
-    if let Some(slot) = slots.get(&unit) {
+    if let Some(slot) = state.slots.get_mut(&unit) {
         // Re-attach (e.g. a producer reconnecting): the state stands.
         let _ = reply.send(Response::HelloAck {
             unit,
             next_tick: slot.catcher.next_tick(),
             resumed: slot.resumed,
         });
+        deliver_pending(slot, reply, &ctx.subscribers);
         return;
     }
     if let Some(mask) = &participation {
@@ -422,7 +698,7 @@ fn handle_hello(
             let config = ctx.template.config(kpis);
             match DbCatcher::try_new(config, dbs) {
                 Ok(mut c) => {
-                    if let Some(mask) = participation {
+                    if let Some(mask) = participation.clone() {
                         c = c.with_participation(mask);
                     }
                     (c, false)
@@ -436,45 +712,205 @@ fn handle_hello(
             }
         }
     };
-    let next_tick = catcher.next_tick();
+    let mut slot = UnitSlot::new(catcher, resumed);
+    // Bring the unit forward through the WAL suffix: ticks accepted (and
+    // acknowledged) by a previous incarnation that never made a snapshot.
+    // Their verdicts are buffered and delivered right after the ack.
+    replay_pending(ctx, &state.pending, &mut slot, unit, true);
+    let next_tick = slot.catcher.next_tick();
     ctx.metrics.register_unit(unit, ctx.shard);
     // A restored snapshot can carry demoted databases; reflect them in
     // stats immediately instead of waiting for the next health event.
-    let non_voting = catcher.non_voting();
+    let non_voting = slot.catcher.non_voting();
     if !non_voting.is_empty() {
         ctx.metrics.record_demoted(unit, non_voting);
     }
     ctx.registry.with_entry(unit, |entry| {
         entry.registered = true;
         entry.expected = next_tick;
-        entry.degraded = false;
+        entry.dbs = dbs;
+        entry.kpis = kpis;
+        entry.participation = participation;
+        entry.health = UnitHealth::Healthy;
     });
-    slots.insert(
-        unit,
-        UnitSlot {
-            catcher,
-            resumed,
-            degraded: false,
-            ticks: 0,
-            verdicts: 0,
-        },
-    );
+    let resumed = slot.resumed;
     let _ = reply.send(Response::HelloAck {
         unit,
         next_tick,
         resumed,
     });
+    deliver_pending(&mut slot, reply, &ctx.subscribers);
+    state.slots.insert(unit, slot);
+}
+
+/// Replays a unit's contiguous WAL suffix into its detector. Verdicts
+/// are buffered on the slot (`pending_out`); `count_metrics` is set for
+/// Hello-time replay (the ticks were counted by a *previous boot*) and
+/// clear for supervisor restarts (they were already counted this boot).
+/// A non-contiguous suffix — only possible after corrupt segments were
+/// discarded — stops the replay loudly at the gap.
+fn replay_pending(
+    ctx: &ShardContext,
+    pending: &PendingFrames,
+    slot: &mut UnitSlot,
+    unit: usize,
+    count_metrics: bool,
+) {
+    let Some(ticks) = pending.get(&unit) else {
+        return;
+    };
+    let mut next = slot.catcher.next_tick();
+    let start = next;
+    while let Some(frame) = ticks.get(&next) {
+        let started = Instant::now();
+        let report = ingest_with_probation(ctx, slot, unit, next, frame, None);
+        let Some(report) = report else {
+            break; // hard degraded mid-replay; recorded inside
+        };
+        if count_metrics {
+            ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
+        }
+        slot.ticks += 1;
+        if !report.demoted.is_empty() || !report.readmitted.is_empty() {
+            ctx.metrics.record_demoted(unit, slot.catcher.non_voting());
+        }
+        let (mut healthy, mut abnormal) = (0u64, 0u64);
+        for verdict in report.verdicts {
+            if verdict.state.is_abnormal() {
+                abnormal += 1;
+            } else {
+                healthy += 1;
+            }
+            slot.pending_out.push(Response::Verdict {
+                unit,
+                at_tick: next,
+                verdict,
+            });
+        }
+        slot.verdicts += healthy + abnormal;
+        if count_metrics && healthy + abnormal > 0 {
+            ctx.metrics.record_verdicts(unit, healthy, abnormal);
+        }
+        next += 1;
+    }
+    if let Some((&max, _)) = ticks.iter().next_back() {
+        if max >= next && !slot.degraded {
+            ctx.metrics.record_error(
+                unit,
+                format!(
+                    "WAL replay for unit {unit} stopped at tick {next} (records up to {max} \
+                     unreachable past a gap); the producer must resend from {next}"
+                ),
+            );
+        }
+    }
+    if next > start {
+        slot.resumed = true;
+    }
+}
+
+/// Ingests one frame under the probation lifecycle. A frame the ingest
+/// layer rejects is replaced by a fully-missing (all-NaN) frame — which
+/// gap repair treats as one lost collection interval — so the detector
+/// position stays in lockstep with the wire tick counter. Returns `None`
+/// only when the unit hard-degrades (strike limit, or even the
+/// substitute failing). `reply` carries the strike diagnostics when a
+/// producer is attached; replay passes `None`.
+fn ingest_with_probation(
+    ctx: &ShardContext,
+    slot: &mut UnitSlot,
+    unit: usize,
+    tick: u64,
+    frame: &[Vec<f64>],
+    reply: Option<&Sender<Response>>,
+) -> Option<IngestReport> {
+    match slot.catcher.try_ingest_tick(frame) {
+        Ok(report) => {
+            if slot.probation {
+                slot.clean += 1;
+                if slot.clean >= READMIT_AFTER {
+                    slot.probation = false;
+                    slot.strikes = 0;
+                    slot.clean = 0;
+                    ctx.registry
+                        .with_entry(unit, |e| e.health = UnitHealth::Healthy);
+                    ctx.metrics.record_readmitted(unit);
+                }
+            }
+            Some(report)
+        }
+        Err(e) => {
+            let dbs = slot.catcher.num_databases();
+            let kpis = slot.catcher.config().num_kpis;
+            let substitute = vec![vec![f64::NAN; kpis]; dbs];
+            match slot.catcher.try_ingest_tick(&substitute) {
+                Ok(report) => {
+                    slot.probation = true;
+                    slot.strikes += 1;
+                    slot.clean = 0;
+                    if slot.strikes >= STRIKE_LIMIT {
+                        slot.degraded = true;
+                        ctx.registry
+                            .with_entry(unit, |e| e.health = UnitHealth::Degraded);
+                        ctx.metrics.record_degraded(
+                            unit,
+                            format!("tick {tick}: {e} (strike {}/{STRIKE_LIMIT})", slot.strikes),
+                        );
+                        if let Some(reply) = reply {
+                            let _ = reply.send(Response::Error {
+                                message: format!(
+                                    "unit {unit} degraded at tick {tick}: {e} \
+                                     (strike limit reached; send ResetUnit to re-admit)"
+                                ),
+                            });
+                        }
+                    } else {
+                        ctx.registry
+                            .with_entry(unit, |e| e.health = UnitHealth::Probation);
+                        ctx.metrics.record_strike(
+                            unit,
+                            slot.strikes,
+                            format!("tick {tick}: {e}"),
+                        );
+                        if let Some(reply) = reply {
+                            let _ = reply.send(Response::Error {
+                                message: format!(
+                                    "unit {unit} tick {tick} failed ingest ({e}); substituted a \
+                                     missing frame, strike {}/{STRIKE_LIMIT}",
+                                    slot.strikes
+                                ),
+                            });
+                        }
+                    }
+                    Some(report)
+                }
+                Err(fatal) => {
+                    slot.degraded = true;
+                    ctx.registry
+                        .with_entry(unit, |e| e.health = UnitHealth::Degraded);
+                    ctx.metrics
+                        .record_degraded(unit, format!("tick {tick}: {e}; substitute: {fatal}"));
+                    if let Some(reply) = reply {
+                        let _ = reply.send(Response::Error {
+                            message: format!("unit {unit} degraded at tick {tick}: {e}"),
+                        });
+                    }
+                    None
+                }
+            }
+        }
+    }
 }
 
 fn handle_tick(
     ctx: &ShardContext,
-    slots: &mut HashMap<usize, UnitSlot>,
+    state: &mut WorkerState,
     unit: usize,
     tick: u64,
     frame: Vec<Vec<f64>>,
     reply: &Sender<Response>,
 ) {
-    let Some(slot) = slots.get_mut(&unit) else {
+    let Some(slot) = state.slots.get_mut(&unit) else {
         let _ = reply.send(Response::Error {
             message: format!("tick for unregistered unit {unit}"),
         });
@@ -483,68 +919,129 @@ fn handle_tick(
     if slot.degraded {
         return; // reader already rejects; drain anything in flight
     }
+    deliver_pending(slot, reply, &ctx.subscribers);
+    if tick != slot.catcher.next_tick() {
+        // Only reachable across a supervisor-restart race window; the
+        // reader's expected tick was rewound, so the producer will be
+        // rejected into a rewind and resend this range in order.
+        ctx.metrics.record_error(
+            unit,
+            format!(
+                "dropped stale tick {tick} (detector at {}); producer rewind in progress",
+                slot.catcher.next_tick()
+            ),
+        );
+        return;
+    }
     if let Some(pause) = ctx.slow_tick {
         std::thread::sleep(pause);
     }
-    let started = Instant::now();
-    match slot.catcher.try_ingest_tick(&frame) {
-        Ok(report) => {
-            if let Some(crash) = &ctx.crash {
-                // The kill point sits between ingestion and everything
-                // downstream (verdict fan-out, snapshot persist): a tick
-                // the detector consumed but the world never saw — the
-                // worst case the "≤1 tick lost" resume invariant covers.
-                let tripping = crash.note_ingest(unit);
-                if tripping {
-                    ctx.handle.stop();
-                }
-                if crash.tripped() {
-                    return;
-                }
+    if let Some(chaos) = &ctx.chaos {
+        if chaos.should_wedge() {
+            // Injected wedge: stall (pre-WAL, so the job is simply lost)
+            // until the supervisor fences this generation.
+            while !ctx.fenced() {
+                std::thread::sleep(Duration::from_millis(2));
             }
-            ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
-            slot.ticks += 1;
-            if !report.demoted.is_empty() || !report.readmitted.is_empty() {
-                ctx.metrics.record_demoted(unit, slot.catcher.non_voting());
-            }
-            let (mut healthy, mut abnormal) = (0u64, 0u64);
-            for verdict in report.verdicts {
-                if verdict.state.is_abnormal() {
-                    abnormal += 1;
-                } else {
-                    healthy += 1;
-                }
-                fan_out(
-                    Response::Verdict {
-                        unit,
-                        at_tick: tick,
-                        verdict,
-                    },
-                    reply,
-                    &ctx.subscribers,
-                );
-            }
-            slot.verdicts += healthy + abnormal;
-            if healthy + abnormal > 0 {
-                ctx.metrics.record_verdicts(unit, healthy, abnormal);
-            }
-            if let Some(dir) = &ctx.snapshot_dir {
-                let every = ctx.snapshot_every.max(1);
-                if slot.catcher.next_tick() % every == 0 {
-                    if let Err(e) = persist_snapshot(dir, unit, &slot.catcher) {
-                        ctx.metrics.record_snapshot_error(unit, e);
-                    }
-                }
-            }
-        }
-        Err(e) => {
-            slot.degraded = true;
-            ctx.registry.with_entry(unit, |entry| entry.degraded = true);
-            ctx.metrics
-                .record_degraded(unit, format!("tick {tick}: {e}"));
-            let _ = reply.send(Response::Error {
-                message: format!("unit {unit} degraded at tick {tick}: {e}"),
-            });
+            return;
         }
     }
+    // Durable point: the accepted tick reaches the log before detection,
+    // so nothing past this line can lose it.
+    if let Some(wal) = state.wal.as_mut() {
+        if let Err(e) = wal.append(unit, tick, &frame) {
+            ctx.metrics
+                .record_wal_error(unit, format!("WAL append tick {tick}: {e}"));
+        }
+    }
+    let started = Instant::now();
+    let Some(report) = ingest_with_probation(ctx, slot, unit, tick, &frame, Some(reply)) else {
+        return;
+    };
+    if let Some(crash) = &ctx.crash {
+        // The kill point sits between ingestion and everything
+        // downstream (verdict fan-out, snapshot persist): a tick the
+        // detector consumed but the world never saw. With a WAL the tick
+        // is already durable, so resume replays it instead of losing it.
+        let tripping = crash.note_ingest(unit);
+        if tripping {
+            ctx.handle.stop();
+        }
+        if crash.tripped() {
+            return;
+        }
+    }
+    ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
+    slot.ticks += 1;
+    if let Some(chaos) = &ctx.chaos {
+        if chaos.should_panic() {
+            // Injected worker death *after* the tick is durable and
+            // counted but before its verdicts escape — the worst case the
+            // supervisor's snapshot+WAL re-own has to cover.
+            panic!("injected shard panic (test hook): shard {} tick {tick}", ctx.shard);
+        }
+    }
+    if !report.demoted.is_empty() || !report.readmitted.is_empty() {
+        ctx.metrics.record_demoted(unit, slot.catcher.non_voting());
+    }
+    let (mut healthy, mut abnormal) = (0u64, 0u64);
+    for verdict in report.verdicts {
+        if verdict.state.is_abnormal() {
+            abnormal += 1;
+        } else {
+            healthy += 1;
+        }
+        fan_out(
+            Response::Verdict {
+                unit,
+                at_tick: tick,
+                verdict,
+            },
+            reply,
+            &ctx.subscribers,
+        );
+    }
+    slot.verdicts += healthy + abnormal;
+    if healthy + abnormal > 0 {
+        ctx.metrics.record_verdicts(unit, healthy, abnormal);
+    }
+    if let Some(dir) = &ctx.snapshot_dir {
+        let every = ctx.snapshot_every.max(1);
+        if slot.catcher.next_tick() % every == 0 {
+            match persist_snapshot(dir, unit, &slot.catcher) {
+                Ok(()) => {
+                    if let Some(wal) = state.wal.as_mut() {
+                        wal.note_floor(unit, slot.catcher.next_tick());
+                    }
+                }
+                Err(e) => ctx.metrics.record_snapshot_error(unit, e),
+            }
+        }
+    }
+}
+
+fn handle_reset(
+    ctx: &ShardContext,
+    state: &mut WorkerState,
+    unit: usize,
+    reply: &Sender<Response>,
+) {
+    let Some(slot) = state.slots.get_mut(&unit) else {
+        let _ = reply.send(Response::Error {
+            message: format!("reset for unregistered unit {unit}"),
+        });
+        return;
+    };
+    slot.degraded = false;
+    slot.probation = true;
+    slot.strikes = 0;
+    slot.clean = 0;
+    let next_tick = slot.catcher.next_tick();
+    ctx.registry.with_entry(unit, |e| {
+        e.health = UnitHealth::Probation;
+        e.expected = next_tick;
+    });
+    ctx.metrics.record_reset(unit);
+    deliver_pending(slot, reply, &ctx.subscribers);
+    let _ = reply.send(Response::ResetAck { unit, next_tick });
 }

@@ -5,7 +5,7 @@
 
 use dbcatcher_core::pipeline::Verdict;
 use dbcatcher_core::state::DbState;
-use dbcatcher_serve::metrics::{MetricsSnapshot, UnitMetrics};
+use dbcatcher_serve::metrics::{MetricsSnapshot, ShardStatus, UnitMetrics};
 use dbcatcher_serve::protocol::{
     decode_request, decode_response, encode, ProtocolError, RejectReason, Request, Response,
     MAX_LINE_BYTES,
@@ -18,7 +18,7 @@ fn close(a: f64, b: f64) -> bool {
 }
 
 fn request_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Request {
-    match choice % 6 {
+    match choice % 7 {
         0 => Request::Hello {
             unit,
             dbs: 1 + unit % 7,
@@ -37,12 +37,13 @@ fn request_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Reques
         2 => Request::Flush { unit },
         3 => Request::Subscribe,
         4 => Request::Stats,
+        5 => Request::ResetUnit { unit },
         _ => Request::Stop,
     }
 }
 
 fn response_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Response {
-    match choice % 8 {
+    match choice % 9 {
         0 => Response::HelloAck {
             unit,
             next_tick: tick,
@@ -82,6 +83,7 @@ fn response_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Respo
             unit,
             ticks_ingested: tick,
             verdicts: tick / 3,
+            next_tick: tick,
         },
         5 => Response::Subscribed,
         6 => Response::Stats(MetricsSnapshot {
@@ -93,11 +95,22 @@ fn response_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Respo
                 ..UnitMetrics::default()
             }],
             shards: 2,
+            shard_status: vec![ShardStatus {
+                shard: 0,
+                restarts: tick % 3,
+                wedges: tick % 2,
+                failed: unit.is_multiple_of(5),
+                last_panic: (!unit.is_multiple_of(2)).then(|| "panicked: boom".into()),
+            }],
             subscribers: 1,
             total_ticks: tick,
             total_rejects: 0,
             total_verdicts: tick / 3,
         }),
+        7 => Response::ResetAck {
+            unit,
+            next_tick: tick,
+        },
         _ => Response::Error {
             message: format!("unit {unit} degraded at tick {tick}"),
         },
@@ -108,7 +121,7 @@ proptest! {
     /// Every request variant round-trips through one wire line.
     #[test]
     fn requests_round_trip(
-        choice in 0usize..6,
+        choice in 0usize..7,
         unit in 0usize..64,
         tick in 0u64..100_000,
         samples in prop::collection::vec(-1e6f64..1e6, 1..12),
@@ -123,7 +136,7 @@ proptest! {
     /// Every response variant round-trips, NaN scores included.
     #[test]
     fn responses_round_trip(
-        choice in 0usize..8,
+        choice in 0usize..9,
         unit in 0usize..64,
         tick in 0u64..100_000,
         samples in prop::collection::vec(-1e6f64..1e6, 1..12),
@@ -155,7 +168,7 @@ proptest! {
     /// and not a different valid message.
     #[test]
     fn truncation_yields_typed_error(
-        choice in 0usize..6,
+        choice in 0usize..7,
         unit in 0usize..64,
         tick in 0u64..100_000,
         cut in 0.0f64..1.0,

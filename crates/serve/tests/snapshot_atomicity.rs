@@ -1,11 +1,13 @@
-//! Snapshot atomicity under a mid-tick kill.
+//! Snapshot + WAL atomicity under a mid-tick kill.
 //!
 //! Property: for an arbitrary kill tick K, a daemon with per-tick
-//! snapshots that dies mid-tick (via [`CrashSwitch`], after ingesting
-//! tick K but before persisting it) leaves a snapshot within one tick of
-//! what it ingested, and a `--resume` reboot replays the remainder so
-//! the union of both sessions' verdicts equals a clean offline run.
-//! That is the "≤ 1 in-flight tick lost per restart" contract.
+//! snapshots and a write-ahead log that dies mid-tick (via
+//! [`CrashSwitch`], after ingesting tick K) leaves recoverable state
+//! equal to **exactly** what it ingested: the snapshot alone may lag by
+//! the single in-flight tick, but snapshot + WAL suffix reconstructs
+//! every accepted tick — zero lost, zero duplicated. A `--resume`
+//! reboot replays that state so the union of both sessions' verdicts
+//! equals a clean offline run.
 //!
 //! Fixed kill points run in the default suite; the 256-case sweep over
 //! arbitrary kill ticks is `#[ignore]`d and driven by `ci.sh` in release.
@@ -14,7 +16,7 @@ use dbcatcher_core::config::DbCatcherConfig;
 use dbcatcher_core::pipeline::{DbCatcher, Verdict};
 use dbcatcher_core::snapshot::DetectorSnapshot;
 use dbcatcher_serve::{
-    emit_surviving, CrashSwitch, DetectionServer, EmitOptions, ServeConfig, UnitStream,
+    emit_surviving, wal, CrashSwitch, DetectionServer, EmitOptions, ServeConfig, UnitStream,
 };
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
@@ -75,6 +77,8 @@ fn boot(dir: &Path, crash: Option<std::sync::Arc<CrashSwitch>>) -> Vec<(u64, Ver
         snapshot_dir: Some(dir.to_path_buf()),
         snapshot_every: 1,
         resume_dir: Some(dir.to_path_buf()),
+        wal_dir: Some(dir.join("wal")),
+        fsync_every: 1,
         retry_after_ms: 2,
         crash,
         ..ServeConfig::default()
@@ -94,6 +98,7 @@ fn boot(dir: &Path, crash: Option<std::sync::Arc<CrashSwitch>>) -> Vec<(u64, Ver
         rate: 0.0,
         window: 16,
         stop_after: false,
+        ..EmitOptions::default()
     };
     let report = emit_surviving(addr, streams, &options).expect("session connects");
     handle.stop();
@@ -115,8 +120,8 @@ fn check_kill_resume(kill_tick: u64) {
     let ingested = switch.ingested().get(&0).copied().unwrap_or(0);
     assert_eq!(ingested, kill_tick, "single shard ingests exactly to the trip");
 
-    // ≤ 1 in-flight tick lost: the tripping tick is ingested but never
-    // persisted, every earlier tick is (snapshot_every == 1).
+    // Snapshot-only bound: the tripping tick may be ingested but not yet
+    // snapshotted, every earlier tick is (snapshot_every == 1).
     let snapshot_path = dir.join("unit_0.json");
     let persisted = if kill_tick <= 1 {
         assert!(
@@ -133,6 +138,16 @@ fn check_kill_resume(kill_tick: u64) {
     assert!(
         persisted + 1 == ingested || persisted == ingested,
         "kill at {kill_tick}: persisted {persisted}, ingested {ingested}"
+    );
+
+    // Zero-loss contract: the WAL records every accepted tick before it
+    // reaches the detector, so snapshot + WAL suffix recovers to the
+    // ingest position exactly — no tick lost, none replayed twice.
+    let recovery = wal::recover_shard(&dir.join("wal").join("shard_0")).expect("wal readable");
+    let recovered = recovery.recovered_position(0, persisted);
+    assert_eq!(
+        recovered, ingested,
+        "kill at {kill_tick}: snapshot+WAL must recover exactly the ingested prefix"
     );
 
     // Resume and replay the remainder: the union of both sessions'
@@ -156,7 +171,7 @@ fn check_kill_resume(kill_tick: u64) {
 }
 
 #[test]
-fn kill_on_first_ingest_loses_at_most_that_tick() {
+fn kill_on_first_ingest_recovers_it_from_the_wal() {
     check_kill_resume(1);
 }
 
@@ -172,11 +187,11 @@ fn kill_past_the_first_verdict_window_preserves_state() {
 
 proptest! {
     /// The full sweep: an arbitrary kill tick anywhere in the stream
-    /// never loses more than the single in-flight tick and never loses
+    /// recovers every ingested tick from snapshot + WAL and never loses
     /// or duplicates a verdict across the restart.
     #[test]
     #[ignore = "256 daemon lifecycles; ci.sh runs this in release"]
-    fn arbitrary_kill_tick_loses_at_most_one_tick(kill in 1u64..(TICKS as u64)) {
+    fn arbitrary_kill_tick_recovers_every_ingested_tick(kill in 1u64..(TICKS as u64)) {
         check_kill_resume(kill);
     }
 }

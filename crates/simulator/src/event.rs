@@ -8,7 +8,7 @@
 //! kill, poll samples) are diagnostics, not events; the harness routes
 //! them to the failure details instead.
 
-use crate::plan::{BootEnd, SimPlan};
+use crate::plan::{BootEnd, InjectionKind, ShardInjection, SimPlan};
 use dbcatcher_serve::client::VerdictRecord;
 use serde::Serialize;
 
@@ -118,6 +118,11 @@ struct BootEvent {
     sessions: usize,
     crash: bool,
     after_ticks: u64,
+    /// `"none"`, `"panic"` or `"wedge"` — the planned shard-failure
+    /// injection for this boot, if any.
+    injection: &'static str,
+    /// Tick-job countdown of the injection (0 when `injection == "none"`).
+    injection_after: u64,
 }
 
 #[derive(Serialize)]
@@ -174,10 +179,26 @@ impl EventLog {
     }
 
     /// Records a boot boundary.
-    pub fn boot(&mut self, index: usize, boot_sessions: usize, end: &BootEnd) {
+    pub fn boot(
+        &mut self,
+        index: usize,
+        boot_sessions: usize,
+        end: &BootEnd,
+        injection: Option<ShardInjection>,
+    ) {
         let (crash, after_ticks) = match end {
             BootEnd::CleanStop => (false, 0),
             BootEnd::Crash { after_ticks } => (true, *after_ticks),
+        };
+        let (injection, injection_after) = match injection {
+            None => ("none", 0),
+            Some(inj) => (
+                match inj.kind {
+                    InjectionKind::Panic => "panic",
+                    InjectionKind::Wedge => "wedge",
+                },
+                inj.after_ticks,
+            ),
         };
         self.push(&BootEvent {
             event: "boot",
@@ -185,6 +206,8 @@ impl EventLog {
             sessions: boot_sessions,
             crash,
             after_ticks,
+            injection,
+            injection_after,
         });
     }
 

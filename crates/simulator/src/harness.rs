@@ -10,9 +10,13 @@
 //!    offline replay of the same frames.
 //! 2. **bounded queues** — no stats poll ever observes a per-unit queue
 //!    depth above `queue_cap`, and queues are drained at the end.
-//! 3. **≤ 1 tick lost per restart** — after a kill, each unit's persisted
-//!    snapshot position is within one tick of what the crash switch
-//!    counted as ingested.
+//! 3. **zero ticks lost per restart** — after a kill, each unit's
+//!    recovered position (snapshot floor plus the contiguous WAL suffix)
+//!    equals *exactly* what the crash switch counted as ingested: every
+//!    tick the detector processed survives the crash, none are
+//!    duplicated. Ticks accepted into a queue but never processed are
+//!    not counted — the producer's rewind resends them, which the
+//!    whole-run `online == offline` invariant verifies.
 //! 4. **demotion lifecycle** — the final daemon's demoted-database lists
 //!    equal the offline oracle's `non_voting()` (including demotions that
 //!    crossed a snapshot/restore boundary).
@@ -20,16 +24,20 @@
 //!    timeout; a hang is an invariant failure, not a hung test. Each boot
 //!    runs on a detached thread so a wedged daemon cannot block the
 //!    harness itself.
+//! 6. **supervisor recovery** — boots carrying a
+//!    [`crate::plan::ShardInjection`] (worker panic or wedge) must
+//!    still complete cleanly, and the
+//!    daemon's stats must show at least one supervisor restart.
 
 use crate::event::{canonicalize, verdict_digest, verdict_key, verdict_line, EventLog};
-use crate::plan::{BootEnd, BootPlan, SimPlan, UnitPlan};
+use crate::plan::{BootEnd, BootPlan, InjectionKind, SimPlan, UnitPlan};
 use dbcatcher_core::config::DbCatcherConfig;
 use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_core::snapshot::{DetectorSnapshot, SnapshotSummary};
 use dbcatcher_serve::client::VerdictRecord;
 use dbcatcher_serve::{
-    emit_surviving, fetch_stats, CrashSwitch, DetectionServer, EmitOptions, EmitReport,
-    MetricsSnapshot, ServeConfig, Subscriber, UnitStream,
+    emit_surviving, fetch_stats, wal, CrashSwitch, DetectionServer, EmitOptions, EmitReport,
+    MetricsSnapshot, ServeConfig, ShardChaos, Subscriber, UnitStream,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
@@ -157,6 +165,34 @@ fn read_summaries(dir: &Path, units: usize) -> Vec<Option<Result<SnapshotSummary
         .collect()
 }
 
+/// The stream position each unit would resume from right now: the
+/// persisted snapshot floor walked forward through the contiguous WAL
+/// suffix — exactly what the next boot's Hello replay computes. Units
+/// map to shards the same way the server does (`unit % effective
+/// shards`); a missing WAL directory (e.g. before the first boot)
+/// contributes nothing.
+fn recovered_positions(dir: &Path, units: usize, shards: usize) -> Vec<u64> {
+    let mut out: Vec<u64> = read_summaries(dir, units)
+        .into_iter()
+        .map(|s| match s {
+            Some(Ok(summary)) => summary.next_tick,
+            _ => 0,
+        })
+        .collect();
+    for shard in 0..shards {
+        let wal_dir = dir.join("wal").join(format!("shard_{shard}"));
+        let Ok(recovery) = wal::recover_shard(&wal_dir) else {
+            continue;
+        };
+        for (unit, next) in out.iter_mut().enumerate() {
+            if unit % shards == shard {
+                *next = recovery.recovered_position(unit, *next);
+            }
+        }
+    }
+    out
+}
+
 /// Everything one boot brought back.
 struct BootResult {
     reports: Vec<EmitReport>,
@@ -176,7 +212,11 @@ struct BootEnv {
 }
 
 impl BootEnv {
-    fn serve_config(&self, crash: Option<Arc<CrashSwitch>>) -> ServeConfig {
+    fn serve_config(
+        &self,
+        crash: Option<Arc<CrashSwitch>>,
+        chaos: Option<Arc<ShardChaos>>,
+    ) -> ServeConfig {
         ServeConfig {
             max_units: self.fixtures.len(),
             shards: self.plan.shards,
@@ -184,10 +224,19 @@ impl BootEnv {
             snapshot_dir: Some(self.dir.clone()),
             snapshot_every: self.plan.snapshot_every,
             resume_dir: Some(self.dir.clone()),
+            wal_dir: Some(self.dir.join("wal")),
+            fsync_every: self.plan.fsync_every,
             retry_after_ms: 5,
             slow_tick: (self.plan.slow_tick_us > 0)
                 .then(|| Duration::from_micros(self.plan.slow_tick_us)),
             crash,
+            chaos,
+            // Short enough that an injected wedge recovers within the
+            // boot, long enough that a slow debug-build tick is never
+            // mistaken for one (wedge detection requires *zero* jobs
+            // processed across the whole window, with work queued).
+            wedge_timeout: Duration::from_millis(750),
+            shard_restart_limit: 4,
             ..ServeConfig::default()
         }
     }
@@ -214,7 +263,11 @@ impl BootEnv {
         crash: Option<Arc<CrashSwitch>>,
         fetch_final_stats: bool,
     ) -> Result<BootResult, String> {
-        let server = DetectionServer::bind("127.0.0.1:0", self.serve_config(crash.clone()))
+        let chaos = boot.injection.map(|injection| match injection.kind {
+            InjectionKind::Panic => ShardChaos::panic_after(injection.after_ticks),
+            InjectionKind::Wedge => ShardChaos::wedge_after(injection.after_ticks),
+        });
+        let server = DetectionServer::bind("127.0.0.1:0", self.serve_config(crash.clone(), chaos))
             .map_err(|e| format!("bind: {e}"))?;
         let addr = server.local_addr();
         let handle = server.handle();
@@ -242,6 +295,10 @@ impl BootEnv {
             rate: 0.0,
             window: self.plan.emit_window,
             stop_after: false,
+            // Deterministic backoff jitter per plan; keeps the event log
+            // byte-identical across runs of the same seed.
+            retry_seed: self.plan.seed ^ 0x5EED_BACC,
+            ..EmitOptions::default()
         };
         let mut reports = Vec::with_capacity(boot.sessions.len());
         for session in &boot.sessions {
@@ -269,7 +326,10 @@ impl BootEnv {
             }
         }
 
-        let stats = if fetch_final_stats && !crash.as_ref().is_some_and(|c| c.tripped()) {
+        // Injected boots also need stats: the supervisor-recovery
+        // invariant reads restart counts before the daemon stops.
+        let want_stats = fetch_final_stats || boot.injection.is_some();
+        let stats = if want_stats && !crash.as_ref().is_some_and(|c| c.tripped()) {
             fetch_stats(addr).ok()
         } else {
             None
@@ -353,6 +413,9 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
     }
 
     let units = env.fixtures.len();
+    // Mirror of `ServeConfig::effective_shards` for the plan's explicit,
+    // non-zero shard count — needed to find each unit's WAL directory.
+    let eshards = plan.shards.clamp(1, units.max(1));
     let mut online: Vec<VerdictRecord> = Vec::new();
     let mut final_stats: Option<MetricsSnapshot> = None;
     let mut pre_final_next: Vec<u64> = vec![0; units];
@@ -360,7 +423,11 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
 
     for (index, boot) in plan.boots.iter().enumerate() {
         let is_final = index + 1 == num_boots;
-        events.boot(index, boot.sessions.len(), &boot.end);
+        events.boot(index, boot.sessions.len(), &boot.end, boot.injection);
+        // Snapshot floors alone: metric tick accounting counts WAL
+        // replay performed at Hello (the detector really ingests those
+        // ticks this boot), so the accounting baseline is the snapshot
+        // position, not the recovered one.
         let pre: Vec<u64> = read_summaries(&env.dir, units)
             .into_iter()
             .map(|s| match s {
@@ -368,6 +435,10 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
                 _ => 0,
             })
             .collect();
+        // Durable stream positions (snapshot + WAL): the baseline for
+        // the zero-loss crash invariant — HelloAck resumes exactly here,
+        // so the crash switch counts ingests from this point on.
+        let pre_rec = recovered_positions(&env.dir, units, eshards);
         if is_final {
             pre_final_next.clone_from(&pre);
         }
@@ -498,23 +569,29 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
                         "boot {index}: kill after {after_ticks} ingests never fired"
                     ));
                 }
+                // Zero-loss durability: snapshot + WAL must recover
+                // *every* tick the detector ingested before the kill —
+                // exactly, at any snapshot cadence. `recovered >
+                // absolute` would mean duplicated ticks, `<` lost ones.
                 let ingested: BTreeMap<usize, u64> = switch.ingested();
-                let mut at_most_one_lost = true;
-                for (unit, new_ingests) in &ingested {
-                    let absolute = pre.get(*unit).copied().unwrap_or(0) + new_ingests;
-                    let persisted = match post.get(*unit) {
-                        Some(Some(Ok(s))) => s.next_tick,
-                        _ => 0,
-                    };
-                    if persisted + 1 < absolute || persisted > absolute {
-                        at_most_one_lost = false;
+                let post_rec = recovered_positions(&env.dir, units, eshards);
+                let mut zero_lost = true;
+                for unit in 0..units {
+                    let absolute =
+                        pre_rec[unit] + ingested.get(&unit).copied().unwrap_or(0);
+                    let recovered = post_rec[unit];
+                    if recovered != absolute {
+                        zero_lost = false;
                         failures.push(format!(
-                            "boot {index}: unit {unit} persisted tick {persisted} after \
-                             ingesting through {absolute} — more than one tick lost"
+                            "boot {index}: unit {unit} recovers to tick {recovered} \
+                             (snapshot + WAL) after ingesting through {absolute} — \
+                             {} tick(s) {}",
+                            absolute.abs_diff(recovered),
+                            if recovered < absolute { "lost" } else { "duplicated" }
                         ));
                     }
                 }
-                events.invariant("boot", "at_most_one_tick_lost", at_most_one_lost);
+                events.invariant("boot", "zero_ticks_lost", zero_lost);
 
                 if let Some(sub_verdicts) = &boot_result.subscriber {
                     // Crash boots: broadcast order vs. the kill is racy,
@@ -529,6 +606,28 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
                         failures.push(format!("boot {index}: subscriber saw unknown verdicts"));
                     }
                 }
+            }
+        }
+        if let Some(injection) = boot.injection {
+            // The injected worker failure must have been contained: the
+            // supervisor restarted the shard (visible in stats) without
+            // exhausting its restart budget, and the sessions above
+            // still completed cleanly.
+            let (restarts, failed) = match &boot_result.stats {
+                Some(stats) => (
+                    stats.shard_status.iter().map(|s| s.restarts).sum::<u64>(),
+                    stats.shard_status.iter().any(|s| s.failed),
+                ),
+                None => (0, true),
+            };
+            let recovered = restarts >= 1 && !failed;
+            events.invariant("boot", "supervisor_recovered", recovered);
+            if !recovered {
+                failures.push(format!(
+                    "boot {index}: injected {:?} after {} ticks, but stats show \
+                     {restarts} supervisor restart(s), shard failed: {failed}",
+                    injection.kind, injection.after_ticks
+                ));
             }
         }
         if is_final {

@@ -15,9 +15,11 @@
 //! - [`harness`] — executes a plan against a *real* in-process
 //!   [`dbcatcher_serve::DetectionServer`] over real sockets, then
 //!   property-checks that online verdicts equal a deterministic offline
-//!   replay and that the standing invariants hold: bounded queues, ≤ 1
-//!   in-flight tick lost per kill/resume, demotion/re-admission
-//!   lifecycle intact, no shard ever wedges.
+//!   replay and that the standing invariants hold: bounded queues,
+//!   **zero** ticks lost per kill/resume (every ingested tick recovers
+//!   from snapshot + WAL, none duplicated), injected shard panics and
+//!   wedges contained by the supervisor, demotion/re-admission
+//!   lifecycle intact, no shard ever wedges the daemon.
 //! - [`shrink`] — greedy schedule minimization: when a seed fails, the
 //!   failing plan is re-run under simplifying edits (drop crashes, drop
 //!   faults, fewer boots/units, shorter streams) until the smallest
@@ -36,7 +38,10 @@ pub mod shrink;
 
 pub use event::{canonicalize, verdict_digest, verdict_key, verdict_line, EventLog, VerdictKey};
 pub use harness::{run_plan, SimOutcome};
-pub use plan::{BootEnd, BootPlan, SessionPlan, SimOpts, SimPlan, UnitPlan, MIN_TICKS};
+pub use plan::{
+    BootEnd, BootPlan, InjectionKind, SessionPlan, ShardInjection, SimOpts, SimPlan, UnitPlan,
+    MIN_TICKS,
+};
 pub use shrink::{shrink, shrink_with, ShrinkReport};
 
 /// Generates the plan for `seed` under `opts` and runs it end to end.

@@ -59,6 +59,28 @@ pub enum BootEnd {
     },
 }
 
+/// Which way an injected shard failure kills the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionKind {
+    /// The worker thread panics mid-tick (after the tick is durable).
+    Panic,
+    /// The worker wedges: stalls on a tick job until the supervisor
+    /// fences and replaces it.
+    Wedge,
+}
+
+/// A supervisor-recoverable shard failure injected mid-boot (via
+/// [`dbcatcher_serve::ShardChaos`]): unlike [`BootEnd::Crash`] the daemon
+/// must survive it — the supervisor replaces the worker from
+/// `snapshot + WAL` and every stream still completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInjection {
+    /// Panic or wedge.
+    pub kind: InjectionKind,
+    /// Tick jobs processed (across all shards) before the failure fires.
+    pub after_ticks: u64,
+}
+
 /// One producer session inside a boot: connect, offer each unit the
 /// stream prefix `frames[..offered[u]]`, flush, disconnect. Re-offering
 /// ticks the server already holds is free — `HelloAck{next_tick}` makes
@@ -77,6 +99,8 @@ pub struct BootPlan {
     pub sessions: Vec<SessionPlan>,
     /// How the boot ends.
     pub end: BootEnd,
+    /// Optional supervisor-recoverable shard failure fired mid-boot.
+    pub injection: Option<ShardInjection>,
 }
 
 /// One unit's workload: a full [`UnitScenario`] (profile, anomalies,
@@ -99,9 +123,11 @@ pub struct SimPlan {
     pub shards: usize,
     /// Per-unit bounded ingress queue depth.
     pub queue_cap: usize,
-    /// Snapshot cadence (forced to 1 when any boot crashes, so the
-    /// ≤1-tick-lost invariant is decidable).
+    /// Snapshot cadence. Free even on crashing plans: the WAL makes the
+    /// zero-loss invariant hold at any cadence.
     pub snapshot_every: u64,
+    /// WAL fsync batching cadence.
+    pub fsync_every: u64,
     /// Artificial per-tick shard delay in microseconds (0 = none); makes
     /// full-speed sessions hit real backpressure.
     pub slow_tick_us: u64,
@@ -149,7 +175,6 @@ impl SimPlan {
         // guaranteed fresh-tick supply always trips.
         let mut max_persisted: Vec<usize> = vec![0; num_units];
         let mut prev_offered: Vec<usize> = vec![0; num_units];
-        let mut crashed = false;
         for boot in 0..num_boots {
             let last = boot + 1 == num_boots;
             let num_sessions = rng.gen_range(1..=2usize);
@@ -178,13 +203,12 @@ impl SimPlan {
                 .map(|(o, p)| o.saturating_sub(*p))
                 .sum();
             let end = if !last && opts.allow_crash && guaranteed_new >= 16 && rng.gen_bool(0.6) {
-                crashed = true;
                 // Budget with headroom below the guaranteed supply so the
                 // kill always fires regardless of scheduling.
                 let after = rng.gen_range(1..=(guaranteed_new - 8) as u64);
-                // A crash regresses each unit's persisted position by at
-                // most one tick and each shard may ingest one extra
-                // in-flight tick past the trip.
+                // Conservative upper bound on what the crashed daemon can
+                // have made durable: the trip budget plus one in-flight
+                // tick per shard.
                 for (p, o) in max_persisted.iter_mut().zip(final_offered) {
                     *p = (*p + after as usize + shards).min(*o);
                 }
@@ -193,19 +217,42 @@ impl SimPlan {
                 max_persisted.clone_from(final_offered);
                 BootEnd::CleanStop
             };
-            boots.push(BootPlan { sessions, end });
+            // Supervisor-recoverable failures only on clean boots: a boot
+            // that also dies mid-tick would make "which failure killed the
+            // stream" ambiguous. The budget stays below the guaranteed
+            // fresh-tick supply so the injection always fires.
+            let injection = if matches!(end, BootEnd::CleanStop)
+                && opts.allow_crash
+                && guaranteed_new >= 16
+                && rng.gen_bool(0.35)
+            {
+                let kind = if rng.gen_bool(0.5) {
+                    InjectionKind::Panic
+                } else {
+                    InjectionKind::Wedge
+                };
+                Some(ShardInjection {
+                    kind,
+                    after_ticks: rng.gen_range(1..=(guaranteed_new - 8) as u64),
+                })
+            } else {
+                None
+            };
+            boots.push(BootPlan {
+                sessions,
+                end,
+                injection,
+            });
         }
-        let snapshot_every = if crashed {
-            1
-        } else {
-            rng.gen_range(1..=32u64)
-        };
+        let snapshot_every = rng.gen_range(1..=32u64);
+        let fsync_every = rng.gen_range(1..=8u64);
 
         Self {
             seed,
             shards,
             queue_cap,
             snapshot_every,
+            fsync_every,
             slow_tick_us,
             emit_window,
             subscribe,
@@ -215,21 +262,20 @@ impl SimPlan {
     }
 
     /// Re-establishes the structural guarantees generation provides
-    /// (monotone offered prefixes, full final session, crash ⇒
-    /// `snapshot_every == 1`, in-range crash budgets) after a shrinking
-    /// edit mutated the plan.
+    /// (monotone offered prefixes, full final session, in-range crash and
+    /// injection budgets) after a shrinking edit mutated the plan.
     pub fn normalize(&mut self) {
         let ticks: Vec<usize> = self.units.iter().map(|u| u.scenario.ticks).collect();
         if self.boots.is_empty() {
             self.boots.push(BootPlan {
                 sessions: Vec::new(),
                 end: BootEnd::CleanStop,
+                injection: None,
             });
         }
         let mut prev = vec![0usize; ticks.len()];
         let mut max_persisted = vec![0usize; ticks.len()];
         let num_boots = self.boots.len();
-        let mut crashed = false;
         for (b, boot) in self.boots.iter_mut().enumerate() {
             let last = b + 1 == num_boots;
             if boot.sessions.is_empty() {
@@ -262,7 +308,6 @@ impl SimPlan {
                     max_persisted.clone_from(final_offered);
                 }
                 BootEnd::Crash { after_ticks } => {
-                    crashed = true;
                     *after_ticks = (*after_ticks).clamp(1, (guaranteed_new - 8).max(1) as u64);
                     let after = *after_ticks as usize;
                     for (p, o) in max_persisted.iter_mut().zip(final_offered) {
@@ -273,13 +318,22 @@ impl SimPlan {
                     max_persisted.clone_from(final_offered);
                 }
             }
-        }
-        if crashed {
-            self.snapshot_every = 1;
+            if boot.injection.is_some()
+                && (matches!(boot.end, BootEnd::Crash { .. }) || guaranteed_new < 16)
+            {
+                boot.injection = None;
+            }
+            if let Some(injection) = &mut boot.injection {
+                injection.after_ticks = injection
+                    .after_ticks
+                    .clamp(1, (guaranteed_new.saturating_sub(8)).max(1) as u64);
+            }
         }
         self.shards = self.shards.clamp(1, 3);
         self.queue_cap = self.queue_cap.clamp(2, 64);
         self.emit_window = self.emit_window.clamp(1, 128);
+        self.snapshot_every = self.snapshot_every.clamp(1, 64);
+        self.fsync_every = self.fsync_every.clamp(1, 64);
     }
 
     /// Serialises the plan to pretty JSON (for failure reports).
@@ -420,14 +474,31 @@ mod tests {
             assert_eq!(prev, ticks, "seed {seed}: final session must offer all");
             let last = plan.boots.last().expect("boot");
             assert_eq!(last.end, BootEnd::CleanStop, "seed {seed}");
-            if plan
-                .boots
-                .iter()
-                .any(|b| matches!(b.end, BootEnd::Crash { .. }))
-            {
-                assert_eq!(plan.snapshot_every, 1, "seed {seed}");
+            assert!(plan.snapshot_every >= 1, "seed {seed}");
+            assert!(plan.fsync_every >= 1, "seed {seed}");
+            for boot in &plan.boots {
+                if let Some(injection) = &boot.injection {
+                    assert_eq!(
+                        boot.end,
+                        BootEnd::CleanStop,
+                        "seed {seed}: injections ride clean boots only"
+                    );
+                    assert!(injection.after_ticks >= 1, "seed {seed}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn some_seed_injects_shard_failures() {
+        let opts = SimOpts::default();
+        let injected = (0..60).any(|seed| {
+            SimPlan::generate(seed, &opts)
+                .boots
+                .iter()
+                .any(|b| b.injection.is_some())
+        });
+        assert!(injected, "no seed in 0..60 drew a shard injection");
     }
 
     #[test]

@@ -30,6 +30,11 @@ const EDITS: &[Edit] = &[
             boot.end = BootEnd::CleanStop;
         }
     }),
+    ("drop all shard injections", |p| {
+        for boot in &mut p.boots {
+            boot.injection = None;
+        }
+    }),
     ("drop all collector faults", |p| {
         for unit in &mut p.units {
             unit.scenario.faults.clear();

@@ -1,0 +1,473 @@
+//! Self-healing daemon tests: probation lifecycle, operator reset,
+//! supervisor containment of panicking/wedging shard workers, and the
+//! queue-depth-proportional backpressure hint.
+//!
+//! Companion to `serve_loopback.rs` (happy-path equality); everything
+//! here injects a failure and asserts the daemon degrades *gracefully*:
+//! bad frames cost strikes instead of the unit, dead workers are
+//! replaced from snapshot + WAL with zero accepted ticks lost, and
+//! overload hints scale with how saturated the shard actually is.
+
+use dbcatcher::core::config::DbCatcherConfig;
+use dbcatcher::core::pipeline::{DbCatcher, Verdict};
+use dbcatcher::serve::client::VerdictRecord;
+use dbcatcher::serve::server::{DetectionServer, ServeConfig, ServerHandle};
+use dbcatcher::serve::{
+    emit, fetch_stats, reset_unit, EmitOptions, ShardChaos, UnitStream, READMIT_AFTER,
+    STRIKE_LIMIT,
+};
+use dbcatcher::workload::scenario::UnitScenario;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const TICKS: usize = 260;
+
+struct UnitFixture {
+    frames: Vec<Vec<Vec<f64>>>,
+    participation: Vec<Vec<bool>>,
+    dbs: usize,
+    kpis: usize,
+}
+
+fn unit_frames(seed: u64) -> UnitFixture {
+    let data = UnitScenario::quickstart(seed).generate();
+    let frames: Vec<_> = (0..TICKS.min(data.num_ticks()))
+        .map(|t| data.tick_matrix(t))
+        .collect();
+    let (dbs, kpis) = (data.num_databases(), data.num_kpis());
+    UnitFixture {
+        frames,
+        participation: data.participation,
+        dbs,
+        kpis,
+    }
+}
+
+/// Offline reference that mirrors the daemon's probation substitution:
+/// ticks listed in `struck` are ingested as fully-missing (all-NaN)
+/// frames, exactly what the worker substitutes for a failed frame.
+fn offline_with_strikes(
+    frames: &[Vec<Vec<f64>>],
+    participation: &[Vec<bool>],
+    dbs: usize,
+    kpis: usize,
+    struck: &[u64],
+) -> Vec<(u64, Verdict)> {
+    let mut catcher = DbCatcher::new(DbCatcherConfig::default(), dbs)
+        .with_participation(participation.to_vec());
+    let mut out = Vec::new();
+    for (t, frame) in frames.iter().enumerate() {
+        let substitute;
+        let ingest: &[Vec<f64>] = if struck.contains(&(t as u64)) {
+            substitute = vec![vec![f64::NAN; kpis]; dbs];
+            &substitute
+        } else {
+            frame
+        };
+        let report = catcher.try_ingest_tick(ingest).expect("frames ingest");
+        out.extend(report.verdicts.into_iter().map(|v| (t as u64, v)));
+    }
+    out
+}
+
+type VerdictKey = (usize, u64, usize, u64, u64, String, usize, u32, Vec<u64>);
+
+fn verdict_key(unit: usize, at_tick: u64, v: &Verdict) -> VerdictKey {
+    (
+        unit,
+        at_tick,
+        v.db,
+        v.start_tick,
+        v.end_tick,
+        format!("{:?}", v.state),
+        v.window_size,
+        v.expansions,
+        v.scores
+            .iter()
+            .map(|s| if s.is_nan() { u64::MAX } else { s.to_bits() })
+            .collect(),
+    )
+}
+
+fn sorted_records(records: &[VerdictRecord]) -> Vec<VerdictKey> {
+    let mut out: Vec<_> = records
+        .iter()
+        .map(|r| verdict_key(r.unit, r.at_tick, &r.verdict))
+        .collect();
+    out.sort();
+    out
+}
+
+fn sorted_expected(expected: &[(u64, Verdict)]) -> Vec<VerdictKey> {
+    let mut out: Vec<_> = expected
+        .iter()
+        .map(|(t, v)| verdict_key(0, *t, v))
+        .collect();
+    out.sort();
+    out
+}
+
+fn spawn_server(config: ServeConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = DetectionServer::bind("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbcatcher_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn stream(fixture: &UnitFixture, frames: Vec<Vec<Vec<f64>>>) -> UnitStream {
+    UnitStream {
+        unit: 0,
+        dbs: fixture.dbs,
+        kpis: fixture.kpis,
+        participation: Some(fixture.participation.clone()),
+        frames,
+    }
+}
+
+/// One bad frame costs a strike, not the unit: the worker substitutes a
+/// missing frame, keeps the detector in lockstep with the wire tick
+/// counter, and re-admits the unit to full health after a clean streak.
+#[test]
+fn one_bad_frame_earns_a_strike_then_the_clean_streak_readmits() {
+    let fixture = unit_frames(31);
+    let struck = 60u64;
+    // A frame missing a database row fails the hardened ingest layer.
+    let mut poisoned = fixture.frames.clone();
+    poisoned[struck as usize].pop();
+    let expected = offline_with_strikes(
+        &fixture.frames,
+        &fixture.participation,
+        fixture.dbs,
+        fixture.kpis,
+        &[struck],
+    );
+
+    let (addr, handle, join) = spawn_server(ServeConfig::default());
+    let report = emit(addr, vec![stream(&fixture, poisoned)], &EmitOptions::default())
+        .expect("emit with one bad frame");
+
+    // The strike is reported to the producer, but the stream completes.
+    assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+    assert!(
+        report.errors[0].contains(&format!("strike 1/{STRIKE_LIMIT}")),
+        "strike diagnostics must name the budget: {:?}",
+        report.errors[0]
+    );
+    assert_eq!(report.ticks_accepted, fixture.frames.len() as u64);
+    assert_eq!(
+        sorted_records(&report.verdicts),
+        sorted_expected(&expected),
+        "verdicts must equal the offline run with the substituted frame"
+    );
+
+    let stats = fetch_stats(addr).expect("stats");
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert!(!unit.degraded, "a single strike must not degrade");
+    assert!(
+        !unit.probation,
+        "the clean streak after the strike must re-admit the unit"
+    );
+    assert_eq!(unit.strikes, 0, "re-admission clears the strike count");
+    assert_eq!(unit.readmissions, 1);
+    assert_eq!(unit.ticks, fixture.frames.len() as u64);
+
+    handle.stop();
+    join.join().expect("server thread");
+}
+
+/// Hitting the strike limit hard-degrades the unit — but an operator
+/// `ResetUnit` re-admits it on probation and the stream completes from
+/// exactly where the detector stands.
+#[test]
+fn strike_limit_degrades_until_an_operator_reset_readmits() {
+    let fixture = unit_frames(33);
+    // Three bad frames closer together than the re-admission streak.
+    let struck: Vec<u64> = (0..u64::from(STRIKE_LIMIT))
+        .map(|i| 60 + i * (READMIT_AFTER / 2))
+        .collect();
+    let mut poisoned = fixture.frames.clone();
+    for &t in &struck {
+        poisoned[t as usize].pop();
+    }
+    let expected = offline_with_strikes(
+        &fixture.frames,
+        &fixture.participation,
+        fixture.dbs,
+        fixture.kpis,
+        &struck,
+    );
+
+    let (addr, handle, join) = spawn_server(ServeConfig::default());
+    let first = emit(
+        addr,
+        vec![stream(&fixture, poisoned.clone())],
+        &EmitOptions::default(),
+    )
+    .expect("emit runs to the degradation");
+    assert!(
+        first.errors.iter().any(|e| e.contains("Degraded")
+            || e.contains("strike limit reached")),
+        "the producer must learn the unit degraded: {:?}",
+        first.errors
+    );
+    assert!(
+        first.ticks_accepted < fixture.frames.len() as u64 + 1,
+        "degraded unit must stop accepting"
+    );
+
+    let stats = fetch_stats(addr).expect("stats while degraded");
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert!(unit.degraded, "strike limit must hard-degrade");
+
+    // The detector substituted every struck frame, so its position is
+    // exactly one past the last strike when the degradation fired.
+    let next = reset_unit(addr, 0).expect("operator reset");
+    assert_eq!(
+        next,
+        struck[STRIKE_LIMIT as usize - 1] + 1,
+        "reset must resume from the detector's exact position"
+    );
+
+    // The producer re-offers the full (still-poisoned-earlier) stream;
+    // `HelloAck{next_tick}` skips everything the detector already holds,
+    // so only clean frames remain and the run completes.
+    let second = emit(addr, vec![stream(&fixture, poisoned)], &EmitOptions::default())
+        .expect("emit after reset");
+    assert!(second.errors.is_empty(), "{:?}", second.errors);
+
+    let stats = fetch_stats(addr).expect("stats after recovery");
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert!(!unit.degraded, "reset must clear the degradation");
+    assert!(
+        !unit.probation,
+        "the post-reset clean streak must complete probation"
+    );
+    assert_eq!(unit.ticks, fixture.frames.len() as u64);
+
+    // Union of both sessions equals the offline run with substitutions.
+    let mut got = sorted_records(&first.verdicts);
+    got.extend(sorted_records(&second.verdicts));
+    got.sort();
+    got.dedup();
+    assert_eq!(got, sorted_expected(&expected));
+
+    handle.stop();
+    join.join().expect("server thread");
+}
+
+/// An injected worker panic mid-stream is contained by the supervisor:
+/// the replacement re-owns the shard from snapshot + WAL, the producer
+/// rewinds, and the final verdict stream equals the offline run.
+#[test]
+fn shard_panic_is_contained_and_loses_nothing() {
+    let fixture = unit_frames(35);
+    let expected = offline_with_strikes(
+        &fixture.frames,
+        &fixture.participation,
+        fixture.dbs,
+        fixture.kpis,
+        &[],
+    );
+    let dir = scratch_dir("serve_panic");
+
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        shards: 1,
+        snapshot_dir: Some(dir.clone()),
+        snapshot_every: 16,
+        wal_dir: Some(dir.join("wal")),
+        fsync_every: 4,
+        chaos: Some(ShardChaos::panic_after(140)),
+        ..ServeConfig::default()
+    });
+    let report = emit(
+        addr,
+        vec![stream(&fixture, fixture.frames.clone())],
+        &EmitOptions::default(),
+    )
+    .expect("emit across the panic");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    let stats = fetch_stats(addr).expect("stats");
+    handle.stop();
+    join.join().expect("server thread");
+
+    let restarts: u64 = stats.shard_status.iter().map(|s| s.restarts).sum();
+    assert!(restarts >= 1, "the panic must surface as a supervisor restart");
+    assert!(
+        stats.shard_status.iter().all(|s| !s.failed),
+        "one panic is far under the restart budget"
+    );
+    assert!(
+        stats
+            .shard_status
+            .iter()
+            .any(|s| s.last_panic.as_deref().is_some_and(|p| p.contains("injected"))),
+        "the panic payload must be preserved for operators: {:?}",
+        stats.shard_status
+    );
+
+    // Zero ticks lost: every tick was detected exactly once...
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert_eq!(unit.ticks, fixture.frames.len() as u64);
+    assert_eq!(unit.queue_depth, 0);
+    // ...and the verdict stream (deduplicated — replay may re-deliver
+    // verdicts whose first copy died with the old worker) is offline's.
+    let mut got = sorted_records(&report.verdicts);
+    got.dedup();
+    assert_eq!(got, sorted_expected(&expected));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A wedged worker (alive but stuck) is detected by the heartbeat
+/// deadline, fenced, and replaced; the stream completes.
+#[test]
+fn shard_wedge_is_fenced_and_replaced() {
+    let fixture = unit_frames(37);
+    let expected = offline_with_strikes(
+        &fixture.frames,
+        &fixture.participation,
+        fixture.dbs,
+        fixture.kpis,
+        &[],
+    );
+    let dir = scratch_dir("serve_wedge");
+
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        shards: 1,
+        snapshot_dir: Some(dir.clone()),
+        snapshot_every: 16,
+        wal_dir: Some(dir.join("wal")),
+        fsync_every: 4,
+        chaos: Some(ShardChaos::wedge_after(100)),
+        wedge_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let report = emit(
+        addr,
+        vec![stream(&fixture, fixture.frames.clone())],
+        &EmitOptions::default(),
+    )
+    .expect("emit across the wedge");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    let stats = fetch_stats(addr).expect("stats");
+    handle.stop();
+    join.join().expect("server thread");
+
+    let wedges: u64 = stats.shard_status.iter().map(|s| s.wedges).sum();
+    assert!(wedges >= 1, "the stall must be detected as a wedge");
+    assert!(stats.shard_status.iter().all(|s| !s.failed));
+
+    let unit = stats.units.iter().find(|u| u.unit == 0).expect("unit 0");
+    assert_eq!(unit.ticks, fixture.frames.len() as u64);
+    let mut got = sorted_records(&report.verdicts);
+    got.dedup();
+    assert_eq!(got, sorted_expected(&expected));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The backpressure hint is proportional to shard saturation, not a
+/// constant: a full per-unit queue yields hints scaled by its share of
+/// the shard channel, never the bare ceiling, never zero.
+#[test]
+fn backpressure_hint_scales_with_queue_saturation() {
+    use dbcatcher::serve::protocol::{decode_response, encode, Request, Response};
+    use std::io::{BufRead, BufReader, Write};
+
+    const BASE: u64 = 40;
+    const QUEUE_CAP: usize = 8;
+    let fixture = unit_frames(39);
+
+    let (addr, handle, join) = spawn_server(ServeConfig {
+        max_units: 1,
+        shards: 1,
+        queue_cap: QUEUE_CAP,
+        retry_after_ms: BASE,
+        slow_tick: Some(Duration::from_millis(3)),
+        ..ServeConfig::default()
+    });
+
+    let mut socket = std::net::TcpStream::connect(addr).expect("connect");
+    let mut replies = BufReader::new(socket.try_clone().expect("clone"));
+    let send = |req: &Request, socket: &mut std::net::TcpStream| {
+        socket
+            .write_all(format!("{}\n", encode(req)).as_bytes())
+            .expect("send");
+    };
+    send(
+        &Request::Hello {
+            unit: 0,
+            dbs: fixture.dbs,
+            kpis: fixture.kpis,
+            participation: Some(fixture.participation.clone()),
+        },
+        &mut socket,
+    );
+    let mut line = String::new();
+    replies.read_line(&mut line).expect("hello ack");
+
+    // Spin on the expected tick: resend immediately on rejection so the
+    // queue stays saturated and every rejection samples the hint.
+    let mut hints = Vec::new();
+    let mut next = 0u64;
+    while next < 120 {
+        send(
+            &Request::Tick {
+                unit: 0,
+                tick: next,
+                frame: fixture.frames[next as usize].clone(),
+            },
+            &mut socket,
+        );
+        loop {
+            line.clear();
+            replies.read_line(&mut line).expect("reply");
+            match decode_response(line.trim_end()).expect("decodable reply") {
+                Response::Accepted { tick, .. } => {
+                    assert_eq!(tick, next);
+                    next += 1;
+                    break;
+                }
+                Response::Rejected { retry_after_ms, .. } => {
+                    hints.push(retry_after_ms);
+                    break;
+                }
+                Response::Verdict { .. } => {}
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+    }
+    handle.stop();
+    join.join().expect("server thread");
+
+    assert!(!hints.is_empty(), "the burst must trip backpressure");
+    assert!(
+        hints.iter().all(|&h| (1..=BASE).contains(&h)),
+        "hints must stay within [1, ceiling]: {hints:?}"
+    );
+    // channel_cap = max_units/shards * queue_cap + slack, so one unit's
+    // full queue saturates about half the shard channel: the hint must
+    // reflect that depth — meaningfully above the floor, below the
+    // ceiling a constant hint would sit at.
+    let max = *hints.iter().max().expect("non-empty");
+    assert!(
+        max >= BASE / 4,
+        "a saturated queue must scale the hint up: max {max} of {hints:?}"
+    );
+    assert!(
+        max < BASE,
+        "a single unit cannot saturate the whole channel, so the hint \
+         must stay under the ceiling: max {max}"
+    );
+}

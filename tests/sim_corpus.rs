@@ -71,6 +71,12 @@ fn corpus_seed_with_faulty_collectors() {
 }
 
 #[test]
+fn corpus_seed_with_shard_injection() {
+    let seed = seed_with(0, |p| p.boots.iter().any(|b| b.injection.is_some()));
+    assert_seed_passes(seed);
+}
+
+#[test]
 fn corpus_seed_single_boot_baseline() {
     let seed = seed_with(0, |p| {
         p.boots.len() == 1 && p.boots[0].sessions.len() == 1
