@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -16,6 +19,16 @@ cargo test --release -q --test fault_soak -- --ignored
 echo "==> chaos simulator soak gate (20 fixed seeds + 256-case atomicity sweep)"
 cargo test --release -q --test sim_soak -- --ignored
 cargo test --release -q -p dbcatcher-serve --test snapshot_atomicity -- --ignored
+
+echo "==> dbclint self-test (seeded violations must fail the gate)"
+cargo run -q --release -p dbcatcher-analysis --bin dbclint -- --self-test
+
+echo "==> dbclint --deny -> results/LINT_report.json"
+cargo run -q --release -p dbcatcher-analysis --bin dbclint -- --deny \
+  --report results/LINT_report.json
+
+echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

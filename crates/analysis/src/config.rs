@@ -1,0 +1,425 @@
+//! `dbclint.toml` loading: which files are walked and which rule applies
+//! where.
+//!
+//! The parser handles the TOML subset the checked-in config needs —
+//! `[dotted.tables]`, `key = "string"`, `key = <int>`, `key = true`, and
+//! (possibly multi-line) string arrays — with `#` comments. It is strict:
+//! anything outside that subset is a hard error, so a typo in the config
+//! fails the lint gate loudly instead of silently widening a scope.
+//!
+//! Path scoping is by *prefix*: an entry matches a file if it equals the
+//! file's workspace-relative path or is a parent directory of it. No glob
+//! syntax — scopes in this workspace are directories or exact files, and
+//! prefix semantics keep the config reviewable.
+
+use crate::rules::{RuleKind, Severity};
+use std::collections::BTreeMap;
+
+/// A parsed scope: include/exclude path prefixes.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub include: Vec<String>,
+    pub exclude: Vec<String>,
+}
+
+fn prefix_matches(prefix: &str, path: &str) -> bool {
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|r| r.starts_with('/'))
+}
+
+impl Scope {
+    /// Does `path` (workspace-relative, `/`-separated) fall in scope?
+    pub fn matches(&self, path: &str) -> bool {
+        self.include.iter().any(|p| prefix_matches(p, path))
+            && !self.exclude.iter().any(|p| prefix_matches(p, path))
+    }
+}
+
+/// One rule's configuration.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    pub kind: RuleKind,
+    pub severity: Severity,
+    pub scope: Scope,
+}
+
+/// The whole `dbclint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories walked for `.rs` files, relative to the workspace root.
+    pub roots: Vec<String>,
+    /// Path prefixes never walked (fixtures, vendored code, build output).
+    pub exclude: Vec<String>,
+    /// Rules in declaration order.
+    pub rules: Vec<RuleConfig>,
+}
+
+impl Config {
+    /// All rules whose scope covers `path`.
+    pub fn rules_for<'a>(&'a self, path: &str) -> Vec<&'a RuleConfig> {
+        self.rules
+            .iter()
+            .filter(|r| r.scope.matches(path))
+            .collect()
+    }
+
+    /// Is `path` excluded from the walk entirely?
+    pub fn walk_excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| prefix_matches(p, path))
+    }
+}
+
+/// Config-file failure with enough context to fix the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dbclint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+/// Strip a `#` comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(raw: &str, line_no: u32) -> Result<Value, ConfigError> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("unterminated string: {raw}"),
+            });
+        };
+        if body.contains('"') || body.contains('\\') {
+            return Err(ConfigError {
+                line: line_no,
+                message: "escapes and embedded quotes are not supported".into(),
+            });
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    raw.parse::<i64>().map(Value::Int).map_err(|_| ConfigError {
+        line: line_no,
+        message: format!("unsupported value: {raw}"),
+    })
+}
+
+fn parse_string_array(body: &str, line_no: u32) -> Result<Value, ConfigError> {
+    let mut items = Vec::new();
+    for piece in body.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue; // trailing comma
+        }
+        match parse_scalar(piece, line_no)? {
+            Value::Str(s) => items.push(s),
+            _ => {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: "arrays may only contain strings".into(),
+                })
+            }
+        }
+    }
+    Ok(Value::StrArray(items))
+}
+
+/// Parsed TOML subset: `(table, key) -> (value, line)`.
+type TomlMap = BTreeMap<(String, String), (Value, u32)>;
+
+/// Parse the supported TOML subset into `(table, key) -> value`.
+fn parse_toml(src: &str) -> Result<TomlMap, ConfigError> {
+    let mut out = BTreeMap::new();
+    let mut table = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw_line)) = lines.next() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("malformed table header: {line}"),
+                });
+            };
+            table = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`: {line}"),
+            });
+        };
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        if value.starts_with('[') {
+            // Possibly multi-line array: accumulate until brackets close
+            // outside strings.
+            while !array_closed(&value) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!("unterminated array for key `{key}`"),
+                    });
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let body = value
+                .trim()
+                .strip_prefix('[')
+                .and_then(|v| v.strip_suffix(']'))
+                .ok_or_else(|| ConfigError {
+                    line: line_no,
+                    message: format!("malformed array for key `{key}`"),
+                })?;
+            let arr = parse_string_array(body, line_no)?;
+            out.insert((table.clone(), key), (arr, line_no));
+        } else {
+            let scalar = parse_scalar(&value, line_no)?;
+            out.insert((table.clone(), key), (scalar, line_no));
+        }
+    }
+    Ok(out)
+}
+
+fn array_closed(acc: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in acc.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn take_str_array(
+    map: &mut BTreeMap<(String, String), (Value, u32)>,
+    table: &str,
+    key: &str,
+) -> Result<Option<Vec<String>>, ConfigError> {
+    match map.remove(&(table.to_string(), key.to_string())) {
+        None => Ok(None),
+        Some((Value::StrArray(v), _)) => Ok(Some(v)),
+        Some((_, line)) => Err(ConfigError {
+            line,
+            message: format!("`{table}.{key}` must be a string array"),
+        }),
+    }
+}
+
+/// Parse and validate `dbclint.toml` source.
+pub fn parse_config(src: &str) -> Result<Config, ConfigError> {
+    let mut map = parse_toml(src)?;
+
+    let roots = take_str_array(&mut map, "files", "roots")?.ok_or(ConfigError {
+        line: 0,
+        message: "missing `[files] roots`".into(),
+    })?;
+    let exclude = take_str_array(&mut map, "files", "exclude")?.unwrap_or_default();
+
+    let mut rules = Vec::new();
+    for kind in RuleKind::ALL {
+        let table = format!("rules.{}", kind.name());
+        let severity = match map.remove(&(table.clone(), "severity".to_string())) {
+            None => {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("missing `[{table}] severity`"),
+                })
+            }
+            Some((Value::Str(s), line)) => match s.as_str() {
+                "deny" => Severity::Deny,
+                "warn" => Severity::Warn,
+                "off" => Severity::Off,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown severity `{other}` (deny|warn|off)"),
+                    })
+                }
+            },
+            Some((_, line)) => {
+                return Err(ConfigError {
+                    line,
+                    message: format!("`{table}.severity` must be a string"),
+                })
+            }
+        };
+        let include = take_str_array(&mut map, &table, "include")?.ok_or(ConfigError {
+            line: 0,
+            message: format!("missing `[{table}] include`"),
+        })?;
+        let exclude = take_str_array(&mut map, &table, "exclude")?.unwrap_or_default();
+        rules.push(RuleConfig {
+            kind: *kind,
+            severity,
+            scope: Scope { include, exclude },
+        });
+    }
+
+    // Reject unknown keys so config typos cannot silently disable a rule.
+    map.remove(&(String::new(), "version".to_string()));
+    if let Some(((table, key), (_, line))) = map.into_iter().next() {
+        let place = if table.is_empty() {
+            key
+        } else {
+            format!("{table}.{key}")
+        };
+        return Err(ConfigError {
+            line,
+            message: format!("unknown config key `{place}`"),
+        });
+    }
+
+    Ok(Config {
+        roots,
+        exclude,
+        rules,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+version = 1
+
+[files]
+roots = ["crates", "src"]     # walked
+exclude = ["crates/analysis/tests/fixtures"]
+
+[rules.hot-path-alloc]
+severity = "deny"
+include = [
+    "crates/core/src/kcd.rs",
+    "crates/core/src/queues.rs",
+]
+
+[rules.panic-free]
+severity = "deny"
+include = ["crates/core/src"]
+
+[rules.slice-index]
+severity = "warn"
+include = ["crates/core/src"]
+
+[rules.determinism]
+severity = "deny"
+include = ["crates/sim/src"]
+
+[rules.no-unsafe]
+severity = "deny"
+include = ["crates", "src"]
+exclude = ["crates/bench/benches/kcd.rs"]
+"#;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = parse_config(MINI).unwrap();
+        assert_eq!(cfg.roots, vec!["crates", "src"]);
+        assert_eq!(cfg.rules.len(), RuleKind::ALL.len());
+        let hot = &cfg.rules[0];
+        assert_eq!(hot.kind, RuleKind::HotPathAlloc);
+        assert_eq!(hot.severity, Severity::Deny);
+        assert!(hot.scope.matches("crates/core/src/kcd.rs"));
+        assert!(!hot.scope.matches("crates/core/src/pipeline.rs"));
+    }
+
+    #[test]
+    fn prefix_semantics_not_substring() {
+        let s = Scope {
+            include: vec!["crates/core/src".into()],
+            exclude: vec![],
+        };
+        assert!(s.matches("crates/core/src/kcd.rs"));
+        assert!(!s.matches("crates/core/src_extra/kcd.rs"));
+        assert!(!s.matches("crates/core/srcfile.rs"));
+    }
+
+    #[test]
+    fn exclude_wins() {
+        let cfg = parse_config(MINI).unwrap();
+        let nounsafe = cfg
+            .rules
+            .iter()
+            .find(|r| r.kind == RuleKind::NoUnsafe)
+            .unwrap();
+        assert!(!nounsafe.scope.matches("crates/bench/benches/kcd.rs"));
+        assert!(nounsafe.scope.matches("crates/bench/benches/fft.rs"));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let bad = format!("{MINI}\n[rules.hot-path-alloc]\ntypo = true\n");
+        // Re-opening the table replaces nothing; the unknown key errors.
+        assert!(parse_config(&bad).is_err());
+    }
+
+    #[test]
+    fn missing_rule_rejected() {
+        let truncated: String = MINI.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(parse_config(&truncated).is_err());
+    }
+
+    #[test]
+    fn comments_inside_arrays() {
+        let src = r#"
+[files]
+roots = [
+    "crates",  # main tree
+    "src",
+]
+"#;
+        // Rules are missing, so full parse fails, but the array must
+        // survive comment stripping first.
+        let err = parse_config(src).unwrap_err();
+        assert!(err.message.contains("severity"), "{err}");
+    }
+}

@@ -1,0 +1,461 @@
+//! A small hand-rolled Rust lexer, sufficient for lint-grade analysis.
+//!
+//! The goal is not a full grammar: `dbclint` only needs to see the token
+//! *stream* faithfully enough that pattern matches never fire inside
+//! comments or string literals, and that `#[cfg(test)]` spans can be
+//! tracked by brace matching. The hard parts of that job are exactly the
+//! ones a regex cannot do: nested block comments, raw strings with
+//! arbitrary `#` fences, byte/raw-byte strings, char literals versus
+//! lifetimes, and raw identifiers (`r#fn` versus `r#"..."#`).
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `Vec`, `r#match`, ...).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Numeric literal, including float forms and suffixes.
+    Number,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br##"…"##`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\xFF'`.
+    Char,
+    /// `// …` comment (includes doc `///` and `//!`).
+    LineComment,
+    /// `/* … */` comment, possibly nested (includes doc forms).
+    BlockComment,
+    /// Any single punctuation byte (`:`, `(`, `!`, `#`, ...).
+    Punct(u8),
+}
+
+/// One token: kind plus the byte range and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexing failure: the scanner refuses to guess past malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    /// Consume a `"…"`-style body (opening quote already consumed),
+    /// honouring backslash escapes.
+    fn escaped_string_body(&mut self, quote: u8, what: &str) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                None => return Err(self.err(format!("unterminated {what}"))),
+                Some(b'\\') => {
+                    // Skip the escaped byte (covers \" \\ \n \u{…} enough
+                    // for termination scanning).
+                    if self.bump().is_none() {
+                        return Err(self.err(format!("unterminated {what}")));
+                    }
+                }
+                Some(b) if b == quote => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consume a raw string: at `pos` the `#`* fence then `"`.
+    fn raw_string_body(&mut self) -> Result<(), LexError> {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.bump() != Some(b'"') {
+            return Err(self.err("malformed raw string opening"));
+        }
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated raw string")),
+                Some(b'"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some(b'#') {
+                        matched += 1;
+                        self.bump();
+                    }
+                    if matched == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consume a block comment; the leading `/*` is already consumed.
+    /// Block comments nest in Rust.
+    fn block_comment_body(&mut self) -> Result<(), LexError> {
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated block comment")),
+                Some(b'*') if self.peek(0) == Some(b'/') => {
+                    self.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(b'/') if self.peek(0) == Some(b'*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn ident_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn number_body(&mut self) {
+        // Digits, underscores, hex/bin/oct letters and type suffixes all
+        // fall under "alphanumeric or underscore".
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.bump();
+            } else if b == b'.' {
+                // `1.5` continues the number; `0..10` does not; a trailing
+                // `1.` (no digit after) is left to punctuation.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (b == b'+' || b == b'-')
+                && matches!(
+                    self.src.get(self.pos.wrapping_sub(1)),
+                    Some(b'e') | Some(b'E')
+                )
+            {
+                // Exponent sign: `1e-3`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Tokenize `src`. Whitespace is dropped; comments are kept as tokens so
+/// the rule engine can read waiver annotations out of them.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut sc = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = sc.peek(0) {
+        let start = sc.pos;
+        let line = sc.line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                sc.bump();
+                continue;
+            }
+            b'/' if sc.peek(1) == Some(b'/') => {
+                while let Some(nb) = sc.peek(0) {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    sc.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if sc.peek(1) == Some(b'*') => {
+                sc.bump();
+                sc.bump();
+                sc.block_comment_body()?;
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                sc.bump();
+                sc.escaped_string_body(b'"', "string literal")?;
+                TokenKind::Str
+            }
+            b'r' if matches!(sc.peek(1), Some(b'"') | Some(b'#')) => {
+                // `r"…"` / `r#"…"#` are raw strings, but `r#fn` is a raw
+                // identifier: decide by what follows the `#` fence.
+                let mut off = 1usize;
+                while sc.peek(off) == Some(b'#') {
+                    off += 1;
+                }
+                if sc.peek(off) == Some(b'"') && off <= 256 {
+                    sc.bump(); // r
+                    sc.raw_string_body()?;
+                    TokenKind::Str
+                } else if off == 2 && sc.peek(2).is_some_and(is_ident_start) {
+                    // r# + ident-start → raw identifier.
+                    sc.bump();
+                    sc.bump();
+                    sc.ident_body();
+                    TokenKind::Ident
+                } else if off == 1 {
+                    unreachable!("peek(1) was '\"' or '#'");
+                } else {
+                    return Err(sc.err("malformed raw string or raw identifier"));
+                }
+            }
+            b'b' | b'c' if sc.peek(1) == Some(b'"') => {
+                sc.bump();
+                sc.bump();
+                sc.escaped_string_body(b'"', "byte string literal")?;
+                TokenKind::Str
+            }
+            b'b' if sc.peek(1) == Some(b'\'') => {
+                sc.bump();
+                sc.bump();
+                sc.escaped_string_body(b'\'', "byte char literal")?;
+                TokenKind::Char
+            }
+            b'b' if sc.peek(1) == Some(b'r') && matches!(sc.peek(2), Some(b'"') | Some(b'#')) => {
+                sc.bump();
+                sc.bump();
+                sc.raw_string_body()?;
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'\…'` is always a char; `'x'`
+                // is a char; `'x` followed by anything but `'` is a
+                // lifetime.
+                sc.bump();
+                match sc.peek(0) {
+                    Some(b'\\') => {
+                        sc.escaped_string_body(b'\'', "char literal")?;
+                        TokenKind::Char
+                    }
+                    Some(nb) if is_ident_start(nb) || nb.is_ascii_digit() => {
+                        sc.bump();
+                        sc.ident_body();
+                        if sc.peek(0) == Some(b'\'') {
+                            sc.bump();
+                            TokenKind::Char
+                        } else {
+                            TokenKind::Lifetime
+                        }
+                    }
+                    Some(_) => {
+                        // `'('`-style punctuation char literal.
+                        sc.escaped_string_body(b'\'', "char literal")?;
+                        TokenKind::Char
+                    }
+                    None => return Err(sc.err("dangling quote at end of input")),
+                }
+            }
+            _ if is_ident_start(b) => {
+                sc.bump();
+                sc.ident_body();
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                sc.bump();
+                sc.number_body();
+                TokenKind::Number
+            }
+            _ => {
+                sc.bump();
+                TokenKind::Punct(b)
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: sc.pos,
+            line,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("let x = a.unwrap();"),
+            vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let t = lex(src).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].kind, TokenKind::BlockComment);
+        assert_eq!(t[2].text(src), "b");
+    }
+
+    #[test]
+    fn raw_string_with_fences() {
+        let src = r####"x = r#"contains "quotes" and unwrap()"# ;"####;
+        let t = lex(src).unwrap();
+        let s = t.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(s.text(src).contains("unwrap()"));
+        // The unwrap inside the raw string is NOT an Ident token.
+        assert!(!t
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn raw_ident_vs_raw_string() {
+        assert_eq!(kinds("r#match"), vec![TokenKind::Ident]);
+        assert_eq!(kinds(r##"r#"s"#"##), vec![TokenKind::Str]);
+        assert_eq!(kinds(r###"r##"s"##"###), vec![TokenKind::Str]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(
+            kinds("'a 'static '\\'' 'x' '('"),
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(
+            kinds(r##"b"x" br#"y"# c"z" b'q'"##),
+            vec![
+                TokenKind::Str,
+                TokenKind::Str,
+                TokenKind::Str,
+                TokenKind::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            texts("0..10"),
+            vec!["0", ".", ".", "10"],
+            "range dots must not be eaten by the number"
+        );
+        assert_eq!(texts("1.5e-3_f64"), vec!["1.5e-3_f64"]);
+        assert_eq!(texts("0xFF_u8"), vec!["0xFF_u8"]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n\n  c";
+        let t = lex(src).unwrap();
+        assert_eq!(t.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let src = r#""with \" escaped quote and unwrap()""#;
+        let t = lex(src).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn unterminated_inputs_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* nested /* deep */").is_err());
+        assert!(lex("r#\"open").is_err());
+    }
+
+    #[test]
+    fn attribute_shape() {
+        assert_eq!(
+            texts("#[cfg(test)]"),
+            vec!["#", "[", "cfg", "(", "test", ")", "]"]
+        );
+    }
+}

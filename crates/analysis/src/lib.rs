@@ -1,0 +1,39 @@
+//! # dbcatcher-analysis — `dbclint`
+//!
+//! A self-contained static analyzer for the DBCatcher workspace. It
+//! machine-checks the invariants the rest of the test suite can only
+//! probe dynamically:
+//!
+//! * **hot-path purity** — the per-tick detection modules never
+//!   allocate (the counting-allocator test proves steady state; the lint
+//!   rejects the code shape at review time);
+//! * **panic-freedom** — library crates on the serving path use typed
+//!   errors, not `unwrap()`/`panic!`;
+//! * **determinism** — seed-driven modules never read wall clocks or
+//!   sleep;
+//! * **no `unsafe`** — anywhere, except the bench counting allocator.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p dbcatcher-analysis --bin dbclint -- --deny
+//! ```
+//!
+//! Scoping lives in the checked-in `dbclint.toml`; violations are
+//! waivable only by an inline
+//! `// dbclint: allow(<rule>) — <justification>` comment, and every
+//! waiver is inventoried in `results/LINT_report.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod selftest;
+pub mod walk;
+
+pub use config::{parse_config, Config};
+pub use engine::{analyze, Analysis, SourceFile, Violation, WaiverRecord};
+pub use rules::{RuleKind, Severity};

@@ -1,0 +1,132 @@
+//! `dbclint` — workspace static analysis gate.
+//!
+//! ```text
+//! dbclint [--root DIR] [--config FILE] [--report FILE] [--deny]
+//!         [--self-test] [--verbose]
+//! ```
+//!
+//! Exit codes: `0` clean (or warnings only), `2` deny-level violations
+//! with `--deny`, `3` self-test failure, `1` usage/config/IO error.
+
+#![forbid(unsafe_code)]
+
+use dbcatcher_analysis::rules::Severity;
+use dbcatcher_analysis::{analyze, parse_config, report, selftest, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    report: Option<PathBuf>,
+    deny: bool,
+    self_test: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        report: None,
+        deny: false,
+        self_test: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--config" => args.config = Some(it.next().ok_or("--config needs a value")?.into()),
+            "--report" => args.report = Some(it.next().ok_or("--report needs a value")?.into()),
+            "--deny" => args.deny = true,
+            "--self-test" => args.self_test = true,
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "dbclint [--root DIR] [--config FILE] [--report FILE] [--deny] [--self-test] [--verbose]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("dbclint.toml"));
+    let toml = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let cfg = parse_config(&toml).map_err(|e| e.to_string())?;
+
+    if args.self_test {
+        let failures = selftest::run(&cfg);
+        if failures.is_empty() {
+            println!("dbclint self-test: all seeded violations caught, clean seeds pass");
+            return Ok(ExitCode::SUCCESS);
+        }
+        for f in &failures {
+            eprintln!("dbclint self-test FAILURE: {f}");
+        }
+        return Ok(ExitCode::from(3));
+    }
+
+    let files = walk::collect(&args.root, &cfg).map_err(|e| e.to_string())?;
+    let analysis = analyze(&cfg, &files);
+
+    let report_path = args
+        .report
+        .clone()
+        .unwrap_or_else(|| args.root.join("results/LINT_report.json"));
+    if let Some(dir) = report_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(&report_path, report::render(&analysis))
+        .map_err(|e| format!("{}: {e}", report_path.display()))?;
+
+    for v in &analysis.violations {
+        if v.severity == Severity::Deny {
+            eprintln!(
+                "dbclint: deny [{}] {}:{} — {} ({})",
+                v.rule, v.file, v.line, v.pattern, v.snippet
+            );
+        } else if args.verbose {
+            eprintln!(
+                "dbclint: warn [{}] {}:{} — {}",
+                v.rule, v.file, v.line, v.pattern
+            );
+        }
+    }
+    println!(
+        "dbclint: {} files, {} deny, {} warn, {} waived → {}",
+        analysis.files_scanned,
+        analysis.deny_count(),
+        analysis.warn_count(),
+        analysis.waivers.len(),
+        report_path.display()
+    );
+
+    if args.deny && analysis.deny_count() > 0 {
+        eprintln!(
+            "dbclint: {} deny-level violation(s); fix them or add `// dbclint: allow(<rule>) — <justification>`",
+            analysis.deny_count()
+        );
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dbclint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! JSON report emission (`results/LINT_report.json`).
+//!
+//! The report is hand-serialised: output must be byte-stable across runs
+//! (sorted entries, no timestamps) so the committed artifact diffs
+//! cleanly — waiver creep shows up as added lines in review.
+
+use crate::engine::Analysis;
+use crate::rules::Severity;
+use std::fmt::Write as _;
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render the analysis as pretty-printed deterministic JSON.
+pub fn render(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"tool\": \"dbclint\",\n  \"schema\": 1,\n");
+    let _ = writeln!(s, "  \"files_scanned\": {},", a.files_scanned);
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{ \"deny\": {}, \"warn\": {}, \"waived\": {} }},",
+        a.deny_count(),
+        a.warn_count(),
+        a.waivers.len()
+    );
+
+    s.push_str("  \"violations\": [");
+    let mut first = true;
+    for v in a.violations.iter().filter(|v| v.severity == Severity::Deny) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    { \"rule\": ");
+        esc(&v.rule, &mut s);
+        s.push_str(", \"file\": ");
+        esc(&v.file, &mut s);
+        let _ = write!(s, ", \"line\": {}, \"pattern\": ", v.line);
+        esc(&v.pattern, &mut s);
+        s.push_str(", \"snippet\": ");
+        esc(&v.snippet, &mut s);
+        s.push_str(" }");
+    }
+    s.push_str(if first { "],\n" } else { "\n  ],\n" });
+
+    // Warn-level hits are aggregated per (file, rule): individually they
+    // are review signals, not gate failures, and per-line entries would
+    // drown the report.
+    s.push_str("  \"warnings\": [");
+    let mut groups: Vec<(String, String, Vec<u32>)> = Vec::new();
+    for v in a.violations.iter().filter(|v| v.severity == Severity::Warn) {
+        match groups
+            .iter_mut()
+            .find(|(f, r, _)| *f == v.file && *r == v.rule)
+        {
+            Some((_, _, lines)) => lines.push(v.line),
+            None => groups.push((v.file.clone(), v.rule.clone(), vec![v.line])),
+        }
+    }
+    let mut first = true;
+    for (file, rule, lines) in &groups {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    { \"rule\": ");
+        esc(rule, &mut s);
+        s.push_str(", \"file\": ");
+        esc(file, &mut s);
+        let _ = write!(s, ", \"count\": {}, \"lines\": {:?} }}", lines.len(), lines);
+    }
+    s.push_str(if first { "],\n" } else { "\n  ],\n" });
+
+    s.push_str("  \"waivers\": [");
+    let mut first = true;
+    for w in &a.waivers {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    { \"rule\": ");
+        esc(&w.rule, &mut s);
+        s.push_str(", \"file\": ");
+        esc(&w.file, &mut s);
+        let _ = write!(s, ", \"line\": {}, \"justification\": ", w.line);
+        esc(&w.justification, &mut s);
+        s.push_str(" }");
+    }
+    s.push_str(if first { "]\n" } else { "\n  ]\n" });
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Violation, WaiverRecord};
+
+    #[test]
+    fn renders_valid_shape_and_escapes() {
+        let a = Analysis {
+            files_scanned: 2,
+            violations: vec![
+                Violation {
+                    rule: "panic-free".into(),
+                    severity: Severity::Deny,
+                    file: "crates/x.rs".into(),
+                    line: 3,
+                    pattern: "unwrap()".into(),
+                    snippet: "say \"hi\"\\".into(),
+                },
+                Violation {
+                    rule: "slice-index".into(),
+                    severity: Severity::Warn,
+                    file: "crates/x.rs".into(),
+                    line: 4,
+                    pattern: "indexing[]".into(),
+                    snippet: "xs[0]".into(),
+                },
+            ],
+            waivers: vec![WaiverRecord {
+                rule: "no-unsafe".into(),
+                file: "crates/y.rs".into(),
+                line: 9,
+                justification: "audited".into(),
+            }],
+        };
+        let json = render(&a);
+        assert!(json.contains("\"deny\": 1, \"warn\": 1, \"waived\": 1"));
+        assert!(json.contains("\\\"hi\\\"\\\\"));
+        assert!(json.contains("\"lines\": [4]"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_analysis_renders() {
+        let json = render(&Analysis::default());
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"waivers\": []"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The built-in rule set: what each rule forbids and why.
+//!
+//! Rule *kinds* and their token patterns are code, not config — the
+//! config only decides **where** each rule applies and how hard it
+//! fails. This keeps `dbclint.toml` reviewable (path scopes and
+//! severities) while the match logic stays testable Rust.
+
+use crate::lexer::{Token, TokenKind};
+
+/// How a violation is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails `dbclint --deny` (and thus `ci.sh`).
+    Deny,
+    /// Reported and counted, never fatal.
+    Warn,
+    /// Rule disabled.
+    Off,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Off => "off",
+        }
+    }
+}
+
+/// The five built-in rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleKind {
+    /// Hot-path modules must not allocate: `Vec::new`, `vec![…]`,
+    /// `.to_vec()`, `.clone()`, `.collect()`, `Box::new`, `format!`,
+    /// `String::from`, `.to_string()`, `String::new`.
+    HotPathAlloc,
+    /// Panic-free crates must not `unwrap()`, `expect(…)`, `panic!`,
+    /// `unreachable!`, `todo!`, or `unimplemented!` outside tests.
+    PanicFree,
+    /// Bracket indexing (`xs[i]`) can panic; flagged so reviewers see it.
+    SliceIndex,
+    /// Deterministic modules must not read wall clocks or sleep:
+    /// `Instant::now`, `SystemTime::now`, `thread::sleep`.
+    Determinism,
+    /// `unsafe` is forbidden workspace-wide (sole waived exception: the
+    /// bench counting allocator).
+    NoUnsafe,
+}
+
+impl RuleKind {
+    /// All rules, in report order.
+    pub const ALL: &'static [RuleKind] = &[
+        RuleKind::HotPathAlloc,
+        RuleKind::PanicFree,
+        RuleKind::SliceIndex,
+        RuleKind::Determinism,
+        RuleKind::NoUnsafe,
+    ];
+
+    /// The kebab-case name used in `dbclint.toml`, waiver comments, and
+    /// the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleKind::HotPathAlloc => "hot-path-alloc",
+            RuleKind::PanicFree => "panic-free",
+            RuleKind::SliceIndex => "slice-index",
+            RuleKind::Determinism => "determinism",
+            RuleKind::NoUnsafe => "no-unsafe",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<RuleKind> {
+        RuleKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Does in-file `#[cfg(test)]` / `#[test]` code get a pass?
+    /// Everything except `no-unsafe`: unsafe in a test is still unsafe.
+    pub fn exempts_test_code(self) -> bool {
+        !matches!(self, RuleKind::NoUnsafe)
+    }
+}
+
+/// One element of a token pattern.
+#[derive(Debug, Clone, Copy)]
+pub enum Elem {
+    /// An identifier with this exact text.
+    Id(&'static str),
+    /// A single punctuation byte.
+    P(u8),
+}
+
+/// A named token-sequence pattern, e.g. `Vec :: new`.
+pub struct Pattern {
+    /// Human-readable label for reports (`Vec::new`, `unwrap()`, ...).
+    pub label: &'static str,
+    pub elems: &'static [Elem],
+}
+
+use Elem::{Id, P};
+
+const HOT_PATH_ALLOC: &[Pattern] = &[
+    Pattern {
+        label: "Vec::new",
+        elems: &[Id("Vec"), P(b':'), P(b':'), Id("new")],
+    },
+    Pattern {
+        label: "vec![...]",
+        elems: &[Id("vec"), P(b'!')],
+    },
+    Pattern {
+        label: ".to_vec()",
+        elems: &[P(b'.'), Id("to_vec"), P(b'(')],
+    },
+    Pattern {
+        label: ".clone()",
+        elems: &[P(b'.'), Id("clone"), P(b'(')],
+    },
+    Pattern {
+        label: ".collect()",
+        elems: &[P(b'.'), Id("collect")],
+    },
+    Pattern {
+        label: "Box::new",
+        elems: &[Id("Box"), P(b':'), P(b':'), Id("new")],
+    },
+    Pattern {
+        label: "format!",
+        elems: &[Id("format"), P(b'!')],
+    },
+    Pattern {
+        label: "String::from",
+        elems: &[Id("String"), P(b':'), P(b':'), Id("from")],
+    },
+    Pattern {
+        label: "String::new",
+        elems: &[Id("String"), P(b':'), P(b':'), Id("new")],
+    },
+    Pattern {
+        label: ".to_string()",
+        elems: &[P(b'.'), Id("to_string"), P(b'(')],
+    },
+    Pattern {
+        label: ".to_owned()",
+        elems: &[P(b'.'), Id("to_owned"), P(b'(')],
+    },
+];
+
+const PANIC_FREE: &[Pattern] = &[
+    Pattern {
+        label: "unwrap()",
+        elems: &[P(b'.'), Id("unwrap"), P(b'('), P(b')')],
+    },
+    Pattern {
+        label: "expect(...)",
+        elems: &[P(b'.'), Id("expect"), P(b'(')],
+    },
+    Pattern {
+        label: "panic!",
+        elems: &[Id("panic"), P(b'!')],
+    },
+    Pattern {
+        label: "unreachable!",
+        elems: &[Id("unreachable"), P(b'!')],
+    },
+    Pattern {
+        label: "todo!",
+        elems: &[Id("todo"), P(b'!')],
+    },
+    Pattern {
+        label: "unimplemented!",
+        elems: &[Id("unimplemented"), P(b'!')],
+    },
+];
+
+const DETERMINISM: &[Pattern] = &[
+    Pattern {
+        label: "Instant::now",
+        elems: &[Id("Instant"), P(b':'), P(b':'), Id("now")],
+    },
+    Pattern {
+        label: "SystemTime::now",
+        elems: &[Id("SystemTime"), P(b':'), P(b':'), Id("now")],
+    },
+    Pattern {
+        label: "thread::sleep",
+        elems: &[Id("thread"), P(b':'), P(b':'), Id("sleep")],
+    },
+];
+
+const NO_UNSAFE: &[Pattern] = &[Pattern {
+    label: "unsafe",
+    elems: &[Id("unsafe")],
+}];
+
+impl RuleKind {
+    /// Token patterns this rule forbids. `SliceIndex` has bespoke logic
+    /// (see [`matches_index`]) and no fixed patterns.
+    pub fn patterns(self) -> &'static [Pattern] {
+        match self {
+            RuleKind::HotPathAlloc => HOT_PATH_ALLOC,
+            RuleKind::PanicFree => PANIC_FREE,
+            RuleKind::SliceIndex => &[],
+            RuleKind::Determinism => DETERMINISM,
+            RuleKind::NoUnsafe => NO_UNSAFE,
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = …`, `for [x, y] in …`, `return [..]`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move",
+    "const", "static", "as", "dyn", "impl", "where", "fn", "type", "yield", "box", "for", "while",
+    "loop", "unsafe",
+];
+
+/// Does the significant token at `i` (given its predecessor) open an
+/// index expression `expr[...]`?
+///
+/// Heuristic: `[` directly preceded by an identifier (that is not a
+/// keyword), a closing paren/bracket, or a literal. Attribute brackets
+/// are preceded by `#` or `!`, array types/literals by `(`/`=`/`,`/...,
+/// so none of those fire.
+pub fn matches_index(src: &str, prev: Option<&Token>, tok: &Token) -> bool {
+    if tok.kind != TokenKind::Punct(b'[') {
+        return false;
+    }
+    match prev {
+        Some(p) => match p.kind {
+            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text(src)),
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
+            _ => false,
+        },
+        None => false,
+    }
+}
+
+/// Try to match `pat` starting at `toks[i]` (a slice of *significant*
+/// tokens — no comments). Returns `true` on a full match.
+pub fn matches_at(src: &str, toks: &[&Token], i: usize, pat: &Pattern) -> bool {
+    if i + pat.elems.len() > toks.len() {
+        return false;
+    }
+    pat.elems.iter().enumerate().all(|(j, e)| {
+        let t = toks[i + j];
+        match e {
+            Elem::Id(name) => t.kind == TokenKind::Ident && t.text(src) == *name,
+            Elem::P(b) => t.kind == TokenKind::Punct(*b),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn significant(src: &str) -> (Vec<Token>, Vec<usize>) {
+        let toks = lex(src).unwrap();
+        let idx = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        (toks, idx)
+    }
+
+    fn fires(src: &str, kind: RuleKind) -> bool {
+        let (toks, idx) = significant(src);
+        let refs: Vec<&Token> = idx.iter().map(|&i| &toks[i]).collect();
+        (0..refs.len()).any(|i| kind.patterns().iter().any(|p| matches_at(src, &refs, i, p)))
+    }
+
+    #[test]
+    fn alloc_patterns() {
+        assert!(fires("let v = Vec::new();", RuleKind::HotPathAlloc));
+        assert!(fires("let v = xs.to_vec();", RuleKind::HotPathAlloc));
+        assert!(fires("let s = format!(\"x\");", RuleKind::HotPathAlloc));
+        assert!(!fires(
+            "let v = VecDeque::with_capacity(4);",
+            RuleKind::HotPathAlloc
+        ));
+        // A comment mentioning Vec::new must not fire.
+        assert!(!fires(
+            "// allocate via Vec::new elsewhere",
+            RuleKind::HotPathAlloc
+        ));
+    }
+
+    #[test]
+    fn panic_patterns() {
+        assert!(fires("x.unwrap();", RuleKind::PanicFree));
+        assert!(fires("x.expect(\"msg\");", RuleKind::PanicFree));
+        assert!(fires("panic!(\"boom\");", RuleKind::PanicFree));
+        // unwrap_or is fine: the `()` tail of the pattern does not match.
+        assert!(!fires("x.unwrap_or(0);", RuleKind::PanicFree));
+        assert!(!fires("x.unwrap_or_default();", RuleKind::PanicFree));
+        // Mentions in strings are invisible to the token stream.
+        assert!(!fires(
+            "let m = \"call unwrap() later\";",
+            RuleKind::PanicFree
+        ));
+    }
+
+    #[test]
+    fn determinism_patterns() {
+        assert!(fires("let t = Instant::now();", RuleKind::Determinism));
+        assert!(fires("std::thread::sleep(d);", RuleKind::Determinism));
+        assert!(!fires("let t = clock.now();", RuleKind::Determinism));
+    }
+
+    #[test]
+    fn index_heuristic() {
+        let check = |src: &str| {
+            let (toks, idx) = significant(src);
+            let refs: Vec<&Token> = idx.iter().map(|&i| &toks[i]).collect();
+            (0..refs.len()).any(|i| matches_index(src, i.checked_sub(1).map(|p| refs[p]), refs[i]))
+        };
+        assert!(check("let y = xs[i];"));
+        assert!(check("let y = f(a)[0];"));
+        assert!(check("let y = m[0][1];"));
+        assert!(!check("#[cfg(test)] fn f() {}"));
+        assert!(!check("let xs: [f64; 4] = [0.0; 4];"));
+        assert!(!check("let [a, b] = pair;"));
+        assert!(!check("for [x, y] in pts {}"));
+        assert!(!check("let v = vec![1, 2];"));
+    }
+}

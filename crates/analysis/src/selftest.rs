@@ -1,0 +1,124 @@
+//! `dbclint --self-test`: prove the gate actually gates.
+//!
+//! The self-test runs the *checked-in* config against synthetic files
+//! that seed exactly the violations the acceptance criteria name — a
+//! `to_vec()` added to `core::kcd_incremental`, an `unwrap()` added to
+//! `serve::shard`, a wall-clock read in `sim`, an `unsafe` block in
+//! `core` — and fails unless every seed is caught by the expected rule
+//! *and* a matching clean variant passes. A misconfigured scope (a
+//! moved file, a typo'd path in `dbclint.toml`) therefore fails CI even
+//! when the tree itself is clean.
+
+use crate::config::Config;
+use crate::engine::{analyze, SourceFile};
+
+struct Seed {
+    /// Path the synthetic file pretends to live at.
+    path: &'static str,
+    content: &'static str,
+    /// Rule expected to fire (exactly once) — or None for a clean file.
+    expect: Option<&'static str>,
+    /// What this seed demonstrates.
+    why: &'static str,
+}
+
+const SEEDS: &[Seed] = &[
+    Seed {
+        path: "crates/core/src/kcd_incremental.rs",
+        content: "pub fn window(buf: &[f64]) -> Vec<f64> {\n    buf.to_vec()\n}\n",
+        expect: Some("hot-path-alloc"),
+        why: "a to_vec() added to core::kcd_incremental must fail the gate",
+    },
+    Seed {
+        path: "crates/serve/src/shard.rs",
+        content: "pub fn take(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n",
+        expect: Some("panic-free"),
+        why: "an unwrap() added to serve::shard must fail the gate",
+    },
+    Seed {
+        path: "crates/sim/src/kpi.rs",
+        content: "pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+        expect: Some("determinism"),
+        why: "a wall-clock read added to sim must fail the gate",
+    },
+    Seed {
+        path: "crates/core/src/matrix.rs",
+        content: "pub fn peek(xs: &[f64]) -> f64 {\n    unsafe { *xs.as_ptr() }\n}\n",
+        expect: Some("no-unsafe"),
+        why: "an unsafe block added to core must fail the gate",
+    },
+    Seed {
+        path: "crates/core/src/scratch.rs",
+        content: "pub fn id(x: f64) -> f64 { x } // dbclint: allow(hot-path-alloc)\n",
+        expect: Some("waiver-syntax"),
+        why: "a waiver without justification must fail the gate",
+    },
+    Seed {
+        path: "crates/core/src/window.rs",
+        content: "pub fn sum(xs: &[f64]) -> f64 { xs.iter().sum() }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v: Vec<f64> = (0..4).map(|i| i as f64).collect();\n        assert_eq!(super::sum(&v).max(0.0), v.iter().sum::<f64>().max(0.0));\n    }\n}\n",
+        expect: None,
+        why: "allocation inside #[cfg(test)] must NOT fail the gate",
+    },
+    Seed {
+        path: "crates/core/src/kcd.rs",
+        content: "pub fn clean(xs: &[f64], acc: &mut f64) {\n    for x in xs.iter() {\n        *acc += x;\n    }\n}\n",
+        expect: None,
+        why: "pure streaming code in a hot-path module must pass",
+    },
+];
+
+/// Run the self-test. Returns the list of failures (empty = pass).
+pub fn run(cfg: &Config) -> Vec<String> {
+    let mut failures = Vec::new();
+    for seed in SEEDS {
+        let files = [SourceFile {
+            path: seed.path.to_string(),
+            content: seed.content.to_string(),
+        }];
+        let a = analyze(cfg, &files);
+        match seed.expect {
+            Some(rule) => {
+                let hits: Vec<_> = a
+                    .violations
+                    .iter()
+                    .filter(|v| v.rule == rule && v.severity == crate::rules::Severity::Deny)
+                    .collect();
+                if hits.is_empty() {
+                    failures.push(format!(
+                        "seeded violation NOT caught: {} ({}) — expected rule `{}`",
+                        seed.path, seed.why, rule
+                    ));
+                }
+            }
+            None => {
+                if a.deny_count() > 0 {
+                    failures.push(format!(
+                        "clean seed wrongly flagged: {} ({}) — {:?}",
+                        seed.path,
+                        seed.why,
+                        a.violations
+                            .iter()
+                            .filter(|v| v.severity == crate::rules::Severity::Deny)
+                            .map(|v| format!("{}:{} {}", v.rule, v.line, v.pattern))
+                            .collect::<Vec<_>>()
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The self-test must pass against the real checked-in config.
+    #[test]
+    fn self_test_passes_with_repo_config() {
+        let toml = include_str!("../../../dbclint.toml");
+        let cfg = crate::config::parse_config(toml).unwrap();
+        let failures = run(&cfg);
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+}

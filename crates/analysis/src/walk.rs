@@ -1,0 +1,81 @@
+//! Deterministic workspace walk: collect `.rs` files under the
+//! configured roots, sorted by path, honouring the exclude list.
+
+use crate::config::Config;
+use crate::engine::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Walk failure: IO plus the path that failed.
+#[derive(Debug)]
+pub struct WalkError {
+    pub path: PathBuf,
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn visit(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), WalkError> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| WalkError {
+            path: dir.to_path_buf(),
+            source: e,
+        })?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        let rel = rel_unix(root, &entry);
+        if cfg.walk_excluded(&rel) || rel.split('/').any(|seg| seg == "target") {
+            continue;
+        }
+        if entry.is_dir() {
+            visit(root, &entry, cfg, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            let content = std::fs::read_to_string(&entry).map_err(|e| WalkError {
+                path: entry.clone(),
+                source: e,
+            })?;
+            out.push(SourceFile { path: rel, content });
+        }
+    }
+    Ok(())
+}
+
+/// Collect all lintable files under `root` per the config.
+pub fn collect(root: &Path, cfg: &Config) -> Result<Vec<SourceFile>, WalkError> {
+    let mut out = Vec::new();
+    for r in &cfg.roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            visit(root, &dir, cfg, &mut out)?;
+        } else if dir.is_file() {
+            let rel = rel_unix(root, &dir);
+            let content = std::fs::read_to_string(&dir).map_err(|e| WalkError {
+                path: dir.clone(),
+                source: e,
+            })?;
+            out.push(SourceFile { path: rel, content });
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}

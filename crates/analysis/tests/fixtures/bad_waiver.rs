@@ -1,0 +1,15 @@
+// Known-bad fixture: waiver pathologies.
+pub fn naked(xs: &[f64]) -> f64 {
+    // dbclint: allow(panic-free)
+    *xs.first().unwrap()
+}
+
+pub fn stale() -> f64 {
+    // dbclint: allow(panic-free) — nothing to waive on the next line.
+    1.0
+}
+
+pub fn unknown(xs: &[f64]) -> f64 {
+    // dbclint: allow(no-such-rule) — not a rule dbclint knows.
+    *xs.last().unwrap()
+}

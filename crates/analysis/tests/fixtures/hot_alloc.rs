@@ -1,0 +1,23 @@
+// Known-bad fixture: allocation shapes in a hot-scoped module.
+pub fn tick(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    out.extend(xs.iter().map(|v| v * 2.0));
+    let copy = xs.to_vec();
+    drop(copy);
+    out
+}
+
+pub fn label() -> &'static str {
+    // A raw string mentioning Vec::new() must not fire.
+    let _ = r#"Vec::new() inside a raw string"#;
+    "ok"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_tests_is_fine() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture: wall-clock reads in a deterministic scope.
+use std::time::Instant;
+pub fn stamp() -> Instant {
+    let t = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: panic shapes, a doc comment, and a valid waiver.
+
+/// Docs may say unwrap() freely without firing.
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    // dbclint: allow(panic-free) — fixture waiver carrying a reason.
+    *xs.get(1).expect("needs two samples")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}

@@ -1,0 +1,13 @@
+// Clean torture fixture: every line here is a lexer trap, and none of
+// it may produce a single violation under any rule.
+pub fn tricky() -> usize {
+    let a = r##"nested "# fence with unwrap() and Vec::new()"##;
+    /* nested /* block /* comments */ */ with panic!() text */
+    let b = 'a';
+    let c: &'static str = "lifetime 'static vs char literal";
+    let d = b"bytes with \" escape and unwrap()";
+    let e = r#"raw with // not a comment and thread::sleep"#;
+    let f = "escaped quote \" then Instant::now text";
+    let r#unsafe = a.len(); // raw ident, not the `unsafe` keyword
+    a.len() + (b as usize) + c.len() + d.len() + e.len() + f.len() + r#unsafe
+}

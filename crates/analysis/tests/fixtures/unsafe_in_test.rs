@@ -1,0 +1,11 @@
+// Known-bad fixture: unsafe is NOT exempt inside test code.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peek() {
+        let x = 1u32;
+        let p = &x as *const u32;
+        let y = unsafe { *p };
+        assert_eq!(y, 1);
+    }
+}

@@ -127,10 +127,17 @@ mod tests {
         xs[64] += 200.0;
         let scores = d.point_scores(&xs);
         let spike = scores[64];
-        let background: f64 =
-            scores.iter().enumerate().filter(|(i, _)| (*i as i64 - 64).abs() > 4).map(|(_, &s)| s).sum::<f64>()
-                / (scores.len() - 9) as f64;
-        assert!(spike > background * 5.0, "spike {spike} background {background}");
+        let background: f64 = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as i64 - 64).abs() > 4)
+            .map(|(_, &s)| s)
+            .sum::<f64>()
+            / (scores.len() - 9) as f64;
+        assert!(
+            spike > background * 5.0,
+            "spike {spike} background {background}"
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl JumpStarter {
     /// orthogonal matching pursuit.
     fn reconstruct(&self, window: &[f64], samples: &[usize]) -> Vec<f64> {
         let n = window.len();
-        let k_max = self.config.sparsity.min(samples.len().saturating_sub(1)).max(1);
+        let k_max = self
+            .config
+            .sparsity
+            .min(samples.len().saturating_sub(1))
+            .max(1);
         let sampled: Vec<f64> = samples.iter().map(|&i| window[i]).collect();
         let mut residual = sampled.clone();
         let mut active: Vec<usize> = Vec::with_capacity(k_max);
@@ -261,7 +265,9 @@ mod tests {
         let js = JumpStarter::default();
         // alternating extremes: robust z flags half the points, but the
         // sampler must still return enough positions
-        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+            .collect();
         let mut rng = StdRng::seed_from_u64(4);
         let samples = js.sample_positions(&xs, &mut rng);
         assert!(samples.len() > js.config.sparsity);

@@ -22,6 +22,7 @@
 //!
 //! [`Genes`]: dbcatcher_core::ga::Genes
 
+#![forbid(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]

@@ -165,8 +165,7 @@ impl MatrixMethod {
         let max_delay = self.config.delay_scan.max_lag(size);
         (0..self.config.num_kpis)
             .map(|kpi| {
-                let participates =
-                    |d: usize| participation.map(|m| m[kpi][d]).unwrap_or(true);
+                let participates = |d: usize| participation.map(|m| m[kpi][d]).unwrap_or(true);
                 if !participates(db) {
                     return f64::NAN;
                 }
@@ -190,7 +189,12 @@ mod tests {
     use super::*;
     use dbcatcher_core::config::DelayScan;
 
-    fn unit(dbs: usize, kpis: usize, ticks: usize, distort: Option<(usize, std::ops::Range<usize>)>) -> Vec<Vec<Vec<f64>>> {
+    fn unit(
+        dbs: usize,
+        kpis: usize,
+        ticks: usize,
+        distort: Option<(usize, std::ops::Range<usize>)>,
+    ) -> Vec<Vec<Vec<f64>>> {
         (0..dbs)
             .map(|db| {
                 (0..kpis)
@@ -296,7 +300,10 @@ mod tests {
         }
         let pearson = MatrixMethod::new(CorrelationMeasure::Pearson, config(2), false);
         let kcd = MatrixMethod::new(CorrelationMeasure::Kcd, config(2), false);
-        let p_fp: usize = pearson.detect(&series, None)[1].iter().filter(|&&p| p).count();
+        let p_fp: usize = pearson.detect(&series, None)[1]
+            .iter()
+            .filter(|&&p| p)
+            .count();
         let k_fp: usize = kcd.detect(&series, None)[1].iter().filter(|&&p| p).count();
         assert!(k_fp <= p_fp, "kcd {k_fp} vs pearson {p_fp} false positives");
         assert_eq!(k_fp, 0, "kcd must tolerate the delay entirely");

@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn random_search_improves_with_budget() {
-        let cfg = GeneticConfig { seed: 4, ..GeneticConfig::default() };
+        let cfg = GeneticConfig {
+            seed: 4,
+            ..GeneticConfig::default()
+        };
         let small = random_search(4, &cfg, 5, landscape);
         let large = random_search(4, &cfg, 200, landscape);
         assert!(large.fitness >= small.fitness);
@@ -134,7 +137,10 @@ mod tests {
 
     #[test]
     fn annealing_reaches_peak_region() {
-        let cfg = GeneticConfig { seed: 8, ..GeneticConfig::default() };
+        let cfg = GeneticConfig {
+            seed: 8,
+            ..GeneticConfig::default()
+        };
         let out = simulated_annealing(4, &cfg, &AnnealingConfig::default(), 400, landscape);
         assert!(out.fitness > 0.8, "fitness {}", out.fitness);
     }
@@ -163,7 +169,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = GeneticConfig { seed: 3, ..GeneticConfig::default() };
+        let cfg = GeneticConfig {
+            seed: 3,
+            ..GeneticConfig::default()
+        };
         let a = simulated_annealing(3, &cfg, &AnnealingConfig::default(), 50, landscape);
         let b = simulated_annealing(3, &cfg, &AnnealingConfig::default(), 50, landscape);
         assert_eq!(a.genes, b.genes);

@@ -171,9 +171,8 @@ impl SrCnnDetector {
         if !rng.gen_bool(self.config.inject_prob) {
             return labels;
         }
-        let scale = dbcatcher_signal::stats::std_dev(segment).max(
-            segment.iter().map(|v| v.abs()).fold(0.0, f64::max) * 0.05 + 1e-6,
-        );
+        let scale = dbcatcher_signal::stats::std_dev(segment)
+            .max(segment.iter().map(|v| v.abs()).fold(0.0, f64::max) * 0.05 + 1e-6);
         let pos = rng.gen_range(PAD..segment.len().saturating_sub(PAD).max(PAD + 1));
         let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         let amp = rng.gen_range(4.0..10.0) * scale * sign;
@@ -247,7 +246,10 @@ mod tests {
     }
 
     fn train_unit() -> UnitSeries {
-        vec![vec![smooth(256, 1), smooth(256, 2)], vec![smooth(256, 3), smooth(256, 4)]]
+        vec![
+            vec![smooth(256, 1), smooth(256, 2)],
+            vec![smooth(256, 3), smooth(256, 4)],
+        ]
     }
 
     fn quick_config() -> SrCnnConfig {

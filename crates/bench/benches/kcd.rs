@@ -19,6 +19,19 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY AUDIT — the only `unsafe` in the workspace (this file and its
+// twin; every crate root carries `#![forbid(unsafe_code)]`, and dbclint's
+// `no-unsafe` rule excludes exactly these two files).
+//
+// `GlobalAlloc` is an unsafe trait because the allocator must uphold the
+// contract rustc's codegen relies on: returned pointers are valid for
+// `layout`, dealloc/realloc are only reached with pointers this allocator
+// handed out, and no unwinding crosses the allocator boundary. This impl
+// delegates every operation verbatim to `std::alloc::System` — the same
+// allocator the program would use anyway — and only increments a relaxed
+// atomic counter on the side. The counter cannot unwind, allocate, or
+// touch the pointer, so the entire safety obligation is inherited from
+// `System`, which upholds it by definition.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -95,9 +108,8 @@ fn bench_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("kcd_backends");
     for &(k, m, d) in CONFIGS {
         let data: Vec<Vec<f64>> = (0..d).map(|db| series(4 * k, db as f64 * 1.7)).collect();
-        let frame_at = |t: usize| -> Vec<Vec<f64>> {
-            data.iter().map(|s| vec![s[t % s.len()]]).collect()
-        };
+        let frame_at =
+            |t: usize| -> Vec<Vec<f64>> { data.iter().map(|s| vec![s[t % s.len()]]).collect() };
         let label = format!("k{k}_m{m}_d{d}");
 
         let mut queues = KpiQueues::new(d, 1, 2 * k);
@@ -189,8 +201,7 @@ fn audit_allocs(_c: &mut Criterion) {
         for frame in &frames[3 * k..] {
             black_box(naive_tick(&mut queues, frame));
         }
-        let naive_allocs =
-            (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / MEASURE as f64;
+        let naive_allocs = (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / MEASURE as f64;
 
         let incremental_tick = |engine: &mut IncrementalCorrelator, frame: &[Vec<f64>]| -> f64 {
             engine.push(frame);

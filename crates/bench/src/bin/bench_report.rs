@@ -88,8 +88,7 @@ fn run(
     baseline_path: Option<&str>,
 ) -> Result<(), String> {
     let raw = std::fs::read_to_string(raw_path).map_err(|e| format!("read {raw_path}: {e}"))?;
-    let value: Value =
-        serde_json::from_str(&raw).map_err(|e| format!("parse {raw_path}: {e}"))?;
+    let value: Value = serde_json::from_str(&raw).map_err(|e| format!("parse {raw_path}: {e}"))?;
     let results = value
         .get("results")
         .and_then(Value::as_array)
@@ -149,9 +148,7 @@ fn run(
                 _ => 0.0,
             },
         });
-        if let Some((_, naive_allocs, incr_allocs)) =
-            allocs.iter().find(|(c, _, _)| c == config)
-        {
+        if let Some((_, naive_allocs, incr_allocs)) = allocs.iter().find(|(c, _, _)| c == config) {
             if let Value::Object(fields) = &mut row {
                 fields.push((
                     "naive_allocs_per_tick".to_string(),

@@ -12,13 +12,7 @@ fn main() {
     print_scale_banner("Ablation — DBCatcher design choices", &scale);
     let rows: Vec<Vec<String>> = ablation_design_choices(&scale)
         .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                pct(r.f1),
-                format!("{:.1}", r.avg_window),
-            ]
-        })
+        .map(|r| vec![r.label, pct(r.f1), format!("{:.1}", r.avg_window)])
         .collect();
     println!(
         "{}",

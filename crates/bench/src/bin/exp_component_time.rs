@@ -20,14 +20,26 @@ fn main() {
             "Component computation time (online detection)",
             &["Metric", "Measured", "Paper"],
             &[
-                vec!["units x databases".into(), format!("{} x 5", report.units), "50 x 5".into()],
-                vec!["ticks per unit".into(), report.ticks.to_string(), "-".into()],
+                vec![
+                    "units x databases".into(),
+                    format!("{} x 5", report.units),
+                    "50 x 5".into()
+                ],
+                vec![
+                    "ticks per unit".into(),
+                    report.ticks.to_string(),
+                    "-".into()
+                ],
                 vec![
                     "data volume".into(),
                     format!("{:.1} MB", report.bytes_processed as f64 / 1e6),
                     "100 MB".into(),
                 ],
-                vec!["total detection time".into(), secs(report.total_secs), "-".into()],
+                vec![
+                    "total detection time".into(),
+                    secs(report.total_secs),
+                    "-".into()
+                ],
                 vec![
                     "time per 100 MB".into(),
                     secs(report.secs_per_100mb),

@@ -4,8 +4,8 @@
 
 use dbcatcher_eval::experiments::Scale;
 use dbcatcher_eval::report::sparkline;
-use dbcatcher_sim::Kpi;
 use dbcatcher_signal::normalize::min_max;
+use dbcatcher_sim::Kpi;
 use dbcatcher_workload::scenario::UnitScenario;
 
 fn main() {
@@ -17,6 +17,11 @@ fn main() {
     println!("Requests Per Second  {}", sparkline(&rps, 100));
     println!("CPU Utilization      {}", sparkline(&cpu, 100));
     let corr = dbcatcher_core::kcd::kcd(&rps, &cpu, 3);
-    println!("KCD(RPS, CPU) on database 1: {corr:.3}  (the burst is shared, so trends stay correlated)");
-    println!("ground-truth anomalous ticks in this recording: {}", data.anomalous_db_ticks());
+    println!(
+        "KCD(RPS, CPU) on database 1: {corr:.3}  (the burst is shared, so trends stay correlated)"
+    );
+    println!(
+        "ground-truth anomalous ticks in this recording: {}",
+        data.anomalous_db_ticks()
+    );
 }

@@ -5,8 +5,8 @@
 use dbcatcher_core::{DbCatcher, DbCatcherConfig};
 use dbcatcher_eval::experiments::Scale;
 use dbcatcher_eval::report::sparkline;
-use dbcatcher_sim::Kpi;
 use dbcatcher_signal::normalize::min_max;
+use dbcatcher_sim::Kpi;
 use dbcatcher_workload::scenario::UnitScenario;
 
 fn main() {
@@ -36,7 +36,9 @@ fn main() {
     for (db, s, e) in &alarms {
         println!("  D{}: ticks [{s}..{e})", db + 1);
     }
-    let hit = alarms.iter().any(|&(db, s, e)| db == 1 && e > 400 && s < 520);
+    let hit = alarms
+        .iter()
+        .any(|&(db, s, e)| db == 1 && e > 400 && s < 520);
     println!(
         "\nanomaly window 400..520 on D2 {}",
         if hit { "DETECTED" } else { "MISSED" }

@@ -6,8 +6,8 @@
 use dbcatcher_core::kcd::kcd;
 use dbcatcher_eval::experiments::Scale;
 use dbcatcher_eval::report::sparkline;
-use dbcatcher_sim::Kpi;
 use dbcatcher_signal::normalize::min_max;
+use dbcatcher_sim::Kpi;
 use dbcatcher_workload::scenario::UnitScenario;
 
 fn main() {

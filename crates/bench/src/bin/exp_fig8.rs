@@ -1,7 +1,9 @@
 //! Fig. 8 + Tables V & VI: performance, window size and training time of
 //! all six methods on the three **mixed** datasets.
 
-use dbcatcher_bench::{print_performance, print_scale_banner, print_train_times, print_window_sizes};
+use dbcatcher_bench::{
+    print_performance, print_scale_banner, print_train_times, print_window_sizes,
+};
 use dbcatcher_eval::experiments::{compare_methods, mixed_specs, Scale};
 use dbcatcher_eval::methods::MethodKind;
 

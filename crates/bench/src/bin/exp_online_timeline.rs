@@ -45,7 +45,11 @@ fn main() {
             "  tick {:>5}: rolling F1 {}{}",
             p.tick,
             pct(p.rolling_f1),
-            if p.retrained { "  → thresholds re-learned" } else { "" }
+            if p.retrained {
+                "  → thresholds re-learned"
+            } else {
+                ""
+            }
         );
     }
     println!(

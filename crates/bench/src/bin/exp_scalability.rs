@@ -57,7 +57,9 @@ fn main() {
             &rows,
         )
     );
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores == 1 {
         println!(
             "(this host has a single core: flat/declining speedup is expected — the extra \

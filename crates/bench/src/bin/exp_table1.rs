@@ -34,9 +34,7 @@ fn main() {
     let avg = |results: &[dbcatcher_eval::experiments::DatasetComparison],
                f: &dyn Fn(&dbcatcher_eval::experiments::CompareCell) -> f64| {
         (0..methods.len())
-            .map(|mi| {
-                results.iter().map(|r| f(&r.cells[mi])).sum::<f64>() / results.len() as f64
-            })
+            .map(|mi| results.iter().map(|r| f(&r.cells[mi])).sum::<f64>() / results.len() as f64)
             .collect::<Vec<f64>>()
     };
     let f1 = avg(&mixed, &|c| c.f_measure.mean);
@@ -52,7 +50,12 @@ fn main() {
                 bucket(f1[mi], &f1, true).to_string(),
                 bucket(window[mi], &window, false).to_string(),
                 // only DBCatcher re-learns its thresholds online (§III-D)
-                if *m == MethodKind::DbCatcher { "High" } else { "Low" }.to_string(),
+                if *m == MethodKind::DbCatcher {
+                    "High"
+                } else {
+                    "Low"
+                }
+                .to_string(),
                 bucket(irregular_f1[mi], &irregular_f1, true).to_string(),
             ]
         })

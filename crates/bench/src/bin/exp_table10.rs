@@ -30,5 +30,7 @@ fn main() {
             &table_rows,
         )
     );
-    println!("(paper: MM-KCD beats MM-Pearson and MM-DTW; AMM-KCD adds the flexible window on top)");
+    println!(
+        "(paper: MM-KCD beats MM-Pearson and MM-DTW; AMM-KCD adds the flexible window on top)"
+    );
 }

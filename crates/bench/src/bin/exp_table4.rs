@@ -13,8 +13,20 @@ fn main() {
             "Table IV (upper): Sysbench parameter space",
             &["Dataset", "Table", "Thread", "Item", "Time(m)"],
             &[
-                vec!["Sysbench I".into(), "5-20".into(), "4-64".into(), "100000".into(), "0.5-1".into()],
-                vec!["Sysbench II".into(), "10".into(), "4-8-16-32".into(), "100000".into(), "0.5".into()],
+                vec![
+                    "Sysbench I".into(),
+                    "5-20".into(),
+                    "4-64".into(),
+                    "100000".into(),
+                    "0.5-1".into()
+                ],
+                vec![
+                    "Sysbench II".into(),
+                    "10".into(),
+                    "4-8-16-32".into(),
+                    "100000".into(),
+                    "0.5".into()
+                ],
             ],
         )
     );
@@ -24,8 +36,20 @@ fn main() {
             "Table IV (lower): TPCC parameter space",
             &["Dataset", "Warehouse", "Thread", "Warmup(m)", "Time(m)"],
             &[
-                vec!["TPCC I".into(), "5-20".into(), "4-24".into(), "0.5-1".into(), "0.5-1".into()],
-                vec!["TPCC II".into(), "10".into(), "4-8-16-24".into(), "0.5".into(), "0.5".into()],
+                vec![
+                    "TPCC I".into(),
+                    "5-20".into(),
+                    "4-24".into(),
+                    "0.5-1".into(),
+                    "0.5-1".into()
+                ],
+                vec![
+                    "TPCC II".into(),
+                    "10".into(),
+                    "4-8-16-24".into(),
+                    "0.5".into(),
+                    "0.5".into()
+                ],
             ],
         )
     );
@@ -33,7 +57,12 @@ fn main() {
     // implied offered rates at the corners of the spaces
     let mut rows = Vec::new();
     for (tables, threads) in [(5usize, 4usize), (20, 64), (10, 16)] {
-        let run = SysbenchRun { tables, threads, items: 100_000, duration_ticks: 6 };
+        let run = SysbenchRun {
+            tables,
+            threads,
+            items: 100_000,
+            duration_ticks: 6,
+        };
         let (r, w) = run.offered_rate();
         rows.push(vec![
             format!("sysbench t={tables} c={threads}"),
@@ -42,7 +71,12 @@ fn main() {
         ]);
     }
     for (wh, threads) in [(5usize, 4usize), (20, 24), (10, 16)] {
-        let run = TpccRun { warehouses: wh, threads, warmup_ticks: 0, duration_ticks: 6 };
+        let run = TpccRun {
+            warehouses: wh,
+            threads,
+            warmup_ticks: 0,
+            duration_ticks: 6,
+        };
         let (r, w) = run.offered_rate();
         rows.push(vec![
             format!("tpcc w={wh} c={threads}"),

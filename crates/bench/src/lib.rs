@@ -78,11 +78,7 @@ pub fn print_train_times(title: &str, comparisons: &[DatasetComparison]) {
         .enumerate()
         .map(|(mi, cell)| {
             std::iter::once(cell.method.name().to_string())
-                .chain(
-                    comparisons
-                        .iter()
-                        .map(|c| secs(c.cells[mi].train_secs)),
-                )
+                .chain(comparisons.iter().map(|c| secs(c.cells[mi].train_secs)))
                 .collect()
         })
         .collect();

@@ -404,7 +404,9 @@ mod tests {
     fn simulate_defaults() {
         let cmd = parse(&argv("simulate --out x.json")).unwrap();
         match cmd {
-            Command::Simulate { kind, units, ticks, .. } => {
+            Command::Simulate {
+                kind, units, ticks, ..
+            } => {
                 assert_eq!(kind, WorkloadKind::Tencent);
                 assert_eq!(units, 4);
                 assert_eq!(ticks, 400);
@@ -497,17 +499,26 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Detect { faults, fault_seed, gap_policy, .. } => {
+            Command::Detect {
+                faults,
+                fault_seed,
+                gap_policy,
+                ..
+            } => {
                 assert_eq!(faults, FaultPreset::Heavy);
                 assert_eq!(fault_seed, 99);
                 assert_eq!(gap_policy, GapPolicy::LinearFill);
             }
             other => panic!("{other:?}"),
         }
-        let cmd = parse(&argv("evaluate --data ds.json --faults standard --gap-policy mark-missing"))
-            .unwrap();
+        let cmd = parse(&argv(
+            "evaluate --data ds.json --faults standard --gap-policy mark-missing",
+        ))
+        .unwrap();
         match cmd {
-            Command::Evaluate { faults, gap_policy, .. } => {
+            Command::Evaluate {
+                faults, gap_policy, ..
+            } => {
                 assert_eq!(faults, FaultPreset::Standard);
                 assert_eq!(gap_policy, GapPolicy::MarkMissing);
             }
@@ -616,7 +627,13 @@ mod tests {
     fn serve_durability_defaults() {
         let cmd = parse(&argv("serve --listen 127.0.0.1:0")).unwrap();
         match cmd {
-            Command::Serve { wal_dir, fsync_every, shard_restart_limit, wedge_timeout_ms, .. } => {
+            Command::Serve {
+                wal_dir,
+                fsync_every,
+                shard_restart_limit,
+                wedge_timeout_ms,
+                ..
+            } => {
                 assert_eq!(wal_dir, None);
                 assert_eq!(fsync_every, 8);
                 assert_eq!(shard_restart_limit, 3);

@@ -3,8 +3,8 @@
 use crate::args::{Command, USAGE};
 use dbcatcher_core::config::DbCatcherConfig;
 use dbcatcher_core::pipeline::DbCatcher;
-use dbcatcher_eval::metrics::{adjusted_confusion, windowed_any};
 use dbcatcher_eval::methods::train_dbcatcher;
+use dbcatcher_eval::metrics::{adjusted_confusion, windowed_any};
 use dbcatcher_eval::protocol::ProtocolConfig;
 use dbcatcher_serve::server::{DetectionServer, ServeConfig};
 use dbcatcher_serve::{DetectorTemplate, EmitOptions, UnitStream};
@@ -126,7 +126,9 @@ pub fn run(command: Command) -> Result<(), CliError> {
             out,
             verdicts,
             no_shrink,
-        } => run_chaos(seed, units, ticks, boots, no_crash, out, verdicts, no_shrink),
+        } => run_chaos(
+            seed, units, ticks, boots, no_crash, out, verdicts, no_shrink,
+        ),
         Command::Detect {
             data,
             learn,
@@ -210,8 +212,9 @@ pub fn run(command: Command) -> Result<(), CliError> {
                     }
                 }
                 report_health(unit_idx, &catcher, faults);
-                let labels: Vec<bool> =
-                    (0..unit.num_ticks()).map(|t| unit.any_anomalous(t)).collect();
+                let labels: Vec<bool> = (0..unit.num_ticks())
+                    .map(|t| unit.any_anomalous(t))
+                    .collect();
                 confusion.merge(&adjusted_confusion(
                     &windowed_any(&tick_preds, eval_w),
                     &windowed_any(&labels, eval_w),
@@ -254,7 +257,10 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 shard_restart_limit,
                 wedge_timeout: std::time::Duration::from_millis(wedge_timeout_ms),
                 chaos: chaos_from_env(),
-                template: DetectorTemplate { backend, gap_policy },
+                template: DetectorTemplate {
+                    backend,
+                    gap_policy,
+                },
                 ..ServeConfig::default()
             };
             let server = DetectionServer::bind(listen.as_str(), config)
@@ -410,11 +416,7 @@ fn run_chaos(
     verdicts: Option<String>,
     no_shrink: bool,
 ) -> Result<(), CliError> {
-    let seed = match seed.or_else(|| {
-        std::env::var("SEED")
-            .ok()
-            .and_then(|raw| raw.parse().ok())
-    }) {
+    let seed = match seed.or_else(|| std::env::var("SEED").ok().and_then(|raw| raw.parse().ok())) {
         Some(seed) => seed,
         None => {
             return Err(CliError::Usage(
@@ -546,7 +548,10 @@ fn unit_injector(
 fn report_health(unit_idx: usize, catcher: &DbCatcher, faults: FaultPreset) {
     let health = catcher.health();
     if faults != FaultPreset::None || health.total_repaired() > 0 || health.total_stale() > 0 {
-        eprintln!("unit {unit_idx} telemetry health: {}", health.summary_line());
+        eprintln!(
+            "unit {unit_idx} telemetry health: {}",
+            health.summary_line()
+        );
     }
 }
 
@@ -566,8 +571,10 @@ fn prepare(
         let (train, test) = dataset.split(train_frac);
         let cfg = ProtocolConfig::default();
         let (config, train_f1) = train_dbcatcher(&train, &cfg);
-        eprintln!("thresholds learned on {:.0}% of the data (train F-Measure {train_f1:.2})",
-            train_frac * 100.0);
+        eprintln!(
+            "thresholds learned on {:.0}% of the data (train F-Measure {train_f1:.2})",
+            train_frac * 100.0
+        );
         Ok((config, test))
     } else {
         Ok((DbCatcherConfig::default(), dataset.clone()))

@@ -10,6 +10,8 @@
 //! dbcatcher stats    --connect 127.0.0.1:7070
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

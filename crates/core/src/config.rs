@@ -368,7 +368,10 @@ mod tests {
         c.alphas.pop();
         assert_eq!(
             c.validate(),
-            Err(ConfigError::AlphaArity { alphas: 13, kpis: 14 })
+            Err(ConfigError::AlphaArity {
+                alphas: 13,
+                kpis: 14
+            })
         );
 
         let mut c = DbCatcherConfig::default();

@@ -178,8 +178,14 @@ mod tests {
     #[test]
     fn replay_matches_level_semantics() {
         let genes = good_genes(3);
-        let healthy = JudgmentRecord { scores: vec![0.9, 0.9, 0.9], label: false };
-        let abnormal = JudgmentRecord { scores: vec![0.9, 0.2, 0.9], label: true };
+        let healthy = JudgmentRecord {
+            scores: vec![0.9, 0.9, 0.9],
+            label: false,
+        };
+        let abnormal = JudgmentRecord {
+            scores: vec![0.9, 0.2, 0.9],
+            label: true,
+        };
         assert!(!replay_record(&genes, &healthy));
         assert!(replay_record(&genes, &abnormal));
     }
@@ -194,9 +200,21 @@ mod tests {
     #[test]
     fn f_measure_degenerate_conventions() {
         assert_eq!(f_measure_on_records(&good_genes(2), &[]), 0.0);
-        let all_healthy = vec![JudgmentRecord { scores: vec![0.9, 0.9], label: false }; 5];
+        let all_healthy = vec![
+            JudgmentRecord {
+                scores: vec![0.9, 0.9],
+                label: false
+            };
+            5
+        ];
         assert_eq!(f_measure_on_records(&good_genes(2), &all_healthy), 1.0);
-        let missed = vec![JudgmentRecord { scores: vec![0.9, 0.9], label: true }; 5];
+        let missed = vec![
+            JudgmentRecord {
+                scores: vec![0.9, 0.9],
+                label: true
+            };
+            5
+        ];
         assert_eq!(f_measure_on_records(&good_genes(2), &missed), 0.0);
     }
 
@@ -204,7 +222,10 @@ mod tests {
     fn capacity_evicts_oldest() {
         let mut m = FeedbackModule::new(3, 0.75);
         for i in 0..5 {
-            m.push(JudgmentRecord { scores: vec![i as f64], label: false });
+            m.push(JudgmentRecord {
+                scores: vec![i as f64],
+                label: false,
+            });
         }
         assert_eq!(m.len(), 3);
         assert_eq!(m.records()[0].scores[0], 2.0);
@@ -219,15 +240,26 @@ mod tests {
         // good thresholds: F1 = 1 → no retraining
         assert!(!m.needs_retraining(&good_genes(4)));
         // absurd thresholds: everything healthy → F1 = 0 → retrain
-        let blind = Genes { alphas: vec![0.0; 4], theta: 0.0, max_tolerance: 3 };
+        let blind = Genes {
+            alphas: vec![0.0; 4],
+            theta: 0.0,
+            max_tolerance: 3,
+        };
         assert!(m.needs_retraining(&blind));
     }
 
     #[test]
     fn no_positive_labels_never_retrains() {
         let mut m = FeedbackModule::new(10, 0.75);
-        m.push(JudgmentRecord { scores: vec![0.9], label: false });
-        let blind = Genes { alphas: vec![0.0], theta: 0.0, max_tolerance: 3 };
+        m.push(JudgmentRecord {
+            scores: vec![0.9],
+            label: false,
+        });
+        let blind = Genes {
+            alphas: vec![0.0],
+            theta: 0.0,
+            max_tolerance: 3,
+        };
         assert!(!m.needs_retraining(&blind));
     }
 
@@ -238,7 +270,11 @@ mod tests {
             m.push(r);
         }
         // over-strict thresholds flag everything → precision collapses
-        let blind = Genes { alphas: vec![0.95; 4], theta: 0.01, max_tolerance: 0 };
+        let blind = Genes {
+            alphas: vec![0.95; 4],
+            theta: 0.01,
+            max_tolerance: 0,
+        };
         let before = m.current_f_measure(&blind);
         assert!(before < 0.75, "before {before}");
         let outcome = m.retrain(

@@ -113,7 +113,9 @@ impl FleetDetector {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let worker_count = if workers == 0 { hw } else { workers }.min(units.len()).max(1);
+        let worker_count = if workers == 0 { hw } else { workers }
+            .min(units.len())
+            .max(1);
         let stats = Arc::new(Mutex::new(SharedStats::default()));
 
         let mut catchers: Vec<Option<DbCatcher>> = units
@@ -293,7 +295,13 @@ impl FleetDetector {
     /// Stops the workers and returns the end-of-run [`FleetStats`].
     pub fn finish(mut self) -> FleetStats {
         self.shutdown();
-        let s = self.stats.lock().expect("stats mutex poisoned");
+        // A panicked worker poisons the stats mutex; the counters inside
+        // stay additive and valid, so recover them rather than abort the
+        // whole fleet's end-of-run accounting.
+        let s = self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let average_window_size = if s.verdict_count == 0 {
             0.0
         } else {
@@ -348,8 +356,7 @@ mod tests {
                             .map(|k| {
                                 let tf = t as f64;
                                 100.0 * (1.0 + 0.05 * db as f64 + u as f64)
-                                    + 30.0
-                                        * (std::f64::consts::TAU * (tf + k as f64) / 30.0).sin()
+                                    + 30.0 * (std::f64::consts::TAU * (tf + k as f64) / 30.0).sin()
                             })
                             .collect()
                     })
@@ -382,7 +389,10 @@ mod tests {
             let frames = frame(4, 3, kpis, t);
             for (u, catcher) in seq.iter_mut().enumerate() {
                 for v in catcher.ingest_tick(&frames[u]) {
-                    seq_verdicts.push(FleetVerdict { unit: u, verdict: v });
+                    seq_verdicts.push(FleetVerdict {
+                        unit: u,
+                        verdict: v,
+                    });
                 }
             }
         }

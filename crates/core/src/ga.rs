@@ -127,7 +127,10 @@ pub fn learn_thresholds(
         let mut order: Vec<usize> = (0..population.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         let keep = (population.len() / 2).max(1);
-        let survivors: Vec<Genes> = order[..keep].iter().map(|&i| population[i].clone()).collect();
+        let survivors: Vec<Genes> = order[..keep]
+            .iter()
+            .map(|&i| population[i].clone())
+            .collect();
         let survivor_scores: Vec<f64> = order[..keep].iter().map(|&i| scores[i]).collect();
 
         // Refill via roulette selection + crossover + mutation.
@@ -158,6 +161,7 @@ pub fn learn_thresholds(
             best = Some((g.clone(), s));
         }
     }
+    // dbclint: allow(panic-free) — population size is asserted >= 2 at entry, so the final evaluation loop always sets best.
     let (genes, fitness_value) = best.expect("population non-empty");
     LearnOutcome {
         genes,
@@ -212,7 +216,11 @@ fn crossover(x: &Genes, y: &Genes, rng: &mut StdRng) -> (Genes, Genes) {
 /// resample within their ranges (paper's mutation strategy).
 fn mutate(genes: &mut Genes, cfg: &GeneticConfig, rng: &mut StdRng) {
     for a in genes.alphas.iter_mut() {
-        let step = if rng.gen_bool(0.5) { cfg.learning_rate } else { -cfg.learning_rate };
+        let step = if rng.gen_bool(0.5) {
+            cfg.learning_rate
+        } else {
+            -cfg.learning_rate
+        };
         *a = (*a + step).clamp(cfg.alpha_bounds.0, cfg.alpha_bounds.1);
     }
     genes.theta = rng.gen_range(cfg.theta_range.0..=cfg.theta_range.1);
@@ -285,7 +293,9 @@ mod tests {
                 "alpha {a} out of bounds"
             );
         }
-        assert!(outcome.genes.theta >= cfg.theta_range.0 && outcome.genes.theta <= cfg.theta_range.1);
+        assert!(
+            outcome.genes.theta >= cfg.theta_range.0 && outcome.genes.theta <= cfg.theta_range.1
+        );
         assert!(outcome.genes.max_tolerance <= cfg.tolerance_range.1);
     }
 
@@ -317,8 +327,16 @@ mod tests {
     #[test]
     fn crossover_preserves_arity_and_material() {
         let mut rng = StdRng::seed_from_u64(7);
-        let x = Genes { alphas: vec![0.6, 0.6, 0.6], theta: 0.1, max_tolerance: 0 };
-        let y = Genes { alphas: vec![0.8, 0.8, 0.8], theta: 0.3, max_tolerance: 3 };
+        let x = Genes {
+            alphas: vec![0.6, 0.6, 0.6],
+            theta: 0.1,
+            max_tolerance: 0,
+        };
+        let y = Genes {
+            alphas: vec![0.8, 0.8, 0.8],
+            theta: 0.3,
+            max_tolerance: 3,
+        };
         let (c1, c2) = crossover(&x, &y, &mut rng);
         assert_eq!(c1.alphas.len(), 3);
         assert_eq!(c2.alphas.len(), 3);
@@ -337,7 +355,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "population must be >= 2")]
     fn tiny_population_panics() {
-        let cfg = GeneticConfig { population: 1, ..GeneticConfig::default() };
+        let cfg = GeneticConfig {
+            population: 1,
+            ..GeneticConfig::default()
+        };
         let _ = learn_thresholds(2, &cfg, |_| 0.0);
     }
 }

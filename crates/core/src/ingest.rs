@@ -123,13 +123,27 @@ impl std::fmt::Display for IngestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IngestError::FrameArity { expected, got } => {
-                write!(f, "frame has {got} database(s), detector expects {expected}")
+                write!(
+                    f,
+                    "frame has {got} database(s), detector expects {expected}"
+                )
             }
             IngestError::KpiArity { db, expected, got } => {
-                write!(f, "database {db} delivered {got} KPI(s), configuration expects {expected}")
+                write!(
+                    f,
+                    "database {db} delivered {got} KPI(s), configuration expects {expected}"
+                )
             }
-            IngestError::WindowUnavailable { db, kpi, start, len } => {
-                write!(f, "window [{start}, {start}+{len}) of (db {db}, kpi {kpi}) is not retained")
+            IngestError::WindowUnavailable {
+                db,
+                kpi,
+                start,
+                len,
+            } => {
+                write!(
+                    f,
+                    "window [{start}, {start}+{len}) of (db {db}, kpi {kpi}) is not retained"
+                )
             }
         }
     }
@@ -276,8 +290,7 @@ impl TelemetryHealth {
                     let same = s.last_raw.is_some_and(|p| p.to_bits() == raw.to_bits());
                     s.run_length = if same { s.run_length + 1 } else { 1 };
                     s.last_raw = Some(raw);
-                    let is_stale =
-                        cfg.stale_after > 0 && s.run_length > cfg.stale_after as u64;
+                    let is_stale = cfg.stale_after > 0 && s.run_length > cfg.stale_after as u64;
                     if is_stale {
                         s.stale += 1;
                         summary.stale += 1;
@@ -299,9 +312,7 @@ impl TelemetryHealth {
                     s.run_length = 0;
                     s.last_raw = None;
                     let fill = match cfg.gap_policy {
-                        GapPolicy::HoldLast | GapPolicy::MarkMissing => {
-                            s.last_good.unwrap_or(0.0)
-                        }
+                        GapPolicy::HoldLast | GapPolicy::MarkMissing => s.last_good.unwrap_or(0.0),
                         GapPolicy::LinearFill => match (s.last_good, s.prev_good) {
                             (Some(last), Some(prev)) => last + (last - prev),
                             (Some(last), None) => last,
@@ -322,10 +333,7 @@ impl TelemetryHealth {
                 };
                 // prune entries no retained window can read anymore
                 let log = &mut self.missing_ticks[i];
-                while log
-                    .front()
-                    .is_some_and(|&t| t + retention as u64 <= tick)
-                {
+                while log.front().is_some_and(|&t| t + retention as u64 <= tick) {
                     log.pop_front();
                 }
                 row.push(value);
@@ -478,8 +486,7 @@ mod tests {
         let mut health = TelemetryHealth::new(2, 1);
         let cfg = cfg();
         for t in 0..20 {
-            let (out, summary) =
-                observe_row(&mut health, &cfg, t, &[t as f64, t as f64 * 2.0]);
+            let (out, summary) = observe_row(&mut health, &cfg, t, &[t as f64, t as f64 * 2.0]);
             assert_eq!(out, vec![t as f64, t as f64 * 2.0]);
             assert_eq!(summary, TickHealth::default());
         }
@@ -576,7 +583,11 @@ mod tests {
         let mut readmitted_at = None;
         for t in 0..40 {
             // db 0 loses every sample during ticks 5..15, db 1 stays clean
-            let v0 = if (5..15).contains(&t) { f64::NAN } else { t as f64 };
+            let v0 = if (5..15).contains(&t) {
+                f64::NAN
+            } else {
+                t as f64
+            };
             let (_, s) = observe_row(&mut health, &cfg, t, &[v0, t as f64]);
             if s.demoted == vec![0] && demoted_at.is_none() {
                 demoted_at = Some(t);
@@ -644,10 +655,7 @@ mod tests {
             ..cfg()
         };
         for t in 0..12 {
-            let frame = vec![
-                vec![t as f64, f64::NAN],
-                vec![1.0, 2.0],
-            ];
+            let frame = vec![vec![t as f64, f64::NAN], vec![1.0, 2.0]];
             health.observe(&frame, t, &cfg, 100);
         }
         let json = serde_json::to_string(&health).expect("serialize");
@@ -658,8 +666,14 @@ mod tests {
     #[test]
     fn gap_policy_parses() {
         assert_eq!("hold-last".parse::<GapPolicy>(), Ok(GapPolicy::HoldLast));
-        assert_eq!("linear-fill".parse::<GapPolicy>(), Ok(GapPolicy::LinearFill));
-        assert_eq!("mark-missing".parse::<GapPolicy>(), Ok(GapPolicy::MarkMissing));
+        assert_eq!(
+            "linear-fill".parse::<GapPolicy>(),
+            Ok(GapPolicy::LinearFill)
+        );
+        assert_eq!(
+            "mark-missing".parse::<GapPolicy>(),
+            Ok(GapPolicy::MarkMissing)
+        );
         assert!("zero".parse::<GapPolicy>().is_err());
     }
 }

@@ -293,7 +293,11 @@ mod tests {
         let noise_a: Vec<f64> = (0..40).map(|_| next()).collect();
         let noise_b: Vec<f64> = (0..40).map(|_| next()).collect();
         let trend = sine(40, 11.0, 0.0);
-        let trend_noisy: Vec<f64> = trend.iter().enumerate().map(|(i, v)| v + 0.1 * noise_a[i]).collect();
+        let trend_noisy: Vec<f64> = trend
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.1 * noise_a[i])
+            .collect();
         let corr_trend = kcd(&trend, &trend_noisy, 5);
         let corr_noise = kcd(&noise_a, &noise_b, 5);
         assert!(

@@ -84,8 +84,9 @@ impl NormCache {
             self.psumsq.push(0.0);
         }
         let range = self.hi - self.lo;
-        let mut sum = *self.psum.last().expect("prefix seeded");
-        let mut sumsq = *self.psumsq.last().expect("prefix seeded");
+        // The leading 0.0 pushed above doubles as the neutral fallback.
+        let mut sum = self.psum.last().copied().unwrap_or(0.0);
+        let mut sumsq = self.psumsq.last().copied().unwrap_or(0.0);
         if range == 0.0 {
             // Constant window: min_max maps it to all zeros.
             for _ in raw {
@@ -145,19 +146,11 @@ impl SeriesState {
             self.data.drain(..drop);
             self.base += drop as u64;
         }
-        while self
-            .min_deque
-            .back()
-            .is_some_and(|&(_, v)| v >= value)
-        {
+        while self.min_deque.back().is_some_and(|&(_, v)| v >= value) {
             self.min_deque.pop_back();
         }
         self.min_deque.push_back((tick, value));
-        while self
-            .max_deque
-            .back()
-            .is_some_and(|&(_, v)| v <= value)
-        {
+        while self.max_deque.back().is_some_and(|&(_, v)| v <= value) {
             self.max_deque.pop_back();
         }
         self.max_deque.push_back((tick, value));
@@ -245,6 +238,7 @@ impl IncrementalCorrelator {
             capacity,
             states: (0..num_dbs * num_kpis)
                 .map(|_| SeriesState::with_capacity(capacity))
+                // dbclint: allow(hot-path-alloc) — one-time per-series state slab at construction.
                 .collect(),
             len: 0,
         }
@@ -260,6 +254,7 @@ impl IncrementalCorrelator {
             for kpi in 0..engine.num_kpis {
                 let series = queues
                     .window_slice(db, kpi, base, retained)
+                    // dbclint: allow(panic-free) — snapshot restore: the span was just computed from the same queues; failure means a corrupt snapshot worth failing loud on.
                     .expect("retained range readable");
                 let state = &mut engine.states[db * engine.num_kpis + kpi];
                 state.base = base;
@@ -310,7 +305,10 @@ impl IncrementalCorrelator {
         len: usize,
         max_delay: usize,
     ) -> f64 {
-        assert!(a < self.num_dbs && b < self.num_dbs && kpi < self.num_kpis, "index out of range");
+        assert!(
+            a < self.num_dbs && b < self.num_dbs && kpi < self.num_kpis,
+            "index out of range"
+        );
         assert!(len > 0, "empty window");
         assert_eq!(
             start + len as u64,
@@ -670,9 +668,7 @@ mod tests {
     #[test]
     fn symmetric_in_arguments() {
         let mut next = lcg(99);
-        let series: Vec<Vec<f64>> = (0..2)
-            .map(|_| (0..50).map(|_| next()).collect())
-            .collect();
+        let series: Vec<Vec<f64>> = (0..2).map(|_| (0..50).map(|_| next()).collect()).collect();
         let mut engine = IncrementalCorrelator::new(2, 1, 140);
         feed(&mut engine, &series, 50);
         let ab = engine.pair_score(0, 1, 0, 20, 30, 4);
@@ -694,7 +690,10 @@ mod tests {
             feed(&mut engine, &series, start + len);
             let fast = engine.pair_score(0, 1, 0, start as u64, len, 3);
             let slow = naive(&series, 0, 1, start, len, 3);
-            assert!((fast - slow).abs() < 1e-9, "start {start}: {fast} vs {slow}");
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "start {start}: {fast} vs {slow}"
+            );
             start += len;
         }
     }
@@ -730,8 +729,12 @@ mod tests {
             let raw_y: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
             let mut cx = NormCache::with_capacity(len);
             let mut cy = NormCache::with_capacity(len);
-            let (lo_x, hi_x) = raw_x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
-            let (lo_y, hi_y) = raw_y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_x, hi_x) = raw_x
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_y, hi_y) = raw_y
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
             cx.lo = lo_x;
             cx.hi = hi_x;
             cy.lo = lo_y;
@@ -760,8 +763,12 @@ mod tests {
             let raw_y: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
             let mut cx = NormCache::with_capacity(len);
             let mut cy = NormCache::with_capacity(len);
-            let (lo_x, hi_x) = raw_x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
-            let (lo_y, hi_y) = raw_y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_x, hi_x) = raw_x
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_y, hi_y) = raw_y
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
             cx.lo = lo_x;
             cx.hi = hi_x;
             cy.lo = lo_y;
@@ -791,8 +798,12 @@ mod tests {
             let raw_y: Vec<f64> = (0..len).map(|_| next() * 20.0 - 10.0).collect();
             let mut cx = NormCache::with_capacity(len);
             let mut cy = NormCache::with_capacity(len);
-            let (lo_x, hi_x) = raw_x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
-            let (lo_y, hi_y) = raw_y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_x, hi_x) = raw_x
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let (lo_y, hi_y) = raw_y
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
             cx.lo = lo_x;
             cx.hi = hi_x;
             cy.lo = lo_y;
@@ -830,7 +841,11 @@ mod tests {
             .iter()
             .map(|s| (s.data.as_ptr(), s.data.capacity()))
             .collect();
-        let norm_caps: Vec<usize> = engine.states.iter().map(|s| s.cache.norm.capacity()).collect();
+        let norm_caps: Vec<usize> = engine
+            .states
+            .iter()
+            .map(|s| s.cache.norm.capacity())
+            .collect();
         for t in 3 * cap as u64..5 * cap as u64 {
             engine.push(&[vec![next() * 4.0], vec![next() * 4.0]]);
             let _ = engine.pair_score(0, 1, 0, t + 1 - len as u64, len, 3);

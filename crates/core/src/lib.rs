@@ -7,7 +7,7 @@
 //! The paper's three key techniques, each in its own module:
 //!
 //! 1. **Efficient time-series correlation measurement** (§III-B) — the
-//!    *Key Correlation Distance* ([`kcd`]): a delay-tolerant, normalised
+//!    *Key Correlation Distance* ([`mod@kcd`]): a delay-tolerant, normalised
 //!    cross-correlation score, collected per KPI into symmetric
 //!    [`matrix::CorrelationMatrix`] values.
 //! 2. **Flexible time-window observation** (§III-C) — scores quantise into
@@ -29,6 +29,7 @@
 //! semantics (primary exclusion on replica-only KPIs) enter through the
 //! participation mask of [`config::DbCatcherConfig`].
 
+#![forbid(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]
@@ -43,8 +44,10 @@ pub mod kcd;
 pub mod kcd_incremental;
 pub mod levels;
 pub mod matrix;
+pub mod offline;
 pub mod pipeline;
 pub mod queues;
+mod queues_serde;
 pub mod scratch;
 pub mod snapshot;
 pub mod state;
@@ -56,8 +59,8 @@ pub use config::{
 pub use diagnosis::{diagnose, Diagnosis};
 pub use feedback::{FeedbackModule, JudgmentRecord};
 pub use fleet::{FleetDetector, FleetStats, FleetVerdict};
-pub use ingest::{GapPolicy, IngestConfig, IngestError, IngestReport, TelemetryHealth};
 pub use ga::{Genes, GeneticConfig};
+pub use ingest::{GapPolicy, IngestConfig, IngestError, IngestReport, TelemetryHealth};
 pub use kcd::kcd;
 pub use kcd_incremental::IncrementalCorrelator;
 pub use levels::Level;

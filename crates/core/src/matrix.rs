@@ -24,6 +24,7 @@ impl CorrelationMatrix {
     pub fn zeros(n: usize) -> Self {
         Self {
             n,
+            // dbclint: allow(hot-path-alloc) — constructor; the per-tick path rebuilds matrices in place via from_windows_into.
             scores: vec![0.0; n * n.saturating_sub(1) / 2],
         }
     }
@@ -76,6 +77,7 @@ impl CorrelationMatrix {
         // step depends only on the window itself, so the N−1 pairings of a
         // database all share the same normalised form.
         let normalised = &mut scratch.norm_windows;
+        // dbclint: allow(hot-path-alloc) — scratch buffers grow to unit arity once, then resize_with is a no-op.
         normalised.resize_with(n, Vec::new);
         for ((w, &p), buf) in windows.iter().zip(participates).zip(normalised.iter_mut()) {
             buf.clear();
@@ -165,6 +167,7 @@ impl CorrelationMatrix {
         (0..self.n)
             .filter(|&i| i != j)
             .map(|i| self.get(i, j))
+            // dbclint: allow(hot-path-alloc) — allocating convenience accessor; the per-tick path reads pair scores through get() into scratch.
             .collect()
     }
 
@@ -173,6 +176,7 @@ impl CorrelationMatrix {
         (0..self.n)
             .filter(|&i| i != j && participates[i])
             .map(|i| self.get(i, j))
+            // dbclint: allow(hot-path-alloc) — allocating convenience accessor; the per-tick path reads pair scores through get() into scratch.
             .collect()
     }
 }

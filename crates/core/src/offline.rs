@@ -1,0 +1,52 @@
+//! Offline replay of recorded series — cold path, kept out of
+//! `pipeline.rs` so the per-tick detection module stays allocation-free
+//! under `dbclint`. Used by the evaluation harness and integration tests,
+//! never by the serving loop.
+
+use crate::config::DbCatcherConfig;
+use crate::pipeline::DbCatcher;
+use crate::Verdict;
+
+/// Offline convenience: streams a whole recording through a fresh
+/// detector and returns `(verdicts, per-tick predictions)`.
+///
+/// `series[db][kpi][tick]`; each tick of a window inherits the window's
+/// final state; trailing ticks not covered by any verdict predict healthy.
+pub fn detect_series(
+    config: DbCatcherConfig,
+    series: &[Vec<Vec<f64>>],
+    participation: Option<Vec<Vec<bool>>>,
+) -> (Vec<Verdict>, Vec<Vec<bool>>) {
+    let num_dbs = series.len();
+    let num_ticks = series
+        .first()
+        .and_then(|db| db.first())
+        .map(|s| s.len())
+        .unwrap_or(0);
+    let mut catcher = DbCatcher::new(config, num_dbs);
+    if let Some(mask) = participation {
+        catcher = catcher.with_participation(mask);
+    }
+    let mut verdicts = Vec::new();
+    // One frame buffer reused across every tick of the replay.
+    let mut frame: Vec<Vec<f64>> = series
+        .iter()
+        .map(|db| Vec::with_capacity(db.len()))
+        .collect();
+    for t in 0..num_ticks {
+        for (row, db) in frame.iter_mut().zip(series) {
+            row.clear();
+            row.extend(db.iter().map(|kpi| kpi[t]));
+        }
+        verdicts.extend(catcher.ingest_tick(&frame));
+    }
+    let mut predictions = vec![vec![false; num_ticks]; num_dbs];
+    for v in &verdicts {
+        if v.state.is_abnormal() {
+            for t in v.start_tick..v.end_tick.min(num_ticks as u64) {
+                predictions[v.db][t as usize] = true;
+            }
+        }
+    }
+    (verdicts, predictions)
+}

@@ -76,6 +76,7 @@ impl DbCatcher {
     /// # Panics
     /// Panics when [`Self::try_new`] would return an error.
     pub fn new(config: DbCatcherConfig, num_dbs: usize) -> Self {
+        // dbclint: allow(panic-free) — documented panicking wrapper; try_new is the fallible form.
         Self::try_new(config, num_dbs).expect("invalid DbCatcher configuration")
     }
 
@@ -94,12 +95,15 @@ impl DbCatcher {
         let queues = KpiQueues::new(num_dbs, config.num_kpis, capacity);
         let correlator = match config.backend {
             CorrelationBackend::Naive => None,
-            CorrelationBackend::Incremental => {
-                Some(IncrementalCorrelator::new(num_dbs, config.num_kpis, capacity))
-            }
+            CorrelationBackend::Incremental => Some(IncrementalCorrelator::new(
+                num_dbs,
+                config.num_kpis,
+                capacity,
+            )),
         };
         let trackers = (0..num_dbs)
             .map(|_| WindowTracker::new(0, config.initial_window))
+            // dbclint: allow(hot-path-alloc) — one-time tracker allocation at construction.
             .collect();
         let health = TelemetryHealth::new(num_dbs, config.num_kpis);
         Ok(Self {
@@ -238,6 +242,7 @@ impl DbCatcher {
     pub fn ingest_tick(&mut self, frame: &[Vec<f64>]) -> Vec<Verdict> {
         match self.try_ingest_tick(frame) {
             Ok(report) => report.verdicts,
+            // dbclint: allow(panic-free) — documented panicking wrapper; try_ingest_tick is the fallible form.
             Err(e) => panic!("frame rejected: {e}"),
         }
     }
@@ -446,7 +451,12 @@ impl DbCatcher {
                         None => {
                             if !own_valid {
                                 let w = queues.window_slice(db, kpi, start, size).ok_or(
-                                    IngestError::WindowUnavailable { db, kpi, start, len: size },
+                                    IngestError::WindowUnavailable {
+                                        db,
+                                        kpi,
+                                        start,
+                                        len: size,
+                                    },
                                 )?;
                                 own_norm.clear();
                                 own_norm.extend_from_slice(w);
@@ -478,49 +488,10 @@ impl DbCatcher {
     }
 }
 
-/// Offline convenience: streams a whole recording through a fresh
-/// detector and returns `(verdicts, per-tick predictions)`.
-///
-/// `series[db][kpi][tick]`; each tick of a window inherits the window's
-/// final state; trailing ticks not covered by any verdict predict healthy.
-pub fn detect_series(
-    config: DbCatcherConfig,
-    series: &[Vec<Vec<f64>>],
-    participation: Option<Vec<Vec<bool>>>,
-) -> (Vec<Verdict>, Vec<Vec<bool>>) {
-    let num_dbs = series.len();
-    let num_ticks = series
-        .first()
-        .and_then(|db| db.first())
-        .map(|s| s.len())
-        .unwrap_or(0);
-    let mut catcher = DbCatcher::new(config, num_dbs);
-    if let Some(mask) = participation {
-        catcher = catcher.with_participation(mask);
-    }
-    let mut verdicts = Vec::new();
-    // One frame buffer reused across every tick of the replay.
-    let mut frame: Vec<Vec<f64>> = series
-        .iter()
-        .map(|db| Vec::with_capacity(db.len()))
-        .collect();
-    for t in 0..num_ticks {
-        for (row, db) in frame.iter_mut().zip(series) {
-            row.clear();
-            row.extend(db.iter().map(|kpi| kpi[t]));
-        }
-        verdicts.extend(catcher.ingest_tick(&frame));
-    }
-    let mut predictions = vec![vec![false; num_ticks]; num_dbs];
-    for v in &verdicts {
-        if v.state.is_abnormal() {
-            for t in v.start_tick..v.end_tick.min(num_ticks as u64) {
-                predictions[v.db][t as usize] = true;
-            }
-        }
-    }
-    (verdicts, predictions)
-}
+// Offline replay lives in `crate::offline`; re-exported here because the
+// evaluation harness and integration tests historically import it from
+// the pipeline module.
+pub use crate::offline::detect_series;
 
 #[cfg(test)]
 mod tests {
@@ -543,7 +514,8 @@ mod tests {
                             .map(|t| {
                                 let trend =
                                     ((t as f64) * std::f64::consts::TAU / 30.0 + kpi as f64).sin();
-                                let mut v = 100.0 + 40.0 * trend * (1.0 + 0.1 * db as f64)
+                                let mut v = 100.0
+                                    + 40.0 * trend * (1.0 + 0.1 * db as f64)
                                     + 10.0 * db as f64;
                                 if let Some((target, range)) = &distort_db {
                                     if db == *target && range.contains(&t) {
@@ -574,7 +546,10 @@ mod tests {
         let series = unit_series(3, 4, 120, None);
         let (verdicts, predictions) = detect_series(small_config(4), &series, None);
         assert!(!verdicts.is_empty());
-        assert!(verdicts.iter().all(|v| v.state == DbState::Healthy), "{verdicts:?}");
+        assert!(
+            verdicts.iter().all(|v| v.state == DbState::Healthy),
+            "{verdicts:?}"
+        );
         assert!(predictions.iter().flatten().all(|&p| !p));
     }
 
@@ -589,7 +564,10 @@ mod tests {
         assert!(hit, "distortion not detected: {verdicts:?}");
         // healthy databases stay clean
         for db in [0usize, 2, 3, 4] {
-            assert!(predictions[db].iter().all(|&p| !p), "db {db} falsely flagged");
+            assert!(
+                predictions[db].iter().all(|&p| !p),
+                "db {db} falsely flagged"
+            );
         }
     }
 
@@ -663,7 +641,10 @@ mod tests {
         );
         assert!(with_mask[0].iter().all(|&p| !p), "masked KPI still fired");
         let (_, without_mask) = detect_series(small_config(2), &series, None);
-        assert!(without_mask[0][30..60].iter().any(|&p| p), "unmasked anomaly missed");
+        assert!(
+            without_mask[0][30..60].iter().any(|&p| p),
+            "unmasked anomaly missed"
+        );
     }
 
     #[test]
@@ -705,7 +686,10 @@ mod tests {
         let (verdicts, _) = detect_series(small_config(4), &series, None);
         for v in &verdicts {
             assert_eq!(v.scores.len(), 4);
-            assert!(v.scores.iter().all(|s| s.is_nan() || (-1.0..=1.0).contains(s)));
+            assert!(v
+                .scores
+                .iter()
+                .all(|s| s.is_nan() || (-1.0..=1.0).contains(s)));
         }
     }
 

@@ -16,8 +16,6 @@
 //! correlation kernels stream straight over memory instead of chasing
 //! `VecDeque` halves.
 
-use serde::{DeError, Deserialize, Serialize, Value};
-
 /// Bounded per-(database, KPI) history of collected samples.
 ///
 /// Serialisation is hand-written to stay byte-compatible with the original
@@ -25,20 +23,20 @@ use serde::{DeError, Deserialize, Serialize, Value};
 /// the flat layout restore unchanged (and vice versa).
 #[derive(Debug, Clone)]
 pub struct KpiQueues {
-    num_dbs: usize,
-    num_kpis: usize,
-    capacity: usize,
+    pub(crate) num_dbs: usize,
+    pub(crate) num_kpis: usize,
+    pub(crate) capacity: usize,
     /// Physical samples currently stored per series (same for all series).
-    filled: usize,
+    pub(crate) filled: usize,
     /// Absolute tick of physical slot 0 in every slab.
-    phys_base: u64,
+    pub(crate) phys_base: u64,
     /// `num_dbs * num_kpis` slabs of `2 * capacity` samples each;
     /// series `(db, kpi)` owns `data[(db * num_kpis + kpi) * slab ..][..slab]`.
-    data: Vec<f64>,
+    pub(crate) data: Vec<f64>,
     /// Absolute tick of the oldest retained sample.
-    base_tick: u64,
+    pub(crate) base_tick: u64,
     /// Total samples ingested (== next absolute tick).
-    len: u64,
+    pub(crate) len: u64,
 }
 
 impl KpiQueues {
@@ -47,13 +45,17 @@ impl KpiQueues {
     /// # Panics
     /// Panics when any dimension is zero.
     pub fn new(num_dbs: usize, num_kpis: usize, capacity: usize) -> Self {
-        assert!(num_dbs > 0 && num_kpis > 0 && capacity > 0, "dimensions must be positive");
+        assert!(
+            num_dbs > 0 && num_kpis > 0 && capacity > 0,
+            "dimensions must be positive"
+        );
         Self {
             num_dbs,
             num_kpis,
             capacity,
             filled: 0,
             phys_base: 0,
+            // dbclint: allow(hot-path-alloc) — one-time slab allocation at construction; every later push writes in place.
             data: vec![0.0; num_dbs * num_kpis * capacity * 2],
             base_tick: 0,
             len: 0,
@@ -159,96 +161,10 @@ impl KpiQueues {
     }
 }
 
-// ------------------------------------------------------------------ serde
-//
-// The original derive serialised `buffers: Vec<Vec<VecDeque<f64>>>` of
-// retained samples. These impls reproduce that shape (same fields, same
-// order) from the flat slabs so snapshot files stay interchangeable.
-
-impl Serialize for KpiQueues {
-    fn to_value(&self) -> Value {
-        let retained = (self.len - self.base_tick) as usize;
-        let buffers: Vec<Value> = (0..self.num_dbs)
-            .map(|db| {
-                Value::Array(
-                    (0..self.num_kpis)
-                        .map(|k| {
-                            let w = self
-                                .window_slice(db, k, self.base_tick, retained)
-                                .expect("retained span is always addressable");
-                            Value::Array(w.iter().map(|v| v.to_value()).collect())
-                        })
-                        .collect(),
-                )
-            })
-            .collect();
-        Value::Object(vec![
-            ("num_dbs".to_string(), self.num_dbs.to_value()),
-            ("num_kpis".to_string(), self.num_kpis.to_value()),
-            ("capacity".to_string(), self.capacity.to_value()),
-            ("buffers".to_string(), Value::Array(buffers)),
-            ("base_tick".to_string(), self.base_tick.to_value()),
-            ("len".to_string(), self.len.to_value()),
-        ])
-    }
-}
-
-impl Deserialize for KpiQueues {
-    fn from_value(value: &Value) -> Result<Self, DeError> {
-        let field = |name: &str| {
-            value
-                .get(name)
-                .ok_or_else(|| DeError::new(format!("KpiQueues: missing field `{name}`")))
-        };
-        let num_dbs = usize::from_value(field("num_dbs")?)?;
-        let num_kpis = usize::from_value(field("num_kpis")?)?;
-        let capacity = usize::from_value(field("capacity")?)?;
-        let buffers = Vec::<Vec<Vec<f64>>>::from_value(field("buffers")?)?;
-        let base_tick = u64::from_value(field("base_tick")?)?;
-        let len = u64::from_value(field("len")?)?;
-        if num_dbs == 0 || num_kpis == 0 || capacity == 0 {
-            return Err(DeError::new("KpiQueues: dimensions must be positive".to_string()));
-        }
-        let retained = len
-            .checked_sub(base_tick)
-            .ok_or_else(|| DeError::new("KpiQueues: base_tick past len".to_string()))?
-            as usize;
-        if retained > capacity {
-            return Err(DeError::new("KpiQueues: retained span exceeds capacity".to_string()));
-        }
-        if buffers.len() != num_dbs || buffers.iter().any(|db| db.len() != num_kpis) {
-            return Err(DeError::new("KpiQueues: buffer arity mismatch".to_string()));
-        }
-        let slab = capacity * 2;
-        let mut data = vec![0.0; num_dbs * num_kpis * slab];
-        for (db, kpis) in buffers.iter().enumerate() {
-            for (k, buf) in kpis.iter().enumerate() {
-                if buf.len() != retained {
-                    return Err(DeError::new(format!(
-                        "KpiQueues: series ({db},{k}) holds {} samples, expected {retained}",
-                        buf.len()
-                    )));
-                }
-                let o = (db * num_kpis + k) * slab;
-                data[o..o + retained].copy_from_slice(buf);
-            }
-        }
-        Ok(Self {
-            num_dbs,
-            num_kpis,
-            capacity,
-            filled: retained,
-            phys_base: base_tick,
-            data,
-            base_tick,
-            len,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::{Deserialize, Serialize};
     use std::collections::VecDeque;
 
     fn frame(n_db: usize, n_kpi: usize, v: f64) -> Vec<Vec<f64>> {
@@ -284,7 +200,10 @@ mod tests {
             q.push(&frame(1, 1, t as f64));
         }
         assert_eq!(q.base_tick(), 6);
-        assert!(q.window(0, 0, 5, 2).is_none(), "evicted window must be None");
+        assert!(
+            q.window(0, 0, 5, 2).is_none(),
+            "evicted window must be None"
+        );
         let w = q.window(0, 0, 6, 4).unwrap();
         assert_eq!(w, vec![6.0, 7.0, 8.0, 9.0]);
     }
@@ -349,8 +268,14 @@ mod tests {
             assert_eq!(q.base_tick(), expected_base, "after push {t}");
             assert_eq!(q.next_tick(), t + 1);
             // the retained span is always addressable...
-            assert!(q.window(1, 1, expected_base, q.next_tick() as usize
-                - expected_base as usize).is_some());
+            assert!(q
+                .window(
+                    1,
+                    1,
+                    expected_base,
+                    q.next_tick() as usize - expected_base as usize
+                )
+                .is_some());
             // ...and one tick before it never is
             if expected_base > 0 {
                 assert!(q.window(1, 1, expected_base - 1, 1).is_none());
@@ -375,10 +300,10 @@ mod tests {
         let expect: Vec<f64> = (total - cap as u64..total).map(|t| t as f64).collect();
         assert_eq!(w, expect);
         // suffix window straddling nothing evicted
-        assert_eq!(q.window(0, 0, total - 2, 2).unwrap(), vec![
-            (total - 2) as f64,
-            (total - 1) as f64
-        ]);
+        assert_eq!(
+            q.window(0, 0, total - 2, 2).unwrap(),
+            vec![(total - 2) as f64, (total - 1) as f64]
+        );
         // requests past the head are refused, even by one tick
         assert!(q.window(0, 0, total - 1, 2).is_none());
         assert!(q.window_max_abs(0, 0, total - 1, 2).is_none());
@@ -488,7 +413,10 @@ mod tests {
 
         // and a legacy-produced snapshot restores into the flat layout
         let back: KpiQueues = serde_json::from_str(&legacy_json).expect("parse legacy");
-        assert_eq!(back.window(1, 1, back.base_tick(), 3), q.window(1, 1, q.base_tick(), 3));
+        assert_eq!(
+            back.window(1, 1, back.base_tick(), 3),
+            q.window(1, 1, q.base_tick(), 3)
+        );
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Snapshot serialisation for [`KpiQueues`] — cold path, kept out of
+//! `queues.rs` so the hot data-processing module stays allocation-free
+//! under `dbclint` (`hot-path-alloc` scopes whole files; serialisation
+//! legitimately allocates).
+
+use crate::queues::KpiQueues;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+impl Serialize for KpiQueues {
+    fn to_value(&self) -> Value {
+        let retained = (self.len - self.base_tick) as usize;
+        let buffers: Vec<Value> = (0..self.num_dbs)
+            .map(|db| {
+                Value::Array(
+                    (0..self.num_kpis)
+                        .map(|k| {
+                            let w = self
+                                .window_slice(db, k, self.base_tick, retained)
+                                // dbclint: allow(panic-free) — `retained` comes from the queue's own base/len pair, so the span is addressable by construction; failure means snapshot corruption worth failing loud on.
+                                .expect("retained span is always addressable");
+                            Value::Array(w.iter().map(|v| v.to_value()).collect())
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("num_dbs".to_string(), self.num_dbs.to_value()),
+            ("num_kpis".to_string(), self.num_kpis.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("buffers".to_string(), Value::Array(buffers)),
+            ("base_tick".to_string(), self.base_tick.to_value()),
+            ("len".to_string(), self.len.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for KpiQueues {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::new(format!("KpiQueues: missing field `{name}`")))
+        };
+        let num_dbs = usize::from_value(field("num_dbs")?)?;
+        let num_kpis = usize::from_value(field("num_kpis")?)?;
+        let capacity = usize::from_value(field("capacity")?)?;
+        let buffers = Vec::<Vec<Vec<f64>>>::from_value(field("buffers")?)?;
+        let base_tick = u64::from_value(field("base_tick")?)?;
+        let len = u64::from_value(field("len")?)?;
+        if num_dbs == 0 || num_kpis == 0 || capacity == 0 {
+            return Err(DeError::new(
+                "KpiQueues: dimensions must be positive".to_string(),
+            ));
+        }
+        let retained = len
+            .checked_sub(base_tick)
+            .ok_or_else(|| DeError::new("KpiQueues: base_tick past len".to_string()))?
+            as usize;
+        if retained > capacity {
+            return Err(DeError::new(
+                "KpiQueues: retained span exceeds capacity".to_string(),
+            ));
+        }
+        if buffers.len() != num_dbs || buffers.iter().any(|db| db.len() != num_kpis) {
+            return Err(DeError::new("KpiQueues: buffer arity mismatch".to_string()));
+        }
+        let slab = capacity * 2;
+        let mut data = vec![0.0; num_dbs * num_kpis * slab];
+        for (db, kpis) in buffers.iter().enumerate() {
+            for (k, buf) in kpis.iter().enumerate() {
+                if buf.len() != retained {
+                    return Err(DeError::new(format!(
+                        "KpiQueues: series ({db},{k}) holds {} samples, expected {retained}",
+                        buf.len()
+                    )));
+                }
+                let o = (db * num_kpis + k) * slab;
+                data[o..o + retained].copy_from_slice(buf);
+            }
+        }
+        Ok(Self {
+            num_dbs,
+            num_kpis,
+            capacity,
+            filled: retained,
+            phys_base: base_tick,
+            data,
+            base_tick,
+            len,
+        })
+    }
+}

@@ -134,6 +134,7 @@ impl DbCatcher {
     /// Panics when the snapshot is internally inconsistent (tracker count
     /// mismatching the database count, invalid configuration).
     pub fn restore(snapshot: DetectorSnapshot) -> DbCatcher {
+        // dbclint: allow(panic-free) — documented panicking wrapper; try_restore is the fallible form used by the daemon.
         Self::try_restore(snapshot).expect("snapshot is internally consistent")
     }
 
@@ -173,8 +174,7 @@ mod tests {
                             .map(|k| {
                                 let tf = t as f64;
                                 100.0 * (1.0 + 0.1 * db as f64)
-                                    + 30.0
-                                        * (std::f64::consts::TAU * (tf + k as f64) / 30.0).sin()
+                                    + 30.0 * (std::f64::consts::TAU * (tf + k as f64) / 30.0).sin()
                             })
                             .collect()
                     })

@@ -92,8 +92,14 @@ pub fn run_differential(
             return Err(format!(
                 "tick {t}: ingest reports diverged — naive {:?}/{:?}/{:?}/{:?} vs \
                  incremental {:?}/{:?}/{:?}/{:?}",
-                rn.repaired, rn.stale, rn.demoted, rn.readmitted, ri.repaired, ri.stale,
-                ri.demoted, ri.readmitted
+                rn.repaired,
+                rn.stale,
+                rn.demoted,
+                rn.readmitted,
+                ri.repaired,
+                ri.stale,
+                ri.demoted,
+                ri.readmitted
             ));
         }
         if naive.non_voting() != incremental.non_voting() {
@@ -168,9 +174,8 @@ mod tests {
                     .map(|kpi| {
                         (0..ticks)
                             .map(|t| {
-                                let trend = ((t as f64) * std::f64::consts::TAU / 25.0
-                                    + kpi as f64)
-                                    .sin();
+                                let trend =
+                                    ((t as f64) * std::f64::consts::TAU / 25.0 + kpi as f64).sin();
                                 50.0 + 20.0 * trend + 5.0 * db as f64
                             })
                             .collect()

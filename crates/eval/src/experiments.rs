@@ -16,8 +16,7 @@ use dbcatcher_core::ga::learn_thresholds;
 use dbcatcher_core::kcd::kcd;
 use dbcatcher_core::pipeline::{detect_series, DbCatcher};
 use dbcatcher_sim::{
-    BalancerStrategy, CorrelationClass, Kpi, OfferedLoad, UnitConfig, UnitSim, ALL_KPIS,
-    NUM_KPIS,
+    BalancerStrategy, CorrelationClass, Kpi, OfferedLoad, UnitConfig, UnitSim, ALL_KPIS, NUM_KPIS,
 };
 use dbcatcher_workload::dataset::{Dataset, DatasetSpec, Subset};
 use dbcatcher_workload::profile::LoadProfile;
@@ -143,8 +142,8 @@ pub fn compare_methods(
                 rep_spec.seed = scale.seed.wrapping_add(rep as u64 * 1009);
                 let dataset = rep_spec.build();
                 let (train, test) = dataset.split(0.5);
-                let cfg = ProtocolConfig::default()
-                    .with_seed(scale.seed.wrapping_add(rep as u64 * 7919));
+                let cfg =
+                    ProtocolConfig::default().with_seed(scale.seed.wrapping_add(rep as u64 * 7919));
                 for (mi, &method) in methods.iter().enumerate() {
                     per_method[mi].push(run_method(method, &train, &test, &cfg));
                 }
@@ -375,14 +374,19 @@ pub fn fig11_threshold_search(scale: &Scale) -> (Vec<String>, Vec<(String, Vec<f
             let dataset = rep_spec.build();
             let (train, _) = dataset.split(0.5);
             let records = collect_judgment_records(&train);
-            let cfg = ProtocolConfig::default()
-                .with_seed(scale.seed.wrapping_add(rep as u64));
+            let cfg = ProtocolConfig::default().with_seed(scale.seed.wrapping_add(rep as u64));
             let budget = cfg.ga.population * cfg.ga.generations + cfg.ga.population;
             let fitness = |g: &dbcatcher_core::ga::Genes| f_measure_on_records(g, &records);
             ga_s.push(learn_thresholds(NUM_KPIS, &cfg.ga, fitness).fitness);
             saa_s.push(
-                simulated_annealing(NUM_KPIS, &cfg.ga, &AnnealingConfig::default(), budget, fitness)
-                    .fitness,
+                simulated_annealing(
+                    NUM_KPIS,
+                    &cfg.ga,
+                    &AnnealingConfig::default(),
+                    budget,
+                    fitness,
+                )
+                .fitness,
             );
             rnd_s.push(random_search(NUM_KPIS, &cfg.ga, budget, fitness).fitness);
         }
@@ -562,14 +566,16 @@ pub fn fig4_series(seed: u64, kpi: Kpi) -> (usize, Vec<Vec<f64>>) {
 /// routing view).
 pub fn balancer_shares_demo(seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let healthy = dbcatcher_sim::LoadBalancer::new(5, BalancerStrategy::JitteredEven {
-        jitter: 0.05,
-    })
-    .shares(&mut rng);
-    let skewed = dbcatcher_sim::LoadBalancer::new(5, BalancerStrategy::Skewed {
-        target: 0,
-        extra: 0.4,
-    })
+    let healthy =
+        dbcatcher_sim::LoadBalancer::new(5, BalancerStrategy::JitteredEven { jitter: 0.05 })
+            .shares(&mut rng);
+    let skewed = dbcatcher_sim::LoadBalancer::new(
+        5,
+        BalancerStrategy::Skewed {
+            target: 0,
+            extra: 0.4,
+        },
+    )
     .shares(&mut rng);
     (healthy, skewed)
 }

@@ -16,6 +16,7 @@
 //! * [`differential`] — backend-equivalence harness driving the naive and
 //!   incremental correlation engines through identical streams.
 
+#![forbid(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]

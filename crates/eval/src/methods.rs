@@ -126,7 +126,9 @@ pub fn baseline_detector(kind: MethodKind, num_kpis: usize, seed: u64) -> Box<dy
 
 /// Unit-level ground truth: any database anomalous per tick.
 fn unit_labels(unit: &UnitData) -> Vec<bool> {
-    (0..unit.num_ticks()).map(|t| unit.any_anomalous(t)).collect()
+    (0..unit.num_ticks())
+        .map(|t| unit.any_anomalous(t))
+        .collect()
 }
 
 /// Trains a method on the training split. Returns the frozen method and
@@ -141,7 +143,10 @@ pub fn train_method(
     match kind {
         MethodKind::DbCatcher => {
             let (config, _) = train_dbcatcher(train, cfg);
-            (TrainedMethod::Catcher { config }, t0.elapsed().as_secs_f64())
+            (
+                TrainedMethod::Catcher { config },
+                t0.elapsed().as_secs_f64(),
+            )
         }
         _ => {
             let num_kpis = train.units.first().map(|u| u.num_kpis()).unwrap_or(14);
@@ -149,8 +154,11 @@ pub fn train_method(
             let unit_series: Vec<&Vec<Vec<Vec<f64>>>> =
                 train.units.iter().map(|u| &u.series).collect();
             detector.fit(&unit_series);
-            let scores: Vec<Vec<f64>> =
-                train.units.iter().map(|u| detector.score(&u.series)).collect();
+            let scores: Vec<Vec<f64>> = train
+                .units
+                .iter()
+                .map(|u| detector.score(&u.series))
+                .collect();
             let labels: Vec<Vec<bool>> = train.units.iter().map(unit_labels).collect();
             let params = search_threshold_window(&scores, &labels, cfg);
             (
@@ -299,8 +307,8 @@ pub fn retrain_seconds(kind: MethodKind, new_train: &Dataset, cfg: &ProtocolConf
 mod tests {
     use super::*;
     use dbcatcher_workload::anomaly::AnomalyPlanConfig;
-    use dbcatcher_workload::profile::RareEventConfig;
     use dbcatcher_workload::dataset::{DatasetSpec, Subset, WorkloadKind};
+    use dbcatcher_workload::profile::RareEventConfig;
 
     fn tiny_dataset(seed: u64) -> Dataset {
         DatasetSpec {
@@ -338,7 +346,14 @@ mod tests {
         let names: Vec<&str> = MethodKind::all().iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["FFT", "SR", "SR-CNN", "OmniAnomaly", "JumpStarter", "DBCatcher"]
+            vec![
+                "FFT",
+                "SR",
+                "SR-CNN",
+                "OmniAnomaly",
+                "JumpStarter",
+                "DBCatcher"
+            ]
         );
     }
 

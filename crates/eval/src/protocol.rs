@@ -129,8 +129,7 @@ pub fn search_threshold_window(
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    f1 > b.train_f1 + 1e-12
-                        || ((f1 - b.train_f1).abs() <= 1e-12 && w < b.window)
+                    f1 > b.train_f1 + 1e-12 || ((f1 - b.train_f1).abs() <= 1e-12 && w < b.window)
                 }
             };
             if better {
@@ -208,7 +207,11 @@ mod tests {
         let mut labels = Vec::new();
         for t in 0..300usize {
             let anomalous = (100..130).contains(&t);
-            let s = if anomalous { 5.0 + (t % 3) as f64 } else { 1.0 + (t % 4) as f64 };
+            let s = if anomalous {
+                5.0 + (t % 3) as f64
+            } else {
+                1.0 + (t % 4) as f64
+            };
             scores.push(s);
             labels.push(anomalous);
         }

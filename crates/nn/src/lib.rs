@@ -20,6 +20,8 @@
 //! * [`optim`] — SGD and Adam; [`loss`] — MSE / BCE / Gaussian NLL;
 //! * [`activation`] — sigmoid / tanh / ReLU with derivatives.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod conv1d;
 pub mod dense;

@@ -148,7 +148,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -206,7 +210,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add_scaled_in_place(&mut self, rhs: &Matrix, k: f64) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b * k;
         }

@@ -68,7 +68,12 @@ mod tests {
         let logvar = Matrix::zeros(1, 1000);
         let s = reparameterize(&mu, &logvar, &mut rng);
         let mean = s.z.sum() / 1000.0;
-        let var = s.z.data().iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / 1000.0;
+        let var =
+            s.z.data()
+                .iter()
+                .map(|z| (z - mean) * (z - mean))
+                .sum::<f64>()
+                / 1000.0;
         assert!(mean.abs() < 0.15, "mean {mean}");
         assert!((var - 1.0).abs() < 0.2, "var {var}");
     }
@@ -108,10 +113,7 @@ mod tests {
             // same epsilon, perturbed mu
             let mut mup = mu.clone();
             mup.data_mut()[i] += eps;
-            let zp = mup.add(
-                &s.epsilon
-                    .zip_map(&logvar, |e, lv| e * (0.5 * lv).exp()),
-            );
+            let zp = mup.add(&s.epsilon.zip_map(&logvar, |e, lv| e * (0.5 * lv).exp()));
             let numeric = (loss(&zp) - l0) / eps;
             assert!((numeric - dmu.data()[i]).abs() < 1e-4);
 

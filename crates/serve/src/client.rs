@@ -526,9 +526,15 @@ fn emit_core(
             let all_sent = units
                 .iter()
                 .all(|c| c.dead || c.next >= c.stream.frames.len() as u64);
-            let target = if all_sent { 0 } else { window.saturating_sub(1) };
+            let target = if all_sent {
+                0
+            } else {
+                window.saturating_sub(1)
+            };
             while inflight.len() > target {
-                let idx = *inflight.front().expect("inflight non-empty");
+                let Some(&idx) = inflight.front() else {
+                    break; // len() > target ≥ 0 implies a front exists
+                };
                 match conn.recv()? {
                     Response::Accepted { .. } => {
                         inflight.pop_front();
@@ -780,7 +786,11 @@ mod tests {
             let wa = jittered(delay, &mut a);
             let wb = jittered(delay, &mut b);
             assert_eq!(wa, wb, "same seed must replay the same waits");
-            assert!(wa >= delay - delay / 2 && wa <= delay, "{wa} out of [{}, {delay}]", delay - delay / 2);
+            assert!(
+                wa >= delay - delay / 2 && wa <= delay,
+                "{wa} out of [{}, {delay}]",
+                delay - delay / 2
+            );
         }
         // Different seeds decorrelate (not a proof, a smoke check).
         let mut c = 7u64;

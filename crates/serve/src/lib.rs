@@ -21,7 +21,7 @@
 //!   accepted tick *before* detection, so restarts replay
 //!   `snapshot + WAL suffix` and lose nothing — not even the tick a
 //!   crash interrupted mid-detection.
-//! - Self-healing: a [`supervisor`] monitors shard workers, replacing
+//! - Self-healing: a `supervisor` monitors shard workers, replacing
 //!   panicked or wedged generations from their durable state; units pass
 //!   through a probation lifecycle instead of degrading permanently, and
 //!   operators can `ResetUnit` a hard-degraded stream.
@@ -29,12 +29,15 @@
 //!   reject, capped jittered backoff), plus `stats` / `stop` /
 //!   `reset_unit` / subscription helpers.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 mod shard;
 pub(crate) mod supervisor;
+pub(crate) mod sync;
 pub mod wal;
 
 pub use client::{

@@ -8,6 +8,7 @@
 //! (snapshot I/O, degraded detectors) are *recorded here* instead of
 //! killing the process — the daemon degrades and tells you about it.
 
+use crate::sync::LockRecover;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -142,7 +143,7 @@ impl ServerMetrics {
     }
 
     fn with_unit<R>(&self, unit: usize, f: impl FnOnce(&mut UnitCounters) -> R) -> R {
-        let mut map = self.units.lock().expect("metrics lock poisoned");
+        let mut map = self.units.lock_clean();
         f(map.entry(unit).or_default())
     }
 
@@ -285,7 +286,7 @@ impl ServerMetrics {
 
     /// Counts one supervisor restart of a shard worker.
     pub fn record_shard_restart(&self, shard: usize, wedge: bool, reason: String) {
-        let mut status = self.shard_status.lock().expect("shard status lock poisoned");
+        let mut status = self.shard_status.lock_clean();
         if let Some(s) = status.get_mut(shard) {
             s.restarts += 1;
             if wedge {
@@ -297,7 +298,7 @@ impl ServerMetrics {
 
     /// Marks a shard permanently failed (restart limit exhausted).
     pub fn record_shard_failed(&self, shard: usize, reason: String) {
-        let mut status = self.shard_status.lock().expect("shard status lock poisoned");
+        let mut status = self.shard_status.lock_clean();
         if let Some(s) = status.get_mut(shard) {
             s.failed = true;
             s.last_panic = Some(reason);
@@ -307,7 +308,7 @@ impl ServerMetrics {
     /// Attaches a diagnostic note to a shard (WAL recovery problems,
     /// disabled durability) without counting a restart.
     pub fn record_shard_note(&self, shard: usize, note: String) {
-        let mut status = self.shard_status.lock().expect("shard status lock poisoned");
+        let mut status = self.shard_status.lock_clean();
         if let Some(s) = status.get_mut(shard) {
             s.last_panic = Some(note);
         }
@@ -315,7 +316,7 @@ impl ServerMetrics {
 
     /// Total supervisor restarts across all shards.
     pub fn total_shard_restarts(&self) -> u64 {
-        let status = self.shard_status.lock().expect("shard status lock poisoned");
+        let status = self.shard_status.lock_clean();
         status.iter().map(|s| s.restarts).sum()
     }
 
@@ -334,7 +335,7 @@ impl ServerMetrics {
 
     /// Renders the full snapshot.
     pub fn snapshot(&self, subscribers: usize) -> MetricsSnapshot {
-        let map = self.units.lock().expect("metrics lock poisoned");
+        let map = self.units.lock_clean();
         let mut units = Vec::with_capacity(map.len());
         let (mut ticks, mut rejects, mut verdicts) = (0u64, 0u64, 0u64);
         for (&unit, c) in map.iter() {
@@ -368,11 +369,7 @@ impl ServerMetrics {
         MetricsSnapshot {
             units,
             shards: self.shards,
-            shard_status: self
-                .shard_status
-                .lock()
-                .expect("shard status lock poisoned")
-                .clone(),
+            shard_status: self.shard_status.lock_clean().clone(),
             subscribers,
             total_ticks: ticks,
             total_rejects: rejects,
@@ -464,7 +461,11 @@ mod tests {
         assert!(m.try_reserve_slot(0, 4));
         m.reset_queue(0);
         m.release_slot(0);
-        assert_eq!(m.queue_depth(0), 0, "release after reset must not underflow");
+        assert_eq!(
+            m.queue_depth(0),
+            0,
+            "release after reset must not underflow"
+        );
         assert!(m.try_reserve_slot(0, 1), "counter still functional");
     }
 

@@ -15,7 +15,7 @@
 //!
 //! The reader makes every accept/reject decision *synchronously* at
 //! enqueue time — slot reservation against the per-unit in-flight cap,
-//! expected-tick check against the shared [`Registry`] — so the client
+//! expected-tick check against the shared `Registry` — so the client
 //! sees `Accepted`/`Rejected` in request order and ingress memory is
 //! bounded by `max_units x queue_cap` frames no matter how fast
 //! producers push. Shard workers only ever see ticks that were accepted.
@@ -24,6 +24,7 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, Response, MAX_LINE_BYTES};
 use crate::shard::{CrashSwitch, DetectorTemplate, Job, Registry, ShardChaos, ShardContext};
 use crate::supervisor::ShardSupervisor;
+use crate::sync::LockRecover;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -221,7 +222,9 @@ impl DetectionServer {
                     snapshot_dir: snapshot_dir.clone(),
                     snapshot_every,
                     resume_dir: resume_dir.clone(),
-                    wal_dir: wal_root.as_ref().map(|root| root.join(format!("shard_{shard}"))),
+                    wal_dir: wal_root
+                        .as_ref()
+                        .map(|root| root.join(format!("shard_{shard}"))),
                     fsync_every,
                     metrics: Arc::clone(&metrics),
                     registry: Arc::clone(&registry),
@@ -262,6 +265,7 @@ impl DetectionServer {
                 std::thread::Builder::new()
                     .name("dbcatcher-conn".into())
                     .spawn(move || handle_connection(stream, ctx))
+                    // dbclint: allow(panic-free) — OS thread-spawn failure has no graceful recovery; fail loud at accept
                     .expect("spawn connection reader"),
             );
         }
@@ -271,7 +275,7 @@ impl DetectionServer {
         // Drain accepted ticks, write final snapshots, join workers.
         pool.stop();
         // Drop subscriber senders so their writer threads exit.
-        subscribers.lock().expect("subscriber lock poisoned").clear();
+        subscribers.lock_clean().clear();
         Ok(())
     }
 }
@@ -313,6 +317,7 @@ fn handle_connection(stream: TcpStream, ctx: ConnContext) {
                 }
             }
         })
+        // dbclint: allow(panic-free) — OS thread-spawn failure has no graceful recovery; fail loud at accept
         .expect("spawn connection writer");
 
     let mut reader = BufReader::new(stream);
@@ -413,10 +418,13 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
                 .with_entry(unit, |entry| entry.registered)
                 .unwrap_or(false);
             if registered {
-                let sent = ctx.pool.send(unit, Job::Flush {
+                let sent = ctx.pool.send(
                     unit,
-                    reply: tx.clone(),
-                });
+                    Job::Flush {
+                        unit,
+                        reply: tx.clone(),
+                    },
+                );
                 if sent.is_err() {
                     let _ = tx.send(Response::Error {
                         message: format!("shard for unit {unit} is unavailable; retry"),
@@ -434,10 +442,13 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
                 .with_entry(unit, |entry| entry.registered)
                 .unwrap_or(false);
             if registered {
-                let sent = ctx.pool.send(unit, Job::Reset {
+                let sent = ctx.pool.send(
                     unit,
-                    reply: tx.clone(),
-                });
+                    Job::Reset {
+                        unit,
+                        reply: tx.clone(),
+                    },
+                );
                 if sent.is_err() {
                     let _ = tx.send(Response::Error {
                         message: format!("shard for unit {unit} is unavailable; retry"),
@@ -450,18 +461,11 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
             }
         }
         Request::Subscribe => {
-            ctx.subscribers
-                .lock()
-                .expect("subscriber lock poisoned")
-                .push(tx.clone());
+            ctx.subscribers.lock_clean().push(tx.clone());
             let _ = tx.send(Response::Subscribed);
         }
         Request::Stats => {
-            let subscriber_count = ctx
-                .subscribers
-                .lock()
-                .expect("subscriber lock poisoned")
-                .len();
+            let subscriber_count = ctx.subscribers.lock_clean().len();
             let _ = tx.send(Response::Stats(ctx.metrics.snapshot(subscriber_count)));
         }
         Request::Stop => {
@@ -542,6 +546,7 @@ fn handle_tick_request(
         }
         match ctx
             .pool
+            // dbclint: allow(panic-free) — Option dance for the FnMut closure; with_entry invokes it exactly once
             .try_send_tick(unit, job.take().expect("job taken once"))
         {
             Ok(()) => {

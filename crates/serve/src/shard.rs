@@ -24,6 +24,7 @@
 use crate::metrics::ServerMetrics;
 use crate::protocol::Response;
 use crate::server::ServerHandle;
+use crate::sync::LockRecover;
 use crate::wal::{self, PendingFrames, ShardRecovery, WalWriter};
 use dbcatcher_core::config::{CorrelationBackend, DbCatcherConfig};
 use dbcatcher_core::ingest::{GapPolicy, IngestReport};
@@ -83,13 +84,13 @@ impl CrashSwitch {
     /// Ticks ingested per unit during the crashed server's lifetime
     /// (includes each unit's final, unsnapshotted tick).
     pub fn ingested(&self) -> BTreeMap<usize, u64> {
-        self.counts.lock().expect("crash switch lock poisoned").clone()
+        self.counts.lock_clean().clone()
     }
 
     /// Records one ingested tick; returns `true` exactly once, on the
     /// tick that trips the kill.
     fn note_ingest(&self, unit: usize) -> bool {
-        let mut counts = self.counts.lock().expect("crash switch lock poisoned");
+        let mut counts = self.counts.lock_clean();
         *counts.entry(unit).or_insert(0) += 1;
         let total: u64 = counts.values().sum();
         if self.after_ticks > 0 && total >= self.after_ticks {
@@ -240,14 +241,14 @@ impl Registry {
     }
 
     pub fn with_entry<R>(&self, unit: usize, f: impl FnOnce(&mut UnitEntry) -> R) -> Option<R> {
-        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        let mut entries = self.entries.lock_clean();
         entries.get_mut(unit).map(f)
     }
 
     /// Clones the registered entries as `(unit, entry)` pairs — the
     /// supervisor's view of which units a replacement worker must re-own.
     pub fn registered(&self) -> Vec<(usize, UnitEntry)> {
-        let entries = self.entries.lock().expect("registry lock poisoned");
+        let entries = self.entries.lock_clean();
         entries
             .iter()
             .enumerate()
@@ -515,7 +516,10 @@ fn try_resume(
     if snapshot.num_dbs != dbs || snapshot.config.num_kpis != kpis {
         metrics.record_error(
             unit,
-            format!("snapshot {} mismatches Hello({dbs} dbs, {kpis} kpis)", path.display()),
+            format!(
+                "snapshot {} mismatches Hello({dbs} dbs, {kpis} kpis)",
+                path.display()
+            ),
         );
         return None;
     }
@@ -536,7 +540,7 @@ fn fan_out(
     subscribers: &Mutex<Vec<Sender<Response>>>,
 ) {
     {
-        let mut subs = subscribers.lock().expect("subscriber lock poisoned");
+        let mut subs = subscribers.lock_clean();
         subs.retain(|s| s.send(response.clone()).is_ok());
     }
     let _ = reply.send(response);
@@ -597,10 +601,21 @@ pub(crate) fn run_worker(ctx: ShardContext, jobs: Receiver<Job>, seed: WorkerSee
             continue;
         }
         match job {
-            Job::Hello { unit, dbs, kpis, participation, reply } => {
+            Job::Hello {
+                unit,
+                dbs,
+                kpis,
+                participation,
+                reply,
+            } => {
                 handle_hello(&ctx, &mut state, unit, dbs, kpis, participation, &reply);
             }
-            Job::Tick { unit, tick, frame, reply } => {
+            Job::Tick {
+                unit,
+                tick,
+                frame,
+                reply,
+            } => {
                 handle_tick(&ctx, &mut state, unit, tick, frame, &reply);
                 ctx.metrics.release_slot(unit);
             }
@@ -654,7 +669,8 @@ pub(crate) fn run_worker(ctx: ShardContext, jobs: Receiver<Job>, seed: WorkerSee
     }
     if let Some(wal) = state.wal.as_mut() {
         if let Err(e) = wal.sync() {
-            ctx.metrics.record_shard_note(ctx.shard, format!("WAL final sync: {e}"));
+            ctx.metrics
+                .record_shard_note(ctx.shard, format!("WAL final sync: {e}"));
         }
     }
 }
@@ -762,6 +778,7 @@ fn replay_pending(
     let mut next = slot.catcher.next_tick();
     let start = next;
     while let Some(frame) = ticks.get(&next) {
+        // dbclint: allow(determinism) — per-tick latency metric only; never feeds detection state or verdicts
         let started = Instant::now();
         let report = ingest_with_probation(ctx, slot, unit, next, frame, None);
         let Some(report) = report else {
@@ -867,11 +884,8 @@ fn ingest_with_probation(
                     } else {
                         ctx.registry
                             .with_entry(unit, |e| e.health = UnitHealth::Probation);
-                        ctx.metrics.record_strike(
-                            unit,
-                            slot.strikes,
-                            format!("tick {tick}: {e}"),
-                        );
+                        ctx.metrics
+                            .record_strike(unit, slot.strikes, format!("tick {tick}: {e}"));
                         if let Some(reply) = reply {
                             let _ = reply.send(Response::Error {
                                 message: format!(
@@ -934,6 +948,7 @@ fn handle_tick(
         return;
     }
     if let Some(pause) = ctx.slow_tick {
+        // dbclint: allow(determinism) — chaos knob: configured slow-tick stall; affects timing only, never verdict bytes
         std::thread::sleep(pause);
     }
     if let Some(chaos) = &ctx.chaos {
@@ -941,6 +956,7 @@ fn handle_tick(
             // Injected wedge: stall (pre-WAL, so the job is simply lost)
             // until the supervisor fences this generation.
             while !ctx.fenced() {
+                // dbclint: allow(determinism) — chaos hook: injected wedge stalls until the supervisor fences this generation
                 std::thread::sleep(Duration::from_millis(2));
             }
             return;
@@ -954,6 +970,7 @@ fn handle_tick(
                 .record_wal_error(unit, format!("WAL append tick {tick}: {e}"));
         }
     }
+    // dbclint: allow(determinism) — per-tick latency metric only; never feeds detection state or verdicts
     let started = Instant::now();
     let Some(report) = ingest_with_probation(ctx, slot, unit, tick, &frame, Some(reply)) else {
         return;
@@ -978,7 +995,11 @@ fn handle_tick(
             // Injected worker death *after* the tick is durable and
             // counted but before its verdicts escape — the worst case the
             // supervisor's snapshot+WAL re-own has to cover.
-            panic!("injected shard panic (test hook): shard {} tick {tick}", ctx.shard);
+            // dbclint: allow(panic-free) — deliberate chaos-injection worker death (env hook); exercises supervisor panic containment
+            panic!(
+                "injected shard panic (test hook): shard {} tick {tick}",
+                ctx.shard
+            );
         }
     }
     if !report.demoted.is_empty() || !report.readmitted.is_empty() {

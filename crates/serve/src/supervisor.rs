@@ -30,6 +30,7 @@
 use crate::metrics::ServerMetrics;
 use crate::server::ServerHandle;
 use crate::shard::{build_seed, run_worker, Job, Registry, ShardBeat, ShardContext, UnitHealth};
+use crate::sync::LockRecover;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -100,8 +101,14 @@ impl ShardSupervisor {
         let mut seats = Vec::with_capacity(shards);
         for shard in 0..shards {
             let beat = Arc::new(ShardBeat::default());
-            let (sender, cell) =
-                Self::launch(&factory, shard, shards, channel_cap, Arc::clone(&beat), false);
+            let (sender, cell) = Self::launch(
+                &factory,
+                shard,
+                shards,
+                channel_cap,
+                Arc::clone(&beat),
+                false,
+            );
             seats.push(Seat {
                 sender: Mutex::new(sender),
                 beat,
@@ -128,8 +135,9 @@ impl ShardSupervisor {
         let monitor = std::thread::Builder::new()
             .name("dbcatcher-supervisor".into())
             .spawn(move || monitor_ref.monitor_loop())
+            // dbclint: allow(panic-free) — OS thread-spawn failure at daemon boot is unrecoverable; fail loud
             .expect("spawn shard supervisor");
-        *supervisor.monitor.lock().expect("monitor lock poisoned") = Some(monitor);
+        *supervisor.monitor.lock_clean() = Some(monitor);
         supervisor
     }
 
@@ -150,6 +158,7 @@ impl ShardSupervisor {
         let handle = std::thread::Builder::new()
             .name(format!("dbcatcher-shard-{shard}"))
             .spawn(move || run_worker(ctx, receiver, seed))
+            // dbclint: allow(panic-free) — OS thread-spawn failure has no graceful recovery; fail loud
             .expect("spawn shard worker");
         (sender, WorkerCell { handle, fence })
     }
@@ -180,7 +189,7 @@ impl ShardSupervisor {
     pub fn try_send_tick(&self, unit: usize, job: Job) -> Result<(), ()> {
         let seat = self.seat(unit);
         let result = {
-            let sender = seat.sender.lock().expect("seat sender lock poisoned");
+            let sender = seat.sender.lock_clean();
             sender.try_send(job)
         };
         match result {
@@ -203,7 +212,7 @@ impl ShardSupervisor {
                 return Err(());
             }
             let result = {
-                let sender = seat.sender.lock().expect("seat sender lock poisoned");
+                let sender = seat.sender.lock_clean();
                 sender.try_send(job)
             };
             match result {
@@ -239,8 +248,7 @@ impl ShardSupervisor {
                 }
                 let finished = seat
                     .cell
-                    .lock()
-                    .expect("seat cell lock poisoned")
+                    .lock_clean()
                     .as_ref()
                     .is_some_and(|c| c.handle.is_finished());
                 if finished {
@@ -274,7 +282,7 @@ impl ShardSupervisor {
         // mutex makes it visible to any reader that could see a reset
         // expected tick.
         seat.restarting.store(true, Ordering::SeqCst);
-        let old = seat.cell.lock().expect("seat cell lock poisoned").take();
+        let old = seat.cell.lock_clean().take();
         if let Some(cell) = &old {
             cell.fence.store(true, Ordering::SeqCst);
         }
@@ -324,9 +332,9 @@ impl ShardSupervisor {
         );
         // Swapping drops the old generation's sender; a fenced-but-alive
         // worker blocked on `recv` wakes on the disconnect and exits.
-        *seat.sender.lock().expect("seat sender lock poisoned") = sender;
+        *seat.sender.lock_clean() = sender;
         seat.beat.reset();
-        *seat.cell.lock().expect("seat cell lock poisoned") = Some(cell);
+        *seat.cell.lock_clean() = Some(cell);
         seat.restarting.store(false, Ordering::SeqCst);
         self.metrics
             .record_shard_restart(shard, wedge.is_some(), reason);
@@ -337,14 +345,14 @@ impl ShardSupervisor {
     /// abandon anything that will not finish.
     pub fn stop(&self) {
         self.stopping.store(true, Ordering::SeqCst);
-        if let Some(monitor) = self.monitor.lock().expect("monitor lock poisoned").take() {
+        if let Some(monitor) = self.monitor.lock_clean().take() {
             let _ = monitor.join();
         }
         for seat in &self.seats {
             let deadline = Instant::now() + SEND_DEADLINE;
             loop {
                 let result = {
-                    let sender = seat.sender.lock().expect("seat sender lock poisoned");
+                    let sender = seat.sender.lock_clean();
                     sender.try_send(Job::Stop)
                 };
                 match result {
@@ -355,7 +363,7 @@ impl ShardSupervisor {
             }
         }
         for seat in &self.seats {
-            let Some(cell) = seat.cell.lock().expect("seat cell lock poisoned").take() else {
+            let Some(cell) = seat.cell.lock_clean().take() else {
                 continue;
             };
             let deadline = Instant::now() + STOP_DEADLINE;

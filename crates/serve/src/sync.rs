@@ -1,0 +1,42 @@
+//! Lock-poison recovery for the daemon's shared state.
+//!
+//! A `Mutex` poisons when a thread panics while holding it. For every
+//! mutex in this crate — metrics counters, the unit registry, subscriber
+//! lists, supervisor seats — the guarded data stays structurally valid
+//! at each await-free critical section, and the daemon's whole design is
+//! to *survive* misbehaving threads (the supervisor already catches and
+//! replaces panicked shard workers). Propagating the poison would turn
+//! one contained panic into a cascading daemon failure, so every lock in
+//! this crate recovers the inner value instead of unwrapping.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Poison-recovering lock: never panics, returns the guard either way.
+pub(crate) trait LockRecover<T> {
+    fn lock_clean(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockRecover<T> for Mutex<T> {
+    fn lock_clean(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn recovers_poisoned_lock() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock must actually be poisoned");
+        assert_eq!(*m.lock_clean(), 7);
+    }
+}

@@ -80,7 +80,11 @@ const fn build_crc_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -132,12 +136,23 @@ pub fn encode_record(unit: usize, tick: u64, frame: &[Vec<f64>]) -> Vec<u8> {
     out
 }
 
+/// Little-endian u32 at `off`; reads past the end yield 0-padding, which
+/// downstream CRC/length validation rejects as a torn record.
 fn read_u32(data: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
+    let mut bytes = [0u8; 4];
+    if let Some(src) = data.get(off..off + 4) {
+        bytes.copy_from_slice(src);
+    }
+    u32::from_le_bytes(bytes)
 }
 
+/// Little-endian u64 at `off`; same 0-padding contract as [`read_u32`].
 fn read_u64(data: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"))
+    let mut bytes = [0u8; 8];
+    if let Some(src) = data.get(off..off + 8) {
+        bytes.copy_from_slice(src);
+    }
+    u64::from_le_bytes(bytes)
 }
 
 /// Per-unit pending frames recovered from the log, keyed by tick.
@@ -286,7 +301,11 @@ pub fn recover_shard(dir: &Path) -> io::Result<ShardRecovery> {
                 .entry(unit)
                 .and_modify(|max| *max = (*max).max(tick))
                 .or_insert(tick);
-            recovery.pending.entry(unit).or_default().insert(tick, frame);
+            recovery
+                .pending
+                .entry(unit)
+                .or_default()
+                .insert(tick, frame);
             off += total;
         }
         recovery.segments.push(meta);
@@ -507,7 +526,10 @@ mod tests {
         let record_len = data.len() / 5;
         fs::write(&seg, &data[..data.len() - record_len / 2]).expect("truncate");
         let recovered = recover_shard(&dir).expect("recover");
-        assert_eq!(recovered.corrupt_segments, 0, "a torn tail is not corruption");
+        assert_eq!(
+            recovered.corrupt_segments, 0,
+            "a torn tail is not corruption"
+        );
         assert_eq!(recovered.pending[&0].len(), 4);
         assert_eq!(recovered.recovered_position(0, 0), 4);
         assert!(!recovered.diagnostics.is_empty());
@@ -531,7 +553,11 @@ mod tests {
         fs::write(&seg, &data).expect("rewrite");
         let recovered = recover_shard(&dir).expect("recover");
         assert_eq!(recovered.corrupt_segments, 1);
-        assert_eq!(recovered.pending[&0].len(), 2, "only the intact prefix survives");
+        assert_eq!(
+            recovered.pending[&0].len(),
+            2,
+            "only the intact prefix survives"
+        );
         assert_eq!(recovered.recovered_position(0, 0), 2);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -548,7 +574,10 @@ mod tests {
         assert!(segment_path(&dir, 0).exists());
         assert!(segment_path(&dir, 1).exists());
         writer.note_floor(1, RECORDS_PER_SEGMENT);
-        assert!(!segment_path(&dir, 0).exists(), "sealed segment below the floor is GC'd");
+        assert!(
+            !segment_path(&dir, 0).exists(),
+            "sealed segment below the floor is GC'd"
+        );
         assert!(segment_path(&dir, 1).exists(), "active segment survives");
         writer.sync().expect("sync");
         drop(writer);
@@ -573,7 +602,10 @@ mod tests {
         writer.append(0, 1, &frame(1, 1, 2)).expect("append");
         drop(writer);
         assert!(segment_path(&dir, 0).exists());
-        assert!(segment_path(&dir, 1).exists(), "restart never appends to an old segment");
+        assert!(
+            segment_path(&dir, 1).exists(),
+            "restart never appends to an old segment"
+        );
         let recovered = recover_shard(&dir).expect("recover");
         assert_eq!(recovered.recovered_position(0, 0), 2);
         let _ = fs::remove_dir_all(&dir);

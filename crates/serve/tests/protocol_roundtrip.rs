@@ -26,7 +26,10 @@ fn request_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Reques
             participation: if unit.is_multiple_of(2) {
                 None
             } else {
-                Some(vec![vec![unit.is_multiple_of(3); 1 + unit % 7]; 1 + tick as usize % 14])
+                Some(vec![
+                    vec![unit.is_multiple_of(3); 1 + unit % 7];
+                    1 + tick as usize % 14
+                ])
             },
         },
         1 => Request::Tick {

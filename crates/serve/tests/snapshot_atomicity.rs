@@ -54,7 +54,14 @@ fn offline_verdicts() -> Vec<(u64, Verdict)> {
 type Key = (u64, usize, u64, u64, usize, u32);
 
 fn key(at_tick: u64, v: &Verdict) -> Key {
-    (at_tick, v.db, v.start_tick, v.end_tick, v.window_size, v.expansions)
+    (
+        at_tick,
+        v.db,
+        v.start_tick,
+        v.end_tick,
+        v.window_size,
+        v.expansions,
+    )
 }
 
 fn scratch() -> PathBuf {
@@ -118,7 +125,10 @@ fn check_kill_resume(kill_tick: u64) {
     let survivors = boot(&dir, Some(switch.clone()));
     assert!(switch.tripped(), "kill at {kill_tick} must fire");
     let ingested = switch.ingested().get(&0).copied().unwrap_or(0);
-    assert_eq!(ingested, kill_tick, "single shard ingests exactly to the trip");
+    assert_eq!(
+        ingested, kill_tick,
+        "single shard ingests exactly to the trip"
+    );
 
     // Snapshot-only bound: the tripping tick may be ingested but not yet
     // snapshotted, every earlier tick is (snapshot_every == 1).

@@ -112,7 +112,9 @@ mod tests {
         let a = acf(&xs, 40).unwrap();
         let peaks = acf_peaks(&a, 0.5);
         assert!(
-            peaks.contains(&period) || peaks.contains(&(period - 1)) || peaks.contains(&(period + 1)),
+            peaks.contains(&period)
+                || peaks.contains(&(period - 1))
+                || peaks.contains(&(period + 1)),
             "peaks: {peaks:?}"
         );
     }
@@ -123,7 +125,9 @@ mod tests {
         let mut state = 12345u64;
         let xs: Vec<f64> = (0..1000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
             })
             .collect();

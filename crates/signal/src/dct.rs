@@ -24,7 +24,11 @@ pub fn dct2(xs: &[f64]) -> Result<Vec<f64>, SignalError> {
         for (i, &x) in xs.iter().enumerate() {
             acc += x * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos();
         }
-        let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        let scale = if k == 0 {
+            (1.0 / nf).sqrt()
+        } else {
+            (2.0 / nf).sqrt()
+        };
         out.push(acc * scale);
     }
     Ok(out)
@@ -60,7 +64,11 @@ pub fn dct3(coeffs: &[f64]) -> Result<Vec<f64>, SignalError> {
 #[inline]
 pub fn dct_atom(n: usize, k: usize, i: usize) -> f64 {
     let nf = n as f64;
-    let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+    let scale = if k == 0 {
+        (1.0 / nf).sqrt()
+    } else {
+        (2.0 / nf).sqrt()
+    };
     scale * (std::f64::consts::PI / nf * (i as f64 + 0.5) * k as f64).cos()
 }
 
@@ -124,7 +132,9 @@ mod tests {
         let n = 10;
         for k1 in 0..n {
             for k2 in 0..n {
-                let dot: f64 = (0..n).map(|i| dct_atom(n, k1, i) * dct_atom(n, k2, i)).sum();
+                let dot: f64 = (0..n)
+                    .map(|i| dct_atom(n, k1, i) * dct_atom(n, k2, i))
+                    .sum();
                 if k1 == k2 {
                     close(dot, 1.0);
                 } else {

@@ -395,8 +395,7 @@ mod tests {
         let series: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64 / 17.0).collect();
         let spec = rfft_padded(&series).unwrap();
         let time_energy: f64 = series.iter().map(|x| x * x).sum();
-        let freq_energy: f64 =
-            spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / spec.len() as f64;
         assert_close(time_energy, freq_energy, 1e-8);
     }
 }

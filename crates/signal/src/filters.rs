@@ -22,9 +22,11 @@ pub fn moving_average(xs: &[f64], w: usize) -> Result<Vec<f64>, SignalError> {
     let mut out = Vec::with_capacity(n);
     // Prefix sums keep this O(n) even for large windows.
     let mut prefix = Vec::with_capacity(n + 1);
-    prefix.push(0.0);
+    let mut running = 0.0;
+    prefix.push(running);
     for &x in xs {
-        prefix.push(prefix.last().unwrap() + x);
+        running += x;
+        prefix.push(running);
     }
     for i in 0..n {
         let lo = i.saturating_sub(half);
@@ -75,7 +77,11 @@ pub fn ewma(xs: &[f64], alpha: f64) -> Result<Vec<f64>, SignalError> {
     let mut out = Vec::with_capacity(xs.len());
     let mut acc = f64::NAN;
     for &x in xs {
-        acc = if acc.is_nan() { x } else { alpha * x + (1.0 - alpha) * acc };
+        acc = if acc.is_nan() {
+            x
+        } else {
+            alpha * x + (1.0 - alpha) * acc
+        };
         out.push(acc);
     }
     Ok(out)

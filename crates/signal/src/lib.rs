@@ -19,6 +19,7 @@
 //! numeric dependencies, and each module carries exhaustive unit tests
 //! (including FFT-vs-naive-DFT cross checks).
 
+#![forbid(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]

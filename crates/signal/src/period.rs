@@ -65,7 +65,10 @@ pub struct PeriodicityVerdict {
 /// [`SignalError::EmptyInput`] when the series is empty, and
 /// [`SignalError::InvalidParameter`] when it is too short to analyse
 /// (fewer than `4 * min_period` samples).
-pub fn classify(series: &[f64], cfg: &PeriodicityConfig) -> Result<PeriodicityVerdict, SignalError> {
+pub fn classify(
+    series: &[f64],
+    cfg: &PeriodicityConfig,
+) -> Result<PeriodicityVerdict, SignalError> {
     if series.is_empty() {
         return Err(SignalError::EmptyInput);
     }
@@ -112,7 +115,11 @@ pub fn classify(series: &[f64], cfg: &PeriodicityConfig) -> Result<PeriodicityVe
         periodic,
         period: best.map(|(p, _)| p).filter(|_| periodic),
         peak_power_ratio: ratio,
-        acf_at_period: if periodic { best.map(|(_, v)| v).unwrap_or(0.0) } else { 0.0 },
+        acf_at_period: if periodic {
+            best.map(|(_, v)| v).unwrap_or(0.0)
+        } else {
+            0.0
+        },
     })
 }
 
@@ -124,7 +131,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 amp * ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5)
             })
             .collect()

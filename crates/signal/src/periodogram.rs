@@ -140,7 +140,8 @@ mod tests {
         let xs: Vec<f64> = (0..512)
             .map(|i| {
                 let t = i as f64;
-                (std::f64::consts::TAU * t / 32.0).sin() + 0.8 * (std::f64::consts::TAU * t / 8.0).sin()
+                (std::f64::consts::TAU * t / 32.0).sin()
+                    + 0.8 * (std::f64::consts::TAU * t / 8.0).sin()
             })
             .collect();
         let peaks = top_peaks(&xs, 2).unwrap();

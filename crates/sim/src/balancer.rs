@@ -134,7 +134,13 @@ mod tests {
 
     #[test]
     fn skewed_overloads_target() {
-        let lb = LoadBalancer::new(5, BalancerStrategy::Skewed { target: 2, extra: 0.4 });
+        let lb = LoadBalancer::new(
+            5,
+            BalancerStrategy::Skewed {
+                target: 2,
+                extra: 0.4,
+            },
+        );
         let shares = lb.shares(&mut rng());
         assert_valid_shares(&shares);
         assert!(shares[2] > 0.5, "target share {}", shares[2]);
@@ -147,14 +153,26 @@ mod tests {
 
     #[test]
     fn skewed_extra_clamped() {
-        let lb = LoadBalancer::new(2, BalancerStrategy::Skewed { target: 0, extra: 5.0 });
+        let lb = LoadBalancer::new(
+            2,
+            BalancerStrategy::Skewed {
+                target: 0,
+                extra: 5.0,
+            },
+        );
         let shares = lb.shares(&mut rng());
         assert_valid_shares(&shares);
     }
 
     #[test]
     fn skewed_out_of_range_target_clamped() {
-        let lb = LoadBalancer::new(3, BalancerStrategy::Skewed { target: 99, extra: 0.3 });
+        let lb = LoadBalancer::new(
+            3,
+            BalancerStrategy::Skewed {
+                target: 99,
+                extra: 0.3,
+            },
+        );
         let shares = lb.shares(&mut rng());
         assert_valid_shares(&shares);
         assert!(shares[2] > shares[0]);
@@ -163,7 +181,10 @@ mod tests {
     #[test]
     fn strategy_swap() {
         let mut lb = LoadBalancer::new(4, BalancerStrategy::RoundRobin);
-        lb.set_strategy(BalancerStrategy::Skewed { target: 1, extra: 0.3 });
+        lb.set_strategy(BalancerStrategy::Skewed {
+            target: 1,
+            extra: 0.3,
+        });
         assert!(matches!(lb.strategy(), BalancerStrategy::Skewed { .. }));
         let shares = lb.shares(&mut rng());
         assert!(shares[1] > shares[0]);

@@ -283,7 +283,11 @@ mod tests {
 
     fn clean_frame(dbs: usize, kpis: usize, t: u64) -> Vec<Vec<f64>> {
         (0..dbs)
-            .map(|db| (0..kpis).map(|k| (t as f64) + (db * 10 + k) as f64).collect())
+            .map(|db| {
+                (0..kpis)
+                    .map(|k| (t as f64) + (db * 10 + k) as f64)
+                    .collect()
+            })
             .collect()
     }
 
@@ -370,7 +374,11 @@ mod tests {
             bits
         };
         assert_eq!(run(9), run(9));
-        assert_ne!(run(9), run(10), "different seeds should corrupt differently");
+        assert_ne!(
+            run(9),
+            run(10),
+            "different seeds should corrupt differently"
+        );
     }
 
     #[test]
@@ -405,7 +413,11 @@ mod tests {
         let mut series: Vec<Vec<Vec<f64>>> = (0..dbs)
             .map(|db| {
                 (0..kpis)
-                    .map(|k| (0..ticks).map(|t| (t + (db * 7 + k) as u64) as f64).collect())
+                    .map(|k| {
+                        (0..ticks)
+                            .map(|t| (t + (db * 7 + k) as u64) as f64)
+                            .collect()
+                    })
                     .collect()
             })
             .collect();

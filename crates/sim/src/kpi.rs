@@ -161,14 +161,26 @@ mod tests {
         assert_eq!(Kpi::ComInsert.correlation_class(), ReplicaOnly);
         assert_eq!(Kpi::ComUpdate.correlation_class(), ReplicaOnly);
         assert_eq!(Kpi::CpuUtilization.correlation_class(), PrimaryAndReplica);
-        assert_eq!(Kpi::BufferPoolReadRequests.correlation_class(), PrimaryAndReplica);
+        assert_eq!(
+            Kpi::BufferPoolReadRequests.correlation_class(),
+            PrimaryAndReplica
+        );
         assert_eq!(Kpi::InnodbDataWrites.correlation_class(), PrimaryAndReplica);
-        assert_eq!(Kpi::InnodbDataWritten.correlation_class(), PrimaryAndReplica);
+        assert_eq!(
+            Kpi::InnodbDataWritten.correlation_class(),
+            PrimaryAndReplica
+        );
         assert_eq!(Kpi::InnodbRowsDeleted.correlation_class(), ReplicaOnly);
         assert_eq!(Kpi::InnodbRowsInserted.correlation_class(), ReplicaOnly);
         assert_eq!(Kpi::InnodbRowsRead.correlation_class(), PrimaryAndReplica);
-        assert_eq!(Kpi::InnodbRowsUpdated.correlation_class(), PrimaryAndReplica);
-        assert_eq!(Kpi::RequestsPerSecond.correlation_class(), PrimaryAndReplica);
+        assert_eq!(
+            Kpi::InnodbRowsUpdated.correlation_class(),
+            PrimaryAndReplica
+        );
+        assert_eq!(
+            Kpi::RequestsPerSecond.correlation_class(),
+            PrimaryAndReplica
+        );
         assert_eq!(Kpi::TotalRequests.correlation_class(), PrimaryAndReplica);
         assert_eq!(Kpi::RealCapacity.correlation_class(), PrimaryAndReplica);
         assert_eq!(Kpi::TransactionsPerSecond.correlation_class(), ReplicaOnly);

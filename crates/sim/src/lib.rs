@@ -26,6 +26,7 @@
 //! The collection interval is the paper's 5 seconds; one `tick` = one
 //! sample of all 14 KPIs on all databases.
 
+#![forbid(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]

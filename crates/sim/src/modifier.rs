@@ -206,7 +206,9 @@ mod tests {
     fn routing_effects_are_identity_on_values() {
         let skew = AnomalyEffect::LoadSkew { extra_share: 0.5 };
         assert!(skew.kpi_factors(0.3).iter().all(|&f| f == 1.0));
-        let frag = AnomalyEffect::Fragmentation { growth_per_tick: 0.01 };
+        let frag = AnomalyEffect::Fragmentation {
+            growth_per_tick: 0.01,
+        };
         assert!(frag.kpi_factors(0.3).iter().all(|&f| f == 1.0));
     }
 

@@ -157,6 +157,7 @@ impl UnitSim {
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n = config.num_databases;
+        // dbclint: allow(panic-free) — sigma is clamped strictly positive on this line; Normal::new only rejects non-finite or non-positive sigma.
         let gain_dist = Normal::new(0.0, config.gain_spread.max(1e-9)).expect("valid sigma");
         let gains = (0..n)
             .map(|_| {
@@ -178,6 +179,7 @@ impl UnitSim {
             .collect();
         let balancer = LoadBalancer::new(n, config.balancer.clone());
         let fluctuation = FluctuationProcess::new(n, config.fluctuation.clone());
+        // dbclint: allow(panic-free) — sigma is clamped strictly positive on this line; Normal::new only rejects non-finite or non-positive sigma.
         let noise_dist = Normal::new(0.0, config.noise.max(1e-12)).expect("valid sigma");
         // Start every database with ~20 GB occupied, mildly varied.
         let capacity = (0..n)
@@ -317,10 +319,18 @@ impl UnitSim {
 
         for db in 0..n {
             let reads = shares[db] * load.reads;
-            let writes = if db == self.primary { load.writes } else { self.replay[db] };
+            let writes = if db == self.primary {
+                load.writes
+            } else {
+                self.replay[db]
+            };
             // Driver for replica-only KPIs on the primary carries the
             // idiosyncratic multiplier, weakening P-R correlation there.
-            let writes_rr = if db == self.primary { writes * self.idio } else { writes };
+            let writes_rr = if db == self.primary {
+                writes * self.idio
+            } else {
+                writes
+            };
 
             let is_primary = db == self.primary;
             let mut v = self.base_kpis(db, is_primary, reads, writes, writes_rr);
@@ -595,7 +605,10 @@ mod tests {
         assert!(!samples[15].anomalous[2]);
         let normal_cpu = samples[9].values[2][Kpi::CpuUtilization.index()];
         let spiked_cpu = samples[12].values[2][Kpi::CpuUtilization.index()];
-        assert!(spiked_cpu > normal_cpu * 1.5, "{spiked_cpu} vs {normal_cpu}");
+        assert!(
+            spiked_cpu > normal_cpu * 1.5,
+            "{spiked_cpu} vs {normal_cpu}"
+        );
         // other databases untouched
         assert!(
             (samples[12].values[1][Kpi::CpuUtilization.index()] - normal_cpu).abs()
@@ -640,7 +653,10 @@ mod tests {
         for s in &samples[6..15] {
             assert_eq!(s.values[3][Kpi::TotalRequests.index()], frozen_val);
         }
-        assert_ne!(samples[16].values[3][Kpi::TotalRequests.index()], frozen_val);
+        assert_ne!(
+            samples[16].values[3][Kpi::TotalRequests.index()],
+            frozen_val
+        );
     }
 
     #[test]
@@ -719,8 +735,14 @@ mod tests {
         assert!(rps_new > rps_old, "{rps_new} vs {rps_old}");
         // participation mask follows the new primary
         let mask = sim.participation_mask();
-        assert!(mask[Kpi::ComInsert.index()][0], "old primary participates again");
-        assert!(!mask[Kpi::ComInsert.index()][3], "new primary excluded on R-R KPIs");
+        assert!(
+            mask[Kpi::ComInsert.index()][0],
+            "old primary participates again"
+        );
+        assert!(
+            !mask[Kpi::ComInsert.index()][3],
+            "new primary excluded on R-R KPIs"
+        );
     }
 
     #[test]

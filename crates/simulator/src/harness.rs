@@ -114,6 +114,7 @@ fn build_fixture(plan_unit: &UnitPlan) -> UnitFixture {
     for (t, frame) in frames.iter().enumerate() {
         let report = catcher
             .try_ingest_tick(frame)
+            // dbclint: allow(panic-free) — chaos harness is a test driver: an unrepairable scripted fault is a scenario bug, fail loud.
             .expect("scenario faults are repairable by the ingest layer");
         offline.extend(report.verdicts.into_iter().map(|verdict| VerdictRecord {
             unit: plan_unit.unit,
@@ -142,6 +143,7 @@ fn scratch_dir(seed: u64) -> PathBuf {
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
+    // dbclint: allow(panic-free) — test-driver setup; a broken scratch filesystem should abort the soak run loudly.
     std::fs::create_dir_all(&dir).expect("create chaos scratch dir");
     dir
 }
@@ -365,6 +367,7 @@ fn spawn_queue_poller(
                 let depth = stats.units.iter().map(|u| u.queue_depth).max().unwrap_or(0);
                 max_depth.fetch_max(depth, Ordering::SeqCst);
             }
+            // dbclint: allow(determinism) — readiness poll while the daemon boots; pacing only, event-log content stays seed-determined.
             std::thread::sleep(Duration::from_millis(15));
         }
     })
@@ -561,6 +564,7 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
                 }
             }
             BootEnd::Crash { after_ticks } => {
+                // dbclint: allow(panic-free) — this branch only runs for crash scenarios, which always carry a kill switch.
                 let switch = crash.as_ref().expect("crash boot has a switch");
                 let tripped = switch.tripped();
                 events.invariant("boot", "crash_tripped", tripped);
@@ -577,8 +581,7 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
                 let post_rec = recovered_positions(&env.dir, units, eshards);
                 let mut zero_lost = true;
                 for unit in 0..units {
-                    let absolute =
-                        pre_rec[unit] + ingested.get(&unit).copied().unwrap_or(0);
+                    let absolute = pre_rec[unit] + ingested.get(&unit).copied().unwrap_or(0);
                     let recovered = post_rec[unit];
                     if recovered != absolute {
                         zero_lost = false;
@@ -587,7 +590,11 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
                              (snapshot + WAL) after ingesting through {absolute} — \
                              {} tick(s) {}",
                             absolute.abs_diff(recovered),
-                            if recovered < absolute { "lost" } else { "duplicated" }
+                            if recovered < absolute {
+                                "lost"
+                            } else {
+                                "duplicated"
+                            }
                         ));
                     }
                 }

@@ -20,7 +20,7 @@
 //!   from snapshot + WAL, none duplicated), injected shard panics and
 //!   wedges contained by the supervisor, demotion/re-admission
 //!   lifecycle intact, no shard ever wedges the daemon.
-//! - [`shrink`] — greedy schedule minimization: when a seed fails, the
+//! - [`mod@shrink`] — greedy schedule minimization: when a seed fails, the
 //!   failing plan is re-run under simplifying edits (drop crashes, drop
 //!   faults, fewer boots/units, shorter streams) until the smallest
 //!   still-failing schedule remains.
@@ -30,6 +30,8 @@
 //! The `dbcatcher simulate --chaos --seed N` subcommand and the
 //! `sim_corpus` / `sim_soak` test suites are thin wrappers over
 //! [`run_seed`].
+
+#![forbid(unsafe_code)]
 
 pub mod event;
 pub mod harness;

@@ -158,6 +158,7 @@ impl SimPlan {
             .collect();
 
         let shards = rng.gen_range(1..=3usize);
+        // dbclint: allow(panic-free) — choose over a non-empty literal array is infallible.
         let queue_cap = *[4usize, 8, 16, 32].choose(&mut rng).expect("non-empty");
         let slow_tick_us = if rng.gen_bool(0.35) {
             rng.gen_range(200..=1200u64)
@@ -196,6 +197,7 @@ impl SimPlan {
                 prev_offered.clone_from(&offered);
                 sessions.push(SessionPlan { offered });
             }
+            // dbclint: allow(panic-free) — the session loop above always pushes at least one session per boot.
             let final_offered = &sessions.last().expect("at least one session").offered;
             let guaranteed_new: usize = final_offered
                 .iter()
@@ -295,6 +297,7 @@ impl SimPlan {
                 }
                 prev.clone_from(&session.offered);
             }
+            // dbclint: allow(panic-free) — plan generation emits at least one session per boot; the rewrite loop preserves that.
             let final_offered = &boot.sessions.last().expect("session exists").offered;
             let guaranteed_new: usize = final_offered
                 .iter()
@@ -338,6 +341,7 @@ impl SimPlan {
 
     /// Serialises the plan to pretty JSON (for failure reports).
     pub fn to_json(&self) -> String {
+        // dbclint: allow(panic-free) — serialising a plain in-memory struct through the vendored shim cannot fail.
         serde_json::to_string(self).expect("plan serialises")
     }
 }
@@ -352,6 +356,7 @@ fn random_scenario(rng: &mut StdRng, max_ticks: usize) -> UnitScenario {
         Archetype::Finance,
     ]
     .choose(rng)
+    // dbclint: allow(panic-free) — choose over a non-empty literal array is infallible.
     .expect("non-empty");
     let scenario_seed: u64 = rng.gen();
     let num_databases = rng.gen_range(3..=6usize);

@@ -170,7 +170,11 @@ mod tests {
         let opts = SimOpts::default();
         let plan = (0..200u64)
             .map(|s| SimPlan::generate(s, &opts))
-            .find(|p| p.boots.iter().any(|b| matches!(b.end, BootEnd::Crash { .. })))
+            .find(|p| {
+                p.boots
+                    .iter()
+                    .any(|b| matches!(b.end, BootEnd::Crash { .. }))
+            })
             .expect("some seed below 200 crashes");
         let report = shrink_with(&plan, 64, |candidate| {
             candidate

@@ -144,7 +144,10 @@ mod tests {
         let plan = plan_anomalies(5, 2000, &AnomalyPlanConfig::default(), 3);
         assert!(!plan.is_empty());
         for pair in plan.windows(2) {
-            assert!(pair[0].ticks.end <= pair[1].ticks.start, "overlap: {pair:?}");
+            assert!(
+                pair[0].ticks.end <= pair[1].ticks.start,
+                "overlap: {pair:?}"
+            );
         }
     }
 
@@ -153,7 +156,10 @@ mod tests {
         let cfg = AnomalyPlanConfig::default();
         let ticks = 20_000;
         let plan = plan_anomalies(5, ticks, &cfg, 7);
-        let anomalous: usize = plan.iter().map(|m| (m.ticks.end - m.ticks.start) as usize).sum();
+        let anomalous: usize = plan
+            .iter()
+            .map(|m| (m.ticks.end - m.ticks.start) as usize)
+            .sum();
         let ratio = anomalous as f64 / (5 * ticks) as f64;
         assert!(
             (ratio - cfg.target_ratio).abs() < cfg.target_ratio * 0.35,
@@ -178,15 +184,24 @@ mod tests {
         let plan = plan_anomalies(5, 10_000, &cfg, 13);
         for m in &plan {
             let d = (m.ticks.end - m.ticks.start) as usize;
-            assert!(d >= cfg.min_duration && d <= cfg.max_duration, "duration {d}");
+            assert!(
+                d >= cfg.min_duration && d <= cfg.max_duration,
+                "duration {d}"
+            );
         }
     }
 
     #[test]
     fn deterministic_per_seed() {
         let cfg = AnomalyPlanConfig::default();
-        assert_eq!(plan_anomalies(5, 3000, &cfg, 1), plan_anomalies(5, 3000, &cfg, 1));
-        assert_ne!(plan_anomalies(5, 3000, &cfg, 1), plan_anomalies(5, 3000, &cfg, 2));
+        assert_eq!(
+            plan_anomalies(5, 3000, &cfg, 1),
+            plan_anomalies(5, 3000, &cfg, 1)
+        );
+        assert_ne!(
+            plan_anomalies(5, 3000, &cfg, 1),
+            plan_anomalies(5, 3000, &cfg, 2)
+        );
     }
 
     #[test]

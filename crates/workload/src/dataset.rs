@@ -180,7 +180,11 @@ impl Dataset {
             dimensions: dims,
             total_points: total,
             anomal_points: anomal,
-            abnormal_ratio: if total == 0 { 0.0 } else { anomal as f64 / total as f64 },
+            abnormal_ratio: if total == 0 {
+                0.0
+            } else {
+                anomal as f64 / total as f64
+            },
         }
     }
 
@@ -359,7 +363,11 @@ impl DatasetSpec {
         match self.kind {
             WorkloadKind::Tencent => {
                 let arch = if periodic {
-                    if rng.gen_bool(0.5) { Archetype::Social } else { Archetype::Gaming }
+                    if rng.gen_bool(0.5) {
+                        Archetype::Social
+                    } else {
+                        Archetype::Gaming
+                    }
                 } else if rng.gen_bool(0.5) {
                     Archetype::Ecommerce
                 } else {
@@ -408,7 +416,11 @@ impl DatasetSpec {
 
         let n = self.databases_per_unit;
         let mut series: Vec<Vec<Vec<f64>>> = (0..n)
-            .map(|_| (0..NUM_KPIS).map(|_| Vec::with_capacity(self.ticks)).collect())
+            .map(|_| {
+                (0..NUM_KPIS)
+                    .map(|_| Vec::with_capacity(self.ticks))
+                    .collect()
+            })
             .collect();
         let mut labels = vec![Vec::with_capacity(self.ticks); n];
         for s in &samples {
@@ -471,13 +483,13 @@ mod tests {
         let ds = tiny_spec().build();
         let stats = ds.stats();
         assert!(stats.anomal_points > 0, "no anomalies injected");
-        assert!(stats.abnormal_ratio > 0.01 && stats.abnormal_ratio < 0.12,
-            "ratio {}", stats.abnormal_ratio);
-        assert_eq!(stats.dimensions, NUM_KPIS);
-        assert_eq!(
-            stats.total_points,
-            3 * 5 * NUM_KPIS * 200
+        assert!(
+            stats.abnormal_ratio > 0.01 && stats.abnormal_ratio < 0.12,
+            "ratio {}",
+            stats.abnormal_ratio
         );
+        assert_eq!(stats.dimensions, NUM_KPIS);
+        assert_eq!(stats.total_points, 3 * 5 * NUM_KPIS * 200);
     }
 
     #[test]
@@ -520,9 +532,15 @@ mod tests {
     fn paper_specs_match_table_iii_shapes() {
         let t = DatasetSpec::paper_tencent(1);
         assert_eq!(t.num_units, 100);
-        assert_eq!(t.num_units * t.databases_per_unit * NUM_KPIS * t.ticks, 5_530_000);
+        assert_eq!(
+            t.num_units * t.databases_per_unit * NUM_KPIS * t.ticks,
+            5_530_000
+        );
         let s = DatasetSpec::paper_sysbench(1);
-        assert_eq!(s.num_units * s.databases_per_unit * NUM_KPIS * s.ticks, 647_500);
+        assert_eq!(
+            s.num_units * s.databases_per_unit * NUM_KPIS * s.ticks,
+            647_500
+        );
         let c = DatasetSpec::paper_tpcc(1);
         assert_eq!(c.num_units, 50);
         assert_eq!(c.kind, WorkloadKind::Tpcc);

@@ -230,7 +230,11 @@ mod tests {
         assert_eq!(back.labels, unit.labels);
         for db in 0..unit.num_databases() {
             for kpi in 0..unit.num_kpis() {
-                for (a, b) in back.kpi_series(db, kpi).iter().zip(unit.kpi_series(db, kpi)) {
+                for (a, b) in back
+                    .kpi_series(db, kpi)
+                    .iter()
+                    .zip(unit.kpi_series(db, kpi))
+                {
                     assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
                 }
             }

@@ -24,6 +24,7 @@
 //! [`dataset::Dataset`] values with ground-truth labels, train/test splits
 //! and Table III-style statistics.
 
+#![forbid(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]

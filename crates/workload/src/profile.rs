@@ -83,7 +83,11 @@ impl LoadProfile {
     pub fn generate(&self, ticks: usize, seed: u64) -> Vec<OfferedLoad> {
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
-            LoadProfile::Steady { reads, writes, noise } => {
+            LoadProfile::Steady {
+                reads,
+                writes,
+                noise,
+            } => {
                 let mut ln = LoadNoise::new(*noise);
                 (0..ticks)
                     .map(|_| {
@@ -105,9 +109,7 @@ impl LoadProfile {
                 (0..ticks)
                     .map(|t| {
                         let phase = std::f64::consts::TAU * t as f64 / p;
-                        let shape = 1.0
-                            + amplitude * phase.sin()
-                            + harmonic * (2.0 * phase).sin();
+                        let shape = 1.0 + amplitude * phase.sin() + harmonic * (2.0 * phase).sin();
                         let shape = shape.max(0.05);
                         let (fr, fw) = ln.factors(&mut rng);
                         OfferedLoad::new(base_reads * shape * fr, base_writes * shape * fw)
@@ -130,7 +132,8 @@ impl LoadProfile {
                 let mut ln = LoadNoise::new(*noise);
                 for _ in 0..ticks {
                     if remaining == 0 && rng.gen_bool(burst_prob.clamp(0.0, 1.0)) {
-                        remaining = rng.gen_range(burst_len.0.max(1)..=burst_len.1.max(burst_len.0).max(1));
+                        remaining =
+                            rng.gen_range(burst_len.0.max(1)..=burst_len.1.max(burst_len.0).max(1));
                         factor = burst_dist.sample(&mut rng).max(1.2);
                     }
                     let f = if remaining > 0 {
@@ -262,7 +265,10 @@ impl LoadNoise {
         let n = Normal::new(0.0, self.eps_sigma).expect("valid sigma");
         self.read_state = self.phi * self.read_state + n.sample(rng);
         self.write_state = self.phi * self.write_state + n.sample(rng);
-        ((1.0 + self.read_state).max(0.0), (1.0 + self.write_state).max(0.0))
+        (
+            (1.0 + self.read_state).max(0.0),
+            (1.0 + self.write_state).max(0.0),
+        )
     }
 }
 
@@ -358,7 +364,11 @@ mod tests {
     #[test]
     fn requested_length_always_honoured() {
         for profile in [
-            LoadProfile::Steady { reads: 1.0, writes: 1.0, noise: 0.1 },
+            LoadProfile::Steady {
+                reads: 1.0,
+                writes: 1.0,
+                noise: 0.1,
+            },
             LoadProfile::Cyclic {
                 base_reads: 1.0,
                 base_writes: 1.0,
@@ -394,7 +404,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "segment plan must not be empty")]
     fn empty_plan_panics() {
-        let p = LoadProfile::Segments { plan: vec![], noise: 0.0 };
+        let p = LoadProfile::Segments {
+            plan: vec![],
+            noise: 0.0,
+        };
         let _ = p.generate(5, 1);
     }
 }

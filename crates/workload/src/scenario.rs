@@ -153,7 +153,11 @@ impl UnitScenario {
         let samples = sim.run(&loads);
         let n = self.num_databases;
         let mut series: Vec<Vec<Vec<f64>>> = (0..n)
-            .map(|_| (0..NUM_KPIS).map(|_| Vec::with_capacity(self.ticks)).collect())
+            .map(|_| {
+                (0..NUM_KPIS)
+                    .map(|_| Vec::with_capacity(self.ticks))
+                    .collect()
+            })
             .collect();
         let mut labels = vec![Vec::with_capacity(self.ticks); n];
         for s in &samples {
@@ -216,7 +220,10 @@ mod tests {
         let k = Kpi::RealCapacity.index();
         let target_growth = data.kpi_series(1, k)[519] / data.kpi_series(1, k)[400];
         let peer_growth = data.kpi_series(3, k)[519] / data.kpi_series(3, k)[400];
-        assert!(target_growth > peer_growth * 1.5, "{target_growth} vs {peer_growth}");
+        assert!(
+            target_growth > peer_growth * 1.5,
+            "{target_growth} vs {peer_growth}"
+        );
     }
 
     #[test]
@@ -230,7 +237,10 @@ mod tests {
         assert!(hog_cpu > peer_cpu * 1.4, "cpu {hog_cpu} vs {peer_cpu}");
         let peer_req = data.kpi_series(3, req)[mid];
         let hog_req = data.kpi_series(1, req)[mid];
-        assert!((hog_req / peer_req - 1.0).abs() < 0.6, "req {hog_req} vs {peer_req}");
+        assert!(
+            (hog_req / peer_req - 1.0).abs() < 0.6,
+            "req {hog_req} vs {peer_req}"
+        );
     }
 
     #[test]
@@ -256,7 +266,10 @@ mod tests {
         let clean = UnitScenario::quickstart(42).generate();
         let faulted = UnitScenario::faulted_quickstart(42).generate();
         assert_eq!(clean.labels, faulted.labels, "faults must not move labels");
-        assert_ne!(clean.series, faulted.series, "faults must corrupt the series");
+        assert_ne!(
+            clean.series, faulted.series,
+            "faults must corrupt the series"
+        );
         let non_finite: usize = faulted
             .series
             .iter()

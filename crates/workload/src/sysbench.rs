@@ -100,22 +100,47 @@ mod tests {
 
     #[test]
     fn offered_rate_monotone_in_threads() {
-        let lo = SysbenchRun { tables: 10, threads: 4, items: 100_000, duration_ticks: 6 };
-        let hi = SysbenchRun { tables: 10, threads: 64, items: 100_000, duration_ticks: 6 };
+        let lo = SysbenchRun {
+            tables: 10,
+            threads: 4,
+            items: 100_000,
+            duration_ticks: 6,
+        };
+        let hi = SysbenchRun {
+            tables: 10,
+            threads: 64,
+            items: 100_000,
+            duration_ticks: 6,
+        };
         assert!(hi.offered_rate().0 > lo.offered_rate().0);
         assert!(hi.offered_rate().1 > lo.offered_rate().1);
     }
 
     #[test]
     fn offered_rate_penalised_by_tables() {
-        let few = SysbenchRun { tables: 5, threads: 16, items: 100_000, duration_ticks: 6 };
-        let many = SysbenchRun { tables: 20, threads: 16, items: 100_000, duration_ticks: 6 };
+        let few = SysbenchRun {
+            tables: 5,
+            threads: 16,
+            items: 100_000,
+            duration_ticks: 6,
+        };
+        let many = SysbenchRun {
+            tables: 20,
+            threads: 16,
+            items: 100_000,
+            duration_ticks: 6,
+        };
         assert!(few.offered_rate().0 > many.offered_rate().0);
     }
 
     #[test]
     fn read_write_mix() {
-        let run = SysbenchRun { tables: 10, threads: 16, items: 100_000, duration_ticks: 6 };
+        let run = SysbenchRun {
+            tables: 10,
+            threads: 16,
+            items: 100_000,
+            duration_ticks: 6,
+        };
         let (r, w) = run.offered_rate();
         assert!((r / (r + w) - READ_FRACTION).abs() < 1e-9);
     }

@@ -99,7 +99,11 @@ mod tests {
     use dbcatcher_signal::period::{classify, PeriodicityConfig};
 
     fn reads(profile: &LoadProfile, ticks: usize, seed: u64) -> Vec<f64> {
-        profile.generate(ticks, seed).iter().map(|l| l.reads).collect()
+        profile
+            .generate(ticks, seed)
+            .iter()
+            .map(|l| l.reads)
+            .collect()
     }
 
     #[test]
@@ -131,11 +135,17 @@ mod tests {
         for seed in 0..10u64 {
             let p = Archetype::Ecommerce.profile(seed);
             let xs = reads(&p, 600, seed);
-            if classify(&xs, &PeriodicityConfig::default()).unwrap().periodic {
+            if classify(&xs, &PeriodicityConfig::default())
+                .unwrap()
+                .periodic
+            {
                 periodic += 1;
             }
         }
-        assert!(periodic <= 3, "{periodic}/10 ecommerce units classified periodic");
+        assert!(
+            periodic <= 3,
+            "{periodic}/10 ecommerce units classified periodic"
+        );
     }
 
     #[test]

@@ -106,7 +106,12 @@ mod tests {
 
     #[test]
     fn write_heavier_than_sysbench() {
-        let run = TpccRun { warehouses: 10, threads: 16, warmup_ticks: 0, duration_ticks: 6 };
+        let run = TpccRun {
+            warehouses: 10,
+            threads: 16,
+            warmup_ticks: 0,
+            duration_ticks: 6,
+        };
         let (r, w) = run.offered_rate();
         let write_frac = w / (r + w);
         assert!(write_frac > 0.4, "write fraction {write_frac}");
@@ -114,7 +119,12 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let run = TpccRun { warehouses: 10, threads: 8, warmup_ticks: 4, duration_ticks: 6 };
+        let run = TpccRun {
+            warehouses: 10,
+            threads: 8,
+            warmup_ticks: 4,
+            duration_ticks: 6,
+        };
         let plan = run.plan();
         assert_eq!(plan.len(), 5);
         for pair in plan.windows(2) {
@@ -124,8 +134,18 @@ mod tests {
 
     #[test]
     fn more_threads_more_throughput() {
-        let lo = TpccRun { warehouses: 10, threads: 4, warmup_ticks: 0, duration_ticks: 6 };
-        let hi = TpccRun { warehouses: 10, threads: 24, warmup_ticks: 0, duration_ticks: 6 };
+        let lo = TpccRun {
+            warehouses: 10,
+            threads: 4,
+            warmup_ticks: 0,
+            duration_ticks: 6,
+        };
+        let hi = TpccRun {
+            warehouses: 10,
+            threads: 24,
+            warmup_ticks: 0,
+            duration_ticks: 6,
+        };
         assert!(hi.offered_rate().0 > lo.offered_rate().0);
     }
 
@@ -145,11 +165,17 @@ mod tests {
         for seed in 0..8u64 {
             let loads = tpcc_i_profile(seed, 480).generate(480, seed);
             let reads: Vec<f64> = loads.iter().map(|l| l.reads).collect();
-            if classify(&reads, &PeriodicityConfig::default()).unwrap().periodic {
+            if classify(&reads, &PeriodicityConfig::default())
+                .unwrap()
+                .periodic
+            {
                 periodic += 1;
             }
         }
-        assert!(periodic <= 2, "{periodic}/8 TPCC I traces classified periodic");
+        assert!(
+            periodic <= 2,
+            "{periodic}/8 TPCC I traces classified periodic"
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@ fn run_case(scenario: UnitScenario, expect_db: usize, window: std::ops::Range<us
             if !v.state.is_abnormal() {
                 continue;
             }
-            let overlaps =
-                v.db == expect_db && (v.end_tick as usize) > window.start && (v.start_tick as usize) < window.end;
+            let overlaps = v.db == expect_db
+                && (v.end_tick as usize) > window.start
+                && (v.start_tick as usize) < window.end;
             if overlaps {
                 hits += 1;
                 println!(

@@ -38,8 +38,8 @@ fn main() {
     config.theta = 0.01;
     config.max_tolerance = 0;
 
-    let mut catcher = DbCatcher::new(config, unit.num_databases())
-        .with_participation(unit.participation.clone());
+    let mut catcher =
+        DbCatcher::new(config, unit.num_databases()).with_participation(unit.participation.clone());
     // Keep the last 200 judgment records; retrain below 75 % F-Measure
     // (paper §IV-D3).
     let mut feedback = FeedbackModule::new(200, 0.75);
@@ -88,5 +88,8 @@ fn main() {
         100.0 * timing.observation.as_secs_f64()
             / (timing.correlation + timing.observation).as_secs_f64(),
     );
-    assert!(retrainings > 0, "the mis-tuned start must trigger adaptation");
+    assert!(
+        retrainings > 0,
+        "the mis-tuned start must trigger adaptation"
+    );
 }

@@ -37,9 +37,17 @@ fn main() {
 
     // Retraining cost comparison (paper Table IX): DBCatcher only re-runs
     // the GA over fresh records; a learned model retrains end to end.
-    for method in [MethodKind::DbCatcher, MethodKind::SrCnn, MethodKind::OmniAnomaly] {
+    for method in [
+        MethodKind::DbCatcher,
+        MethodKind::SrCnn,
+        MethodKind::OmniAnomaly,
+    ] {
         let secs = retrain_seconds(method, &sys_train, &cfg);
-        println!("retraining {:<12} on the new workload: {:.3}s", method.name(), secs);
+        println!(
+            "retraining {:<12} on the new workload: {:.3}s",
+            method.name(),
+            secs
+        );
     }
 
     // After re-learning, the new thresholds restore performance.

@@ -16,6 +16,8 @@
 //! * a first CLI argument (as `cargo bench -- <filter>`) filters
 //!   benchmarks by substring.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -31,9 +33,7 @@ fn fast_mode() -> bool {
 
 fn cli_filter() -> Option<String> {
     // Skip flags criterion would swallow (--bench, --test, …).
-    std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
 }
 
 /// Identifier for one parameterised benchmark.
@@ -110,12 +110,7 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark with an input handle (criterion signature
     /// compatibility; the input is simply passed through).
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

@@ -9,6 +9,8 @@
 //! * `prop_assert!` panics (like `assert!`) rather than returning a
 //!   `TestCaseResult` — sufficient for how the tests are written.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 pub use rand::Rng;
 

@@ -8,6 +8,8 @@
 //! differential tests rely on. It is **not** a cryptographic RNG; nothing
 //! in this repository needs one.
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: everything derives from `next_u64`.
 pub trait RngCore {
     /// Next 64 uniformly random bits.
@@ -211,10 +213,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let out = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];

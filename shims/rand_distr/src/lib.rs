@@ -4,6 +4,8 @@
 //! adequate for simulation workloads, deterministic given the shim
 //! `StdRng`.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, StandardSample};
 
 /// A distribution over values of type `T`.

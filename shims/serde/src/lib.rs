@@ -15,6 +15,8 @@
 //!   `f64::NAN` — the detector's verdict scores use NaN as a sentinel;
 //! * integers keep full 64-bit precision (no round trip through f64).
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap, VecDeque};

@@ -12,6 +12,8 @@
 //! variants become `{"Variant": …}` single-key objects — mirroring
 //! serde_json's externally-tagged default.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
@@ -44,14 +46,18 @@ struct Input {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives `serde::Deserialize` (shim Value model).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 // ------------------------------------------------------------------ parse
@@ -220,11 +226,7 @@ fn gen_serialize(input: &Input) -> String {
         Shape::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }

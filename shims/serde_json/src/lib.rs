@@ -8,6 +8,8 @@
 //! Non-finite floats serialise as `null` and parse back as `NaN` via the
 //! serde shim's `f64` impl.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Value;
 use serde::{DeError, Deserialize, Serialize};
 
@@ -213,15 +215,14 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| Error::new("truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| Error::new("bad \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| Error::new("bad \\u escape"))?;
                         let code = u32::from_str_radix(hex, 16)
                             .map_err(|_| Error::new("bad \\u escape"))?;
                         // Surrogate pairs are not needed by this workspace's
                         // data (ASCII identifiers and numbers only).
                         out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            char::from_u32(code).ok_or_else(|| Error::new("bad \\u code point"))?,
                         );
                         *pos += 4;
                     }
@@ -231,8 +232,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
             }
             Some(_) => {
                 // Consume one UTF-8 code point.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| Error::new("invalid UTF-8"))?;
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| Error::new("invalid UTF-8"))?;
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -257,8 +258,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| Error::new("invalid number"))?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(Error::new(format!("expected number at byte {start}")));
     }

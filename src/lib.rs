@@ -44,12 +44,14 @@
 //! assert!(alarms > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dbcatcher_baselines as baselines;
 pub use dbcatcher_core as core;
 pub use dbcatcher_eval as eval;
 pub use dbcatcher_nn as nn;
 pub use dbcatcher_serve as serve;
 pub use dbcatcher_signal as signal;
-pub use dbcatcher_simulator as simulator;
 pub use dbcatcher_sim as sim;
+pub use dbcatcher_simulator as simulator;
 pub use dbcatcher_workload as workload;

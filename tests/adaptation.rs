@@ -45,8 +45,18 @@ fn three_searchers_comparable_at_equal_budget() {
     let rnd = random_search(14, &cfg, budget, fitness);
     // Fig. 11's qualitative claim at laptop scale: GA is at least
     // competitive with the baselines
-    assert!(ga.fitness >= rnd.fitness - 0.05, "GA {} vs random {}", ga.fitness, rnd.fitness);
-    assert!(ga.fitness >= saa.fitness - 0.05, "GA {} vs SAA {}", ga.fitness, saa.fitness);
+    assert!(
+        ga.fitness >= rnd.fitness - 0.05,
+        "GA {} vs random {}",
+        ga.fitness,
+        rnd.fitness
+    );
+    assert!(
+        ga.fitness >= saa.fitness - 0.05,
+        "GA {} vs SAA {}",
+        ga.fitness,
+        saa.fitness
+    );
     assert_eq!(ga.evaluations, budget);
     assert_eq!(saa.evaluations, budget);
 }

@@ -50,11 +50,7 @@ fn detectors_score_degenerate_units_without_panicking() {
     for kpi in with_unused[3].iter_mut() {
         kpi.iter_mut().for_each(|v| *v = 0.0);
     }
-    for kind in [
-        MethodKind::Fft,
-        MethodKind::Sr,
-        MethodKind::JumpStarter,
-    ] {
+    for kind in [MethodKind::Fft, MethodKind::Sr, MethodKind::JumpStarter] {
         let detector = baseline_detector(kind, unit.num_kpis(), 1);
         let s1 = detector.score(&constant);
         assert_eq!(s1.len(), 100);
@@ -74,13 +70,17 @@ fn delay_beyond_scan_range_decorrelates() {
     let base: Vec<f64> = (0..80)
         .map(|i| (std::f64::consts::TAU * i as f64 / 16.0).sin())
         .collect();
-    let delayed: Vec<f64> = (0..80usize)
-        .map(|i| base[i.saturating_sub(7)])
-        .collect();
+    let delayed: Vec<f64> = (0..80usize).map(|i| base[i.saturating_sub(7)]).collect();
     let within = kcd(&base[10..70], &delayed[10..70], 8);
     let beyond = kcd(&base[10..70], &delayed[10..70], 3);
-    assert!(within > 0.95, "scan covering the delay must recover: {within}");
-    assert!(beyond < within - 0.1, "bounded scan must lose correlation: {beyond}");
+    assert!(
+        within > 0.95,
+        "scan covering the delay must recover: {within}"
+    );
+    assert!(
+        beyond < within - 0.1,
+        "bounded scan must lose correlation: {beyond}"
+    );
 }
 
 #[test]

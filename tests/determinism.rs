@@ -69,8 +69,22 @@ fn fleet_equals_sequential_on_both_backends() {
             assert_eq!(a.unit, b.unit, "{backend:?}");
             let (va, vb) = (&a.verdict, &b.verdict);
             assert_eq!(
-                (va.db, va.start_tick, va.end_tick, va.state, va.window_size, va.expansions),
-                (vb.db, vb.start_tick, vb.end_tick, vb.state, vb.window_size, vb.expansions),
+                (
+                    va.db,
+                    va.start_tick,
+                    va.end_tick,
+                    va.state,
+                    va.window_size,
+                    va.expansions
+                ),
+                (
+                    vb.db,
+                    vb.start_tick,
+                    vb.end_tick,
+                    vb.state,
+                    vb.window_size,
+                    vb.expansions
+                ),
                 "{backend:?} unit {}",
                 a.unit
             );

@@ -68,7 +68,10 @@ fn expanding_windows_backends_agree() {
     config.max_tolerance = 10;
     let series = unit_series(3, 4, 200, Some((2, 30..45)));
     let outcome = run_differential(&config, &series, None).expect("backends agree");
-    assert!(outcome.expansions > 0, "scenario never expanded: {outcome:?}");
+    assert!(
+        outcome.expansions > 0,
+        "scenario never expanded: {outcome:?}"
+    );
 }
 
 #[test]
@@ -134,14 +137,20 @@ fn duplicated_ticks_backends_agree() {
     // run-length staleness check must fire on every KPI of the database.
     let series = faulted_series(0, 40..70, FaultKind::DuplicateTicks { prob: 1.0 });
     let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
-    assert!(outcome.stale > 0, "duplicates never flagged stale: {outcome:?}");
+    assert!(
+        outcome.stale > 0,
+        "duplicates never flagged stale: {outcome:?}"
+    );
 }
 
 #[test]
 fn stuck_sensor_backends_agree() {
     let series = faulted_series(3, 50..130, FaultKind::StuckSensor { kpi: 1 });
     let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
-    assert!(outcome.stale > 0, "wedged sensor never flagged: {outcome:?}");
+    assert!(
+        outcome.stale > 0,
+        "wedged sensor never flagged: {outcome:?}"
+    );
     assert!(outcome.verdicts > 0, "{outcome:?}");
 }
 
@@ -153,8 +162,14 @@ fn outage_with_recovery_backends_agree() {
     let series = faulted_series(1, 60..100, FaultKind::Outage);
     let outcome = run_differential(&fault_config(3), &series, None).expect("backends agree");
     assert!(outcome.repaired > 0, "{outcome:?}");
-    assert!(outcome.demotions > 0, "outage never demoted the database: {outcome:?}");
-    assert!(outcome.readmissions > 0, "recovery never re-admitted: {outcome:?}");
+    assert!(
+        outcome.demotions > 0,
+        "outage never demoted the database: {outcome:?}"
+    );
+    assert!(
+        outcome.readmissions > 0,
+        "recovery never re-admitted: {outcome:?}"
+    );
 }
 
 #[test]

@@ -64,7 +64,10 @@ fn case_studies_detect() {
         let mut hit = false;
         for tick in 0..data.num_ticks() {
             for v in catcher.ingest_tick(&data.tick_matrix(tick)) {
-                if v.db == 1 && v.state.is_abnormal() && v.end_tick > window.start && v.start_tick < window.end
+                if v.db == 1
+                    && v.state.is_abnormal()
+                    && v.end_tick > window.start
+                    && v.start_tick < window.end
                 {
                     hit = true;
                 }
@@ -134,8 +137,8 @@ fn failover_settles_without_permanent_alarms() {
     let mask_after = sim.participation_mask();
     let second: Vec<_> = loads[200..].iter().map(|&l| sim.tick(l)).collect();
 
-    let mut catcher = DbCatcher::new(DbCatcherConfig::default(), 5)
-        .with_participation(sim.participation_mask());
+    let mut catcher =
+        DbCatcher::new(DbCatcherConfig::default(), 5).with_participation(sim.participation_mask());
     let mut late_alarms = 0;
     for (i, s) in first.iter().chain(second.iter()).enumerate() {
         if i == 200 {

@@ -64,9 +64,21 @@ fn detect_all(config: DbCatcherConfig, series: &[Vec<Vec<f64>>]) -> Vec<Verdict>
 /// Verdict equality with NaN-tolerant score comparison (a non-voting
 /// database records `NaN` scores, which `PartialEq` rejects).
 fn verdicts_equal(a: &Verdict, b: &Verdict) -> bool {
-    (a.db, a.start_tick, a.end_tick, a.state, a.window_size, a.expansions)
-        == (b.db, b.start_tick, b.end_tick, b.state, b.window_size, b.expansions)
-        && a.scores.len() == b.scores.len()
+    (
+        a.db,
+        a.start_tick,
+        a.end_tick,
+        a.state,
+        a.window_size,
+        a.expansions,
+    ) == (
+        b.db,
+        b.start_tick,
+        b.end_tick,
+        b.state,
+        b.window_size,
+        b.expansions,
+    ) && a.scores.len() == b.scores.len()
         && a.scores
             .iter()
             .zip(&b.scores)
@@ -156,10 +168,15 @@ fn demoted_database_never_contributes_to_peer_verdicts() {
     let b = detect_all(config, &wild);
     assert_eq!(a.len(), b.len(), "verdict counts diverged");
     for (x, y) in a.iter().zip(&b) {
-        assert!(verdicts_equal(x, y), "demoted data leaked:\n{x:?}\nvs\n{y:?}");
+        assert!(
+            verdicts_equal(x, y),
+            "demoted data leaked:\n{x:?}\nvs\n{y:?}"
+        );
     }
     assert!(
-        a.iter().filter(|v| v.db == 1 && v.start_tick >= 80).all(|v| !v.state.is_abnormal()),
+        a.iter()
+            .filter(|v| v.db == 1 && v.start_tick >= 80)
+            .all(|v| !v.state.is_abnormal()),
         "non-voting database raised alarms"
     );
 }
@@ -241,21 +258,41 @@ fn snapshot_round_trips_health_mid_demotion() {
     for f in &frames[..split] {
         verdicts.extend(first.try_ingest_tick(f).expect("frame").verdicts);
     }
-    assert_eq!(first.non_voting(), vec![0], "snapshot must happen mid-demotion");
+    assert_eq!(
+        first.non_voting(),
+        vec![0],
+        "snapshot must happen mid-demotion"
+    );
     let json = first.snapshot().to_json().expect("serialize");
     let mut second = DbCatcher::restore(DetectorSnapshot::from_json(&json).expect("parse"));
-    assert_eq!(second.non_voting(), vec![0], "non-voting state lost in round-trip");
+    assert_eq!(
+        second.non_voting(),
+        vec![0],
+        "non-voting state lost in round-trip"
+    );
     for f in &frames[split..] {
         verdicts.extend(second.try_ingest_tick(f).expect("frame").verdicts);
     }
 
     assert_eq!(ref_verdicts.len(), verdicts.len());
     for (a, b) in ref_verdicts.iter().zip(&verdicts) {
-        assert!(verdicts_equal(a, b), "restored run diverged:\n{a:?}\nvs\n{b:?}");
+        assert!(
+            verdicts_equal(a, b),
+            "restored run diverged:\n{a:?}\nvs\n{b:?}"
+        );
     }
-    assert!(second.non_voting().is_empty(), "recovery must re-admit after restore");
-    assert_eq!(reference.health().readmissions(), second.health().readmissions());
-    assert_eq!(reference.health().total_repaired(), second.health().total_repaired());
+    assert!(
+        second.non_voting().is_empty(),
+        "recovery must re-admit after restore"
+    );
+    assert_eq!(
+        reference.health().readmissions(),
+        second.health().readmissions()
+    );
+    assert_eq!(
+        reference.health().total_repaired(),
+        second.health().total_repaired()
+    );
 }
 
 #[test]

@@ -98,6 +98,9 @@ fn faulted_verdicts_match_golden_file() {
     config.ingest.readmit_after = 10;
     config.ingest.stale_after = 12;
     let rendered = render_verdicts(&scenario, config);
-    assert!(!rendered.is_empty(), "faulted scenario produced no verdicts");
+    assert!(
+        !rendered.is_empty(),
+        "faulted scenario produced no verdicts"
+    );
     check_golden(&rendered, FAULTED_GOLDEN_PATH);
 }

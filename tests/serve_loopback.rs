@@ -43,8 +43,8 @@ fn offline_verdicts(
     participation: &[Vec<bool>],
     dbs: usize,
 ) -> Vec<(u64, Verdict)> {
-    let mut catcher = DbCatcher::new(DbCatcherConfig::default(), dbs)
-        .with_participation(participation.to_vec());
+    let mut catcher =
+        DbCatcher::new(DbCatcherConfig::default(), dbs).with_participation(participation.to_vec());
     let mut out = Vec::new();
     for (t, frame) in frames.iter().enumerate() {
         let report = catcher.try_ingest_tick(frame).expect("clean frames ingest");
@@ -113,7 +113,12 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn loopback_verdicts_match_offline() {
-    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(7);
+    let UnitFixture {
+        frames,
+        participation,
+        dbs,
+        kpis,
+    } = unit_frames(7);
     let expected = offline_verdicts(&frames, &participation, dbs);
     assert!(!expected.is_empty(), "scenario must produce verdicts");
 
@@ -144,7 +149,12 @@ fn loopback_verdicts_match_offline() {
 
 #[test]
 fn warm_restart_resumes_with_at_most_one_tick_lost() {
-    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(21);
+    let UnitFixture {
+        frames,
+        participation,
+        dbs,
+        kpis,
+    } = unit_frames(21);
     let expected = offline_verdicts(&frames, &participation, dbs);
     let snaps = scratch_dir("serve_restart");
     let split = frames.len() / 2;
@@ -223,7 +233,12 @@ fn warm_restart_resumes_with_at_most_one_tick_lost() {
 
 #[test]
 fn burst_hits_backpressure_and_stays_bounded() {
-    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(3);
+    let UnitFixture {
+        frames,
+        participation,
+        dbs,
+        kpis,
+    } = unit_frames(3);
     let expected = offline_verdicts(&frames, &participation, dbs);
 
     // Tiny ingress queue + artificially slow shard: a full-speed burst
@@ -279,7 +294,12 @@ fn burst_hits_backpressure_and_stays_bounded() {
 fn malformed_lines_and_nan_bursts_degrade_gracefully() {
     use std::io::{BufRead, BufReader, Write};
 
-    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(5);
+    let UnitFixture {
+        frames,
+        participation,
+        dbs,
+        kpis,
+    } = unit_frames(5);
     // Offline reference with the same NaN burst: db 1 goes silent (NaN)
     // from tick 40 on, long enough for TelemetryHealth to demote it.
     let mut poisoned = frames.clone();
@@ -288,8 +308,8 @@ fn malformed_lines_and_nan_bursts_degrade_gracefully() {
             *value = f64::NAN;
         }
     }
-    let mut reference = DbCatcher::new(DbCatcherConfig::default(), dbs)
-        .with_participation(participation.clone());
+    let mut reference =
+        DbCatcher::new(DbCatcherConfig::default(), dbs).with_participation(participation.clone());
     for frame in &poisoned {
         reference.try_ingest_tick(frame).expect("repairable frames");
     }
@@ -343,7 +363,10 @@ fn malformed_lines_and_nan_bursts_degrade_gracefully() {
         unit.demoted_dbs, expected_demoted,
         "NaN burst must demote via TelemetryHealth exactly as offline"
     );
-    assert!(!unit.degraded, "repairable faults must not degrade the unit");
+    assert!(
+        !unit.degraded,
+        "repairable faults must not degrade the unit"
+    );
 
     handle.stop();
     join.join().expect("server thread");
@@ -351,7 +374,12 @@ fn malformed_lines_and_nan_bursts_degrade_gracefully() {
 
 #[test]
 fn subscriber_churn_gets_gap_free_suffix_and_never_stalls_the_shard() {
-    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(13);
+    let UnitFixture {
+        frames,
+        participation,
+        dbs,
+        kpis,
+    } = unit_frames(13);
 
     // Slow the shard so the stream spans real wall-clock time and the
     // mid-stream re-subscribe genuinely lands mid-stream.
@@ -576,7 +604,12 @@ fn metrics_reconcile_exactly_with_client_observations_under_churn() {
 
 #[test]
 fn subscriber_receives_the_verdict_stream() {
-    let UnitFixture { frames, participation, dbs, kpis } = unit_frames(9);
+    let UnitFixture {
+        frames,
+        participation,
+        dbs,
+        kpis,
+    } = unit_frames(9);
     let expected = offline_verdicts(&frames, &participation, dbs);
 
     let (addr, handle, join) = spawn_server(ServeConfig::default());

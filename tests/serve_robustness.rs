@@ -13,8 +13,7 @@ use dbcatcher::core::pipeline::{DbCatcher, Verdict};
 use dbcatcher::serve::client::VerdictRecord;
 use dbcatcher::serve::server::{DetectionServer, ServeConfig, ServerHandle};
 use dbcatcher::serve::{
-    emit, fetch_stats, reset_unit, EmitOptions, ShardChaos, UnitStream, READMIT_AFTER,
-    STRIKE_LIMIT,
+    emit, fetch_stats, reset_unit, EmitOptions, ShardChaos, UnitStream, READMIT_AFTER, STRIKE_LIMIT,
 };
 use dbcatcher::workload::scenario::UnitScenario;
 use std::net::SocketAddr;
@@ -54,8 +53,8 @@ fn offline_with_strikes(
     kpis: usize,
     struck: &[u64],
 ) -> Vec<(u64, Verdict)> {
-    let mut catcher = DbCatcher::new(DbCatcherConfig::default(), dbs)
-        .with_participation(participation.to_vec());
+    let mut catcher =
+        DbCatcher::new(DbCatcherConfig::default(), dbs).with_participation(participation.to_vec());
     let mut out = Vec::new();
     for (t, frame) in frames.iter().enumerate() {
         let substitute;
@@ -152,8 +151,12 @@ fn one_bad_frame_earns_a_strike_then_the_clean_streak_readmits() {
     );
 
     let (addr, handle, join) = spawn_server(ServeConfig::default());
-    let report = emit(addr, vec![stream(&fixture, poisoned)], &EmitOptions::default())
-        .expect("emit with one bad frame");
+    let report = emit(
+        addr,
+        vec![stream(&fixture, poisoned)],
+        &EmitOptions::default(),
+    )
+    .expect("emit with one bad frame");
 
     // The strike is reported to the producer, but the stream completes.
     assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
@@ -214,8 +217,10 @@ fn strike_limit_degrades_until_an_operator_reset_readmits() {
     )
     .expect("emit runs to the degradation");
     assert!(
-        first.errors.iter().any(|e| e.contains("Degraded")
-            || e.contains("strike limit reached")),
+        first
+            .errors
+            .iter()
+            .any(|e| e.contains("Degraded") || e.contains("strike limit reached")),
         "the producer must learn the unit degraded: {:?}",
         first.errors
     );
@@ -240,8 +245,12 @@ fn strike_limit_degrades_until_an_operator_reset_readmits() {
     // The producer re-offers the full (still-poisoned-earlier) stream;
     // `HelloAck{next_tick}` skips everything the detector already holds,
     // so only clean frames remain and the run completes.
-    let second = emit(addr, vec![stream(&fixture, poisoned)], &EmitOptions::default())
-        .expect("emit after reset");
+    let second = emit(
+        addr,
+        vec![stream(&fixture, poisoned)],
+        &EmitOptions::default(),
+    )
+    .expect("emit after reset");
     assert!(second.errors.is_empty(), "{:?}", second.errors);
 
     let stats = fetch_stats(addr).expect("stats after recovery");
@@ -301,16 +310,19 @@ fn shard_panic_is_contained_and_loses_nothing() {
     join.join().expect("server thread");
 
     let restarts: u64 = stats.shard_status.iter().map(|s| s.restarts).sum();
-    assert!(restarts >= 1, "the panic must surface as a supervisor restart");
+    assert!(
+        restarts >= 1,
+        "the panic must surface as a supervisor restart"
+    );
     assert!(
         stats.shard_status.iter().all(|s| !s.failed),
         "one panic is far under the restart budget"
     );
     assert!(
-        stats
-            .shard_status
-            .iter()
-            .any(|s| s.last_panic.as_deref().is_some_and(|p| p.contains("injected"))),
+        stats.shard_status.iter().any(|s| s
+            .last_panic
+            .as_deref()
+            .is_some_and(|p| p.contains("injected"))),
         "the panic payload must be preserved for operators: {:?}",
         stats.shard_status
     );

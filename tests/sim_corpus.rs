@@ -43,7 +43,9 @@ fn seed_with(from: u64, want: impl Fn(&SimPlan) -> bool) -> u64 {
 #[test]
 fn corpus_seed_with_crash_restart() {
     let seed = seed_with(0, |p| {
-        p.boots.iter().any(|b| matches!(b.end, BootEnd::Crash { .. }))
+        p.boots
+            .iter()
+            .any(|b| matches!(b.end, BootEnd::Crash { .. }))
     });
     assert_seed_passes(seed);
 }
@@ -64,9 +66,7 @@ fn corpus_seed_with_subscriber_and_slow_tick() {
 
 #[test]
 fn corpus_seed_with_faulty_collectors() {
-    let seed = seed_with(0, |p| {
-        p.units.iter().any(|u| !u.scenario.faults.is_empty())
-    });
+    let seed = seed_with(0, |p| p.units.iter().any(|u| !u.scenario.faults.is_empty()));
     assert_seed_passes(seed);
 }
 
@@ -78,16 +78,17 @@ fn corpus_seed_with_shard_injection() {
 
 #[test]
 fn corpus_seed_single_boot_baseline() {
-    let seed = seed_with(0, |p| {
-        p.boots.len() == 1 && p.boots[0].sessions.len() == 1
-    });
+    let seed = seed_with(0, |p| p.boots.len() == 1 && p.boots[0].sessions.len() == 1);
     assert_seed_passes(seed);
 }
 
 #[test]
 fn same_seed_runs_are_byte_identical() {
     let seed = seed_with(0, |p| {
-        p.boots.iter().any(|b| matches!(b.end, BootEnd::Crash { .. })) && p.subscribe
+        p.boots
+            .iter()
+            .any(|b| matches!(b.end, BootEnd::Crash { .. }))
+            && p.subscribe
     });
     let opts = corpus_opts();
     let a = run_seed(seed, &opts);

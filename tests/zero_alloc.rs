@@ -19,6 +19,19 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY AUDIT — the only `unsafe` in the workspace (this file and its
+// twin; every crate root carries `#![forbid(unsafe_code)]`, and dbclint's
+// `no-unsafe` rule excludes exactly these two files).
+//
+// `GlobalAlloc` is an unsafe trait because the allocator must uphold the
+// contract rustc's codegen relies on: returned pointers are valid for
+// `layout`, dealloc/realloc are only reached with pointers this allocator
+// handed out, and no unwinding crosses the allocator boundary. This impl
+// delegates every operation verbatim to `std::alloc::System` — the same
+// allocator the program would use anyway — and only increments a relaxed
+// atomic counter on the side. The counter cannot unwind, allocate, or
+// touch the pointer, so the entire safety obligation is inherited from
+// `System`, which upholds it by definition.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -106,6 +119,9 @@ fn steady_state_tick_allocates_nothing() {
             judging_ticks += 1;
         }
     }
-    assert!(quiet_ticks >= 150, "only {quiet_ticks} quiet ticks measured");
+    assert!(
+        quiet_ticks >= 150,
+        "only {quiet_ticks} quiet ticks measured"
+    );
     assert!(judging_ticks > 0, "windows never resolved — bad fixture");
 }
