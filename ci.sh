@@ -117,6 +117,83 @@ for MODE in PANIC WEDGE; do
 done
 rm -rf "$RECOV_DIR"
 
+echo "==> fleet-scope hierarchy smoke (3-unit correlated anomaly, online == offline, crash + resume)"
+FLEET_DIR="$(mktemp -d)"
+"$DBC" simulate --kind tencent --units 3 --ticks 300 --seed 7 \
+  --correlated shared-storage --group 3 --out "$FLEET_DIR/ds.json"
+"$DBC" serve --listen 127.0.0.1:0 --port-file "$FLEET_DIR/port.txt" --units 3 \
+  --hierarchy --units-per-cluster 2 --clusters-per-region 2 \
+  --wal-dir "$FLEET_DIR/wal" --snapshot-dir "$FLEET_DIR/snap" --snapshot-every 32 \
+  --scope-out "$FLEET_DIR/scope.jsonl" 2> "$FLEET_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$FLEET_DIR/port.txt" ] && break; sleep 0.1; done
+test -s "$FLEET_DIR/port.txt" || { echo "hierarchy: serve never bound"; kill "$SERVE_PID"; exit 1; }
+ADDR="$(tr -d '\n' < "$FLEET_DIR/port.txt")"
+timeout 60 "$DBC" emit --connect "$ADDR" --data "$FLEET_DIR/ds.json" \
+  --out /dev/null --stop-server 2> "$FLEET_DIR/emit.log"
+SHUTDOWN_OK=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then SHUTDOWN_OK=1; break; fi
+  sleep 0.1
+done
+[ "$SHUTDOWN_OK" = 1 ] || { echo "hierarchy: serve did not shut down"; kill "$SERVE_PID"; exit 1; }
+wait "$SERVE_PID"
+# the injected correlated failure must raise a scope alarm
+grep -q '"state":"Alarm"' "$FLEET_DIR/scope.jsonl" \
+  || { echo "hierarchy: correlated anomaly raised no scope alarm"; exit 1; }
+# offline replay of the hierarchy journal must be byte-identical
+"$DBC" analyze-fleet --verdicts "$FLEET_DIR/wal/hierarchy.wal" --units 3 \
+  --units-per-cluster 2 --clusters-per-region 2 \
+  --out "$FLEET_DIR/replayed.jsonl" 2> "$FLEET_DIR/analyze.log"
+diff "$FLEET_DIR/scope.jsonl" "$FLEET_DIR/replayed.jsonl" \
+  || { echo "hierarchy: online scope stream diverges from offline replay"; exit 1; }
+# crash mid-stream, resume, re-offer: the rebuilt scope stream must
+# still equal an offline replay of the full (crash-spanning) journal
+rm -f "$FLEET_DIR/port.txt"
+"$DBC" serve --listen 127.0.0.1:0 --port-file "$FLEET_DIR/port.txt" --units 3 \
+  --hierarchy --units-per-cluster 2 --clusters-per-region 2 \
+  --wal-dir "$FLEET_DIR/wal2" --snapshot-dir "$FLEET_DIR/snap2" --snapshot-every 32 \
+  --scope-out "$FLEET_DIR/scope2.jsonl" 2> "$FLEET_DIR/serve2a.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$FLEET_DIR/port.txt" ] && break; sleep 0.1; done
+test -s "$FLEET_DIR/port.txt" || { echo "hierarchy: crash-run serve never bound"; kill "$SERVE_PID"; exit 1; }
+ADDR="$(tr -d '\n' < "$FLEET_DIR/port.txt")"
+timeout 60 "$DBC" emit --connect "$ADDR" --data "$FLEET_DIR/ds.json" \
+  --out /dev/null 2> "$FLEET_DIR/emit2a.log" &
+EMIT_PID=$!
+sleep 1
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$EMIT_PID" 2>/dev/null || true
+rm -f "$FLEET_DIR/port.txt"
+"$DBC" serve --listen 127.0.0.1:0 --port-file "$FLEET_DIR/port.txt" --units 3 \
+  --hierarchy --units-per-cluster 2 --clusters-per-region 2 \
+  --wal-dir "$FLEET_DIR/wal2" --snapshot-dir "$FLEET_DIR/snap2" --snapshot-every 32 \
+  --resume "$FLEET_DIR/snap2" \
+  --scope-out "$FLEET_DIR/scope2.jsonl" 2> "$FLEET_DIR/serve2b.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$FLEET_DIR/port.txt" ] && break; sleep 0.1; done
+test -s "$FLEET_DIR/port.txt" || { echo "hierarchy: resumed serve never bound"; kill "$SERVE_PID"; exit 1; }
+ADDR="$(tr -d '\n' < "$FLEET_DIR/port.txt")"
+timeout 60 "$DBC" emit --connect "$ADDR" --data "$FLEET_DIR/ds.json" \
+  --out /dev/null --stop-server 2> "$FLEET_DIR/emit2b.log"
+SHUTDOWN_OK=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then SHUTDOWN_OK=1; break; fi
+  sleep 0.1
+done
+[ "$SHUTDOWN_OK" = 1 ] || { echo "hierarchy: resumed serve did not shut down"; kill "$SERVE_PID"; exit 1; }
+wait "$SERVE_PID"
+"$DBC" analyze-fleet --verdicts "$FLEET_DIR/wal2/hierarchy.wal" --units 3 \
+  --units-per-cluster 2 --clusters-per-region 2 \
+  --out "$FLEET_DIR/replayed2.jsonl" 2> "$FLEET_DIR/analyze2.log"
+diff "$FLEET_DIR/scope2.jsonl" "$FLEET_DIR/replayed2.jsonl" \
+  || { echo "hierarchy: post-resume scope stream diverges from offline replay"; exit 1; }
+# and the crash never changes the *final* scope stream either
+diff "$FLEET_DIR/scope.jsonl" "$FLEET_DIR/scope2.jsonl" \
+  || { echo "hierarchy: crash + resume changed the scope stream"; exit 1; }
+rm -rf "$FLEET_DIR"
+
 echo "==> chaos smoke (one random seed + same-seed determinism diff)"
 CHAOS_DIR="$(mktemp -d)"
 CHAOS_SEED="${CHAOS_SEED:-$RANDOM}"

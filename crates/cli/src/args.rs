@@ -4,6 +4,7 @@
 use dbcatcher_core::config::CorrelationBackend;
 use dbcatcher_core::ingest::GapPolicy;
 use dbcatcher_sim::faults::FaultPreset;
+use dbcatcher_sim::CorrelatedKind;
 use dbcatcher_workload::dataset::{Subset, WorkloadKind};
 
 /// Usage text printed on parse errors and `--help`.
@@ -13,6 +14,8 @@ dbcatcher — cloud-database anomaly detection (DBCatcher, ICDE 2023)
 USAGE:
   dbcatcher simulate  --kind <tencent|sysbench|tpcc> [--subset <mixed|irregular|periodic>]
                       [--units N] [--ticks T] [--seed S] [--anomaly-ratio R] --out <ds.json>
+  dbcatcher simulate  --correlated <noisy-neighbour|shared-storage|rolling-regression>
+                      [--units N] [--group G] [--ticks T] [--seed S] --out <ds.json>
   dbcatcher simulate  --chaos [--seed S] [--units N] [--ticks T] [--boots B] [--no-crash]
                       [--out <events.jsonl>] [--verdicts <verdicts.jsonl>] [--no-shrink]
   dbcatcher detect    --data <ds.json> [--learn] [--train-frac F] [--out <verdicts.jsonl>]
@@ -30,11 +33,16 @@ USAGE:
                       [--wedge-timeout-ms T] [--backend <naive|incremental>]
                       [--gap-policy <hold-last|linear-fill|mark-missing>]
                       [--port-file <path>]
+                      [--hierarchy] [--units-per-cluster N] [--clusters-per-region N]
+                      [--scope-out <scope.jsonl>]
   dbcatcher emit      --connect <addr> --data <ds.json> [--rate R] [--window W]
                       [--faults <none|standard|heavy>] [--fault-seed S]
                       [--out <verdicts.jsonl>] [--stop-server]
   dbcatcher stats     --connect <addr>
   dbcatcher reset-unit --connect <addr> --unit I
+  dbcatcher analyze-fleet --verdicts <hierarchy.wal> [--units N]
+                      [--units-per-cluster N] [--clusters-per-region N]
+                      [--out <scope.jsonl>]
   dbcatcher help
 
 --faults corrupts the telemetry stream on its way into the detector
@@ -52,6 +60,18 @@ shard workers (no progress for --wedge-timeout-ms with work queued) up to
 --shard-restart-limit times per shard; past that the
 shard's units are hard-degraded and reset-unit re-admits a stream on
 probation.
+
+simulate --correlated generates a fleet dataset sharing one scheduled
+correlated failure: the first --group unit ids form the blast radius
+(default: all but one unit, keeping a clean bystander) and the rest run
+clean. serve --hierarchy turns on fleet-scope detection: per-unit
+verdicts roll up a unit -> cluster -> region -> fleet topology, scope
+alarms (with CUSUM incident class and a blamed epicenter) are broadcast
+to subscribers, every consumed verdict is appended to
+<wal-dir>/hierarchy.wal, and a clean shutdown writes the scope stream
+to --scope-out. analyze-fleet replays such a verdict JSONL offline and
+prints the byte-identical scope stream (--units defaults to the highest
+unit id seen + 1).
 
 simulate --chaos runs the deterministic whole-system chaos simulator:
 one seed (--seed or the SEED env var) draws unit topology, anomaly and
@@ -78,6 +98,11 @@ pub enum Command {
         seed: u64,
         /// Target fraction of anomalous database-ticks.
         anomaly_ratio: f64,
+        /// Correlated-failure fleet mode: the scheduled failure kind.
+        correlated: Option<CorrelatedKind>,
+        /// Units in the correlated group (first `group` unit ids);
+        /// `0` = auto (all but one unit, at least two).
+        group: usize,
         /// Output path.
         out: String,
     },
@@ -167,6 +192,14 @@ pub enum Command {
         gap_policy: GapPolicy,
         /// File to write the bound address to (ephemeral-port scripting).
         port_file: Option<String>,
+        /// Enable the fleet-scope hierarchy feed.
+        hierarchy: bool,
+        /// Consecutive units per cluster in the rollup topology.
+        units_per_cluster: usize,
+        /// Consecutive clusters per region in the rollup topology.
+        clusters_per_region: usize,
+        /// Scope-verdict stream written on clean shutdown.
+        scope_out: Option<String>,
     },
     /// Stream a dataset to a running daemon and collect verdicts.
     Emit {
@@ -198,6 +231,20 @@ pub enum Command {
         connect: String,
         /// Unit index.
         unit: usize,
+    },
+    /// Replay a unit-verdict JSONL through the hierarchy engine offline.
+    AnalyzeFleet {
+        /// Unit-verdict JSONL path (a daemon's `hierarchy.wal` or any
+        /// stream in the same format).
+        verdicts: String,
+        /// Fleet roster size (`0` = highest unit id seen + 1).
+        units: usize,
+        /// Consecutive units per cluster in the rollup topology.
+        units_per_cluster: usize,
+        /// Consecutive clusters per region in the rollup topology.
+        clusters_per_region: usize,
+        /// Optional scope-stream output path (stdout when absent).
+        out: Option<String>,
     },
     /// Export one unit as CSV.
     ExportCsv {
@@ -277,6 +324,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "periodic" => Subset::Periodic,
                 other => return Err(format!("unknown subset: {other}")),
             };
+            let correlated = match value(rest, "--correlated") {
+                None => None,
+                Some(name) => Some(
+                    CorrelatedKind::parse(name)
+                        .ok_or_else(|| format!("unknown correlated kind: {name}"))?,
+                ),
+            };
             Ok(Command::Simulate {
                 kind,
                 subset,
@@ -284,6 +338,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 ticks: parse_num(rest, "--ticks", 400)?,
                 seed: parse_num(rest, "--seed", 1)?,
                 anomaly_ratio: parse_num(rest, "--anomaly-ratio", 0.035)?,
+                correlated,
+                group: parse_num(rest, "--group", 0)?,
                 out: value(rest, "--out")
                     .ok_or("simulate requires --out <path>")?
                     .to_string(),
@@ -329,6 +385,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             backend: parse_backend(rest)?,
             gap_policy: parse_num(rest, "--gap-policy", GapPolicy::default())?,
             port_file: value(rest, "--port-file").map(str::to_string),
+            hierarchy: rest.iter().any(|a| a == "--hierarchy"),
+            units_per_cluster: parse_num(rest, "--units-per-cluster", 4)?,
+            clusters_per_region: parse_num(rest, "--clusters-per-region", 4)?,
+            scope_out: value(rest, "--scope-out").map(str::to_string),
         }),
         "emit" => Ok(Command::Emit {
             connect: value(rest, "--connect")
@@ -357,6 +417,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .ok_or("reset-unit requires --unit <index>")?
                 .parse()
                 .map_err(|_| "invalid value for --unit".to_string())?,
+        }),
+        "analyze-fleet" => Ok(Command::AnalyzeFleet {
+            verdicts: value(rest, "--verdicts")
+                .ok_or("analyze-fleet requires --verdicts <path>")?
+                .to_string(),
+            units: parse_num(rest, "--units", 0)?,
+            units_per_cluster: parse_num(rest, "--units-per-cluster", 4)?,
+            clusters_per_region: parse_num(rest, "--clusters-per-region", 4)?,
+            out: value(rest, "--out").map(str::to_string),
         }),
         "export-csv" => Ok(Command::ExportCsv {
             data: value(rest, "--data")
@@ -395,9 +464,35 @@ mod tests {
                 ticks: 300,
                 seed: 9,
                 anomaly_ratio: 0.05,
+                correlated: None,
+                group: 0,
                 out: "ds.json".into(),
             }
         );
+    }
+
+    #[test]
+    fn simulate_correlated() {
+        let cmd = parse(&argv(
+            "simulate --correlated shared-storage --units 3 --group 2 --ticks 200 \
+             --seed 5 --out fleet.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                correlated,
+                units,
+                group,
+                ticks,
+                seed,
+                ..
+            } => {
+                assert_eq!(correlated, Some(CorrelatedKind::SharedStorageStall));
+                assert_eq!((units, group, ticks, seed), (3, 2, 200, 5));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("simulate --correlated avalanche --out x.json")).is_err());
     }
 
     #[test]
@@ -564,7 +659,8 @@ mod tests {
             "serve --listen 127.0.0.1:0 --units 8 --shards 2 --queue-cap 16 \
              --snapshot-dir snaps --snapshot-every 32 --resume snaps \
              --wal-dir wal --fsync-every 4 --shard-restart-limit 5 --wedge-timeout-ms 750 \
-             --port-file p.txt",
+             --port-file p.txt --hierarchy --units-per-cluster 2 --clusters-per-region 2 \
+             --scope-out scope.jsonl",
         ))
         .unwrap();
         assert_eq!(
@@ -584,6 +680,10 @@ mod tests {
                 backend: CorrelationBackend::Incremental,
                 gap_policy: GapPolicy::HoldLast,
                 port_file: Some("p.txt".into()),
+                hierarchy: true,
+                units_per_cluster: 2,
+                clusters_per_region: 2,
+                scope_out: Some("scope.jsonl".into()),
             }
         );
         let cmd = parse(&argv(
@@ -632,15 +732,54 @@ mod tests {
                 fsync_every,
                 shard_restart_limit,
                 wedge_timeout_ms,
+                hierarchy,
+                units_per_cluster,
+                clusters_per_region,
+                scope_out,
                 ..
             } => {
                 assert_eq!(wal_dir, None);
                 assert_eq!(fsync_every, 8);
                 assert_eq!(shard_restart_limit, 3);
                 assert_eq!(wedge_timeout_ms, 2000);
+                assert!(!hierarchy);
+                assert_eq!(units_per_cluster, 4);
+                assert_eq!(clusters_per_region, 4);
+                assert_eq!(scope_out, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_fleet() {
+        let cmd = parse(&argv(
+            "analyze-fleet --verdicts wal/hierarchy.wal --units 6 --units-per-cluster 3 \
+             --clusters-per-region 2 --out scope.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::AnalyzeFleet {
+                verdicts: "wal/hierarchy.wal".into(),
+                units: 6,
+                units_per_cluster: 3,
+                clusters_per_region: 2,
+                out: Some("scope.jsonl".into()),
+            }
+        );
+        let cmd = parse(&argv("analyze-fleet --verdicts v.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::AnalyzeFleet {
+                verdicts: "v.jsonl".into(),
+                units: 0,
+                units_per_cluster: 4,
+                clusters_per_region: 4,
+                out: None,
+            }
+        );
+        assert!(parse(&argv("analyze-fleet --units 4")).is_err());
     }
 
     #[test]

@@ -6,9 +6,13 @@ use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_eval::methods::train_dbcatcher;
 use dbcatcher_eval::metrics::{adjusted_confusion, windowed_any};
 use dbcatcher_eval::protocol::ProtocolConfig;
+use dbcatcher_hierarchy::{
+    parse_unit_line, render_scope_line, replay, HierarchyConfig, ScopeState, Topology, UnitVerdict,
+};
 use dbcatcher_serve::server::{DetectionServer, ServeConfig};
-use dbcatcher_serve::{DetectorTemplate, EmitOptions, UnitStream};
+use dbcatcher_serve::{DetectorTemplate, EmitOptions, HierarchyOptions, UnitStream};
 use dbcatcher_sim::faults::{FaultInjector, FaultPreset};
+use dbcatcher_sim::CorrelatedKind;
 use dbcatcher_simulator::{self as simulator, SimOpts};
 use dbcatcher_workload::anomaly::AnomalyPlanConfig;
 use dbcatcher_workload::dataset::{Dataset, DatasetSpec, UnitData};
@@ -89,8 +93,13 @@ pub fn run(command: Command) -> Result<(), CliError> {
             ticks,
             seed,
             anomaly_ratio,
+            correlated,
+            group,
             out,
         } => {
+            if let Some(kind) = correlated {
+                return simulate_correlated(kind, units, group, ticks, seed, &out);
+            }
             let spec = DatasetSpec {
                 name: format!("{} ({subset:?})", kind.name()),
                 kind,
@@ -244,6 +253,10 @@ pub fn run(command: Command) -> Result<(), CliError> {
             backend,
             gap_policy,
             port_file,
+            hierarchy,
+            units_per_cluster,
+            clusters_per_region,
+            scope_out,
         } => {
             let config = ServeConfig {
                 max_units: units,
@@ -261,6 +274,11 @@ pub fn run(command: Command) -> Result<(), CliError> {
                     backend,
                     gap_policy,
                 },
+                hierarchy: (hierarchy || scope_out.is_some()).then(|| HierarchyOptions {
+                    units_per_cluster,
+                    clusters_per_region,
+                    scope_out: scope_out.map(PathBuf::from),
+                }),
                 ..ServeConfig::default()
             };
             let server = DetectionServer::bind(listen.as_str(), config)
@@ -362,6 +380,19 @@ pub fn run(command: Command) -> Result<(), CliError> {
             println!("unit {unit}: re-admitted on probation, next tick {next_tick}");
             Ok(())
         }
+        Command::AnalyzeFleet {
+            verdicts,
+            units,
+            units_per_cluster,
+            clusters_per_region,
+            out,
+        } => analyze_fleet(
+            &verdicts,
+            units,
+            units_per_cluster,
+            clusters_per_region,
+            out.as_deref(),
+        ),
         Command::ExportCsv { data, unit, out } => {
             let dataset = load_dataset(&data).map_err(CliError::data(format!("load {data}")))?;
             let unit_data: &UnitData = dataset.units.get(unit).ok_or_else(|| {
@@ -377,6 +408,114 @@ pub fn run(command: Command) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// `simulate --correlated`: builds a fleet dataset sharing one scheduled
+/// correlated failure and reports the planned ground truth so smoke
+/// scripts can check the hierarchy layer's blame against it.
+fn simulate_correlated(
+    kind: CorrelatedKind,
+    units: usize,
+    group: usize,
+    ticks: usize,
+    seed: u64,
+    out: &str,
+) -> Result<(), CliError> {
+    if units < 2 {
+        return Err(CliError::Usage(format!(
+            "--correlated needs at least 2 units, got {units}"
+        )));
+    }
+    // Default blast radius: every unit but one, keeping a clean
+    // bystander, and never fewer than the correlator's minimum group.
+    let group = if group == 0 {
+        units.saturating_sub(1).max(2)
+    } else {
+        group
+    }
+    .min(units);
+    if group < 2 {
+        return Err(CliError::Usage(format!(
+            "--group must cover at least 2 units, got {group}"
+        )));
+    }
+    let members: Vec<usize> = (0..group).collect();
+    let scenario =
+        dbcatcher_workload::FleetScenario::correlated(seed, kind, units, &members, ticks);
+    let dataset = scenario.generate();
+    let stats = dataset.stats();
+    save_dataset(&dataset, out).map_err(CliError::data(format!("write {out}")))?;
+    println!(
+        "wrote {out}: {} units x {} databases, {} points, {:.2}% anomalous \
+         ({} over units 0..{group}, epicenter {}, onset tick {})",
+        stats.units,
+        dataset.units.first().map_or(0, UnitData::num_databases),
+        stats.total_points,
+        stats.abnormal_ratio * 100.0,
+        scenario.correlated.kind.name(),
+        scenario.correlated.epicenter,
+        scenario.correlated.onset,
+    );
+    Ok(())
+}
+
+/// `analyze-fleet`: replays a unit-verdict JSONL (a daemon's
+/// `hierarchy.wal`, or any stream in the same format) through the
+/// hierarchy engine offline, skipping malformed lines exactly as the
+/// online feed does, and renders the scope stream — byte-identical to
+/// what a `--hierarchy` daemon writes to `--scope-out`.
+fn analyze_fleet(
+    verdicts: &str,
+    units: usize,
+    units_per_cluster: usize,
+    clusters_per_region: usize,
+    out: Option<&str>,
+) -> Result<(), CliError> {
+    let text =
+        std::fs::read_to_string(verdicts).map_err(CliError::io(format!("read {verdicts}")))?;
+    let mut skipped = 0usize;
+    let records: Vec<UnitVerdict> = text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| match parse_unit_line(line) {
+            Ok(record) => Some(record),
+            Err(_) => {
+                skipped += 1;
+                None
+            }
+        })
+        .collect();
+    let roster = if units > 0 {
+        units
+    } else {
+        records.iter().map(|r| r.unit + 1).max().unwrap_or(1)
+    };
+    let topology = Topology::new(roster, units_per_cluster, clusters_per_region)
+        .map_err(|e| CliError::Usage(format!("bad topology: {e}")))?;
+    let consumed = records.len();
+    let scope = replay(HierarchyConfig::new(topology), records);
+    let mut sink: Box<dyn Write> = match out {
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(CliError::io(format!("create {path}")))?)
+        }
+        None => Box::new(std::io::stdout()),
+    };
+    for verdict in &scope {
+        writeln!(sink, "{}", render_scope_line(verdict))
+            .map_err(CliError::io("write scope stream"))?;
+    }
+    let alarms = scope
+        .iter()
+        .filter(|v| v.state == ScopeState::Alarm)
+        .count();
+    if skipped > 0 {
+        eprintln!("{skipped} malformed line(s) skipped");
+    }
+    eprintln!(
+        "{consumed} unit verdict(s) over {roster} unit(s): {} scope transition(s), {alarms} alarm(s)",
+        scope.len()
+    );
+    Ok(())
 }
 
 /// Test hook for the CI recovery smoke: arms a deterministic shard

@@ -5,6 +5,11 @@
 //! the judged window; [`diagnose`] ranks the KPIs by how far each fell
 //! below its threshold, producing the evidence a DBA (or a downstream
 //! classifier — see `dbcatcher-sim`'s cause interpretation) starts from.
+//! [`root_cause`] condenses the same ranking into a structured
+//! [`RootCause`] (KPI + deviation direction + confidence) that machine
+//! consumers — notably the fleet-scope epicenter scorer in
+//! `dbcatcher-hierarchy` — can evaluate every tick: both entry points are
+//! total functions (arity mismatches are truncated, never panicked on).
 
 use crate::config::DbCatcherConfig;
 use crate::levels::{score_to_level, Level};
@@ -52,24 +57,67 @@ impl Diagnosis {
     }
 }
 
+/// Which way a KPI's correlation score left its healthy band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviationDirection {
+    /// Level-1 extreme deviation: the score collapsed well below α·θ —
+    /// the KPI decorrelated abruptly.
+    SharpDrop,
+    /// Level-2 slight deviation: the score sits between α·θ and α — the
+    /// KPI is drifting out of correlation.
+    Drift,
+}
+
+/// One ranked factor of a [`RootCause`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RootCauseFactor {
+    /// KPI index.
+    pub kpi: usize,
+    /// How the KPI deviated.
+    pub direction: DeviationDirection,
+    /// Shortfall normalised into `[0, 1]` against the worst possible
+    /// score (KCD scores live in `[-1, 1]`, so the floor is `α + 1`).
+    pub confidence: f64,
+    /// Raw shortfall `α − score` (the ranking key).
+    pub shortfall: f64,
+}
+
+/// A structured, machine-consumable explanation of one verdict: the
+/// deviating KPIs ranked most-confident first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RootCause {
+    /// The judged database.
+    pub db: usize,
+    /// Window bounds of the verdict.
+    pub start_tick: u64,
+    /// One past the last judged tick.
+    pub end_tick: u64,
+    /// Deviating KPIs, most confident first; empty for healthy verdicts.
+    pub factors: Vec<RootCauseFactor>,
+}
+
+impl RootCause {
+    /// The most confident factor, if any.
+    pub fn primary(&self) -> Option<&RootCauseFactor> {
+        self.factors.first()
+    }
+}
+
 /// Ranks a verdict's deviating KPIs against the configuration's
 /// thresholds.
 ///
-/// # Panics
-/// Panics when the verdict's score arity mismatches the configuration.
+/// Total: when the verdict's score arity mismatches the configuration,
+/// the extra entries on either side are ignored rather than panicking —
+/// fleet-scope callers feed verdicts from wire streams they do not
+/// control.
 pub fn diagnose(verdict: &Verdict, config: &DbCatcherConfig) -> Diagnosis {
-    assert_eq!(
-        verdict.scores.len(),
-        config.num_kpis,
-        "verdict score arity mismatches configuration"
-    );
     let mut deviations: Vec<KpiDeviation> = verdict
         .scores
         .iter()
+        .zip(config.alphas.iter())
         .enumerate()
-        .filter(|(_, s)| !s.is_nan())
-        .filter_map(|(kpi, &score)| {
-            let alpha = config.alphas[kpi];
+        .filter(|(_, (s, _))| !s.is_nan())
+        .filter_map(|(kpi, (&score, &alpha))| {
             let level = score_to_level(score, alpha, config.theta);
             if level == Level::Correlated {
                 return None;
@@ -88,6 +136,43 @@ pub fn diagnose(verdict: &Verdict, config: &DbCatcherConfig) -> Diagnosis {
         start_tick: verdict.start_tick,
         end_tick: verdict.end_tick,
         deviations,
+    }
+}
+
+/// Condenses [`diagnose`] into a structured [`RootCause`].
+///
+/// Total and allocation-bounded (one `Vec` of at most `num_kpis`
+/// factors); the hierarchy epicenter scorer calls this per emitted
+/// verdict.
+pub fn root_cause(verdict: &Verdict, config: &DbCatcherConfig) -> RootCause {
+    let diagnosis = diagnose(verdict, config);
+    let factors = diagnosis
+        .deviations
+        .iter()
+        .map(|d| {
+            let alpha = d.score + d.shortfall;
+            let floor = alpha + 1.0;
+            let confidence = if floor > 0.0 {
+                (d.shortfall / floor).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            RootCauseFactor {
+                kpi: d.kpi,
+                direction: match d.level {
+                    Level::ExtremeDeviation => DeviationDirection::SharpDrop,
+                    _ => DeviationDirection::Drift,
+                },
+                confidence,
+                shortfall: d.shortfall,
+            }
+        })
+        .collect();
+    RootCause {
+        db: diagnosis.db,
+        start_tick: diagnosis.start_tick,
+        end_tick: diagnosis.end_tick,
+        factors,
     }
 }
 
@@ -147,8 +232,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arity mismatches")]
-    fn arity_mismatch_panics() {
-        let _ = diagnose(&verdict(vec![0.1, 0.2]), &config(3));
+    fn arity_mismatch_truncates_instead_of_panicking() {
+        // Two scores against a 3-KPI config: only the overlap is judged.
+        let d = diagnose(&verdict(vec![0.1, 0.2]), &config(3));
+        assert_eq!(d.deviations.len(), 2);
+        // Three scores against a 2-KPI config: the extra score is ignored.
+        let d = diagnose(&verdict(vec![0.1, 0.2, 0.3]), &config(2));
+        assert_eq!(d.deviations.len(), 2);
+        assert!(d.deviations.iter().all(|x| x.kpi < 2));
+    }
+
+    #[test]
+    fn root_cause_ranks_and_classifies() {
+        // alphas 0.7, theta 0.2 → level-1 below 0.14, level-2 below 0.7.
+        let rc = root_cause(&verdict(vec![0.9, 0.1, 0.55, f64::NAN]), &config(4));
+        assert_eq!(rc.factors.len(), 2);
+        let primary = rc.primary().expect("has factors");
+        assert_eq!(primary.kpi, 1);
+        assert_eq!(primary.direction, DeviationDirection::SharpDrop);
+        assert_eq!(rc.factors[1].kpi, 2);
+        assert_eq!(rc.factors[1].direction, DeviationDirection::Drift);
+        assert!(primary.confidence > rc.factors[1].confidence);
+        for f in &rc.factors {
+            assert!((0.0..=1.0).contains(&f.confidence));
+        }
+        assert_eq!((rc.db, rc.start_tick, rc.end_tick), (2, 40, 60));
+    }
+
+    #[test]
+    fn root_cause_of_healthy_verdict_is_empty() {
+        let rc = root_cause(&verdict(vec![0.9, 0.95]), &config(2));
+        assert!(rc.factors.is_empty());
+        assert!(rc.primary().is_none());
     }
 }

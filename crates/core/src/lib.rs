@@ -56,7 +56,9 @@ pub mod window;
 pub use config::{
     ConfigError, CorrelationBackend, DbCatcherConfig, DelayScan, LevelAggregation, ResolvePolicy,
 };
-pub use diagnosis::{diagnose, Diagnosis};
+pub use diagnosis::{
+    diagnose, root_cause, DeviationDirection, Diagnosis, RootCause, RootCauseFactor,
+};
 pub use feedback::{FeedbackModule, JudgmentRecord};
 pub use fleet::{FleetDetector, FleetStats, FleetVerdict};
 pub use ga::{Genes, GeneticConfig};

@@ -1,0 +1,166 @@
+//! Per-scope CUSUM change-point analysis (BIPeC-style).
+//!
+//! Each scope runs a one-sided cumulative-sum statistic over its score
+//! series:
+//!
+//! ```text
+//! S_0 = 0,    S_t = max(0, S_{t-1} + (x_t − k))
+//! ```
+//!
+//! where `k` is the drift allowance (scores below `k` bleed the
+//! statistic back toward zero). The *onset estimate* of a change is one
+//! tick past the last tick where `S` was zero — the standard CUSUM
+//! change-point estimator. When the rollup hysteresis raises an alarm at
+//! tick `a`, the span `a − onset` classifies the alarm: a short span
+//! means the score jumped (a **sudden incident**), a long span means the
+//! statistic crept up over many ticks (a **slow regression**).
+//!
+//! State is two scalars per scope — allocation-free and trivially
+//! snapshottable by replaying the input series.
+
+use serde::{Deserialize, Serialize};
+
+/// CUSUM tuning for scope score series in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CusumConfig {
+    /// Drift allowance `k`: per-tick score the statistic tolerates.
+    pub drift: f64,
+    /// Decision threshold `h` (kept for standalone change detection).
+    pub threshold: f64,
+    /// Alarm-to-onset spans at or below this classify as sudden.
+    pub sudden_span: u64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        CusumConfig {
+            drift: 0.05,
+            threshold: 0.3,
+            sudden_span: 4,
+        }
+    }
+}
+
+/// How a scope alarm developed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentClass {
+    /// The scope score jumped within `sudden_span` ticks of onset.
+    SuddenIncident,
+    /// The scope score crept past the alarm thresholds over a long run.
+    SlowRegression,
+}
+
+/// One scope's CUSUM state.
+#[derive(Debug, Clone, Default)]
+pub struct Cusum {
+    stat: f64,
+    last_zero: u64,
+    seen_any: bool,
+}
+
+impl Cusum {
+    /// Current statistic value.
+    pub fn stat(&self) -> f64 {
+        self.stat
+    }
+
+    /// Whether the statistic currently exceeds the decision threshold.
+    pub fn tripped(&self, config: &CusumConfig) -> bool {
+        self.stat > config.threshold
+    }
+
+    /// Feeds one evaluation tick's score.
+    pub fn update(&mut self, tick: u64, score: f64, config: &CusumConfig) {
+        self.stat = (self.stat + score - config.drift).max(0.0);
+        if self.stat == 0.0 {
+            self.last_zero = tick;
+        }
+        self.seen_any = true;
+    }
+
+    /// The estimated change onset: one tick past the last zero of the
+    /// statistic (or the alarm tick itself when the statistic never
+    /// left zero).
+    pub fn onset(&self, alarm_tick: u64) -> u64 {
+        if !self.seen_any {
+            return alarm_tick;
+        }
+        (self.last_zero + 1).min(alarm_tick)
+    }
+
+    /// Classifies an alarm raised at `alarm_tick`.
+    pub fn classify(&self, alarm_tick: u64, config: &CusumConfig) -> (IncidentClass, u64) {
+        let onset = self.onset(alarm_tick);
+        let span = alarm_tick.saturating_sub(onset);
+        let class = if span <= config.sudden_span {
+            IncidentClass::SuddenIncident
+        } else {
+            IncidentClass::SlowRegression
+        };
+        (class, onset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_change_classifies_sudden() {
+        let config = CusumConfig::default();
+        let mut cusum = Cusum::default();
+        for t in 0..50u64 {
+            cusum.update(t, 0.0, &config);
+        }
+        // Step to a strong score at tick 50; hysteresis would raise a
+        // couple of ticks later.
+        for t in 50..53u64 {
+            cusum.update(t, 0.6, &config);
+        }
+        let (class, onset) = cusum.classify(52, &config);
+        assert_eq!(class, IncidentClass::SuddenIncident);
+        assert_eq!(onset, 50);
+    }
+
+    #[test]
+    fn creep_classifies_slow_regression() {
+        let config = CusumConfig::default();
+        let mut cusum = Cusum::default();
+        // Score creeps up 0.01/tick from tick 10: exceeds the CUSUM
+        // drift at tick 15 but only crosses alarm thresholds much later.
+        for t in 0..40u64 {
+            let score = if t < 10 { 0.0 } else { 0.01 * (t - 9) as f64 };
+            cusum.update(t, score, &config);
+        }
+        let (class, onset) = cusum.classify(39, &config);
+        assert_eq!(class, IncidentClass::SlowRegression);
+        assert!((10..=39).contains(&onset), "onset {onset}");
+    }
+
+    #[test]
+    fn onset_never_exceeds_alarm_tick() {
+        let config = CusumConfig::default();
+        let mut cusum = Cusum::default();
+        cusum.update(0, 1.0, &config);
+        let (_, onset) = cusum.classify(0, &config);
+        assert_eq!(onset, 0);
+        assert_eq!(Cusum::default().onset(7), 7);
+    }
+
+    #[test]
+    fn statistic_bleeds_back_to_zero() {
+        let config = CusumConfig::default();
+        let mut cusum = Cusum::default();
+        for t in 0..3u64 {
+            cusum.update(t, 0.5, &config);
+        }
+        assert!(cusum.tripped(&config));
+        let mut t = 3;
+        while cusum.stat() > 0.0 {
+            cusum.update(t, 0.0, &config);
+            t += 1;
+        }
+        assert!(!cusum.tripped(&config));
+        assert_eq!(cusum.onset(t), t.min(t));
+    }
+}

@@ -1,0 +1,261 @@
+//! Incremental cross-unit co-occurrence correlation.
+//!
+//! Detects *correlated* multi-unit failures — the noisy-neighbour and
+//! shared-storage patterns a per-unit detector cannot see — by keeping,
+//! per unit, a sliding window of (a) ticks on which the unit carried an
+//! abnormal verdict and (b) the cumulative per-KPI shortfall those
+//! verdicts attributed (via `core::diagnosis`).
+//!
+//! The structure is the PR 4 hot-path idiom: flat structure-of-arrays
+//! ring buffers sized once at construction, aggregates maintained by
+//! subtract-outgoing/add-incoming rotation, and a per-tick scratch row
+//! that is cleared, never dropped. After construction the per-tick path
+//! (`note` + `advance`) performs **zero heap allocation**; the grouped
+//! read-out (`top_kpi`, `active_ticks`, `total_shortfall`) is pure
+//! arithmetic over the aggregates, so the engine can evaluate every
+//! cluster every tick.
+
+use dbcatcher_core::RootCause;
+
+/// Grouping thresholds for flagging a correlated unit group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelateConfig {
+    /// Sliding window length in ticks.
+    pub window: usize,
+    /// Minimum abnormal ticks in the window for a unit to count as
+    /// active.
+    pub min_active_ticks: u32,
+    /// Minimum active units before a cluster counts as correlated.
+    pub min_group: usize,
+    /// Fraction of active units that must agree on the top KPI.
+    pub agree_fraction: f64,
+}
+
+impl Default for CorrelateConfig {
+    fn default() -> Self {
+        // The window must outlast one verdict cadence (~20 ticks between
+        // window resolutions) so a unit's attribution survives until the
+        // next verdict refreshes it.
+        CorrelateConfig {
+            window: 24,
+            min_active_ticks: 1,
+            min_group: 2,
+            agree_fraction: 0.5,
+        }
+    }
+}
+
+/// Sliding-window co-occurrence state for the whole fleet.
+#[derive(Debug, Clone)]
+pub struct CoOccurrence {
+    units: usize,
+    kpis: usize,
+    window: usize,
+    head: usize,
+    /// `window × units` ring of abnormal flags.
+    ring_abnormal: Vec<bool>,
+    /// `window × units × kpis` ring of per-tick shortfall contributions.
+    ring_shortfall: Vec<f64>,
+    /// Per-unit count of abnormal ticks currently in the window.
+    active_ticks: Vec<u32>,
+    /// Per-unit × per-KPI windowed shortfall sums.
+    kpi_sum: Vec<f64>,
+    /// Current-tick scratch: abnormal flags.
+    cur_abnormal: Vec<bool>,
+    /// Current-tick scratch: shortfall contributions.
+    cur_shortfall: Vec<f64>,
+}
+
+impl CoOccurrence {
+    /// Allocates state for `units × kpis` leaves over a `window`-tick
+    /// sliding window. The only allocations this type ever performs.
+    pub fn new(units: usize, kpis: usize, window: usize) -> Self {
+        let window = window.max(1);
+        CoOccurrence {
+            units,
+            kpis,
+            window,
+            head: 0,
+            // dbclint: allow(hot-path-alloc) — constructor: one-time ring buffer sizing.
+            ring_abnormal: vec![false; window * units],
+            // dbclint: allow(hot-path-alloc) — constructor: one-time ring buffer sizing.
+            ring_shortfall: vec![0.0; window * units * kpis],
+            // dbclint: allow(hot-path-alloc) — constructor: one-time per-unit counters.
+            active_ticks: vec![0; units],
+            // dbclint: allow(hot-path-alloc) — constructor: one-time windowed-sum table.
+            kpi_sum: vec![0.0; units * kpis],
+            // dbclint: allow(hot-path-alloc) — constructor: one-time scratch sizing.
+            cur_abnormal: vec![false; units],
+            // dbclint: allow(hot-path-alloc) — constructor: one-time scratch sizing.
+            cur_shortfall: vec![0.0; units * kpis],
+        }
+    }
+
+    /// Records one abnormal verdict's root cause against the current
+    /// tick. Factors outside the KPI arity are ignored; negative
+    /// shortfalls (scores above threshold cannot produce them, but wire
+    /// data could) clamp to zero.
+    pub fn note(&mut self, unit: usize, cause: &RootCause) {
+        if unit >= self.units {
+            return;
+        }
+        self.cur_abnormal[unit] = true;
+        let base = unit * self.kpis;
+        for factor in &cause.factors {
+            if factor.kpi < self.kpis {
+                self.cur_shortfall[base + factor.kpi] += factor.shortfall.max(0.0);
+            }
+        }
+    }
+
+    /// Rotates the window forward one tick: the oldest slot leaves the
+    /// aggregates, the current-tick scratch enters them, and the scratch
+    /// clears for the next tick. Zero-alloc.
+    pub fn advance(&mut self) {
+        let flag_base = self.head * self.units;
+        let sum_base = self.head * self.units * self.kpis;
+        for unit in 0..self.units {
+            let out_flag = self.ring_abnormal[flag_base + unit];
+            let in_flag = self.cur_abnormal[unit];
+            if out_flag {
+                self.active_ticks[unit] -= 1;
+            }
+            if in_flag {
+                self.active_ticks[unit] += 1;
+            }
+            self.ring_abnormal[flag_base + unit] = in_flag;
+            self.cur_abnormal[unit] = false;
+            let unit_base = unit * self.kpis;
+            for kpi in 0..self.kpis {
+                let slot = sum_base + unit_base + kpi;
+                let agg = unit_base + kpi;
+                self.kpi_sum[agg] -= self.ring_shortfall[slot];
+                let incoming = self.cur_shortfall[agg];
+                self.kpi_sum[agg] += incoming;
+                self.ring_shortfall[slot] = incoming;
+                self.cur_shortfall[agg] = 0.0;
+                // Subtract/add rotation can leave tiny negative residue.
+                if self.kpi_sum[agg] < 0.0 {
+                    self.kpi_sum[agg] = 0.0;
+                }
+            }
+        }
+        self.head = (self.head + 1) % self.window;
+    }
+
+    /// Abnormal ticks currently in the unit's window.
+    pub fn active_ticks(&self, unit: usize) -> u32 {
+        self.active_ticks.get(unit).copied().unwrap_or(0)
+    }
+
+    /// The unit's most-blamed KPI over the window (ties break to the
+    /// lowest KPI index), if any shortfall accumulated.
+    pub fn top_kpi(&self, unit: usize) -> Option<usize> {
+        if unit >= self.units {
+            return None;
+        }
+        let base = unit * self.kpis;
+        let mut best: Option<(usize, f64)> = None;
+        for kpi in 0..self.kpis {
+            let sum = self.kpi_sum[base + kpi];
+            if sum > 0.0 && best.is_none_or(|(_, b)| sum > b) {
+                best = Some((kpi, sum));
+            }
+        }
+        best.map(|(kpi, _)| kpi)
+    }
+
+    /// The unit's windowed shortfall on one KPI.
+    pub fn kpi_shortfall(&self, unit: usize, kpi: usize) -> f64 {
+        if unit >= self.units || kpi >= self.kpis {
+            return 0.0;
+        }
+        self.kpi_sum[unit * self.kpis + kpi]
+    }
+
+    /// The unit's total windowed shortfall across all KPIs.
+    pub fn total_shortfall(&self, unit: usize) -> f64 {
+        if unit >= self.units {
+            return 0.0;
+        }
+        let base = unit * self.kpis;
+        let mut total = 0.0;
+        for kpi in 0..self.kpis {
+            total += self.kpi_sum[base + kpi];
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_core::{DeviationDirection, RootCauseFactor};
+
+    fn cause(factors: &[(usize, f64)]) -> RootCause {
+        RootCause {
+            db: 0,
+            start_tick: 0,
+            end_tick: 1,
+            factors: factors
+                .iter()
+                .map(|&(kpi, shortfall)| RootCauseFactor {
+                    kpi,
+                    direction: DeviationDirection::SharpDrop,
+                    confidence: 0.5,
+                    shortfall,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn window_expires_old_contributions() {
+        let mut cooc = CoOccurrence::new(2, 3, 4);
+        cooc.note(0, &cause(&[(1, 0.6), (2, 0.2)]));
+        cooc.advance();
+        assert_eq!(cooc.active_ticks(0), 1);
+        assert_eq!(cooc.top_kpi(0), Some(1));
+        assert!((cooc.total_shortfall(0) - 0.8).abs() < 1e-12);
+        // Three quiet ticks keep it in the window; the fourth expires it.
+        for _ in 0..3 {
+            cooc.advance();
+        }
+        assert_eq!(cooc.active_ticks(0), 1);
+        cooc.advance();
+        assert_eq!(cooc.active_ticks(0), 0);
+        assert_eq!(cooc.top_kpi(0), None);
+        assert_eq!(cooc.total_shortfall(0), 0.0);
+    }
+
+    #[test]
+    fn per_unit_state_is_independent() {
+        let mut cooc = CoOccurrence::new(3, 2, 8);
+        cooc.note(0, &cause(&[(0, 0.3)]));
+        cooc.note(2, &cause(&[(1, 0.9)]));
+        cooc.advance();
+        assert_eq!(cooc.active_ticks(0), 1);
+        assert_eq!(cooc.active_ticks(1), 0);
+        assert_eq!(cooc.active_ticks(2), 1);
+        assert_eq!(cooc.top_kpi(0), Some(0));
+        assert_eq!(cooc.top_kpi(2), Some(1));
+        assert!((cooc.kpi_shortfall(2, 1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_kpi() {
+        let mut cooc = CoOccurrence::new(1, 3, 4);
+        cooc.note(0, &cause(&[(2, 0.5), (1, 0.5)]));
+        cooc.advance();
+        assert_eq!(cooc.top_kpi(0), Some(1));
+    }
+
+    #[test]
+    fn out_of_roster_reads_are_total() {
+        let cooc = CoOccurrence::new(1, 1, 4);
+        assert_eq!(cooc.active_ticks(9), 0);
+        assert_eq!(cooc.top_kpi(9), None);
+        assert_eq!(cooc.total_shortfall(9), 0.0);
+        assert_eq!(cooc.kpi_shortfall(0, 9), 0.0);
+    }
+}

@@ -1,0 +1,571 @@
+//! The fleet-scope engine: consumes the per-unit verdict stream and
+//! produces the deterministic scope-verdict stream.
+//!
+//! ## Determinism under arbitrary arrival order
+//!
+//! Online, verdicts arrive from many shard workers in a racy interleaving;
+//! offline, `analyze-fleet` replays a JSONL file. The engine makes both
+//! produce **byte-identical** output by being arrival-order-insensitive:
+//!
+//! 1. incoming verdicts are buffered per `at_tick`, never evaluated on
+//!    arrival;
+//! 2. a watermark — the minimum over *all roster units* of the highest
+//!    `at_tick` each has reported — bounds the ticks that are complete:
+//!    per-unit streams are monotone, so no verdict strictly below the
+//!    watermark can still arrive (the watermark tick itself may still
+//!    gain same-tick verdicts from the minimum unit);
+//! 3. complete ticks are evaluated in order, the verdicts within a tick
+//!    sorted by the canonical `(unit, db, start_tick)` key;
+//! 4. `flush` force-evaluates everything still buffered (shutdown / end
+//!    of file), so the final stream is a pure function of the verdict
+//!    multiset.
+//!
+//! Duplicate deliveries (shard WAL replay after a supervisor restart
+//! re-emits verdicts) are dropped by a per-`(unit, db)` monotone
+//! `start_tick` check, so at-least-once transports feed the engine
+//! safely.
+
+use crate::changepoint::{Cusum, CusumConfig, IncidentClass};
+use crate::correlate::{CoOccurrence, CorrelateConfig};
+use crate::rollup::{scope_scores, verdict_severity, RollupConfig, ScopeTracker, Transition};
+use crate::topology::{Scope, Topology};
+use dbcatcher_core::config::DbCatcherConfig;
+use dbcatcher_core::{root_cause, Verdict};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Full tuning of the fleet-scope engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyConfig {
+    /// The unit → cluster → region grouping.
+    pub topology: Topology,
+    /// Rollup and hysteresis thresholds.
+    pub rollup: RollupConfig,
+    /// CUSUM change-point tuning.
+    pub cusum: CusumConfig,
+    /// Co-occurrence grouping thresholds.
+    pub correlate: CorrelateConfig,
+}
+
+impl HierarchyConfig {
+    /// Default tuning over a given topology.
+    pub fn new(topology: Topology) -> Self {
+        HierarchyConfig {
+            topology,
+            rollup: RollupConfig::default(),
+            cusum: CusumConfig::default(),
+            correlate: CorrelateConfig::default(),
+        }
+    }
+}
+
+/// One per-unit verdict as the hierarchy layer consumes it — also the
+/// hierarchy WAL / `analyze-fleet` JSONL line format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitVerdict {
+    /// Originating unit.
+    pub unit: usize,
+    /// Tick at which the verdict resolved.
+    pub at_tick: u64,
+    /// The full per-unit verdict (state, window, per-KPI scores).
+    pub verdict: Verdict,
+}
+
+/// Scope alarm lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScopeState {
+    /// The scope entered the alarmed state.
+    Alarm,
+    /// The scope returned to normal.
+    Clear,
+}
+
+/// One fleet-scope verdict: an alarm raise or clear at some scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeVerdict {
+    /// Which scope transitioned.
+    pub scope: Scope,
+    /// Evaluation tick of the transition.
+    pub at_tick: u64,
+    /// Raise or clear.
+    pub state: ScopeState,
+    /// The scope score at the transition (quantised to 1e-9).
+    pub score: f64,
+    /// CUSUM classification (alarms only).
+    pub class: Option<IncidentClass>,
+    /// Estimated change onset tick (alarms only).
+    pub onset_tick: Option<u64>,
+    /// Blamed epicenter unit when a correlated group was flagged.
+    pub epicenter: Option<usize>,
+    /// Units of the correlated group agreeing on the blamed KPI.
+    pub group: Vec<usize>,
+    /// The KPI the group agrees on.
+    pub blamed_kpi: Option<usize>,
+}
+
+/// Quantises a score for stable rendering.
+#[inline]
+fn quantise(score: f64) -> f64 {
+    (score * 1e9).round() / 1e9
+}
+
+/// The fleet-scope detection engine.
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: HierarchyConfig,
+    det_config: DbCatcherConfig,
+    /// Verdicts buffered per tick until the watermark passes them.
+    buffer: BTreeMap<u64, Vec<UnitVerdict>>,
+    /// Per roster unit: highest `at_tick` observed.
+    last_seen: Vec<Option<u64>>,
+    /// Per `(unit, db)`: highest verdict `start_tick` accepted.
+    dedup: BTreeMap<(usize, usize), u64>,
+    /// Per unit: held severity per database (grown on first sight).
+    db_severity: Vec<Vec<f64>>,
+    unit_severity: Vec<f64>,
+    cluster_score: Vec<f64>,
+    region_score: Vec<f64>,
+    /// Hysteresis per scope: clusters, then regions, then fleet.
+    trackers: Vec<ScopeTracker>,
+    cusums: Vec<Cusum>,
+    cooc: CoOccurrence,
+    /// One past the last evaluated tick (0 = nothing evaluated).
+    evaluated_through: u64,
+    out: Vec<ScopeVerdict>,
+    accepted: u64,
+    scratch_active: Vec<usize>,
+}
+
+impl FleetEngine {
+    /// Builds an engine for `kpis`-wide verdict scores.
+    pub fn new(config: HierarchyConfig, kpis: usize) -> Self {
+        let topology = config.topology.clone();
+        let units = topology.num_units;
+        let scopes = topology.num_clusters() + topology.num_regions() + 1;
+        FleetEngine {
+            det_config: DbCatcherConfig::with_kpis(kpis.max(1)),
+            cooc: CoOccurrence::new(units, kpis.max(1), config.correlate.window),
+            config,
+            buffer: BTreeMap::new(),
+            last_seen: vec![None; units],
+            dedup: BTreeMap::new(),
+            db_severity: vec![Vec::new(); units],
+            unit_severity: vec![0.0; units],
+            cluster_score: vec![0.0; topology.num_clusters()],
+            region_score: vec![0.0; topology.num_regions()],
+            trackers: vec![ScopeTracker::default(); scopes],
+            cusums: vec![Cusum::default(); scopes],
+            evaluated_through: 0,
+            out: Vec::new(),
+            accepted: 0,
+            scratch_active: Vec::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Verdicts accepted (deduplicated) so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of scopes currently alarmed.
+    pub fn alarms_active(&self) -> usize {
+        self.trackers.iter().filter(|t| t.alarmed()).count()
+    }
+
+    /// Feeds one verdict. Returns `true` when the verdict is fresh
+    /// (in-roster and not a duplicate delivery); duplicates and
+    /// out-of-roster units are ignored.
+    pub fn observe(&mut self, uv: UnitVerdict) -> bool {
+        if !self.config.topology.contains_unit(uv.unit) {
+            return false;
+        }
+        let key = (uv.unit, uv.verdict.db);
+        if let Some(&prev) = self.dedup.get(&key) {
+            if uv.verdict.start_tick <= prev {
+                return false;
+            }
+        }
+        self.dedup.insert(key, uv.verdict.start_tick);
+        let seen = &mut self.last_seen[uv.unit];
+        *seen = Some(seen.map_or(uv.at_tick, |s| s.max(uv.at_tick)));
+        self.accepted += 1;
+        self.buffer.entry(uv.at_tick).or_default().push(uv);
+        if let Some(watermark) = self.watermark() {
+            // Ticks strictly below the watermark are complete. The
+            // watermark tick itself is not: the unit holding the minimum
+            // may still deliver further same-tick verdicts (several of
+            // its databases resolving on one tick).
+            self.evaluate_through(watermark);
+        }
+        true
+    }
+
+    /// Force-evaluates everything still buffered (shutdown / end of
+    /// offline stream).
+    pub fn flush(&mut self) {
+        if let Some(&last) = self.buffer.keys().next_back() {
+            self.evaluate_through(last.saturating_add(1));
+        }
+    }
+
+    /// Takes the scope verdicts emitted since the last drain.
+    pub fn drain(&mut self) -> Vec<ScopeVerdict> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// The highest tick guaranteed complete: the minimum over all roster
+    /// units of the highest tick each has reported.
+    fn watermark(&self) -> Option<u64> {
+        let mut min = u64::MAX;
+        for seen in &self.last_seen {
+            min = min.min((*seen)?);
+        }
+        Some(min)
+    }
+
+    /// Evaluates every tick in `[evaluated_through, end)` in order.
+    fn evaluate_through(&mut self, end: u64) {
+        while self.evaluated_through < end {
+            let tick = self.evaluated_through;
+            self.evaluate_tick(tick);
+            self.evaluated_through += 1;
+        }
+    }
+
+    /// Applies the buffered verdicts of one tick, rotates the
+    /// correlation window, re-scores every scope and emits hysteresis
+    /// transitions.
+    fn evaluate_tick(&mut self, tick: u64) {
+        if let Some(mut batch) = self.buffer.remove(&tick) {
+            batch.sort_by_key(|uv| (uv.unit, uv.verdict.db, uv.verdict.start_tick));
+            for uv in &batch {
+                self.apply_verdict(uv);
+            }
+        }
+        for (unit, dbs) in self.db_severity.iter().enumerate() {
+            let mut max = 0.0f64;
+            for &sev in dbs {
+                max = max.max(sev);
+            }
+            self.unit_severity[unit] = max;
+        }
+        self.cooc.advance();
+        let fleet_score = scope_scores(
+            &self.unit_severity,
+            &self.config.topology,
+            &mut self.cluster_score,
+            &mut self.region_score,
+        );
+        let clusters = self.config.topology.num_clusters();
+        let regions = self.config.topology.num_regions();
+        for cluster in 0..clusters {
+            let score = self.cluster_score[cluster];
+            self.step_scope(Scope::Cluster(cluster), cluster, tick, score);
+        }
+        for region in 0..regions {
+            let score = self.region_score[region];
+            self.step_scope(Scope::Region(region), clusters + region, tick, score);
+        }
+        self.step_scope(Scope::Fleet, clusters + regions, tick, fleet_score);
+    }
+
+    /// Records one verdict's severity and (when abnormal) its KPI
+    /// attribution.
+    fn apply_verdict(&mut self, uv: &UnitVerdict) {
+        let dbs = &mut self.db_severity[uv.unit];
+        if uv.verdict.db >= dbs.len() {
+            dbs.resize(uv.verdict.db + 1, 0.0);
+        }
+        let severity = verdict_severity(&uv.verdict, &self.det_config);
+        dbs[uv.verdict.db] = severity;
+        if uv.verdict.state.is_abnormal() {
+            let cause = root_cause(&uv.verdict, &self.det_config);
+            self.cooc.note(uv.unit, &cause);
+        }
+    }
+
+    /// Advances one scope's CUSUM and hysteresis, emitting a scope
+    /// verdict on a transition.
+    fn step_scope(&mut self, scope: Scope, index: usize, tick: u64, score: f64) {
+        self.cusums[index].update(tick, score, &self.config.cusum);
+        match self.trackers[index].update(score, &self.config.rollup) {
+            Some(Transition::Raise) => {
+                let (class, onset) = self.cusums[index].classify(tick, &self.config.cusum);
+                let (epicenter, group, blamed_kpi) = match scope {
+                    Scope::Cluster(cluster) => self.attribute_cluster(cluster),
+                    _ => (None, Vec::new(), None),
+                };
+                self.out.push(ScopeVerdict {
+                    scope,
+                    at_tick: tick,
+                    state: ScopeState::Alarm,
+                    score: quantise(score),
+                    class: Some(class),
+                    onset_tick: Some(onset),
+                    epicenter,
+                    group,
+                    blamed_kpi,
+                });
+            }
+            Some(Transition::Clear) => {
+                self.out.push(ScopeVerdict {
+                    scope,
+                    at_tick: tick,
+                    state: ScopeState::Clear,
+                    score: quantise(score),
+                    class: None,
+                    onset_tick: None,
+                    epicenter: None,
+                    group: Vec::new(),
+                    blamed_kpi: None,
+                });
+            }
+            None => {}
+        }
+    }
+
+    /// Co-occurrence attribution for a cluster alarm: the agreeing
+    /// group, its modal KPI and the epicenter unit carrying the largest
+    /// windowed shortfall on that KPI.
+    fn attribute_cluster(&mut self, cluster: usize) -> (Option<usize>, Vec<usize>, Option<usize>) {
+        let members = self.config.topology.cluster_units(cluster);
+        self.scratch_active.clear();
+        for unit in members {
+            if self.cooc.active_ticks(unit) >= self.config.correlate.min_active_ticks
+                && self.cooc.top_kpi(unit).is_some()
+            {
+                self.scratch_active.push(unit);
+            }
+        }
+        if self.scratch_active.len() < self.config.correlate.min_group {
+            return (None, Vec::new(), None);
+        }
+        // Modal top KPI over active members; ties break to the lowest
+        // KPI index via the ascending scan.
+        let mut modal_kpi: Option<usize> = None;
+        let mut modal_count = 0usize;
+        for &unit in &self.scratch_active {
+            let Some(kpi) = self.cooc.top_kpi(unit) else {
+                continue;
+            };
+            let count = self
+                .scratch_active
+                .iter()
+                .filter(|&&u| self.cooc.top_kpi(u) == Some(kpi))
+                .count();
+            let wins = match modal_kpi {
+                None => true,
+                Some(m) => count > modal_count || (count == modal_count && kpi < m),
+            };
+            if wins {
+                modal_kpi = Some(kpi);
+                modal_count = count;
+            }
+        }
+        let Some(kpi) = modal_kpi else {
+            return (None, Vec::new(), None);
+        };
+        let agreeing: Vec<usize> = self
+            .scratch_active
+            .iter()
+            .copied()
+            .filter(|&u| self.cooc.top_kpi(u) == Some(kpi))
+            .collect();
+        let needed = self.config.correlate.agree_fraction * self.scratch_active.len() as f64;
+        if (agreeing.len() as f64) < needed {
+            return (None, Vec::new(), None);
+        }
+        // Epicenter: largest windowed shortfall on the agreed KPI; ties
+        // break to the lowest unit id.
+        let mut epicenter = agreeing[0];
+        let mut best = self.cooc.kpi_shortfall(epicenter, kpi);
+        for &unit in &agreeing[1..] {
+            let shortfall = self.cooc.kpi_shortfall(unit, kpi);
+            if shortfall > best {
+                best = shortfall;
+                epicenter = unit;
+            }
+        }
+        (Some(epicenter), agreeing, Some(kpi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcatcher_core::DbState;
+
+    fn config(units: usize) -> HierarchyConfig {
+        HierarchyConfig::new(Topology::new(units, units.max(1), 1).unwrap())
+    }
+
+    fn verdict(unit: usize, at_tick: u64, db: usize, abnormal: bool) -> UnitVerdict {
+        let start = at_tick.saturating_sub(19);
+        UnitVerdict {
+            unit,
+            at_tick,
+            verdict: Verdict {
+                db,
+                start_tick: start,
+                end_tick: at_tick + 1,
+                state: if abnormal {
+                    DbState::Abnormal
+                } else {
+                    DbState::Healthy
+                },
+                window_size: 20,
+                expansions: 0,
+                scores: if abnormal {
+                    vec![0.05, 0.5, 0.9]
+                } else {
+                    vec![0.9, 0.95, 0.9]
+                },
+            },
+        }
+    }
+
+    /// Runs a set of verdicts through an engine in the given order and
+    /// returns the rendered output stream.
+    fn run(order: &[UnitVerdict], units: usize) -> Vec<ScopeVerdict> {
+        let mut engine = FleetEngine::new(config(units), 3);
+        for uv in order {
+            engine.observe(uv.clone());
+        }
+        engine.flush();
+        engine.drain()
+    }
+
+    #[test]
+    fn watermark_holds_back_incomplete_ticks() {
+        let mut engine = FleetEngine::new(config(2), 3);
+        engine.observe(verdict(0, 19, 0, true));
+        // Unit 1 has not reported: nothing may evaluate yet.
+        assert_eq!(engine.evaluated_through, 0);
+        engine.observe(verdict(1, 19, 0, true));
+        // Ticks strictly below the watermark (19) are complete; tick 19
+        // itself may still gain same-tick verdicts.
+        assert_eq!(engine.evaluated_through, 19);
+        engine.observe(verdict(0, 39, 0, false));
+        engine.observe(verdict(1, 39, 0, false));
+        assert_eq!(engine.evaluated_through, 39);
+        engine.flush();
+        assert_eq!(engine.evaluated_through, 40);
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_output() {
+        // Same verdict multiset delivered under three different valid
+        // interleavings (each unit's own stream stays monotone, as the
+        // transport guarantees): round-robin per tick, unit-major, and
+        // unit-major in a different unit order.
+        let ticks = [19u64, 39, 59, 79];
+        let mut round_robin = Vec::new();
+        for tick in ticks {
+            for unit in 0..3 {
+                round_robin.push(verdict(unit, tick, 0, tick == 39 || tick == 59));
+            }
+        }
+        let unit_major = |order: [usize; 3]| {
+            let mut out = Vec::new();
+            for unit in order {
+                for tick in ticks {
+                    out.push(verdict(unit, tick, 0, tick == 39 || tick == 59));
+                }
+            }
+            out
+        };
+        let a = run(&round_robin, 3);
+        let b = run(&unit_major([0, 1, 2]), 3);
+        let c = run(&unit_major([2, 0, 1]), 3);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(!a.is_empty(), "abnormal burst must raise an alarm");
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_dropped() {
+        let mut engine = FleetEngine::new(config(1), 3);
+        assert!(engine.observe(verdict(0, 19, 0, true)));
+        assert!(!engine.observe(verdict(0, 19, 0, true)));
+        assert_eq!(engine.accepted(), 1);
+    }
+
+    #[test]
+    fn out_of_roster_units_are_ignored() {
+        let mut engine = FleetEngine::new(config(1), 3);
+        assert!(!engine.observe(verdict(7, 19, 0, true)));
+        assert_eq!(engine.accepted(), 0);
+    }
+
+    #[test]
+    fn correlated_burst_flags_epicenter() {
+        let mut engine = FleetEngine::new(config(3), 3);
+        // All three units abnormal on the same KPI profile across two
+        // windows; unit 1 gets an extra abnormal database, making it
+        // the heaviest shortfall carrier.
+        for tick in [19u64, 39] {
+            for unit in 0..3 {
+                engine.observe(verdict(unit, tick, 0, true));
+            }
+            engine.observe(verdict(1, tick, 1, true));
+        }
+        engine.flush();
+        let out = engine.drain();
+        let alarm = out
+            .iter()
+            .find(|sv| sv.state == ScopeState::Alarm && matches!(sv.scope, Scope::Cluster(_)))
+            .expect("cluster alarm");
+        assert_eq!(alarm.epicenter, Some(1));
+        assert_eq!(alarm.group, vec![0, 1, 2]);
+        assert_eq!(alarm.blamed_kpi, Some(0));
+        assert_eq!(alarm.class, Some(IncidentClass::SuddenIncident));
+        assert!(alarm.onset_tick.is_some());
+    }
+
+    #[test]
+    fn alarm_clears_after_recovery() {
+        let mut engine = FleetEngine::new(config(2), 3);
+        for tick in [19u64, 39] {
+            for unit in 0..2 {
+                engine.observe(verdict(unit, tick, 0, true));
+            }
+        }
+        for tick in [59u64, 79] {
+            for unit in 0..2 {
+                engine.observe(verdict(unit, tick, 0, false));
+            }
+        }
+        engine.flush();
+        let out = engine.drain();
+        let states: Vec<ScopeState> = out
+            .iter()
+            .filter(|sv| sv.scope == Scope::Fleet)
+            .map(|sv| sv.state)
+            .collect();
+        assert_eq!(states, vec![ScopeState::Alarm, ScopeState::Clear]);
+        assert_eq!(engine.alarms_active(), 0);
+    }
+
+    #[test]
+    fn scope_verdict_round_trips_through_json() {
+        let sv = ScopeVerdict {
+            scope: Scope::Cluster(2),
+            at_tick: 40,
+            state: ScopeState::Alarm,
+            score: 0.5,
+            class: Some(IncidentClass::SlowRegression),
+            onset_tick: Some(12),
+            epicenter: Some(3),
+            group: vec![3, 4],
+            blamed_kpi: Some(8),
+        };
+        let text = serde_json::to_string(&sv).unwrap();
+        let back: ScopeVerdict = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, sv);
+    }
+}

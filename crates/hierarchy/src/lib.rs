@@ -1,0 +1,38 @@
+//! # dbcatcher-hierarchy
+//!
+//! Fleet-scope hierarchical detection above the per-unit DBCatcher
+//! detectors — the tier the paper leaves open (§V) and DeCorus-style
+//! systems show is the bar at cloud scale. Per-unit verdicts roll up a
+//! configurable [`topology`] (unit → cluster → region → fleet) into
+//! severity-weighted, hysteresis-damped scope verdicts ([`rollup`]); an
+//! incremental cross-unit co-occurrence correlator ([`correlate`]) flags
+//! noisy-neighbour / shared-storage groups and blames an epicenter unit
+//! via `core::diagnosis` KPI attribution; and a per-scope CUSUM
+//! change-point analyzer ([`changepoint`]) classifies each alarm as a
+//! `SuddenIncident` or a `SlowRegression` with an onset-tick estimate.
+//!
+//! The [`engine::FleetEngine`] is **arrival-order-insensitive**: it
+//! buffers verdicts per tick behind a roster watermark and evaluates
+//! complete ticks in canonical order, so the online feed inside the
+//! serve daemon and the offline [`replay()`] (`dbcatcher analyze-fleet`)
+//! of the same verdict stream produce byte-identical scope-verdict
+//! streams — the property the chaos simulator checks under crash and
+//! restart.
+
+#![forbid(unsafe_code)]
+
+pub mod changepoint;
+pub mod correlate;
+pub mod engine;
+pub mod replay;
+pub mod rollup;
+pub mod topology;
+
+pub use changepoint::{Cusum, CusumConfig, IncidentClass};
+pub use correlate::{CoOccurrence, CorrelateConfig};
+pub use engine::{FleetEngine, HierarchyConfig, ScopeState, ScopeVerdict, UnitVerdict};
+pub use replay::{
+    parse_scope_line, parse_unit_line, render_scope_line, render_unit_line, replay, FleetReplay,
+};
+pub use rollup::{scope_scores, verdict_severity, RollupConfig, ScopeTracker, Transition};
+pub use topology::{Scope, Topology, TopologyError};

@@ -1,0 +1,284 @@
+//! Severity-weighted rollup of unit verdicts into scope scores, and the
+//! hysteresis damping that turns a noisy score series into stable scope
+//! alarms.
+//!
+//! **Severity.** Healthy (and transitional) verdicts are severity `0.0`.
+//! An abnormal verdict starts at `0.5` — it *is* abnormal, however narrow
+//! the KPI footprint — plus half the mean level weight of its
+//! participating KPIs (level-1 weighs `1.0`, level-2 `0.5`, level-3
+//! `0.0`), landing in `(0.5, 1.0]`. The saturating base keeps a
+//! single-KPI anomaly (fragmentation touches only `Real Capacity`) from
+//! diluting to noise, so a scope score reads as a severity-weighted
+//! *fraction of abnormal units*. A database's severity *holds* between
+//! verdicts (windows resolve every ~20 ticks) and a unit's severity is
+//! the max over its databases.
+//!
+//! **Rollup.** A cluster's score is the mean unit severity of its
+//! members; regions and the fleet average over their units likewise, so
+//! every scope score is a mean over leaf severities and therefore
+//! monotone non-decreasing in each child's severity.
+//!
+//! **Hysteresis.** A scope raises an alarm only after its score holds at
+//! or above `raise_threshold` for `raise_ticks` consecutive evaluation
+//! ticks, and clears only after the score drops below `clear_threshold`
+//! for `clear_ticks` consecutive ticks — the classic two-threshold
+//! damper that stops a score oscillating around one threshold from
+//! flapping the alarm.
+//!
+//! Everything here is allocation-free after construction: callers hand
+//! in preallocated score buffers and per-scope trackers are plain
+//! scalars.
+
+use crate::topology::Topology;
+use dbcatcher_core::config::DbCatcherConfig;
+use dbcatcher_core::levels::score_to_level;
+use dbcatcher_core::{DbState, Level, Verdict};
+use serde::{Deserialize, Serialize};
+
+/// Hysteresis thresholds for scope alarm state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollupConfig {
+    /// Score at or above which the raise streak grows.
+    pub raise_threshold: f64,
+    /// Score below which the clear streak grows.
+    pub clear_threshold: f64,
+    /// Consecutive qualifying ticks before an alarm raises.
+    pub raise_ticks: u32,
+    /// Consecutive qualifying ticks before an alarm clears.
+    pub clear_ticks: u32,
+}
+
+impl Default for RollupConfig {
+    fn default() -> Self {
+        // Abnormal units score at least 0.5, so 0.35 means "more than
+        // two thirds of a 2-unit group / two of three units abnormal" —
+        // a *correlated* failure, not one noisy unit.
+        RollupConfig {
+            raise_threshold: 0.35,
+            clear_threshold: 0.15,
+            raise_ticks: 2,
+            clear_ticks: 4,
+        }
+    }
+}
+
+/// Level weight of one KPI score against its threshold.
+#[inline]
+fn level_weight(score: f64, alpha: f64, theta: f64) -> f64 {
+    match score_to_level(score, alpha, theta) {
+        Level::ExtremeDeviation => 1.0,
+        Level::SlightDeviation => 0.5,
+        Level::Correlated => 0.0,
+    }
+}
+
+/// Severity of one verdict in `{0} ∪ (0.5, 1.0]`.
+///
+/// Healthy (and transitional) verdicts are `0.0`; an abnormal verdict
+/// scores `0.5` plus half the mean level weight over its participating
+/// (non-NaN) KPIs, judged against the configuration's thresholds. Total
+/// and allocation-free.
+pub fn verdict_severity(verdict: &Verdict, config: &DbCatcherConfig) -> f64 {
+    if verdict.state != DbState::Abnormal {
+        return 0.0;
+    }
+    let mut weight = 0.0f64;
+    let mut participating = 0u32;
+    for (score, alpha) in verdict.scores.iter().zip(config.alphas.iter()) {
+        if score.is_nan() {
+            continue;
+        }
+        participating += 1;
+        weight += level_weight(*score, *alpha, config.theta);
+    }
+    if participating == 0 {
+        // Abnormal with no participating KPIs cannot happen from the
+        // detector, but a wire stream could carry it: count it fully.
+        return 1.0;
+    }
+    0.5 + 0.5 * (weight / f64::from(participating))
+}
+
+/// Fills per-cluster and per-region mean severities from unit leaves and
+/// returns the fleet-wide mean. Allocation-free: `cluster_out` /
+/// `region_out` are caller-owned buffers sized to the topology.
+pub fn scope_scores(
+    unit_severity: &[f64],
+    topology: &Topology,
+    cluster_out: &mut [f64],
+    region_out: &mut [f64],
+) -> f64 {
+    let units = topology.num_units.min(unit_severity.len());
+    for (cluster, out) in cluster_out.iter_mut().enumerate() {
+        let members = topology.cluster_units(cluster);
+        let mut sum = 0.0f64;
+        let mut count = 0u32;
+        for unit in members {
+            if unit < units {
+                sum += unit_severity[unit];
+                count += 1;
+            }
+        }
+        *out = if count == 0 {
+            0.0
+        } else {
+            sum / f64::from(count)
+        };
+    }
+    let mut fleet_sum = 0.0f64;
+    let mut fleet_count = 0u32;
+    for (region, out) in region_out.iter_mut().enumerate() {
+        let members = topology.region_units(region);
+        let mut sum = 0.0f64;
+        let mut count = 0u32;
+        for unit in members {
+            if unit < units {
+                sum += unit_severity[unit];
+                count += 1;
+            }
+        }
+        *out = if count == 0 {
+            0.0
+        } else {
+            sum / f64::from(count)
+        };
+        fleet_sum += sum;
+        fleet_count += count;
+    }
+    if fleet_count == 0 {
+        0.0
+    } else {
+        fleet_sum / f64::from(fleet_count)
+    }
+}
+
+/// An alarm state transition produced by hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The scope entered the alarmed state.
+    Raise,
+    /// The scope left the alarmed state.
+    Clear,
+}
+
+/// Per-scope hysteresis state: plain scalars, allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeTracker {
+    alarmed: bool,
+    above: u32,
+    below: u32,
+}
+
+impl ScopeTracker {
+    /// Whether the scope is currently alarmed.
+    pub fn alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// Feeds one evaluation tick's score; returns a transition when the
+    /// alarm state flips.
+    pub fn update(&mut self, score: f64, config: &RollupConfig) -> Option<Transition> {
+        if self.alarmed {
+            if score < config.clear_threshold {
+                self.below += 1;
+            } else {
+                self.below = 0;
+            }
+            if self.below >= config.clear_ticks {
+                self.alarmed = false;
+                self.below = 0;
+                self.above = 0;
+                return Some(Transition::Clear);
+            }
+        } else {
+            if score >= config.raise_threshold {
+                self.above += 1;
+            } else {
+                self.above = 0;
+            }
+            if self.above >= config.raise_ticks {
+                self.alarmed = true;
+                self.above = 0;
+                self.below = 0;
+                return Some(Transition::Raise);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abnormal(scores: Vec<f64>) -> Verdict {
+        Verdict {
+            db: 0,
+            start_tick: 0,
+            end_tick: 20,
+            state: DbState::Abnormal,
+            window_size: 20,
+            expansions: 0,
+            scores,
+        }
+    }
+
+    #[test]
+    fn healthy_severity_is_zero() {
+        let config = DbCatcherConfig::with_kpis(2);
+        let mut v = abnormal(vec![0.0, 0.0]);
+        v.state = DbState::Healthy;
+        assert_eq!(verdict_severity(&v, &config), 0.0);
+    }
+
+    #[test]
+    fn severity_weighs_levels() {
+        // alphas 0.7, theta 0.2: below 0.14 → level 1, below 0.7 → level 2.
+        let config = DbCatcherConfig::with_kpis(4);
+        let v = abnormal(vec![0.05, 0.5, 0.9, f64::NAN]);
+        // 0.5 base + 0.5 · (1.0 + 0.5 + 0.0) / 3 participating KPIs.
+        assert!((verdict_severity(&v, &config) - 0.75).abs() < 1e-12);
+        // A narrow single-KPI anomaly still clears the abnormal floor.
+        let narrow = abnormal(vec![0.05, 0.9, 0.9, 0.9]);
+        assert!(verdict_severity(&narrow, &config) > 0.5);
+    }
+
+    #[test]
+    fn scope_scores_average_members() {
+        let topology = Topology::new(4, 2, 2).unwrap();
+        let mut clusters = vec![0.0; topology.num_clusters()];
+        let mut regions = vec![0.0; topology.num_regions()];
+        let fleet = scope_scores(
+            &[1.0, 0.0, 0.5, 0.5],
+            &topology,
+            &mut clusters,
+            &mut regions,
+        );
+        assert_eq!(clusters, vec![0.5, 0.5]);
+        assert_eq!(regions, vec![0.5]);
+        assert!((fleet - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hysteresis_raises_and_clears_on_streaks() {
+        let config = RollupConfig {
+            raise_threshold: 0.5,
+            clear_threshold: 0.2,
+            raise_ticks: 2,
+            clear_ticks: 3,
+        };
+        let mut tracker = ScopeTracker::default();
+        assert_eq!(tracker.update(0.6, &config), None);
+        // A dip resets the raise streak.
+        assert_eq!(tracker.update(0.1, &config), None);
+        assert_eq!(tracker.update(0.6, &config), None);
+        assert_eq!(tracker.update(0.6, &config), Some(Transition::Raise));
+        assert!(tracker.alarmed());
+        // Scores between the thresholds hold the alarm.
+        assert_eq!(tracker.update(0.3, &config), None);
+        assert_eq!(tracker.update(0.1, &config), None);
+        assert_eq!(tracker.update(0.1, &config), None);
+        assert_eq!(tracker.update(0.1, &config), Some(Transition::Clear));
+        assert!(!tracker.alarmed());
+    }
+}

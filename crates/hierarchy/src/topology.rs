@@ -1,0 +1,187 @@
+//! The fleet topology: how units group into clusters, clusters into
+//! regions, and regions into one fleet.
+//!
+//! The shape is *configurable but regular*: every cluster holds
+//! `units_per_cluster` consecutive unit ids (the last cluster may be
+//! ragged), every region holds `clusters_per_region` consecutive
+//! clusters. Regularity keeps the mapping pure arithmetic — no lookup
+//! tables on the per-tick path — and makes the topology fully described
+//! by three integers, which is what the serve flags, the offline
+//! `analyze-fleet` CLI and the chaos simulator all plumb through.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Error constructing a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The fleet must contain at least one unit.
+    NoUnits,
+    /// Group sizes must be non-zero.
+    ZeroGroup,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoUnits => write!(f, "topology requires at least one unit"),
+            TopologyError::ZeroGroup => write!(f, "topology group sizes must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A regular unit → cluster → region → fleet grouping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of leaf units in the fleet.
+    pub num_units: usize,
+    /// Consecutive units per cluster (last cluster may be smaller).
+    pub units_per_cluster: usize,
+    /// Consecutive clusters per region (last region may be smaller).
+    pub clusters_per_region: usize,
+}
+
+impl Topology {
+    /// Builds a validated topology.
+    pub fn new(
+        num_units: usize,
+        units_per_cluster: usize,
+        clusters_per_region: usize,
+    ) -> Result<Self, TopologyError> {
+        if num_units == 0 {
+            return Err(TopologyError::NoUnits);
+        }
+        if units_per_cluster == 0 || clusters_per_region == 0 {
+            return Err(TopologyError::ZeroGroup);
+        }
+        Ok(Topology {
+            num_units,
+            units_per_cluster,
+            clusters_per_region,
+        })
+    }
+
+    /// Number of clusters (ceiling division).
+    pub fn num_clusters(&self) -> usize {
+        self.num_units.div_ceil(self.units_per_cluster)
+    }
+
+    /// Number of regions (ceiling division).
+    pub fn num_regions(&self) -> usize {
+        self.num_clusters().div_ceil(self.clusters_per_region)
+    }
+
+    /// The cluster a unit belongs to.
+    pub fn cluster_of(&self, unit: usize) -> usize {
+        unit / self.units_per_cluster
+    }
+
+    /// The region a cluster belongs to.
+    pub fn region_of_cluster(&self, cluster: usize) -> usize {
+        cluster / self.clusters_per_region
+    }
+
+    /// The unit ids of one cluster (clamped to the fleet size).
+    pub fn cluster_units(&self, cluster: usize) -> Range<usize> {
+        let start = (cluster * self.units_per_cluster).min(self.num_units);
+        let end = ((cluster + 1) * self.units_per_cluster).min(self.num_units);
+        start..end
+    }
+
+    /// The cluster ids of one region (clamped to the cluster count).
+    pub fn region_clusters(&self, region: usize) -> Range<usize> {
+        let clusters = self.num_clusters();
+        let start = (region * self.clusters_per_region).min(clusters);
+        let end = ((region + 1) * self.clusters_per_region).min(clusters);
+        start..end
+    }
+
+    /// The unit ids of one region.
+    pub fn region_units(&self, region: usize) -> Range<usize> {
+        let clusters = self.region_clusters(region);
+        let start = self.cluster_units(clusters.start).start;
+        let end = if clusters.end == 0 {
+            start
+        } else {
+            self.cluster_units(clusters.end - 1).end
+        };
+        start..end
+    }
+
+    /// Whether a unit id belongs to the fleet roster.
+    pub fn contains_unit(&self, unit: usize) -> bool {
+        unit < self.num_units
+    }
+}
+
+/// A node of the topology above the unit leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scope {
+    /// One cluster of units.
+    Cluster(usize),
+    /// One region of clusters.
+    Region(usize),
+    /// The whole fleet.
+    Fleet,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Cluster(c) => write!(f, "cluster/{c}"),
+            Scope::Region(r) => write!(f, "region/{r}"),
+            Scope::Fleet => write!(f, "fleet"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert_eq!(Topology::new(0, 2, 2), Err(TopologyError::NoUnits));
+        assert_eq!(Topology::new(4, 0, 2), Err(TopologyError::ZeroGroup));
+        assert_eq!(Topology::new(4, 2, 0), Err(TopologyError::ZeroGroup));
+    }
+
+    #[test]
+    fn ragged_tail_groups() {
+        // 7 units, 3 per cluster → clusters {0,1,2}, {3,4,5}, {6}.
+        let t = Topology::new(7, 3, 2).unwrap();
+        assert_eq!(t.num_clusters(), 3);
+        assert_eq!(t.num_regions(), 2);
+        assert_eq!(t.cluster_units(0), 0..3);
+        assert_eq!(t.cluster_units(2), 6..7);
+        assert_eq!(t.region_clusters(0), 0..2);
+        assert_eq!(t.region_clusters(1), 2..3);
+        assert_eq!(t.region_units(0), 0..6);
+        assert_eq!(t.region_units(1), 6..7);
+    }
+
+    #[test]
+    fn membership_is_consistent() {
+        let t = Topology::new(10, 4, 2).unwrap();
+        for unit in 0..t.num_units {
+            let c = t.cluster_of(unit);
+            assert!(t.cluster_units(c).contains(&unit));
+            let r = t.region_of_cluster(c);
+            assert!(t.region_clusters(r).contains(&c));
+            assert!(t.region_units(r).contains(&unit));
+        }
+        assert!(!t.contains_unit(10));
+    }
+
+    #[test]
+    fn scope_round_trips_through_json() {
+        for scope in [Scope::Cluster(3), Scope::Region(1), Scope::Fleet] {
+            let text = serde_json::to_string(&scope).unwrap();
+            let back: Scope = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, scope);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 use crate::metrics::MetricsSnapshot;
 use crate::protocol::{self, ProtocolError, Request, Response, MAX_LINE_BYTES};
 use dbcatcher_core::pipeline::Verdict;
+use dbcatcher_hierarchy::ScopeVerdict;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -327,7 +328,8 @@ fn flush_unit(
                 // Stray acks of earlier units or duplicate resends.
                 Some(Response::FlushAck { .. })
                 | Some(Response::HelloAck { .. })
-                | Some(Response::ResetAck { .. }) => {}
+                | Some(Response::ResetAck { .. })
+                | Some(Response::ScopeVerdict(_)) => {}
                 Some(other) => {
                     return Err(ClientError::Unexpected(format!("{other:?}")));
                 }
@@ -604,9 +606,11 @@ fn emit_core(
                     }
                     Response::HelloAck { .. }
                     | Response::FlushAck { .. }
-                    | Response::ResetAck { .. } => {
-                        // Duplicate control ack from an idempotent resend;
-                        // not a tick acknowledgement.
+                    | Response::ResetAck { .. }
+                    | Response::ScopeVerdict(_) => {
+                        // Duplicate control ack from an idempotent resend
+                        // (or a broadcast-only frame); not a tick
+                        // acknowledgement.
                     }
                     other => {
                         return Err(ClientError::Unexpected(format!("{other:?}")));
@@ -769,6 +773,21 @@ impl Subscriber {
                     at_tick,
                     verdict,
                 });
+            }
+        }
+    }
+
+    /// Blocks until the next broadcast fleet-scope verdict (per-unit
+    /// verdicts and other broadcast messages are skipped). Only the
+    /// `--hierarchy` daemon emits these.
+    ///
+    /// # Errors
+    /// Propagates connection and protocol failures (including EOF when
+    /// the daemon shuts down).
+    pub fn next_scope_verdict(&mut self) -> Result<ScopeVerdict, ClientError> {
+        loop {
+            if let Response::ScopeVerdict(sv) = self.conn.recv()? {
+                return Ok(sv);
             }
         }
     }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod hierarchy;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -44,6 +45,7 @@ pub use client::{
     emit, emit_surviving, fetch_stats, reset_unit, send_stop, EmitOptions, EmitReport, Subscriber,
     UnitStream,
 };
+pub use hierarchy::{HierarchyOptions, HIERARCHY_WAL_FILE};
 pub use metrics::{MetricsSnapshot, ServerMetrics, ShardStatus, UnitMetrics};
 pub use protocol::{Request, Response};
 pub use server::{DetectionServer, ServeConfig, ServerHandle};

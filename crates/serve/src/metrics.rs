@@ -90,6 +90,12 @@ pub struct MetricsSnapshot {
     pub total_rejects: u64,
     /// Sum of both verdict counters over all units.
     pub total_verdicts: u64,
+    /// Whether the fleet-scope hierarchy engine is running.
+    pub hierarchy_enabled: bool,
+    /// Scope verdicts (alarm raises and clears) emitted so far.
+    pub scope_verdicts: u64,
+    /// Scopes currently in the alarmed state.
+    pub scope_alarms_active: u64,
 }
 
 /// Internal mutable per-unit state behind the metrics lock.
@@ -112,6 +118,14 @@ struct UnitCounters {
     last_error: Option<String>,
 }
 
+/// Internal hierarchy-engine counters behind the metrics lock.
+#[derive(Debug, Default)]
+struct HierarchyCounters {
+    enabled: bool,
+    scope_verdicts: u64,
+    alarms_active: u64,
+}
+
 /// The shared metrics sink. Cheap to clone the handle (`Arc` it at the
 /// server level); every method takes `&self`.
 #[derive(Debug)]
@@ -122,6 +136,7 @@ pub struct ServerMetrics {
     inflight: Vec<AtomicUsize>,
     shards: usize,
     shard_status: Mutex<Vec<ShardStatus>>,
+    hierarchy: Mutex<HierarchyCounters>,
 }
 
 impl ServerMetrics {
@@ -139,7 +154,21 @@ impl ServerMetrics {
                     })
                     .collect(),
             ),
+            hierarchy: Mutex::new(HierarchyCounters::default()),
         }
+    }
+
+    /// Marks the hierarchy engine as running.
+    pub fn record_hierarchy_enabled(&self) {
+        self.hierarchy.lock_clean().enabled = true;
+    }
+
+    /// Records newly emitted scope verdicts and the current count of
+    /// alarmed scopes.
+    pub fn record_scope_verdicts(&self, emitted: u64, alarms_active: u64) {
+        let mut h = self.hierarchy.lock_clean();
+        h.scope_verdicts += emitted;
+        h.alarms_active = alarms_active;
     }
 
     fn with_unit<R>(&self, unit: usize, f: impl FnOnce(&mut UnitCounters) -> R) -> R {
@@ -366,6 +395,7 @@ impl ServerMetrics {
                 last_error: c.last_error.clone(),
             });
         }
+        let hierarchy = self.hierarchy.lock_clean();
         MetricsSnapshot {
             units,
             shards: self.shards,
@@ -374,6 +404,9 @@ impl ServerMetrics {
             total_ticks: ticks,
             total_rejects: rejects,
             total_verdicts: verdicts,
+            hierarchy_enabled: hierarchy.enabled,
+            scope_verdicts: hierarchy.scope_verdicts,
+            scope_alarms_active: hierarchy.alarms_active,
         }
     }
 }
@@ -467,6 +500,20 @@ mod tests {
             "release after reset must not underflow"
         );
         assert!(m.try_reserve_slot(0, 1), "counter still functional");
+    }
+
+    #[test]
+    fn hierarchy_counters_roll_up() {
+        let m = ServerMetrics::new(1, 1);
+        let snap = m.snapshot(0);
+        assert!(!snap.hierarchy_enabled);
+        m.record_hierarchy_enabled();
+        m.record_scope_verdicts(3, 2);
+        m.record_scope_verdicts(1, 1);
+        let snap = m.snapshot(0);
+        assert!(snap.hierarchy_enabled);
+        assert_eq!(snap.scope_verdicts, 4);
+        assert_eq!(snap.scope_alarms_active, 1);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! gap repair then handles exactly as in the offline path.
 
 use dbcatcher_core::pipeline::Verdict;
+use dbcatcher_hierarchy::ScopeVerdict;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::MetricsSnapshot;
@@ -157,6 +158,10 @@ pub enum Response {
         /// barrier is an end-to-end position check, not just a drain.
         next_tick: u64,
     },
+    /// A fleet-scope alarm transition from the hierarchy engine
+    /// (broadcast to subscribers when the daemon runs with
+    /// `--hierarchy`).
+    ScopeVerdict(ScopeVerdict),
     /// `Subscribe` acknowledgement; `Verdict` messages follow.
     Subscribed,
     /// `ResetUnit` acknowledgement: the unit accepts ticks again (on

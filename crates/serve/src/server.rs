@@ -20,6 +20,7 @@
 //! bounded by `max_units x queue_cap` frames no matter how fast
 //! producers push. Shard workers only ever see ticks that were accepted.
 
+use crate::hierarchy::{self, HierarchyOptions};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, Response, MAX_LINE_BYTES};
 use crate::shard::{CrashSwitch, DetectorTemplate, Job, Registry, ShardChaos, ShardContext};
@@ -69,6 +70,10 @@ pub struct ServeConfig {
     /// How long a shard may sit on queued jobs without progress before
     /// the supervisor declares it wedged and replaces it.
     pub wedge_timeout: Duration,
+    /// Fleet-scope hierarchy engine: when set, a feed thread rolls the
+    /// verdict broadcast up the configured topology (see
+    /// [`crate::hierarchy`]); `None` disables the hierarchy layer.
+    pub hierarchy: Option<HierarchyOptions>,
     /// Artificial per-tick shard delay (backpressure/load testing only).
     pub slow_tick: Option<Duration>,
     /// Deterministic kill point for chaos tests: the daemon dies mid-tick
@@ -93,6 +98,7 @@ impl Default for ServeConfig {
             fsync_every: 8,
             shard_restart_limit: 3,
             wedge_timeout: Duration::from_secs(2),
+            hierarchy: None,
             slow_tick: None,
             crash: None,
             chaos: None,
@@ -193,6 +199,18 @@ impl DetectionServer {
             addr: self.addr,
             shutdown: Arc::clone(&self.shutdown),
         };
+        // The hierarchy feed registers itself as the first subscriber, so
+        // every verdict a shard fans out also reaches the fleet engine.
+        let hierarchy_feed = config.hierarchy.clone().map(|options| {
+            hierarchy::spawn(hierarchy::FeedContext {
+                options,
+                max_units: config.max_units,
+                wal_dir: config.wal_dir.clone(),
+                metrics: Arc::clone(&metrics),
+                subscribers: Arc::clone(&subscribers),
+                crash: config.crash.clone(),
+            })
+        });
         let pool = {
             let metrics = Arc::clone(&metrics);
             let registry = Arc::clone(&registry);
@@ -260,6 +278,7 @@ impl DetectionServer {
                 handle: handle.clone(),
                 queue_cap: config.queue_cap,
                 retry_after_ms: config.retry_after_ms,
+                hierarchy_tap: hierarchy_feed.is_some(),
             };
             readers.push(
                 std::thread::Builder::new()
@@ -274,8 +293,13 @@ impl DetectionServer {
         }
         // Drain accepted ticks, write final snapshots, join workers.
         pool.stop();
-        // Drop subscriber senders so their writer threads exit.
+        // Drop subscriber senders so their writer threads exit. This also
+        // closes the hierarchy feed's channel; joining it afterwards means
+        // the scope output file is complete when `run` returns.
         subscribers.lock_clean().clear();
+        if let Some(feed) = hierarchy_feed {
+            feed.join();
+        }
         Ok(())
     }
 }
@@ -289,6 +313,9 @@ struct ConnContext {
     handle: ServerHandle,
     queue_cap: usize,
     retry_after_ms: u64,
+    /// The hierarchy feed occupies one subscriber slot; `Stats` must not
+    /// count it as an external consumer.
+    hierarchy_tap: bool,
 }
 
 fn handle_connection(stream: TcpStream, ctx: ConnContext) {
@@ -465,7 +492,11 @@ fn dispatch(request: Request, tx: &Sender<Response>, ctx: &ConnContext) {
             let _ = tx.send(Response::Subscribed);
         }
         Request::Stats => {
-            let subscriber_count = ctx.subscribers.lock_clean().len();
+            let subscriber_count = ctx
+                .subscribers
+                .lock_clean()
+                .len()
+                .saturating_sub(usize::from(ctx.hierarchy_tap));
             let _ = tx.send(Response::Stats(ctx.metrics.snapshot(subscriber_count)));
         }
         Request::Stop => {

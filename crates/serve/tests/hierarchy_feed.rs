@@ -1,0 +1,153 @@
+//! End-to-end hierarchy feed contract: the scope-verdict file a
+//! `--hierarchy` daemon writes on clean shutdown is **byte-identical** to
+//! an offline replay of its own hierarchy WAL — the exact check the
+//! `analyze-fleet` CLI performs — and the identity survives a mid-stream
+//! crash plus resume, because the resumed daemon replays the WAL prefix
+//! before continuing the live stream.
+
+use dbcatcher_hierarchy::{parse_unit_line, render_scope_line, replay, HierarchyConfig, Topology};
+use dbcatcher_serve::{
+    emit_surviving, CrashSwitch, DetectionServer, EmitOptions, HierarchyOptions, ServeConfig,
+    UnitStream, HIERARCHY_WAL_FILE,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const UNITS: usize = 3;
+const DBS: usize = 3;
+const KPIS: usize = 4;
+const TICKS: usize = 140;
+
+/// Correlated synthetic telemetry with an injected correlated anomaly:
+/// units 0 and 1 stall their database 0 over ticks 40..100 (its KPIs
+/// freeze while the siblings keep moving), which decorrelates that
+/// database and drives abnormal verdicts on two of the three units.
+fn frame(unit: usize, t: usize) -> Vec<Vec<f64>> {
+    (0..DBS)
+        .map(|db| {
+            (0..KPIS)
+                .map(|kpi| {
+                    if unit < 2 && db == 0 && (40..100).contains(&t) {
+                        return 50.0 + kpi as f64;
+                    }
+                    let phase = t as f64 * 0.13 + kpi as f64 * 1.3 + db as f64 * 0.05;
+                    50.0 + 10.0 * phase.sin() + kpi as f64 + unit as f64 * 0.2
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn streams() -> Vec<UnitStream> {
+    (0..UNITS)
+        .map(|unit| UnitStream {
+            unit,
+            dbs: DBS,
+            kpis: KPIS,
+            participation: None,
+            frames: (0..TICKS).map(|t| frame(unit, t)).collect(),
+        })
+        .collect()
+}
+
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dbcatcher_hierarchy_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn boot(dir: &Path, crash: Option<Arc<CrashSwitch>>) {
+    let config = ServeConfig {
+        max_units: UNITS,
+        shards: 2,
+        queue_cap: 8,
+        snapshot_dir: Some(dir.to_path_buf()),
+        snapshot_every: 1,
+        resume_dir: Some(dir.to_path_buf()),
+        wal_dir: Some(dir.join("wal")),
+        fsync_every: 1,
+        retry_after_ms: 2,
+        hierarchy: Some(HierarchyOptions {
+            units_per_cluster: UNITS,
+            clusters_per_region: 1,
+            scope_out: Some(dir.join("scope.jsonl")),
+        }),
+        crash,
+        ..ServeConfig::default()
+    };
+    let server = DetectionServer::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    let options = EmitOptions {
+        window: 16,
+        ..EmitOptions::default()
+    };
+    let _ = emit_surviving(addr, streams(), &options).expect("session connects");
+    handle.stop();
+    thread.join().expect("server thread").expect("server run");
+}
+
+/// Replays the daemon's hierarchy WAL offline (skipping malformed lines
+/// exactly as the daemon and `analyze-fleet` do) and renders the scope
+/// stream.
+fn offline_scope_lines(dir: &Path) -> String {
+    let wal = std::fs::read_to_string(dir.join("wal").join(HIERARCHY_WAL_FILE))
+        .expect("hierarchy WAL exists");
+    let records = wal
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| parse_unit_line(l).ok());
+    let config = HierarchyConfig::new(Topology::new(UNITS, UNITS, 1).expect("topology"));
+    replay(config, records)
+        .iter()
+        .map(|sv| render_scope_line(sv) + "\n")
+        .collect()
+}
+
+#[test]
+fn clean_run_scope_file_equals_offline_replay() {
+    let dir = scratch();
+    boot(&dir, None);
+    let online = std::fs::read_to_string(dir.join("scope.jsonl")).expect("scope file written");
+    let offline = offline_scope_lines(&dir);
+    assert_eq!(online, offline, "online scope stream must replay offline");
+    assert!(
+        online.contains("\"Alarm\""),
+        "the injected correlated stall must raise a scope alarm: {online:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_and_resume_preserves_scope_identity() {
+    let dir = scratch();
+    let switch = CrashSwitch::armed(150);
+    boot(&dir, Some(switch.clone()));
+    assert!(switch.tripped(), "mid-stream kill must fire");
+    assert!(
+        !dir.join("scope.jsonl").exists(),
+        "a crashed daemon writes no scope file"
+    );
+    // Resume: the daemon replays the hierarchy WAL, the producers rewind
+    // and restream, and the clean stop writes the full scope history.
+    boot(&dir, None);
+    let online = std::fs::read_to_string(dir.join("scope.jsonl")).expect("scope file written");
+    let offline = offline_scope_lines(&dir);
+    assert_eq!(
+        online, offline,
+        "scope stream across crash+resume must equal one offline replay"
+    );
+    assert!(
+        online.contains("\"Alarm\""),
+        "the correlated stall must still raise a scope alarm: {online:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,6 +5,7 @@
 
 use dbcatcher_core::pipeline::Verdict;
 use dbcatcher_core::state::DbState;
+use dbcatcher_hierarchy::{IncidentClass, Scope, ScopeState, ScopeVerdict};
 use dbcatcher_serve::metrics::{MetricsSnapshot, ShardStatus, UnitMetrics};
 use dbcatcher_serve::protocol::{
     decode_request, decode_response, encode, ProtocolError, RejectReason, Request, Response,
@@ -46,7 +47,7 @@ fn request_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Reques
 }
 
 fn response_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Response {
-    match choice % 9 {
+    match choice % 10 {
         0 => Response::HelloAck {
             unit,
             next_tick: tick,
@@ -109,11 +110,35 @@ fn response_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Respo
             total_ticks: tick,
             total_rejects: 0,
             total_verdicts: tick / 3,
+            hierarchy_enabled: unit.is_multiple_of(2),
+            scope_verdicts: tick % 7,
+            scope_alarms_active: tick % 3,
         }),
         7 => Response::ResetAck {
             unit,
             next_tick: tick,
         },
+        8 => Response::ScopeVerdict(ScopeVerdict {
+            scope: match unit % 3 {
+                0 => Scope::Cluster(unit / 3),
+                1 => Scope::Region(unit / 3),
+                _ => Scope::Fleet,
+            },
+            at_tick: tick,
+            state: if unit.is_multiple_of(2) {
+                ScopeState::Alarm
+            } else {
+                ScopeState::Clear
+            },
+            score: 0.5,
+            class: unit
+                .is_multiple_of(2)
+                .then_some(IncidentClass::SuddenIncident),
+            onset_tick: unit.is_multiple_of(2).then(|| tick.saturating_sub(4)),
+            epicenter: Some(unit),
+            group: vec![unit, unit + 1],
+            blamed_kpi: Some(unit % 14),
+        }),
         _ => Response::Error {
             message: format!("unit {unit} degraded at tick {tick}"),
         },
@@ -139,7 +164,7 @@ proptest! {
     /// Every response variant round-trips, NaN scores included.
     #[test]
     fn responses_round_trip(
-        choice in 0usize..9,
+        choice in 0usize..10,
         unit in 0usize..64,
         tick in 0u64..100_000,
         samples in prop::collection::vec(-1e6f64..1e6, 1..12),

@@ -1,0 +1,350 @@
+//! Correlated multi-unit anomaly scenarios — the failures the paper's
+//! per-unit detector cannot attribute and the fleet-scope hierarchy
+//! layer exists to catch.
+//!
+//! Three patterns, each deterministic from a seed:
+//!
+//! * **Noisy neighbour** — a co-tenant burst: a resource-hungry tenant
+//!   on the epicenter unit drags every co-located unit's CPU and
+//!   rows-read up simultaneously (the Fig. 13 signature, fleet-wide).
+//! * **Shared-storage stall** — the backing store freezes the write
+//!   path on every unit of the group at once; the epicenter (closest to
+//!   the faulty volume) also loses its row-churn KPIs.
+//! * **Rolling regression** — storage fragmentation creeps across the
+//!   group with staggered onsets (a bad compaction config rolling out),
+//!   the slow-regression class for the CUSUM analyzer.
+//!
+//! A scenario only *schedules* [`Modifier`]s; the workload layer applies
+//! them per unit, so these compose with any load profile. The expected
+//! DBA-facing hypothesis for each pattern comes from the same
+//! [`interpret_cause`] table the single-unit diagnosis uses.
+
+use crate::causes::{interpret_cause, CauseHint};
+use crate::kpi::Kpi;
+use crate::modifier::{AnomalyEffect, Modifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// The correlated-failure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrelatedKind {
+    /// Co-tenant resource burst dragging the whole group (sudden).
+    NoisyNeighbour,
+    /// Shared storage freezing the group's write path (sudden).
+    SharedStorageStall,
+    /// Fragmentation rolling across the group with staggered onsets
+    /// (slow regression).
+    RollingRegression,
+}
+
+impl CorrelatedKind {
+    /// Stable CLI / config name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorrelatedKind::NoisyNeighbour => "noisy-neighbour",
+            CorrelatedKind::SharedStorageStall => "shared-storage",
+            CorrelatedKind::RollingRegression => "rolling-regression",
+        }
+    }
+
+    /// Parses a CLI / config name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "noisy-neighbour" => Some(CorrelatedKind::NoisyNeighbour),
+            "shared-storage" => Some(CorrelatedKind::SharedStorageStall),
+            "rolling-regression" => Some(CorrelatedKind::RollingRegression),
+            _ => None,
+        }
+    }
+
+    /// Whether the pattern presents as a sudden incident (as opposed to
+    /// a slow regression) to a change-point analyzer.
+    pub fn is_sudden(self) -> bool {
+        !matches!(self, CorrelatedKind::RollingRegression)
+    }
+}
+
+/// A scheduled correlated failure across a group of units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedScenario {
+    /// Failure pattern.
+    pub kind: CorrelatedKind,
+    /// Unit ids in the blast radius.
+    pub group: Vec<usize>,
+    /// The unit carrying the heaviest deviation (ground truth for the
+    /// hierarchy layer's blame).
+    pub epicenter: usize,
+    /// First affected tick (of the epicenter, for rolling patterns).
+    pub onset: u64,
+    /// Affected ticks per unit.
+    pub duration: u64,
+    /// Ticks between successive unit onsets (rolling patterns only).
+    pub stagger: u64,
+    /// Seed the schedule was drawn from.
+    pub seed: u64,
+}
+
+impl CorrelatedScenario {
+    /// Draws a deterministic schedule for `kind` over `group` within a
+    /// recording of `ticks` ticks. The epicenter, onset and duration all
+    /// come from the seed; the same arguments always produce the same
+    /// scenario.
+    pub fn generate(seed: u64, kind: CorrelatedKind, group: Vec<usize>, ticks: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0E1_A7ED_F1EE_7001);
+        let members = group.len().max(1);
+        let epicenter = group.get(rng.gen_range(0..members)).copied().unwrap_or(0);
+        let stagger = match kind {
+            CorrelatedKind::RollingRegression => rng.gen_range(24..=40u64),
+            _ => 0,
+        };
+        let duration = match kind {
+            CorrelatedKind::NoisyNeighbour => rng.gen_range(60..=100u64),
+            CorrelatedKind::SharedStorageStall => rng.gen_range(50..=90u64),
+            CorrelatedKind::RollingRegression => rng.gen_range(90..=140u64),
+        };
+        // Leave room for every staggered onset plus the full duration.
+        let span = stagger * members.saturating_sub(1) as u64;
+        let latest_onset = ticks.saturating_sub(span + duration + 20).max(40);
+        let onset = rng.gen_range(40..=latest_onset);
+        CorrelatedScenario {
+            kind,
+            group,
+            epicenter,
+            onset,
+            duration,
+            stagger,
+            seed,
+        }
+    }
+
+    /// The affected tick range of one unit, if it is in the group.
+    /// Rolling patterns stagger onsets in group order starting from the
+    /// epicenter's position.
+    pub fn unit_ticks(&self, unit: usize) -> Option<Range<u64>> {
+        let position = self.group.iter().position(|&u| u == unit)?;
+        let epicenter_position = self
+            .group
+            .iter()
+            .position(|&u| u == self.epicenter)
+            .unwrap_or(0);
+        // Distance from the epicenter in group order (wrapping), so the
+        // epicenter leads the roll-out.
+        let distance = (position + self.group.len() - epicenter_position) % self.group.len().max(1);
+        let start = self.onset + self.stagger * distance as u64;
+        Some(start..start + self.duration)
+    }
+
+    /// The modifiers this scenario schedules on one unit (empty when the
+    /// unit is outside the blast radius). `num_databases` bounds the
+    /// targeted database indices.
+    pub fn unit_modifiers(&self, unit: usize, num_databases: usize) -> Vec<Modifier> {
+        let Some(ticks) = self.unit_ticks(unit) else {
+            return Vec::new();
+        };
+        if num_databases == 0 {
+            return Vec::new();
+        }
+        let is_epicenter = unit == self.epicenter;
+        // Deterministic per-unit target database.
+        let db = unit % num_databases;
+        let second_db = (db + 1) % num_databases;
+        match self.kind {
+            CorrelatedKind::NoisyNeighbour => {
+                let mut mods = vec![Modifier {
+                    db,
+                    ticks: ticks.clone(),
+                    effect: AnomalyEffect::ResourceHog {
+                        cpu_factor: if is_epicenter { 3.0 } else { 2.2 },
+                        rows_read_factor: if is_epicenter { 3.5 } else { 2.6 },
+                    },
+                }];
+                if is_epicenter && num_databases > 1 {
+                    // The tenant actually lives here: a second database
+                    // burns too, making the epicenter the heaviest
+                    // shortfall carrier.
+                    mods.push(Modifier {
+                        db: second_db,
+                        ticks,
+                        effect: AnomalyEffect::ResourceHog {
+                            cpu_factor: 2.8,
+                            rows_read_factor: 3.2,
+                        },
+                    });
+                }
+                mods
+            }
+            CorrelatedKind::SharedStorageStall => {
+                let mut mods = vec![Modifier {
+                    db,
+                    ticks: ticks.clone(),
+                    effect: AnomalyEffect::Stall {
+                        kpis: vec![
+                            Kpi::InnodbDataWrites,
+                            Kpi::InnodbDataWritten,
+                            Kpi::ComInsert,
+                            Kpi::ComUpdate,
+                        ],
+                    },
+                }];
+                if is_epicenter && num_databases > 1 {
+                    mods.push(Modifier {
+                        db: second_db,
+                        ticks,
+                        effect: AnomalyEffect::Stall {
+                            kpis: vec![
+                                Kpi::InnodbDataWrites,
+                                Kpi::InnodbDataWritten,
+                                Kpi::InnodbRowsInserted,
+                                Kpi::InnodbRowsUpdated,
+                            ],
+                        },
+                    });
+                }
+                mods
+            }
+            CorrelatedKind::RollingRegression => {
+                let growth = if is_epicenter { 0.02 } else { 0.015 };
+                vec![Modifier {
+                    db,
+                    ticks,
+                    effect: AnomalyEffect::Fragmentation {
+                        growth_per_tick: growth,
+                    },
+                }]
+            }
+        }
+    }
+
+    /// The DBA-facing hypothesis a correct diagnosis should reach,
+    /// derived through the same [`interpret_cause`] table single-unit
+    /// diagnosis uses.
+    pub fn expected_cause(&self) -> CauseHint {
+        match self.kind {
+            CorrelatedKind::NoisyNeighbour => {
+                interpret_cause(&[Kpi::CpuUtilization, Kpi::InnodbRowsRead])
+            }
+            CorrelatedKind::SharedStorageStall => {
+                interpret_cause(&[Kpi::InnodbDataWrites, Kpi::ComInsert])
+            }
+            CorrelatedKind::RollingRegression => interpret_cause(&[Kpi::RealCapacity]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(kind: CorrelatedKind) -> CorrelatedScenario {
+        CorrelatedScenario::generate(7, kind, vec![0, 1, 2], 480)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in [
+            CorrelatedKind::NoisyNeighbour,
+            CorrelatedKind::SharedStorageStall,
+            CorrelatedKind::RollingRegression,
+        ] {
+            let a = CorrelatedScenario::generate(11, kind, vec![0, 1, 2], 480);
+            let b = CorrelatedScenario::generate(11, kind, vec![0, 1, 2], 480);
+            assert_eq!(a, b);
+            assert!(a.group.contains(&a.epicenter));
+        }
+    }
+
+    #[test]
+    fn blast_radius_covers_exactly_the_group() {
+        let s = scenario(CorrelatedKind::NoisyNeighbour);
+        for unit in 0..3 {
+            assert!(!s.unit_modifiers(unit, 5).is_empty(), "unit {unit}");
+        }
+        assert!(s.unit_modifiers(3, 5).is_empty());
+        assert!(s.unit_ticks(3).is_none());
+    }
+
+    #[test]
+    fn epicenter_carries_extra_weight() {
+        for kind in [
+            CorrelatedKind::NoisyNeighbour,
+            CorrelatedKind::SharedStorageStall,
+        ] {
+            let s = scenario(kind);
+            let epicenter_mods = s.unit_modifiers(s.epicenter, 5);
+            for &unit in s.group.iter().filter(|&&u| u != s.epicenter) {
+                assert!(epicenter_mods.len() > s.unit_modifiers(unit, 5).len());
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_staggers_onsets_from_epicenter() {
+        let s = scenario(CorrelatedKind::RollingRegression);
+        assert!(s.stagger >= 24);
+        let epicenter_start = s.unit_ticks(s.epicenter).unwrap().start;
+        assert_eq!(epicenter_start, s.onset);
+        let mut starts: Vec<u64> = s
+            .group
+            .iter()
+            .map(|&u| s.unit_ticks(u).unwrap().start)
+            .collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 3, "each unit gets its own onset");
+        // Non-rolling patterns hit everyone at once.
+        let sudden = scenario(CorrelatedKind::SharedStorageStall);
+        for &u in &sudden.group {
+            assert_eq!(sudden.unit_ticks(u).unwrap().start, sudden.onset);
+        }
+    }
+
+    #[test]
+    fn schedules_fit_in_the_recording() {
+        for kind in [
+            CorrelatedKind::NoisyNeighbour,
+            CorrelatedKind::SharedStorageStall,
+            CorrelatedKind::RollingRegression,
+        ] {
+            for seed in 0..20 {
+                let s = CorrelatedScenario::generate(seed, kind, vec![0, 1, 2, 3], 480);
+                for &u in &s.group {
+                    let ticks = s.unit_ticks(u).unwrap();
+                    assert!(ticks.start >= 40);
+                    assert!(ticks.end <= 480, "{kind:?} seed {seed} end {}", ticks.end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_causes_match_the_taxonomy() {
+        assert_eq!(
+            scenario(CorrelatedKind::NoisyNeighbour).expected_cause(),
+            CauseHint::ResourceContention
+        );
+        assert_eq!(
+            scenario(CorrelatedKind::SharedStorageStall).expected_cause(),
+            CauseHint::WriteAnomaly
+        );
+        assert_eq!(
+            scenario(CorrelatedKind::RollingRegression).expected_cause(),
+            CauseHint::CapacityAnomaly
+        );
+        assert!(CorrelatedKind::NoisyNeighbour.is_sudden());
+        assert!(!CorrelatedKind::RollingRegression.is_sudden());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            CorrelatedKind::NoisyNeighbour,
+            CorrelatedKind::SharedStorageStall,
+            CorrelatedKind::RollingRegression,
+        ] {
+            assert_eq!(CorrelatedKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CorrelatedKind::parse("bogus"), None);
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod balancer;
 pub mod causes;
+pub mod correlated;
 pub mod faults;
 pub mod fluctuation;
 pub mod kpi;
@@ -41,6 +42,7 @@ pub mod unit;
 
 pub use balancer::{BalancerStrategy, LoadBalancer};
 pub use causes::{interpret_cause, CauseHint};
+pub use correlated::{CorrelatedKind, CorrelatedScenario};
 pub use faults::{corrupt_series, CollectorFault, FaultInjector, FaultKind, FaultPreset};
 pub use kpi::{CorrelationClass, Kpi, ALL_KPIS, NUM_KPIS};
 pub use modifier::{AnomalyEffect, Modifier};

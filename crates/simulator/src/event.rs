@@ -142,6 +142,13 @@ struct DigestEvent {
 }
 
 #[derive(Serialize)]
+struct ScopeDigestEvent {
+    event: &'static str,
+    scope_verdicts: usize,
+    digest: String,
+}
+
+#[derive(Serialize)]
 struct ResultEvent {
     event: &'static str,
     ok: bool,
@@ -240,6 +247,15 @@ impl EventLog {
         self.push(&DigestEvent {
             event: "verdict_stream",
             verdicts,
+            digest: digest.to_string(),
+        });
+    }
+
+    /// Records the canonical fleet-scope stream digest.
+    pub fn scope_digest(&mut self, scope_verdicts: usize, digest: &str) {
+        self.push(&ScopeDigestEvent {
+            event: "scope_stream",
+            scope_verdicts,
             digest: digest.to_string(),
         });
     }

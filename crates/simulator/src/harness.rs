@@ -34,10 +34,12 @@ use crate::plan::{BootEnd, BootPlan, InjectionKind, SimPlan, UnitPlan};
 use dbcatcher_core::config::DbCatcherConfig;
 use dbcatcher_core::pipeline::DbCatcher;
 use dbcatcher_core::snapshot::{DetectorSnapshot, SnapshotSummary};
+use dbcatcher_hierarchy::{parse_unit_line, render_scope_line, replay, HierarchyConfig, Topology};
 use dbcatcher_serve::client::VerdictRecord;
 use dbcatcher_serve::{
     emit_surviving, fetch_stats, wal, CrashSwitch, DetectionServer, EmitOptions, EmitReport,
-    MetricsSnapshot, ServeConfig, ShardChaos, Subscriber, UnitStream,
+    HierarchyOptions, MetricsSnapshot, ServeConfig, ShardChaos, Subscriber, UnitStream,
+    HIERARCHY_WAL_FILE,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
@@ -239,6 +241,14 @@ impl BootEnv {
             // processed across the whole window, with work queued).
             wedge_timeout: Duration::from_millis(750),
             shard_restart_limit: 4,
+            // Every chaos run exercises the fleet-scope layer: the feed
+            // journals consumed verdicts to the hierarchy WAL and a clean
+            // stop writes the scope stream for the offline re-diff.
+            hierarchy: Some(HierarchyOptions {
+                units_per_cluster: self.plan.units_per_cluster.max(1),
+                clusters_per_region: self.plan.clusters_per_region.max(1),
+                scope_out: Some(self.dir.join("scope.jsonl")),
+            }),
             ..ServeConfig::default()
         }
     }
@@ -384,6 +394,31 @@ fn spawn_subscriber_drain(mut sub: Subscriber) -> std::thread::JoinHandle<Vec<Ve
         }
         seen
     })
+}
+
+/// Replays the daemon's hierarchy WAL offline (skipping malformed lines
+/// exactly as the online feed does) and renders the canonical scope
+/// stream. Arrival order in the WAL is scheduling-dependent, but the
+/// hierarchy engine is arrival-order-insensitive and dedups restart
+/// replays, so these lines are a deterministic function of the plan.
+fn offline_scope_lines(dir: &Path, units: usize, plan: &SimPlan) -> Vec<String> {
+    let wal_text =
+        std::fs::read_to_string(dir.join("wal").join(HIERARCHY_WAL_FILE)).unwrap_or_default();
+    let records = wal_text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| parse_unit_line(line).ok());
+    let Ok(topology) = Topology::new(
+        units.max(1),
+        plan.units_per_cluster.max(1),
+        plan.clusters_per_region.max(1),
+    ) else {
+        return Vec::new();
+    };
+    replay(HierarchyConfig::new(topology), records)
+        .iter()
+        .map(render_scope_line)
+        .collect()
 }
 
 fn session_key_set(reports: &[EmitReport]) -> BTreeSet<crate::event::VerdictKey> {
@@ -711,8 +746,31 @@ pub fn run_plan(plan: &SimPlan) -> SimOutcome {
         }
     }
 
+    // Fleet-scope invariant: the scope stream the final clean boot wrote
+    // (`scope.jsonl`) must be byte-identical to an offline hierarchy
+    // replay of the daemon's own hierarchy WAL — the exact check
+    // `analyze-fleet` performs. Holds across every crash/resume boundary
+    // because the feed replays the WAL prefix before the live stream.
+    let scope_online = std::fs::read_to_string(env.dir.join("scope.jsonl")).unwrap_or_else(|e| {
+        failures.push(format!("final boot wrote no scope file: {e}"));
+        String::new()
+    });
+    let scope_lines = offline_scope_lines(&env.dir, units, plan);
+    let scope_offline: String = scope_lines.iter().map(|l| l.clone() + "\n").collect();
+    let scope_matches = scope_online == scope_offline;
+    events.invariant("run", "scope_online_matches_offline", scope_matches);
+    if !scope_matches {
+        failures.push(format!(
+            "online scope stream ({} line(s)) diverges from the offline hierarchy \
+             replay ({} line(s))",
+            scope_online.lines().count(),
+            scope_lines.len()
+        ));
+    }
+
     let verdict_lines: Vec<String> = canonical.iter().map(verdict_line).collect();
     events.digest(verdict_lines.len(), &verdict_digest(&verdict_lines));
+    events.scope_digest(scope_lines.len(), &verdict_digest(&scope_lines));
     let event_lines = events.finish();
     let _ = std::fs::remove_dir_all(&env.dir);
     SimOutcome {

@@ -9,7 +9,7 @@
 //! adds no randomness of its own.
 
 use dbcatcher_sim::faults::{CollectorFault, FaultKind, FaultPreset};
-use dbcatcher_sim::{AnomalyEffect, Kpi, Modifier};
+use dbcatcher_sim::{AnomalyEffect, CorrelatedKind, CorrelatedScenario, Kpi, Modifier};
 use dbcatcher_workload::scenario::UnitScenario;
 use dbcatcher_workload::tencent::Archetype;
 use rand::rngs::StdRng;
@@ -135,6 +135,14 @@ pub struct SimPlan {
     pub emit_window: usize,
     /// Whether a verdict subscriber rides along on every boot.
     pub subscribe: bool,
+    /// Consecutive units per cluster in the hierarchy rollup topology.
+    pub units_per_cluster: usize,
+    /// Consecutive clusters per region in the hierarchy rollup topology.
+    pub clusters_per_region: usize,
+    /// A scheduled correlated failure across a unit group, if the plan
+    /// drew one. Ground truth for the fleet-scope layer; its modifiers
+    /// are already baked into the affected units' scenarios.
+    pub correlated: Option<CorrelatedScenario>,
     /// The units.
     pub units: Vec<UnitPlan>,
     /// The boot schedule. The last boot always ends cleanly with every
@@ -150,12 +158,44 @@ impl SimPlan {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD8CA_7C4E_53ED_0001);
         let num_units = rng.gen_range(1..=opts.max_units.max(1));
         let max_ticks = opts.max_ticks.max(MIN_TICKS);
-        let units: Vec<UnitPlan> = (0..num_units)
+        let mut units: Vec<UnitPlan> = (0..num_units)
             .map(|unit| UnitPlan {
                 unit,
                 scenario: random_scenario(&mut rng, max_ticks),
             })
             .collect();
+
+        // Hierarchy rollup topology plus an optional correlated failure
+        // spanning a leading unit group. The schedule is bounded by the
+        // shortest stream so the anomaly lands inside every recording.
+        let units_per_cluster = rng.gen_range(1..=num_units);
+        let clusters_per_region = rng.gen_range(1..=2usize);
+        let correlated = if num_units >= 2 && rng.gen_bool(0.45) {
+            let kind = *[
+                CorrelatedKind::NoisyNeighbour,
+                CorrelatedKind::SharedStorageStall,
+                CorrelatedKind::RollingRegression,
+            ]
+            .choose(&mut rng)
+            // dbclint: allow(panic-free) — choose over a non-empty literal array is infallible.
+            .expect("non-empty");
+            let group: Vec<usize> = (0..rng.gen_range(2..=num_units)).collect();
+            let shortest = units
+                .iter()
+                .map(|u| u.scenario.ticks)
+                .min()
+                .unwrap_or(MIN_TICKS);
+            let schedule = CorrelatedScenario::generate(rng.gen(), kind, group, shortest as u64);
+            for unit in &mut units {
+                let dbs = unit.scenario.num_databases;
+                unit.scenario
+                    .modifiers
+                    .extend(schedule.unit_modifiers(unit.unit, dbs));
+            }
+            Some(schedule)
+        } else {
+            None
+        };
 
         let shards = rng.gen_range(1..=3usize);
         // dbclint: allow(panic-free) — choose over a non-empty literal array is infallible.
@@ -258,6 +298,9 @@ impl SimPlan {
             slow_tick_us,
             emit_window,
             subscribe,
+            units_per_cluster,
+            clusters_per_region,
+            correlated,
             units,
             boots,
         }
@@ -337,6 +380,14 @@ impl SimPlan {
         self.emit_window = self.emit_window.clamp(1, 128);
         self.snapshot_every = self.snapshot_every.clamp(1, 64);
         self.fsync_every = self.fsync_every.clamp(1, 64);
+        self.units_per_cluster = self.units_per_cluster.max(1);
+        self.clusters_per_region = self.clusters_per_region.max(1);
+        // A shrunk fleet can no longer host a multi-unit schedule; the
+        // modifiers (if any survive on the remaining units) stay — the
+        // schedule record is ground-truth metadata, not an instruction.
+        if self.units.len() < 2 {
+            self.correlated = None;
+        }
     }
 
     /// Serialises the plan to pretty JSON (for failure reports).
@@ -481,6 +532,27 @@ mod tests {
             assert_eq!(last.end, BootEnd::CleanStop, "seed {seed}");
             assert!(plan.snapshot_every >= 1, "seed {seed}");
             assert!(plan.fsync_every >= 1, "seed {seed}");
+            assert!(plan.units_per_cluster >= 1, "seed {seed}");
+            assert!(plan.clusters_per_region >= 1, "seed {seed}");
+            if let Some(schedule) = &plan.correlated {
+                assert!(plan.units.len() >= 2, "seed {seed}");
+                assert!(schedule.group.len() >= 2, "seed {seed}");
+                assert!(
+                    schedule.group.iter().all(|&u| u < plan.units.len()),
+                    "seed {seed}: group member outside the fleet"
+                );
+                assert!(
+                    schedule.group.contains(&schedule.epicenter),
+                    "seed {seed}: epicenter outside the group"
+                );
+                // The schedule's modifiers landed on the group units.
+                for &member in &schedule.group {
+                    assert!(
+                        !plan.units[member].scenario.modifiers.is_empty(),
+                        "seed {seed}: group unit {member} carries no modifiers"
+                    );
+                }
+            }
             for boot in &plan.boots {
                 if let Some(injection) = &boot.injection {
                     assert_eq!(
@@ -492,6 +564,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn some_seed_draws_a_correlated_schedule() {
+        let opts = SimOpts::default();
+        let drawn = (0..60).any(|seed| SimPlan::generate(seed, &opts).correlated.is_some());
+        assert!(drawn, "no seed in 0..60 drew a correlated failure");
+    }
+
+    #[test]
+    fn normalize_drops_correlated_on_single_unit_fleets() {
+        let opts = SimOpts::default();
+        let mut plan = (0..60u64)
+            .map(|s| SimPlan::generate(s, &opts))
+            .find(|p| p.correlated.is_some())
+            .expect("some seed draws a correlated schedule");
+        plan.units.truncate(1);
+        plan.normalize();
+        assert!(plan.correlated.is_none());
     }
 
     #[test]

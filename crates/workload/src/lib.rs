@@ -40,3 +40,4 @@ pub mod tpcc;
 
 pub use dataset::{Dataset, DatasetSpec, DatasetStats, UnitData, WorkloadKind};
 pub use profile::LoadProfile;
+pub use scenario::{FleetScenario, UnitScenario};

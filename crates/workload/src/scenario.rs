@@ -4,11 +4,13 @@
 //! anomaly into a [`UnitData`] recording — the shape the detector and the
 //! paper's case studies (Fig. 12, Fig. 13) consume.
 
-use crate::dataset::UnitData;
+use crate::dataset::{Dataset, Subset, UnitData, WorkloadKind};
 use crate::profile::LoadProfile;
 use crate::tencent::Archetype;
 use dbcatcher_sim::faults::{corrupt_series, CollectorFault, FaultPreset};
-use dbcatcher_sim::{AnomalyEffect, Kpi, Modifier, UnitConfig, UnitSim, NUM_KPIS};
+use dbcatcher_sim::{
+    AnomalyEffect, CorrelatedKind, CorrelatedScenario, Kpi, Modifier, UnitConfig, UnitSim, NUM_KPIS,
+};
 use serde::{Deserialize, Serialize};
 
 /// A self-contained one-unit scenario.
@@ -180,6 +182,91 @@ impl UnitScenario {
     }
 }
 
+/// A multi-unit fleet scenario: per-unit recordings sharing one
+/// correlated-failure schedule — the input the fleet-scope hierarchy
+/// layer is tested against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Per-unit scenarios, index = unit id. Units inside the correlated
+    /// group carry the scheduled modifiers; the rest run clean.
+    pub units: Vec<UnitScenario>,
+    /// The shared correlated-failure schedule (ground truth for the
+    /// hierarchy layer's blame and classification).
+    pub correlated: CorrelatedScenario,
+}
+
+impl FleetScenario {
+    /// Builds a fleet of `num_units` units with a correlated failure of
+    /// `kind` scheduled across `group`. Deterministic from `seed`: unit
+    /// archetypes rotate, per-unit seeds derive from the fleet seed, and
+    /// the correlated schedule comes from [`CorrelatedScenario::generate`].
+    pub fn correlated(
+        seed: u64,
+        kind: CorrelatedKind,
+        num_units: usize,
+        group: &[usize],
+        ticks: usize,
+    ) -> Self {
+        let correlated = CorrelatedScenario::generate(seed, kind, group.to_vec(), ticks as u64);
+        let archetypes = [
+            Archetype::Gaming,
+            Archetype::Ecommerce,
+            Archetype::Social,
+            Archetype::Finance,
+        ];
+        let num_databases = 5;
+        let units = (0..num_units)
+            .map(|unit| {
+                let unit_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(unit as u64);
+                let archetype = archetypes[unit % archetypes.len()];
+                UnitScenario {
+                    description: format!(
+                        "Fleet unit {unit} ({kind}): {role}",
+                        kind = correlated.kind.name(),
+                        role = if unit == correlated.epicenter && correlated.group.contains(&unit) {
+                            "epicenter"
+                        } else if correlated.group.contains(&unit) {
+                            "blast radius"
+                        } else {
+                            "bystander"
+                        }
+                    ),
+                    profile: archetype.profile(unit_seed),
+                    num_databases,
+                    ticks,
+                    modifiers: correlated.unit_modifiers(unit, num_databases),
+                    faults: Vec::new(),
+                    seed: unit_seed,
+                }
+            })
+            .collect();
+        FleetScenario { units, correlated }
+    }
+
+    /// Runs every unit and wraps the recordings as a [`Dataset`] (unit
+    /// ids assigned by position).
+    pub fn generate(&self) -> Dataset {
+        let units = self
+            .units
+            .iter()
+            .enumerate()
+            .map(|(unit, scenario)| {
+                let mut data = scenario.generate();
+                data.unit_id = unit;
+                data
+            })
+            .collect();
+        Dataset {
+            name: format!("Fleet/{}", self.correlated.kind.name()),
+            kind: WorkloadKind::Tencent,
+            subset: Subset::Mixed,
+            units,
+        }
+    }
+}
+
 /// KPIs worth plotting for the case studies (a readable subset).
 pub fn case_study_kpis() -> Vec<Kpi> {
     vec![
@@ -291,5 +378,56 @@ mod tests {
             .flatten()
             .zip(b.series.iter().flatten().flatten())
             .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn correlated_fleet_places_anomalies_on_the_group_only() {
+        let fleet = FleetScenario::correlated(
+            13,
+            dbcatcher_sim::CorrelatedKind::NoisyNeighbour,
+            4,
+            &[0, 1, 2],
+            480,
+        );
+        assert_eq!(fleet.units.len(), 4);
+        for unit in 0..3 {
+            assert!(
+                !fleet.units[unit].modifiers.is_empty(),
+                "group unit {unit} must carry modifiers"
+            );
+        }
+        assert!(fleet.units[3].modifiers.is_empty(), "bystander runs clean");
+        let dataset = fleet.generate();
+        assert_eq!(dataset.units.len(), 4);
+        for (unit, data) in dataset.units.iter().enumerate() {
+            assert_eq!(data.unit_id, unit);
+            let anomalous = data.anomalous_db_ticks();
+            if fleet.correlated.group.contains(&unit) {
+                assert!(anomalous > 0, "group unit {unit} must label anomalies");
+            } else {
+                assert_eq!(anomalous, 0, "bystander {unit} must stay clean");
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_fleet_is_deterministic() {
+        let make = || {
+            FleetScenario::correlated(
+                21,
+                dbcatcher_sim::CorrelatedKind::RollingRegression,
+                3,
+                &[0, 1, 2],
+                480,
+            )
+            .generate()
+        };
+        let a = make();
+        let b = make();
+        assert!(a
+            .units
+            .iter()
+            .zip(b.units.iter())
+            .all(|(ua, ub)| ua.series == ub.series && ua.labels == ub.labels));
     }
 }

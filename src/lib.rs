@@ -23,6 +23,9 @@
 //! * [`eval`] — metrics, splits, search harnesses and experiment drivers.
 //! * [`serve`] — the online detection daemon: a TCP wire protocol, sharded
 //!   ingestion with backpressure, live metrics and warm restart.
+//! * [`hierarchy`] — fleet-scope detection above the units: topology
+//!   rollups with hysteresis, cross-unit co-occurrence correlation with
+//!   epicenter blame, and CUSUM change-point classification.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 pub use dbcatcher_baselines as baselines;
 pub use dbcatcher_core as core;
 pub use dbcatcher_eval as eval;
+pub use dbcatcher_hierarchy as hierarchy;
 pub use dbcatcher_nn as nn;
 pub use dbcatcher_serve as serve;
 pub use dbcatcher_signal as signal;

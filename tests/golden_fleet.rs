@@ -1,0 +1,153 @@
+//! Golden-file regression test for the fleet-scope hierarchy layer: a
+//! fixed-seed correlated-failure fleet streamed through the default
+//! detector and rolled up through the hierarchy engine must reproduce
+//! the committed scope-verdict stream exactly — including the blamed
+//! epicenter and the CUSUM incident class of the injected failure.
+//!
+//! Regenerating after an **intended** behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_fleet
+//! ```
+//!
+//! then review the diff of `tests/golden/fleet_scope_*.jsonl` like any
+//! other code change.
+
+use dbcatcher::core::{DbCatcher, DbCatcherConfig};
+use dbcatcher::hierarchy::{
+    render_scope_line, replay, HierarchyConfig, IncidentClass, Scope, ScopeState, ScopeVerdict,
+    Topology, UnitVerdict,
+};
+use dbcatcher::sim::CorrelatedKind;
+use dbcatcher::workload::FleetScenario;
+use std::path::Path;
+
+const UNITS: usize = 6;
+const UNITS_PER_CLUSTER: usize = 3;
+const CLUSTERS_PER_REGION: usize = 2;
+const TICKS: usize = 480;
+/// The correlated group: exactly cluster 0 of the topology.
+const GROUP: [usize; 3] = [0, 1, 2];
+
+/// Streams the fleet through the per-unit detector and rolls the verdict
+/// stream up through the hierarchy engine.
+fn scope_stream(seed: u64, kind: CorrelatedKind) -> (FleetScenario, Vec<ScopeVerdict>) {
+    let scenario = FleetScenario::correlated(seed, kind, UNITS, &GROUP, TICKS);
+    let dataset = scenario.generate();
+    let mut records = Vec::new();
+    for (unit_idx, unit) in dataset.units.iter().enumerate() {
+        let mut catcher = DbCatcher::new(
+            DbCatcherConfig::with_kpis(unit.num_kpis()),
+            unit.num_databases(),
+        )
+        .with_participation(unit.participation.clone());
+        for t in 0..unit.num_ticks() {
+            let report = catcher
+                .try_ingest_tick(&unit.tick_matrix(t))
+                .expect("well-shaped frame");
+            records.extend(report.verdicts.into_iter().map(|verdict| UnitVerdict {
+                unit: unit_idx,
+                at_tick: t as u64,
+                verdict,
+            }));
+        }
+    }
+    let topology = Topology::new(UNITS, UNITS_PER_CLUSTER, CLUSTERS_PER_REGION).expect("topology");
+    let scope = replay(HierarchyConfig::new(topology), records);
+    (scenario, scope)
+}
+
+fn render(scope: &[ScopeVerdict]) -> String {
+    scope
+        .iter()
+        .map(|sv| render_scope_line(sv) + "\n")
+        .collect()
+}
+
+/// Compares (or, under `UPDATE_GOLDEN=1`, regenerates) one golden file.
+fn check_golden(rendered: &str, golden_path: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(golden_path);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test golden_fleet` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "scope stream diverges from {}; if intended, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden_fleet` and review the diff",
+        path.display()
+    );
+}
+
+/// The first cluster-0 alarm must blame the injected epicenter and carry
+/// the expected CUSUM class.
+fn assert_blame(scope: &[ScopeVerdict], scenario: &FleetScenario, class: IncidentClass) {
+    let alarm = scope
+        .iter()
+        .find(|sv| sv.scope == Scope::Cluster(0) && sv.state == ScopeState::Alarm)
+        .expect("the correlated failure must raise a cluster-0 alarm");
+    assert_eq!(
+        alarm.epicenter,
+        Some(scenario.correlated.epicenter),
+        "the injected epicenter must rank first in the blame"
+    );
+    assert_eq!(alarm.class, Some(class), "CUSUM incident class");
+    assert!(
+        alarm.onset_tick.is_some_and(|onset| onset <= alarm.at_tick),
+        "onset estimate must precede the alarm"
+    );
+}
+
+#[test]
+#[ignore = "seed probe helper, run by hand"]
+fn probe_seeds() {
+    for kind in [
+        CorrelatedKind::SharedStorageStall,
+        CorrelatedKind::RollingRegression,
+    ] {
+        for seed in 1..=30u64 {
+            let (scenario, scope) = scope_stream(seed, kind);
+            let alarm = scope
+                .iter()
+                .find(|sv| sv.scope == Scope::Cluster(0) && sv.state == ScopeState::Alarm);
+            let ok = alarm.is_some_and(|a| {
+                a.epicenter == Some(scenario.correlated.epicenter)
+                    && a.class
+                        == Some(if kind.is_sudden() {
+                            IncidentClass::SuddenIncident
+                        } else {
+                            IncidentClass::SlowRegression
+                        })
+                    && a.onset_tick.is_some()
+            });
+            eprintln!(
+                "kind {kind:?} seed {seed}: {} scope lines, cluster0 alarm {:?}, ok={ok}",
+                scope.len(),
+                alarm.map(|a| (a.at_tick, a.epicenter, a.class, a.onset_tick)),
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_storage_stall_scope_stream_matches_golden() {
+    let (scenario, scope) = scope_stream(3, CorrelatedKind::SharedStorageStall);
+    assert_blame(&scope, &scenario, IncidentClass::SuddenIncident);
+    check_golden(&render(&scope), "tests/golden/fleet_scope_sudden.jsonl");
+}
+
+#[test]
+fn rolling_regression_scope_stream_matches_golden() {
+    let (scenario, scope) = scope_stream(3, CorrelatedKind::RollingRegression);
+    assert_blame(&scope, &scenario, IncidentClass::SlowRegression);
+    check_golden(&render(&scope), "tests/golden/fleet_scope_slow.jsonl");
+}

@@ -1,0 +1,190 @@
+//! Property-based tests over the fleet-scope hierarchy invariants:
+//! rollup monotonicity, replay determinism under within-tick arrival
+//! permutations, and the CUSUM onset/classification bounds.
+
+use dbcatcher::core::{DbState, Verdict};
+use dbcatcher::hierarchy::{
+    render_scope_line, replay, scope_scores, Cusum, CusumConfig, HierarchyConfig, IncidentClass,
+    Topology, UnitVerdict,
+};
+use proptest::prelude::*;
+
+/// Synthetic per-unit verdict streams: every unit resolves one verdict
+/// per database each 20-tick window, abnormal where the draw says so.
+/// `start_tick` is monotone per (unit, db) — the shape the dedup logic
+/// requires of a real detector stream. Scores marked by the `nan_mask`
+/// become NaN (a non-participating KPI).
+fn verdict_records(
+    units: usize,
+    windows: usize,
+    abnormal: &[bool],
+    scores: &[f64],
+    nan_mask: &[bool],
+) -> Vec<UnitVerdict> {
+    let dbs = 2usize;
+    let kpis = 3usize;
+    let mut records = Vec::new();
+    let mut flat = 0usize;
+    for window in 0..windows {
+        let at_tick = 20 * (window as u64 + 1);
+        for unit in 0..units {
+            for db in 0..dbs {
+                let is_abnormal = abnormal
+                    .get(flat % abnormal.len())
+                    .copied()
+                    .unwrap_or(false);
+                let verdict_scores: Vec<f64> = (0..kpis)
+                    .map(|k| {
+                        let idx = flat + k;
+                        if nan_mask[idx % nan_mask.len()] {
+                            f64::NAN
+                        } else {
+                            scores[idx % scores.len()]
+                        }
+                    })
+                    .collect();
+                records.push(UnitVerdict {
+                    unit,
+                    at_tick,
+                    verdict: Verdict {
+                        db,
+                        start_tick: at_tick - 20,
+                        end_tick: at_tick,
+                        state: if is_abnormal {
+                            DbState::Abnormal
+                        } else {
+                            DbState::Healthy
+                        },
+                        window_size: 20,
+                        expansions: 0,
+                        scores: verdict_scores,
+                    },
+                });
+                flat += 1;
+            }
+        }
+    }
+    records
+}
+
+fn rendered(config: HierarchyConfig, records: Vec<UnitVerdict>) -> String {
+    replay(config, records)
+        .iter()
+        .map(|sv| render_scope_line(sv) + "\n")
+        .collect()
+}
+
+proptest! {
+    /// Raising any single unit's severity never lowers any scope score,
+    /// and scores stay inside `[0, 1]` for severities inside `[0, 1]`.
+    #[test]
+    fn scope_scores_monotone_in_child_severity(
+        units in 1usize..9,
+        upc in 1usize..5,
+        cpr in 1usize..5,
+        severities in prop::collection::vec(0.0f64..1.0, 8..9),
+        bumped in 0usize..8,
+        bump in 0.0f64..1.0,
+    ) {
+        let topology = Topology::new(units, upc, cpr).expect("non-zero dimensions");
+        let base: Vec<f64> = severities[..units].to_vec();
+        let mut raised = base.clone();
+        let bumped = bumped % units;
+        raised[bumped] = (raised[bumped] + bump).min(1.0);
+
+        let mut cluster_a = vec![0.0; topology.num_clusters()];
+        let mut region_a = vec![0.0; topology.num_regions()];
+        let fleet_a = scope_scores(&base, &topology, &mut cluster_a, &mut region_a);
+        let mut cluster_b = vec![0.0; topology.num_clusters()];
+        let mut region_b = vec![0.0; topology.num_regions()];
+        let fleet_b = scope_scores(&raised, &topology, &mut cluster_b, &mut region_b);
+
+        prop_assert!(fleet_b >= fleet_a - 1e-12, "fleet score dropped: {fleet_a} -> {fleet_b}");
+        for (cluster, (a, b)) in cluster_a.iter().zip(&cluster_b).enumerate() {
+            prop_assert!((0.0..=1.0).contains(a), "cluster {cluster} out of range: {a}");
+            if cluster == topology.cluster_of(bumped) {
+                prop_assert!(b >= a, "bumped cluster {cluster} dropped: {a} -> {b}");
+            } else {
+                prop_assert!((a - b).abs() < 1e-12, "unrelated cluster {cluster} moved");
+            }
+        }
+        for (region, (a, b)) in region_a.iter().zip(&region_b).enumerate() {
+            prop_assert!((0.0..=1.0).contains(a), "region {region} out of range: {a}");
+            prop_assert!(*b >= a - 1e-12, "region {region} dropped: {a} -> {b}");
+        }
+    }
+
+    /// The scope stream is invariant under arrival-order permutations of
+    /// records sharing an evaluation tick (shards race exactly like
+    /// this), and under replay duplication of a record prefix (restart
+    /// WAL replays re-deliver bit-identical verdicts).
+    #[test]
+    fn replay_invariant_under_within_tick_permutation(
+        units in 1usize..6,
+        windows in 1usize..7,
+        abnormal in prop::collection::vec(any::<bool>(), 4..17),
+        scores in prop::collection::vec(0.0f64..1.0, 3..10),
+        nan_mask in prop::collection::vec(any::<bool>(), 3..10),
+        rotation in 1usize..8,
+        dup_prefix in 0usize..21,
+    ) {
+        let topology = Topology::new(units, 2, 2).expect("topology");
+        let records = verdict_records(units, windows, &abnormal, &scores, &nan_mask);
+        let baseline = rendered(
+            HierarchyConfig::new(topology.clone()),
+            records.clone(),
+        );
+
+        // Rotate every within-tick group by a fixed amount: a valid
+        // interleaving because per-unit order is preserved per tick.
+        let mut permuted: Vec<UnitVerdict> = Vec::with_capacity(records.len());
+        for window in 0..windows {
+            let at_tick = 20 * (window as u64 + 1);
+            let mut group: Vec<UnitVerdict> = records
+                .iter()
+                .filter(|r| r.at_tick == at_tick)
+                .cloned()
+                .collect();
+            let len = group.len();
+            group.rotate_left(rotation % len.max(1));
+            permuted.extend(group);
+            prop_assert_eq!(len, units * 2);
+        }
+        let permuted_out = rendered(HierarchyConfig::new(topology.clone()), permuted);
+        prop_assert_eq!(&baseline, &permuted_out, "within-tick permutation changed the stream");
+
+        // Duplicate a prefix (replayed WAL segment) before the stream.
+        let mut duplicated = records[..dup_prefix.min(records.len())].to_vec();
+        duplicated.extend(records);
+        let duplicated_out = rendered(HierarchyConfig::new(topology), duplicated);
+        prop_assert_eq!(&baseline, &duplicated_out, "prefix duplication changed the stream");
+    }
+
+    /// CUSUM: the onset estimate never postdates the alarm, the
+    /// statistic never goes negative, and the incident class is exactly
+    /// the `sudden_span` rule applied to the onset distance.
+    #[test]
+    fn cusum_onset_and_classification_bounds(
+        scores in prop::collection::vec(0.0f64..1.0, 1..65),
+        sudden_span in 0u64..9,
+    ) {
+        let config = CusumConfig { sudden_span, ..CusumConfig::default() };
+        let mut cusum = Cusum::default();
+        for (tick, score) in scores.iter().enumerate() {
+            let tick = tick as u64;
+            cusum.update(tick, *score, &config);
+            prop_assert!(cusum.stat() >= 0.0, "statistic went negative");
+            if cusum.tripped(&config) {
+                let (class, onset) = cusum.classify(tick, &config);
+                prop_assert!(onset <= tick, "onset {onset} after alarm tick {tick}");
+                let span = tick - onset;
+                let expect = if span <= sudden_span {
+                    IncidentClass::SuddenIncident
+                } else {
+                    IncidentClass::SlowRegression
+                };
+                prop_assert_eq!(class, expect, "span {} vs sudden_span {}", span, sudden_span);
+            }
+        }
+    }
+}

@@ -83,6 +83,21 @@ fn corpus_seed_single_boot_baseline() {
 }
 
 #[test]
+fn corpus_seed_with_correlated_schedule_across_restart() {
+    // A correlated failure spanning the unit group *and* a mid-stream
+    // kill: exercises the hierarchy feed's WAL replay on resume and the
+    // whole-run `scope_online_matches_offline` invariant on a stream
+    // that actually raises scope alarms.
+    let seed = seed_with(0, |p| {
+        p.correlated.is_some()
+            && p.boots
+                .iter()
+                .any(|b| matches!(b.end, BootEnd::Crash { .. }))
+    });
+    assert_seed_passes(seed);
+}
+
+#[test]
 fn same_seed_runs_are_byte_identical() {
     let seed = seed_with(0, |p| {
         p.boots
