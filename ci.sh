@@ -13,6 +13,20 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
+echo "==> SIMD dispatch tiers: zero-alloc + kernel differential (scalar, best available)"
+BEST_TIER=scalar
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+  BEST_TIER=avx2
+elif grep -qw sse2 /proc/cpuinfo 2>/dev/null; then
+  BEST_TIER=sse2
+fi
+for TIER in scalar "$BEST_TIER"; do
+  echo "    DBCATCHER_SIMD=$TIER"
+  DBCATCHER_SIMD="$TIER" cargo test -q --test zero_alloc
+  DBCATCHER_SIMD="$TIER" cargo test -q --test simd_differential
+  [ "$BEST_TIER" = scalar ] && break
+done
+
 echo "==> fault-injection soak (fixed seed, all fault kinds)"
 cargo test --release -q --test fault_soak -- --ignored
 
@@ -39,9 +53,11 @@ BENCH_ALLOCS="$(mktemp)"
 BENCH_BASELINE="$(mktemp)"
 # the committed artifact is the regression baseline for this run
 cp BENCH_kcd.json "$BENCH_BASELINE"
+# no filter: covers kcd_backends plus the kcd_kernels (per-tier sweeps)
+# and kcd_batch (per-unit vs fleet-batched) groups in one pass
 DBCATCHER_BENCH_FAST=1 DBCATCHER_BENCH_JSON="$BENCH_RAW" \
   DBCATCHER_BENCH_ALLOCS="$BENCH_ALLOCS" \
-  cargo bench -p dbcatcher-bench --bench kcd -- kcd_backends
+  cargo bench -p dbcatcher-bench --bench kcd
 DBCATCHER_BENCH_FAST=1 cargo run -q --release -p dbcatcher-bench --bin bench_report -- \
   "$BENCH_RAW" BENCH_kcd.json --allocs "$BENCH_ALLOCS" --baseline "$BENCH_BASELINE"
 rm -f "$BENCH_RAW" "$BENCH_ALLOCS" "$BENCH_BASELINE"

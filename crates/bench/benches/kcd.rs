@@ -11,6 +11,9 @@ use dbcatcher_baselines::correlation::{dtw_score, pearson_score};
 use dbcatcher_core::kcd::kcd;
 use dbcatcher_core::kcd_incremental::IncrementalCorrelator;
 use dbcatcher_core::queues::KpiQueues;
+use dbcatcher_core::scratch::TickScratch;
+use dbcatcher_core::simd::{self, SimdTier};
+use dbcatcher_core::{score_batch, DbCatcher, DbCatcherConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,9 +22,10 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
-// SAFETY AUDIT — the only `unsafe` in the workspace (this file and its
-// twin; every crate root carries `#![forbid(unsafe_code)]`, and dbclint's
-// `no-unsafe` rule excludes exactly these two files).
+// SAFETY AUDIT — one of the workspace's two sanctioned `unsafe` surfaces
+// (this file and its twin `tests/zero_alloc.rs` are excluded from
+// dbclint's `no-unsafe` rule; the other surface, the SIMD intrinsics in
+// `crates/core/src/simd.rs`, stays in scope with per-site waivers).
 //
 // `GlobalAlloc` is an unsafe trait because the allocator must uphold the
 // contract rustc's codegen relies on: returned pointers are valid for
@@ -159,6 +163,117 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-tier kernel sweeps: the raw lane dot product (the lag scan's
+/// inner loop) and a full pair-score lag scan, once per dispatch tier
+/// the host supports — scalar vs SSE2 vs AVX2 per-sweep nanoseconds.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcd_kernels");
+    for &tier in SimdTier::supported() {
+        for &n in &[64usize, 300] {
+            let x = series(n, 0.0);
+            let y = series(n, 2.0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dot_{}", tier.name()), n),
+                &n,
+                |b, _| b.iter(|| simd::dot(tier, black_box(&x), black_box(&y))),
+            );
+        }
+        // One full lag scan at the acceptance config (k=300, m=5): the
+        // whole prepared sweep, not just the inner dot.
+        let (k, m, d) = (300usize, 5usize, 2usize);
+        let data: Vec<Vec<f64>> = (0..d).map(|db| series(4 * k, db as f64 * 1.7)).collect();
+        let mut engine = IncrementalCorrelator::new(d, 1, 2 * k).with_tier(tier);
+        let mut tick = 0usize;
+        while tick < 2 * k {
+            engine.push(
+                &data
+                    .iter()
+                    .map(|s| vec![s[tick % s.len()]])
+                    .collect::<Vec<_>>(),
+            );
+            tick += 1;
+        }
+        let start = engine.next_tick() - k as u64;
+        group.bench_with_input(
+            BenchmarkId::new(format!("pair_scan_{}", tier.name()), k),
+            &k,
+            |b, _| b.iter(|| engine.pair_score(0, 1, 0, black_box(start), k, m)),
+        );
+    }
+    group.finish();
+}
+
+/// Fleet-batched vs per-unit scoring at 1/8/64 units: the same detector
+/// ticks driven through `try_ingest_tick` (each unit re-warming its own
+/// arena) versus `score_batch` (one shared arena amortising the pooled
+/// batch matrices and staging buffers across the batch).
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcd_batch");
+    const DBS: usize = 4;
+    const KPIS: usize = 2;
+    let config = DbCatcherConfig::with_kpis(KPIS);
+    let warmup = 2 * config.max_window;
+    let total = 4 * config.max_window;
+    for &units in &[1usize, 8, 64] {
+        // frames[t][unit] — prebuilt so only ingest + scoring is timed.
+        let sers: Vec<Vec<f64>> = (0..units * DBS)
+            .map(|i| series(total, i as f64 * 1.7))
+            .collect();
+        let frames: Vec<Vec<Vec<Vec<f64>>>> = (0..total)
+            .map(|t| {
+                (0..units)
+                    .map(|u| {
+                        (0..DBS)
+                            .map(|db| vec![sers[u * DBS + db][t]; KPIS])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let fresh_fleet = || -> Vec<DbCatcher> {
+            let mut fleet: Vec<DbCatcher> = (0..units)
+                .map(|_| DbCatcher::new(config.clone(), DBS))
+                .collect();
+            for frame in frames.iter().take(warmup) {
+                for (u, catcher) in fleet.iter_mut().enumerate() {
+                    catcher.ingest_tick(&frame[u]);
+                }
+            }
+            fleet
+        };
+
+        let mut fleet = fresh_fleet();
+        let mut tick = warmup;
+        group.bench_with_input(BenchmarkId::new("per_unit", units), &units, |b, _| {
+            b.iter(|| {
+                let t = tick % total;
+                tick += 1;
+                let mut verdicts = 0usize;
+                for (u, catcher) in fleet.iter_mut().enumerate() {
+                    verdicts += catcher.ingest_tick(black_box(&frames[t][u])).len();
+                }
+                black_box(verdicts)
+            })
+        });
+
+        let mut fleet = fresh_fleet();
+        let mut scratch = TickScratch::new();
+        let mut tick = warmup;
+        group.bench_with_input(BenchmarkId::new("batched", units), &units, |b, _| {
+            b.iter(|| {
+                let t = tick % total;
+                tick += 1;
+                let verdicts = score_batch(fleet.iter_mut(), black_box(&frames[t]), &mut scratch)
+                    .expect("well-shaped frames")
+                    .len();
+                black_box(verdicts)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Heap audit: allocations per steady-state tick for both backends, one
 /// row per config, written to `DBCATCHER_BENCH_ALLOCS`. Frames are built
 /// ahead of the measured span so only push + scoring are counted —
@@ -242,5 +357,12 @@ fn audit_allocs(_c: &mut Criterion) {
     std::fs::write(&path, format!("{json}\n")).expect("write alloc report");
 }
 
-criterion_group!(benches, bench_kcd, bench_backends, audit_allocs);
+criterion_group!(
+    benches,
+    bench_kcd,
+    bench_backends,
+    bench_kernels,
+    bench_batch,
+    audit_allocs
+);
 criterion_main!(benches);

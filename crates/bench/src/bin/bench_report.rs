@@ -129,6 +129,71 @@ fn run(
         return Err(format!("{raw_path}: no kcd_backends results"));
     }
 
+    // label shape: kcd_kernels/<op>_<tier>/<n> — per-sweep ns for the
+    // dispatch tiers (scalar vs sse2 vs avx2).
+    let mut kernels = Vec::new();
+    // label shape: kcd_batch/<mode>/<units> — per-unit vs batched ticks.
+    let mut batch: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
+    for entry in results {
+        let label = match entry.get("label") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        let ns = entry
+            .get("ns_per_iter")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let mut parts = label.split('/');
+        match parts.next() {
+            Some("kcd_kernels") => {
+                let (Some(bench), Some(n)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                let Some((op, tier)) = bench.rsplit_once('_') else {
+                    continue;
+                };
+                kernels.push(serde_json::json!({
+                    "kernel": op,
+                    "tier": tier,
+                    "n": n,
+                    "ns_per_iter": ns,
+                }));
+            }
+            Some("kcd_batch") => {
+                let (Some(mode), Some(units)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                let slot = match batch.iter_mut().find(|(u, _, _)| u == units) {
+                    Some(slot) => slot,
+                    None => {
+                        batch.push((units.to_string(), None, None));
+                        batch.last_mut().ok_or("push failed")?
+                    }
+                };
+                match mode {
+                    "per_unit" => slot.1 = Some(ns),
+                    "batched" => slot.2 = Some(ns),
+                    _ => {}
+                }
+            }
+            _ => continue,
+        }
+    }
+    let batch_rows: Vec<Value> = batch
+        .iter()
+        .map(|(units, per_unit, batched)| {
+            serde_json::json!({
+                "units": units,
+                "per_unit_ns_per_tick": per_unit.unwrap_or(0.0),
+                "batched_ns_per_tick": batched.unwrap_or(0.0),
+                "batch_speedup": match (per_unit, batched) {
+                    (Some(p), Some(b)) if *b > 0.0 => p / b,
+                    _ => 0.0,
+                },
+            })
+        })
+        .collect();
+
     let allocs = match allocs_path {
         Some(path) => load_allocs(path)?,
         None => Vec::new(),
@@ -184,6 +249,8 @@ fn run(
         "median_naive_ns_per_tick": median(naive_all),
         "median_incremental_ns_per_tick": median_incremental,
         "median_speedup": median(speedups),
+        "kernels": kernels,
+        "batch": batch_rows,
     });
     let json = serde_json::to_string(&report).map_err(|e| format!("render report: {e}"))?;
     std::fs::write(out_path, format!("{json}\n")).map_err(|e| format!("write {out_path}: {e}"))?;

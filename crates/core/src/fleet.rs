@@ -11,7 +11,9 @@
 //! panics on worker trouble and surfaces everything in [`FleetStats`].
 
 use crate::config::DbCatcherConfig;
+use crate::ingest::IngestError;
 use crate::pipeline::{ComponentTiming, DbCatcher, Verdict};
+use crate::scratch::TickScratch;
 use std::collections::BTreeSet;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -145,6 +147,10 @@ impl FleetDetector {
                     // units whose detector rejected a frame: skipped from
                     // then on so one bad stream cannot wedge the worker
                     let mut dead_units: Vec<usize> = Vec::new();
+                    // One scratch arena per worker thread, shared by every
+                    // owned unit: batch matrices and staging buffers stay
+                    // warm across the whole shard instead of per detector.
+                    let mut arena = TickScratch::new();
                     while let Ok(job) = job_rx.recv() {
                         match job {
                             Job::Tick(frames) => {
@@ -155,7 +161,7 @@ impl FleetDetector {
                                     if dead_units.contains(&unit) {
                                         continue;
                                     }
-                                    match catcher.try_ingest_tick(&frames[unit]) {
+                                    match catcher.try_ingest_tick_with(&frames[unit], &mut arena) {
                                         Ok(report) => {
                                             verdicts.extend(
                                                 report
@@ -342,6 +348,41 @@ impl Drop for FleetDetector {
     }
 }
 
+/// Ingests one tick for a batch of co-owned units through one shared
+/// scratch arena — the shard-granularity batch entry point. `frames[i]`
+/// feeds the `i`-th detector of the batch and verdicts come back tagged
+/// with that index. The shared arena is what amortises the lag-scan
+/// setup across the batch: the pooled batch matrices, frame staging
+/// buffers and pair-score vectors carry their capacity from unit to
+/// unit instead of re-warming per detector — the same wiring the fleet
+/// worker threads and the serve shard loop use internally.
+///
+/// # Errors
+/// Stops at the first rejected frame, returning the offending unit index
+/// with its [`IngestError`]; earlier units' ticks were already ingested.
+///
+/// # Panics
+/// Panics when `frames` is shorter than the unit batch.
+pub fn score_batch<'a>(
+    units: impl IntoIterator<Item = &'a mut DbCatcher>,
+    frames: &[Vec<Vec<f64>>],
+    scratch: &mut TickScratch,
+) -> Result<Vec<FleetVerdict>, (usize, IngestError)> {
+    let mut verdicts = Vec::new();
+    for (unit, catcher) in units.into_iter().enumerate() {
+        let report = catcher
+            .try_ingest_tick_with(&frames[unit], scratch)
+            .map_err(|e| (unit, e))?;
+        verdicts.extend(
+            report
+                .verdicts
+                .into_iter()
+                .map(|verdict| FleetVerdict { unit, verdict }),
+        );
+    }
+    Ok(verdicts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +539,40 @@ mod tests {
         let stats = fleet.finish();
         assert_eq!(stats.failed_workers, 1);
         assert_eq!(stats.degraded_units, vec![0]);
+    }
+
+    #[test]
+    fn score_batch_matches_per_unit_ingest() {
+        // Sharing one arena across a batch must not leak state between
+        // units: verdicts are identical to isolated per-unit detectors.
+        let units = 3usize;
+        let mut isolated: Vec<DbCatcher> =
+            (0..units).map(|_| DbCatcher::new(config(3), 3)).collect();
+        let mut batched: Vec<DbCatcher> =
+            (0..units).map(|_| DbCatcher::new(config(3), 3)).collect();
+        let mut arena = TickScratch::new();
+        for t in 0..60 {
+            let frames = frame(units, 3, 3, t);
+            let mut expect = Vec::new();
+            for (u, catcher) in isolated.iter_mut().enumerate() {
+                for verdict in catcher.ingest_tick(&frames[u]) {
+                    expect.push(FleetVerdict { unit: u, verdict });
+                }
+            }
+            let got = score_batch(batched.iter_mut(), &frames, &mut arena)
+                .expect("clean frames accepted");
+            assert_eq!(expect, got, "tick {t}");
+        }
+    }
+
+    #[test]
+    fn score_batch_reports_offending_unit() {
+        let mut batched: Vec<DbCatcher> = (0..2).map(|_| DbCatcher::new(config(3), 3)).collect();
+        let mut arena = TickScratch::new();
+        let mut frames = frame(2, 3, 3, 0);
+        frames[1][0].pop(); // short KPI row on unit 1
+        let err = score_batch(batched.iter_mut(), &frames, &mut arena).unwrap_err();
+        assert_eq!(err.0, 1);
     }
 
     #[test]

@@ -26,15 +26,20 @@
 //!
 //! Numerical contract: scores are algebraically identical to
 //! [`crate::kcd::kcd_normalized`] but may differ in the last few ulps
-//! because moments are derived from prefix sums. Whole-window constants
-//! take the exact convention branches (detected from the deques), and
-//! near-constant *segments* fall back to the exact two-pass formulation,
-//! so the degenerate conventions (constant-vs-constant = 1,
-//! constant-vs-varying = 0) are preserved bit-for-bit. The differential
-//! suite (`tests/differential.rs`) pins the backends to verdict-for-
-//! verdict equality.
+//! because moments are derived from prefix sums and the dot products run
+//! through the four-lane SIMD scheme of [`crate::simd`] (dispatch tier
+//! chosen at construction; every tier is bit-identical, see that
+//! module's contract). Whole-window constants take the exact convention
+//! branches (detected from the deques), and near-constant *segments*
+//! fall back to the exact two-pass formulation, so the degenerate
+//! conventions (constant-vs-constant = 1, constant-vs-varying = 0) are
+//! preserved bit-for-bit. The differential suite
+//! (`tests/differential.rs`, `tests/simd_differential.rs`) pins the
+//! backends to verdict-for-verdict equality and the dispatch tiers to
+//! bit equality.
 
 use crate::queues::KpiQueues;
+use crate::simd::{self, SimdTier};
 use std::collections::VecDeque;
 
 /// A segment's energy below `EPS_PER_POINT · len` is treated as
@@ -220,6 +225,8 @@ pub struct IncrementalCorrelator {
     states: Vec<SeriesState>,
     /// Total ticks ingested (== next absolute tick).
     len: u64,
+    /// Kernel dispatch tier, resolved once at construction.
+    tier: SimdTier,
 }
 
 impl IncrementalCorrelator {
@@ -241,7 +248,24 @@ impl IncrementalCorrelator {
                 // dbclint: allow(hot-path-alloc) — one-time per-series state slab at construction.
                 .collect(),
             len: 0,
+            tier: SimdTier::detect(),
         }
+    }
+
+    /// Overrides the kernel dispatch tier (differential tests, benches).
+    ///
+    /// # Panics
+    /// Panics when the host cannot execute `tier` — a forced tier must
+    /// never reach the intrinsic back-ends unguarded.
+    pub fn with_tier(mut self, tier: SimdTier) -> Self {
+        assert!(tier.is_supported(), "SIMD tier not supported on this host");
+        self.tier = tier;
+        self
+    }
+
+    /// The kernel dispatch tier this engine resolved at construction.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
     }
 
     /// Rebuilds the engine from a queue snapshot by replaying its retained
@@ -324,9 +348,68 @@ impl IncrementalCorrelator {
         let ib = b * self.num_kpis + kpi;
         self.states[ia].ensure_normalized(start, len);
         self.states[ib].ensure_normalized(start, len);
+        self.pair_score_prepared(a, b, kpi, len, max_delay)
+    }
 
-        let sa = &self.states[ia];
-        let sb = &self.states[ib];
+    /// Hoists the per-window setup for one `(kpi, window)` batch: checks
+    /// the suffix-window contract once and refreshes the normalised cache
+    /// of every series flagged in `participates`, so subsequent
+    /// [`Self::pair_score_prepared`] calls over that window are read-only
+    /// kernel sweeps.
+    ///
+    /// # Panics
+    /// Panics when the window is not the current suffix, has been
+    /// evicted, or `kpi` / mask arity is out of range.
+    pub fn prepare_windows(&mut self, kpi: usize, start: u64, len: usize, participates: &[bool]) {
+        assert!(kpi < self.num_kpis, "kpi out of range");
+        assert_eq!(participates.len(), self.num_dbs, "mask arity mismatch");
+        assert!(len > 0, "empty window");
+        assert_eq!(
+            start + len as u64,
+            self.len,
+            "incremental engine judges suffix windows only"
+        );
+        assert!(
+            self.len - start <= self.capacity as u64,
+            "window reaches into evicted history"
+        );
+        for (db, &p) in participates.iter().enumerate() {
+            if p {
+                self.states[db * self.num_kpis + kpi].ensure_normalized(start, len);
+            }
+        }
+    }
+
+    /// KCD score over window caches previously refreshed by
+    /// [`Self::prepare_windows`] — the batch fast path. Immutable, so the
+    /// matrix builder can sweep every pair of a unit without re-running
+    /// the window checks and cache maintenance per pair.
+    ///
+    /// Bit-identical to [`Self::pair_score`] on the same window. Both
+    /// series must have been prepared for `kpi` at window length `len`;
+    /// debug builds assert the cache state.
+    pub fn pair_score_prepared(
+        &self,
+        a: usize,
+        b: usize,
+        kpi: usize,
+        len: usize,
+        max_delay: usize,
+    ) -> f64 {
+        debug_assert!(
+            a < self.num_dbs && b < self.num_dbs && kpi < self.num_kpis,
+            "index out of range"
+        );
+        let sa = &self.states[a * self.num_kpis + kpi];
+        let sb = &self.states[b * self.num_kpis + kpi];
+        debug_assert!(
+            sa.cache.valid && sa.cache.norm.len() == len,
+            "series (db {a}, kpi {kpi}) not prepared for window length {len}"
+        );
+        debug_assert!(
+            sb.cache.valid && sb.cache.norm.len() == len,
+            "series (db {b}, kpi {kpi}) not prepared for window length {len}"
+        );
         let a_const = sa.cache.hi == sa.cache.lo;
         let b_const = sb.cache.hi == sb.cache.lo;
         // min_max maps constants to all-zero windows; the conventions of
@@ -345,22 +428,23 @@ impl IncrementalCorrelator {
         let mut best;
         let mut s;
         if max_s >= 2 {
-            let (c0, c1, c2, c3, c4) = lag_correlation_penta(&sa.cache, &sb.cache, len);
+            let (c0, c1, c2, c3, c4) = lag_correlation_penta(self.tier, &sa.cache, &sb.cache, len);
             best = c0.max(c1).max(c2).max(c3).max(c4);
             s = 3;
         } else {
-            best = lag_correlation(&sa.cache, &sb.cache, 0, 0, len);
+            best = lag_correlation(self.tier, &sa.cache, &sb.cache, 0, 0, len);
             s = 1;
         }
         // Remaining lags go two at a time — four direction chains per
         // memory sweep — with an odd final lag on the dual-chain pass.
         while s <= max_s && best < 1.0 {
             if s < max_s {
-                let (c1, c2, c3, c4) = lag_correlation_quad(&sa.cache, &sb.cache, s, len - s);
+                let (c1, c2, c3, c4) =
+                    lag_correlation_quad(self.tier, &sa.cache, &sb.cache, s, len - s);
                 best = best.max(c1).max(c2).max(c3).max(c4);
                 s += 2;
             } else {
-                let (c1, c2) = lag_correlation_pair(&sa.cache, &sb.cache, s, len - s);
+                let (c1, c2) = lag_correlation_pair(self.tier, &sa.cache, &sb.cache, s, len - s);
                 best = best.max(c1).max(c2);
                 s += 1;
             }
@@ -380,9 +464,17 @@ fn segment_moments(c: &NormCache, off: usize, len: usize) -> (f64, f64) {
 }
 
 /// Correlation of `x.norm[x_off..x_off + len]` against
-/// `y.norm[y_off..y_off + len]`, moments from prefix sums, one fused dot
-/// pass. Falls back to the exact two-pass formula on degenerate segments.
-fn lag_correlation(x: &NormCache, y: &NormCache, x_off: usize, y_off: usize, len: usize) -> f64 {
+/// `y.norm[y_off..y_off + len]`, moments from prefix sums, one
+/// lane-parallel dot sweep ([`simd::dot`]). Falls back to the exact
+/// two-pass formula on degenerate segments.
+fn lag_correlation(
+    tier: SimdTier,
+    x: &NormCache,
+    y: &NormCache,
+    x_off: usize,
+    y_off: usize,
+    len: usize,
+) -> f64 {
     let n = len as f64;
     let xs = &x.norm[x_off..x_off + len];
     let ys = &y.norm[y_off..y_off + len];
@@ -395,21 +487,24 @@ fn lag_correlation(x: &NormCache, y: &NormCache, x_off: usize, y_off: usize, len
         // witness — defer to the naive formulation.
         return crate::kcd::centered_correlation(xs, ys);
     }
-    let mut dot = 0.0;
-    for (&xv, &yv) in xs.iter().zip(ys) {
-        dot += xv * yv;
-    }
+    let dot = simd::dot(tier, xs, ys);
     let centered = dot - n * mx * my;
     (centered / (nx.sqrt() * ny.sqrt())).clamp(-1.0, 1.0)
 }
 
 /// Both directions of lag `s` in one fused pass: the dot products of
-/// `x[s..]·y[..len]` and `x[..len]·y[s..]` accumulate in two *independent*
-/// chains inside a single loop, halving the number of memory sweeps while
-/// keeping each chain's summation order — and therefore every score bit —
+/// `x[s..]·y[..len]` and `x[..len]·y[s..]` run as the two chains of one
+/// [`simd::dot2`] sweep, halving the number of memory sweeps while
+/// keeping each chain's lane scheme — and therefore every score bit —
 /// identical to [`lag_correlation`] run twice. Either direction with a
 /// (near-)degenerate segment takes the exact-oracle path unchanged.
-fn lag_correlation_pair(x: &NormCache, y: &NormCache, s: usize, len: usize) -> (f64, f64) {
+fn lag_correlation_pair(
+    tier: SimdTier,
+    x: &NormCache,
+    y: &NormCache,
+    s: usize,
+    len: usize,
+) -> (f64, f64) {
     let n = len as f64;
     let eps = EPS_PER_POINT * n;
     let (mx1, nx1) = segment_moments(x, s, len);
@@ -418,32 +513,33 @@ fn lag_correlation_pair(x: &NormCache, y: &NormCache, s: usize, len: usize) -> (
     let (my2, ny2) = segment_moments(y, s, len);
     if nx1 <= eps || ny1 <= eps || nx2 <= eps || ny2 <= eps {
         return (
-            lag_correlation(x, y, s, 0, len),
-            lag_correlation(x, y, 0, s, len),
+            lag_correlation(tier, x, y, s, 0, len),
+            lag_correlation(tier, x, y, 0, s, len),
         );
     }
     let xa = &x.norm[s..s + len];
     let yb = &y.norm[..len];
     let xb = &x.norm[..len];
     let ya = &y.norm[s..s + len];
-    let mut d1 = 0.0;
-    let mut d2 = 0.0;
-    for ((&a, &b), (&c, &d)) in xa.iter().zip(yb).zip(xb.iter().zip(ya)) {
-        d1 += a * b;
-        d2 += c * d;
-    }
+    let (d1, d2) = simd::dot2(tier, xa, yb, xb, ya);
     let c1 = ((d1 - n * mx1 * my1) / (nx1.sqrt() * ny1.sqrt())).clamp(-1.0, 1.0);
     let c2 = ((d2 - n * mx2 * my2) / (nx2.sqrt() * ny2.sqrt())).clamp(-1.0, 1.0);
     (c1, c2)
 }
 
-/// Lags 0, 1 and 2 — five chains (lag 0 is its own reverse) — in one
-/// fused sweep over `x.norm[..len]` and `y.norm[..len]`. Chain `i` of
-/// lag `s` accumulates in the same ascending order as
-/// [`lag_correlation`], so all five scores are bit-identical to the
-/// unfused passes; any (near-)degenerate segment drops the whole step
-/// back to the narrower kernels. Requires `len >= 4`.
-fn lag_correlation_penta(x: &NormCache, y: &NormCache, len: usize) -> (f64, f64, f64, f64, f64) {
+/// Lags 0, 1 and 2 — five chains (lag 0 is its own reverse) — grouped
+/// behind one moments/degeneracy check over `x.norm[..len]` and
+/// `y.norm[..len]`. Every chain runs the shared lane scheme
+/// ([`simd::dot`] / [`simd::dot2`]), so all five scores are
+/// bit-identical to the unfused passes; any (near-)degenerate segment
+/// drops the whole step back to the narrower kernels. Requires
+/// `len >= 4`.
+fn lag_correlation_penta(
+    tier: SimdTier,
+    x: &NormCache,
+    y: &NormCache,
+    len: usize,
+) -> (f64, f64, f64, f64, f64) {
     let l1 = len - 1;
     let l2 = len - 2;
     let (n0, n1, n2) = (len as f64, l1 as f64, l2 as f64);
@@ -469,30 +565,16 @@ fn lag_correlation_penta(x: &NormCache, y: &NormCache, len: usize) -> (f64, f64,
         || nx4 <= eps2
         || ny4 <= eps2
     {
-        let c0 = lag_correlation(x, y, 0, 0, len);
-        let (c1, c2) = lag_correlation_pair(x, y, 1, l1);
-        let (c3, c4) = lag_correlation_pair(x, y, 2, l2);
+        let c0 = lag_correlation(tier, x, y, 0, 0, len);
+        let (c1, c2) = lag_correlation_pair(tier, x, y, 1, l1);
+        let (c3, c4) = lag_correlation_pair(tier, x, y, 2, l2);
         return (c0, c1, c2, c3, c4);
     }
     let xs = &x.norm[..len];
     let ys = &y.norm[..len];
-    let mut d0 = 0.0;
-    let mut d1 = 0.0;
-    let mut d2 = 0.0;
-    let mut d3 = 0.0;
-    let mut d4 = 0.0;
-    for i in 0..l2 {
-        d0 += xs[i] * ys[i];
-        d1 += xs[i + 1] * ys[i];
-        d2 += xs[i] * ys[i + 1];
-        d3 += xs[i + 2] * ys[i];
-        d4 += xs[i] * ys[i + 2];
-    }
-    // top up the longer chains: lag 1 has one more point, lag 0 two
-    d0 += xs[l2] * ys[l2];
-    d1 += xs[l1] * ys[l2];
-    d2 += xs[l2] * ys[l1];
-    d0 += xs[l1] * ys[l1];
+    let d0 = simd::dot(tier, xs, ys);
+    let (d1, d2) = simd::dot2(tier, &xs[1..], &ys[..l1], &xs[..l1], &ys[1..]);
+    let (d3, d4) = simd::dot2(tier, &xs[2..], &ys[..l2], &xs[..l2], &ys[2..]);
     let c0 = ((d0 - n0 * mx0 * my0) / (nx0.sqrt() * ny0.sqrt())).clamp(-1.0, 1.0);
     let c1 = ((d1 - n1 * mx1 * my1) / (nx1.sqrt() * ny1.sqrt())).clamp(-1.0, 1.0);
     let c2 = ((d2 - n1 * mx2 * my2) / (nx2.sqrt() * ny2.sqrt())).clamp(-1.0, 1.0);
@@ -501,14 +583,15 @@ fn lag_correlation_penta(x: &NormCache, y: &NormCache, len: usize) -> (f64, f64,
     (c0, c1, c2, c3, c4)
 }
 
-/// Lags `s` and `s + 1` — four direction chains — in one fused sweep.
-/// The lag-`s` segments are `len` points, the lag-`s + 1` segments
-/// `len - 1`: the main loop feeds all four chains, then the last point
-/// tops up the two lag-`s` chains. Every chain accumulates in the same
-/// ascending order as [`lag_correlation`], so each of the four scores is
-/// bit-identical to the unfused passes; any (near-)degenerate segment
-/// drops the whole step back to the dual-chain path.
+/// Lags `s` and `s + 1` — four direction chains — grouped behind one
+/// moments/degeneracy check. The lag-`s` segments are `len` points, the
+/// lag-`s + 1` segments `len - 1`; each direction pair runs as one
+/// [`simd::dot2`] sweep under the shared lane scheme, so each of the
+/// four scores is bit-identical to the unfused passes; any
+/// (near-)degenerate segment drops the whole step back to the
+/// dual-chain path.
 fn lag_correlation_quad(
+    tier: SimdTier,
     x: &NormCache,
     y: &NormCache,
     s: usize,
@@ -536,8 +619,8 @@ fn lag_correlation_quad(
         || nx4 <= eps2
         || ny4 <= eps2
     {
-        let (c1, c2) = lag_correlation_pair(x, y, s, len);
-        let (c3, c4) = lag_correlation_pair(x, y, s + 1, short);
+        let (c1, c2) = lag_correlation_pair(tier, x, y, s, len);
+        let (c3, c4) = lag_correlation_pair(tier, x, y, s + 1, short);
         return (c1, c2, c3, c4);
     }
     let xa = &x.norm[s..s + len];
@@ -546,19 +629,8 @@ fn lag_correlation_quad(
     let yb = &y.norm[..len];
     let xc = &x.norm[s + 1..s + 1 + short];
     let yd = &y.norm[s + 1..s + 1 + short];
-    let mut d1 = 0.0;
-    let mut d2 = 0.0;
-    let mut d3 = 0.0;
-    let mut d4 = 0.0;
-    for i in 0..short {
-        d1 += xa[i] * yb[i];
-        d2 += xb[i] * ya[i];
-        d3 += xc[i] * yb[i];
-        d4 += xb[i] * yd[i];
-    }
-    // the lag-`s` chains carry one more point than the lag-`s + 1` pair
-    d1 += xa[short] * yb[short];
-    d2 += xb[short] * ya[short];
+    let (d1, d2) = simd::dot2(tier, xa, yb, xb, ya);
+    let (d3, d4) = simd::dot2(tier, xc, &yb[..short], &xb[..short], yd);
     let c1 = ((d1 - n1 * mx1 * my1) / (nx1.sqrt() * ny1.sqrt())).clamp(-1.0, 1.0);
     let c2 = ((d2 - n1 * mx2 * my2) / (nx2.sqrt() * ny2.sqrt())).clamp(-1.0, 1.0);
     let c3 = ((d3 - n2 * mx3 * my3) / (nx3.sqrt() * ny3.sqrt())).clamp(-1.0, 1.0);
@@ -743,11 +815,13 @@ mod tests {
             cy.extend(&raw_y);
             for s in 1..len.saturating_sub(1) {
                 let seg = len - s;
-                let (c1, c2) = lag_correlation_pair(&cx, &cy, s, seg);
-                let r1 = lag_correlation(&cx, &cy, s, 0, seg);
-                let r2 = lag_correlation(&cx, &cy, 0, s, seg);
-                assert_eq!(c1.to_bits(), r1.to_bits(), "len {len} s {s} dir 1");
-                assert_eq!(c2.to_bits(), r2.to_bits(), "len {len} s {s} dir 2");
+                for &tier in SimdTier::supported() {
+                    let (c1, c2) = lag_correlation_pair(tier, &cx, &cy, s, seg);
+                    let r1 = lag_correlation(tier, &cx, &cy, s, 0, seg);
+                    let r2 = lag_correlation(tier, &cx, &cy, 0, s, seg);
+                    assert_eq!(c1.to_bits(), r1.to_bits(), "{tier:?} len {len} s {s} dir 1");
+                    assert_eq!(c2.to_bits(), r2.to_bits(), "{tier:?} len {len} s {s} dir 2");
+                }
             }
         }
     }
@@ -777,13 +851,31 @@ mod tests {
             cy.extend(&raw_y);
             for s in 1..len.saturating_sub(2) {
                 let seg = len - s;
-                let (q1, q2, q3, q4) = lag_correlation_quad(&cx, &cy, s, seg);
-                let (p1, p2) = lag_correlation_pair(&cx, &cy, s, seg);
-                let (p3, p4) = lag_correlation_pair(&cx, &cy, s + 1, seg - 1);
-                assert_eq!(q1.to_bits(), p1.to_bits(), "len {len} s {s} lag s dir 1");
-                assert_eq!(q2.to_bits(), p2.to_bits(), "len {len} s {s} lag s dir 2");
-                assert_eq!(q3.to_bits(), p3.to_bits(), "len {len} s {s} lag s+1 dir 1");
-                assert_eq!(q4.to_bits(), p4.to_bits(), "len {len} s {s} lag s+1 dir 2");
+                for &tier in SimdTier::supported() {
+                    let (q1, q2, q3, q4) = lag_correlation_quad(tier, &cx, &cy, s, seg);
+                    let (p1, p2) = lag_correlation_pair(tier, &cx, &cy, s, seg);
+                    let (p3, p4) = lag_correlation_pair(tier, &cx, &cy, s + 1, seg - 1);
+                    assert_eq!(
+                        q1.to_bits(),
+                        p1.to_bits(),
+                        "{tier:?} len {len} s {s} lag s dir 1"
+                    );
+                    assert_eq!(
+                        q2.to_bits(),
+                        p2.to_bits(),
+                        "{tier:?} len {len} s {s} lag s dir 2"
+                    );
+                    assert_eq!(
+                        q3.to_bits(),
+                        p3.to_bits(),
+                        "{tier:?} len {len} s {s} lag s+1 dir 1"
+                    );
+                    assert_eq!(
+                        q4.to_bits(),
+                        p4.to_bits(),
+                        "{tier:?} len {len} s {s} lag s+1 dir 2"
+                    );
+                }
             }
         }
     }
@@ -810,15 +902,53 @@ mod tests {
             cy.hi = hi_y;
             cx.extend(&raw_x);
             cy.extend(&raw_y);
-            let (c0, c1, c2, c3, c4) = lag_correlation_penta(&cx, &cy, len);
-            let r0 = lag_correlation(&cx, &cy, 0, 0, len);
-            let (r1, r2) = lag_correlation_pair(&cx, &cy, 1, len - 1);
-            let (r3, r4) = lag_correlation_pair(&cx, &cy, 2, len - 2);
-            assert_eq!(c0.to_bits(), r0.to_bits(), "len {len} lag 0");
-            assert_eq!(c1.to_bits(), r1.to_bits(), "len {len} lag 1 dir 1");
-            assert_eq!(c2.to_bits(), r2.to_bits(), "len {len} lag 1 dir 2");
-            assert_eq!(c3.to_bits(), r3.to_bits(), "len {len} lag 2 dir 1");
-            assert_eq!(c4.to_bits(), r4.to_bits(), "len {len} lag 2 dir 2");
+            for &tier in SimdTier::supported() {
+                let (c0, c1, c2, c3, c4) = lag_correlation_penta(tier, &cx, &cy, len);
+                let r0 = lag_correlation(tier, &cx, &cy, 0, 0, len);
+                let (r1, r2) = lag_correlation_pair(tier, &cx, &cy, 1, len - 1);
+                let (r3, r4) = lag_correlation_pair(tier, &cx, &cy, 2, len - 2);
+                assert_eq!(c0.to_bits(), r0.to_bits(), "{tier:?} len {len} lag 0");
+                assert_eq!(c1.to_bits(), r1.to_bits(), "{tier:?} len {len} lag 1 dir 1");
+                assert_eq!(c2.to_bits(), r2.to_bits(), "{tier:?} len {len} lag 1 dir 2");
+                assert_eq!(c3.to_bits(), r3.to_bits(), "{tier:?} len {len} lag 2 dir 1");
+                assert_eq!(c4.to_bits(), r4.to_bits(), "{tier:?} len {len} lag 2 dir 2");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_score_is_bit_identical_across_tiers_and_batch_path() {
+        // One engine per supported dispatch tier over the same stream:
+        // every tier and both entry points (classic pair_score vs
+        // prepare + prepared) must agree bit for bit.
+        let mut next = lcg(31);
+        let series: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..100).map(|_| next() * 30.0 - 15.0).collect())
+            .collect();
+        let mask = [true, true, true];
+        let mut reference: Option<Vec<u64>> = None;
+        for &tier in SimdTier::supported() {
+            let mut engine = IncrementalCorrelator::new(3, 1, 140).with_tier(tier);
+            assert_eq!(engine.tier(), tier);
+            feed(&mut engine, &series, 100);
+            let mut bits = Vec::new();
+            for (start, len) in [(40u64, 60usize), (70, 30)] {
+                for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+                    let direct = engine.pair_score(a, b, 0, start, len, 5);
+                    engine.prepare_windows(0, start, len, &mask);
+                    let prepared = engine.pair_score_prepared(a, b, 0, len, 5);
+                    assert_eq!(
+                        direct.to_bits(),
+                        prepared.to_bits(),
+                        "{tier:?} ({a},{b}) window ({start},{len}): batch path diverged"
+                    );
+                    bits.push(direct.to_bits());
+                }
+            }
+            match &reference {
+                None => reference = Some(bits),
+                Some(want) => assert_eq!(want, &bits, "{tier:?} diverged from first tier"),
+            }
         }
     }
 

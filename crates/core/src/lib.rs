@@ -29,7 +29,11 @@
 //! semantics (primary exclusion on replica-only KPIs) enter through the
 //! participation mask of [`config::DbCatcherConfig`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one sanctioned exception — the
+// `#[cfg]`-gated SIMD intrinsics in [`mod@simd`] — can scope its own
+// allowance; every other module stays unsafe-free and dbclint's
+// `no-unsafe` rule audits the sites that remain.
+#![deny(unsafe_code)]
 // Index-based loops over matrix/tensor dimensions are clearer than
 // iterator chains in this numeric code.
 #![allow(clippy::needless_range_loop)]
@@ -49,6 +53,7 @@ pub mod pipeline;
 pub mod queues;
 mod queues_serde;
 pub mod scratch;
+pub mod simd;
 pub mod snapshot;
 pub mod state;
 pub mod window;
@@ -60,7 +65,7 @@ pub use diagnosis::{
     diagnose, root_cause, DeviationDirection, Diagnosis, RootCause, RootCauseFactor,
 };
 pub use feedback::{FeedbackModule, JudgmentRecord};
-pub use fleet::{FleetDetector, FleetStats, FleetVerdict};
+pub use fleet::{score_batch, FleetDetector, FleetStats, FleetVerdict};
 pub use ga::{Genes, GeneticConfig};
 pub use ingest::{GapPolicy, IngestConfig, IngestError, IngestReport, TelemetryHealth};
 pub use kcd::kcd;
@@ -68,5 +73,6 @@ pub use kcd_incremental::IncrementalCorrelator;
 pub use levels::Level;
 pub use matrix::CorrelationMatrix;
 pub use pipeline::{ComponentTiming, DbCatcher, Verdict};
+pub use simd::SimdTier;
 pub use snapshot::{DetectorSnapshot, SnapshotSummary};
 pub use state::DbState;

@@ -106,15 +106,29 @@ impl CorrelationMatrix {
     /// the hook the incremental engine uses to fill matrices from cached
     /// state. Symmetry is supplied by the packing: each pair is evaluated
     /// once.
-    pub fn from_pairwise(n: usize, mut score: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_pairwise(n: usize, score: impl FnMut(usize, usize) -> f64) -> Self {
         let mut m = Self::zeros(n);
+        m.from_pairwise_into(n, score);
+        m
+    }
+
+    /// [`Self::from_pairwise`] rebuilding `self` in place (the score
+    /// buffer keeps its capacity) — the batch scoring path's
+    /// allocation-free form: one matrix per `(kpi, window)` is filled
+    /// once per tick and shared by every judgement of the unit.
+    pub fn from_pairwise_into(&mut self, n: usize, mut score: impl FnMut(usize, usize) -> f64) {
+        self.n = n;
+        self.scores.clear();
+        self.scores.resize(n * n.saturating_sub(1) / 2, 0.0);
+        let mut idx = 0;
         for i in 0..n {
             for j in (i + 1)..n {
-                let s = score(i, j);
-                m.set(i, j, s);
+                // packed strict upper triangle is exactly this iteration
+                // order, so the write cursor just advances
+                self.scores[idx] = score(i, j);
+                idx += 1;
             }
         }
-        m
     }
 
     /// Number of databases.
@@ -295,6 +309,23 @@ mod tests {
         assert!(calls.iter().all(|&(i, j)| i < j), "only upper triangle");
         assert_eq!(m.get(1, 3), 13.0);
         assert_eq!(m.get(3, 1), 13.0, "symmetry from packing");
+    }
+
+    #[test]
+    fn from_pairwise_into_reuses_buffer_without_changing_results() {
+        let mut m = CorrelationMatrix::from_pairwise(4, |i, j| (i * 10 + j) as f64);
+        let cap = {
+            m.from_pairwise_into(4, |i, j| (i * 10 + j) as f64);
+            m.scores.capacity()
+        };
+        // refill at the same and a smaller arity: results exact, no growth
+        m.from_pairwise_into(4, |i, j| (i + j) as f64);
+        assert_eq!(m.get(1, 3), 4.0);
+        assert_eq!(m.scores.capacity(), cap);
+        m.from_pairwise_into(2, |_, _| 0.25);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0, 1), 0.25);
+        assert_eq!(m.scores.capacity(), cap);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::kcd::kcd_normalized;
 use crate::kcd_incremental::IncrementalCorrelator;
 use crate::levels::{aggregate_scores, level_row};
 use crate::queues::KpiQueues;
-use crate::scratch::TickScratch;
+use crate::scratch::{BatchEntry, TickScratch};
 use crate::state::{determine_state, DbState};
 use crate::window::{WindowAction, WindowTracker};
 use dbcatcher_signal::normalize::min_max_in_place;
@@ -260,6 +260,29 @@ impl DbCatcher {
     /// retention inconsistency (never expected with a validated
     /// configuration).
     pub fn try_ingest_tick(&mut self, frame: &[Vec<f64>]) -> Result<IngestReport, IngestError> {
+        // Swap the owned arena out so the shared-arena entry point below
+        // is the single implementation (both swaps are plain moves and
+        // the `Default` placeholder buffers are empty — no allocation).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.try_ingest_tick_with(frame, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// [`Self::try_ingest_tick`] staging through a caller-owned
+    /// [`TickScratch`] arena — the batch entry point. A shard or fleet
+    /// worker that owns many detectors drives them all through one arena
+    /// per thread ([`crate::fleet::score_batch`]), so the pooled batch
+    /// matrices, staging buffers and score vectors stay warm across the
+    /// whole batch instead of per unit.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::try_ingest_tick`].
+    pub fn try_ingest_tick_with(
+        &mut self,
+        frame: &[Vec<f64>],
+        scratch: &mut TickScratch,
+    ) -> Result<IngestReport, IngestError> {
         if frame.len() != self.num_dbs {
             return Err(IngestError::FrameArity {
                 expected: self.num_dbs,
@@ -284,11 +307,11 @@ impl DbCatcher {
             tick,
             &self.config.ingest,
             self.queues.capacity(),
-            &mut self.scratch.sanitized,
+            &mut scratch.sanitized,
         );
-        self.queues.push(&self.scratch.sanitized);
+        self.queues.push(&scratch.sanitized);
         if let Some(correlator) = &mut self.correlator {
-            correlator.push(&self.scratch.sanitized);
+            correlator.push(&scratch.sanitized);
         }
         let next_tick = self.queues.next_tick();
         let mut report = IngestReport {
@@ -300,13 +323,17 @@ impl DbCatcher {
         };
         // KCD scores are symmetric and window-scoped; when several
         // databases judge the same bounds in one tick, share the work
-        // through the scratch memo (cleared each tick, capacity kept).
-        self.scratch.pair_cache.clear();
+        // through the scratch memo — the naive backend's pair cache and
+        // the incremental backend's pooled batch matrices (both reset
+        // each tick, capacity kept — this arena may have just served a
+        // different unit of the same shard).
+        scratch.pair_cache.clear();
+        scratch.batch_used = 0;
         for db in 0..self.num_dbs {
             // A database may resolve several consecutive windows in one
             // tick only if sizes shrank; normally at most one iteration.
             while self.trackers[db].action(next_tick) == WindowAction::Judge {
-                match self.judge(db)? {
+                match self.judge(db, scratch)? {
                     Some(v) => {
                         self.window_size_sum += v.window_size as u64;
                         self.verdict_count += 1;
@@ -321,12 +348,16 @@ impl DbCatcher {
 
     /// Judges database `db`'s current window. Returns `Ok(None)` when the
     /// state was observable and the window expanded instead of resolving.
-    fn judge(&mut self, db: usize) -> Result<Option<Verdict>, IngestError> {
+    fn judge(
+        &mut self,
+        db: usize,
+        scratch: &mut TickScratch,
+    ) -> Result<Option<Verdict>, IngestError> {
         let tracker = self.trackers[db];
         let (start, size) = (tracker.start, tracker.size);
 
         let t0 = Instant::now();
-        let scores = self.aggregated_scores(db, start, size)?;
+        let scores = self.aggregated_scores(db, start, size, scratch)?;
         self.timing.correlation += t0.elapsed();
 
         let t1 = Instant::now();
@@ -381,16 +412,16 @@ impl DbCatcher {
         db: usize,
         start: u64,
         size: usize,
+        scratch: &mut TickScratch,
     ) -> Result<Vec<f64>, IngestError> {
-        // Disjoint field borrows: the incremental engine and the scratch
-        // buffers need `&mut` while config/queues/health stay shared.
+        // Disjoint field borrows: the incremental engine needs `&mut`
+        // while config/queues/health stay shared.
         let Self {
             config,
             num_dbs,
             queues,
             correlator,
             health,
-            scratch,
             ..
         } = self;
         let num_dbs = *num_dbs;
@@ -400,6 +431,8 @@ impl DbCatcher {
             peer_norm,
             pair_scores,
             pair_cache,
+            batch,
+            batch_used,
             ..
         } = scratch;
 
@@ -434,8 +467,71 @@ impl DbCatcher {
                 out.push(f64::NAN);
                 continue;
             }
-            // Naive path: `db`'s normalised window is shared across every
-            // peer of this KPI.
+            if let Some(engine) = correlator.as_deref_mut() {
+                // Batched fast path: all of this tick's judgements over
+                // one `(kpi, window)` share a pooled score matrix. The
+                // lag-scan setup — window-bound checks and normalised-
+                // cache refresh — is hoisted once per matrix
+                // (`prepare_windows`), and each pair then runs the
+                // read-only kernel sweep (`pair_score_prepared`) at most
+                // once per tick via the lazy row fill.
+                let key = (kpi, start, size);
+                let idx = match (0..*batch_used).find(|&i| batch[i].key == key) {
+                    Some(i) => i,
+                    None => {
+                        if *batch_used == batch.len() {
+                            // Pool growth: at most one entry per KPI,
+                            // then steady-state reuse of the free list.
+                            batch.push(BatchEntry::default());
+                        }
+                        let i = *batch_used;
+                        *batch_used += 1;
+                        let entry = &mut batch[i];
+                        entry.key = key;
+                        entry.mask.clear();
+                        entry.mask.extend((0..num_dbs).map(&participates));
+                        entry.rows.clear();
+                        entry.rows.resize(num_dbs, false);
+                        entry.matrix.from_pairwise_into(num_dbs, |_, _| 0.0);
+                        i
+                    }
+                };
+                // Refresh the engine's per-series window caches for this
+                // entry even on a pool hit: the cache is one window per
+                // `(db, kpi)`, so a *different* window of the same KPI
+                // judged earlier this tick repoints it. Re-preparing is a
+                // no-op validity sweep when nothing changed.
+                engine.prepare_windows(kpi, start, size, &batch[idx].mask);
+                let BatchEntry {
+                    matrix, mask, rows, ..
+                } = &mut batch[idx];
+                let engine = &*engine;
+                if !rows[db] {
+                    rows[db] = true;
+                    for peer in 0..num_dbs {
+                        // A peer whose own row is filled already holds
+                        // the symmetric entry — skip the recompute.
+                        if peer != db && mask[peer] && !rows[peer] {
+                            matrix.set(
+                                db,
+                                peer,
+                                engine.pair_score_prepared(db, peer, kpi, size, max_delay),
+                            );
+                        }
+                    }
+                }
+                pair_scores.clear();
+                for peer in 0..num_dbs {
+                    if peer != db && mask[peer] {
+                        pair_scores.push(matrix.get(db, peer));
+                    }
+                }
+                out.push(aggregate_scores(pair_scores, config.aggregation).unwrap_or(f64::NAN));
+                continue;
+            }
+            // Naive path (the differential oracle): `db`'s normalised
+            // window is shared across every peer of this KPI, symmetric
+            // pairs memoised in the tick-scoped cache.
             let mut own_valid = false;
             pair_scores.clear();
             for peer in 0..num_dbs {
@@ -446,37 +542,32 @@ impl DbCatcher {
                 let score = if let Some(&s) = pair_cache.get(&key) {
                     s
                 } else {
-                    let s = match correlator.as_deref_mut() {
-                        Some(engine) => engine.pair_score(db, peer, kpi, start, size, max_delay),
-                        None => {
-                            if !own_valid {
-                                let w = queues.window_slice(db, kpi, start, size).ok_or(
-                                    IngestError::WindowUnavailable {
-                                        db,
-                                        kpi,
-                                        start,
-                                        len: size,
-                                    },
-                                )?;
-                                own_norm.clear();
-                                own_norm.extend_from_slice(w);
-                                min_max_in_place(own_norm);
-                                own_valid = true;
-                            }
-                            let w = queues.window_slice(peer, kpi, start, size).ok_or(
-                                IngestError::WindowUnavailable {
-                                    db: peer,
-                                    kpi,
-                                    start,
-                                    len: size,
-                                },
-                            )?;
-                            peer_norm.clear();
-                            peer_norm.extend_from_slice(w);
-                            min_max_in_place(peer_norm);
-                            kcd_normalized(own_norm, peer_norm, max_delay)
-                        }
-                    };
+                    if !own_valid {
+                        let w = queues.window_slice(db, kpi, start, size).ok_or(
+                            IngestError::WindowUnavailable {
+                                db,
+                                kpi,
+                                start,
+                                len: size,
+                            },
+                        )?;
+                        own_norm.clear();
+                        own_norm.extend_from_slice(w);
+                        min_max_in_place(own_norm);
+                        own_valid = true;
+                    }
+                    let w = queues.window_slice(peer, kpi, start, size).ok_or(
+                        IngestError::WindowUnavailable {
+                            db: peer,
+                            kpi,
+                            start,
+                            len: size,
+                        },
+                    )?;
+                    peer_norm.clear();
+                    peer_norm.extend_from_slice(w);
+                    min_max_in_place(peer_norm);
+                    let s = kcd_normalized(own_norm, peer_norm, max_delay);
                     pair_cache.insert(key, s);
                     s
                 };

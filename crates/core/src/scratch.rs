@@ -18,6 +18,7 @@
 //! arena makes the non-judging `ingest_tick` path allocation-free; the
 //! counting-allocator harness in `tests/zero_alloc.rs` pins that budget.
 
+use crate::matrix::CorrelationMatrix;
 use std::collections::HashMap;
 
 /// Cache key for one symmetric pair score within a tick:
@@ -42,13 +43,52 @@ pub struct TickScratch {
     /// ([`crate::matrix::CorrelationMatrix::from_windows_into`]).
     pub(crate) norm_windows: Vec<Vec<f64>>,
     /// Symmetric pair-score memo shared by every judgement within one
-    /// tick; cleared (capacity kept) at the start of each tick.
+    /// tick (naive backend); cleared (capacity kept) at the start of
+    /// each tick.
     pub(crate) pair_cache: HashMap<PairKey, f64>,
+    /// Incremental backend: pooled batch matrices, one per distinct
+    /// `(kpi, window)` judged this tick. Entries past `batch_used` are
+    /// free-list slots whose inner buffers keep their capacity, so the
+    /// pool stops allocating once it has grown to the unit's widest tick
+    /// (at most one entry per KPI).
+    pub(crate) batch: Vec<BatchEntry>,
+    /// Number of live entries in [`Self::batch`] this tick; reset to 0
+    /// at the start of each unit's tick instead of clearing the pool.
+    pub(crate) batch_used: usize,
 }
 
 impl TickScratch {
     /// A fresh, empty arena; buffers size themselves on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// One pooled batch matrix: the pairwise scores of every participating
+/// database for one `(kpi, window start, window size)`, filled once per
+/// tick and read by all of the unit's judgements over that window.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchEntry {
+    /// `(kpi, window start, window size)` the matrix was filled for.
+    pub(crate) key: (usize, u64, usize),
+    pub(crate) matrix: CorrelationMatrix,
+    /// Participation mask the fill used (per database; independent of
+    /// the judging database, so every judgement shares it).
+    pub(crate) mask: Vec<bool>,
+    /// `rows[db]` — whether `db`'s matrix row has been scored. Rows fill
+    /// lazily as databases judge, and a row fill skips peers whose own
+    /// row is already present (the symmetric entry exists), so each pair
+    /// is scored at most once per tick.
+    pub(crate) rows: Vec<bool>,
+}
+
+impl Default for BatchEntry {
+    fn default() -> Self {
+        Self {
+            key: (0, 0, 0),
+            matrix: CorrelationMatrix::zeros(0),
+            mask: Vec::new(), // dbclint: allow(hot-path-alloc) — empty free-list slot; buffers grow once, then the pool reuses them
+            rows: Vec::new(), // dbclint: allow(hot-path-alloc) — empty free-list slot; buffers grow once, then the pool reuses them
+        }
     }
 }

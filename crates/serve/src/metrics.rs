@@ -69,6 +69,15 @@ pub struct ShardStatus {
     /// The restart limit was exhausted; the shard is out of service and
     /// its units are hard-degraded.
     pub failed: bool,
+    /// Ticks this shard worker processed, across all of its units.
+    pub ticks: u64,
+    /// Mean wall-clock per shard-processed tick, in nanoseconds. Unlike
+    /// the per-unit [`UnitMetrics::ns_per_tick`], this reflects the
+    /// batched granularity the worker actually runs at: every tick the
+    /// shard thread executes counts once here, whichever unit it served,
+    /// so the figure is the shard's real per-tick cost rather than an
+    /// average diluted across units.
+    pub ns_per_tick: u64,
     /// Most recent panic payload or wedge diagnostic, if any.
     pub last_panic: Option<String>,
 }
@@ -136,6 +145,10 @@ pub struct ServerMetrics {
     inflight: Vec<AtomicUsize>,
     shards: usize,
     shard_status: Mutex<Vec<ShardStatus>>,
+    /// Per-shard detector wall-clock accumulators (nanoseconds), indexed
+    /// by shard; paired with `ShardStatus::ticks` to render the shard's
+    /// mean `ns_per_tick` at snapshot time.
+    shard_nanos: Mutex<Vec<u128>>,
     hierarchy: Mutex<HierarchyCounters>,
 }
 
@@ -154,6 +167,7 @@ impl ServerMetrics {
                     })
                     .collect(),
             ),
+            shard_nanos: Mutex::new(vec![0; shards]),
             hierarchy: Mutex::new(HierarchyCounters::default()),
         }
     }
@@ -251,6 +265,25 @@ impl ServerMetrics {
             u.ticks += 1;
             u.detector_nanos += nanos;
         });
+    }
+
+    /// Counts one tick processed by a shard worker and its wall clock.
+    /// Complements [`Self::record_tick`]: the per-unit figure answers
+    /// "how expensive is this unit", this one answers "how loaded is the
+    /// shard thread" at the batched granularity the worker runs at.
+    pub fn record_shard_tick(&self, shard: usize, nanos: u128) {
+        {
+            let mut status = self.shard_status.lock_clean();
+            if let Some(s) = status.get_mut(shard) {
+                s.ticks += 1;
+            } else {
+                return;
+            }
+        }
+        let mut nanos_acc = self.shard_nanos.lock_clean();
+        if let Some(acc) = nanos_acc.get_mut(shard) {
+            *acc += nanos;
+        }
     }
 
     /// Counts verdicts by level.
@@ -396,10 +429,20 @@ impl ServerMetrics {
             });
         }
         let hierarchy = self.hierarchy.lock_clean();
+        let mut shard_status = self.shard_status.lock_clean().clone();
+        {
+            let nanos = self.shard_nanos.lock_clean();
+            for s in shard_status.iter_mut() {
+                s.ns_per_tick = match nanos.get(s.shard) {
+                    Some(&acc) if s.ticks > 0 => (acc / u128::from(s.ticks)) as u64,
+                    _ => 0,
+                };
+            }
+        }
         MetricsSnapshot {
             units,
             shards: self.shards,
-            shard_status: self.shard_status.lock_clean().clone(),
+            shard_status,
             subscribers,
             total_ticks: ticks,
             total_rejects: rejects,
@@ -486,6 +529,24 @@ mod tests {
         assert_eq!(snap.shard_status[1].wedges, 1);
         assert!(snap.shard_status[0].failed);
         assert!(!snap.shard_status[1].failed);
+    }
+
+    #[test]
+    fn shard_ticks_average_at_batch_granularity() {
+        let m = ServerMetrics::new(4, 2);
+        // Shard 1 serves two units; its ns/tick must average over every
+        // tick the worker processed, not per unit.
+        m.record_shard_tick(1, 1000);
+        m.record_shard_tick(1, 2000);
+        m.record_shard_tick(1, 3000);
+        let snap = m.snapshot(0);
+        assert_eq!(snap.shard_status[1].ticks, 3);
+        assert_eq!(snap.shard_status[1].ns_per_tick, 2000);
+        assert_eq!(snap.shard_status[0].ticks, 0);
+        assert_eq!(snap.shard_status[0].ns_per_tick, 0);
+        // Out-of-range shards are ignored, not panicked on.
+        m.record_shard_tick(9, 500);
+        assert_eq!(m.snapshot(0).shard_status.len(), 2);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::wal::{self, PendingFrames, ShardRecovery, WalWriter};
 use dbcatcher_core::config::{CorrelationBackend, DbCatcherConfig};
 use dbcatcher_core::ingest::{GapPolicy, IngestReport};
 use dbcatcher_core::pipeline::DbCatcher;
+use dbcatcher_core::scratch::TickScratch;
 use dbcatcher_core::snapshot::DetectorSnapshot;
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
@@ -416,12 +417,15 @@ pub(crate) fn build_seed(ctx: &ShardContext, shards: usize, revive: bool) -> Wor
     }
     let mut slots = HashMap::new();
     if revive {
+        // Seed-time replay arena; the worker generation builds its own
+        // long-lived one in `run_worker`.
+        let mut scratch = TickScratch::new();
         for (unit, entry) in ctx.registry.registered() {
             if unit % shards != ctx.shard {
                 continue;
             }
             let mut slot = revive_unit(ctx, &recovery, unit, &entry);
-            replay_pending(ctx, &recovery.pending, &mut slot, unit, false);
+            replay_pending(ctx, &recovery.pending, &mut slot, unit, false, &mut scratch);
             let next_tick = slot.catcher.next_tick();
             ctx.registry.with_entry(unit, |e| e.expected = next_tick);
             ctx.metrics.reset_queue(unit);
@@ -565,6 +569,10 @@ struct WorkerState {
     /// units the seed did not pre-revive.
     pending: PendingFrames,
     wal: Option<WalWriter>,
+    /// One scratch arena shared by every unit this worker owns: batched
+    /// scoring reuses the same pooled buffers across units, so per-tick
+    /// setup (and its allocations) amortises over the whole shard.
+    scratch: TickScratch,
 }
 
 pub(crate) fn run_worker(ctx: ShardContext, jobs: Receiver<Job>, seed: WorkerSeed) {
@@ -583,6 +591,7 @@ pub(crate) fn run_worker(ctx: ShardContext, jobs: Receiver<Job>, seed: WorkerSee
         slots: seed.slots,
         pending: seed.recovery.pending,
         wal,
+        scratch: TickScratch::new(),
     };
     while let Ok(job) = jobs.recv() {
         if ctx.fenced() {
@@ -732,7 +741,14 @@ fn handle_hello(
     // Bring the unit forward through the WAL suffix: ticks accepted (and
     // acknowledged) by a previous incarnation that never made a snapshot.
     // Their verdicts are buffered and delivered right after the ack.
-    replay_pending(ctx, &state.pending, &mut slot, unit, true);
+    replay_pending(
+        ctx,
+        &state.pending,
+        &mut slot,
+        unit,
+        true,
+        &mut state.scratch,
+    );
     let next_tick = slot.catcher.next_tick();
     ctx.metrics.register_unit(unit, ctx.shard);
     // A restored snapshot can carry demoted databases; reflect them in
@@ -771,6 +787,7 @@ fn replay_pending(
     slot: &mut UnitSlot,
     unit: usize,
     count_metrics: bool,
+    scratch: &mut TickScratch,
 ) {
     let Some(ticks) = pending.get(&unit) else {
         return;
@@ -780,12 +797,14 @@ fn replay_pending(
     while let Some(frame) = ticks.get(&next) {
         // dbclint: allow(determinism) — per-tick latency metric only; never feeds detection state or verdicts
         let started = Instant::now();
-        let report = ingest_with_probation(ctx, slot, unit, next, frame, None);
+        let report = ingest_with_probation(ctx, slot, unit, next, frame, None, scratch);
         let Some(report) = report else {
             break; // hard degraded mid-replay; recorded inside
         };
         if count_metrics {
-            ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
+            let nanos = started.elapsed().as_nanos();
+            ctx.metrics.record_tick(unit, nanos);
+            ctx.metrics.record_shard_tick(ctx.shard, nanos);
         }
         slot.ticks += 1;
         if !report.demoted.is_empty() || !report.readmitted.is_empty() {
@@ -833,6 +852,7 @@ fn replay_pending(
 /// only when the unit hard-degrades (strike limit, or even the
 /// substitute failing). `reply` carries the strike diagnostics when a
 /// producer is attached; replay passes `None`.
+#[allow(clippy::too_many_arguments)]
 fn ingest_with_probation(
     ctx: &ShardContext,
     slot: &mut UnitSlot,
@@ -840,8 +860,9 @@ fn ingest_with_probation(
     tick: u64,
     frame: &[Vec<f64>],
     reply: Option<&Sender<Response>>,
+    scratch: &mut TickScratch,
 ) -> Option<IngestReport> {
-    match slot.catcher.try_ingest_tick(frame) {
+    match slot.catcher.try_ingest_tick_with(frame, scratch) {
         Ok(report) => {
             if slot.probation {
                 slot.clean += 1;
@@ -860,7 +881,7 @@ fn ingest_with_probation(
             let dbs = slot.catcher.num_databases();
             let kpis = slot.catcher.config().num_kpis;
             let substitute = vec![vec![f64::NAN; kpis]; dbs];
-            match slot.catcher.try_ingest_tick(&substitute) {
+            match slot.catcher.try_ingest_tick_with(&substitute, scratch) {
                 Ok(report) => {
                     slot.probation = true;
                     slot.strikes += 1;
@@ -972,7 +993,15 @@ fn handle_tick(
     }
     // dbclint: allow(determinism) — per-tick latency metric only; never feeds detection state or verdicts
     let started = Instant::now();
-    let Some(report) = ingest_with_probation(ctx, slot, unit, tick, &frame, Some(reply)) else {
+    let Some(report) = ingest_with_probation(
+        ctx,
+        slot,
+        unit,
+        tick,
+        &frame,
+        Some(reply),
+        &mut state.scratch,
+    ) else {
         return;
     };
     if let Some(crash) = &ctx.crash {
@@ -988,7 +1017,9 @@ fn handle_tick(
             return;
         }
     }
-    ctx.metrics.record_tick(unit, started.elapsed().as_nanos());
+    let nanos = started.elapsed().as_nanos();
+    ctx.metrics.record_tick(unit, nanos);
+    ctx.metrics.record_shard_tick(ctx.shard, nanos);
     slot.ticks += 1;
     if let Some(chaos) = &ctx.chaos {
         if chaos.should_panic() {

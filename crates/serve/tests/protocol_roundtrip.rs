@@ -104,6 +104,8 @@ fn response_for(choice: usize, unit: usize, tick: u64, samples: &[f64]) -> Respo
                 restarts: tick % 3,
                 wedges: tick % 2,
                 failed: unit.is_multiple_of(5),
+                ticks: tick * 2,
+                ns_per_tick: 1000 + tick,
                 last_panic: (!unit.is_multiple_of(2)).then(|| "panicked: boom".into()),
             }],
             subscribers: 1,

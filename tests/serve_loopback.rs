@@ -600,6 +600,28 @@ fn metrics_reconcile_exactly_with_client_observations_under_churn() {
     );
     assert_eq!(unit0_stats.queue_depth, 0);
     assert_eq!(unit1_stats.queue_depth, 0);
+
+    // Shard-level tick accounting runs at the batched granularity the
+    // worker actually executes: every tick the shard thread processed
+    // counts exactly once, whichever unit it served, so the sum over
+    // shards must equal the per-unit rollup with no drift.
+    assert_eq!(
+        stats.shard_status.iter().map(|s| s.ticks).sum::<u64>(),
+        stats.total_ticks,
+        "shard tick counters must reconcile with the per-unit totals"
+    );
+    for shard in &stats.shard_status {
+        if shard.ticks > 0 {
+            assert!(
+                shard.ns_per_tick > 0,
+                "shard {} processed {} ticks but reports zero ns/tick",
+                shard.shard,
+                shard.ticks
+            );
+        } else {
+            assert_eq!(shard.ns_per_tick, 0);
+        }
+    }
 }
 
 #[test]
